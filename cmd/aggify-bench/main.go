@@ -1,0 +1,96 @@
+// Command aggify-bench regenerates the paper's evaluation tables and
+// figures (§10): Table 1 (applicability), Figure 9(a) and Table 2 (TPC-H
+// cursor-loop workload), Figure 9(b) (RUBiS client programs), Figure 9(c)
+// (customer workloads L1–L8), Figures 10(a)–10(c) and Figure 11
+// (scalability and data-movement sweeps).
+//
+// Usage:
+//
+//	aggify-bench -exp all
+//	aggify-bench -exp fig9a -sf 0.05 -timeout 1m
+//	aggify-bench -exp fig10b -sweep 20,200,2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"aggify/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig9a, table2, fig9b, fig9c, fig10a, fig10b, fig10c, fig11, all")
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (paper: 10)")
+	scale := flag.Float64("scale", 1.0, "RUBiS / customer-workload scale")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-run budget; expiry reported as the paper's ⊘")
+	reps := flag.Int("reps", 3, "repetitions per point (best is reported; warm cache)")
+	rtt := flag.Duration("rtt", 500*time.Microsecond, "simulated client/server round-trip time")
+	bandwidth := flag.Int64("bandwidth", 125_000_000, "simulated bandwidth in bytes/sec (default 1 Gb/s; try 1250000 for a 10 Mb/s WAN)")
+	sweepFlag := flag.String("sweep", "", "comma-separated iteration counts for fig10a/fig10b/fig10c/fig11")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.SF = *sf
+	cfg.Scale = *scale
+	cfg.Timeout = *timeout
+	cfg.Reps = *reps
+	cfg.Profile.RTT = *rtt
+	cfg.Profile.Bandwidth = *bandwidth
+
+	var sweep []int
+	if *sweepFlag != "" {
+		for _, part := range strings.Split(*sweepFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad -sweep value %q", part))
+			}
+			sweep = append(sweep, n)
+		}
+	}
+
+	experiments := map[string]func() (*bench.Table, error){
+		"table1": bench.Table1,
+		"fig9a":  func() (*bench.Table, error) { return bench.Fig9a(cfg) },
+		"table2": func() (*bench.Table, error) { return bench.Table2(cfg) },
+		"fig9b":  func() (*bench.Table, error) { return bench.Fig9b(cfg) },
+		"fig9c":  func() (*bench.Table, error) { return bench.Fig9c(cfg) },
+		"fig10a": func() (*bench.Table, error) { return bench.Fig10a(cfg, sweep) },
+		"fig10b": func() (*bench.Table, error) { return bench.Fig10b(cfg, sweep) },
+		"fig10c": func() (*bench.Table, error) { return bench.Fig10c(cfg, sweep) },
+		"fig11":  func() (*bench.Table, error) { return bench.Fig11(cfg, sweep) },
+	}
+	order := []string{"table1", "fig9a", "table2", "fig9b", "fig9c", "fig10a", "fig10b", "fig10c", "fig11"}
+
+	run := func(name string) {
+		fn, ok := experiments[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (want one of %s, or all)", name, strings.Join(order, ", ")))
+		}
+		start := time.Now()
+		t, err := fn()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println(t.Render())
+		fmt.Printf("(%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggify-bench:", err)
+	os.Exit(1)
+}

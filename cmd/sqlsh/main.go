@@ -1,0 +1,136 @@
+// Command sqlsh is a batch/interactive shell for the engine's dialect.
+//
+// Usage:
+//
+//	sqlsh                 # interactive (reads statements, GO executes)
+//	sqlsh script.sql...   # execute files in order, then exit
+//	echo "select 1" | sqlsh
+//
+// Meta commands (interactive mode):
+//
+//	\q            quit
+//	\explain SQL  print the physical plan for a query
+//	\stats        print the session's I/O statistics
+//	\aggify NAME  transform the named function/procedure in place
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"aggify"
+)
+
+func main() {
+	db := aggify.Open()
+	if len(os.Args) > 1 {
+		for _, path := range os.Args[1:] {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := runBatch(db, string(data)); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var batch strings.Builder
+	interactive := isTerminalish()
+	if interactive {
+		fmt.Println("aggify sqlsh — end a batch with GO, \\q to quit")
+		fmt.Print("> ")
+	}
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case trimmed == "\\q":
+			return
+		case strings.HasPrefix(trimmed, "\\explain "):
+			plan, err := db.Explain(strings.TrimPrefix(trimmed, "\\explain "))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Print(plan)
+			}
+		case trimmed == "\\stats":
+			s := db.Session().Stats.Snapshot()
+			fmt.Printf("logical reads=%d worktable writes=%d worktable reads=%d rows emitted=%d index seeks=%d\n",
+				s.LogicalReads, s.WorktableWrites, s.WorktableReads, s.RowsEmitted, s.IndexSeeks)
+		case strings.HasPrefix(trimmed, "\\aggify "):
+			name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\aggify "))
+			res, err := db.AggifyFunction(name, aggify.TransformOptions{})
+			if err != nil {
+				res, err = db.AggifyProcedure(name, aggify.TransformOptions{})
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				fmt.Printf("transformed %d loop(s); %d skipped\n", res.LoopsTransformed, len(res.Skipped))
+				for _, agg := range res.AggregateSources {
+					fmt.Println(agg)
+				}
+				fmt.Println(res.RewrittenSource)
+			}
+		case strings.EqualFold(trimmed, "go"):
+			if err := runBatch(db, batch.String()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			batch.Reset()
+		default:
+			batch.WriteString(line)
+			batch.WriteByte('\n')
+		}
+		if interactive {
+			fmt.Print("> ")
+		}
+	}
+	if strings.TrimSpace(batch.String()) != "" {
+		if err := runBatch(db, batch.String()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runBatch executes a script; standalone SELECTs print their result sets.
+func runBatch(db *aggify.DB, src string) error {
+	if strings.TrimSpace(src) == "" {
+		return nil
+	}
+	// Try as a single query first so results print nicely.
+	if rows, err := db.Query(src); err == nil {
+		printRows(rows)
+		return nil
+	}
+	return db.Exec(src)
+}
+
+func printRows(rows *aggify.Rows) {
+	fmt.Println(strings.Join(rows.Columns, "\t"))
+	for _, r := range rows.Data {
+		cells := make([]string, len(r))
+		for i, v := range r {
+			cells[i] = v.Display()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(rows.Data))
+}
+
+func isTerminalish() bool {
+	fi, err := os.Stdin.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sqlsh:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// The §8.1 enhancement: counted FOR loops are lifted into cursor loops over
+// recursive CTEs and then aggified like any other cursor loop. This example
+// transforms a compound-interest FOR loop and verifies the results match.
+//
+// Run with: go run ./examples/forloop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aggify"
+)
+
+const futureValue = `
+create function futureValue(@principal float, @ratePct float, @years int) returns float as
+begin
+  declare @v float = @principal;
+  declare @y int;
+  for (@y = 1; @y <= @years; @y = @y + 1)
+  begin
+    set @v = @v * (1 + @ratePct / 100);
+    if @v > 1000000 break;
+  end
+  return @v;
+end`
+
+func main() {
+	db := aggify.Open()
+	if err := db.Exec(futureValue); err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := db.Call("futureValue", aggify.Float(10_000), aggify.Float(7), aggify.Int(30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original FOR loop:   futureValue(10000, 7%%, 30y) = %.2f\n", before.Float())
+
+	res, err := db.AggifyFunction("futureValue", aggify.TransformOptions{LiftForLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.LoopsTransformed != 1 {
+		log.Fatalf("expected the FOR loop to be lifted and aggified; skipped: %v", res.Skipped)
+	}
+	fmt.Println("\nThe FOR loop became a cursor over a recursive CTE, then an aggregate:")
+	fmt.Println(res.RewrittenSource)
+
+	after, err := db.Call("futureValue", aggify.Float(10_000), aggify.Float(7), aggify.Int(30))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggified:            futureValue(10000, 7%%, 30y) = %.2f\n", after.Float())
+
+	for _, years := range []int64{0, 1, 10, 200} {
+		a, err := db.Call("futureValue", aggify.Float(10_000), aggify.Float(7), aggify.Int(years))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  years=%-4d -> %.2f\n", years, a.Float())
+	}
+	if d := before.Float() - after.Float(); d > 1e-9 || d < -1e-9 {
+		log.Fatalf("results differ: %v vs %v", before, after)
+	}
+	fmt.Println("results identical ✓ (BREAK handled via the done-flag protocol)")
+}

@@ -1,0 +1,133 @@
+// The paper's Experiment 2 (Figure 10(b)): a remote client application
+// computing the minimum-cost supplier for a range of parts. The original
+// program pulls every part's supplier offers over the network and folds
+// them locally; the Aggify version lets a generated custom aggregate reduce
+// each part inside the DBMS.
+//
+// Run with: go run ./examples/mincost-client
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"aggify"
+	"aggify/internal/tpch"
+)
+
+func main() {
+	db := aggify.Open()
+	if err := tpch.Load(db.Engine(), 0.005); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, n := range []int64{50, 500} {
+		fmt.Printf("--- %d parts ---\n", n)
+		runOriginal(db, n)
+		runAggified(db, n)
+		fmt.Println()
+	}
+}
+
+// runOriginal is the client-side loop: one offers query per part.
+func runOriginal(db *aggify.DB, n int64) {
+	conn := db.Connect(aggify.LAN)
+	parts, err := conn.Prepare("select p_partkey from part where p_partkey <= ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	offers, err := conn.Prepare(`select ps_supplycost, s_name from partsupp, supplier
+	                             where ps_partkey = ? and ps_suppkey = s_suppkey`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	prs, err := parts.Query(aggify.Int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cheapest := map[int64]string{}
+	for prs.Next() {
+		pkey := prs.Int64("p_partkey")
+		ors, err := offers.Query(aggify.Int(pkey))
+		if err != nil {
+			log.Fatal(err)
+		}
+		best, bestName := 1e18, ""
+		for ors.Next() {
+			if c := ors.Float64("ps_supplycost"); c < best {
+				best, bestName = c, ors.String("s_name")
+			}
+		}
+		ors.Close()
+		cheapest[pkey] = bestName
+	}
+	prs.Close()
+	elapsed := time.Since(start) + conn.NetworkTime()
+	m := conn.Meter()
+	fmt.Printf("original: %4d parts, %6d bytes to client (%.0f B/part), %4d round trips, %v\n",
+		len(cheapest), m.BytesToClient, float64(m.BytesToClient)/float64(len(cheapest)),
+		m.RoundTrips, elapsed.Round(time.Microsecond))
+}
+
+// runAggified registers the generated aggregate once (via the Aggify
+// pipeline on the server) and runs one query.
+func runAggified(db *aggify.DB, n int64) {
+	// Transform the server-side UDF on first use.
+	if _, ok := db.Engine().Function("mincostsupp"); !ok {
+		if err := db.Exec(minCostSuppSrc); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := db.AggifyFunction("minCostSupp", aggify.TransformOptions{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	conn := db.Connect(aggify.LAN)
+	stmt, err := conn.Prepare("select p_partkey, minCostSupp(p_partkey) as supp from part where p_partkey <= ?")
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	rs, err := stmt.Query(aggify.Int(n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	for rs.Next() {
+		_ = rs.String("supp")
+		count++
+	}
+	rs.Close()
+	elapsed := time.Since(start) + conn.NetworkTime()
+	m := conn.Meter()
+	fmt.Printf("aggified: %4d parts, %6d bytes to client (%.0f B/part), %4d round trips, %v\n",
+		count, m.BytesToClient, float64(m.BytesToClient)/float64(count),
+		m.RoundTrips, elapsed.Round(time.Microsecond))
+}
+
+const minCostSuppSrc = `
+create function minCostSupp(@pkey int) returns char(25) as
+begin
+  declare @pCost decimal(15,2);
+  declare @sName char(25);
+  declare @minCost decimal(15,2) = 100000;
+  declare @suppName char(25);
+  declare c1 cursor for
+    select ps_supplycost, s_name from partsupp, supplier
+    where ps_partkey = @pkey and ps_suppkey = s_suppkey;
+  open c1;
+  fetch next from c1 into @pCost, @sName;
+  while @@fetch_status = 0
+  begin
+    if @pCost < @minCost
+    begin
+      set @minCost = @pCost;
+      set @suppName = @sName;
+    end
+    fetch next from c1 into @pCost, @sName;
+  end
+  close c1;
+  deallocate c1;
+  return @suppName;
+end`

@@ -1,0 +1,3 @@
+module aggify
+
+go 1.22

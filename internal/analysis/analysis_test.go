@@ -1,0 +1,432 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aggify/internal/ast"
+	"aggify/internal/parser"
+)
+
+// fig1 is the body of the paper's Figure 1 UDF.
+const fig1 = `
+create function minCostSupp(@pkey int, @lb int = -1) returns char(25) as
+begin
+  declare @pCost decimal(15,2);
+  declare @sName char(25);
+  declare @minCost decimal(15,2) = 100000;
+  declare @suppName char(25);
+  if (@lb = -1)
+    set @lb = getLowerBound(@pkey);
+  declare c1 cursor for
+    select ps_supplycost, s_name from partsupp, supplier
+    where ps_partkey = @pkey and ps_suppkey = s_suppkey;
+  open c1;
+  fetch next from c1 into @pCost, @sName;
+  while @@fetch_status = 0
+  begin
+    if (@pCost < @minCost and @pCost >= @lb)
+    begin
+      set @minCost = @pCost;
+      set @suppName = @sName;
+    end
+    fetch next from c1 into @pCost, @sName;
+  end
+  close c1;
+  deallocate c1;
+  return @suppName;
+end`
+
+func fig1Body(t *testing.T) *ast.CreateFunction {
+	t.Helper()
+	return parser.MustParse(fig1)[0].(*ast.CreateFunction)
+}
+
+func findWhile(body ast.Stmt) *ast.WhileStmt {
+	var w *ast.WhileStmt
+	ast.WalkStmt(body, func(s ast.Stmt) bool {
+		if ws, ok := s.(*ast.WhileStmt); ok && w == nil {
+			w = ws
+		}
+		return true
+	})
+	return w
+}
+
+func TestCFGShape(t *testing.T) {
+	f := fig1Body(t)
+	g := Build(f.Body)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	if len(g.Entry.Succs) == 0 {
+		t.Fatal("entry disconnected")
+	}
+	if len(g.Exit.Preds) == 0 {
+		t.Fatal("exit disconnected")
+	}
+	// The while condition must have a back edge (two predecessors at least:
+	// the priming fetch and the loop body tail).
+	w := findWhile(f.Body)
+	cond := g.CondNode[w]
+	if cond == nil {
+		t.Fatal("no condition node for while")
+	}
+	if len(cond.Preds) < 2 {
+		t.Fatalf("while cond should have a back edge, preds=%d", len(cond.Preds))
+	}
+	// All nodes reachable from entry.
+	seen := map[*Node]bool{}
+	var visit func(*Node)
+	visit = func(n *Node) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, s := range n.Succs {
+			visit(s)
+		}
+	}
+	visit(g.Entry)
+	for _, n := range g.Nodes {
+		if !seen[n] {
+			t.Fatalf("unreachable node %d (%T)", n.ID, n.Stmt)
+		}
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	f := fig1Body(t)
+	g := Build(f.Body)
+	// FETCH defines its INTO vars and @@fetch_status.
+	var fetchNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.FetchStmt); ok {
+			fetchNode = n
+			break
+		}
+	}
+	if fetchNode == nil {
+		t.Fatal("no fetch node")
+	}
+	defs := g.Defs[fetchNode.ID]
+	want := map[string]bool{"@pcost": true, "@sname": true, "@@fetch_status": true}
+	for _, d := range defs {
+		if !want[d] {
+			t.Errorf("unexpected def %q", d)
+		}
+		delete(want, d)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing defs: %v", want)
+	}
+	// OPEN uses the cursor query's variables (@pkey).
+	var openNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.OpenCursor); ok {
+			openNode = n
+		}
+	}
+	uses := g.Uses[openNode.ID]
+	if len(uses) != 1 || uses[0] != "@pkey" {
+		t.Fatalf("open uses = %v, want [@pkey]", uses)
+	}
+}
+
+func TestReachingDefinitionsFig1(t *testing.T) {
+	// §3.2.3's worked example: the use of @lb inside the loop is reached by
+	// (at least) two definitions — the default/param assignment and the
+	// conditional SET on line 5.
+	f := fig1Body(t)
+	g := Build(f.Body)
+	a := Analyze(g)
+	w := findWhile(f.Body)
+	// The use of @lb is in the IF condition inside the loop body.
+	var ifNode *Node
+	ast.WalkStmt(w.Body, func(s ast.Stmt) bool {
+		if is, ok := s.(*ast.IfStmt); ok {
+			ifNode = g.CondNode[is]
+		}
+		return true
+	})
+	if ifNode == nil {
+		t.Fatal("no if inside loop")
+	}
+	defs := a.ReachingDefs(ifNode, "@lb")
+	if len(defs) < 1 {
+		t.Fatal("no reaching defs for @lb")
+	}
+	// One of them must be the SET inside the IF before the loop.
+	foundSet := false
+	for _, d := range defs {
+		if set, ok := d.Node.Stmt.(*ast.SetStmt); ok && set.Targets[0] == "@lb" {
+			foundSet = true
+		}
+	}
+	if !foundSet {
+		t.Fatal("conditional SET @lb does not reach the loop use")
+	}
+	// All reaching defs of @lb at the loop use are OUTSIDE the loop
+	// (nothing assigns @lb inside) — the Eq. 2 condition.
+	region := a.NodesOf(w)
+	for _, d := range defs {
+		if region[d.Node] {
+			t.Fatalf("def %v unexpectedly inside the loop", d)
+		}
+	}
+}
+
+func TestLivenessFig1(t *testing.T) {
+	// §3.2.4's worked example: @lb is live inside the loop but dead after
+	// it; @suppName is the only user variable live at loop exit.
+	f := fig1Body(t)
+	g := Build(f.Body)
+	a := Analyze(g)
+	w := findWhile(f.Body)
+	cond := g.CondNode[w]
+	if !a.LiveAtEntry(cond, "@lb") {
+		t.Fatal("@lb should be live at loop entry")
+	}
+	// Find the CLOSE node (the program point after the loop).
+	var closeNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.CloseCursor); ok {
+			closeNode = n
+		}
+	}
+	if a.LiveAtEntry(closeNode, "@lb") {
+		t.Fatal("@lb should be dead after the loop")
+	}
+	if a.LiveAtEntry(closeNode, "@mincost") {
+		t.Fatal("@minCost should be dead after the loop")
+	}
+	if !a.LiveAtEntry(closeNode, "@suppname") {
+		t.Fatal("@suppName must be live after the loop")
+	}
+}
+
+func TestUDAndDUChains(t *testing.T) {
+	stmts := parser.MustParse(`
+begin
+  declare @x int = 1;
+  declare @y int;
+  if @x > 0
+    set @y = @x;
+  else
+    set @y = 0 - @x;
+  print @y;
+end`)
+	g := Build(stmts[0])
+	a := Analyze(g)
+	var printNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.PrintStmt); ok {
+			printNode = n
+		}
+	}
+	defs := a.UDChain(printNode, "@y")
+	// Three definitions of @y: DECLARE (NULL), and both SETs; the DECLARE's
+	// def is killed on both paths, so exactly the two SETs reach.
+	setCount := 0
+	for _, d := range defs {
+		if _, ok := d.Node.Stmt.(*ast.SetStmt); ok {
+			setCount++
+		}
+	}
+	if setCount != 2 {
+		t.Fatalf("UD chain of @y at print: %d SET defs, want 2 (defs=%v)", setCount, defs)
+	}
+	// DU chain: the DECLARE of @x reaches its uses in the IF condition and
+	// both branches.
+	var declX *Node
+	for s, n := range g.StmtNode {
+		if d, ok := s.(*ast.DeclareVar); ok && d.Name == "@x" {
+			declX = n
+		}
+	}
+	uses := a.DUChain(declX, "@x")
+	if len(uses) != 3 {
+		t.Fatalf("DU chain of @x: %d uses, want 3", len(uses))
+	}
+}
+
+func TestBreakContinueEdges(t *testing.T) {
+	stmts := parser.MustParse(`
+begin
+  declare @i int = 0;
+  declare @s int = 0;
+  while @i < 10
+  begin
+    set @i = @i + 1;
+    if @i % 2 = 0 continue;
+    if @i > 5 break;
+    set @s = @s + @i;
+  end
+  print @s;
+end`)
+	g := Build(stmts[0])
+	a := Analyze(g)
+	// @s must be live at the BREAK (it flows to the print after the loop).
+	var breakNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.BreakStmt); ok {
+			breakNode = n
+		}
+	}
+	if breakNode == nil {
+		t.Fatal("no break node")
+	}
+	if !a.LiveAtEntry(breakNode, "@s") {
+		t.Fatal("@s should be live at BREAK (reaches print)")
+	}
+}
+
+func TestTryCatchConservativeEdges(t *testing.T) {
+	stmts := parser.MustParse(`
+begin
+  declare @x int = 0;
+  begin try
+    set @x = 1;
+    set @x = 2;
+  end try
+  begin catch
+    print @x;
+  end catch
+end`)
+	g := Build(stmts[0])
+	a := Analyze(g)
+	var printNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.PrintStmt); ok {
+			printNode = n
+		}
+	}
+	defs := a.UDChain(printNode, "@x")
+	// All three definitions (0, 1, 2) may reach the catch.
+	if len(defs) != 3 {
+		t.Fatalf("catch should see 3 reaching defs, got %d", len(defs))
+	}
+}
+
+func TestForLoopDesugaring(t *testing.T) {
+	stmts := parser.MustParse(`
+begin
+  declare @i int;
+  declare @s int = 0;
+  for (@i = 0; @i <= 3; @i = @i + 1)
+    set @s = @s + @i;
+  print @s;
+end`)
+	g := Build(stmts[0])
+	a := Analyze(g)
+	var printNode *Node
+	for s, n := range g.StmtNode {
+		if _, ok := s.(*ast.PrintStmt); ok {
+			printNode = n
+		}
+	}
+	if !a.LiveAtEntry(printNode, "@s") {
+		t.Fatal("@s live at print")
+	}
+	// The FOR's init and post assignments are definitions of @i.
+	found := 0
+	for _, ds := range a.DefSites {
+		if ds.Var == "@i" {
+			found++
+		}
+	}
+	if found < 3 { // declare, init, post
+		t.Fatalf("defs of @i = %d, want >= 3", found)
+	}
+}
+
+func TestBitSetProperties(t *testing.T) {
+	f := func(xs []uint16, ys []uint16) bool {
+		a := NewBitSet(1 << 16)
+		b := NewBitSet(1 << 16)
+		for _, x := range xs {
+			a.Set(int(x))
+		}
+		for _, y := range ys {
+			b.Set(int(y))
+		}
+		u := a.Copy()
+		u.OrWith(b)
+		// Union contains both.
+		for _, x := range xs {
+			if !u.Has(int(x)) {
+				return false
+			}
+		}
+		for _, y := range ys {
+			if !u.Has(int(y)) {
+				return false
+			}
+		}
+		// AndNot removes b's bits.
+		u.AndNot(b)
+		for _, y := range ys {
+			if u.Has(int(y)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: liveness is sound w.r.t. a direct postorder recomputation —
+// LiveIn must be a fixpoint: LiveIn == use ∪ (LiveOut − def).
+func TestLivenessFixpoint(t *testing.T) {
+	f := fig1Body(t)
+	g := Build(f.Body)
+	a := Analyze(g)
+	for _, n := range g.Nodes {
+		out := NewBitSet(len(a.Vars))
+		for _, s := range n.Succs {
+			out.OrWith(a.LiveIn[s.ID])
+		}
+		for i := range out {
+			if out[i] != a.LiveOut[n.ID][i] {
+				t.Fatalf("node %d: LiveOut not the union of successors' LiveIn", n.ID)
+			}
+		}
+		in := out.Copy()
+		def := NewBitSet(len(a.Vars))
+		use := NewBitSet(len(a.Vars))
+		for _, v := range g.Defs[n.ID] {
+			def.Set(a.VarIndex(v))
+		}
+		for _, v := range g.Uses[n.ID] {
+			use.Set(a.VarIndex(v))
+		}
+		in.AndNot(def)
+		in.OrWith(use)
+		for i := range in {
+			if in[i] != a.LiveIn[n.ID][i] {
+				t.Fatalf("node %d: LiveIn not a fixpoint", n.ID)
+			}
+		}
+	}
+}
+
+// Property: every use has at least one reaching def or is a parameter/
+// never-defined variable (reaching-defs completeness on Fig. 1).
+func TestReachingDefsCompleteness(t *testing.T) {
+	f := fig1Body(t)
+	g := Build(f.Body)
+	a := Analyze(g)
+	params := map[string]bool{"@pkey": true, "@lb": true}
+	for _, n := range g.Nodes {
+		for _, v := range g.Uses[n.ID] {
+			if params[v] || v == ast.FetchStatusVar {
+				continue
+			}
+			if len(a.ReachingDefs(n, v)) == 0 {
+				t.Errorf("use of %s at node %d has no reaching definition", v, n.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package analysis implements the static analyses Aggify is built on
+// (paper §3.2): control-flow graphs over procedural ASTs, a worklist
+// dataflow framework, reaching-definitions analysis, live-variable
+// analysis, and use-definition / definition-use chains.
+package analysis
+
+import (
+	"aggify/internal/ast"
+)
+
+// NodeKind distinguishes CFG node roles.
+type NodeKind uint8
+
+const (
+	// KindEntry and KindExit are the synthetic entry/exit nodes.
+	KindEntry NodeKind = iota
+	KindExit
+	// KindStmt nodes execute a simple statement.
+	KindStmt
+	// KindCond nodes evaluate the condition of an IF/WHILE/FOR.
+	KindCond
+)
+
+// Node is one CFG vertex. Following the paper's presentation (Figure 3),
+// every statement is its own basic block.
+type Node struct {
+	ID    int
+	Kind  NodeKind
+	Stmt  ast.Stmt // the owning statement (condition owner for KindCond)
+	Succs []*Node
+	Preds []*Node
+}
+
+// CFG is the control-flow graph of one procedure/function body, augmented
+// with per-node def/use sets (the local data-flow information).
+type CFG struct {
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+
+	// StmtNode maps simple statements to their node; condition nodes are in
+	// CondNode keyed by the composite statement.
+	StmtNode map[ast.Stmt]*Node
+	CondNode map[ast.Stmt]*Node
+
+	// Defs and Uses are the variables defined/used at each node (indexed by
+	// node ID). FETCH defines its INTO variables and @@fetch_status; OPEN
+	// uses the variables of its cursor's query.
+	Defs [][]string
+	Uses [][]string
+
+	// Cursors maps cursor names to their declaring statements.
+	Cursors map[string]*ast.DeclareCursor
+}
+
+type cfgBuilder struct {
+	g *CFG
+	// loop stack for BREAK/CONTINUE targets.
+	breaks    [][]*Node // nodes needing an edge to the loop's exit point
+	continues [][]*Node // nodes needing an edge to the loop's condition
+	returns   []*Node
+}
+
+// Build constructs the CFG of a statement body.
+func Build(body ast.Stmt) *CFG {
+	b := &cfgBuilder{g: &CFG{
+		StmtNode: map[ast.Stmt]*Node{},
+		CondNode: map[ast.Stmt]*Node{},
+		Cursors:  map[string]*ast.DeclareCursor{},
+	}}
+	b.g.Entry = b.newNode(KindEntry, nil)
+	b.g.Exit = b.newNode(KindExit, nil)
+	last := b.stmt(body, []*Node{b.g.Entry})
+	for _, n := range last {
+		link(n, b.g.Exit)
+	}
+	for _, n := range b.returns {
+		link(n, b.g.Exit)
+	}
+	b.computeDefsUses()
+	return b.g
+}
+
+func (b *cfgBuilder) newNode(kind NodeKind, s ast.Stmt) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: kind, Stmt: s}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// stmt wires a statement into the graph; froms are the dangling exits of
+// the preceding code. It returns the dangling exits after s.
+func (b *cfgBuilder) stmt(s ast.Stmt, froms []*Node) []*Node {
+	connect := func(n *Node) {
+		for _, f := range froms {
+			link(f, n)
+		}
+	}
+	switch st := s.(type) {
+	case nil:
+		return froms
+	case *ast.Block:
+		cur := froms
+		for _, inner := range st.Stmts {
+			cur = b.stmt(inner, cur)
+		}
+		return cur
+	case *ast.IfStmt:
+		cond := b.newNode(KindCond, st)
+		b.g.CondNode[st] = cond
+		connect(cond)
+		thenOut := b.stmt(st.Then, []*Node{cond})
+		if st.Else != nil {
+			elseOut := b.stmt(st.Else, []*Node{cond})
+			return append(thenOut, elseOut...)
+		}
+		return append(thenOut, cond)
+	case *ast.WhileStmt:
+		cond := b.newNode(KindCond, st)
+		b.g.CondNode[st] = cond
+		connect(cond)
+		b.breaks = append(b.breaks, nil)
+		b.continues = append(b.continues, nil)
+		bodyOut := b.stmt(st.Body, []*Node{cond})
+		for _, n := range bodyOut {
+			link(n, cond) // back edge
+		}
+		conts := b.continues[len(b.continues)-1]
+		for _, n := range conts {
+			link(n, cond)
+		}
+		brks := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		return append([]*Node{cond}, brks...)
+	case *ast.ForStmt:
+		// Desugared in the CFG: init-assign; cond; body; post-assign; back.
+		init := b.newNode(KindStmt, &ast.SetStmt{Targets: []string{st.InitVar}, Value: st.InitExpr})
+		connect(init)
+		cond := b.newNode(KindCond, st)
+		b.g.CondNode[st] = cond
+		link(init, cond)
+		b.breaks = append(b.breaks, nil)
+		b.continues = append(b.continues, nil)
+		bodyOut := b.stmt(st.Body, []*Node{cond})
+		post := b.newNode(KindStmt, &ast.SetStmt{Targets: []string{st.PostVar}, Value: st.PostExpr})
+		for _, n := range bodyOut {
+			link(n, post)
+		}
+		for _, n := range b.continues[len(b.continues)-1] {
+			link(n, post)
+		}
+		link(post, cond)
+		brks := b.breaks[len(b.breaks)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.continues = b.continues[:len(b.continues)-1]
+		return append([]*Node{cond}, brks...)
+	case *ast.TryCatch:
+		// Conservative: the catch block is reachable from every node of the
+		// try block (any statement may raise).
+		startIdx := len(b.g.Nodes)
+		tryOut := b.stmt(st.Try, froms)
+		catchEntry := b.newNode(KindStmt, &ast.PrintStmt{E: ast.StrLit("catch-entry")})
+		for _, n := range b.g.Nodes[startIdx : len(b.g.Nodes)-1] {
+			link(n, catchEntry)
+		}
+		for _, f := range froms {
+			link(f, catchEntry)
+		}
+		catchOut := b.stmt(st.Catch, []*Node{catchEntry})
+		return append(tryOut, catchOut...)
+	case *ast.BreakStmt:
+		n := b.newNode(KindStmt, st)
+		b.g.StmtNode[st] = n
+		connect(n)
+		if len(b.breaks) > 0 {
+			b.breaks[len(b.breaks)-1] = append(b.breaks[len(b.breaks)-1], n)
+		}
+		return nil
+	case *ast.ContinueStmt:
+		n := b.newNode(KindStmt, st)
+		b.g.StmtNode[st] = n
+		connect(n)
+		if len(b.continues) > 0 {
+			b.continues[len(b.continues)-1] = append(b.continues[len(b.continues)-1], n)
+		}
+		return nil
+	case *ast.ReturnStmt:
+		n := b.newNode(KindStmt, st)
+		b.g.StmtNode[st] = n
+		connect(n)
+		b.returns = append(b.returns, n)
+		return nil
+	case *ast.DeclareCursor:
+		b.g.Cursors[st.Name] = st
+		n := b.newNode(KindStmt, st)
+		b.g.StmtNode[st] = n
+		connect(n)
+		return []*Node{n}
+	default:
+		n := b.newNode(KindStmt, st)
+		b.g.StmtNode[st] = n
+		connect(n)
+		return []*Node{n}
+	}
+}
+
+// computeDefsUses fills the per-node def/use sets.
+func (b *cfgBuilder) computeDefsUses() {
+	g := b.g
+	g.Defs = make([][]string, len(g.Nodes))
+	g.Uses = make([][]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if n.Stmt == nil {
+			continue
+		}
+		if n.Kind == KindCond {
+			switch st := n.Stmt.(type) {
+			case *ast.IfStmt:
+				g.Uses[n.ID] = varsOfExpr(st.Cond)
+			case *ast.WhileStmt:
+				g.Uses[n.ID] = varsOfExpr(st.Cond)
+			case *ast.ForStmt:
+				g.Uses[n.ID] = varsOfExpr(st.Cond)
+			}
+			continue
+		}
+		defs, uses := StmtDefsUses(n.Stmt, g.Cursors)
+		g.Defs[n.ID] = defs
+		g.Uses[n.ID] = uses
+	}
+}
+
+// StmtDefsUses computes the variables defined and used by a simple
+// statement. cursors supplies cursor declarations so OPEN attributes the
+// uses of the cursor query (which executes at OPEN, §2.3).
+func StmtDefsUses(s ast.Stmt, cursors map[string]*ast.DeclareCursor) (defs, uses []string) {
+	switch st := s.(type) {
+	case *ast.DeclareVar:
+		defs = append(defs, st.Name)
+		uses = varsOfExpr(st.Init)
+	case *ast.SetStmt:
+		defs = append(defs, st.Targets...)
+		uses = varsOfExpr(st.Value)
+	case *ast.FetchStmt:
+		defs = append(defs, st.Into...)
+		defs = append(defs, ast.FetchStatusVar)
+	case *ast.OpenCursor:
+		if decl, ok := cursors[st.Name]; ok {
+			uses = varsOfSelect(decl.Query)
+		}
+	case *ast.DeclareCursor:
+		// The query does not run at DECLARE; no uses.
+	case *ast.ReturnStmt:
+		uses = varsOfExpr(st.Value)
+	case *ast.QueryStmt:
+		uses = varsOfSelect(st.Query)
+	case *ast.InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				uses = append(uses, varsOfExpr(e)...)
+			}
+		}
+		if st.Query != nil {
+			uses = append(uses, varsOfSelect(st.Query)...)
+		}
+	case *ast.UpdateStmt:
+		for _, sc := range st.Sets {
+			uses = append(uses, varsOfExpr(sc.Value)...)
+		}
+		uses = append(uses, varsOfExpr(st.Where)...)
+	case *ast.DeleteStmt:
+		uses = varsOfExpr(st.Where)
+	case *ast.PrintStmt:
+		uses = varsOfExpr(st.E)
+	case *ast.ExecStmt:
+		for _, a := range st.Args {
+			uses = append(uses, varsOfExpr(a)...)
+		}
+	}
+	return dedup(defs), dedup(uses)
+}
+
+func varsOfExpr(e ast.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	var out []string
+	for v := range ast.VarsInExpr(e) {
+		out = append(out, v)
+	}
+	return out
+}
+
+func varsOfSelect(q *ast.Select) []string {
+	var out []string
+	for v := range ast.VarsInSelect(q) {
+		out = append(out, v)
+	}
+	return out
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package analysis
+
+import (
+	"sort"
+
+	"aggify/internal/ast"
+)
+
+// BitSet is a fixed-universe bit vector used by the dataflow framework.
+type BitSet []uint64
+
+// NewBitSet allocates a bitset for n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set sets bit i.
+func (b BitSet) Set(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Clear clears bit i.
+func (b BitSet) Clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// Has reports whether bit i is set.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// OrWith ors other into b, reporting whether b changed.
+func (b BitSet) OrWith(other BitSet) bool {
+	changed := false
+	for i := range b {
+		old := b[i]
+		b[i] |= other[i]
+		changed = changed || b[i] != old
+	}
+	return changed
+}
+
+// Copy returns an independent copy.
+func (b BitSet) Copy() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// AndNot clears bits of mask from b.
+func (b BitSet) AndNot(mask BitSet) {
+	for i := range b {
+		b[i] &^= mask[i]
+	}
+}
+
+// DefSite is one definition of a variable at a CFG node.
+type DefSite struct {
+	Node *Node
+	Var  string
+}
+
+// Analysis holds the results of all dataflow analyses over one CFG:
+// reaching definitions (In/Out), liveness (LiveIn/LiveOut), and the
+// derived UD/DU chains.
+type Analysis struct {
+	G *CFG
+
+	Vars     []string
+	varIndex map[string]int
+
+	DefSites []DefSite
+	// In and Out are reaching-definition sets per node (bit = def site).
+	In, Out []BitSet
+	// LiveIn and LiveOut are live-variable sets per node (bit = variable).
+	LiveIn, LiveOut []BitSet
+}
+
+// Analyze runs all analyses to fixpoint.
+func Analyze(g *CFG) *Analysis {
+	a := &Analysis{G: g, varIndex: map[string]int{}}
+
+	// Universe of variables.
+	addVar := func(v string) {
+		if _, ok := a.varIndex[v]; !ok {
+			a.varIndex[v] = len(a.Vars)
+			a.Vars = append(a.Vars, v)
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, v := range g.Defs[n.ID] {
+			addVar(v)
+		}
+		for _, v := range g.Uses[n.ID] {
+			addVar(v)
+		}
+	}
+	sort.Strings(a.Vars)
+	for i, v := range a.Vars {
+		a.varIndex[v] = i
+	}
+
+	// Universe of definition sites.
+	defsOfVar := map[string][]int{}
+	for _, n := range g.Nodes {
+		for _, v := range g.Defs[n.ID] {
+			idx := len(a.DefSites)
+			a.DefSites = append(a.DefSites, DefSite{Node: n, Var: v})
+			defsOfVar[v] = append(defsOfVar[v], idx)
+		}
+	}
+
+	a.reachingDefs(defsOfVar)
+	a.liveness()
+	return a
+}
+
+// reachingDefs runs the forward union dataflow of §3.2.3.
+func (a *Analysis) reachingDefs(defsOfVar map[string][]int) {
+	g := a.G
+	nd := len(a.DefSites)
+	gen := make([]BitSet, len(g.Nodes))
+	kill := make([]BitSet, len(g.Nodes))
+	a.In = make([]BitSet, len(g.Nodes))
+	a.Out = make([]BitSet, len(g.Nodes))
+	siteAt := map[[2]interface{}]int{}
+	for i, ds := range a.DefSites {
+		siteAt[[2]interface{}{ds.Node, ds.Var}] = i
+	}
+	for _, n := range g.Nodes {
+		gen[n.ID] = NewBitSet(nd)
+		kill[n.ID] = NewBitSet(nd)
+		a.In[n.ID] = NewBitSet(nd)
+		a.Out[n.ID] = NewBitSet(nd)
+		for _, v := range g.Defs[n.ID] {
+			self := siteAt[[2]interface{}{n, v}]
+			gen[n.ID].Set(self)
+			for _, other := range defsOfVar[v] {
+				if other != self {
+					kill[n.ID].Set(other)
+				}
+			}
+		}
+	}
+	// Worklist iteration.
+	work := make([]*Node, len(g.Nodes))
+	copy(work, g.Nodes)
+	inWork := make([]bool, len(g.Nodes))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		inWork[n.ID] = false
+		in := a.In[n.ID]
+		for _, p := range n.Preds {
+			in.OrWith(a.Out[p.ID])
+		}
+		out := in.Copy()
+		out.AndNot(kill[n.ID])
+		out.OrWith(gen[n.ID])
+		if a.Out[n.ID].OrWith(out) {
+			for _, s := range n.Succs {
+				if !inWork[s.ID] {
+					inWork[s.ID] = true
+					work = append(work, s)
+				}
+			}
+		}
+	}
+}
+
+// liveness runs the backward union dataflow of §3.2.4.
+func (a *Analysis) liveness() {
+	g := a.G
+	nv := len(a.Vars)
+	use := make([]BitSet, len(g.Nodes))
+	def := make([]BitSet, len(g.Nodes))
+	a.LiveIn = make([]BitSet, len(g.Nodes))
+	a.LiveOut = make([]BitSet, len(g.Nodes))
+	for _, n := range g.Nodes {
+		use[n.ID] = NewBitSet(nv)
+		def[n.ID] = NewBitSet(nv)
+		a.LiveIn[n.ID] = NewBitSet(nv)
+		a.LiveOut[n.ID] = NewBitSet(nv)
+		for _, v := range g.Uses[n.ID] {
+			use[n.ID].Set(a.varIndex[v])
+		}
+		for _, v := range g.Defs[n.ID] {
+			def[n.ID].Set(a.varIndex[v])
+		}
+	}
+	work := make([]*Node, len(g.Nodes))
+	copy(work, g.Nodes)
+	inWork := make([]bool, len(g.Nodes))
+	for i := range inWork {
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n.ID] = false
+		out := a.LiveOut[n.ID]
+		for _, s := range n.Succs {
+			out.OrWith(a.LiveIn[s.ID])
+		}
+		in := out.Copy()
+		in.AndNot(def[n.ID])
+		in.OrWith(use[n.ID])
+		if a.LiveIn[n.ID].OrWith(in) {
+			for _, p := range n.Preds {
+				if !inWork[p.ID] {
+					inWork[p.ID] = true
+					work = append(work, p)
+				}
+			}
+		}
+	}
+}
+
+// VarIndex returns the bit index of a variable, or -1.
+func (a *Analysis) VarIndex(v string) int {
+	i, ok := a.varIndex[v]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// LiveAtEntry reports whether v is live at the entry of node n.
+func (a *Analysis) LiveAtEntry(n *Node, v string) bool {
+	i := a.VarIndex(v)
+	return i >= 0 && a.LiveIn[n.ID].Has(i)
+}
+
+// LiveAtExit reports whether v is live at the exit of node n.
+func (a *Analysis) LiveAtExit(n *Node, v string) bool {
+	i := a.VarIndex(v)
+	return i >= 0 && a.LiveOut[n.ID].Has(i)
+}
+
+// ReachingDefs returns the definitions of v that reach the entry of n
+// (the UD chain of a use of v at n, §3.2.2).
+func (a *Analysis) ReachingDefs(n *Node, v string) []DefSite {
+	var out []DefSite
+	for i, ds := range a.DefSites {
+		if ds.Var == v && a.In[n.ID].Has(i) {
+			out = append(out, ds)
+		}
+	}
+	return out
+}
+
+// UDChain returns, for a use of v at node n, all reaching definitions
+// (alias of ReachingDefs with use-validation).
+func (a *Analysis) UDChain(n *Node, v string) []DefSite {
+	return a.ReachingDefs(n, v)
+}
+
+// DUChain returns the uses reachable from the definition of v at node def
+// without an intervening redefinition: all nodes using v whose reaching
+// definitions include this site.
+func (a *Analysis) DUChain(def *Node, v string) []*Node {
+	var siteIdx = -1
+	for i, ds := range a.DefSites {
+		if ds.Node == def && ds.Var == v {
+			siteIdx = i
+			break
+		}
+	}
+	if siteIdx < 0 {
+		return nil
+	}
+	var out []*Node
+	for _, n := range a.G.Nodes {
+		if !a.In[n.ID].Has(siteIdx) {
+			continue
+		}
+		for _, u := range a.G.Uses[n.ID] {
+			if u == v {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NodesOf returns the CFG nodes belonging to the given statement subtree
+// (the loop region Δ used by Aggify).
+func (a *Analysis) NodesOf(root ast.Stmt) map[*Node]bool {
+	stmts := map[ast.Stmt]bool{}
+	ast.WalkStmt(root, func(s ast.Stmt) bool {
+		stmts[s] = true
+		return true
+	})
+	out := map[*Node]bool{}
+	for s, n := range a.G.StmtNode {
+		if stmts[s] {
+			out[n] = true
+		}
+	}
+	for s, n := range a.G.CondNode {
+		if stmts[s] {
+			out[n] = true
+		}
+	}
+	// Synthetic nodes (FOR desugaring, catch-entry) belong to the region of
+	// their owning composite statement; find them by graph containment:
+	// every node all of whose predecessors are in the region and that is
+	// dominated by it would be complex — instead, claim synthetic SetStmt
+	// nodes created for FOR statements in the region.
+	for _, n := range a.G.Nodes {
+		if n.Stmt == nil || out[n] {
+			continue
+		}
+		if set, ok := n.Stmt.(*ast.SetStmt); ok && len(set.Targets) == 1 {
+			// FOR-desugared init/post nodes: attribute by ownership walk.
+			ast.WalkStmt(root, func(s ast.Stmt) bool {
+				if f, isFor := s.(*ast.ForStmt); isFor {
+					if (f.InitVar == set.Targets[0] && f.InitExpr == set.Value) ||
+						(f.PostVar == set.Targets[0] && f.PostExpr == set.Value) {
+						out[n] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

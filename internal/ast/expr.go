@@ -1,0 +1,157 @@
+// Package ast defines the abstract syntax of the engine's SQL dialect:
+// expressions, queries, procedural statements (the T-SQL-like language of
+// the paper's Figure 1), and aggregate definitions (the paper's Figure 4
+// template). It also provides printing, cloning, and traversal utilities
+// used by the analysis and transformation packages.
+package ast
+
+import (
+	"strings"
+
+	"aggify/internal/sqltypes"
+)
+
+// Expr is the interface implemented by all expression nodes.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Val sqltypes.Value
+}
+
+// ColRef is a (possibly qualified) column reference.
+type ColRef struct {
+	Table string // optional qualifier, lower-cased
+	Name  string // column name, lower-cased
+}
+
+// VarRef references a procedural variable. Name keeps its sigil and is
+// lower-cased: "@x" for user variables, "@@fetch_status" for the cursor
+// status register.
+type VarRef struct {
+	Name string
+}
+
+// ParamRef is a positional parameter placeholder ("?") used by client-side
+// prepared statements.
+type ParamRef struct {
+	Index int // 0-based position
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   sqltypes.BinaryOp
+	L, R Expr
+}
+
+// UnaryExpr is negation (-) or logical NOT.
+type UnaryExpr struct {
+	Op byte // '-' or '!'
+	E  Expr
+}
+
+// IsNullExpr is `E IS [NOT] NULL`.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+// WhenClause is one WHEN...THEN arm of a CASE expression.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []WhenClause
+	Else  Expr // may be nil (NULL)
+}
+
+// FuncCall invokes a scalar function, a built-in aggregate, or a custom
+// aggregate; which one is resolved against the catalog at plan time.
+type FuncCall struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool // COUNT(*)
+}
+
+// Subquery embeds a SELECT usable as a scalar value or EXISTS predicate.
+type Subquery struct {
+	Query  *Select
+	Exists bool // EXISTS(...) rather than scalar
+}
+
+// InExpr is `E [NOT] IN (list)` or `E [NOT] IN (subquery)`.
+type InExpr struct {
+	E      Expr
+	List   []Expr
+	Query  *Select
+	Negate bool
+}
+
+// BetweenExpr is `E [NOT] BETWEEN Lo AND Hi`.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Negate    bool
+}
+
+func (*Literal) exprNode()     {}
+func (*ColRef) exprNode()      {}
+func (*VarRef) exprNode()      {}
+func (*ParamRef) exprNode()    {}
+func (*BinExpr) exprNode()     {}
+func (*UnaryExpr) exprNode()   {}
+func (*IsNullExpr) exprNode()  {}
+func (*CaseExpr) exprNode()    {}
+func (*FuncCall) exprNode()    {}
+func (*Subquery) exprNode()    {}
+func (*InExpr) exprNode()      {}
+func (*BetweenExpr) exprNode() {}
+
+// Convenience constructors used heavily by tests and the transformer.
+
+// Lit wraps a value as a literal expression.
+func Lit(v sqltypes.Value) *Literal { return &Literal{Val: v} }
+
+// IntLit returns an integer literal.
+func IntLit(i int64) *Literal { return Lit(sqltypes.NewInt(i)) }
+
+// StrLit returns a string literal.
+func StrLit(s string) *Literal { return Lit(sqltypes.NewString(s)) }
+
+// Col returns an unqualified column reference.
+func Col(name string) *ColRef { return &ColRef{Name: strings.ToLower(name)} }
+
+// QCol returns a qualified column reference.
+func QCol(table, name string) *ColRef {
+	return &ColRef{Table: strings.ToLower(table), Name: strings.ToLower(name)}
+}
+
+// Var returns a variable reference; the name should include its sigil.
+func Var(name string) *VarRef { return &VarRef{Name: strings.ToLower(name)} }
+
+// Bin builds a binary expression.
+func Bin(op sqltypes.BinaryOp, l, r Expr) *BinExpr { return &BinExpr{Op: op, L: l, R: r} }
+
+// Eq builds an equality comparison.
+func Eq(l, r Expr) *BinExpr { return Bin(sqltypes.OpEq, l, r) }
+
+// And conjoins expressions, dropping nils; returns nil when all are nil.
+func And(exprs ...Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = Bin(sqltypes.OpAnd, out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package ast
+
+// Select is a SELECT query (optionally a UNION ALL chain head).
+type Select struct {
+	With     []CTE
+	Distinct bool
+	Top      Expr // TOP n, nil when absent
+	Items    []SelectItem
+	From     []TableExpr // comma-list; empty for SELECT <exprs> with no FROM
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Union    *Select // UNION ALL continuation, nil when absent
+
+	// OrderEnforced is set by the Aggify rewrite (paper Eq. 6) on queries
+	// whose aggregate must observe the cursor's ORDER BY: the planner then
+	// places a Sort below the aggregation and uses the streaming aggregate
+	// operator. It is never produced by the parser directly; the dialect
+	// surfaces it as OPTION (ORDER ENFORCED).
+	OrderEnforced bool
+}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // lower-cased; "" when unnamed
+	Star  bool   // SELECT * (Expr nil; Alias may hold a table qualifier)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CTE is one WITH common table expression. A CTE whose body references its
+// own name (directly or through UNION ALL) is recursive.
+type CTE struct {
+	Name  string // lower-cased
+	Cols  []string
+	Query *Select
+}
+
+// TableExpr is a FROM-clause item.
+type TableExpr interface {
+	tableExprNode()
+	String() string
+}
+
+// TableRef names a base table, table variable (@name), or CTE.
+type TableRef struct {
+	Name  string // lower-cased; includes '@' sigil for table variables
+	Alias string // lower-cased; "" when absent
+}
+
+// SubqueryRef is a derived table: (SELECT ...) alias.
+type SubqueryRef struct {
+	Query *Select
+	Alias string
+}
+
+// JoinKind enumerates join types.
+type JoinKind uint8
+
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+)
+
+func (k JoinKind) String() string {
+	if k == JoinLeft {
+		return "LEFT JOIN"
+	}
+	return "JOIN"
+}
+
+// Join is an explicit ANSI join.
+type Join struct {
+	Kind JoinKind
+	L, R TableExpr
+	On   Expr
+}
+
+func (*TableRef) tableExprNode()    {}
+func (*SubqueryRef) tableExprNode() {}
+func (*Join) tableExprNode()        {}
+
+// BindingName returns the name this table expression is visible as in the
+// enclosing scope ("" for joins, which expose their children's names).
+func BindingName(te TableExpr) string {
+	switch t := te.(type) {
+	case *TableRef:
+		if t.Alias != "" {
+			return t.Alias
+		}
+		return t.Name
+	case *SubqueryRef:
+		return t.Alias
+	}
+	return ""
+}

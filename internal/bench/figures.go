@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"aggify/internal/tpch"
+	"aggify/internal/wire"
+	"aggify/internal/workloads/applicability"
+	"aggify/internal/workloads/realw"
+	"aggify/internal/workloads/rubis"
+)
+
+// Config holds the experiment-wide knobs exposed by cmd/aggify-bench.
+type Config struct {
+	// SF is the TPC-H scale factor (the paper used 10; default here is
+	// laptop-scale).
+	SF float64
+	// Scale drives the RUBiS / customer-workload generators.
+	Scale float64
+	// Timeout is the per-run budget; expired runs are reported with the
+	// paper's ⊘ marker ("forcibly terminated").
+	Timeout time.Duration
+	// Reps is the number of repetitions (best time is reported, matching
+	// the paper's warm-buffer-pool setup).
+	Reps int
+	// Profile is the simulated client/server network.
+	Profile wire.Profile
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig() Config {
+	return Config{SF: 0.01, Scale: 1.0, Timeout: 2 * time.Minute, Reps: 3, Profile: wire.LAN}
+}
+
+func (c Config) reps() int {
+	if c.Reps < 1 {
+		return 1
+	}
+	return c.Reps
+}
+
+// best runs fn Reps times and returns the fastest non-failed result; a
+// timeout on the first rep is returned immediately (no point repeating).
+// A GC between runs keeps one measurement's garbage from being collected
+// inside the next (the engine holds the whole database live).
+func (c Config) best(fn func() (*Result, error)) (*Result, error) {
+	var best *Result
+	for i := 0; i < c.reps(); i++ {
+		runtime.GC()
+		r, err := fn()
+		if err != nil {
+			return nil, err
+		}
+		if r.TimedOut {
+			return r, nil
+		}
+		if best == nil || r.Elapsed < best.Elapsed {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// Table1 reproduces the paper's Table 1 (applicability analysis).
+func Table1() (*Table, error) {
+	reports, err := applicability.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 1: Cursor loop usage and Aggify applicability",
+		Columns: []string{"Workload", "Total # of while loops", "# of cursor loops", "Aggify-able"},
+		Notes: []string{
+			"paper: RUBiS 16 / 14 (87.5%) / 14; RUBBoS 41 / 14 (34.1%) / 14; Adempiere 127 / 109 (85.8%) / >80",
+			"RUBiS and RUBBoS are transcribed at the paper's full counts; Adempiere is a 1/3-scale subset with the paper's cursor-loop share",
+		},
+	}
+	for _, r := range reports {
+		t.AddRow(r.App,
+			fmt.Sprintf("%d", r.WhileLoops),
+			fmt.Sprintf("%d (%.1f%%)", r.CursorLoops, r.CursorShare()),
+			fmt.Sprintf("%d", r.Aggifiable))
+	}
+	return t, nil
+}
+
+// Fig9a reproduces Figure 9(a): TPC-H cursor-loop workload execution times
+// for Original, Aggify, and Aggify+ (log-scale bars in the paper).
+func Fig9a(cfg Config) (*Table, error) {
+	env, err := LoadTPCH(cfg.SF)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 9(a): TPC-H cursor loop workload (SF=%g)", cfg.SF),
+		Columns: []string{"Query", "Original", "Aggify", "Aggify+", "Aggify gain", "Aggify+ gain"},
+		Notes: []string{
+			"paper (SF=10): Q2/Q13/Q21 originals forcibly terminated; Q2,Q14,Q18,Q21 ≥10x from Aggify alone; Q13 ~1000x with Aggify+",
+		},
+	}
+	for _, q := range tpch.Queries() {
+		var rs [3]*Result
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := cfg.best(func() (*Result, error) { return env.RunTPCH(q, mode, 0, cfg.Timeout) })
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", q.ID, mode, err)
+			}
+			rs[mode] = r
+		}
+		t.AddRow(q.ID, fmtResult(rs[Original]), fmtResult(rs[Aggify]), fmtResult(rs[AggifyPlus]),
+			speedup(rs[Original], rs[Aggify]), speedup(rs[Original], rs[AggifyPlus]))
+	}
+	return t, nil
+}
+
+// Table2 reproduces the paper's Table 2: logical reads per mode.
+func Table2(cfg Config) (*Table, error) {
+	env, err := LoadTPCH(cfg.SF)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Table 2: Logical reads, TPC-H cursor loop workload (SF=%g)", cfg.SF),
+		Columns: []string{"Qry", "Original", "Aggify", "Aggify+", "Savings (Aggify)", "WT writes (orig)"},
+		Notes: []string{
+			"reads = base-table + worktable logical reads; the paper reports the same counter",
+			"Aggify+ may read MORE than Aggify but run faster (set-oriented plans) — the paper's Q13/Q21 effect",
+		},
+	}
+	for _, q := range tpch.Queries() {
+		var rs [3]*Result
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := env.RunTPCH(q, mode, 0, cfg.Timeout)
+			if err != nil {
+				return nil, err
+			}
+			rs[mode] = r
+		}
+		orig, agg, plus := rs[Original], rs[Aggify], rs[AggifyPlus]
+		origReads := "NA (⊘)"
+		savings := "NA"
+		wt := "NA"
+		if !orig.TimedOut {
+			origReads = fmtReads(orig.Stats.TotalReads())
+			savings = fmtReads(orig.Stats.TotalReads() - agg.Stats.TotalReads())
+			wt = fmtReads(orig.Stats.WorktableWrites)
+		}
+		t.AddRow(q.ID, origReads, fmtReads(agg.Stats.TotalReads()), fmtReads(plus.Stats.TotalReads()), savings, wt)
+	}
+	return t, nil
+}
+
+// Fig9b reproduces Figure 9(b): the RUBiS client-program scenarios.
+func Fig9b(cfg Config) (*Table, error) {
+	eng, err := LoadRubis(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 9(b): RUBiS client loops (scale=%g, RTT=%v)", cfg.Scale, cfg.Profile.RTT),
+		Columns: []string{"Scenario (iterations)", "Original", "Aggify", "Gain", "Data orig", "Data aggify"},
+		Notes: []string{
+			"time = client compute + deterministic network time (round trips x RTT + bytes/bandwidth)",
+			"paper: Aggify improves all five scenarios, mainly from reduced data transfer",
+		},
+	}
+	for _, sc := range rubis.Scenarios() {
+		var orig, agg *ClientResult
+		for i := 0; i < cfg.reps(); i++ {
+			o, err := RunRubisScenario(eng, sc, Original, cfg.Profile, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			if orig == nil || o.Elapsed < orig.Elapsed {
+				orig = o
+			}
+			a, err := RunRubisScenario(eng, sc, Aggify, cfg.Profile, cfg.Scale)
+			if err != nil {
+				return nil, err
+			}
+			if agg == nil || a.Elapsed < agg.Elapsed {
+				agg = a
+			}
+		}
+		gain := "-"
+		if agg.Elapsed > 0 {
+			gain = fmt.Sprintf("%.1fx", float64(orig.Elapsed)/float64(agg.Elapsed))
+		}
+		t.AddRow(fmt.Sprintf("%s (%d)", sc.Name, orig.Iterations),
+			fmtDur(orig.Elapsed), fmtDur(agg.Elapsed), gain,
+			fmtBytes(orig.Meter.BytesToClient), fmtBytes(agg.Meter.BytesToClient))
+	}
+	return t, nil
+}
+
+// Fig9c reproduces Figure 9(c): the customer-workload loops L1–L8.
+func Fig9c(cfg Config) (*Table, error) {
+	env, err := LoadRealW(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 9(c): customer workloads W1-W3, loops L1-L8 (scale=%g)", cfg.Scale),
+		Columns: []string{"Loop", "Workload", "Iterations", "Original", "Aggify", "Gain"},
+		Notes: []string{
+			"paper: gains 2x-22x; L8 (nested) >2x; L2/L6 iterate few tuples and insert into temp tables — small or no gain",
+		},
+	}
+	for _, l := range realw.Loops() {
+		orig, err := cfg.best(func() (*Result, error) { return env.RunLoop(l, Original, 0, cfg.Timeout) })
+		if err != nil {
+			return nil, fmt.Errorf("%s original: %w", l.ID, err)
+		}
+		agg, err := cfg.best(func() (*Result, error) { return env.RunLoop(l, Aggify, 0, cfg.Timeout) })
+		if err != nil {
+			return nil, fmt.Errorf("%s aggify: %w", l.ID, err)
+		}
+		iters := orig.Stats.WorktableWrites // rows the cursor materialized
+		t.AddRow(l.ID, l.Workload, fmt.Sprintf("%d", iters),
+			fmtResult(orig), fmtResult(agg), speedup(orig, agg))
+	}
+	return t, nil
+}
+
+// Fig10a reproduces Figure 10(a): Q2 scalability with the loop iteration
+// count (a predicate on P_PARTKEY, as in the paper's Experiment 1).
+func Fig10a(cfg Config, sweep []int) (*Table, error) {
+	env, err := LoadTPCH(cfg.SF)
+	if err != nil {
+		return nil, err
+	}
+	if len(sweep) == 0 {
+		parts := tpch.SizesFor(cfg.SF).Parts
+		for n := 20; n <= parts; n *= 10 {
+			sweep = append(sweep, n)
+		}
+	}
+	q, _ := tpch.QueryByID("Q2")
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10(a): Q2 scalability (SF=%g)", cfg.SF),
+		Columns: []string{"Iterations", "Original", "Aggify", "Aggify+"},
+		Notes: []string{
+			"paper: original degrades drastically beyond a point; Aggify stays flat; Aggify+ ~10x better throughout",
+		},
+	}
+	for _, n := range sweep {
+		var cells [3]string
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := cfg.best(func() (*Result, error) { return env.RunTPCH(q, mode, n, cfg.Timeout) })
+			if err != nil {
+				return nil, err
+			}
+			cells[mode] = fmtResult(r)
+		}
+		t.AddRow(fmt.Sprintf("%d", n), cells[0], cells[1], cells[2])
+	}
+	return t, nil
+}
+
+// Fig10b reproduces Figure 10(b): the MinCostSupplier client program —
+// execution time and data moved vs. iteration count (Experiments 2 and the
+// §10.6 data-movement measurement).
+func Fig10b(cfg Config, sweep []int) (*Table, error) {
+	env, err := LoadTPCH(cfg.SF)
+	if err != nil {
+		return nil, err
+	}
+	if len(sweep) == 0 {
+		parts := tpch.SizesFor(cfg.SF).Parts
+		for n := 20; n <= parts; n *= 10 {
+			sweep = append(sweep, n)
+		}
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10(b): MinCostSupplier client program (SF=%g, RTT=%v)", cfg.SF, cfg.Profile.RTT),
+		Columns: []string{"Iterations", "Original", "Aggify", "Data orig", "Data aggify", "Reduction"},
+		Notes: []string{
+			"paper: crossover ~2K iterations, then a consistent ~10x; data moved shrinks ~3.6x (140+n vs 38+n bytes/iter)",
+		},
+	}
+	for _, n := range sweep {
+		var orig, agg *ClientResult
+		for i := 0; i < cfg.reps(); i++ {
+			o, err := RunMinCostClient(env, n, Original, cfg.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if orig == nil || o.Elapsed < orig.Elapsed {
+				orig = o
+			}
+			a, err := RunMinCostClient(env, n, Aggify, cfg.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if agg == nil || a.Elapsed < agg.Elapsed {
+				agg = a
+			}
+		}
+		red := "-"
+		if agg.Meter.BytesToClient > 0 {
+			red = fmt.Sprintf("%.1fx", float64(orig.Meter.BytesToClient)/float64(agg.Meter.BytesToClient))
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmtDur(orig.Elapsed), fmtDur(agg.Elapsed),
+			fmtBytes(orig.Meter.BytesToClient), fmtBytes(agg.Meter.BytesToClient), red)
+	}
+	return t, nil
+}
+
+// Fig10c reproduces Figure 10(c): the 50-column cumulative-ROI program —
+// time and data moved vs. TOP n (Experiment 3).
+func Fig10c(cfg Config, sweep []int) (*Table, error) {
+	if len(sweep) == 0 {
+		sweep = []int{30, 300, 3000, 30000}
+	}
+	maxRows := 0
+	for _, n := range sweep {
+		if n > maxRows {
+			maxRows = n
+		}
+	}
+	eng, err := LoadROI(maxRows)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 10(c): Cumulative ROI, %d columns (RTT=%v)", ROIColumns, cfg.Profile.RTT),
+		Columns: []string{"Iterations", "Original", "Aggify", "Data orig", "Data aggify"},
+		Notes: []string{
+			"paper: ~10x beyond 3K iterations; original moves ~200 bytes/iteration, Aggify one 200-byte tuple total",
+		},
+	}
+	for _, n := range sweep {
+		var orig, agg *ClientResult
+		for i := 0; i < cfg.reps(); i++ {
+			o, err := RunROI(eng, n, Original, cfg.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if orig == nil || o.Elapsed < orig.Elapsed {
+				orig = o
+			}
+			a, err := RunROI(eng, n, Aggify, cfg.Profile)
+			if err != nil {
+				return nil, err
+			}
+			if agg == nil || a.Elapsed < agg.Elapsed {
+				agg = a
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmtDur(orig.Elapsed), fmtDur(agg.Elapsed),
+			fmtBytes(orig.Meter.BytesToClient), fmtBytes(agg.Meter.BytesToClient))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: loop L1 (workload W1) with varying iteration
+// counts (Experiment 4).
+func Fig11(cfg Config, sweep []int) (*Table, error) {
+	env, err := LoadRealW(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(sweep) == 0 {
+		max := realw.SizesFor(cfg.Scale).Activities
+		for n := 15; n <= max; n *= 10 {
+			sweep = append(sweep, n)
+		}
+	}
+	l, _ := realw.LoopByID("L1")
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 11: loop L1 scalability (scale=%g)", cfg.Scale),
+		Columns: []string{"Iterations", "Original", "Aggify", "Gain"},
+		Notes:   []string{"paper: benefits grow with scale (pipelining + reduced data movement)"},
+	}
+	for _, n := range sweep {
+		orig, err := cfg.best(func() (*Result, error) { return env.RunLoop(l, Original, n, cfg.Timeout) })
+		if err != nil {
+			return nil, err
+		}
+		agg, err := cfg.best(func() (*Result, error) { return env.RunLoop(l, Aggify, n, cfg.Timeout) })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", n), fmtResult(orig), fmtResult(agg), speedup(orig, agg))
+	}
+	return t, nil
+}

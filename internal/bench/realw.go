@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/workloads/realw"
+)
+
+var (
+	realwMu    sync.Mutex
+	realwCache = map[float64]*Env{}
+)
+
+// LoadRealW builds (or returns a cached) customer-workload environment
+// (W1–W3) with loops L1–L8 registered in both original and aggified form.
+func LoadRealW(scale float64) (*Env, error) {
+	realwMu.Lock()
+	defer realwMu.Unlock()
+	if env, ok := realwCache[scale]; ok {
+		return env, nil
+	}
+	eng := engine.New()
+	interp.Install(eng)
+	if err := realw.Load(eng, scale); err != nil {
+		return nil, err
+	}
+	env := newEnv(eng, scale)
+	env.SessionInit = realw.TempSetup
+	for _, l := range realw.Loops() {
+		if err := env.RegisterWorkloadFuncs(l.Setup, l.Funcs); err != nil {
+			return nil, err
+		}
+	}
+	realwCache[scale] = env
+	return env, nil
+}
+
+// RunLoop executes one customer-workload loop under a mode.
+func (env *Env) RunLoop(l *realw.Loop, mode Mode, limit int, timeout time.Duration) (*Result, error) {
+	res, err := env.RunDriver(l.Driver(limit), mode, timeout)
+	if err != nil {
+		return nil, err
+	}
+	res.Query = l.ID
+	return res, nil
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"aggify/internal/ast"
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+	"aggify/internal/wire"
+)
+
+// The Figure 10(c) experiment: the §2.2 cumulative-ROI program widened to
+// 50 investment categories per row (the paper's Experiment 3). The original
+// client program pulls every row (200 bytes each) and folds the 50 columns
+// locally; the Aggify version ships a 50-parameter custom aggregate and
+// receives one 200-byte tuple regardless of the iteration count.
+
+// ROIColumns is the number of per-category ROI columns.
+const ROIColumns = 50
+
+var (
+	roiMu    sync.Mutex
+	roiCache = map[int]*engine.Engine{}
+)
+
+// LoadROI builds (or returns a cached) engine with `rows` investment rows
+// and the 50-parameter aggregate registered.
+func LoadROI(rows int) (*engine.Engine, error) {
+	roiMu.Lock()
+	defer roiMu.Unlock()
+	if eng, ok := roiCache[rows]; ok {
+		return eng, nil
+	}
+	eng := engine.New()
+	interp.Install(eng)
+
+	cols := make([]storage.Column, 0, ROIColumns+2)
+	cols = append(cols, storage.Col("investor_id", sqltypes.Int), storage.Col("m", sqltypes.Int))
+	for i := 1; i <= ROIColumns; i++ {
+		cols = append(cols, storage.Col(fmt.Sprintf("roi%d", i), sqltypes.Float))
+	}
+	tab, err := eng.CreateTable("monthly_investments", storage.NewSchema(cols...))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(31337))
+	row := make([]sqltypes.Value, len(cols))
+	for r := 1; r <= rows; r++ {
+		row[0] = sqltypes.NewInt(int64(1 + r%100))
+		row[1] = sqltypes.NewInt(int64(r))
+		for i := 2; i < len(cols); i++ {
+			row[i] = sqltypes.NewFloat(rng.Float64()*0.1 - 0.02)
+		}
+		if err := tab.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	sess := eng.NewSession()
+	if _, err := interp.RunScript(sess, mustParseScript(roiAggregateSource())); err != nil {
+		return nil, err
+	}
+	roiCache[rows] = eng
+	return eng, nil
+}
+
+// roiAggregateSource generates the 50-parameter CREATE AGGREGATE (the
+// Figure 6 aggregate widened to 50 columns).
+func roiAggregateSource() string {
+	var params, fields, initB, accum, term []string
+	for i := 1; i <= ROIColumns; i++ {
+		params = append(params, fmt.Sprintf("@r%d float", i))
+		fields = append(fields, fmt.Sprintf("@c%d float", i))
+		initB = append(initB, fmt.Sprintf("set @c%d = 1.0;", i))
+		accum = append(accum, fmt.Sprintf("set @c%d = @c%d * (@r%d + 1);", i, i, i))
+		term = append(term, fmt.Sprintf("@c%d", i))
+	}
+	return fmt.Sprintf(`
+create aggregate CumROI50Agg(%s) returns tuple as
+begin
+  fields (%s, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      %s
+      set @isInitialized = true;
+    end
+    %s
+  end
+  terminate begin return (select %s); end
+end`,
+		strings.Join(params, ", "),
+		strings.Join(fields, ", "),
+		strings.Join(initB, "\n      "),
+		strings.Join(accum, "\n    "),
+		strings.Join(term, ", "))
+}
+
+// RunROI executes the cumulative-ROI client program over the first `top`
+// rows in Original or Aggify mode.
+func RunROI(eng *engine.Engine, top int, mode Mode, profile wire.Profile) (*ClientResult, error) {
+	return RunROIWithFetchSize(eng, top, 0, mode, profile)
+}
+
+// RunROIWithFetchSize is RunROI with an explicit client fetch batch size
+// (0 = the driver default), for the fetch-size ablation.
+func RunROIWithFetchSize(eng *engine.Engine, top, fetchSize int, mode Mode, profile wire.Profile) (*ClientResult, error) {
+	conn := client.Connect(eng, profile)
+	if fetchSize > 0 {
+		conn.FetchSize = fetchSize
+	}
+	res := &ClientResult{Scenario: "CumulativeROI50", Mode: mode, Iterations: top}
+	start := time.Now()
+	switch mode {
+	case Original:
+		var sel []string
+		for i := 1; i <= ROIColumns; i++ {
+			sel = append(sel, fmt.Sprintf("roi%d", i))
+		}
+		stmt, err := conn.Prepare(fmt.Sprintf("select top %d %s from monthly_investments", top, strings.Join(sel, ", ")))
+		if err != nil {
+			return nil, err
+		}
+		rs, err := stmt.Query()
+		if err != nil {
+			return nil, err
+		}
+		cum := make([]float64, ROIColumns)
+		for i := range cum {
+			cum[i] = 1.0
+		}
+		n := 0
+		for rs.Next() {
+			row := rs.Row()
+			for i := 0; i < ROIColumns; i++ {
+				f, _ := row[i].AsFloat()
+				cum[i] *= f + 1
+			}
+			n++
+		}
+		rs.Close()
+		sum := 0.0
+		for i := range cum {
+			sum += cum[i] - 1
+		}
+		res.Value = sqltypes.NewFloat(sum)
+		res.Iterations = n
+	case Aggify:
+		var args []string
+		for i := 1; i <= ROIColumns; i++ {
+			args = append(args, fmt.Sprintf("q.roi%d", i))
+		}
+		var sel []string
+		for i := 1; i <= ROIColumns; i++ {
+			sel = append(sel, fmt.Sprintf("roi%d", i))
+		}
+		stmt, err := conn.Prepare(fmt.Sprintf(
+			"select CumROI50Agg(%s) from (select top %d %s from monthly_investments) q",
+			strings.Join(args, ", "), top, strings.Join(sel, ", ")))
+		if err != nil {
+			return nil, err
+		}
+		row, err := stmt.QueryRow()
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		if !row[0].IsNull() {
+			for _, v := range row[0].Tuple() {
+				f, _ := v.AsFloat()
+				sum += f - 1
+			}
+		} else {
+			sum = 0
+		}
+		res.Value = sqltypes.NewFloat(sum)
+	default:
+		return nil, fmt.Errorf("bench: ROI supports Original and Aggify modes")
+	}
+	res.Compute = time.Since(start)
+	res.Network = conn.NetworkTime()
+	res.Elapsed = res.Compute + res.Network
+	res.Meter = conn.Meter()
+	return res, nil
+}
+
+func mustParseScript(src string) []ast.Stmt { return parser.MustParse(src) }

@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/sqltypes"
+	"aggify/internal/wire"
+	"aggify/internal/workloads/rubis"
+)
+
+var (
+	rubisMu    sync.Mutex
+	rubisCache = map[float64]*engine.Engine{}
+)
+
+// LoadRubis builds (or returns a cached) RUBiS engine at the given scale
+// with every scenario's custom aggregate registered server-side.
+func LoadRubis(scale float64) (*engine.Engine, error) {
+	rubisMu.Lock()
+	defer rubisMu.Unlock()
+	if eng, ok := rubisCache[scale]; ok {
+		return eng, nil
+	}
+	eng := engine.New()
+	interp.Install(eng)
+	if err := rubis.Load(eng, scale); err != nil {
+		return nil, err
+	}
+	setup := client.Connect(eng, wire.Profile{})
+	for _, sc := range rubis.Scenarios() {
+		if err := setup.Exec(sc.AggregateSetup); err != nil {
+			return nil, fmt.Errorf("bench: rubis %s: %w", sc.Name, err)
+		}
+	}
+	rubisCache[scale] = eng
+	return eng, nil
+}
+
+// ClientResult is one measured client-program execution (Figure 9(b) and
+// the Figure 10(b)/(c) data-movement experiments).
+type ClientResult struct {
+	Scenario string
+	Mode     Mode
+	// Iterations is the number of rows the original loop iterates (shown in
+	// the paper's x-axis labels).
+	Iterations int
+	// Compute is the measured local time; Network the deterministic virtual
+	// network time for the metered traffic; Elapsed their sum.
+	Compute time.Duration
+	Network time.Duration
+	Elapsed time.Duration
+	Meter   wire.Meter
+	Value   sqltypes.Value
+}
+
+// RunRubisScenario executes one Figure 9(b) scenario in Original or Aggify
+// mode over the given network profile.
+func RunRubisScenario(eng *engine.Engine, sc *rubis.Scenario, mode Mode, profile wire.Profile, scale float64) (*ClientResult, error) {
+	conn := client.Connect(eng, profile)
+	arg := sc.Arg(rubis.SizesFor(scale))
+	res := &ClientResult{Scenario: sc.Name, Mode: mode}
+	start := time.Now()
+	switch mode {
+	case Original:
+		v, iters, err := sc.Original(conn, arg)
+		if err != nil {
+			return nil, err
+		}
+		res.Value = v
+		res.Iterations = iters
+	case Aggify:
+		v, err := sc.Aggified(conn, arg)
+		if err != nil {
+			return nil, err
+		}
+		res.Value = v
+	default:
+		return nil, fmt.Errorf("bench: rubis scenarios support Original and Aggify modes")
+	}
+	res.Compute = time.Since(start)
+	res.Network = conn.NetworkTime()
+	res.Elapsed = res.Compute + res.Network
+	res.Meter = conn.Meter()
+	return res, nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"aggify/internal/tpch"
+)
+
+// TestPaperShape is the headline regression test: on the per-invocation
+// cursor-loop queries, Aggify must beat the original by a wide margin and
+// Aggify+ must also win (the Figure 9(a) shape). Factors are asserted
+// loosely (>2x) to stay robust to machine noise; EXPERIMENTS.md records the
+// measured medians.
+func TestPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape test runs seconds of benchmarks")
+	}
+	env, err := LoadTPCH(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(q *tpch.WorkloadQuery, mode Mode) time.Duration {
+		b := time.Hour
+		for i := 0; i < 3; i++ {
+			r, err := env.RunTPCH(q, mode, 0, time.Minute)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.TimedOut {
+				t.Fatalf("%s %s timed out", q.ID, mode)
+			}
+			if r.Elapsed < b {
+				b = r.Elapsed
+			}
+		}
+		return b
+	}
+	for _, id := range []string{"Q2", "Q13", "Q18"} {
+		q, _ := tpch.QueryByID(id)
+		orig := best(q, Original)
+		agg := best(q, Aggify)
+		plus := best(q, AggifyPlus)
+		if orig < 2*agg {
+			t.Errorf("%s: Aggify gain %.1fx, want > 2x (orig=%v aggify=%v)",
+				id, float64(orig)/float64(agg), orig, agg)
+		}
+		if orig < plus {
+			t.Errorf("%s: Aggify+ (%v) slower than original (%v)", id, plus, orig)
+		}
+	}
+}
+
+// TestFiguresSmoke exercises every table/figure generator end to end at a
+// tiny scale.
+func TestFiguresSmoke(t *testing.T) {
+	cfg := Config{SF: 0.002, Scale: 0.1, Timeout: time.Minute, Reps: 1, Profile: DefaultConfig().Profile}
+	if _, err := Table1(); err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func() (*Table, error){
+		"fig9a":  func() (*Table, error) { return Fig9a(cfg) },
+		"table2": func() (*Table, error) { return Table2(cfg) },
+		"fig9b":  func() (*Table, error) { return Fig9b(cfg) },
+		"fig9c":  func() (*Table, error) { return Fig9c(cfg) },
+		"fig10a": func() (*Table, error) { return Fig10a(cfg, []int{5, 50}) },
+		"fig10b": func() (*Table, error) { return Fig10b(cfg, []int{5, 50}) },
+		"fig10c": func() (*Table, error) { return Fig10c(cfg, []int{30, 300}) },
+		"fig11":  func() (*Table, error) { return Fig11(cfg, []int{10, 100}) },
+	} {
+		tab, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tab.Rows) == 0 || tab.Render() == "" {
+			t.Fatalf("%s: empty table", name)
+		}
+	}
+}

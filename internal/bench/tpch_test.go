@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"aggify/internal/tpch"
+)
+
+const testSF = 0.002
+
+func TestAllModesAgreeOnTinyTPCH(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tpch.Queries() {
+		limit := 30
+		var results [3]*Result
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := env.RunTPCH(q, mode, limit, 2*time.Minute)
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.ID, mode, err)
+			}
+			if r.TimedOut {
+				t.Fatalf("%s %s timed out at tiny scale", q.ID, mode)
+			}
+			results[mode] = r
+		}
+		if results[Original].Rows != results[Aggify].Rows || results[Original].Rows != results[AggifyPlus].Rows {
+			t.Fatalf("%s: row counts %d / %d / %d", q.ID,
+				results[Original].Rows, results[Aggify].Rows, results[AggifyPlus].Rows)
+		}
+		if results[Original].Checksum != results[Aggify].Checksum {
+			t.Fatalf("%s: Original and Aggify results differ", q.ID)
+		}
+		if results[Original].Checksum != results[AggifyPlus].Checksum {
+			t.Fatalf("%s: Original and Aggify+ results differ", q.ID)
+		}
+	}
+}
+
+func TestAggifyEliminatesWorktables(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := tpch.QueryByID("Q2")
+	orig, err := env.RunTPCH(q, Original, 20, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := env.RunTPCH(q, Aggify, 20, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Stats.WorktableWrites == 0 {
+		t.Fatal("original cursor loops must materialize worktables")
+	}
+	if agg.Stats.WorktableWrites != 0 {
+		t.Fatalf("aggify run still wrote %d worktable rows", agg.Stats.WorktableWrites)
+	}
+	if agg.Stats.TotalReads() >= orig.Stats.TotalReads() {
+		t.Fatalf("aggify reads (%d) should undercut original (%d)",
+			agg.Stats.TotalReads(), orig.Stats.TotalReads())
+	}
+}
+
+func TestTimeoutReporting(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := tpch.QueryByID("Q19") // full scan of lineitem x part through a cursor
+	r, err := env.RunTPCH(q, Original, 0, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.TimedOut {
+		t.Fatal("nanosecond budget must time out")
+	}
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/wire"
+	"aggify/internal/workloads/realw"
+	"aggify/internal/workloads/rubis"
+)
+
+func TestRealWorkloadModesAgree(t *testing.T) {
+	env, err := LoadRealW(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range realw.Loops() {
+		var results []*Result
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := env.RunLoop(l, mode, 0, time.Minute)
+			if err != nil {
+				t.Fatalf("%s %s: %v", l.ID, mode, err)
+			}
+			if r.TimedOut {
+				t.Fatalf("%s %s timed out", l.ID, mode)
+			}
+			results = append(results, r)
+		}
+		for _, r := range results[1:] {
+			if r.Checksum != results[0].Checksum {
+				t.Fatalf("%s: %s result differs from Original", l.ID, r.Mode)
+			}
+		}
+	}
+}
+
+func TestRealWorkloadNestedLoopTransforms(t *testing.T) {
+	env, err := LoadRealW(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L8 is nested: both its loops must be gone from the aggified UDF.
+	def := env.AggifiedFuncs["segmentscore"]
+	if def == nil {
+		t.Fatal("segmentscore not transformed")
+	}
+	found := 0
+	for name := range env.AggifiedFuncs {
+		_ = name
+		found++
+	}
+	if found != 8 {
+		t.Fatalf("expected 8 transformed loop UDFs, got %d", found)
+	}
+}
+
+func TestRubisScenariosAgree(t *testing.T) {
+	eng, err := LoadRubis(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range rubis.Scenarios() {
+		orig, err := RunRubisScenario(eng, sc, Original, wire.LAN, 0.2)
+		if err != nil {
+			t.Fatalf("%s original: %v", sc.Name, err)
+		}
+		agg, err := RunRubisScenario(eng, sc, Aggify, wire.LAN, 0.2)
+		if err != nil {
+			t.Fatalf("%s aggified: %v", sc.Name, err)
+		}
+		of, _ := orig.Value.AsFloat()
+		af, _ := agg.Value.AsFloat()
+		if d := of - af; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("%s: original %v vs aggified %v", sc.Name, orig.Value, agg.Value)
+		}
+		// The aggified client must move far less data when the loop is
+		// non-trivial.
+		if orig.Iterations > 20 && agg.Meter.BytesToClient*3 > orig.Meter.BytesToClient {
+			t.Fatalf("%s: aggified moved %d bytes vs %d (iters=%d)",
+				sc.Name, agg.Meter.BytesToClient, orig.Meter.BytesToClient, orig.Iterations)
+		}
+	}
+}
+
+func TestTempTableLoopsShareState(t *testing.T) {
+	env, err := LoadRealW(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := realw.LoopByID("L2")
+	r, err := env.RunLoop(l, Aggify, 0, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows != 1 {
+		t.Fatalf("rows = %d", r.Rows)
+	}
+	_ = sqltypes.Null
+}

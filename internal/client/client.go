@@ -1,0 +1,221 @@
+// Package client provides the application side of the paper's database-
+// backed-application experiments (§2.2, Figures 2 and 8): a JDBC-style API
+// (Connect / Prepare / Query / ResultSet iteration) whose traffic crosses
+// the wire meter. Client cursor loops fetch rows in batches (like JDBC's
+// fetch size), so the original programs pay a round trip per batch and
+// transfer every row, while Aggify-rewritten programs ship one CREATE
+// AGGREGATE plus one query and receive a single row back.
+package client
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/exec"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+	"aggify/internal/wire"
+)
+
+// DefaultFetchSize is the rows-per-round-trip batch size (JDBC default-ish).
+const DefaultFetchSize = 128
+
+// Conn is a client connection to an engine, with traffic metering.
+type Conn struct {
+	sess      *engine.Session
+	profile   wire.Profile
+	meter     wire.Meter
+	FetchSize int
+}
+
+// Connect opens a connection (its own server session) with the given
+// network profile.
+func Connect(eng *engine.Engine, profile wire.Profile) *Conn {
+	return &Conn{sess: eng.NewSession(), profile: profile, FetchSize: DefaultFetchSize}
+}
+
+// Session exposes the server session (for statistics in benchmarks).
+func (c *Conn) Session() *engine.Session { return c.sess }
+
+// Meter returns the accumulated traffic totals.
+func (c *Conn) Meter() wire.Meter { return c.meter }
+
+// ResetMeter clears the traffic totals.
+func (c *Conn) ResetMeter() { c.meter = wire.Meter{} }
+
+// NetworkTime returns the virtual network time for the accumulated traffic.
+func (c *Conn) NetworkTime() time.Duration {
+	return c.meter.NetworkTime(c.profile)
+}
+
+// chargeRequest accounts one client→server message of the given size.
+func (c *Conn) chargeRequest(bytes int) {
+	c.meter.RoundTrips++
+	c.meter.BytesToServer += int64(bytes) + wire.RequestOverhead
+}
+
+// Exec sends a script (DDL, DML, procedure definitions) to the server and
+// executes it. One round trip; the script text is the payload.
+func (c *Conn) Exec(src string) error {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	c.chargeRequest(len(src))
+	c.meter.BytesToClient += wire.RequestOverhead // status response
+	_, err = interp.RunScript(c.sess, stmts)
+	return err
+}
+
+// Stmt is a prepared statement.
+type Stmt struct {
+	conn  *Conn
+	query *ast.Select
+	src   string
+}
+
+// Prepare parses a SELECT with optional '?' placeholders. Preparation costs
+// one round trip (the statement text travels once; executions then send
+// only parameters).
+func (c *Conn) Prepare(src string) (*Stmt, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("client: Prepare expects a single statement")
+	}
+	qs, ok := stmts[0].(*ast.QueryStmt)
+	if !ok {
+		return nil, fmt.Errorf("client: Prepare expects a SELECT")
+	}
+	c.chargeRequest(len(src))
+	c.meter.BytesToClient += wire.RequestOverhead
+	return &Stmt{conn: c, query: qs.Query, src: src}, nil
+}
+
+// Query executes the statement with the given parameter values and returns
+// a result set cursor. The server runs the query to completion; the client
+// then fetches rows in FetchSize batches, one round trip per batch.
+func (s *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
+	c := s.conn
+	ctx := c.sess.Ctx(nil, nil)
+	ctx.Params = args
+	c.chargeRequest(int(wire.RowsSize([][]sqltypes.Value{args})))
+	cols, rows, err := c.sess.Query(s.query, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{conn: c, cols: cols, rows: rows, pos: -1, unfetched: len(rows)}, nil
+}
+
+// QueryRow runs the statement and decodes the single result row (nil when
+// empty).
+func (s *Stmt) QueryRow(args ...sqltypes.Value) ([]sqltypes.Value, error) {
+	rs, err := s.Query(args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	if !rs.Next() {
+		return nil, nil
+	}
+	return rs.Row(), nil
+}
+
+// Rows is a client-side result cursor (the ResultSet of Figure 2).
+type Rows struct {
+	conn      *Conn
+	cols      []string
+	rows      []exec.Row
+	pos       int
+	fetched   int // rows already transferred
+	unfetched int
+}
+
+// Next advances to the next row, fetching the next batch over the wire when
+// the local buffer is exhausted.
+func (r *Rows) Next() bool {
+	if r.pos+1 >= len(r.rows) {
+		return false
+	}
+	r.pos++
+	if r.pos >= r.fetched {
+		// Fetch the next batch: one round trip, rows encoded on the wire.
+		batch := r.conn.FetchSize
+		if batch <= 0 {
+			batch = DefaultFetchSize
+		}
+		hi := r.fetched + batch
+		if hi > len(r.rows) {
+			hi = len(r.rows)
+		}
+		transferred := r.rows[r.fetched:hi]
+		r.conn.meter.RoundTrips++
+		r.conn.meter.BytesToServer += wire.RequestOverhead
+		r.conn.meter.BytesToClient += wire.RowsSize(transferred) + wire.RequestOverhead
+		r.conn.meter.RowsTransferred += int64(len(transferred))
+		r.fetched = hi
+	}
+	return true
+}
+
+// Row returns the current row.
+func (r *Rows) Row() []sqltypes.Value { return r.rows[r.pos] }
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// ordinal finds a column by name.
+func (r *Rows) ordinal(name string) int {
+	name = strings.ToLower(name)
+	for i, c := range r.cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the named column of the current row (NULL for unknown
+// names, mirroring lenient driver accessors).
+func (r *Rows) Value(name string) sqltypes.Value {
+	i := r.ordinal(name)
+	if i < 0 {
+		return sqltypes.Null
+	}
+	return r.rows[r.pos][i]
+}
+
+// Float64 returns the named column as float64 (0 for NULL).
+func (r *Rows) Float64(name string) float64 {
+	f, _ := r.Value(name).AsFloat()
+	return f
+}
+
+// Int64 returns the named column as int64 (0 for NULL).
+func (r *Rows) Int64(name string) int64 {
+	i, _ := r.Value(name).AsInt()
+	return i
+}
+
+// String returns the named column as a string ("" for NULL).
+func (r *Rows) String(name string) string {
+	v := r.Value(name)
+	if v.IsNull() {
+		return ""
+	}
+	return v.Display()
+}
+
+// Close releases the cursor (remaining unfetched rows are never
+// transferred — like closing a JDBC ResultSet early).
+func (r *Rows) Close() {}
+
+// ServerStats exposes the server session's I/O statistics snapshot.
+func (c *Conn) ServerStats() storage.Snapshot { return c.sess.Stats.Snapshot() }

@@ -1,0 +1,829 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aggify/internal/analysis"
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// Options configure the transformation.
+type Options struct {
+	// LiftForLoops enables the §8.1 enhancement: counted FOR loops are
+	// rewritten into cursor loops over recursive CTEs and then aggified.
+	LiftForLoops bool
+	// KeepDeadDeclarations disables the §6.2 dead-declaration cleanup.
+	KeepDeadDeclarations bool
+}
+
+// LoopResult reports one transformed loop.
+type LoopResult struct {
+	Cursor    string
+	Aggregate *ast.CreateAggregate
+	// OrderSensitive marks aggregates from ORDER BY cursors: registration
+	// must enforce the streaming-aggregate rule (paper Eq. 6).
+	OrderSensitive bool
+	// The paper's variable sets, for inspection and tests.
+	VDelta []string // V_Δ: variables referenced in the loop body
+	VFetch []string // V_fetch: variables assigned by FETCH
+	VLocal []string // V_local: loop-local variables
+	Fields []string // V_F (Eq. 1), without the isInitialized flag
+	Params []string // P_accum (Eq. 3), in parameter order
+	VInit  []string // V_init (Eq. 4)
+	VTerm  []string // V_term: live at loop end
+}
+
+// Result is the outcome of transforming a module body.
+type Result struct {
+	// Loops lists the transformed loops, innermost first.
+	Loops []*LoopResult
+	// Skipped lists loops that failed the applicability check, with
+	// reasons.
+	Skipped []error
+}
+
+// Aggregates returns the generated aggregate definitions in registration
+// order.
+func (r *Result) Aggregates() []*ast.CreateAggregate {
+	out := make([]*ast.CreateAggregate, len(r.Loops))
+	for i, l := range r.Loops {
+		out[i] = l.Aggregate
+	}
+	return out
+}
+
+// TransformFunction applies Aggify to a scalar UDF, returning the rewritten
+// function (a deep copy; the input is not modified) and the generated
+// aggregates. Functions with no transformable loops return a Result with
+// empty Loops and the original definition cloned.
+func TransformFunction(def *ast.CreateFunction, opts Options) (*ast.CreateFunction, *Result, error) {
+	clone := ast.CloneStmt(def).(*ast.CreateFunction)
+	res, err := transformBody(clone.Name, clone.Params, clone.Body, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, res, nil
+}
+
+// TransformProcedure applies Aggify to a stored procedure.
+func TransformProcedure(def *ast.CreateProcedure, opts Options) (*ast.CreateProcedure, *Result, error) {
+	clone := ast.CloneStmt(def).(*ast.CreateProcedure)
+	res, err := transformBody(clone.Name, clone.Params, clone.Body, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, res, nil
+}
+
+// TransformBlock applies Aggify to a bare statement block (client-side
+// programs); params declares the inputs bound before the block runs.
+func TransformBlock(owner string, params []ast.Param, body *ast.Block, opts Options) (*ast.Block, *Result, error) {
+	clone := ast.CloneStmt(body).(*ast.Block)
+	res, err := transformBody(owner, params, clone, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clone, res, nil
+}
+
+// transformBody is Algorithm 1 driven to fixpoint: it transforms innermost
+// loops first (§6.3.1) and stops when no transformable loops remain.
+func transformBody(owner string, params []ast.Param, body *ast.Block, opts Options) (*Result, error) {
+	if opts.LiftForLoops {
+		liftForLoops(body)
+	}
+	res := &Result{}
+	counter := 0
+	skippedWhiles := map[*ast.WhileStmt]bool{}
+	for {
+		loops := FindCursorLoops(body)
+		var pick *CursorLoop
+		for _, l := range loops {
+			if skippedWhiles[l.While] {
+				continue
+			}
+			// Innermost first: the loop body must contain no other cursor's
+			// operations that are themselves transformable loops.
+			if ContainsCursorOps(l.While.Body, l.Cursor) {
+				inner := FindCursorLoops(l.While.Body)
+				allSkipped := true
+				for _, il := range inner {
+					if !skippedWhiles[il.While] {
+						allSkipped = false
+						break
+					}
+				}
+				// Untransformable inner cursor ops stay in Δ (nested loops
+				// are legal inside aggregates); but if an inner loop is
+				// still pending transformation, do it first.
+				if !allSkipped {
+					continue
+				}
+			}
+			pick = l
+			break
+		}
+		if pick == nil {
+			return res, nil
+		}
+		counter++
+		lr, err := transformLoop(owner, params, body, pick, counter)
+		if err != nil {
+			if _, notOK := err.(*NotAggifiableError); notOK {
+				res.Skipped = append(res.Skipped, err)
+				skippedWhiles[pick.While] = true
+				continue
+			}
+			return nil, err
+		}
+		res.Loops = append(res.Loops, lr)
+		if !opts.KeepDeadDeclarations {
+			removeDeadDeclarations(body, params)
+		}
+	}
+}
+
+// typeTable collects declared types of variables (parameters + DECLAREs).
+func typeTable(params []ast.Param, body ast.Stmt) map[string]sqltypes.Type {
+	types := map[string]sqltypes.Type{}
+	for _, p := range params {
+		types[p.Name] = p.Type
+	}
+	ast.WalkStmt(body, func(s ast.Stmt) bool {
+		if d, ok := s.(*ast.DeclareVar); ok {
+			types[d.Name] = d.Type
+		}
+		return true
+	})
+	return types
+}
+
+// transformLoop transforms one cursor loop in place.
+func transformLoop(owner string, params []ast.Param, body *ast.Block, loop *CursorLoop, counter int) (*LoopResult, error) {
+	if err := CheckApplicability(loop, OuterTableVars(body, loop.While.Body)); err != nil {
+		return nil, err
+	}
+	types := typeTable(params, body)
+
+	// Dataflow analysis over the module body with parameters modeled as
+	// entry definitions (Algorithm 1, line 1).
+	analysisBody := &ast.Block{}
+	for _, p := range params {
+		// Parameters are bound by the caller: model them as declarations
+		// with a (non-nil) initializer so they count as non-NULL priors.
+		init := p.Default
+		if init == nil {
+			init = ast.Var(p.Name)
+		}
+		analysisBody.Stmts = append(analysisBody.Stmts, &ast.DeclareVar{Name: p.Name, Type: p.Type, Init: init})
+	}
+	analysisBody.Stmts = append(analysisBody.Stmts, body)
+	g := analysis.Build(analysisBody)
+	a := analysis.Analyze(g)
+	region := a.NodesOf(loop.While) // Δ plus the loop condition node
+
+	// V_Δ, V_fetch, V_local (§5.1).
+	vDelta := map[string]bool{}
+	usedInDelta := map[string]bool{}
+	declaredInDelta := map[string]bool{}
+	for n := range region {
+		if n == g.CondNode[loop.While] {
+			continue // the WHILE condition reads only @@fetch_status
+		}
+		for _, v := range g.Defs[n.ID] {
+			if v != ast.FetchStatusVar {
+				vDelta[v] = true
+			}
+		}
+		for _, v := range g.Uses[n.ID] {
+			if v != ast.FetchStatusVar {
+				vDelta[v] = true
+				usedInDelta[v] = true
+			}
+		}
+	}
+	ast.WalkStmt(loop.While.Body, func(s ast.Stmt) bool {
+		if d, ok := s.(*ast.DeclareVar); ok {
+			declaredInDelta[d.Name] = true
+		}
+		return true
+	})
+	vFetch := map[string]bool{}
+	for _, v := range loop.FetchVars() {
+		vFetch[v] = true
+	}
+
+	// The program point after the loop: the CLOSE statement's node.
+	afterNode := g.StmtNode[loop.Close]
+	if afterNode == nil {
+		return nil, fmt.Errorf("aggify: internal: CLOSE node missing from CFG")
+	}
+	liveAfter := func(v string) bool { return a.LiveAtEntry(afterNode, v) }
+
+	vLocal := map[string]bool{}
+	for v := range declaredInDelta {
+		if !liveAfter(v) {
+			vLocal[v] = true
+		}
+	}
+
+	// V_F = V_Δ − (V_fetch ∪ V_local)  (Eq. 1).
+	vF := map[string]bool{}
+	for v := range vDelta {
+		if !vFetch[v] && !vLocal[v] {
+			vF[v] = true
+		}
+	}
+
+	// P_accum (Eqs. 2–3): variables used in Δ with a reaching definition
+	// outside the loop.
+	pAccum := map[string]bool{}
+	for n := range region {
+		for _, v := range g.Uses[n.ID] {
+			if v == ast.FetchStatusVar || pAccum[v] {
+				continue
+			}
+			for _, d := range a.ReachingDefs(n, v) {
+				if !region[d.Node] {
+					pAccum[v] = true
+					break
+				}
+			}
+		}
+	}
+
+	// V_init = P_accum − V_fetch  (Eq. 4).
+	vInit := map[string]bool{}
+	for v := range pAccum {
+		if !vFetch[v] {
+			vInit[v] = true
+		}
+	}
+	// Every initialized variable must be a field.
+	for v := range vInit {
+		if !vF[v] {
+			vF[v] = true
+		}
+	}
+
+	// V_term: fields live at the end of the loop (§5.4).
+	var vTerm []string
+	for v := range vF {
+		if liveAfter(v) {
+			vTerm = append(vTerm, v)
+		}
+	}
+	sort.Strings(vTerm)
+
+	// Missing types mean the variable was never declared.
+	for v := range vF {
+		if _, ok := types[v]; !ok {
+			return nil, notAggifiable("variable %s has no visible declaration", v)
+		}
+	}
+
+	// Parameter list: fetch variables first (they become the projected
+	// column arguments), then the initialized fields.
+	initFlag := freshVar("@aggify_init", vDelta, types)
+	doneFlag := freshVar("@aggify_done", vDelta, types)
+
+	var paramOrder []string // P_accum in final order
+	var aggParams []ast.Param
+	for _, v := range loop.FetchVars() {
+		if !pAccum[v] {
+			// The fetch variable is unused inside the loop body; it still
+			// becomes a parameter so the aggregate signature matches the
+			// projection (its value is simply unused).
+			if !usedInDelta[v] {
+				continue
+			}
+		}
+		paramOrder = append(paramOrder, v)
+		aggParams = append(aggParams, ast.Param{Name: v, Type: types[v]})
+	}
+	var initOrder []string
+	for v := range vInit {
+		initOrder = append(initOrder, v)
+	}
+	sort.Strings(initOrder)
+	paramName := map[string]string{}
+	for _, v := range initOrder {
+		pn := "@p_" + strings.TrimPrefix(v, "@")
+		for vDelta[pn] || types[pn].ID != sqltypes.TUnknown {
+			pn += "_"
+		}
+		paramName[v] = pn
+		paramOrder = append(paramOrder, v)
+		aggParams = append(aggParams, ast.Param{Name: pn, Type: types[v]})
+	}
+
+	// Fields: initialized fields, then remaining fields, then the flags.
+	var fieldOrder []string
+	for _, v := range initOrder {
+		fieldOrder = append(fieldOrder, v)
+	}
+	var rest []string
+	for v := range vF {
+		if !vInit[v] {
+			rest = append(rest, v)
+		}
+	}
+	sort.Strings(rest)
+	fieldOrder = append(fieldOrder, rest...)
+
+	usesBreak := loopUsesBreak(loop.While.Body)
+	fields := make([]ast.ColumnDef, 0, len(fieldOrder)+2)
+	for _, v := range fieldOrder {
+		fields = append(fields, ast.ColumnDef{Name: v, Type: types[v]})
+	}
+	fields = append(fields, ast.ColumnDef{Name: initFlag, Type: sqltypes.Bit})
+	if usesBreak {
+		fields = append(fields, ast.ColumnDef{Name: doneFlag, Type: sqltypes.Bit})
+	}
+
+	// Accumulate body: the guarded field-initialization block, then Δ with
+	// the inner FETCH removed and BREAK/CONTINUE normalized.
+	initBlock := &ast.Block{}
+	for _, v := range initOrder {
+		initBlock.Stmts = append(initBlock.Stmts, &ast.SetStmt{Targets: []string{v}, Value: ast.Var(paramName[v])})
+	}
+	if usesBreak {
+		initBlock.Stmts = append(initBlock.Stmts, &ast.SetStmt{Targets: []string{doneFlag}, Value: ast.Lit(sqltypes.NewBool(false))})
+	}
+	initBlock.Stmts = append(initBlock.Stmts, &ast.SetStmt{Targets: []string{initFlag}, Value: ast.Lit(sqltypes.NewBool(true))})
+
+	delta := ast.CloneStmt(loop.While.Body).(*ast.Block)
+	stripInnerFetch(delta, loop.Cursor)
+	normalizeBreakContinue(delta, doneFlag)
+
+	accum := &ast.Block{Stmts: []ast.Stmt{
+		&ast.IfStmt{
+			Cond: ast.Eq(ast.Var(initFlag), ast.Lit(sqltypes.NewBool(false))),
+			Then: initBlock,
+		},
+	}}
+	if usesBreak {
+		accum.Stmts = append(accum.Stmts, &ast.IfStmt{
+			Cond: ast.Eq(ast.Var(doneFlag), ast.Lit(sqltypes.NewBool(true))),
+			Then: &ast.ReturnStmt{},
+		})
+	}
+	accum.Stmts = append(accum.Stmts, delta.Stmts...)
+
+	// An empty cursor result leaves the loop body unexecuted and the live
+	// variables at their prior values, while the aggregate's Terminate
+	// returns its (never-initialized, NULL) fields. The paper's direct
+	// rewrite (Fig. 7) is only exact when every V_term variable is NULL
+	// before the loop — true for its running example, but not in general.
+	// When some prior may be non-NULL, we generate a guarded rewrite: the
+	// aggregate additionally returns its isInitialized flag, and the
+	// assignment to the live variables only happens when at least one row
+	// was accumulated.
+	condNode := g.CondNode[loop.While]
+	nullPrior := func(v string) bool {
+		for _, d := range a.ReachingDefs(condNode, v) {
+			if region[d.Node] {
+				continue // defs inside Δ only matter when the loop ran
+			}
+			dv, ok := d.Node.Stmt.(*ast.DeclareVar)
+			if !ok || dv.Init != nil {
+				return false
+			}
+		}
+		return true
+	}
+	guarded := false
+	for _, v := range vTerm {
+		if !nullPrior(v) {
+			guarded = true
+		}
+	}
+
+	// Terminate (§5.4).
+	var returns sqltypes.Type
+	var term *ast.Block
+	switch {
+	case len(vTerm) == 0:
+		returns = sqltypes.Int
+		term = &ast.Block{Stmts: []ast.Stmt{&ast.ReturnStmt{Value: ast.IntLit(0)}}}
+	case guarded:
+		returns = sqltypes.Type{ID: sqltypes.TTuple}
+		items := []ast.SelectItem{{Expr: ast.Var(initFlag), Alias: "aggify_flag"}}
+		for _, v := range vTerm {
+			items = append(items, ast.SelectItem{Expr: ast.Var(v), Alias: strings.TrimPrefix(v, "@")})
+		}
+		term = &ast.Block{Stmts: []ast.Stmt{&ast.ReturnStmt{
+			Value: &ast.Subquery{Query: &ast.Select{Items: items}},
+		}}}
+	case len(vTerm) == 1:
+		returns = types[vTerm[0]]
+		term = &ast.Block{Stmts: []ast.Stmt{&ast.ReturnStmt{Value: ast.Var(vTerm[0])}}}
+	default:
+		returns = sqltypes.Type{ID: sqltypes.TTuple}
+		items := make([]ast.SelectItem, len(vTerm))
+		for i, v := range vTerm {
+			items[i] = ast.SelectItem{Expr: ast.Var(v), Alias: strings.TrimPrefix(v, "@")}
+		}
+		term = &ast.Block{Stmts: []ast.Stmt{&ast.ReturnStmt{
+			Value: &ast.Subquery{Query: &ast.Select{Items: items}},
+		}}}
+	}
+
+	aggName := fmt.Sprintf("%s_%s_agg%d", sanitizeName(owner), sanitizeName(loop.Cursor), counter)
+	agg := &ast.CreateAggregate{
+		Name:    aggName,
+		Params:  aggParams,
+		Returns: returns,
+		Fields:  fields,
+		Init: &ast.Block{Stmts: []ast.Stmt{
+			&ast.SetStmt{Targets: []string{initFlag}, Value: ast.Lit(sqltypes.NewBool(false))},
+		}},
+		Accum:     accum,
+		Terminate: term,
+	}
+
+	// Rewrite rule (Eqs. 5–6): replace the loop with
+	//   SET <V_term> = (SELECT Agg(args) FROM (Q) aggify_q)
+	// with ORDER BY preserved inside the derived table and the enforcement
+	// marker set when the cursor query was ordered.
+	q := ast.CloneSelect(loop.Decl.Query)
+	colNames, err := projectionNames(q)
+	if err != nil {
+		return nil, err
+	}
+	fetchCol := map[string]string{}
+	for i, v := range loop.FetchVars() {
+		fetchCol[v] = colNames[i]
+	}
+	args := make([]ast.Expr, len(paramOrder))
+	for i, v := range paramOrder {
+		if vFetch[v] {
+			args[i] = ast.QCol("aggify_q", fetchCol[v])
+		} else {
+			args[i] = ast.Var(v)
+		}
+	}
+	ordered := len(q.OrderBy) > 0
+	sel := &ast.Select{
+		Items:         []ast.SelectItem{{Expr: &ast.FuncCall{Name: aggName, Args: args}}},
+		From:          []ast.TableExpr{&ast.SubqueryRef{Query: q, Alias: "aggify_q"}},
+		OrderEnforced: ordered,
+	}
+	// The replacement statement assigns the aggregate's result to the live
+	// variables. Tuple results are extracted with tuple_get (the paper's
+	// dialect-specific "aggVal" attribute extraction) so that the rewritten
+	// body stays within Froid's inlinable subset for the Aggify+ pipeline.
+	var replacement ast.Stmt
+	switch {
+	case len(vTerm) == 0:
+		dummy := freshVar("@aggify_r", vDelta, types)
+		replacement = &ast.Block{Stmts: []ast.Stmt{
+			&ast.DeclareVar{Name: dummy, Type: sqltypes.Int},
+			&ast.SetStmt{Targets: []string{dummy}, Value: &ast.Subquery{Query: sel}},
+		}}
+	case guarded:
+		// Terminate returns (isInitialized, vTerm...); only assign when the
+		// loop body ran at least once (empty cursors keep prior values).
+		tupleVar := freshVar("@aggify_v", vDelta, types)
+		get := func(i int) ast.Expr {
+			return &ast.FuncCall{Name: "tuple_get", Args: []ast.Expr{ast.Var(tupleVar), ast.IntLit(int64(i))}}
+		}
+		assign := &ast.Block{}
+		for i, v := range vTerm {
+			assign.Stmts = append(assign.Stmts, &ast.SetStmt{Targets: []string{v}, Value: get(i + 1)})
+		}
+		replacement = &ast.Block{Stmts: []ast.Stmt{
+			&ast.DeclareVar{Name: tupleVar, Type: sqltypes.Type{ID: sqltypes.TTuple}},
+			&ast.SetStmt{Targets: []string{tupleVar}, Value: &ast.Subquery{Query: sel}},
+			&ast.IfStmt{Cond: ast.Eq(get(0), ast.Lit(sqltypes.NewBool(true))), Then: assign},
+		}}
+	case len(vTerm) == 1:
+		replacement = &ast.SetStmt{Targets: vTerm, Value: &ast.Subquery{Query: sel}}
+	default:
+		tupleVar := freshVar("@aggify_v", vDelta, types)
+		block := &ast.Block{Stmts: []ast.Stmt{
+			&ast.DeclareVar{Name: tupleVar, Type: sqltypes.Type{ID: sqltypes.TTuple}},
+			&ast.SetStmt{Targets: []string{tupleVar}, Value: &ast.Subquery{Query: sel}},
+		}}
+		for i, v := range vTerm {
+			block.Stmts = append(block.Stmts, &ast.SetStmt{Targets: []string{v},
+				Value: &ast.FuncCall{Name: "tuple_get", Args: []ast.Expr{ast.Var(tupleVar), ast.IntLit(int64(i))}}})
+		}
+		replacement = block
+	}
+	spliceLoop(loop, replacement)
+
+	lr := &LoopResult{
+		Cursor:         loop.Cursor,
+		Aggregate:      agg,
+		OrderSensitive: ordered,
+		VDelta:         sortedKeys(vDelta),
+		VFetch:         append([]string(nil), loop.FetchVars()...),
+		VLocal:         sortedKeys(vLocal),
+		Fields:         fieldOrder,
+		Params:         paramOrder,
+		VInit:          initOrder,
+		VTerm:          vTerm,
+	}
+	return lr, nil
+}
+
+// projectionNames derives (or synthesizes, by aliasing in place) the output
+// column names of the cursor query's projection.
+func projectionNames(q *ast.Select) ([]string, error) {
+	names := make([]string, len(q.Items))
+	seen := map[string]bool{}
+	for i := range q.Items {
+		it := &q.Items[i]
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ast.ColRef); ok {
+				name = cr.Name
+			}
+		}
+		if name == "" || seen[name] {
+			name = fmt.Sprintf("aggify_c%d", i+1)
+			it.Alias = name
+		}
+		seen[name] = true
+		names[i] = name
+	}
+	return names, nil
+}
+
+// spliceLoop removes the cursor machinery from the loop's block and swaps
+// the WHILE for the replacement statement.
+func spliceLoop(loop *CursorLoop, replacement ast.Stmt) {
+	drop := map[ast.Stmt]bool{
+		loop.Decl:    true,
+		loop.Open:    true,
+		loop.Prime:   true,
+		loop.Close:   true,
+		loop.Dealloc: true,
+	}
+	var out []ast.Stmt
+	for _, s := range loop.Block.Stmts {
+		if drop[s] {
+			continue
+		}
+		if s == ast.Stmt(loop.While) {
+			out = append(out, replacement)
+			continue
+		}
+		out = append(out, s)
+	}
+	loop.Block.Stmts = out
+}
+
+// loopUsesBreak reports whether Δ contains BREAK bound to the cursor loop
+// itself (not to a loop nested inside Δ).
+func loopUsesBreak(body ast.Stmt) bool {
+	found := false
+	var walk func(s ast.Stmt, depth int)
+	walk = func(s ast.Stmt, depth int) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walk(inner, depth)
+			}
+		case *ast.IfStmt:
+			walk(st.Then, depth)
+			walk(st.Else, depth)
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth)
+			walk(st.Catch, depth)
+		case *ast.BreakStmt:
+			if depth == 0 {
+				found = true
+			}
+		}
+	}
+	walk(body, 0)
+	return found
+}
+
+// stripInnerFetch removes FETCH statements of the given cursor from the
+// (cloned) loop body.
+func stripInnerFetch(b *ast.Block, cursor string) {
+	var out []ast.Stmt
+	for _, s := range b.Stmts {
+		if f, ok := s.(*ast.FetchStmt); ok && f.Cursor == cursor {
+			continue
+		}
+		out = append(out, s)
+	}
+	b.Stmts = out
+}
+
+// normalizeBreakContinue rewrites loop-level BREAK into the done-flag
+// protocol and loop-level CONTINUE into an early return from Accumulate
+// (§4.2's "unconditional jumps ... using boolean variables").
+func normalizeBreakContinue(body ast.Stmt, doneFlag string) {
+	var walk func(s ast.Stmt, depth int)
+	rewriteList := func(stmts []ast.Stmt, depth int) []ast.Stmt {
+		var out []ast.Stmt
+		for _, s := range stmts {
+			switch s.(type) {
+			case *ast.BreakStmt:
+				if depth == 0 {
+					out = append(out,
+						&ast.SetStmt{Targets: []string{doneFlag}, Value: ast.Lit(sqltypes.NewBool(true))},
+						&ast.ReturnStmt{})
+					continue
+				}
+			case *ast.ContinueStmt:
+				if depth == 0 {
+					out = append(out, &ast.ReturnStmt{})
+					continue
+				}
+			}
+			walk(s, depth)
+			out = append(out, s)
+		}
+		return out
+	}
+	walk = func(s ast.Stmt, depth int) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.Block:
+			st.Stmts = rewriteList(st.Stmts, depth)
+		case *ast.IfStmt:
+			if _, isBreak := st.Then.(*ast.BreakStmt); isBreak && depth == 0 {
+				st.Then = &ast.Block{Stmts: []ast.Stmt{
+					&ast.SetStmt{Targets: []string{doneFlag}, Value: ast.Lit(sqltypes.NewBool(true))},
+					&ast.ReturnStmt{},
+				}}
+			} else if _, isCont := st.Then.(*ast.ContinueStmt); isCont && depth == 0 {
+				st.Then = &ast.ReturnStmt{}
+			} else {
+				walk(st.Then, depth)
+			}
+			if st.Else != nil {
+				if _, isBreak := st.Else.(*ast.BreakStmt); isBreak && depth == 0 {
+					st.Else = &ast.Block{Stmts: []ast.Stmt{
+						&ast.SetStmt{Targets: []string{doneFlag}, Value: ast.Lit(sqltypes.NewBool(true))},
+						&ast.ReturnStmt{},
+					}}
+				} else if _, isCont := st.Else.(*ast.ContinueStmt); isCont && depth == 0 {
+					st.Else = &ast.ReturnStmt{}
+				} else {
+					walk(st.Else, depth)
+				}
+			}
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth)
+			walk(st.Catch, depth)
+		}
+	}
+	walk(body, 0)
+}
+
+// removeDeadDeclarations drops DECLARE statements for variables that are
+// no longer referenced anywhere in the body (§6.2); initializers with
+// function calls or subqueries are conservatively kept.
+func removeDeadDeclarations(body *ast.Block, params []ast.Param) {
+	for {
+		referenced := map[string]bool{}
+		declOf := map[string]*ast.DeclareVar{}
+		ast.WalkStmt(body, func(s ast.Stmt) bool {
+			if d, ok := s.(*ast.DeclareVar); ok {
+				declOf[d.Name] = d
+				// The initializer's reads count as references of OTHER vars.
+				if d.Init != nil {
+					for v := range ast.VarsInExpr(d.Init) {
+						referenced[v] = true
+					}
+				}
+				return true
+			}
+			defs, uses := analysis.StmtDefsUses(s, nil)
+			for _, v := range defs {
+				referenced[v] = true
+			}
+			for _, v := range uses {
+				referenced[v] = true
+			}
+			// Condition expressions of composite statements.
+			switch st := s.(type) {
+			case *ast.IfStmt:
+				for v := range ast.VarsInExpr(st.Cond) {
+					referenced[v] = true
+				}
+			case *ast.WhileStmt:
+				for v := range ast.VarsInExpr(st.Cond) {
+					referenced[v] = true
+				}
+			case *ast.ForStmt:
+				referenced[st.InitVar] = true
+				referenced[st.PostVar] = true
+				for v := range ast.VarsInExpr(st.Cond) {
+					referenced[v] = true
+				}
+			case *ast.DeclareCursor:
+				for v := range ast.VarsInSelect(st.Query) {
+					referenced[v] = true
+				}
+			}
+			return true
+		})
+		var dead []*ast.DeclareVar
+		for name, d := range declOf {
+			if referenced[name] {
+				continue
+			}
+			if d.Init != nil && initHasSideEffects(d.Init) {
+				continue
+			}
+			dead = append(dead, d)
+		}
+		if len(dead) == 0 {
+			return
+		}
+		deadSet := map[ast.Stmt]bool{}
+		for _, d := range dead {
+			deadSet[d] = true
+		}
+		removeStmts(body, deadSet)
+	}
+}
+
+func initHasSideEffects(e ast.Expr) bool {
+	impure := false
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch x.(type) {
+		case *ast.FuncCall, *ast.Subquery:
+			impure = true
+		}
+		return true
+	})
+	return impure
+}
+
+func removeStmts(s ast.Stmt, dead map[ast.Stmt]bool) {
+	switch st := s.(type) {
+	case nil:
+	case *ast.Block:
+		var out []ast.Stmt
+		for _, inner := range st.Stmts {
+			if dead[inner] {
+				continue
+			}
+			removeStmts(inner, dead)
+			out = append(out, inner)
+		}
+		st.Stmts = out
+	case *ast.IfStmt:
+		removeStmts(st.Then, dead)
+		removeStmts(st.Else, dead)
+	case *ast.WhileStmt:
+		removeStmts(st.Body, dead)
+	case *ast.ForStmt:
+		removeStmts(st.Body, dead)
+	case *ast.TryCatch:
+		removeStmts(st.Try, dead)
+		removeStmts(st.Catch, dead)
+	}
+}
+
+func freshVar(base string, used map[string]bool, types map[string]sqltypes.Type) string {
+	name := base
+	for used[name] || types[name].ID != sqltypes.TUnknown {
+		name += "_"
+	}
+	return name
+}
+
+func sanitizeName(s string) string {
+	s = strings.ToLower(s)
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '_' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "anon"
+	}
+	return b.String()
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

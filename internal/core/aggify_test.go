@@ -1,0 +1,849 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/core"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+const fig1DB = `
+create table part (p_partkey int, p_name varchar(55));
+create index pk_part on part(p_partkey);
+create table partsupp (ps_partkey int, ps_suppkey int, ps_supplycost decimal(15,2));
+create index idx_ps on partsupp(ps_partkey);
+create table supplier (s_suppkey int, s_name char(25));
+create index pk_supp on supplier(s_suppkey);
+insert into part values (1, 'widget'), (2, 'gadget'), (3, 'gizmo'), (4, 'lonely');
+insert into supplier values (10, 'acme'), (11, 'bolts inc'), (12, 'cheapco');
+insert into partsupp values
+ (1, 10, 5.0), (1, 11, 3.5), (1, 12, 9.0),
+ (2, 10, 7.0), (2, 12, 2.0),
+ (3, 11, 8.0);
+GO
+create function getLowerBound(@pkey int) returns int as
+begin
+  return 3;
+end
+`
+
+const fig1UDF = `
+create function minCostSupp(@pkey int, @lb int = -1) returns char(25) as
+begin
+  declare @pCost decimal(15,2);
+  declare @sName char(25);
+  declare @minCost decimal(15,2) = 100000;
+  declare @suppName char(25);
+  if (@lb = -1)
+    set @lb = getLowerBound(@pkey);
+  declare c1 cursor for
+    select ps_supplycost, s_name from partsupp, supplier
+    where ps_partkey = @pkey and ps_suppkey = s_suppkey;
+  open c1;
+  fetch next from c1 into @pCost, @sName;
+  while @@fetch_status = 0
+  begin
+    if (@pCost < @minCost and @pCost >= @lb)
+    begin
+      set @minCost = @pCost;
+      set @suppName = @sName;
+    end
+    fetch next from c1 into @pCost, @sName;
+  end
+  close c1;
+  deallocate c1;
+  return @suppName;
+end`
+
+func parseFunc(t *testing.T, src string) *ast.CreateFunction {
+	t.Helper()
+	stmts := parser.MustParse(src)
+	for _, s := range stmts {
+		if f, ok := s.(*ast.CreateFunction); ok {
+			return f
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+func newDB(t *testing.T, setup string) *engine.Session {
+	t.Helper()
+	eng := engine.New()
+	interp.Install(eng)
+	sess := eng.NewSession()
+	if setup != "" {
+		if _, err := interp.RunScript(sess, parser.MustParse(setup)); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+	}
+	return sess
+}
+
+// registerTransformed transforms fn, registers the generated aggregates and
+// the rewritten function under the name <fn>_aggified, and returns the
+// result.
+func registerTransformed(t *testing.T, sess *engine.Session, fn *ast.CreateFunction, opts core.Options) *core.Result {
+	t.Helper()
+	rewritten, res, err := core.TransformFunction(fn, opts)
+	if err != nil {
+		t.Fatalf("transform: %v", err)
+	}
+	for _, lr := range res.Loops {
+		if err := sess.Eng.RegisterAggregate(lr.Aggregate, lr.OrderSensitive); err != nil {
+			t.Fatalf("register aggregate: %v", err)
+		}
+	}
+	rewritten.Name = rewritten.Name + "_aggified"
+	if err := sess.Eng.RegisterFunction(rewritten); err != nil {
+		t.Fatalf("register function: %v", err)
+	}
+	return res
+}
+
+// assertEquivalent calls fn and fn_aggified with each argument set and
+// requires identical results.
+func assertEquivalent(t *testing.T, sess *engine.Session, fn string, argSets [][]sqltypes.Value) {
+	t.Helper()
+	for _, args := range argSets {
+		orig, err := interp.CallFunctionByName(sess, fn, args...)
+		if err != nil {
+			t.Fatalf("%s(%v): %v", fn, args, err)
+		}
+		agg, err := interp.CallFunctionByName(sess, fn+"_aggified", args...)
+		if err != nil {
+			t.Fatalf("%s_aggified(%v): %v", fn, args, err)
+		}
+		if !sqltypes.GroupEqual(orig, agg) {
+			t.Fatalf("%s(%v): original %v vs aggified %v", fn, args, orig, agg)
+		}
+	}
+}
+
+func TestFindCursorLoopsFig1(t *testing.T) {
+	fn := parseFunc(t, fig1UDF)
+	loops := core.FindCursorLoops(fn.Body)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops", len(loops))
+	}
+	l := loops[0]
+	if l.Cursor != "c1" || l.Decl == nil || l.Open == nil || l.Close == nil || l.Dealloc == nil {
+		t.Fatalf("incomplete pattern: %+v", l)
+	}
+	if got := l.FetchVars(); len(got) != 2 || got[0] != "@pcost" || got[1] != "@sname" {
+		t.Fatalf("fetch vars = %v", got)
+	}
+}
+
+func TestFig1VariableSets(t *testing.T) {
+	// The paper's §5 illustrations, exactly.
+	fn := parseFunc(t, fig1UDF)
+	_, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("loops = %d", len(res.Loops))
+	}
+	lr := res.Loops[0]
+	wantSet := func(name string, got []string, want ...string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+		gotSet := map[string]bool{}
+		for _, g := range got {
+			gotSet[g] = true
+		}
+		for _, w := range want {
+			if !gotSet[w] {
+				t.Fatalf("%s = %v, want %v", name, got, want)
+			}
+		}
+	}
+	wantSet("V_Δ", lr.VDelta, "@pcost", "@mincost", "@lb", "@suppname", "@sname")
+	wantSet("V_fetch", lr.VFetch, "@pcost", "@sname")
+	wantSet("V_local", lr.VLocal) // empty
+	wantSet("V_F", lr.Fields, "@mincost", "@lb", "@suppname")
+	wantSet("P_accum", lr.Params, "@pcost", "@sname", "@mincost", "@lb")
+	wantSet("V_init", lr.VInit, "@mincost", "@lb")
+	wantSet("V_term", lr.VTerm, "@suppname")
+	if lr.OrderSensitive {
+		t.Fatal("no ORDER BY, aggregate must not be order-sensitive")
+	}
+	// Aggregate shape: 4 params, fields + isInitialized flag, CHAR(25).
+	agg := lr.Aggregate
+	if len(agg.Params) != 4 {
+		t.Fatalf("agg params = %v", agg.Params)
+	}
+	if len(agg.Fields) != 4 { // 3 fields + init flag
+		t.Fatalf("agg fields = %v", agg.Fields)
+	}
+	if agg.Returns.String() != "CHAR(25)" {
+		t.Fatalf("agg returns %v", agg.Returns)
+	}
+}
+
+func TestFig1RewrittenShape(t *testing.T) {
+	fn := parseFunc(t, fig1UDF)
+	rewritten, _, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ast.Format(rewritten)
+	// The loop is gone; a single SET with the aggregate invocation remains.
+	for _, gone := range []string{"CURSOR", "FETCH", "WHILE", "OPEN", "CLOSE", "DEALLOCATE"} {
+		if strings.Contains(strings.ToUpper(src), gone) {
+			t.Fatalf("rewritten function still contains %s:\n%s", gone, src)
+		}
+	}
+	if !strings.Contains(src, "mincostsupp_c1_agg1(") {
+		t.Fatalf("missing aggregate invocation:\n%s", src)
+	}
+	// Dead declarations for @pCost/@sName must be removed (§6.2).
+	if strings.Contains(src, "@pcost") || strings.Contains(src, "@sname") {
+		t.Fatalf("dead declarations not removed:\n%s", src)
+	}
+	// The rewritten source must re-parse.
+	if _, err := parser.Parse(src); err != nil {
+		t.Fatalf("rewritten source does not re-parse: %v\n%s", err, src)
+	}
+	// And the generated aggregate too.
+	_, res, _ := core.TransformFunction(fn, core.Options{})
+	aggSrc := ast.Format(res.Loops[0].Aggregate)
+	if _, err := parser.Parse(aggSrc); err != nil {
+		t.Fatalf("generated aggregate does not re-parse: %v\n%s", err, aggSrc)
+	}
+}
+
+func TestFig1EndToEnd(t *testing.T) {
+	sess := newDB(t, fig1DB)
+	fn := parseFunc(t, fig1UDF)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	registerTransformed(t, sess, fn, core.Options{})
+	var argSets [][]sqltypes.Value
+	for pkey := int64(1); pkey <= 4; pkey++ {
+		argSets = append(argSets, []sqltypes.Value{sqltypes.NewInt(pkey)})
+		argSets = append(argSets, []sqltypes.Value{sqltypes.NewInt(pkey), sqltypes.NewInt(4)})
+		argSets = append(argSets, []sqltypes.Value{sqltypes.NewInt(pkey), sqltypes.NewInt(0)})
+	}
+	assertEquivalent(t, sess, "mincostsupp", argSets)
+}
+
+func TestOrderByLoopIsOrderEnforced(t *testing.T) {
+	// The paper's Figure 2 pattern: cumulative ROI over ordered months.
+	sess := newDB(t, `
+create table monthly_roi (investor_id int, m int, roi float);
+create index idx_inv on monthly_roi(investor_id);
+insert into monthly_roi values
+ (1, 1, 0.10), (1, 2, 0.0 - 0.05), (1, 3, 0.20),
+ (2, 1, 0.01), (2, 2, 0.02);
+`)
+	fn := parseFunc(t, `
+create function cumulativeROI(@id int) returns float as
+begin
+  declare @monthlyROI float;
+  declare @cum float = 1.0;
+  declare c cursor for
+    select roi from monthly_roi where investor_id = @id order by m;
+  open c;
+  fetch next from c into @monthlyROI;
+  while @@fetch_status = 0
+  begin
+    set @cum = @cum * (@monthlyROI + 1);
+    fetch next from c into @monthlyROI;
+  end
+  close c;
+  deallocate c;
+  set @cum = @cum - 1;
+  return @cum;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if !res.Loops[0].OrderSensitive {
+		t.Fatal("ORDER BY loop must yield an order-sensitive aggregate (Eq. 6)")
+	}
+	// The rewritten query must carry the enforcement marker.
+	found := false
+	rewritten, _ := sess.Eng.Function("cumulativeroi_aggified")
+	ast.WalkStmt(rewritten.Body, func(s ast.Stmt) bool {
+		if set, ok := s.(*ast.SetStmt); ok {
+			if sq, ok := set.Value.(*ast.Subquery); ok && sq.Query.OrderEnforced {
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatal("rewritten query lacks OPTION (ORDER ENFORCED)")
+	}
+	assertEquivalent(t, sess, "cumulativeroi", [][]sqltypes.Value{
+		{sqltypes.NewInt(1)}, {sqltypes.NewInt(2)}, {sqltypes.NewInt(99)},
+	})
+	// Per the paper's Eq. 4/§5.2: V_init = {@cum}.
+	if len(res.Loops[0].VInit) != 1 || res.Loops[0].VInit[0] != "@cum" {
+		t.Fatalf("V_init = %v", res.Loops[0].VInit)
+	}
+}
+
+func TestBreakContinueLoop(t *testing.T) {
+	sess := newDB(t, `
+create table nums (n int, tag varchar(5));
+insert into nums values (1,'a'), (2,'b'), (3,'c'), (4,'d'), (5,'e'), (6,'f');
+`)
+	fn := parseFunc(t, `
+create function sumUntil(@stop int) returns int as
+begin
+  declare @n int;
+  declare @tag varchar(5);
+  declare @s int = 0;
+  declare c cursor for select n, tag from nums order by n;
+  open c;
+  fetch next from c into @n, @tag;
+  while @@fetch_status = 0
+  begin
+    if @n = @stop break;
+    if @n % 2 = 0
+    begin
+      fetch next from c into @n, @tag;
+      continue;
+    end
+    set @s = @s + @n;
+    fetch next from c into @n, @tag;
+  end
+  close c;
+  deallocate c;
+  return @s;
+end`)
+	// This body has a mid-loop FETCH (before CONTINUE) — the canonical
+	// pattern requires a single trailing FETCH, so this loop is skipped.
+	_, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 0 {
+		t.Fatal("loop with mid-body FETCH must not match the pattern")
+	}
+
+	// The equivalent single-fetch formulation transforms and agrees.
+	fn2 := parseFunc(t, `
+create function sumUntil2(@stop int) returns int as
+begin
+  declare @n int;
+  declare @tag varchar(5);
+  declare @s int = 0;
+  declare c cursor for select n, tag from nums order by n;
+  open c;
+  fetch next from c into @n, @tag;
+  while @@fetch_status = 0
+  begin
+    if @n <> @stop and @n % 2 = 1
+      set @s = @s + @n;
+    if @n = @stop break;
+    fetch next from c into @n, @tag;
+  end
+  close c;
+  deallocate c;
+  return @s;
+end`)
+	if err := sess.Eng.RegisterFunction(fn2); err != nil {
+		t.Fatal(err)
+	}
+	res2 := registerTransformed(t, sess, fn2, core.Options{})
+	if len(res2.Loops) != 1 {
+		t.Fatalf("loops = %d, skipped = %v", len(res2.Loops), res2.Skipped)
+	}
+	assertEquivalent(t, sess, "sumuntil2", [][]sqltypes.Value{
+		{sqltypes.NewInt(3)}, {sqltypes.NewInt(5)}, {sqltypes.NewInt(100)}, {sqltypes.NewInt(1)},
+	})
+}
+
+func TestNestedLoopsTransformInnermostFirst(t *testing.T) {
+	sess := newDB(t, fig1DB)
+	fn := parseFunc(t, `
+create function totalCost() returns float as
+begin
+  declare @pk int;
+  declare @total float = 0;
+  declare @cost float;
+  declare outerc cursor for select p_partkey from part;
+  open outerc;
+  fetch next from outerc into @pk;
+  while @@fetch_status = 0
+  begin
+    declare innerc cursor for select ps_supplycost from partsupp where ps_partkey = @pk;
+    open innerc;
+    fetch next from innerc into @cost;
+    while @@fetch_status = 0
+    begin
+      set @total = @total + @cost;
+      fetch next from innerc into @cost;
+    end
+    close innerc;
+    deallocate innerc;
+    fetch next from outerc into @pk;
+  end
+  close outerc;
+  deallocate outerc;
+  return @total;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 2 {
+		t.Fatalf("expected 2 transformed loops (inner first), got %d (skipped: %v)", len(res.Loops), res.Skipped)
+	}
+	if res.Loops[0].Cursor != "innerc" || res.Loops[1].Cursor != "outerc" {
+		t.Fatalf("transformation order = %s, %s", res.Loops[0].Cursor, res.Loops[1].Cursor)
+	}
+	assertEquivalent(t, sess, "totalcost", [][]sqltypes.Value{{}})
+}
+
+func TestMultipleLiveVariablesTupleReturn(t *testing.T) {
+	sess := newDB(t, fig1DB)
+	fn := parseFunc(t, `
+create function costStats(@pkey int) returns varchar(60) as
+begin
+  declare @c float;
+  declare @lo float = 1000000;
+  declare @hi float = 0 - 1000000;
+  declare @n int = 0;
+  declare c cursor for select ps_supplycost from partsupp where ps_partkey = @pkey;
+  open c;
+  fetch next from c into @c;
+  while @@fetch_status = 0
+  begin
+    if @c < @lo set @lo = @c;
+    if @c > @hi set @hi = @c;
+    set @n = @n + 1;
+    fetch next from c into @c;
+  end
+  close c;
+  deallocate c;
+  return 'n=' || @n || ' lo=' || @lo || ' hi=' || @hi;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	lr := res.Loops[0]
+	if len(lr.VTerm) != 3 {
+		t.Fatalf("V_term = %v, want 3 live variables", lr.VTerm)
+	}
+	if lr.Aggregate.Returns.ID != sqltypes.TTuple {
+		t.Fatalf("multi-var terminate must return a tuple, got %v", lr.Aggregate.Returns)
+	}
+	assertEquivalent(t, sess, "coststats", [][]sqltypes.Value{
+		{sqltypes.NewInt(1)}, {sqltypes.NewInt(2)}, {sqltypes.NewInt(3)},
+	})
+}
+
+func TestEmptyCursorSemantics(t *testing.T) {
+	// Part 4 has no suppliers: the loop never runs. The aggregate runs
+	// Init+Terminate and returns NULL fields — matching the NULL-prior
+	// original (the paper's construction; see DESIGN.md §3.3).
+	sess := newDB(t, fig1DB)
+	fn := parseFunc(t, fig1UDF)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	registerTransformed(t, sess, fn, core.Options{})
+	assertEquivalent(t, sess, "mincostsupp", [][]sqltypes.Value{{sqltypes.NewInt(4)}})
+}
+
+func TestLoopWithLocalTableVar(t *testing.T) {
+	// A table variable declared inside the loop is loop-local and allowed.
+	sess := newDB(t, fig1DB)
+	fn := parseFunc(t, `
+create function medianish(@pkey int) returns float as
+begin
+  declare @c float;
+  declare @best float = 0;
+  declare c cursor for select ps_supplycost from partsupp where ps_partkey = @pkey;
+  open c;
+  fetch next from c into @c;
+  while @@fetch_status = 0
+  begin
+    declare @t table (v float);
+    insert into @t values (@c);
+    set @best = @best + (select max(v) from @t);
+    fetch next from c into @c;
+  end
+  close c;
+  deallocate c;
+  return @best;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 1 {
+		t.Fatalf("loop with local table var should transform; skipped: %v", res.Skipped)
+	}
+	assertEquivalent(t, sess, "medianish", [][]sqltypes.Value{
+		{sqltypes.NewInt(1)}, {sqltypes.NewInt(2)},
+	})
+}
+
+func TestApplicabilityRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{
+			"persistent DML",
+			`insert into part values (@n, 'x');`,
+			"persistent",
+		},
+		{
+			"procedure call",
+			`exec someProc @n;`,
+			"procedure",
+		},
+		{
+			"result set",
+			`select @n;`,
+			"result sets",
+		},
+		{
+			"return from module",
+			`if @n > 2 return 0;`,
+			"RETURN",
+		},
+	}
+	for _, c := range cases {
+		src := fmt.Sprintf(`
+create function f(@x int) returns int as
+begin
+  declare @n int;
+  declare @s int = 0;
+  declare c cursor for select p_partkey from part;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    set @s = @s + @n;
+    %s
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+  return @s;
+end`, c.body)
+		fn := parseFunc(t, src)
+		_, res, err := core.TransformFunction(fn, core.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if len(res.Loops) != 0 || len(res.Skipped) != 1 {
+			t.Fatalf("%s: loops=%d skipped=%v", c.name, len(res.Loops), res.Skipped)
+		}
+		if !strings.Contains(res.Skipped[0].Error(), c.want) {
+			t.Fatalf("%s: reason %q does not mention %q", c.name, res.Skipped[0], c.want)
+		}
+	}
+}
+
+func TestOuterTableVarRejected(t *testing.T) {
+	fn := parseFunc(t, `
+create function f() returns int as
+begin
+  declare @t table (v int);
+  declare @n int;
+  declare c cursor for select p_partkey from part;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    insert into @t values (@n);
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+  return (select count(*) from @t);
+end`)
+	_, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Skipped) != 1 || !strings.Contains(res.Skipped[0].Error(), "table variable") {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+}
+
+func TestTempTableInLoopAllowed(t *testing.T) {
+	sess := newDB(t, fig1DB+`
+create table #acc (v float);
+`)
+	fn := parseFunc(t, `
+create function accumulate(@pkey int) returns int as
+begin
+  declare @c float;
+  declare @n int = 0;
+  declare c cursor for select ps_supplycost from partsupp where ps_partkey = @pkey;
+  open c;
+  fetch next from c into @c;
+  while @@fetch_status = 0
+  begin
+    insert into #acc values (@c);
+    set @n = @n + 1;
+    fetch next from c into @c;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 1 {
+		t.Fatalf("temp-table loop should transform; skipped: %v", res.Skipped)
+	}
+	// Run both; the temp table receives rows from both runs, and the counts
+	// agree.
+	v1, err := interp.CallFunctionByName(sess, "accumulate", sqltypes.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := interp.CallFunctionByName(sess, "accumulate_aggified", sqltypes.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Int() != 3 || v2.Int() != 3 {
+		t.Fatalf("counts = %v, %v", v1, v2)
+	}
+	tab, _ := sess.TempTable("#acc")
+	if tab.RowCount() != 6 {
+		t.Fatalf("temp table rows = %d, want 6 (both runs insert)", tab.RowCount())
+	}
+}
+
+func TestForLoopLifting(t *testing.T) {
+	sess := newDB(t, "")
+	fn := parseFunc(t, `
+create function sumTo(@n int) returns int as
+begin
+  declare @i int;
+  declare @s int = 0;
+  for (@i = 0; @i <= @n; @i = @i + 1)
+  begin
+    set @s = @s + @i;
+  end
+  return @s;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	rewritten, res, err := core.TransformFunction(fn, core.Options{LiftForLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("FOR loop not lifted+aggified: %v", res.Skipped)
+	}
+	for _, lr := range res.Loops {
+		if err := sess.Eng.RegisterAggregate(lr.Aggregate, lr.OrderSensitive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rewritten.Name = "sumto_aggified"
+	if err := sess.Eng.RegisterFunction(rewritten); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, sess, "sumto", [][]sqltypes.Value{
+		{sqltypes.NewInt(0)}, {sqltypes.NewInt(1)}, {sqltypes.NewInt(100)}, {sqltypes.NewInt(-5)},
+	})
+}
+
+func TestForLoopWithBodyConflictNotLifted(t *testing.T) {
+	fn := parseFunc(t, `
+create function f(@n int) returns int as
+begin
+  declare @i int;
+  declare @s int = 0;
+  for (@i = 0; @i <= @n; @i = @i + 1)
+  begin
+    set @i = @i + 1;
+    set @s = @s + @i;
+  end
+  return @s;
+end`)
+	_, res, err := core.TransformFunction(fn, core.Options{LiftForLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 0 {
+		t.Fatal("FOR loop mutating its control variable must not be lifted")
+	}
+}
+
+func TestProcedureTransform(t *testing.T) {
+	sess := newDB(t, fig1DB+`
+create table results (k int, v float);
+`)
+	proc := parser.MustParse(`
+create procedure summarize(@pkey int) as
+begin
+  declare @c float;
+  declare @sum float = 0;
+  declare c cursor for select ps_supplycost from partsupp where ps_partkey = @pkey;
+  open c;
+  fetch next from c into @c;
+  while @@fetch_status = 0
+  begin
+    set @sum = @sum + @c;
+    fetch next from c into @c;
+  end
+  close c;
+  deallocate c;
+  insert into results values (@pkey, @sum);
+end`)[0].(*ast.CreateProcedure)
+	if err := sess.Eng.RegisterProcedure(proc); err != nil {
+		t.Fatal(err)
+	}
+	rewritten, res, err := core.TransformProcedure(proc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("skipped: %v", res.Skipped)
+	}
+	for _, lr := range res.Loops {
+		if err := sess.Eng.RegisterAggregate(lr.Aggregate, lr.OrderSensitive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rewritten.Name = "summarize_aggified"
+	if err := sess.Eng.RegisterProcedure(rewritten); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.CallProcedureByName(sess, "summarize", sqltypes.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := interp.CallProcedureByName(sess, "summarize_aggified", sqltypes.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	stmts := parser.MustParse("select v from results")
+	_, rows, err := sess.Query(stmts[0].(*ast.QueryStmt).Query, sess.Ctx(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].Float() != 17.5 || rows[1][0].Float() != 17.5 {
+		t.Fatalf("results = %v", rows)
+	}
+}
+
+func TestTransformIdempotentOnLoopFreeCode(t *testing.T) {
+	fn := parseFunc(t, `
+create function plain(@x int) returns int as
+begin
+  declare @y int = @x * 2;
+  if @y > 10 set @y = 10;
+  return @y;
+end`)
+	rewritten, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 0 || len(res.Skipped) != 0 {
+		t.Fatal("loop-free function should be untouched")
+	}
+	if ast.Format(rewritten) != ast.Format(fn) {
+		t.Fatal("loop-free function must round-trip unchanged")
+	}
+}
+
+// Property test: randomly generated loop bodies (assignments, conditionals,
+// arithmetic over the fetched value and two accumulators) behave identically
+// before and after Aggify.
+func TestRandomLoopEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20200614)) // SIGMOD 2020 :-)
+	setup := `
+create table vals (v int, w int);
+insert into vals values
+ (3, 1), (-2, 2), (7, 3), (0, 4), (5, 5), (-9, 6), (4, 7), (1, 8), (12, 9), (-1, 10);
+`
+	for trial := 0; trial < 30; trial++ {
+		body := randomLoopBody(rng)
+		ordered := ""
+		if rng.Intn(2) == 0 {
+			ordered = " order by w"
+		}
+		src := fmt.Sprintf(`
+create function f%d(@seed int) returns float as
+begin
+  declare @v int;
+  declare @acc float = @seed;
+  declare @cnt int = 0;
+  declare c cursor for select v from vals%s;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+%s
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return @acc + @cnt * 1000;
+end`, trial, ordered, body)
+		sess := newDB(t, setup)
+		fn := parseFunc(t, src)
+		if err := sess.Eng.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+		res := registerTransformed(t, sess, fn, core.Options{})
+		if len(res.Loops) != 1 {
+			t.Fatalf("trial %d: not transformed (%v)\n%s", trial, res.Skipped, src)
+		}
+		for _, seed := range []int64{0, 5, -3} {
+			name := fmt.Sprintf("f%d", trial)
+			orig, err := interp.CallFunctionByName(sess, name, sqltypes.NewInt(seed))
+			if err != nil {
+				t.Fatalf("trial %d orig: %v\n%s", trial, err, src)
+			}
+			agg, err := interp.CallFunctionByName(sess, name+"_aggified", sqltypes.NewInt(seed))
+			if err != nil {
+				t.Fatalf("trial %d aggified: %v\n%s", trial, err, src)
+			}
+			if !sqltypes.GroupEqual(orig, agg) {
+				t.Fatalf("trial %d seed %d: %v vs %v\n%s", trial, seed, orig, agg, src)
+			}
+		}
+	}
+}
+
+// randomLoopBody emits 1-4 random statements over @v (fetched), @acc, @cnt.
+func randomLoopBody(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(4)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			fmt.Fprintf(&b, "    set @acc = @acc + @v * %d;\n", 1+rng.Intn(3))
+		case 1:
+			fmt.Fprintf(&b, "    if @v > %d set @cnt = @cnt + 1;\n", rng.Intn(6)-3)
+		case 2:
+			fmt.Fprintf(&b, "    if @v %% 2 = 0 set @acc = @acc - %d; else set @acc = @acc + %d;\n", rng.Intn(5), rng.Intn(5))
+		case 3:
+			b.WriteString("    if @acc > 50 set @acc = @acc / 2;\n")
+		case 4:
+			fmt.Fprintf(&b, "    set @cnt = @cnt + %d;\n", rng.Intn(3))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/core"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+// TestTransformBlock covers the client-program use case (§2.2): a bare
+// statement block with parameters, transformed without a registered module.
+func TestTransformBlock(t *testing.T) {
+	body := parser.MustParse(`
+begin
+  declare @roi float;
+  declare @cum float = 1.0;
+  declare c cursor for
+    select roi from monthly_investments where investor_id = @id order by m;
+  open c;
+  fetch next from c into @roi;
+  while @@fetch_status = 0
+  begin
+    set @cum = @cum * (@roi + 1);
+    fetch next from c into @roi;
+  end
+  close c;
+  deallocate c;
+  set @cum = @cum - 1;
+end`)[0].(*ast.Block)
+	params := []ast.Param{{Name: "@id", Type: sqltypes.Int}}
+	rewritten, res, err := core.TransformBlock("clientprog", params, body, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Loops) != 1 {
+		t.Fatalf("loops = %d (skipped %v)", len(res.Loops), res.Skipped)
+	}
+	if !res.Loops[0].OrderSensitive {
+		t.Fatal("ordered client loop must be order-sensitive")
+	}
+	src := ast.Format(rewritten)
+	if strings.Contains(strings.ToUpper(src), "CURSOR") {
+		t.Fatalf("loop survived:\n%s", src)
+	}
+	if !strings.Contains(src, "clientprog_c_agg1(") {
+		t.Fatalf("missing aggregate call:\n%s", src)
+	}
+	// The rewritten block executes end to end: run it inside a function.
+	sess := newDB(t, `
+create table monthly_investments (investor_id int, m int, roi float);
+insert into monthly_investments values (7, 1, 0.5), (7, 2, -0.5), (8, 1, 1.0);
+`)
+	for _, lr := range res.Loops {
+		if err := sess.Eng.RegisterAggregate(lr.Aggregate, lr.OrderSensitive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fnSrc := "create function runblock(@id int) returns float as\n" + src[:strings.LastIndex(src, "END")] +
+		"  RETURN @cum;\nEND"
+	fn := parseFunc(t, fnSrc)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatalf("%v\n%s", err, fnSrc)
+	}
+	v, err := interp.CallFunctionByName(sess, "runblock", sqltypes.NewInt(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1.5 * 0.5 - 1 = -0.25
+	if d := v.Float() + 0.25; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("cum = %v, want -0.25", v)
+	}
+}
+
+// TestGeneratedAggregateUsesCompiledForTryCatchPrintFor drives the block
+// compiler's less-trodden statements (FOR, TRY/CATCH, PRINT, multi-target
+// SET) through a transformed loop whose body uses them.
+func TestGeneratedAggregateExercisesCompiledStatements(t *testing.T) {
+	sess := newDB(t, `
+create table seqdata (k int, v int);
+insert into seqdata values (1, 3), (1, 0), (1, 5), (2, 4);
+`)
+	fn := parseFunc(t, `
+create function fancy(@k int) returns float as
+begin
+  declare @v int;
+  declare @acc float = 0;
+  declare @spins int = 0;
+  declare c cursor for select v from seqdata where k = @k;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+    declare @i int;
+    for (@i = 0; @i < @v; @i = @i + 1)
+      set @spins = @spins + 1;
+    begin try
+      set @acc = @acc + 100.0 / @v;
+    end try
+    begin catch
+      set @acc = @acc - 1;
+    end catch
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return @acc + @spins;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 1 {
+		t.Fatalf("skipped: %v", res.Skipped)
+	}
+	assertEquivalent(t, sess, "fancy", [][]sqltypes.Value{
+		{sqltypes.NewInt(1)}, {sqltypes.NewInt(2)}, {sqltypes.NewInt(99)},
+	})
+}
+
+// TestSynthesizedProjectionAliases covers cursor queries whose projection
+// items are expressions (the rewrite must invent column names).
+func TestSynthesizedProjectionAliases(t *testing.T) {
+	sess := newDB(t, `
+create table raw (a int, b int);
+insert into raw values (1, 2), (3, 4);
+`)
+	fn := parseFunc(t, `
+create function sums() returns float as
+begin
+  declare @x float;
+  declare @y float;
+  declare @t float = 0;
+  declare c cursor for select a + b, a * b from raw;
+  open c;
+  fetch next from c into @x, @y;
+  while @@fetch_status = 0
+  begin
+    set @t = @t + @x + @y;
+    fetch next from c into @x, @y;
+  end
+  close c;
+  deallocate c;
+  return @t;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 1 {
+		t.Fatalf("skipped: %v", res.Skipped)
+	}
+	assertEquivalent(t, sess, "sums", [][]sqltypes.Value{{}})
+}
+
+// TestUnusedFetchVariableDropped: a fetch variable never read in the loop
+// body does not become an aggregate parameter.
+func TestUnusedFetchVariableDropped(t *testing.T) {
+	fn := parseFunc(t, `
+create function countRows() returns int as
+begin
+  declare @v int;
+  declare @n int = 0;
+  declare c cursor for select x from t;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+    set @n = @n + 1;
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end`)
+	_, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := res.Loops[0]
+	for _, p := range lr.Params {
+		if p == "@v" {
+			t.Fatalf("unused fetch var became a parameter: %v", lr.Params)
+		}
+	}
+}
+
+// TestTransformedFunctionIsStable: transforming the already-transformed
+// module is a no-op (zero loops found).
+func TestTransformIdempotence(t *testing.T) {
+	fn := parseFunc(t, fig1UDF)
+	rewritten, res, err := core.TransformFunction(fn, core.Options{})
+	if err != nil || len(res.Loops) != 1 {
+		t.Fatalf("first pass: %v / %v", err, res)
+	}
+	again, res2, err := core.TransformFunction(rewritten, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Loops) != 0 || len(res2.Skipped) != 0 {
+		t.Fatalf("second pass found loops: %+v", res2)
+	}
+	if ast.Format(again) != ast.Format(rewritten) {
+		t.Fatal("second pass changed the module")
+	}
+}
+
+// TestTwoSequentialLoops: one module with two independent cursor loops —
+// both transform, each with its own aggregate.
+func TestTwoSequentialLoops(t *testing.T) {
+	sess := newDB(t, `
+create table xs (v int);
+create table ys (v int);
+insert into xs values (1), (2), (3);
+insert into ys values (10), (20);
+`)
+	fn := parseFunc(t, `
+create function twoLoops() returns int as
+begin
+  declare @v int;
+  declare @sx int = 0;
+  declare @sy int = 0;
+  declare cx cursor for select v from xs;
+  open cx;
+  fetch next from cx into @v;
+  while @@fetch_status = 0
+  begin
+    set @sx = @sx + @v;
+    fetch next from cx into @v;
+  end
+  close cx;
+  deallocate cx;
+  declare cy cursor for select v from ys;
+  open cy;
+  fetch next from cy into @v;
+  while @@fetch_status = 0
+  begin
+    set @sy = @sy + @v;
+    fetch next from cy into @v;
+  end
+  close cy;
+  deallocate cy;
+  return @sx * 1000 + @sy;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 2 {
+		t.Fatalf("loops = %d (skipped %v)", len(res.Loops), res.Skipped)
+	}
+	if res.Loops[0].Aggregate.Name == res.Loops[1].Aggregate.Name {
+		t.Fatal("aggregate names must be unique")
+	}
+	assertEquivalent(t, sess, "twoloops", [][]sqltypes.Value{{}})
+}
+
+// TestLoopInsideIfBranch: the whole cursor pattern nested under an IF.
+func TestLoopInsideIfBranch(t *testing.T) {
+	sess := newDB(t, `
+create table zs (v int);
+insert into zs values (2), (4);
+`)
+	fn := parseFunc(t, `
+create function maybeSum(@go int) returns int as
+begin
+  declare @s int = -1;
+  if @go = 1
+  begin
+    declare @v int;
+    set @s = 0;
+    declare c cursor for select v from zs;
+    open c;
+    fetch next from c into @v;
+    while @@fetch_status = 0
+    begin
+      set @s = @s + @v;
+      fetch next from c into @v;
+    end
+    close c;
+    deallocate c;
+  end
+  return @s;
+end`)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.Options{})
+	if len(res.Loops) != 1 {
+		t.Fatalf("loops = %d (skipped %v)", len(res.Loops), res.Skipped)
+	}
+	assertEquivalent(t, sess, "maybesum", [][]sqltypes.Value{
+		{sqltypes.NewInt(1)}, {sqltypes.NewInt(0)},
+	})
+}

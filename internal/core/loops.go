@@ -1,0 +1,372 @@
+// Package core implements Aggify (paper §4–§8): it detects cursor loops in
+// procedural code, checks the §4.2 preconditions, constructs an equivalent
+// custom aggregate (§5, Figure 4's template), rewrites the cursor query to
+// invoke it (§6, Eqs. 5–6), handles nested loops innermost-first (§6.3.1),
+// lifts counted FOR loops through recursive CTEs (§8.1), and cleans up dead
+// declarations (§6.2).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"aggify/internal/ast"
+)
+
+// CursorLoop describes one detected cursor loop: the statements of the
+// DECLARE/OPEN/FETCH/WHILE/CLOSE/DEALLOCATE pattern within one block.
+type CursorLoop struct {
+	Cursor string
+	// Block is the statement list containing the pattern.
+	Block *ast.Block
+	Decl  *ast.DeclareCursor
+	Open  *ast.OpenCursor
+	// Prime is the priming FETCH before the loop; Inner the one at the end
+	// of the loop body.
+	Prime   *ast.FetchStmt
+	While   *ast.WhileStmt
+	Inner   *ast.FetchStmt
+	Close   *ast.CloseCursor
+	Dealloc *ast.DeallocateCursor
+}
+
+// FetchVars returns the FETCH INTO variable list.
+func (l *CursorLoop) FetchVars() []string { return l.Prime.Into }
+
+// refsFetchStatus reports whether e references @@fetch_status.
+func refsFetchStatus(e ast.Expr) bool {
+	return ast.VarsInExpr(e)[ast.FetchStatusVar]
+}
+
+// FindCursorLoops returns all cursor loops in the body, outermost loops
+// before the loops nested inside them. Loops that do not match the
+// canonical pattern (e.g. a WHILE over @@fetch_status without a matching
+// DECLARE/OPEN/FETCH in the same block) are not returned; they surface in
+// the applicability scan as unrecognized.
+func FindCursorLoops(body ast.Stmt) []*CursorLoop {
+	var out []*CursorLoop
+	var visitBlock func(b *ast.Block)
+	var visitStmt func(s ast.Stmt)
+	visitBlock = func(b *ast.Block) {
+		for i, s := range b.Stmts {
+			if w, ok := s.(*ast.WhileStmt); ok && refsFetchStatus(w.Cond) {
+				if loop := matchLoop(b, i, w); loop != nil {
+					out = append(out, loop)
+				}
+			}
+			visitStmt(s)
+		}
+	}
+	visitStmt = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.Block:
+			visitBlock(st)
+		case *ast.IfStmt:
+			visitStmt(st.Then)
+			visitStmt(st.Else)
+		case *ast.WhileStmt:
+			visitStmt(st.Body)
+		case *ast.ForStmt:
+			visitStmt(st.Body)
+		case *ast.TryCatch:
+			visitStmt(st.Try)
+			visitStmt(st.Catch)
+		}
+	}
+	visitStmt(body)
+	return out
+}
+
+// matchLoop matches the canonical cursor-loop pattern around the WHILE at
+// index i of block b.
+func matchLoop(b *ast.Block, i int, w *ast.WhileStmt) *CursorLoop {
+	// The priming FETCH is the nearest FETCH before the WHILE.
+	var prime *ast.FetchStmt
+	for j := i - 1; j >= 0; j-- {
+		if f, ok := b.Stmts[j].(*ast.FetchStmt); ok {
+			prime = f
+			break
+		}
+	}
+	if prime == nil {
+		return nil
+	}
+	loop := &CursorLoop{Cursor: prime.Cursor, Block: b, Prime: prime, While: w}
+	for j := i - 1; j >= 0; j-- {
+		switch st := b.Stmts[j].(type) {
+		case *ast.DeclareCursor:
+			if st.Name == loop.Cursor && loop.Decl == nil {
+				loop.Decl = st
+			}
+		case *ast.OpenCursor:
+			if st.Name == loop.Cursor && loop.Open == nil {
+				loop.Open = st
+			}
+		}
+	}
+	for j := i + 1; j < len(b.Stmts); j++ {
+		switch st := b.Stmts[j].(type) {
+		case *ast.CloseCursor:
+			if st.Name == loop.Cursor && loop.Close == nil {
+				loop.Close = st
+			}
+		case *ast.DeallocateCursor:
+			if st.Name == loop.Cursor && loop.Dealloc == nil {
+				loop.Dealloc = st
+			}
+		}
+	}
+	if loop.Decl == nil || loop.Open == nil || loop.Close == nil || loop.Dealloc == nil {
+		return nil
+	}
+	// The loop body must end with exactly one FETCH of this cursor.
+	bodyBlock, ok := w.Body.(*ast.Block)
+	if !ok || len(bodyBlock.Stmts) == 0 {
+		return nil
+	}
+	var fetches []*ast.FetchStmt
+	ast.WalkStmt(w.Body, func(s ast.Stmt) bool {
+		if f, ok := s.(*ast.FetchStmt); ok && f.Cursor == loop.Cursor {
+			fetches = append(fetches, f)
+		}
+		return true
+	})
+	if len(fetches) != 1 {
+		return nil
+	}
+	last, ok := bodyBlock.Stmts[len(bodyBlock.Stmts)-1].(*ast.FetchStmt)
+	if !ok || last != fetches[0] {
+		return nil
+	}
+	loop.Inner = last
+	// The priming and inner FETCH lists must agree.
+	if len(prime.Into) != len(last.Into) {
+		return nil
+	}
+	for k := range prime.Into {
+		if prime.Into[k] != last.Into[k] {
+			return nil
+		}
+	}
+	// The fetch arity must match the cursor query projection (star
+	// projections are not matchable).
+	for _, it := range loop.Decl.Query.Items {
+		if it.Star {
+			return nil
+		}
+	}
+	if len(loop.Decl.Query.Items) != len(prime.Into) {
+		return nil
+	}
+	return loop
+}
+
+// ContainsCursorOps reports whether the statement subtree contains cursor
+// operations for any cursor other than skip (used to order nested-loop
+// transformation innermost-first).
+func ContainsCursorOps(s ast.Stmt, skip string) bool {
+	found := false
+	ast.WalkStmt(s, func(st ast.Stmt) bool {
+		switch x := st.(type) {
+		case *ast.DeclareCursor:
+			if x.Name != skip {
+				found = true
+			}
+		case *ast.FetchStmt:
+			if x.Cursor != skip {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// NotAggifiableError explains why a loop cannot be transformed.
+type NotAggifiableError struct {
+	Reason string
+}
+
+func (e *NotAggifiableError) Error() string { return "aggify: " + e.Reason }
+
+func notAggifiable(format string, args ...any) error {
+	return &NotAggifiableError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckApplicability enforces the §4.2 preconditions on a loop body Δ:
+// no modifications of persistent database state, no statements that cannot
+// appear inside a custom aggregate, and (an engine-specific restriction) no
+// references to table variables declared outside the loop. outerTableVars
+// lists table variables declared outside Δ.
+func CheckApplicability(loop *CursorLoop, outerTableVars map[string]bool) error {
+	var err error
+	localTables := map[string]bool{}
+	ast.WalkStmt(loop.While.Body, func(s ast.Stmt) bool {
+		if err != nil {
+			return false
+		}
+		switch st := s.(type) {
+		case *ast.DeclareTable:
+			localTables[st.Name] = true
+		case *ast.InsertStmt:
+			err = checkDMLTarget(st.Table, localTables)
+		case *ast.UpdateStmt:
+			err = checkDMLTarget(st.Table, localTables)
+		case *ast.DeleteStmt:
+			err = checkDMLTarget(st.Table, localTables)
+		case *ast.QueryStmt:
+			err = notAggifiable("loop returns result sets to the client (standalone SELECT)")
+		case *ast.ExecStmt:
+			err = notAggifiable("loop calls procedure %s, which may modify database state", st.Proc)
+		case *ast.ReturnStmt:
+			err = notAggifiable("loop contains RETURN from the enclosing module")
+		case *ast.CreateTable, *ast.CreateIndex, *ast.CreateFunction, *ast.CreateProcedure, *ast.CreateAggregate:
+			err = notAggifiable("loop contains DDL")
+		case *ast.OpenCursor:
+			if st.Name == loop.Cursor {
+				err = notAggifiable("loop re-opens its own cursor")
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	// Table-variable references must be local to the loop (session temp
+	// tables #t are fine: they are shared state the aggregate can reach).
+	ast.WalkStmt(loop.While.Body, func(s ast.Stmt) bool {
+		if err != nil {
+			return false
+		}
+		for name := range tableVarRefs(s) {
+			if !localTables[name] && outerTableVars[name] {
+				err = notAggifiable("loop references table variable %s declared outside the loop", name)
+			}
+		}
+		return true
+	})
+	return err
+}
+
+func checkDMLTarget(table string, localTables map[string]bool) error {
+	if strings.HasPrefix(table, "#") {
+		return nil // session temp table
+	}
+	if strings.HasPrefix(table, "@") {
+		return nil // table variable (locality checked separately)
+	}
+	return notAggifiable("loop modifies persistent table %s", table)
+}
+
+// tableVarRefs collects @table references in the statement's own queries
+// and DML targets (not descending into nested statements).
+func tableVarRefs(s ast.Stmt) map[string]bool {
+	out := map[string]bool{}
+	addQuery := func(q *ast.Select) {
+		if q == nil {
+			return
+		}
+		var visit func(q *ast.Select)
+		visit = func(q *ast.Select) {
+			for branch := q; branch != nil; branch = branch.Union {
+				for _, te := range branch.From {
+					collectTableVarRefs(te, out, visit)
+				}
+			}
+			for _, cte := range q.With {
+				visit(cte.Query)
+			}
+		}
+		visit(q)
+		// Subqueries in expressions.
+		ast.WalkSelectExprs(q, func(e ast.Expr) bool {
+			if sq, ok := e.(*ast.Subquery); ok {
+				visit(sq.Query)
+			}
+			if in, ok := e.(*ast.InExpr); ok && in.Query != nil {
+				visit(in.Query)
+			}
+			return true
+		})
+	}
+	switch st := s.(type) {
+	case *ast.InsertStmt:
+		if strings.HasPrefix(st.Table, "@") {
+			out[st.Table] = true
+		}
+		addQuery(st.Query)
+	case *ast.UpdateStmt:
+		if strings.HasPrefix(st.Table, "@") {
+			out[st.Table] = true
+		}
+	case *ast.DeleteStmt:
+		if strings.HasPrefix(st.Table, "@") {
+			out[st.Table] = true
+		}
+	case *ast.DeclareCursor:
+		addQuery(st.Query)
+	case *ast.QueryStmt:
+		addQuery(st.Query)
+	case *ast.SetStmt:
+		addExprQueries(st.Value, addQuery)
+	case *ast.IfStmt:
+		addExprQueries(st.Cond, addQuery)
+	case *ast.WhileStmt:
+		addExprQueries(st.Cond, addQuery)
+	case *ast.DeclareVar:
+		addExprQueries(st.Init, addQuery)
+	case *ast.ReturnStmt:
+		addExprQueries(st.Value, addQuery)
+	case *ast.PrintStmt:
+		addExprQueries(st.E, addQuery)
+	}
+	return out
+}
+
+func addExprQueries(e ast.Expr, addQuery func(*ast.Select)) {
+	if e == nil {
+		return
+	}
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch sq := x.(type) {
+		case *ast.Subquery:
+			addQuery(sq.Query)
+		case *ast.InExpr:
+			if sq.Query != nil {
+				addQuery(sq.Query)
+			}
+		}
+		return true
+	})
+}
+
+func collectTableVarRefs(te ast.TableExpr, out map[string]bool, visit func(*ast.Select)) {
+	switch t := te.(type) {
+	case *ast.TableRef:
+		if strings.HasPrefix(t.Name, "@") {
+			out[t.Name] = true
+		}
+	case *ast.SubqueryRef:
+		visit(t.Query)
+	case *ast.Join:
+		collectTableVarRefs(t.L, out, visit)
+		collectTableVarRefs(t.R, out, visit)
+	}
+}
+
+// OuterTableVars collects table variables declared in body but outside Δ.
+func OuterTableVars(body ast.Stmt, delta ast.Stmt) map[string]bool {
+	inDelta := map[ast.Stmt]bool{}
+	ast.WalkStmt(delta, func(s ast.Stmt) bool {
+		inDelta[s] = true
+		return true
+	})
+	out := map[string]bool{}
+	ast.WalkStmt(body, func(s ast.Stmt) bool {
+		if dt, ok := s.(*ast.DeclareTable); ok && !inDelta[s] {
+			out[dt.Name] = true
+		}
+		return true
+	})
+	return out
+}

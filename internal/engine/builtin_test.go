@@ -1,0 +1,261 @@
+package engine_test
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+// mustParseQuery parses a single SELECT.
+func mustParseQuery(t *testing.T, sql string) *ast.Select {
+	t.Helper()
+	return parser.MustParse(sql)[0].(*ast.QueryStmt).Query
+}
+
+func TestBuiltinScalarFunctions(t *testing.T) {
+	sess := newDB(t, "")
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"select abs(-4)", "4"},
+		{"select abs(-4.5)", "4.5"},
+		{"select ceiling(1.2)", "2"},
+		{"select floor(1.8)", "1"},
+		{"select sqrt(9.0)", "3"},
+		{"select round(2.567, 2)", "2.57"},
+		{"select round(2.4)", "2"},
+		{"select power(2, 10)", "1024"},
+		{"select sign(-3)", "-1"},
+		{"select sign(0)", "0"},
+		{"select upper('abc')", "'ABC'"},
+		{"select lower('AbC')", "'abc'"},
+		{"select ltrim('  x')", "'x'"},
+		{"select rtrim('x  ')", "'x'"},
+		{"select len('hello')", "5"},
+		{"select substring('hello', 2, 3)", "'ell'"},
+		{"select substring('hello', 4, 99)", "'lo'"},
+		{"select replace('a-b-c', '-', '+')", "'a+b+c'"},
+		{"select coalesce(null, null, 7)", "7"},
+		{"select coalesce(null, 'x', 'y')", "'x'"},
+		{"select isnull(null, 5)", "5"},
+		{"select isnull(3, 5)", "3"},
+		{"select nullif(4, 4)", "NULL"},
+		{"select nullif(4, 5)", "4"},
+		{"select iif(2 > 1, 'yes', 'no')", "'yes'"},
+		{"select year(date '1998-07-21')", "1998"},
+		{"select month(date '1998-07-21')", "7"},
+		{"select day(date '1998-07-21')", "21"},
+		{"select cast_int('42')", "42"},
+		{"select cast_float(3)", "3"},
+		{"select str(12) || '!'", "'12!'"},
+		{"select tuple_get((select 1, 'a'), 1)", "'a'"},
+		{"select abs(null)", "NULL"},
+		{"select upper(null)", "NULL"},
+		{"select year(null)", "NULL"},
+	}
+	for _, c := range cases {
+		rows := query(t, sess, c.sql)
+		if got := rows[0][0].String(); got != c.want {
+			t.Errorf("%s = %s, want %s", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinScalarErrors(t *testing.T) {
+	sess := newDB(t, "")
+	for _, sql := range []string{
+		"select substring('x', 1)",           // arity
+		"select tuple_get(5, 0)",             // non-tuple
+		"select abs('text')",                 // non-numeric
+		"select tuple_get((select 1, 2), 9)", // out of range
+	} {
+		stmts := mustParseQuery(t, sql)
+		if _, _, err := sess.Query(stmts, sess.Ctx(nil, nil)); err == nil {
+			t.Errorf("%s should error", sql)
+		}
+	}
+}
+
+func TestInSubqueryThreeValuedLogic(t *testing.T) {
+	sess := newDB(t, `
+create table vals (v int);
+insert into vals values (1), (2), (null);
+create table probe (p int);
+insert into probe values (1), (5), (null);
+`)
+	// 1 IN {1,2,NULL} -> true; 5 IN {1,2,NULL} -> NULL (not false!);
+	// NULL IN ... -> NULL. WHERE keeps only TRUE.
+	rows := query(t, sess, "select p from probe where p in (select v from vals)")
+	if len(rows) != 1 || rows[0][0].Int() != 1 {
+		t.Fatalf("IN rows = %v", rows)
+	}
+	// NOT IN with a NULL in the list keeps nothing (classic trap).
+	rows = query(t, sess, "select p from probe where p not in (select v from vals)")
+	if len(rows) != 0 {
+		t.Fatalf("NOT IN with NULLs must be empty, got %v", rows)
+	}
+	// Without the NULL row, NOT IN behaves.
+	sess2 := newDB(t, `
+create table vals (v int);
+insert into vals values (1), (2);
+create table probe (p int);
+insert into probe values (1), (5);
+`)
+	rows = query(t, sess2, "select p from probe where p not in (select v from vals)")
+	if len(rows) != 1 || rows[0][0].Int() != 5 {
+		t.Fatalf("NOT IN rows = %v", rows)
+	}
+}
+
+func TestNonEquiJoin(t *testing.T) {
+	sess := newDB(t, `
+create table lo (x int);
+create table hi (y int);
+insert into lo values (1), (5), (9);
+insert into hi values (4), (8);
+`)
+	// Non-equality ON forces a nested-loop join.
+	rows := query(t, sess, "select x, y from lo join hi on x < y order by x, y")
+	want := [][2]int64{{1, 4}, {1, 8}, {5, 8}}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0] || rows[i][1].Int() != w[1] {
+			t.Fatalf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+	// Left join with non-equi ON pads misses.
+	rows = query(t, sess, "select x, y from lo left join hi on x > y order by x")
+	if len(rows) != 4 { // 1 miss + (5,4) + (9,4) + (9,8)
+		t.Fatalf("left non-equi rows = %v", rows)
+	}
+	if rows[0][0].Int() != 1 || !rows[0][1].IsNull() {
+		t.Fatalf("miss row = %v", rows[0])
+	}
+}
+
+func TestIndexNLJoinWithResidual(t *testing.T) {
+	// Two join predicates on the same pair: one drives the index seek, the
+	// other becomes an NL residual.
+	sess := newDB(t, `
+create table a (k int, tag int);
+create table b (k int, tag int, payload int);
+create index ib on b(k);
+insert into a values (1, 1), (1, 2), (2, 1);
+insert into b values (1, 1, 100), (1, 2, 200), (2, 2, 300);
+`)
+	rows := query(t, sess, `select payload from a, b
+	                        where a.k = b.k and a.tag = b.tag order by payload`)
+	if len(rows) != 2 || rows[0][0].Int() != 100 || rows[1][0].Int() != 200 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestQueryScalarHelper(t *testing.T) {
+	sess := newDB(t, "create table one (v int); insert into one values (42);")
+	stmts := mustParseQuery(t, "select v from one")
+	v, err := sess.QueryScalar(stmts, sess.Ctx(nil, nil))
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("scalar = %v, %v", v, err)
+	}
+	empty := mustParseQuery(t, "select v from one where v = 0")
+	v, err = sess.QueryScalar(empty, sess.Ctx(nil, nil))
+	if err != nil || !v.IsNull() {
+		t.Fatalf("empty scalar = %v, %v", v, err)
+	}
+	multi := mustParseQuery(t, "select v, v from one")
+	v, err = sess.QueryScalar(multi, sess.Ctx(nil, nil))
+	if err != nil || v.Kind() != sqltypes.KindTuple {
+		t.Fatalf("multi-col scalar = %v, %v", v, err)
+	}
+}
+
+func TestTempTableDrop(t *testing.T) {
+	sess := newDB(t, "create table #tmp (v int); insert into #tmp values (1);")
+	if _, ok := sess.TempTable("#tmp"); !ok {
+		t.Fatal("missing temp table")
+	}
+	sess.DropTempTable("#tmp")
+	if _, ok := sess.TempTable("#tmp"); ok {
+		t.Fatal("temp table survived drop")
+	}
+	sess.Eng.DropTable("nonexistent") // no-op, must not panic
+}
+
+func TestCTEReferencedTwice(t *testing.T) {
+	sess := newDB(t, `
+create table n (v int);
+insert into n values (1), (2), (3);
+`)
+	rows := query(t, sess, `with doubled(d) as (select v * 2 from n)
+	                        select a.d, b.d from doubled a, doubled b
+	                        where a.d = b.d order by a.d`)
+	if len(rows) != 3 || rows[2][0].Int() != 6 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestStringConcatOfColumns(t *testing.T) {
+	sess := newDB(t, `
+create table people (first varchar(10), last varchar(10));
+insert into people values ('ada', 'lovelace');
+`)
+	rows := query(t, sess, "select first || ' ' || last from people")
+	if rows[0][0].Str() != "ada lovelace" {
+		t.Fatalf("concat = %v", rows[0][0])
+	}
+	if !strings.Contains(rows[0][0].Display(), " ") {
+		t.Fatal("display broken")
+	}
+}
+
+// TestOuterRefThroughNLJoinRightSide pins the trickiest scope-depth case:
+// a correlated subquery whose FROM contains a nested-loop join whose RIGHT
+// side is a derived table referencing the subquery's outer column. The NL
+// join pushes the left row one outer level down, so the derived table's
+// outer reference must be compiled one level deeper.
+func TestOuterRefThroughNLJoinRightSide(t *testing.T) {
+	sess := newDB(t, `
+create table t (a int);
+create table lo (x int);
+create table hi (y int);
+insert into t values (5), (9);
+insert into lo values (1), (8);
+insert into hi values (4), (8), (12);
+`)
+	rows := query(t, sess, `
+	  select a, (select count(*)
+	             from lo join (select y from hi where y > t.a) d on lo.x < d.y) as n
+	  from t order by a`)
+	// a=5: d={8,12}; pairs with lo.x<d.y: (1,8),(1,12),(8,12) = 3
+	// a=9: d={12};   pairs: (1,12),(8,12) = 2
+	if len(rows) != 2 || rows[0][1].Int() != 3 || rows[1][1].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+// TestOuterRefThroughIndexNLJoin covers the comma-join index-NL path with
+// an additional correlated filter on the indexed unit.
+func TestOuterRefThroughIndexNLJoin(t *testing.T) {
+	sess := newDB(t, `
+create table t (a int);
+create table l (k int);
+create table r (k int, v int);
+create index ir on r(k);
+insert into t values (10), (25);
+insert into l values (1), (2);
+insert into r values (1, 5), (1, 20), (2, 30);
+`)
+	rows := query(t, sess, `
+	  select a, (select count(*) from l, r where l.k = r.k and r.v < t.a) as n
+	  from t order by a`)
+	// a=10: matches (1,5) only = 1; a=25: (1,5),(1,20) = 2
+	if len(rows) != 2 || rows[0][1].Int() != 1 || rows[1][1].Int() != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}

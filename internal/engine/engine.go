@@ -1,0 +1,296 @@
+// Package engine ties the storage, planning, and execution layers into a
+// database engine: a catalog of tables, indexes, scalar UDFs, stored
+// procedures, and custom aggregates; sessions with I/O statistics; static
+// explicit cursors that materialize into worktables (the behaviour Aggify
+// optimizes away); and DML execution.
+//
+// The procedural interpreter (package interp) installs itself into the
+// engine via the AggFactory and FuncCaller hooks, which break the mutual
+// dependency between query execution (queries call scalar UDFs) and
+// procedure execution (procedures run queries).
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"aggify/internal/ast"
+	"aggify/internal/exec"
+	"aggify/internal/plan"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Engine is the shared database instance: catalog plus plan cache.
+type Engine struct {
+	mu     sync.RWMutex
+	tables map[string]*storage.Table
+	funcs  map[string]*ast.CreateFunction
+	procs  map[string]*ast.CreateProcedure
+	aggs   map[string]*exec.AggSpec
+	aggSrc map[string]*ast.CreateAggregate
+
+	planMu  sync.Mutex
+	plans   map[planKey]*plan.Plan
+	scalars map[scalarKey]exec.Scalar
+
+	// AggFactory builds an executable aggregate spec from a CREATE AGGREGATE
+	// definition; installed by the interpreter.
+	AggFactory func(def *ast.CreateAggregate, orderSensitive bool) (*exec.AggSpec, error)
+	// FuncCaller invokes a scalar UDF; installed by the interpreter.
+	FuncCaller func(s *Session, ctx *exec.Ctx, def *ast.CreateFunction, args []sqltypes.Value) (sqltypes.Value, error)
+	// ProcCaller invokes a stored procedure; installed by the interpreter.
+	ProcCaller func(s *Session, ctx *exec.Ctx, def *ast.CreateProcedure, args []sqltypes.Value) error
+}
+
+type planKey struct {
+	q    *ast.Select
+	opts plan.Options
+}
+
+type scalarKey struct {
+	e    ast.Expr
+	opts plan.Options
+}
+
+// New creates an empty engine with the built-in aggregates registered.
+func New() *Engine {
+	e := &Engine{
+		tables:  map[string]*storage.Table{},
+		funcs:   map[string]*ast.CreateFunction{},
+		procs:   map[string]*ast.CreateProcedure{},
+		aggs:    map[string]*exec.AggSpec{},
+		aggSrc:  map[string]*ast.CreateAggregate{},
+		plans:   map[planKey]*plan.Plan{},
+		scalars: map[scalarKey]exec.Scalar{},
+	}
+	for name, spec := range exec.BuiltinAggs() {
+		e.aggs[name] = spec
+	}
+	return e
+}
+
+// CreateTable registers a new base table.
+func (e *Engine) CreateTable(name string, schema *storage.Schema) (*storage.Table, error) {
+	name = strings.ToLower(name)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, exists := e.tables[name]; exists {
+		return nil, fmt.Errorf("engine: table %s already exists", name)
+	}
+	t := storage.NewTable(name, schema)
+	e.tables[name] = t
+	e.InvalidatePlans()
+	return t, nil
+}
+
+// DropTable removes a base table (used by tests and the shell).
+func (e *Engine) DropTable(name string) {
+	e.mu.Lock()
+	delete(e.tables, strings.ToLower(name))
+	e.mu.Unlock()
+	e.InvalidatePlans()
+}
+
+// Table returns a base table by name.
+func (e *Engine) Table(name string) (*storage.Table, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// CreateIndex builds a hash index on a base table column and invalidates
+// cached plans so they can pick the new access path.
+func (e *Engine) CreateIndex(table, column string) error {
+	t, ok := e.Table(table)
+	if !ok {
+		return fmt.Errorf("engine: no table %s", table)
+	}
+	if err := t.CreateIndex(column); err != nil {
+		return err
+	}
+	e.InvalidatePlans()
+	return nil
+}
+
+// RegisterFunction registers a scalar UDF definition.
+func (e *Engine) RegisterFunction(def *ast.CreateFunction) error {
+	name := strings.ToLower(def.Name)
+	if plan.IsBuiltinScalarFunc(name) || exec.IsBuiltinAgg(name) {
+		return fmt.Errorf("engine: function %s conflicts with a built-in", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.funcs[name] = def
+	return nil
+}
+
+// Function returns a scalar UDF definition.
+func (e *Engine) Function(name string) (*ast.CreateFunction, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	f, ok := e.funcs[strings.ToLower(name)]
+	return f, ok
+}
+
+// RegisterProcedure registers a stored procedure definition.
+func (e *Engine) RegisterProcedure(def *ast.CreateProcedure) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.procs[strings.ToLower(def.Name)] = def
+	return nil
+}
+
+// Procedure returns a stored procedure definition.
+func (e *Engine) Procedure(name string) (*ast.CreateProcedure, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	p, ok := e.procs[strings.ToLower(name)]
+	return p, ok
+}
+
+// RegisterAggregateSpec registers a native (Go-implemented) custom
+// aggregate. The spec name is lower-cased.
+func (e *Engine) RegisterAggregateSpec(spec *exec.AggSpec) error {
+	name := strings.ToLower(spec.Name)
+	if exec.IsBuiltinAgg(name) {
+		return fmt.Errorf("engine: aggregate %s conflicts with a built-in", name)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aggs[name] = spec
+	return nil
+}
+
+// RegisterAggregate registers an interpreted custom aggregate from its
+// CREATE AGGREGATE definition (the form Aggify generates). orderSensitive
+// marks aggregates generated from ORDER BY cursor loops (paper Eq. 6).
+func (e *Engine) RegisterAggregate(def *ast.CreateAggregate, orderSensitive bool) error {
+	if e.AggFactory == nil {
+		return fmt.Errorf("engine: no aggregate factory installed (missing interp.Install)")
+	}
+	spec, err := e.AggFactory(def, orderSensitive)
+	if err != nil {
+		return err
+	}
+	name := strings.ToLower(def.Name)
+	spec.Name = name
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.aggs[name] = spec
+	e.aggSrc[name] = def
+	return nil
+}
+
+// Aggregate returns a registered aggregate spec.
+func (e *Engine) Aggregate(name string) (*exec.AggSpec, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	a, ok := e.aggs[strings.ToLower(name)]
+	return a, ok
+}
+
+// AggregateSource returns the CREATE AGGREGATE definition of an interpreted
+// aggregate, if it was registered from source.
+func (e *Engine) AggregateSource(name string) (*ast.CreateAggregate, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	src, ok := e.aggSrc[strings.ToLower(name)]
+	return src, ok
+}
+
+// cachedPlan compiles q under the catalog (or returns the cached plan).
+func (e *Engine) cachedPlan(cat plan.Catalog, opts plan.Options, q *ast.Select) (*plan.Plan, error) {
+	key := planKey{q: q, opts: opts}
+	e.planMu.Lock()
+	p, ok := e.plans[key]
+	e.planMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	p, err := plan.Compile(cat, opts, q)
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	e.plans[key] = p
+	e.planMu.Unlock()
+	return p, nil
+}
+
+// CachedScalar compiles an expression (with caching keyed by AST node
+// identity) for evaluation outside a table context: procedure statements,
+// variable initializers, and aggregate bodies.
+func (e *Engine) CachedScalar(cat plan.Catalog, opts plan.Options, expr ast.Expr) (exec.Scalar, error) {
+	key := scalarKey{e: expr, opts: opts}
+	e.planMu.Lock()
+	s, ok := e.scalars[key]
+	e.planMu.Unlock()
+	if ok {
+		return s, nil
+	}
+	s, err := plan.CompileScalar(cat, opts, expr)
+	if err != nil {
+		return nil, err
+	}
+	e.planMu.Lock()
+	e.scalars[key] = s
+	e.planMu.Unlock()
+	return s, nil
+}
+
+// InvalidatePlans drops the plan and expression caches (after DDL that
+// changes schemas).
+func (e *Engine) InvalidatePlans() {
+	e.planMu.Lock()
+	e.plans = map[planKey]*plan.Plan{}
+	e.scalars = map[scalarKey]exec.Scalar{}
+	e.planMu.Unlock()
+}
+
+// CatalogWithTemp returns a planner catalog over this engine with an
+// additional temp-table resolver (used by the aggregate-body compiler,
+// which runs at registration time without a session).
+func (e *Engine) CatalogWithTemp(temp func(string) (*storage.Table, bool)) plan.Catalog {
+	return sessionCatalog{eng: e, temp: temp}
+}
+
+// sessionCatalog adapts the engine (plus a session's temp-table resolver)
+// to the planner's Catalog interface.
+type sessionCatalog struct {
+	eng  *Engine
+	temp func(name string) (*storage.Table, bool)
+}
+
+// ResolveTable implements plan.Catalog.
+func (c sessionCatalog) ResolveTable(name string) (*storage.Table, error) {
+	name = strings.ToLower(name)
+	if len(name) > 0 && (name[0] == '@' || name[0] == '#') {
+		if c.temp != nil {
+			if t, ok := c.temp(name); ok {
+				return t, nil
+			}
+		}
+		return nil, fmt.Errorf("engine: undeclared table variable %s", name)
+	}
+	if t, ok := c.eng.Table(name); ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("engine: no table %s", name)
+}
+
+// AggSpec implements plan.Catalog.
+func (c sessionCatalog) AggSpec(name string) (*exec.AggSpec, bool) {
+	return c.eng.Aggregate(name)
+}
+
+// ScalarFuncExists implements plan.Catalog.
+func (c sessionCatalog) ScalarFuncExists(name string) bool {
+	_, ok := c.eng.Function(name)
+	return ok
+}
+
+// TypeOfExprDefault is the declared type used when none can be inferred.
+var TypeOfExprDefault = sqltypes.Unknown

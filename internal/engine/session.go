@@ -1,0 +1,358 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/exec"
+	"aggify/internal/plan"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Session is one connection to the engine: it carries I/O statistics,
+// planner options, the interrupt channel, and collected PRINT output.
+type Session struct {
+	Eng   *Engine
+	Stats *storage.Stats
+	Opts  plan.Options
+	// Interrupt aborts long executions when closed (used to reproduce the
+	// paper's "forcibly terminated after N hours" runs on a budget).
+	Interrupt <-chan struct{}
+	// InMemoryWorktables disables disk-backed cursor worktables (the
+	// materialization-cost ablation; see storage.Worktable).
+	InMemoryWorktables bool
+
+	prints     []string
+	tempTables map[string]*storage.Table // session temp tables (#name)
+}
+
+// NewSession creates a session with fresh statistics.
+func (e *Engine) NewSession() *Session {
+	return &Session{Eng: e, Stats: &storage.Stats{}, tempTables: map[string]*storage.Table{}}
+}
+
+// CreateTempTable registers a session-scoped temp table (#name). Creating
+// an existing temp table replaces it.
+func (s *Session) CreateTempTable(name string, schema *storage.Schema) *storage.Table {
+	name = strings.ToLower(name)
+	t := storage.NewTable(name, schema)
+	s.tempTables[name] = t
+	return t
+}
+
+// TempTable resolves a session temp table.
+func (s *Session) TempTable(name string) (*storage.Table, bool) {
+	t, ok := s.tempTables[strings.ToLower(name)]
+	return t, ok
+}
+
+// DropTempTable removes a session temp table.
+func (s *Session) DropTempTable(name string) {
+	delete(s.tempTables, strings.ToLower(name))
+}
+
+// Print records a PRINT message.
+func (s *Session) Print(msg string) { s.prints = append(s.prints, msg) }
+
+// Prints returns and clears the collected PRINT output.
+func (s *Session) Prints() []string {
+	out := s.prints
+	s.prints = nil
+	return out
+}
+
+// Ctx builds an execution context. vars resolves procedural variables and
+// temp resolves table variables; both may be nil outside procedures.
+func (s *Session) Ctx(vars func(string) (sqltypes.Value, bool), temp func(string) (*storage.Table, bool)) *exec.Ctx {
+	ctx := &exec.Ctx{
+		Vars:      vars,
+		Temp:      s.tempResolver(temp),
+		Stats:     s.Stats,
+		Interrupt: s.Interrupt,
+		Owner:     s,
+	}
+	ctx.CallFunc = func(name string, args []sqltypes.Value) (sqltypes.Value, error) {
+		def, ok := s.Eng.Function(name)
+		if !ok {
+			return sqltypes.Null, fmt.Errorf("engine: unknown function %s", name)
+		}
+		if s.Eng.FuncCaller == nil {
+			return sqltypes.Null, fmt.Errorf("engine: no function caller installed (missing interp.Install)")
+		}
+		return s.Eng.FuncCaller(s, ctx, def, args)
+	}
+	return ctx
+}
+
+// tempResolver layers a frame-local resolver over the session temp tables.
+func (s *Session) tempResolver(frame func(string) (*storage.Table, bool)) func(string) (*storage.Table, bool) {
+	return func(name string) (*storage.Table, bool) {
+		if frame != nil {
+			if t, ok := frame(name); ok {
+				return t, true
+			}
+		}
+		return s.TempTable(name)
+	}
+}
+
+// Catalog returns the planner catalog bound to a temp-table resolver.
+func (s *Session) Catalog(temp func(string) (*storage.Table, bool)) plan.Catalog {
+	return sessionCatalog{eng: s.Eng, temp: s.tempResolver(temp)}
+}
+
+// PlanQuery compiles (with caching) a query.
+func (s *Session) PlanQuery(q *ast.Select, temp func(string) (*storage.Table, bool)) (*plan.Plan, error) {
+	return s.Eng.cachedPlan(s.Catalog(temp), s.Opts, q)
+}
+
+// Query plans and runs a SELECT, returning column names and rows.
+func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, error) {
+	var temp func(string) (*storage.Table, bool)
+	if ctx != nil {
+		temp = ctx.Temp
+	} else {
+		ctx = s.Ctx(nil, nil)
+	}
+	p, err := s.PlanQuery(q, temp)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := p.Run(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.Stats.RowsEmitted.Add(int64(len(rows)))
+	return p.Columns, rows, nil
+}
+
+// QueryScalar runs a query expected to produce a single value (first column
+// of the first row; NULL when the result is empty).
+func (s *Session) QueryScalar(q *ast.Select, ctx *exec.Ctx) (sqltypes.Value, error) {
+	_, rows, err := s.Query(q, ctx)
+	if err != nil {
+		return sqltypes.Null, err
+	}
+	if len(rows) == 0 {
+		return sqltypes.Null, nil
+	}
+	if len(rows) > 1 {
+		return sqltypes.Null, fmt.Errorf("engine: scalar query returned %d rows", len(rows))
+	}
+	if len(rows[0]) == 1 {
+		return rows[0][0], nil
+	}
+	return sqltypes.NewTuple(rows[0]), nil
+}
+
+// resolveDMLTable resolves a DML target: base table or temp/table variable.
+func (s *Session) resolveDMLTable(name string, ctx *exec.Ctx) (*storage.Table, error) {
+	name = strings.ToLower(name)
+	if len(name) > 0 && (name[0] == '@' || name[0] == '#') {
+		if ctx != nil && ctx.Temp != nil {
+			if t, ok := ctx.Temp(name); ok {
+				return t, nil
+			}
+		}
+		return nil, fmt.Errorf("engine: undeclared table variable %s", name)
+	}
+	if t, ok := s.Eng.Table(name); ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("engine: no table %s", name)
+}
+
+// Insert executes an INSERT statement.
+func (s *Session) Insert(st *ast.InsertStmt, ctx *exec.Ctx) (int, error) {
+	tab, err := s.resolveDMLTable(st.Table, ctx)
+	if err != nil {
+		return 0, err
+	}
+	// Map the column list (or the full schema) to target ordinals.
+	ordinals := make([]int, 0, tab.Schema.Len())
+	if len(st.Columns) == 0 {
+		for i := range tab.Schema.Columns {
+			ordinals = append(ordinals, i)
+		}
+	} else {
+		for _, cname := range st.Columns {
+			ord := tab.Schema.Ordinal(cname)
+			if ord < 0 {
+				return 0, fmt.Errorf("engine: table %s has no column %s", tab.Name, cname)
+			}
+			ordinals = append(ordinals, ord)
+		}
+	}
+	buildRow := func(vals []sqltypes.Value) ([]sqltypes.Value, error) {
+		if len(vals) != len(ordinals) {
+			return nil, fmt.Errorf("engine: INSERT into %s expects %d values, got %d", tab.Name, len(ordinals), len(vals))
+		}
+		row := make([]sqltypes.Value, tab.Schema.Len())
+		for i := range row {
+			row[i] = sqltypes.Null
+		}
+		for i, ord := range ordinals {
+			row[ord] = vals[i]
+		}
+		return row, nil
+	}
+	n := 0
+	if st.Query != nil {
+		_, rows, err := s.Query(st.Query, ctx)
+		if err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			row, err := buildRow(r)
+			if err != nil {
+				return n, err
+			}
+			if err := tab.Insert(row); err != nil {
+				return n, err
+			}
+			n++
+		}
+		return n, nil
+	}
+	cat := s.Catalog(tempOf(ctx))
+	for _, exprRow := range st.Rows {
+		vals := make([]sqltypes.Value, len(exprRow))
+		for i, e := range exprRow {
+			sc, err := plan.CompileScalar(cat, s.Opts, e)
+			if err != nil {
+				return n, err
+			}
+			if vals[i], err = sc(ctx, nil); err != nil {
+				return n, err
+			}
+		}
+		row, err := buildRow(vals)
+		if err != nil {
+			return n, err
+		}
+		if err := tab.Insert(row); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Update executes an UPDATE statement, returning the number of rows
+// modified.
+func (s *Session) Update(st *ast.UpdateStmt, ctx *exec.Ctx) (int, error) {
+	tab, err := s.resolveDMLTable(st.Table, ctx)
+	if err != nil {
+		return 0, err
+	}
+	cat := s.Catalog(tempOf(ctx))
+	var pred exec.Scalar
+	if st.Where != nil {
+		if pred, err = plan.CompileRowExpr(cat, s.Opts, st.Where, tab); err != nil {
+			return 0, err
+		}
+	}
+	type setter struct {
+		ord int
+		sc  exec.Scalar
+	}
+	setters := make([]setter, len(st.Sets))
+	for i, sc := range st.Sets {
+		ord := tab.Schema.Ordinal(sc.Column)
+		if ord < 0 {
+			return 0, fmt.Errorf("engine: table %s has no column %s", tab.Name, sc.Column)
+		}
+		compiled, err := plan.CompileRowExpr(cat, s.Opts, sc.Value, tab)
+		if err != nil {
+			return 0, err
+		}
+		setters[i] = setter{ord: ord, sc: compiled}
+	}
+	// Collect matching rows first, then apply (avoids scan-while-update).
+	type change struct {
+		rid int
+		row []sqltypes.Value
+	}
+	var changes []change
+	var evalErr error
+	tab.Scan(s.Stats, func(rid int, row []sqltypes.Value) bool {
+		if pred != nil {
+			v, err := pred(ctx, row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		newRow := append([]sqltypes.Value(nil), row...)
+		for _, st := range setters {
+			v, err := st.sc(ctx, row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			newRow[st.ord] = v
+		}
+		changes = append(changes, change{rid, newRow})
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, ch := range changes {
+		if err := tab.Update(ch.rid, ch.row); err != nil {
+			return 0, err
+		}
+	}
+	return len(changes), nil
+}
+
+// Delete executes a DELETE statement, returning the number of rows removed.
+func (s *Session) Delete(st *ast.DeleteStmt, ctx *exec.Ctx) (int, error) {
+	tab, err := s.resolveDMLTable(st.Table, ctx)
+	if err != nil {
+		return 0, err
+	}
+	var pred exec.Scalar
+	if st.Where != nil {
+		if pred, err = plan.CompileRowExpr(s.Catalog(tempOf(ctx)), s.Opts, st.Where, tab); err != nil {
+			return 0, err
+		}
+	}
+	var rids []int
+	var evalErr error
+	tab.Scan(s.Stats, func(rid int, row []sqltypes.Value) bool {
+		if pred != nil {
+			v, err := pred(ctx, row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !v.Truthy() {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	for _, rid := range rids {
+		if err := tab.Delete(rid); err != nil {
+			return 0, err
+		}
+	}
+	return len(rids), nil
+}
+
+func tempOf(ctx *exec.Ctx) func(string) (*storage.Table, bool) {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Temp
+}

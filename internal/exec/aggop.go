@@ -1,0 +1,505 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"aggify/internal/sqltypes"
+)
+
+// AggInstance pairs an aggregate spec with its compiled argument scalars.
+type AggInstance struct {
+	Spec *AggSpec
+	Args []Scalar
+	Star bool // COUNT(*): no arguments are evaluated
+}
+
+// step folds one row, reusing buf for argument evaluation (Step
+// implementations must not retain the slice).
+func (ai *AggInstance) step(ctx *Ctx, agg Aggregator, row Row, buf []sqltypes.Value) error {
+	if ai.Star {
+		return agg.Step(ctx, nil)
+	}
+	for i, s := range ai.Args {
+		v, err := s(ctx, row)
+		if err != nil {
+			return err
+		}
+		buf[i] = v
+	}
+	return agg.Step(ctx, buf[:len(ai.Args)])
+}
+
+// argBuffers allocates one reusable argument buffer per aggregate.
+func argBuffers(aggs []AggInstance) [][]sqltypes.Value {
+	out := make([][]sqltypes.Value, len(aggs))
+	for i, ai := range aggs {
+		out[i] = make([]sqltypes.Value, len(ai.Args))
+	}
+	return out
+}
+
+// HashAggOp groups its input by GroupKeys and folds each group through the
+// aggregates. With no group keys it is a scalar aggregate: exactly one
+// output row, produced even for empty input (Init + Terminate only — the
+// semantics Aggify's empty-cursor case relies on).
+type HashAggOp struct {
+	Child     Operator
+	GroupKeys []Scalar
+	Aggs      []AggInstance
+
+	groups []Row
+	pos    int
+}
+
+// Open implements Operator: it consumes the child entirely.
+func (o *HashAggOp) Open(ctx *Ctx) error {
+	o.groups = nil
+	o.pos = 0
+	if err := o.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer o.Child.Close()
+
+	type group struct {
+		keys []sqltypes.Value
+		aggs []Aggregator
+	}
+	newGroup := func(keys []sqltypes.Value) *group {
+		g := &group{keys: keys, aggs: make([]Aggregator, len(o.Aggs))}
+		for i, ai := range o.Aggs {
+			g.aggs[i] = ai.Spec.New()
+			g.aggs[i].Reset()
+		}
+		return g
+	}
+	table := map[uint64][]*group{}
+	bufs := argBuffers(o.Aggs)
+	var order []*group // preserve first-seen group order for determinism
+	var scalarGroup *group
+	if len(o.GroupKeys) == 0 {
+		scalarGroup = newGroup(nil)
+		order = append(order, scalarGroup)
+	}
+	n := 0
+	for {
+		row, err := o.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		n++
+		if n%1024 == 0 && ctx.Interrupted() {
+			return ErrInterrupted
+		}
+		g := scalarGroup
+		if g == nil {
+			keys := make([]sqltypes.Value, len(o.GroupKeys))
+			for i, k := range o.GroupKeys {
+				if keys[i], err = k(ctx, row); err != nil {
+					return err
+				}
+			}
+			h := sqltypes.HashRow(keys)
+			for _, cand := range table[h] {
+				if sqltypes.RowsGroupEqual(cand.keys, keys) {
+					g = cand
+					break
+				}
+			}
+			if g == nil {
+				g = newGroup(keys)
+				table[h] = append(table[h], g)
+				order = append(order, g)
+			}
+		}
+		for i := range o.Aggs {
+			if err := o.Aggs[i].step(ctx, g.aggs[i], row, bufs[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range order {
+		out := make(Row, len(g.keys)+len(g.aggs))
+		copy(out, g.keys)
+		for i, a := range g.aggs {
+			v, err := a.Result(ctx)
+			if err != nil {
+				return err
+			}
+			out[len(g.keys)+i] = v
+		}
+		o.groups = append(o.groups, out)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *HashAggOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.groups) {
+		return nil, nil
+	}
+	r := o.groups[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *HashAggOp) Close() { o.groups = nil }
+
+// StreamAggOp is the streaming aggregate operator: it folds its input in
+// arrival order, emitting a group whenever the group keys change. Its input
+// must already be grouped (sorted) by the keys. This is the operator the
+// Aggify rewrite rule (paper Eq. 6) enforces for order-sensitive custom
+// aggregates: the input order is exactly the order Accumulate observes.
+type StreamAggOp struct {
+	Child     Operator
+	GroupKeys []Scalar
+	Aggs      []AggInstance
+
+	curKeys  []sqltypes.Value
+	curAggs  []Aggregator
+	started  bool
+	childEOF bool
+	emitted  bool // scalar-aggregate case: one row emitted
+	bufs     [][]sqltypes.Value
+}
+
+// Open implements Operator.
+func (o *StreamAggOp) Open(ctx *Ctx) error {
+	o.curKeys = nil
+	o.curAggs = nil
+	o.started = false
+	o.childEOF = false
+	o.emitted = false
+	o.bufs = argBuffers(o.Aggs)
+	return o.Child.Open(ctx)
+}
+
+func (o *StreamAggOp) freshAggs() []Aggregator {
+	aggs := make([]Aggregator, len(o.Aggs))
+	for i, ai := range o.Aggs {
+		aggs[i] = ai.Spec.New()
+		aggs[i].Reset()
+	}
+	return aggs
+}
+
+func (o *StreamAggOp) result(ctx *Ctx) (Row, error) {
+	out := make(Row, len(o.curKeys)+len(o.curAggs))
+	copy(out, o.curKeys)
+	for i, a := range o.curAggs {
+		v, err := a.Result(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[len(o.curKeys)+i] = v
+	}
+	return out, nil
+}
+
+// Next implements Operator.
+func (o *StreamAggOp) Next(ctx *Ctx) (Row, error) {
+	if o.childEOF {
+		return nil, nil
+	}
+	n := 0
+	for {
+		n++
+		if n%1024 == 0 && ctx.Interrupted() {
+			return nil, ErrInterrupted
+		}
+		row, err := o.Child.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			o.childEOF = true
+			o.Child.Close()
+			if len(o.GroupKeys) == 0 {
+				// Scalar aggregate: always exactly one row.
+				if o.emitted {
+					return nil, nil
+				}
+				o.emitted = true
+				if !o.started {
+					o.curAggs = o.freshAggs()
+				}
+				return o.result(ctx)
+			}
+			if o.started {
+				o.started = false
+				return o.result(ctx)
+			}
+			return nil, nil
+		}
+		var keys []sqltypes.Value
+		if len(o.GroupKeys) > 0 {
+			keys = make([]sqltypes.Value, len(o.GroupKeys))
+			for i, k := range o.GroupKeys {
+				if keys[i], err = k(ctx, row); err != nil {
+					return nil, err
+				}
+			}
+		}
+		var emit Row
+		if o.started && len(o.GroupKeys) > 0 && !sqltypes.RowsGroupEqual(keys, o.curKeys) {
+			if emit, err = o.result(ctx); err != nil {
+				return nil, err
+			}
+			o.started = false
+		}
+		if !o.started {
+			o.curKeys = keys
+			o.curAggs = o.freshAggs()
+			o.started = true
+			if len(o.GroupKeys) == 0 {
+				o.emitted = false
+			}
+		}
+		for i := range o.Aggs {
+			if err := o.Aggs[i].step(ctx, o.curAggs[i], row, o.bufs[i]); err != nil {
+				return nil, err
+			}
+		}
+		if emit != nil {
+			return emit, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *StreamAggOp) Close() {
+	if !o.childEOF {
+		o.Child.Close()
+	}
+}
+
+// ParallelAggOp materializes its input, splits it across Workers goroutines
+// each running its own aggregator instances, and combines partial states
+// with Merge — the parallel path of the custom-aggregate contract (§3.1).
+// It must only be used for order-insensitive aggregates.
+type ParallelAggOp struct {
+	Child     Operator
+	GroupKeys []Scalar
+	Aggs      []AggInstance
+	Workers   int
+
+	groups []Row
+	pos    int
+}
+
+type pagGroup struct {
+	keys []sqltypes.Value
+	aggs []Aggregator
+}
+
+// Open implements Operator.
+func (o *ParallelAggOp) Open(ctx *Ctx) error {
+	o.groups = nil
+	o.pos = 0
+	rows, err := Drain(ctx, o.Child)
+	if err != nil {
+		return err
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rows) && len(rows) > 0 {
+		workers = len(rows)
+	}
+	if len(rows) == 0 {
+		workers = 1
+	}
+	partials := make([]map[uint64][]*pagGroup, workers)
+	orders := make([][]*pagGroup, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			// Each worker gets its own Ctx view (shared Stats is atomic).
+			wctx := *ctx
+			partials[w], orders[w], errs[w] = o.aggregateChunk(&wctx, rows[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Merge worker partials into worker 0's table.
+	master := partials[0]
+	masterOrder := orders[0]
+	for w := 1; w < workers; w++ {
+		for _, g := range orders[w] {
+			h := sqltypes.HashRow(g.keys)
+			var target *pagGroup
+			for _, cand := range master[h] {
+				if sqltypes.RowsGroupEqual(cand.keys, g.keys) {
+					target = cand
+					break
+				}
+			}
+			if target == nil {
+				master[h] = append(master[h], g)
+				masterOrder = append(masterOrder, g)
+				continue
+			}
+			for i := range target.aggs {
+				if err := target.aggs[i].Merge(g.aggs[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if len(o.GroupKeys) == 0 && len(masterOrder) == 0 {
+		// Scalar aggregate over empty input: Init + Terminate.
+		g := &pagGroup{aggs: make([]Aggregator, len(o.Aggs))}
+		for i, ai := range o.Aggs {
+			g.aggs[i] = ai.Spec.New()
+			g.aggs[i].Reset()
+		}
+		masterOrder = append(masterOrder, g)
+	}
+	for _, g := range masterOrder {
+		out := make(Row, len(g.keys)+len(g.aggs))
+		copy(out, g.keys)
+		for i, a := range g.aggs {
+			v, err := a.Result(ctx)
+			if err != nil {
+				return err
+			}
+			out[len(g.keys)+i] = v
+		}
+		o.groups = append(o.groups, out)
+	}
+	return nil
+}
+
+func (o *ParallelAggOp) aggregateChunk(ctx *Ctx, rows []Row) (map[uint64][]*pagGroup, []*pagGroup, error) {
+	table := map[uint64][]*pagGroup{}
+	bufs := argBuffers(o.Aggs)
+	var order []*pagGroup
+	for _, row := range rows {
+		var keys []sqltypes.Value
+		if len(o.GroupKeys) > 0 {
+			keys = make([]sqltypes.Value, len(o.GroupKeys))
+			for i, k := range o.GroupKeys {
+				v, err := k(ctx, row)
+				if err != nil {
+					return nil, nil, err
+				}
+				keys[i] = v
+			}
+		}
+		h := sqltypes.HashRow(keys)
+		var g *pagGroup
+		for _, cand := range table[h] {
+			if sqltypes.RowsGroupEqual(cand.keys, keys) {
+				g = cand
+				break
+			}
+		}
+		if g == nil {
+			g = &pagGroup{keys: keys, aggs: make([]Aggregator, len(o.Aggs))}
+			for i, ai := range o.Aggs {
+				g.aggs[i] = ai.Spec.New()
+				g.aggs[i].Reset()
+			}
+			table[h] = append(table[h], g)
+			order = append(order, g)
+		}
+		for i := range o.Aggs {
+			if err := o.Aggs[i].step(ctx, g.aggs[i], row, bufs[i]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return table, order, nil
+}
+
+// Next implements Operator.
+func (o *ParallelAggOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.groups) {
+		return nil, nil
+	}
+	r := o.groups[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *ParallelAggOp) Close() { o.groups = nil }
+
+// RecursiveCTEOp evaluates a recursive common table expression with UNION
+// ALL semantics: the seed runs once; then the recursive branch runs against
+// the previous iteration's delta until it yields no rows. It backs the
+// paper's §8.1 FOR-loop lifting.
+type RecursiveCTEOp struct {
+	Seed      Operator
+	Recursive Operator
+	// Delta is shared with the DeltaScanOp leaves inside Recursive.
+	Delta *[]Row
+	// MaxIterations caps runaway recursion (0 = default 1e6).
+	MaxIterations int
+
+	out []Row
+	pos int
+}
+
+// Open implements Operator.
+func (o *RecursiveCTEOp) Open(ctx *Ctx) error {
+	o.out = nil
+	o.pos = 0
+	limit := o.MaxIterations
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	seedRows, err := Drain(ctx, o.Seed)
+	if err != nil {
+		return err
+	}
+	o.out = append(o.out, seedRows...)
+	delta := seedRows
+	for iter := 0; len(delta) > 0; iter++ {
+		if iter >= limit {
+			return fmt.Errorf("exec: recursive CTE exceeded %d iterations", limit)
+		}
+		if ctx.Interrupted() {
+			return ErrInterrupted
+		}
+		*o.Delta = delta
+		next, err := Drain(ctx, o.Recursive)
+		if err != nil {
+			return err
+		}
+		o.out = append(o.out, next...)
+		delta = next
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *RecursiveCTEOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.out) {
+		return nil, nil
+	}
+	r := o.out[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *RecursiveCTEOp) Close() { o.out = nil }

@@ -1,0 +1,744 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// ----- Leaf operators -----
+
+// ValuesOp emits a fixed list of rows, each produced by evaluating scalars
+// (so VALUES may reference variables and parameters).
+type ValuesOp struct {
+	Rows [][]Scalar
+	pos  int
+}
+
+// Open implements Operator.
+func (o *ValuesOp) Open(*Ctx) error { o.pos = 0; return nil }
+
+// Next implements Operator.
+func (o *ValuesOp) Next(ctx *Ctx) (Row, error) {
+	if o.pos >= len(o.Rows) {
+		return nil, nil
+	}
+	scalars := o.Rows[o.pos]
+	o.pos++
+	row := make(Row, len(scalars))
+	for i, s := range scalars {
+		v, err := s(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// Close implements Operator.
+func (o *ValuesOp) Close() {}
+
+// OneRowOp emits a single empty row; it feeds projections with no FROM
+// clause (SELECT 1 + 2).
+type OneRowOp struct {
+	done bool
+}
+
+// Open implements Operator.
+func (o *OneRowOp) Open(*Ctx) error { o.done = false; return nil }
+
+// Next implements Operator.
+func (o *OneRowOp) Next(*Ctx) (Row, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return Row{}, nil
+}
+
+// Close implements Operator.
+func (o *OneRowOp) Close() {}
+
+// ScanOp scans a base table (or table variable / temp table).
+type ScanOp struct {
+	Table *storage.Table
+
+	rows [][]sqltypes.Value
+	pos  int
+}
+
+// Open implements Operator. The scan snapshots matching row references so
+// concurrent inserts during iteration (e.g. INSERT ... SELECT on the same
+// table) do not loop forever.
+func (o *ScanOp) Open(ctx *Ctx) error {
+	o.rows = o.rows[:0]
+	o.pos = 0
+	o.Table.Scan(ctx.Stats, func(_ int, row []sqltypes.Value) bool {
+		o.rows = append(o.rows, row)
+		return true
+	})
+	return nil
+}
+
+// Next implements Operator.
+func (o *ScanOp) Next(ctx *Ctx) (Row, error) {
+	if o.pos%1024 == 0 && ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *ScanOp) Close() { o.rows = nil }
+
+// IndexSeekOp returns the rows of Table whose Column equals the key scalar,
+// which is evaluated at Open (it may reference variables or outer rows).
+type IndexSeekOp struct {
+	Table  *storage.Table
+	Column string
+	Key    Scalar
+
+	rows [][]sqltypes.Value
+	pos  int
+}
+
+// Open implements Operator.
+func (o *IndexSeekOp) Open(ctx *Ctx) error {
+	o.rows = o.rows[:0]
+	o.pos = 0
+	key, err := o.Key(ctx, nil)
+	if err != nil {
+		return err
+	}
+	if key.IsNull() {
+		return nil // equality with NULL matches nothing
+	}
+	if !o.Table.Seek(ctx.Stats, o.Column, key, func(_ int, row []sqltypes.Value) bool {
+		o.rows = append(o.rows, row)
+		return true
+	}) {
+		return fmt.Errorf("exec: no index on %s(%s)", o.Table.Name, o.Column)
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *IndexSeekOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *IndexSeekOp) Close() { o.rows = nil }
+
+// LateScanOp scans a table variable or temp table resolved from the
+// context at Open time. Plans over such tables are cached across procedure
+// invocations even though each invocation declares fresh instances.
+type LateScanOp struct {
+	Name string
+	scan ScanOp
+}
+
+// Open implements Operator.
+func (o *LateScanOp) Open(ctx *Ctx) error {
+	if ctx.Temp == nil {
+		return fmt.Errorf("exec: no temp-table resolver for %s", o.Name)
+	}
+	tab, ok := ctx.Temp(o.Name)
+	if !ok {
+		return fmt.Errorf("exec: undeclared table variable %s", o.Name)
+	}
+	o.scan = ScanOp{Table: tab}
+	return o.scan.Open(ctx)
+}
+
+// Next implements Operator.
+func (o *LateScanOp) Next(ctx *Ctx) (Row, error) { return o.scan.Next(ctx) }
+
+// Close implements Operator.
+func (o *LateScanOp) Close() { o.scan.Close() }
+
+// DeltaScanOp reads from a shared row buffer; the recursive-CTE operator
+// points it at the previous iteration's delta.
+type DeltaScanOp struct {
+	Source *[]Row
+	pos    int
+}
+
+// Open implements Operator.
+func (o *DeltaScanOp) Open(*Ctx) error { o.pos = 0; return nil }
+
+// Next implements Operator.
+func (o *DeltaScanOp) Next(*Ctx) (Row, error) {
+	rows := *o.Source
+	if o.pos >= len(rows) {
+		return nil, nil
+	}
+	r := rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *DeltaScanOp) Close() {}
+
+// BufferScanOp emits rows from a fixed buffer (materialized CTE results).
+type BufferScanOp struct {
+	Rows []Row
+	pos  int
+}
+
+// Open implements Operator.
+func (o *BufferScanOp) Open(*Ctx) error { o.pos = 0; return nil }
+
+// Next implements Operator.
+func (o *BufferScanOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.Rows) {
+		return nil, nil
+	}
+	r := o.Rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *BufferScanOp) Close() {}
+
+// ----- Row transformers -----
+
+// FilterOp passes through rows satisfying Pred.
+type FilterOp struct {
+	Child Operator
+	Pred  Scalar
+}
+
+// Open implements Operator.
+func (o *FilterOp) Open(ctx *Ctx) error { return o.Child.Open(ctx) }
+
+// Next implements Operator.
+func (o *FilterOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		r, err := o.Child.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		v, err := o.Pred(ctx, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.Truthy() {
+			return r, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *FilterOp) Close() { o.Child.Close() }
+
+// ProjectOp maps each input row through a list of scalars.
+type ProjectOp struct {
+	Child Operator
+	Exprs []Scalar
+}
+
+// Open implements Operator.
+func (o *ProjectOp) Open(ctx *Ctx) error { return o.Child.Open(ctx) }
+
+// Next implements Operator.
+func (o *ProjectOp) Next(ctx *Ctx) (Row, error) {
+	r, err := o.Child.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(Row, len(o.Exprs))
+	for i, s := range o.Exprs {
+		if out[i], err = s(ctx, r); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (o *ProjectOp) Close() { o.Child.Close() }
+
+// ----- Joins -----
+
+// NLJoinOp is a nested-loop join that pushes each left row onto the
+// outer-row stack and re-opens the right child, which may therefore be
+// correlated (an IndexSeekOp keyed by the left row, or an arbitrary
+// dependent subplan). It thus doubles as the Apply operator.
+type NLJoinOp struct {
+	Left       Operator
+	Right      Operator
+	LeftWidth  int
+	RightWidth int
+	On         Scalar // evaluated on the combined row; nil = always true
+	LeftOuter  bool
+
+	leftRow    Row
+	rightOpen  bool
+	matched    bool
+	checkCount int
+}
+
+// Open implements Operator.
+func (o *NLJoinOp) Open(ctx *Ctx) error {
+	o.leftRow = nil
+	o.rightOpen = false
+	o.matched = false
+	return o.Left.Open(ctx)
+}
+
+// Next implements Operator.
+func (o *NLJoinOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		o.checkCount++
+		if o.checkCount%1024 == 0 && ctx.Interrupted() {
+			return nil, ErrInterrupted
+		}
+		if !o.rightOpen {
+			lr, err := o.Left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if lr == nil {
+				return nil, nil
+			}
+			o.leftRow = lr
+			o.matched = false
+			ctx.OuterRows = append(ctx.OuterRows, lr)
+			err = o.Right.Open(ctx)
+			ctx.OuterRows = ctx.OuterRows[:len(ctx.OuterRows)-1]
+			if err != nil {
+				return nil, err
+			}
+			o.rightOpen = true
+		}
+		ctx.OuterRows = append(ctx.OuterRows, o.leftRow)
+		rr, err := o.Right.Next(ctx)
+		ctx.OuterRows = ctx.OuterRows[:len(ctx.OuterRows)-1]
+		if err != nil {
+			return nil, err
+		}
+		if rr == nil {
+			o.Right.Close()
+			o.rightOpen = false
+			if o.LeftOuter && !o.matched {
+				return o.combine(o.leftRow, nil), nil
+			}
+			continue
+		}
+		combined := o.combine(o.leftRow, rr)
+		if o.On != nil {
+			v, err := o.On(ctx, combined)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Truthy() {
+				continue
+			}
+		}
+		o.matched = true
+		return combined, nil
+	}
+}
+
+func (o *NLJoinOp) combine(l, r Row) Row {
+	out := make(Row, o.LeftWidth+o.RightWidth)
+	copy(out, l)
+	if r != nil {
+		copy(out[o.LeftWidth:], r)
+	} else {
+		for i := o.LeftWidth; i < len(out); i++ {
+			out[i] = sqltypes.Null
+		}
+	}
+	return out
+}
+
+// Close implements Operator.
+func (o *NLJoinOp) Close() {
+	if o.rightOpen {
+		o.Right.Close()
+		o.rightOpen = false
+	}
+	o.Left.Close()
+}
+
+// HashJoinOp is an equi-join: it builds a hash table over the right child
+// keyed by RightKeys, then probes with LeftKeys. Residual predicates run on
+// the combined row.
+type HashJoinOp struct {
+	Left       Operator
+	Right      Operator
+	LeftWidth  int
+	RightWidth int
+	LeftKeys   []Scalar
+	RightKeys  []Scalar
+	Residual   Scalar // may be nil
+	LeftOuter  bool
+
+	table   map[uint64][]Row
+	pending []Row // matches for the current left row not yet emitted
+	leftRow Row
+}
+
+// Open implements Operator.
+func (o *HashJoinOp) Open(ctx *Ctx) error {
+	o.table = map[uint64][]Row{}
+	o.pending = nil
+	if err := o.Right.Open(ctx); err != nil {
+		return err
+	}
+	defer o.Right.Close()
+	keybuf := make([]sqltypes.Value, len(o.RightKeys))
+	for {
+		r, err := o.Right.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		null := false
+		for i, k := range o.RightKeys {
+			v, err := k(ctx, r)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keybuf[i] = v
+		}
+		if null {
+			continue // NULL keys never join
+		}
+		h := sqltypes.HashRow(keybuf)
+		o.table[h] = append(o.table[h], r)
+	}
+	return o.Left.Open(ctx)
+}
+
+// Next implements Operator.
+func (o *HashJoinOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		if len(o.pending) > 0 {
+			r := o.pending[0]
+			o.pending = o.pending[1:]
+			return r, nil
+		}
+		lr, err := o.Left.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if lr == nil {
+			return nil, nil
+		}
+		o.leftRow = lr
+		keys := make([]sqltypes.Value, len(o.LeftKeys))
+		null := false
+		for i, k := range o.LeftKeys {
+			v, err := k(ctx, lr)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			keys[i] = v
+		}
+		var matches []Row
+		if !null {
+			for _, cand := range o.table[sqltypes.HashRow(keys)] {
+				equal := true
+				for i, k := range o.RightKeys {
+					v, err := k(ctx, cand)
+					if err != nil {
+						return nil, err
+					}
+					if !sqltypes.Equal(v, keys[i]) {
+						equal = false
+						break
+					}
+				}
+				if !equal {
+					continue
+				}
+				combined := o.combine(lr, cand)
+				if o.Residual != nil {
+					v, err := o.Residual(ctx, combined)
+					if err != nil {
+						return nil, err
+					}
+					if !v.Truthy() {
+						continue
+					}
+				}
+				matches = append(matches, combined)
+			}
+		}
+		if len(matches) == 0 {
+			if o.LeftOuter {
+				return o.combine(lr, nil), nil
+			}
+			continue
+		}
+		o.pending = matches[1:]
+		return matches[0], nil
+	}
+}
+
+func (o *HashJoinOp) combine(l, r Row) Row {
+	out := make(Row, o.LeftWidth+o.RightWidth)
+	copy(out, l)
+	if r != nil {
+		copy(out[o.LeftWidth:], r)
+	} else {
+		for i := o.LeftWidth; i < len(out); i++ {
+			out[i] = sqltypes.Null
+		}
+	}
+	return out
+}
+
+// Close implements Operator.
+func (o *HashJoinOp) Close() {
+	o.table = nil
+	o.pending = nil
+	o.Left.Close()
+}
+
+// ----- Ordering, limiting, dedup -----
+
+// SortOp materializes its input and emits it ordered by Keys. NULLs sort
+// first; incomparable values keep their input order.
+type SortOp struct {
+	Child Operator
+	Keys  []Scalar
+	Desc  []bool
+
+	rows []Row
+	pos  int
+}
+
+// Open implements Operator.
+func (o *SortOp) Open(ctx *Ctx) error {
+	o.rows = nil
+	o.pos = 0
+	if err := o.Child.Open(ctx); err != nil {
+		return err
+	}
+	defer o.Child.Close()
+	type keyed struct {
+		row  Row
+		keys []sqltypes.Value
+	}
+	var items []keyed
+	for {
+		r, err := o.Child.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		ks := make([]sqltypes.Value, len(o.Keys))
+		for i, k := range o.Keys {
+			v, err := k(ctx, r)
+			if err != nil {
+				return err
+			}
+			ks[i] = v
+		}
+		items = append(items, keyed{r, ks})
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for i := range o.Keys {
+			va, vb := items[a].keys[i], items[b].keys[i]
+			c := compareForSort(va, vb)
+			if c == 0 {
+				continue
+			}
+			if o.Desc[i] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	o.rows = make([]Row, len(items))
+	for i, it := range items {
+		o.rows[i] = it.row
+	}
+	return nil
+}
+
+// compareForSort orders values with NULLs first and incomparable pairs
+// treated as equal.
+func compareForSort(a, b sqltypes.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return -1
+	case b.IsNull():
+		return 1
+	}
+	c, ok := sqltypes.Compare(a, b)
+	if !ok {
+		return 0
+	}
+	return c
+}
+
+// Next implements Operator.
+func (o *SortOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *SortOp) Close() { o.rows = nil }
+
+// TopOp emits at most N rows, N evaluated at Open.
+type TopOp struct {
+	Child Operator
+	N     Scalar
+
+	limit int64
+	seen  int64
+}
+
+// Open implements Operator.
+func (o *TopOp) Open(ctx *Ctx) error {
+	o.seen = 0
+	v, err := o.N(ctx, nil)
+	if err != nil {
+		return err
+	}
+	n, ok := v.AsInt()
+	if !ok {
+		return fmt.Errorf("exec: TOP requires an integer, got %s", v.Kind())
+	}
+	o.limit = n
+	return o.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (o *TopOp) Next(ctx *Ctx) (Row, error) {
+	if o.seen >= o.limit {
+		return nil, nil
+	}
+	r, err := o.Child.Next(ctx)
+	if err != nil || r == nil {
+		return nil, err
+	}
+	o.seen++
+	return r, nil
+}
+
+// Close implements Operator.
+func (o *TopOp) Close() { o.Child.Close() }
+
+// DistinctOp removes duplicate rows (grouping NULLs together).
+type DistinctOp struct {
+	Child Operator
+	seen  map[uint64][]Row
+}
+
+// Open implements Operator.
+func (o *DistinctOp) Open(ctx *Ctx) error {
+	o.seen = map[uint64][]Row{}
+	return o.Child.Open(ctx)
+}
+
+// Next implements Operator.
+func (o *DistinctOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		r, err := o.Child.Next(ctx)
+		if err != nil || r == nil {
+			return nil, err
+		}
+		h := sqltypes.HashRow(r)
+		dup := false
+		for _, prev := range o.seen[h] {
+			if sqltypes.RowsGroupEqual(prev, r) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		o.seen[h] = append(o.seen[h], r)
+		return r, nil
+	}
+}
+
+// Close implements Operator.
+func (o *DistinctOp) Close() { o.seen = nil; o.Child.Close() }
+
+// ConcatOp emits all rows of each child in turn (UNION ALL).
+type ConcatOp struct {
+	Children []Operator
+	cur      int
+	open     bool
+}
+
+// Open implements Operator.
+func (o *ConcatOp) Open(ctx *Ctx) error {
+	o.cur = 0
+	o.open = false
+	return nil
+}
+
+// Next implements Operator.
+func (o *ConcatOp) Next(ctx *Ctx) (Row, error) {
+	for o.cur < len(o.Children) {
+		if !o.open {
+			if err := o.Children[o.cur].Open(ctx); err != nil {
+				return nil, err
+			}
+			o.open = true
+		}
+		r, err := o.Children[o.cur].Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+		o.Children[o.cur].Close()
+		o.open = false
+		o.cur++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (o *ConcatOp) Close() {
+	if o.open && o.cur < len(o.Children) {
+		o.Children[o.cur].Close()
+		o.open = false
+	}
+}

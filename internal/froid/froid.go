@@ -1,0 +1,463 @@
+// Package froid implements a Froid-style scalar-UDF inliner (Ramachandra
+// et al., "Froid: Optimizing Imperative Functions in Relational Databases",
+// the paper's [38]). After Aggify removes a UDF's cursor loop, the body is
+// loop-free imperative code; this package composes such bodies into single
+// scalar expressions and substitutes them at call sites inside queries.
+// The planner's decorrelation rule then turns the resulting correlated
+// scalar-aggregate subqueries into set-oriented joins — together these are
+// the paper's "Aggify+" configuration (§8.2).
+//
+// The supported region forms are sequences of DECLARE/SET, IF/ELSE
+// (including early RETURNs), and a final RETURN — the same statement forms
+// Froid's region-based algorithm composes into SELECT expressions. UDFs
+// containing loops, cursors, DML, TRY/CATCH, or EXEC are reported as not
+// inlinable and left as interpreted calls.
+package froid
+
+import (
+	"fmt"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// Resolver looks up scalar UDF definitions by (lower-case) name.
+type Resolver func(name string) (*ast.CreateFunction, bool)
+
+// NotInlinableError reports why a UDF body cannot be composed into an
+// expression.
+type NotInlinableError struct {
+	Func   string
+	Reason string
+}
+
+func (e *NotInlinableError) Error() string {
+	return fmt.Sprintf("froid: %s is not inlinable: %s", e.Func, e.Reason)
+}
+
+// maxExprNodes caps the size of a composed expression; beyond it the UDF is
+// treated as not inlinable (protects against CASE blow-up on deeply
+// branching bodies).
+const maxExprNodes = 4096
+
+// maxInlineDepth caps transitive inlining of UDFs calling UDFs.
+const maxInlineDepth = 8
+
+// InlineFunction composes the body of a loop-free scalar UDF into a single
+// expression over its parameter variables (@param references remain; bind
+// them with SubstituteParams at each call site).
+func InlineFunction(def *ast.CreateFunction) (ast.Expr, error) {
+	env := map[string]ast.Expr{}
+	for _, p := range def.Params {
+		// Parameters stay symbolic: they are substituted at the call site.
+		env[p.Name] = ast.Var(p.Name)
+	}
+	ret, err := inlineSeq(def.Name, def.Body.Stmts, env)
+	if err != nil {
+		return nil, err
+	}
+	if ret == nil {
+		ret = ast.Lit(nullValue())
+	}
+	if exprSize(ret) > maxExprNodes {
+		return nil, &NotInlinableError{Func: def.Name, Reason: "composed expression too large"}
+	}
+	return ret, nil
+}
+
+// inlineSeq symbolically executes a statement sequence. It returns the
+// expression of the value returned by the sequence, or nil when the
+// sequence falls through without RETURN.
+func inlineSeq(fname string, stmts []ast.Stmt, env map[string]ast.Expr) (ast.Expr, error) {
+	for i, s := range stmts {
+		switch st := s.(type) {
+		case *ast.Block:
+			// Flatten: treat the block plus the remaining statements as one
+			// sequence (variables are batch-scoped in the dialect).
+			merged := append(append([]ast.Stmt{}, st.Stmts...), stmts[i+1:]...)
+			return inlineSeq(fname, merged, env)
+		case *ast.DeclareVar:
+			if st.Init != nil {
+				env[st.Name] = substVars(st.Init, env)
+			} else {
+				env[st.Name] = ast.Lit(nullValue())
+			}
+		case *ast.SetStmt:
+			if len(st.Targets) != 1 {
+				return nil, &NotInlinableError{Func: fname, Reason: "tuple-destructuring SET"}
+			}
+			env[st.Targets[0]] = substVars(st.Value, env)
+		case *ast.ReturnStmt:
+			if st.Value == nil {
+				return ast.Lit(nullValue()), nil
+			}
+			return substVars(st.Value, env), nil
+		case *ast.IfStmt:
+			cond := substVars(st.Cond, env)
+			thenEnv := copyEnv(env)
+			thenRet, err := inlineSeq(fname, []ast.Stmt{st.Then}, thenEnv)
+			if err != nil {
+				return nil, err
+			}
+			elseEnv := copyEnv(env)
+			var elseRet ast.Expr
+			if st.Else != nil {
+				if elseRet, err = inlineSeq(fname, []ast.Stmt{st.Else}, elseEnv); err != nil {
+					return nil, err
+				}
+			}
+			rest := stmts[i+1:]
+			switch {
+			case thenRet != nil && elseRet != nil:
+				// Both branches return: the rest is unreachable.
+				return caseExpr(cond, thenRet, elseRet), nil
+			case thenRet != nil:
+				restRet, err := inlineSeq(fname, rest, elseEnv)
+				if err != nil {
+					return nil, err
+				}
+				if restRet == nil {
+					restRet = ast.Lit(nullValue())
+				}
+				return caseExpr(cond, thenRet, restRet), nil
+			case elseRet != nil:
+				restRet, err := inlineSeq(fname, rest, thenEnv)
+				if err != nil {
+					return nil, err
+				}
+				if restRet == nil {
+					restRet = ast.Lit(nullValue())
+				}
+				return caseExpr(cond, restRet, elseRet), nil
+			default:
+				// Neither branch returns: merge assigned variables.
+				for v := range union(thenEnv, elseEnv) {
+					te, tok := thenEnv[v]
+					ee, eok := elseEnv[v]
+					if !tok {
+						te = ast.Lit(nullValue())
+					}
+					if !eok {
+						ee = ast.Lit(nullValue())
+					}
+					if tok && eok && te.String() == ee.String() {
+						env[v] = te
+						continue
+					}
+					env[v] = caseExpr(ast.CloneExpr(cond), te, ee)
+				}
+				continue
+			}
+		case *ast.PrintStmt:
+			return nil, &NotInlinableError{Func: fname, Reason: "PRINT side effect"}
+		case *ast.WhileStmt, *ast.ForStmt:
+			return nil, &NotInlinableError{Func: fname, Reason: "loop (run Aggify first)"}
+		case *ast.DeclareCursor, *ast.OpenCursor, *ast.FetchStmt, *ast.CloseCursor, *ast.DeallocateCursor:
+			return nil, &NotInlinableError{Func: fname, Reason: "cursor operation (run Aggify first)"}
+		default:
+			return nil, &NotInlinableError{Func: fname, Reason: fmt.Sprintf("unsupported statement %T", s)}
+		}
+	}
+	return nil, nil
+}
+
+// SubstituteParams binds the parameter variables of an inlined body to call
+// arguments (applying declared defaults for missing trailing arguments).
+func SubstituteParams(body ast.Expr, params []ast.Param, args []ast.Expr) (ast.Expr, error) {
+	if len(args) > len(params) {
+		return nil, fmt.Errorf("froid: %d arguments for %d parameters", len(args), len(params))
+	}
+	bind := map[string]ast.Expr{}
+	for i, p := range params {
+		switch {
+		case i < len(args):
+			bind[p.Name] = args[i]
+		case p.Default != nil:
+			bind[p.Name] = p.Default
+		default:
+			return nil, fmt.Errorf("froid: missing argument for %s", p.Name)
+		}
+	}
+	return substVars(body, bind), nil
+}
+
+// InlineInSelect replaces calls to inlinable UDFs in the query's
+// expressions with their composed bodies, transitively up to
+// maxInlineDepth. It returns the rewritten query (a modified clone) and the
+// names of the UDFs that were inlined; non-inlinable calls are left intact.
+func InlineInSelect(q *ast.Select, resolve Resolver) (*ast.Select, []string, error) {
+	clone := ast.CloneSelect(q)
+	inlined := map[string]bool{}
+	var err error
+	for i := range clone.Items {
+		if clone.Items[i].Star {
+			continue
+		}
+		clone.Items[i].Expr, err = inlineExpr(clone.Items[i].Expr, resolve, inlined, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	if clone.Where != nil {
+		if clone.Where, err = inlineExpr(clone.Where, resolve, inlined, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	if clone.Having != nil {
+		if clone.Having, err = inlineExpr(clone.Having, resolve, inlined, 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	var names []string
+	for n := range inlined {
+		names = append(names, n)
+	}
+	return clone, names, nil
+}
+
+// inlineExpr rewrites UDF calls inside e.
+func inlineExpr(e ast.Expr, resolve Resolver, inlined map[string]bool, depth int) (ast.Expr, error) {
+	if e == nil || depth > maxInlineDepth {
+		return e, nil
+	}
+	var rewrite func(x ast.Expr) (ast.Expr, error)
+	rewrite = func(x ast.Expr) (ast.Expr, error) {
+		switch n := x.(type) {
+		case *ast.FuncCall:
+			args := make([]ast.Expr, len(n.Args))
+			for i, a := range n.Args {
+				ra, err := rewrite(a)
+				if err != nil {
+					return nil, err
+				}
+				args[i] = ra
+			}
+			def, ok := resolve(n.Name)
+			if !ok || n.Star {
+				return &ast.FuncCall{Name: n.Name, Args: args, Star: n.Star}, nil
+			}
+			body, err := InlineFunction(def)
+			if err != nil {
+				if _, soft := err.(*NotInlinableError); soft {
+					return &ast.FuncCall{Name: n.Name, Args: args, Star: n.Star}, nil
+				}
+				return nil, err
+			}
+			bound, err := SubstituteParams(body, def.Params, args)
+			if err != nil {
+				return nil, err
+			}
+			inlined[n.Name] = true
+			// Transitively inline calls inside the substituted body.
+			return inlineExpr(bound, resolve, inlined, depth+1)
+		case *ast.BinExpr:
+			l, err := rewrite(n.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rewrite(n.R)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.BinExpr{Op: n.Op, L: l, R: r}, nil
+		case *ast.UnaryExpr:
+			inner, err := rewrite(n.E)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.UnaryExpr{Op: n.Op, E: inner}, nil
+		case *ast.IsNullExpr:
+			inner, err := rewrite(n.E)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.IsNullExpr{E: inner, Negate: n.Negate}, nil
+		case *ast.CaseExpr:
+			out := &ast.CaseExpr{}
+			for _, w := range n.Whens {
+				c, err := rewrite(w.Cond)
+				if err != nil {
+					return nil, err
+				}
+				t, err := rewrite(w.Then)
+				if err != nil {
+					return nil, err
+				}
+				out.Whens = append(out.Whens, ast.WhenClause{Cond: c, Then: t})
+			}
+			if n.Else != nil {
+				e2, err := rewrite(n.Else)
+				if err != nil {
+					return nil, err
+				}
+				out.Else = e2
+			}
+			return out, nil
+		case *ast.BetweenExpr:
+			ee, err := rewrite(n.E)
+			if err != nil {
+				return nil, err
+			}
+			lo, err := rewrite(n.Lo)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := rewrite(n.Hi)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.BetweenExpr{E: ee, Lo: lo, Hi: hi, Negate: n.Negate}, nil
+		case *ast.InExpr:
+			ee, err := rewrite(n.E)
+			if err != nil {
+				return nil, err
+			}
+			out := &ast.InExpr{E: ee, Negate: n.Negate, Query: n.Query}
+			for _, it := range n.List {
+				ri, err := rewrite(it)
+				if err != nil {
+					return nil, err
+				}
+				out.List = append(out.List, ri)
+			}
+			return out, nil
+		case *ast.Subquery:
+			sub, _, err := InlineInSelect(n.Query, resolve)
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Subquery{Query: sub, Exists: n.Exists}, nil
+		default:
+			return x, nil
+		}
+	}
+	return rewrite(e)
+}
+
+// ----- helpers -----
+
+func copyEnv(env map[string]ast.Expr) map[string]ast.Expr {
+	out := make(map[string]ast.Expr, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func union(a, b map[string]ast.Expr) map[string]bool {
+	out := map[string]bool{}
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// substVars replaces variable references in e with their symbolic values,
+// descending into subqueries (which may be correlated to the variables).
+func substVars(e ast.Expr, env map[string]ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.VarRef:
+		if repl, ok := env[x.Name]; ok {
+			return ast.CloneExpr(repl)
+		}
+		return x
+	case *ast.Literal, *ast.ColRef, *ast.ParamRef:
+		return e
+	case *ast.BinExpr:
+		return &ast.BinExpr{Op: x.Op, L: substVars(x.L, env), R: substVars(x.R, env)}
+	case *ast.UnaryExpr:
+		return &ast.UnaryExpr{Op: x.Op, E: substVars(x.E, env)}
+	case *ast.IsNullExpr:
+		return &ast.IsNullExpr{E: substVars(x.E, env), Negate: x.Negate}
+	case *ast.CaseExpr:
+		out := &ast.CaseExpr{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, ast.WhenClause{Cond: substVars(w.Cond, env), Then: substVars(w.Then, env)})
+		}
+		if x.Else != nil {
+			out.Else = substVars(x.Else, env)
+		}
+		return out
+	case *ast.FuncCall:
+		out := &ast.FuncCall{Name: x.Name, Star: x.Star}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, substVars(a, env))
+		}
+		return out
+	case *ast.BetweenExpr:
+		return &ast.BetweenExpr{E: substVars(x.E, env), Lo: substVars(x.Lo, env), Hi: substVars(x.Hi, env), Negate: x.Negate}
+	case *ast.InExpr:
+		out := &ast.InExpr{E: substVars(x.E, env), Negate: x.Negate}
+		for _, it := range x.List {
+			out.List = append(out.List, substVars(it, env))
+		}
+		if x.Query != nil {
+			out.Query = substVarsInSelect(x.Query, env)
+		}
+		return out
+	case *ast.Subquery:
+		return &ast.Subquery{Query: substVarsInSelect(x.Query, env), Exists: x.Exists}
+	}
+	return e
+}
+
+// substVarsInSelect clones q substituting variable references everywhere.
+func substVarsInSelect(q *ast.Select, env map[string]ast.Expr) *ast.Select {
+	c := ast.CloneSelect(q)
+	var walkTE func(te ast.TableExpr)
+	var walkQ func(s *ast.Select)
+	walkQ = func(s *ast.Select) {
+		for branch := s; branch != nil; branch = branch.Union {
+			for i := range branch.Items {
+				branch.Items[i].Expr = substVars(branch.Items[i].Expr, env)
+			}
+			for _, te := range branch.From {
+				walkTE(te)
+			}
+			branch.Where = substVars(branch.Where, env)
+			for i := range branch.GroupBy {
+				branch.GroupBy[i] = substVars(branch.GroupBy[i], env)
+			}
+			branch.Having = substVars(branch.Having, env)
+			for i := range branch.OrderBy {
+				branch.OrderBy[i].Expr = substVars(branch.OrderBy[i].Expr, env)
+			}
+			if branch.Top != nil {
+				branch.Top = substVars(branch.Top, env)
+			}
+		}
+		for i := range s.With {
+			walkQ(s.With[i].Query)
+		}
+	}
+	walkTE = func(te ast.TableExpr) {
+		switch t := te.(type) {
+		case *ast.SubqueryRef:
+			walkQ(t.Query)
+		case *ast.Join:
+			walkTE(t.L)
+			walkTE(t.R)
+			t.On = substVars(t.On, env)
+		}
+	}
+	walkQ(c)
+	return c
+}
+
+func caseExpr(cond, then, els ast.Expr) ast.Expr {
+	return &ast.CaseExpr{Whens: []ast.WhenClause{{Cond: cond, Then: then}}, Else: els}
+}
+
+func exprSize(e ast.Expr) int {
+	n := 0
+	ast.WalkExpr(e, func(ast.Expr) bool { n++; return true })
+	return n
+}
+
+func nullValue() sqltypes.Value { return sqltypes.Null }

@@ -1,0 +1,629 @@
+package interp
+
+import (
+	"fmt"
+
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/exec"
+	"aggify/internal/plan"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// The block compiler turns the method bodies of a generated custom
+// aggregate into Go closure chains over a slot-based variable frame. This
+// mirrors the paper's prototype, which emits *compiled* C# aggregates while
+// cursor loops remain interpreted T-SQL (§9): the asymmetry is part of why
+// Aggify wins, so the reproduction preserves it mechanically. Bodies that
+// use statements outside the compilable subset fall back to the interpreted
+// aggregate path transparently.
+
+// compiledStmt executes one compiled statement against a machine.
+type compiledStmt func(m *machine) error
+
+// tableDef is the schema prototype of a compiled DECLARE TABLE.
+type tableDef struct {
+	slot   int
+	name   string
+	schema *storage.Schema
+}
+
+// cursorDef is a compiled DECLARE CURSOR.
+type cursorDef struct {
+	slot  int
+	name  string
+	query *ast.Select
+}
+
+// program is a fully compiled aggregate definition.
+type program struct {
+	def *ast.CreateAggregate
+
+	slotIndex map[string]int
+	slotTypes []sqltypes.Type
+	nSlots    int
+	fetchSlot int
+
+	tableIndex map[string]int
+	tableDefs  []tableDef
+	nTables    int
+
+	cursorIndex map[string]int
+	nCursors    int
+
+	paramSlots []int
+
+	init, accum, term compiledStmt
+}
+
+// machine is one executing instance of a compiled program.
+type machine struct {
+	prog    *program
+	sess    *engine.Session
+	ctx     *exec.Ctx
+	slots   []sqltypes.Value
+	tables  []*storage.Table
+	cursors []*engine.Cursor
+}
+
+func newMachine(prog *program, sess *engine.Session) *machine {
+	m := &machine{
+		prog:    prog,
+		sess:    sess,
+		slots:   make([]sqltypes.Value, prog.nSlots),
+		tables:  make([]*storage.Table, prog.nTables),
+		cursors: make([]*engine.Cursor, prog.nCursors),
+	}
+	m.ctx = sess.Ctx(
+		func(name string) (sqltypes.Value, bool) {
+			if i, ok := prog.slotIndex[name]; ok {
+				return m.slots[i], true
+			}
+			return sqltypes.Null, false
+		},
+		func(name string) (*storage.Table, bool) {
+			if i, ok := prog.tableIndex[name]; ok && m.tables[i] != nil {
+				return m.tables[i], true
+			}
+			return nil, false
+		},
+	)
+	m.ctx.VarSlots = m.slots
+	return m
+}
+
+func (m *machine) assign(slot int, v sqltypes.Value) error {
+	cv, err := v.CoerceTo(m.prog.slotTypes[slot])
+	if err != nil {
+		return err
+	}
+	m.slots[slot] = cv
+	return nil
+}
+
+// blockCompiler compiles one aggregate definition.
+type blockCompiler struct {
+	eng  *engine.Engine
+	prog *program
+	cat  plan.Catalog
+}
+
+// compileAggregate compiles def; a nil program with a non-nil error means
+// the body is outside the compilable subset (caller falls back to the
+// interpreter).
+func compileAggregate(eng *engine.Engine, def *ast.CreateAggregate) (*program, error) {
+	prog := &program{
+		def:         def,
+		slotIndex:   map[string]int{},
+		tableIndex:  map[string]int{},
+		cursorIndex: map[string]int{},
+	}
+	bc := &blockCompiler{eng: eng, prog: prog}
+
+	addSlot := func(name string, t sqltypes.Type) int {
+		if i, ok := prog.slotIndex[name]; ok {
+			prog.slotTypes[i] = t
+			return i
+		}
+		i := prog.nSlots
+		prog.slotIndex[name] = i
+		prog.slotTypes = append(prog.slotTypes, t)
+		prog.nSlots++
+		return i
+	}
+	prog.fetchSlot = addSlot(ast.FetchStatusVar, sqltypes.Int)
+	for _, f := range def.Fields {
+		addSlot(f.Name, f.Type)
+	}
+	for _, p := range def.Params {
+		prog.paramSlots = append(prog.paramSlots, addSlot(p.Name, p.Type))
+	}
+	// Pre-scan: declare slots, table prototypes, and cursor indexes for
+	// everything in the three method bodies.
+	protoTables := map[string]*storage.Table{}
+	var scan func(s ast.Stmt) error
+	scan = func(s ast.Stmt) error {
+		var err error
+		ast.WalkStmt(s, func(st ast.Stmt) bool {
+			switch x := st.(type) {
+			case *ast.DeclareVar:
+				addSlot(x.Name, x.Type)
+			case *ast.DeclareTable:
+				if _, ok := prog.tableIndex[x.Name]; !ok {
+					cols := make([]storage.Column, len(x.Cols))
+					for i, c := range x.Cols {
+						cols[i] = storage.Col(c.Name, c.Type)
+					}
+					schema := storage.NewSchema(cols...)
+					prog.tableIndex[x.Name] = prog.nTables
+					prog.tableDefs = append(prog.tableDefs, tableDef{slot: prog.nTables, name: x.Name, schema: schema})
+					prog.nTables++
+					protoTables[x.Name] = storage.NewTable(x.Name, schema)
+				}
+			case *ast.DeclareCursor:
+				if _, ok := prog.cursorIndex[x.Name]; !ok {
+					prog.cursorIndex[x.Name] = prog.nCursors
+					prog.nCursors++
+				}
+			case *ast.QueryStmt:
+				err = fmt.Errorf("interp: result-set SELECT is not compilable")
+			case *ast.ExecStmt:
+				err = fmt.Errorf("interp: EXEC is not compilable")
+			case *ast.CreateTable, *ast.CreateIndex, *ast.CreateFunction, *ast.CreateProcedure, *ast.CreateAggregate:
+				err = fmt.Errorf("interp: DDL is not compilable")
+			}
+			return err == nil
+		})
+		return err
+	}
+	for _, b := range []*ast.Block{def.Init, def.Accum, def.Terminate} {
+		if err := scan(b); err != nil {
+			return nil, err
+		}
+	}
+	bc.cat = eng.CatalogWithTemp(func(name string) (*storage.Table, bool) {
+		t, ok := protoTables[name]
+		return t, ok
+	})
+
+	var err error
+	if prog.init, err = bc.stmt(def.Init); err != nil {
+		return nil, err
+	}
+	if prog.accum, err = bc.stmt(def.Accum); err != nil {
+		return nil, err
+	}
+	if prog.term, err = bc.stmt(def.Terminate); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// scalar compiles an expression with slot-resolved variables.
+func (bc *blockCompiler) scalar(e ast.Expr) (exec.Scalar, error) {
+	return plan.CompileScalarSlots(bc.cat, plan.Options{}, e, bc.prog.slotIndex)
+}
+
+// stmt compiles one statement.
+func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
+	switch st := s.(type) {
+	case *ast.Block:
+		seq := make([]compiledStmt, len(st.Stmts))
+		for i, inner := range st.Stmts {
+			c, err := bc.stmt(inner)
+			if err != nil {
+				return nil, err
+			}
+			seq[i] = c
+		}
+		return func(m *machine) error {
+			for _, c := range seq {
+				if err := c(m); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case *ast.DeclareVar:
+		slot := bc.prog.slotIndex[st.Name]
+		if st.Init == nil {
+			return func(m *machine) error {
+				m.slots[slot] = sqltypes.Null
+				return nil
+			}, nil
+		}
+		init, err := bc.scalar(st.Init)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			v, err := init(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			return m.assign(slot, v)
+		}, nil
+	case *ast.DeclareTable:
+		idx := bc.prog.tableIndex[st.Name]
+		def := bc.prog.tableDefs[idx]
+		return func(m *machine) error {
+			m.tables[idx] = storage.NewTable(def.name, def.schema)
+			return nil
+		}, nil
+	case *ast.SetStmt:
+		val, err := bc.scalar(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Targets) == 1 {
+			slot := bc.prog.slotIndex[st.Targets[0]]
+			return func(m *machine) error {
+				v, err := val(m.ctx, nil)
+				if err != nil {
+					return err
+				}
+				return m.assign(slot, v)
+			}, nil
+		}
+		slots := make([]int, len(st.Targets))
+		for i, tgt := range st.Targets {
+			slots[i] = bc.prog.slotIndex[tgt]
+		}
+		return func(m *machine) error {
+			v, err := val(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			var parts []sqltypes.Value
+			switch {
+			case v.Kind() == sqltypes.KindTuple:
+				parts = v.Tuple()
+			case v.IsNull():
+				parts = make([]sqltypes.Value, len(slots))
+			default:
+				return fmt.Errorf("interp: SET with %d targets requires a tuple", len(slots))
+			}
+			if len(parts) != len(slots) {
+				return fmt.Errorf("interp: SET targets %d but value has %d attributes", len(slots), len(parts))
+			}
+			for i, slot := range slots {
+				if err := m.assign(slot, parts[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	case *ast.IfStmt:
+		cond, err := bc.scalar(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := bc.stmt(st.Then)
+		if err != nil {
+			return nil, err
+		}
+		var els compiledStmt
+		if st.Else != nil {
+			if els, err = bc.stmt(st.Else); err != nil {
+				return nil, err
+			}
+		}
+		return func(m *machine) error {
+			v, err := cond(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			if v.Truthy() {
+				return then(m)
+			}
+			if els != nil {
+				return els(m)
+			}
+			return nil
+		}, nil
+	case *ast.WhileStmt:
+		cond, err := bc.scalar(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.stmt(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			for {
+				if m.ctx.Interrupted() {
+					return exec.ErrInterrupted
+				}
+				v, err := cond(m.ctx, nil)
+				if err != nil {
+					return err
+				}
+				if !v.Truthy() {
+					return nil
+				}
+				if err := body(m); err != nil {
+					if err == errBreak {
+						return nil
+					}
+					if err == errContinue {
+						continue
+					}
+					return err
+				}
+			}
+		}, nil
+	case *ast.ForStmt:
+		initSlot := bc.prog.slotIndex[st.InitVar]
+		postSlot := bc.prog.slotIndex[st.PostVar]
+		initE, err := bc.scalar(st.InitExpr)
+		if err != nil {
+			return nil, err
+		}
+		condE, err := bc.scalar(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		postE, err := bc.scalar(st.PostExpr)
+		if err != nil {
+			return nil, err
+		}
+		body, err := bc.stmt(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			v, err := initE(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			if err := m.assign(initSlot, v); err != nil {
+				return err
+			}
+			for {
+				cv, err := condE(m.ctx, nil)
+				if err != nil {
+					return err
+				}
+				if !cv.Truthy() {
+					return nil
+				}
+				if err := body(m); err != nil {
+					if err == errBreak {
+						return nil
+					}
+					if err != errContinue {
+						return err
+					}
+				}
+				pv, err := postE(m.ctx, nil)
+				if err != nil {
+					return err
+				}
+				if err := m.assign(postSlot, pv); err != nil {
+					return err
+				}
+			}
+		}, nil
+	case *ast.BreakStmt:
+		return func(*machine) error { return errBreak }, nil
+	case *ast.ContinueStmt:
+		return func(*machine) error { return errContinue }, nil
+	case *ast.ReturnStmt:
+		if st.Value == nil {
+			return func(*machine) error { return returnSignal{val: sqltypes.Null} }, nil
+		}
+		val, err := bc.scalar(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			v, err := val(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			return returnSignal{val: v}
+		}, nil
+	case *ast.DeclareCursor:
+		idx := bc.prog.cursorIndex[st.Name]
+		query := st.Query
+		name := st.Name
+		return func(m *machine) error {
+			m.cursors[idx] = engine.NewCursor(name, query)
+			return nil
+		}, nil
+	case *ast.OpenCursor:
+		idx, ok := bc.prog.cursorIndex[st.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: undeclared cursor %s", st.Name)
+		}
+		return func(m *machine) error {
+			if m.cursors[idx] == nil {
+				return fmt.Errorf("interp: cursor %s not declared", st.Name)
+			}
+			return m.cursors[idx].Open(m.sess, m.ctx)
+		}, nil
+	case *ast.CloseCursor:
+		idx, ok := bc.prog.cursorIndex[st.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: undeclared cursor %s", st.Name)
+		}
+		return func(m *machine) error { return m.cursors[idx].Close() }, nil
+	case *ast.DeallocateCursor:
+		idx, ok := bc.prog.cursorIndex[st.Name]
+		if !ok {
+			return nil, fmt.Errorf("interp: undeclared cursor %s", st.Name)
+		}
+		return func(m *machine) error {
+			m.cursors[idx].Deallocate()
+			return nil
+		}, nil
+	case *ast.FetchStmt:
+		idx, ok := bc.prog.cursorIndex[st.Cursor]
+		if !ok {
+			return nil, fmt.Errorf("interp: undeclared cursor %s", st.Cursor)
+		}
+		slots := make([]int, len(st.Into))
+		for i, v := range st.Into {
+			s, ok := bc.prog.slotIndex[v]
+			if !ok {
+				return nil, fmt.Errorf("interp: FETCH into undeclared variable %s", v)
+			}
+			slots[i] = s
+		}
+		fetchSlot := bc.prog.fetchSlot
+		return func(m *machine) error {
+			row, more, err := m.cursors[idx].Fetch()
+			if err != nil {
+				return err
+			}
+			if !more {
+				m.slots[fetchSlot] = sqltypes.NewInt(-1)
+				return nil
+			}
+			if len(row) != len(slots) {
+				return fmt.Errorf("interp: FETCH arity mismatch")
+			}
+			for i, slot := range slots {
+				if err := m.assign(slot, row[i]); err != nil {
+					return err
+				}
+			}
+			m.slots[fetchSlot] = sqltypes.NewInt(0)
+			return nil
+		}, nil
+	case *ast.InsertStmt:
+		return func(m *machine) error {
+			_, err := m.sess.Insert(st, m.ctx)
+			return err
+		}, nil
+	case *ast.UpdateStmt:
+		return func(m *machine) error {
+			_, err := m.sess.Update(st, m.ctx)
+			return err
+		}, nil
+	case *ast.DeleteStmt:
+		return func(m *machine) error {
+			_, err := m.sess.Delete(st, m.ctx)
+			return err
+		}, nil
+	case *ast.PrintStmt:
+		val, err := bc.scalar(st.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			v, err := val(m.ctx, nil)
+			if err != nil {
+				return err
+			}
+			m.sess.Print(v.Display())
+			return nil
+		}, nil
+	case *ast.TryCatch:
+		try, err := bc.stmt(st.Try)
+		if err != nil {
+			return nil, err
+		}
+		catch, err := bc.stmt(st.Catch)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			err := try(m)
+			if err == nil || err == errBreak || err == errContinue || err == exec.ErrInterrupted {
+				return err
+			}
+			if _, isReturn := err.(returnSignal); isReturn {
+				return err
+			}
+			return catch(m)
+		}, nil
+	}
+	return nil, fmt.Errorf("interp: statement %T is not compilable", s)
+}
+
+// compiledAgg is a compiled custom aggregate instance.
+type compiledAgg struct {
+	prog     *program
+	m        *machine
+	needInit bool
+}
+
+// Reset implements exec.Aggregator.
+func (a *compiledAgg) Reset() {
+	a.needInit = true
+	if a.m != nil {
+		for i := range a.m.slots {
+			a.m.slots[i] = sqltypes.Null
+		}
+	}
+}
+
+func (a *compiledAgg) ensure(ctx *exec.Ctx) error {
+	if a.m == nil {
+		sess, ok := ctx.Owner.(*engine.Session)
+		if !ok {
+			return fmt.Errorf("interp: aggregate %s executed without a session context", a.prog.def.Name)
+		}
+		a.m = newMachine(a.prog, sess)
+	}
+	if a.needInit {
+		a.needInit = false
+		if err := runCompiled(a.prog.init, a.m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCompiled executes a method body; RETURN acts as an early exit.
+func runCompiled(c compiledStmt, m *machine) error {
+	err := c(m)
+	if _, isReturn := err.(returnSignal); isReturn {
+		return nil
+	}
+	return err
+}
+
+// Step implements exec.Aggregator.
+func (a *compiledAgg) Step(ctx *exec.Ctx, args []sqltypes.Value) error {
+	if err := a.ensure(ctx); err != nil {
+		return err
+	}
+	if len(args) != len(a.prog.paramSlots) {
+		return fmt.Errorf("interp: aggregate %s expects %d arguments, got %d", a.prog.def.Name, len(a.prog.paramSlots), len(args))
+	}
+	for i, slot := range a.prog.paramSlots {
+		if err := a.m.assign(slot, args[i]); err != nil {
+			return err
+		}
+	}
+	return runCompiled(a.prog.accum, a.m)
+}
+
+// Result implements exec.Aggregator.
+func (a *compiledAgg) Result(ctx *exec.Ctx) (sqltypes.Value, error) {
+	if err := a.ensure(ctx); err != nil {
+		return sqltypes.Null, err
+	}
+	err := a.prog.term(a.m)
+	if err == nil {
+		return sqltypes.Null, nil
+	}
+	ret, ok := err.(returnSignal)
+	if !ok {
+		return sqltypes.Null, err
+	}
+	v, cerr := ret.val.CoerceTo(a.prog.def.Returns)
+	if cerr != nil {
+		return sqltypes.Null, fmt.Errorf("interp: terminate of %s: %w", a.prog.def.Name, cerr)
+	}
+	return v, nil
+}
+
+// Merge implements exec.Aggregator; compiled aggregates define no Merge.
+func (a *compiledAgg) Merge(exec.Aggregator) error {
+	return fmt.Errorf("interp: aggregate %s does not support Merge", a.prog.def.Name)
+}

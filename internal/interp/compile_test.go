@@ -1,0 +1,232 @@
+package interp
+
+import (
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/exec"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+func parseAgg(t *testing.T, src string) *ast.CreateAggregate {
+	t.Helper()
+	return parser.MustParse(src)[0].(*ast.CreateAggregate)
+}
+
+const sumAggSrc = `
+create aggregate SumTimes2(@v int, @p_s float) returns float as
+begin
+  fields (@s float, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @s = @p_s;
+      set @isInitialized = true;
+    end
+    set @s = @s + @v * 2;
+  end
+  terminate begin return @s; end
+end`
+
+// runAgg folds the values through an aggregate spec instance.
+func runAgg(t *testing.T, sess *engine.Session, spec *exec.AggSpec, base float64, vals ...int64) sqltypes.Value {
+	t.Helper()
+	agg := spec.New()
+	agg.Reset()
+	ctx := sess.Ctx(nil, nil)
+	for _, v := range vals {
+		if err := agg.Step(ctx, []sqltypes.Value{sqltypes.NewInt(v), sqltypes.NewFloat(base)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := agg.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompiledAggregateMatchesInterpreted(t *testing.T) {
+	eng := engine.New()
+	Install(eng)
+	sess := eng.NewSession()
+	def := parseAgg(t, sumAggSrc)
+
+	compiled, err := newAggSpec(eng, def, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simple body must take the compiled path.
+	if _, ok := compiled.New().(*compiledAgg); !ok {
+		t.Fatalf("expected compiled aggregate, got %T", compiled.New())
+	}
+	interpreted := InterpretedAggSpec(def, false)
+	if _, ok := interpreted.New().(*interpAgg); !ok {
+		t.Fatalf("expected interpreted aggregate, got %T", interpreted.New())
+	}
+
+	c := runAgg(t, sess, compiled, 10, 1, 2, 3)
+	i := runAgg(t, sess, interpreted, 10, 1, 2, 3)
+	want := 10.0 + 2*(1+2+3)
+	if c.Float() != want || i.Float() != want {
+		t.Fatalf("compiled=%v interpreted=%v want %v", c, i, want)
+	}
+
+	// Empty input: Init + Terminate only, fields stay NULL.
+	if v := runAgg(t, sess, compiled, 10); !v.IsNull() {
+		t.Fatalf("compiled empty = %v, want NULL", v)
+	}
+	if v := runAgg(t, sess, interpreted, 10); !v.IsNull() {
+		t.Fatalf("interpreted empty = %v, want NULL", v)
+	}
+}
+
+func TestCompiledAggregateReset(t *testing.T) {
+	eng := engine.New()
+	Install(eng)
+	sess := eng.NewSession()
+	spec, err := newAggSpec(eng, parseAgg(t, sumAggSrc), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := spec.New()
+	ctx := sess.Ctx(nil, nil)
+	agg.Reset()
+	_ = agg.Step(ctx, []sqltypes.Value{sqltypes.NewInt(5), sqltypes.NewFloat(0)})
+	v1, _ := agg.Result(ctx)
+	agg.Reset()
+	_ = agg.Step(ctx, []sqltypes.Value{sqltypes.NewInt(7), sqltypes.NewFloat(0)})
+	v2, _ := agg.Result(ctx)
+	if v1.Float() != 10 || v2.Float() != 14 {
+		t.Fatalf("reset broken: %v then %v", v1, v2)
+	}
+}
+
+func TestCompileFallbackForResultSets(t *testing.T) {
+	eng := engine.New()
+	Install(eng)
+	def := parseAgg(t, `
+create aggregate Weird(@v int) returns int as
+begin
+  fields (@n int, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    select @v; -- result-set SELECT: not compilable
+  end
+  terminate begin return @n; end
+end`)
+	spec, err := newAggSpec(eng, def, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.New().(*interpAgg); !ok {
+		t.Fatalf("expected interpreter fallback, got %T", spec.New())
+	}
+}
+
+func TestCompiledAggregateWithNestedCursorLoop(t *testing.T) {
+	// Accumulate bodies may contain whole cursor loops (§4.2 "nested loops
+	// (cursor and non-cursor)").
+	eng := engine.New()
+	Install(eng)
+	sess := eng.NewSession()
+	if _, err := RunScript(sess, parser.MustParse(`
+create table details (k int, v int);
+create index idx_d on details(k);
+insert into details values (1, 10), (1, 20), (2, 5);
+`)); err != nil {
+		t.Fatal(err)
+	}
+	def := parseAgg(t, `
+create aggregate NestedSum(@k int) returns int as
+begin
+  fields (@total int, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @total = 0;
+      set @isInitialized = true;
+    end
+    declare @v int;
+    declare inner_c cursor for select v from details where k = @k;
+    open inner_c;
+    fetch next from inner_c into @v;
+    while @@fetch_status = 0
+    begin
+      set @total = @total + @v;
+      fetch next from inner_c into @v;
+    end
+    close inner_c;
+    deallocate inner_c;
+  end
+  terminate begin return @total; end
+end`)
+	spec, err := newAggSpec(eng, def, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := spec.New().(*compiledAgg); !ok {
+		t.Fatalf("nested cursor loops should compile, got %T", spec.New())
+	}
+	agg := spec.New()
+	agg.Reset()
+	ctx := sess.Ctx(nil, nil)
+	for _, k := range []int64{1, 2} {
+		if err := agg.Step(ctx, []sqltypes.Value{sqltypes.NewInt(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := agg.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 35 {
+		t.Fatalf("nested sum = %v, want 35", v)
+	}
+}
+
+func TestCompiledAggregateTableVar(t *testing.T) {
+	eng := engine.New()
+	Install(eng)
+	sess := eng.NewSession()
+	def := parseAgg(t, `
+create aggregate DistinctishCount(@v int) returns int as
+begin
+  fields (@n int, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @n = 0;
+      set @isInitialized = true;
+    end
+    declare @t table (x int);
+    insert into @t values (@v);
+    set @n = @n + (select count(*) from @t where x % 2 = 0);
+  end
+  terminate begin return @n; end
+end`)
+	spec, err := newAggSpec(eng, def, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := spec.New()
+	agg.Reset()
+	ctx := sess.Ctx(nil, nil)
+	for _, v := range []int64{1, 2, 3, 4} {
+		if err := agg.Step(ctx, []sqltypes.Value{sqltypes.NewInt(v)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := agg.Result(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Int() != 2 {
+		t.Fatalf("count = %v, want 2 (evens)", out)
+	}
+}

@@ -1,0 +1,527 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// Parser consumes the token stream produced by the lexer. It is a
+// hand-written recursive-descent parser with one token of lookahead plus
+// explicit peeking where SQL's grammar demands it.
+type Parser struct {
+	toks       []token
+	i          int
+	paramCount int // positional '?' parameters seen so far
+}
+
+// New creates a parser over src.
+func New(src string) (*Parser, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+func (p *Parser) cur() token  { return p.toks[p.i] }
+func (p *Parser) peek() token { return p.at(1) }
+
+func (p *Parser) at(n int) token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *Parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+// isKw reports whether the current token is the given keyword.
+func (p *Parser) isKw(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == kw
+}
+
+// isPunct reports whether the current token is the given punctuation.
+func (p *Parser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+// acceptKw consumes the keyword if present.
+func (p *Parser) acceptKw(kw string) bool {
+	if p.isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// acceptPunct consumes the punctuation if present.
+func (p *Parser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s, found %q", strings.ToUpper(kw), p.cur().text)
+	}
+	return nil
+}
+
+func (p *Parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent || keywords[t.text] {
+		return "", p.errf("expected identifier, found %q", t.text)
+	}
+	p.advance()
+	return t.text, nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// ParseExpr parses a full expression (entry point for tests and tools).
+func (p *Parser) ParseExpr() (ast.Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (ast.Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("or") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = ast.Bin(sqltypes.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (ast.Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKw("and") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = ast.Bin(sqltypes.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (ast.Expr, error) {
+	if p.isKw("not") {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryExpr{Op: '!', E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (ast.Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.cur().kind == tokPunct && comparisonOps[p.cur().text] != 0:
+			op := comparisonOps[p.advance().text]
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(op-1, l, r) // stored +1 so the zero value means "absent"
+		case p.isKw("is"):
+			p.advance()
+			neg := p.acceptKw("not")
+			if err := p.expectKw("null"); err != nil {
+				return nil, err
+			}
+			l = &ast.IsNullExpr{E: l, Negate: neg}
+		case p.isKw("like"):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpLike, l, r)
+		case p.isKw("not") && (p.peek().text == "in" || p.peek().text == "between" || p.peek().text == "like"):
+			p.advance() // NOT
+			switch p.cur().text {
+			case "like":
+				p.advance()
+				r, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &ast.UnaryExpr{Op: '!', E: ast.Bin(sqltypes.OpLike, l, r)}
+			case "in":
+				var err error
+				l, err = p.parseIn(l, true)
+				if err != nil {
+					return nil, err
+				}
+			case "between":
+				var err error
+				l, err = p.parseBetween(l, true)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case p.isKw("in"):
+			var err error
+			l, err = p.parseIn(l, false)
+			if err != nil {
+				return nil, err
+			}
+		case p.isKw("between"):
+			var err error
+			l, err = p.parseBetween(l, false)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+// comparisonOps maps punct to BinaryOp+1 (zero means not a comparison).
+var comparisonOps = map[string]sqltypes.BinaryOp{
+	"=":  sqltypes.OpEq + 1,
+	"<>": sqltypes.OpNe + 1,
+	"<":  sqltypes.OpLt + 1,
+	"<=": sqltypes.OpLe + 1,
+	">":  sqltypes.OpGt + 1,
+	">=": sqltypes.OpGe + 1,
+}
+
+func (p *Parser) parseIn(l ast.Expr, neg bool) (ast.Expr, error) {
+	p.advance() // IN
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.isKw("select") || p.isKw("with") {
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return &ast.InExpr{E: l, Query: q, Negate: neg}, nil
+	}
+	var list []ast.Expr
+	for {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &ast.InExpr{E: l, List: list, Negate: neg}, nil
+}
+
+func (p *Parser) parseBetween(l ast.Expr, neg bool) (ast.Expr, error) {
+	p.advance() // BETWEEN
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("and"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.BetweenExpr{E: l, Lo: lo, Hi: hi, Negate: neg}, nil
+}
+
+func (p *Parser) parseAdditive() (ast.Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("+"):
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpAdd, l, r)
+		case p.isPunct("-"):
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpSub, l, r)
+		case p.isPunct("||"):
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpConcat, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (ast.Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.isPunct("*"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpMul, l, r)
+		case p.isPunct("/"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpDiv, l, r)
+		case p.isPunct("%"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			l = ast.Bin(sqltypes.OpMod, l, r)
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseUnary() (ast.Expr, error) {
+	if p.isPunct("-") {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals so defaults like -1 parse as constants.
+		if lit, ok := e.(*ast.Literal); ok {
+			if v, err := sqltypes.Negate(lit.Val); err == nil {
+				return ast.Lit(v), nil
+			}
+		}
+		return &ast.UnaryExpr{Op: '-', E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return ast.Lit(sqltypes.NewFloat(f)), nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return ast.IntLit(i), nil
+	case tokString:
+		p.advance()
+		return ast.StrLit(t.text), nil
+	case tokVar:
+		p.advance()
+		return ast.Var(t.text), nil
+	case tokQMark:
+		p.advance()
+		p.paramCount++
+		return &ast.ParamRef{Index: p.paramCount - 1}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			if p.isKw("select") || p.isKw("with") {
+				q, err := p.parseSelect()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+				return &ast.Subquery{Query: q}, nil
+			}
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokIdent:
+		switch t.text {
+		case "null":
+			p.advance()
+			return ast.Lit(sqltypes.Null), nil
+		case "true":
+			p.advance()
+			return ast.Lit(sqltypes.NewBool(true)), nil
+		case "false":
+			p.advance()
+			return ast.Lit(sqltypes.NewBool(false)), nil
+		case "date":
+			// DATE 'yyyy-mm-dd' literal.
+			if p.peek().kind == tokString {
+				p.advance()
+				s := p.advance().text
+				v, err := sqltypes.ParseDate(s)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				return ast.Lit(v), nil
+			}
+		case "case":
+			return p.parseCase()
+		case "exists":
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return &ast.Subquery{Query: q, Exists: true}, nil
+		}
+		if keywords[t.text] {
+			return nil, p.errf("unexpected keyword %q in expression", t.text)
+		}
+		return p.parseIdentExpr()
+	}
+	return nil, p.errf("unexpected token %q in expression", t.text)
+}
+
+// parseIdentExpr handles column references (a, t.a) and function calls
+// (f(...), count(*)).
+func (p *Parser) parseIdentExpr() (ast.Expr, error) {
+	name := p.advance().text
+	if p.isPunct("(") {
+		p.advance()
+		fc := &ast.FuncCall{Name: name}
+		if p.isPunct("*") {
+			p.advance()
+			fc.Star = true
+		} else if !p.isPunct(")") {
+			for {
+				a, err := p.ParseExpr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Args = append(fc.Args, a)
+				if !p.acceptPunct(",") {
+					break
+				}
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return fc, nil
+	}
+	if p.isPunct(".") && p.peek().kind == tokIdent && !keywords[p.peek().text] {
+		p.advance()
+		col := p.advance().text
+		return ast.QCol(name, col), nil
+	}
+	return ast.Col(name), nil
+}
+
+func (p *Parser) parseCase() (ast.Expr, error) {
+	p.advance() // CASE
+	c := &ast.CaseExpr{}
+	for p.isKw("when") {
+		p.advance()
+		cond, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("then"); err != nil {
+			return nil, err
+		}
+		then, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, ast.WhenClause{Cond: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.acceptKw("else") {
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKw("end"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

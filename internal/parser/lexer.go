@@ -1,0 +1,235 @@
+// Package parser turns dialect source text into the AST of package ast.
+// The dialect is a T-SQL-like language: SQL queries (joins, subqueries,
+// GROUP BY, ORDER BY, TOP, CTEs, UNION ALL), DDL, DML, and procedural
+// constructs (DECLARE/SET/IF/WHILE/FOR, cursors and FETCH, TRY/CATCH,
+// functions, procedures, and CREATE AGGREGATE definitions).
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar    // @name or @@name
+	tokNumber // integer or float literal
+	tokString // '...'
+	tokPunct  // single/multi-char punctuation
+	tokQMark  // ? parameter
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lower-cased; punctuation canonical
+	pos  int    // byte offset, for error messages
+	line int
+}
+
+// keywords that terminate expressions or guide statement parsing. Anything
+// not in this set lexes as a plain identifier (so MIN, SUM, and user
+// function names are ordinary idents).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "asc": true, "desc": true, "top": true,
+	"distinct": true, "as": true, "and": true, "or": true, "not": true,
+	"null": true, "is": true, "in": true, "between": true, "like": true,
+	"exists": true, "case": true, "when": true, "then": true, "else": true,
+	"end": true, "join": true, "inner": true, "left": true, "outer": true,
+	"on": true, "union": true, "all": true, "with": true, "option": true,
+	"begin": true, "declare": true, "set": true, "if": true, "while": true,
+	"for": true, "break": true, "continue": true, "return": true,
+	"cursor": true, "open": true, "close": true, "deallocate": true,
+	"fetch": true, "next": true, "into": true, "insert": true,
+	"values": true, "update": true, "delete": true, "create": true,
+	"table": true, "index": true, "function": true, "procedure": true,
+	"aggregate": true, "returns": true, "try": true, "catch": true,
+	"print": true, "exec": true, "go": true, "true": true, "false": true,
+	"date": true, "enforced": true,
+	// Note: the CREATE AGGREGATE section markers (FIELDS, INIT, ACCUMULATE,
+	// TERMINATE) are contextual — they are matched positionally by the
+	// parser and remain usable as ordinary identifiers elsewhere.
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+// lex scans the whole input; the parser then works over the token slice.
+func lex(src string) ([]token, error) {
+	lx := &lexer{src: src, line: 1}
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		lx.tokens = append(lx.tokens, tok)
+		if tok.kind == tokEOF {
+			return lx.tokens, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: start, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '@':
+		lx.pos++
+		if lx.pos < len(lx.src) && lx.src[lx.pos] == '@' {
+			lx.pos++
+		}
+		nameStart := lx.pos
+		lx.scanIdentTail()
+		if lx.pos == nameStart {
+			return token{}, lx.errf("bare '@'")
+		}
+		return token{kind: tokVar, text: strings.ToLower(lx.src[start:lx.pos]), pos: start, line: lx.line}, nil
+	case isIdentStart(c):
+		lx.pos++
+		lx.scanIdentTail()
+		return token{kind: tokIdent, text: strings.ToLower(lx.src[start:lx.pos]), pos: start, line: lx.line}, nil
+	case c >= '0' && c <= '9':
+		return lx.scanNumber()
+	case c == '\'':
+		return lx.scanString()
+	case c == '?':
+		lx.pos++
+		return token{kind: tokQMark, text: "?", pos: start, line: lx.line}, nil
+	default:
+		return lx.scanPunct()
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '#' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (lx *lexer) scanIdentTail() {
+	for lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+		lx.pos++
+	}
+}
+
+func (lx *lexer) scanNumber() (token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	// exponent
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		save := lx.pos
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start, line: lx.line}, nil
+}
+
+func (lx *lexer) scanString() (token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				b.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return token{kind: tokString, text: b.String(), pos: start, line: lx.line}, nil
+		}
+		if c == '\n' {
+			lx.line++
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	return token{}, lx.errf("unterminated string literal")
+}
+
+func (lx *lexer) scanPunct() (token, error) {
+	start := lx.pos
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		lx.pos += 2
+		text := two
+		if text == "!=" {
+			text = "<>"
+		}
+		return token{kind: tokPunct, text: text, pos: start, line: lx.line}, nil
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '(', ')', ',', ';', '.', '=', '<', '>', '+', '-', '*', '/', '%':
+		lx.pos++
+		return token{kind: tokPunct, text: string(c), pos: start, line: lx.line}, nil
+	}
+	return token{}, lx.errf("unexpected character %q", string(c))
+}

@@ -1,0 +1,75 @@
+package parser_test
+
+import (
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/parser"
+	"aggify/internal/workloads/corpus"
+)
+
+// TestCorpusRoundtrip pins a strong invariant over ~100 realistic
+// procedures: every corpus file parses, formats, re-parses, and reaches a
+// print fixpoint.
+func TestCorpusRoundtrip(t *testing.T) {
+	for _, app := range corpus.Apps() {
+		sources, err := corpus.Sources(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range sources {
+			stmts, err := parser.Parse(src.SQL)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, src.Name, err)
+			}
+			printed := ast.FormatProgram(stmts)
+			stmts2, err := parser.Parse(printed)
+			if err != nil {
+				t.Fatalf("%s/%s: formatted source does not re-parse: %v", app, src.Name, err)
+			}
+			printed2 := ast.FormatProgram(stmts2)
+			if printed != printed2 {
+				t.Fatalf("%s/%s: print fixpoint failed", app, src.Name)
+			}
+			// Clones format identically and stay independent.
+			for _, s := range stmts {
+				if ast.Format(ast.CloneStmt(s)) != ast.Format(s) {
+					t.Fatalf("%s/%s: clone formats differently", app, src.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestParserNeverPanics feeds mangled corpus fragments to the parser: it
+// must fail cleanly, never panic.
+func TestParserNeverPanics(t *testing.T) {
+	sources, err := corpus.Sources("rubis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sources[0].SQL
+	mangle := []func(string) string{
+		func(s string) string { return s[:len(s)/2] },
+		func(s string) string { return s[len(s)/3:] },
+		func(s string) string { return s + " select" },
+		func(s string) string { return "begin " + s },
+		func(s string) string {
+			out := []byte(s)
+			for i := 7; i < len(out); i += 13 {
+				out[i] = byte("()';=@"[i%6])
+			}
+			return string(out)
+		},
+	}
+	for i, m := range mangle {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mangle %d: parser panicked: %v", i, r)
+				}
+			}()
+			_, _ = parser.Parse(m(base)) // error or success, never panic
+		}()
+	}
+}

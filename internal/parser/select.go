@@ -1,0 +1,311 @@
+package parser
+
+import (
+	"aggify/internal/ast"
+)
+
+// ParseSelect parses a full SELECT (or WITH ... SELECT) query.
+func (p *Parser) ParseSelect() (*ast.Select, error) { return p.parseSelect() }
+
+func (p *Parser) parseSelect() (*ast.Select, error) {
+	q := &ast.Select{}
+	if p.isKw("with") {
+		p.advance()
+		for {
+			cte, err := p.parseCTE()
+			if err != nil {
+				return nil, err
+			}
+			q.With = append(q.With, cte)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if err := p.parseSelectCore(q); err != nil {
+		return nil, err
+	}
+	// UNION ALL chain (each branch is a core select; ORDER BY applies to the
+	// whole chain and is parsed after the last branch).
+	tail := q
+	for p.isKw("union") {
+		p.advance()
+		if err := p.expectKw("all"); err != nil {
+			return nil, err
+		}
+		branch := &ast.Select{}
+		if err := p.parseSelectCore(branch); err != nil {
+			return nil, err
+		}
+		tail.Union = branch
+		tail = branch
+	}
+	if p.isKw("order") {
+		p.advance()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := ast.OrderItem{Expr: e}
+			if p.acceptKw("desc") {
+				item.Desc = true
+			} else {
+				p.acceptKw("asc")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.isKw("option") {
+		p.advance()
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("order"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("enforced"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		q.OrderEnforced = true
+	}
+	return q, nil
+}
+
+func (p *Parser) parseCTE() (ast.CTE, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return ast.CTE{}, err
+	}
+	cte := ast.CTE{Name: name}
+	if p.isPunct("(") {
+		p.advance()
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return ast.CTE{}, err
+			}
+			cte.Cols = append(cte.Cols, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return ast.CTE{}, err
+		}
+	}
+	if err := p.expectKw("as"); err != nil {
+		return ast.CTE{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return ast.CTE{}, err
+	}
+	body, err := p.parseSelect()
+	if err != nil {
+		return ast.CTE{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return ast.CTE{}, err
+	}
+	cte.Query = body
+	return cte, nil
+}
+
+// parseSelectCore parses SELECT ... [FROM ... WHERE ... GROUP BY ... HAVING]
+// without ORDER BY/UNION, filling q.
+func (p *Parser) parseSelectCore(q *ast.Select) error {
+	if err := p.expectKw("select"); err != nil {
+		return err
+	}
+	if p.acceptKw("distinct") {
+		q.Distinct = true
+	}
+	if p.isKw("top") {
+		p.advance()
+		e, err := p.parsePrimary()
+		if err != nil {
+			return err
+		}
+		q.Top = e
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		q.Items = append(q.Items, item)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if p.isKw("from") {
+		p.advance()
+		for {
+			te, err := p.parseTableExpr()
+			if err != nil {
+				return err
+			}
+			q.From = append(q.From, te)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.isKw("where") {
+		p.advance()
+		e, err := p.ParseExpr()
+		if err != nil {
+			return err
+		}
+		q.Where = e
+	}
+	if p.isKw("group") {
+		p.advance()
+		if err := p.expectKw("by"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return err
+			}
+			q.GroupBy = append(q.GroupBy, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	if p.isKw("having") {
+		p.advance()
+		e, err := p.ParseExpr()
+		if err != nil {
+			return err
+		}
+		q.Having = e
+	}
+	return nil
+}
+
+func (p *Parser) parseSelectItem() (ast.SelectItem, error) {
+	if p.isPunct("*") {
+		p.advance()
+		return ast.SelectItem{Star: true}, nil
+	}
+	// t.* form
+	if p.cur().kind == tokIdent && !keywords[p.cur().text] && p.peek().text == "." && p.at(2).text == "*" {
+		tbl := p.advance().text
+		p.advance() // .
+		p.advance() // *
+		return ast.SelectItem{Star: true, Alias: tbl}, nil
+	}
+	e, err := p.ParseExpr()
+	if err != nil {
+		return ast.SelectItem{}, err
+	}
+	item := ast.SelectItem{Expr: e}
+	if p.acceptKw("as") {
+		alias, err := p.expectIdent()
+		if err != nil {
+			return ast.SelectItem{}, err
+		}
+		item.Alias = alias
+	} else if p.cur().kind == tokIdent && !keywords[p.cur().text] {
+		item.Alias = p.advance().text
+	}
+	return item, nil
+}
+
+// parseTableExpr parses one FROM item including any trailing JOIN chain.
+func (p *Parser) parseTableExpr() (ast.TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind ast.JoinKind
+		switch {
+		case p.isKw("join") || p.isKw("inner"):
+			p.acceptKw("inner")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinInner
+		case p.isKw("left"):
+			p.advance()
+			p.acceptKw("outer")
+			if err := p.expectKw("join"); err != nil {
+				return nil, err
+			}
+			kind = ast.JoinLeft
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("on"); err != nil {
+			return nil, err
+		}
+		on, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.Join{Kind: kind, L: left, R: right, On: on}
+	}
+}
+
+func (p *Parser) parseTablePrimary() (ast.TableExpr, error) {
+	if p.isPunct("(") {
+		p.advance()
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		alias, err := p.parseOptionalAlias()
+		if err != nil {
+			return nil, err
+		}
+		if alias == "" {
+			return nil, p.errf("derived table requires an alias")
+		}
+		return &ast.SubqueryRef{Query: q, Alias: alias}, nil
+	}
+	var name string
+	if p.cur().kind == tokVar { // table variable
+		name = p.advance().text
+	} else {
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		name = n
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.TableRef{Name: name, Alias: alias}, nil
+}
+
+func (p *Parser) parseOptionalAlias() (string, error) {
+	if p.acceptKw("as") {
+		return p.expectIdent()
+	}
+	if p.cur().kind == tokIdent && !keywords[p.cur().text] {
+		return p.advance().text, nil
+	}
+	return "", nil
+}

@@ -1,0 +1,793 @@
+package plan
+
+import (
+	"aggify/internal/ast"
+	"aggify/internal/exec"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+	"fmt"
+)
+
+// splitConjuncts flattens a predicate into its AND-ed conjuncts.
+func splitConjuncts(e ast.Expr) []ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*ast.BinExpr); ok && b.Op == sqltypes.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []ast.Expr{e}
+}
+
+// fromUnit is one item of a comma-joined FROM list before physical
+// compilation.
+type fromUnit struct {
+	pos     int
+	te      ast.TableExpr
+	binding string   // visible qualifier ("" for explicit joins)
+	cols    []string // output column names (for conjunct classification)
+	tab     *storage.Table
+	preds   []ast.Expr // single-unit conjuncts assigned to this unit
+}
+
+// hasCol reports whether the unit exposes the (possibly qualified) column.
+func (u *fromUnit) hasCol(ref *ast.ColRef) bool {
+	if ref.Table != "" && ref.Table != u.binding {
+		return false
+	}
+	for _, c := range u.cols {
+		if c == ref.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// outputNames derives the output column names of a table expression without
+// compiling it (used for conjunct classification before join ordering).
+func (c *compiler) outputNames(te ast.TableExpr, env *cteEnv) ([]string, error) {
+	switch t := te.(type) {
+	case *ast.TableRef:
+		if b := env.lookup(t.Name); b != nil {
+			out := make([]string, len(b.cols))
+			for i, col := range b.cols {
+				out[i] = col.Name
+			}
+			return out, nil
+		}
+		tab, err := c.cat.ResolveTable(t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return tab.Schema.Names(), nil
+	case *ast.SubqueryRef:
+		return c.selectOutputNames(t.Query, env)
+	case *ast.Join:
+		l, err := c.outputNames(t.L, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.outputNames(t.R, env)
+		if err != nil {
+			return nil, err
+		}
+		return append(l, r...), nil
+	}
+	return nil, errf("unknown table expression %T", te)
+}
+
+// selectOutputNames derives a query's output column names without compiling.
+func (c *compiler) selectOutputNames(q *ast.Select, env *cteEnv) ([]string, error) {
+	var err error
+	if env, err = c.registerCTEs(q, nil, env); err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, it := range q.Items {
+		if it.Star {
+			for _, te := range q.From {
+				names, err := c.outputNames(te, env)
+				if err != nil {
+					return nil, err
+				}
+				if it.Alias != "" && ast.BindingName(te) != it.Alias {
+					continue
+				}
+				out = append(out, names...)
+			}
+			continue
+		}
+		name := it.Alias
+		if name == "" {
+			if cr, ok := it.Expr.(*ast.ColRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("col%d", len(out)+1)
+			}
+		}
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// unitsOf returns the set of unit indexes referenced by e, conservatively:
+// an unqualified name matching several units counts for all of them, and
+// subqueries are descended into (their correlated references matter here).
+func unitsOf(e ast.Expr, units []*fromUnit) map[int]bool {
+	out := map[int]bool{}
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		cr, ok := x.(*ast.ColRef)
+		if !ok {
+			return true
+		}
+		for i, u := range units {
+			if u.hasCol(cr) {
+				out[i] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lateBound reports whether a table name resolves at execution time
+// (table variables and temp tables).
+func lateBound(name string) bool {
+	return len(name) > 0 && (name[0] == '@' || name[0] == '#')
+}
+
+// eqSides splits an equality conjunct into its two sides; ok is false for
+// non-equality predicates.
+func eqSides(e ast.Expr) (l, r ast.Expr, ok bool) {
+	b, isBin := e.(*ast.BinExpr)
+	if !isBin || b.Op != sqltypes.OpEq {
+		return nil, nil, false
+	}
+	return b.L, b.R, true
+}
+
+// compileFrom builds the physical access path for a FROM list and WHERE
+// clause: greedy join ordering over the comma-joined units, index-seek
+// selection for sargable predicates, hash joins for equi-predicates, and
+// filter placement for everything else. All WHERE conjuncts are consumed.
+func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *scope, env *cteEnv) (opBuilder, *scope, *Node, error) {
+	if len(items) == 0 {
+		sc := &scope{parent: parent}
+		var builder opBuilder = func(*buildCtx) exec.Operator { return &exec.OneRowOp{} }
+		n := node("OneRow")
+		return c.applyFilter(builder, n, where, sc, env)
+	}
+
+	// Build unit metadata.
+	units := make([]*fromUnit, len(items))
+	for i, te := range items {
+		cols, err := c.outputNames(te, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		u := &fromUnit{pos: i, te: te, binding: ast.BindingName(te), cols: cols}
+		if tr, ok := te.(*ast.TableRef); ok && env.lookup(tr.Name) == nil && !lateBound(tr.Name) {
+			if tab, err := c.cat.ResolveTable(tr.Name); err == nil {
+				u.tab = tab
+			}
+		}
+		units[i] = u
+	}
+
+	conjuncts := splitConjuncts(where)
+	type conj struct {
+		expr    ast.Expr
+		units   map[int]bool
+		applied bool
+	}
+	conjs := make([]*conj, len(conjuncts))
+	for i, e := range conjuncts {
+		conjs[i] = &conj{expr: e, units: unitsOf(e, units)}
+	}
+
+	// Assign single-unit conjuncts to their units.
+	for _, cj := range conjs {
+		if len(cj.units) == 1 {
+			for i := range cj.units {
+				units[i].preds = append(units[i].preds, cj.expr)
+			}
+			cj.applied = true
+		}
+	}
+
+	// sargableIndexed reports whether the unit has an indexed, constant
+	// (unit-free) equality predicate and returns its column.
+	sargableIndexed := func(u *fromUnit) (col string, key ast.Expr, rest []ast.Expr, found bool) {
+		rest = append(rest, u.preds...)
+		if u.tab == nil {
+			return "", nil, rest, false
+		}
+		for i, p := range u.preds {
+			l, r, ok := eqSides(p)
+			if !ok {
+				continue
+			}
+			for _, flip := range []struct{ col, key ast.Expr }{{l, r}, {r, l}} {
+				cr, isCol := flip.col.(*ast.ColRef)
+				if !isCol || !u.hasCol(cr) {
+					continue
+				}
+				if len(unitsOf(flip.key, units)) != 0 {
+					continue
+				}
+				if u.tab.Index(cr.Name) == nil {
+					continue
+				}
+				rest = append(rest[:0], u.preds[:i]...)
+				rest = append(rest, u.preds[i+1:]...)
+				return cr.Name, flip.key, rest, true
+			}
+		}
+		return "", nil, rest, false
+	}
+
+	// Pick the starting unit: prefer an indexed sargable predicate, then any
+	// filtered unit, then the first.
+	start := -1
+	for i, u := range units {
+		if _, _, _, ok := sargableIndexed(u); ok {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		for i, u := range units {
+			if len(u.preds) > 0 {
+				start = i
+				break
+			}
+		}
+	}
+	if start < 0 {
+		start = 0
+	}
+
+	builder, sc, n, err := c.compileUnit(units[start], parent, env, false, sargableIndexed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	joined := map[int]bool{start: true}
+	joinOrder := []int{start}
+	width := sc.width()
+
+	remaining := len(units) - 1
+	for remaining > 0 {
+		// Find a unit connected to the joined set by equality conjuncts.
+		type connection struct {
+			unit     int
+			leftExpr []ast.Expr // sides over joined units (or unit-free)
+			rightCol []ast.Expr // sides over the candidate unit
+			conjRefs []*conj
+		}
+		var best *connection
+		for ui := range units {
+			if joined[ui] {
+				continue
+			}
+			conn := &connection{unit: ui}
+			for _, cj := range conjs {
+				if cj.applied {
+					continue
+				}
+				// All referenced units must be the candidate or already joined.
+				okUnits := true
+				refsCandidate := false
+				for ref := range cj.units {
+					if ref == ui {
+						refsCandidate = true
+					} else if !joined[ref] {
+						okUnits = false
+					}
+				}
+				if !okUnits || !refsCandidate {
+					continue
+				}
+				l, r, ok := eqSides(cj.expr)
+				if !ok {
+					continue
+				}
+				lu, ru := unitsOf(l, units), unitsOf(r, units)
+				onlyCandidate := func(m map[int]bool) bool { return len(m) == 1 && m[ui] }
+				noCandidate := func(m map[int]bool) bool { return !m[ui] }
+				switch {
+				case onlyCandidate(ru) && noCandidate(lu):
+					conn.leftExpr = append(conn.leftExpr, l)
+					conn.rightCol = append(conn.rightCol, r)
+					conn.conjRefs = append(conn.conjRefs, cj)
+				case onlyCandidate(lu) && noCandidate(ru):
+					conn.leftExpr = append(conn.leftExpr, r)
+					conn.rightCol = append(conn.rightCol, l)
+					conn.conjRefs = append(conn.conjRefs, cj)
+				}
+			}
+			if len(conn.conjRefs) > 0 {
+				best = conn
+				break
+			}
+		}
+
+		if best == nil {
+			// No connection: cross join with the first remaining unit
+			// (hash join with no keys).
+			for ui := range units {
+				if !joined[ui] {
+					best = &connection{unit: ui}
+					break
+				}
+			}
+		}
+		u := units[best.unit]
+
+		// Prefer an index nested-loop join when the unit has an index on a
+		// plain join column; otherwise hash join.
+		idxCol := ""
+		idxKey := -1
+		if u.tab != nil {
+			for i, rc := range best.rightCol {
+				if cr, ok := rc.(*ast.ColRef); ok && u.tab.Index(cr.Name) != nil {
+					idxCol, idxKey = cr.Name, i
+					break
+				}
+			}
+		}
+
+		if idxCol != "" {
+			// Index NL join: the right side sees the joined row pushed one
+			// outer level down.
+			rightBuilder, rightScope, rightNode, err := c.compileUnitSeek(u, parent, env, idxCol, best.leftExpr[idxKey], sc)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			combined := concatScopes(sc, rightScope)
+			// Residual join conjuncts evaluated on the combined row.
+			var residuals []exec.Scalar
+			for i, cj := range best.conjRefs {
+				cj.applied = true
+				if i == idxKey {
+					continue
+				}
+				s, err := c.compileExpr(cj.expr, combined, env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				residuals = append(residuals, s)
+			}
+			on := andScalars(residuals)
+			left := builder
+			lw, rw := width, rightScope.width()
+			builder = func(bc *buildCtx) exec.Operator {
+				return &exec.NLJoinOp{Left: left(bc), Right: rightBuilder(bc), LeftWidth: lw, RightWidth: rw, On: on}
+			}
+			n = node(fmt.Sprintf("IndexNLJoin(%s.%s)", u.tab.Name, idxCol), n, rightNode)
+			sc = combined
+			width = sc.width()
+		} else {
+			rightBuilder, rightScope, rightNode, err := c.compileUnit(u, parent, env, false, sargableIndexed)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			var leftKeys, rightKeys []exec.Scalar
+			for i, cj := range best.conjRefs {
+				cj.applied = true
+				lk, err := c.compileExpr(best.leftExpr[i], sc, env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				rk, err := c.compileExpr(best.rightCol[i], rightScope, env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				leftKeys = append(leftKeys, lk)
+				rightKeys = append(rightKeys, rk)
+			}
+			left := builder
+			lw, rw := width, rightScope.width()
+			builder = func(bc *buildCtx) exec.Operator {
+				return &exec.HashJoinOp{
+					Left: left(bc), Right: rightBuilder(bc),
+					LeftWidth: lw, RightWidth: rw,
+					LeftKeys: leftKeys, RightKeys: rightKeys,
+				}
+			}
+			label := "HashJoin"
+			if len(best.conjRefs) == 0 {
+				label = "CrossJoin"
+			}
+			n = node(label, n, rightNode)
+			sc = concatScopes(sc, rightScope)
+			width = sc.width()
+		}
+		joined[best.unit] = true
+		joinOrder = append(joinOrder, best.unit)
+		remaining--
+
+		// Apply conjuncts that became fully available.
+		for _, cj := range conjs {
+			if cj.applied {
+				continue
+			}
+			ready := true
+			for ref := range cj.units {
+				if !joined[ref] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			cj.applied = true
+			pred, err := c.compileExpr(cj.expr, sc, env)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			inner := builder
+			builder = func(bc *buildCtx) exec.Operator {
+				return &exec.FilterOp{Child: inner(bc), Pred: pred}
+			}
+			n = node("Filter", n)
+		}
+	}
+
+	// Remaining conjuncts (unit-free: variables, constants, outer refs).
+	for _, cj := range conjs {
+		if cj.applied {
+			continue
+		}
+		cj.applied = true
+		pred, err := c.compileExpr(cj.expr, sc, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inner := builder
+		builder = func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}
+		n = node("Filter", n)
+	}
+
+	// Restore the user-visible FROM column order if greedy ordering
+	// permuted the units.
+	permuted := false
+	for i, p := range joinOrder {
+		if unitAtOrder := units[p].pos; unitAtOrder != i {
+			permuted = true
+			break
+		}
+	}
+	if permuted {
+		// Compute, for each unit in original order, where its columns start
+		// in the joined row.
+		offsets := make([]int, len(units))
+		off := 0
+		for _, p := range joinOrder {
+			offsets[p] = off
+			off += len(units[p].cols)
+		}
+		reordered := &scope{parent: parent}
+		var exprs []exec.Scalar
+		for _, u := range units {
+			base := offsets[u.pos]
+			for ci, cn := range u.cols {
+				exprs = append(exprs, exec.ColScalar(base+ci))
+				reordered.add(u.binding, cn, sqltypes.Unknown)
+			}
+		}
+		inner := builder
+		builder = func(bc *buildCtx) exec.Operator {
+			return &exec.ProjectOp{Child: inner(bc), Exprs: exprs}
+		}
+		sc = reordered
+	}
+	return builder, sc, n, nil
+}
+
+// andScalars combines predicates with short-circuit AND; nil for empty.
+func andScalars(preds []exec.Scalar) exec.Scalar {
+	if len(preds) == 0 {
+		return nil
+	}
+	if len(preds) == 1 {
+		return preds[0]
+	}
+	return func(ctx *exec.Ctx, row exec.Row) (sqltypes.Value, error) {
+		for _, p := range preds {
+			v, err := p(ctx, row)
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if !v.Truthy() {
+				return v, nil
+			}
+		}
+		return sqltypes.NewBool(true), nil
+	}
+}
+
+// applyFilter wraps a builder with a WHERE filter (if any).
+func (c *compiler) applyFilter(builder opBuilder, n *Node, where ast.Expr, sc *scope, env *cteEnv) (opBuilder, *scope, *Node, error) {
+	if where == nil {
+		return builder, sc, n, nil
+	}
+	pred, err := c.compileExpr(where, sc, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	inner := builder
+	builder = func(bc *buildCtx) exec.Operator {
+		return &exec.FilterOp{Child: inner(bc), Pred: pred}
+	}
+	return builder, sc, node("Filter", n), nil
+}
+
+// compileUnit compiles one FROM unit with its assigned single-unit
+// predicates, choosing an index seek for a constant sargable predicate when
+// available. nlRight inserts a phantom scope level for units placed as the
+// right side of a nested-loop join.
+func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight bool,
+	sargable func(u *fromUnit) (string, ast.Expr, []ast.Expr, bool)) (opBuilder, *scope, *Node, error) {
+
+	unitParent := parent
+	if nlRight {
+		unitParent = &scope{parent: parent}
+	}
+	var builder opBuilder
+	var n *Node
+	sc := &scope{parent: unitParent}
+	rest := u.preds
+
+	switch te := u.te.(type) {
+	case *ast.TableRef:
+		if lateBound(te.Name) {
+			tab, err := c.cat.ResolveTable(te.Name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			for _, col := range tab.Schema.Columns {
+				sc.add(u.binding, col.Name, col.Type)
+			}
+			name := te.Name
+			builder = func(bc *buildCtx) exec.Operator {
+				return &exec.LateScanOp{Name: name}
+			}
+			n = node("LateScan(" + name + ")")
+			break
+		}
+		if b := env.lookup(te.Name); b != nil {
+			for _, col := range b.cols {
+				sc.add(u.binding, col.Name, col.Type)
+			}
+			if b.deltaKey != nil {
+				key := b.deltaKey
+				builder = func(bc *buildCtx) exec.Operator {
+					return &exec.DeltaScanOp{Source: bc.delta(key)}
+				}
+				n = node("DeltaScan(" + te.Name + ")")
+			} else {
+				var err error
+				builder, n, err = b.instantiate()
+				if err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		} else {
+			tab, err := c.cat.ResolveTable(te.Name)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			for _, col := range tab.Schema.Columns {
+				sc.add(u.binding, col.Name, col.Type)
+			}
+			if col, key, remaining, ok := sargable(u); ok {
+				keyScalar, err := c.compileExpr(key, &scope{parent: unitParent}, env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				builder = func(bc *buildCtx) exec.Operator {
+					return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
+				}
+				n = node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col))
+				rest = remaining
+			} else {
+				builder = func(bc *buildCtx) exec.Operator {
+					return &exec.ScanOp{Table: tab}
+				}
+				n = node("Scan(" + tab.Name + ")")
+			}
+		}
+	case *ast.SubqueryRef:
+		b, cols, sn, err := c.compileSelect(te.Query, unitParent, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for _, cn := range cols {
+			sc.add(u.binding, cn, sqltypes.Unknown)
+		}
+		builder = b
+		n = node("Derived("+te.Alias+")", sn)
+	case *ast.Join:
+		b, jsc, jn, err := c.compileJoinExpr(te, unitParent, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		builder = b
+		sc = jsc
+		n = jn
+	default:
+		return nil, nil, nil, errf("unknown table expression %T", u.te)
+	}
+
+	for _, p := range rest {
+		pred, err := c.compileExpr(p, sc, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inner := builder
+		builder = func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}
+		n = node("Filter", n)
+	}
+	return builder, sc, n, nil
+}
+
+// compileUnitSeek compiles a unit as the right side of an index nested-loop
+// join: an index seek keyed by an expression over the joined row (one outer
+// level down), with the unit's own predicates as filters above it.
+func (c *compiler) compileUnitSeek(u *fromUnit, parent *scope, env *cteEnv, col string, key ast.Expr, joinedScope *scope) (opBuilder, *scope, *Node, error) {
+	// The key references the joined row, which the NL join pushes one level
+	// onto the outer stack: compile it against an empty scope whose parent
+	// is the joined scope.
+	keyScalar, err := c.compileExpr(key, &scope{parent: joinedScope}, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tab := u.tab
+	unitParent := &scope{parent: parent}
+	sc := &scope{parent: unitParent}
+	for _, cdef := range tab.Schema.Columns {
+		sc.add(u.binding, cdef.Name, cdef.Type)
+	}
+	var builder opBuilder = func(bc *buildCtx) exec.Operator {
+		return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
+	}
+	n := node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col))
+	for _, p := range u.preds {
+		pred, err := c.compileExpr(p, sc, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		inner := builder
+		builder = func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}
+		n = node("Filter", n)
+	}
+	return builder, sc, n, nil
+}
+
+// compileJoinExpr compiles an explicit ANSI join tree.
+func (c *compiler) compileJoinExpr(j *ast.Join, parent *scope, env *cteEnv) (opBuilder, *scope, *Node, error) {
+	leftB, leftSc, leftN, err := c.compileTableSource(j.L, parent, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	// Try to split the ON condition into equi-key pairs.
+	leftNames, err := c.outputNames(j.L, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rightNames, err := c.outputNames(j.R, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lUnit := &fromUnit{te: j.L, binding: ast.BindingName(j.L), cols: leftNames}
+	rUnit := &fromUnit{te: j.R, binding: ast.BindingName(j.R), cols: rightNames}
+	pair := []*fromUnit{lUnit, rUnit}
+
+	var eqL, eqR, residual []ast.Expr
+	for _, cj := range splitConjuncts(j.On) {
+		l, r, ok := eqSides(cj)
+		if !ok {
+			residual = append(residual, cj)
+			continue
+		}
+		lu, ru := unitsOf(l, pair), unitsOf(r, pair)
+		switch {
+		case len(lu) == 1 && lu[0] && len(ru) == 1 && ru[1]:
+			eqL = append(eqL, l)
+			eqR = append(eqR, r)
+		case len(lu) == 1 && lu[1] && len(ru) == 1 && ru[0]:
+			eqL = append(eqL, r)
+			eqR = append(eqR, l)
+		default:
+			residual = append(residual, cj)
+		}
+	}
+
+	if len(eqL) > 0 {
+		// Hash join (no outer-level shift for the right side).
+		rightB, rightSc, rightN, err := c.compileTableSource(j.R, parent, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		combined := concatScopes(leftSc, rightSc)
+		var leftKeys, rightKeys []exec.Scalar
+		for i := range eqL {
+			lk, err := c.compileExpr(eqL[i], leftSc, env)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rk, err := c.compileExpr(eqR[i], rightSc, env)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			leftKeys = append(leftKeys, lk)
+			rightKeys = append(rightKeys, rk)
+		}
+		var res []exec.Scalar
+		for _, e := range residual {
+			s, err := c.compileExpr(e, combined, env)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			res = append(res, s)
+		}
+		lw, rw := leftSc.width(), rightSc.width()
+		outer := j.Kind == ast.JoinLeft
+		builder := func(bc *buildCtx) exec.Operator {
+			return &exec.HashJoinOp{
+				Left: leftB(bc), Right: rightB(bc),
+				LeftWidth: lw, RightWidth: rw,
+				LeftKeys: leftKeys, RightKeys: rightKeys,
+				Residual: andScalars(res), LeftOuter: outer,
+			}
+		}
+		return builder, combined, node("HashJoin("+j.Kind.String()+")", leftN, rightN), nil
+	}
+
+	// Nested-loop join; the right side is re-opened per left row with the
+	// left row pushed one outer level down.
+	rightB, rightSc, rightN, err := c.compileTableSource(j.R, &scope{parent: parent}, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Lift the right scope so the combined scope chains to the real parent.
+	liftedRight := &scope{parent: parent, cols: rightSc.cols}
+	combined := concatScopes(leftSc, liftedRight)
+	var on exec.Scalar
+	if j.On != nil {
+		if on, err = c.compileExpr(j.On, combined, env); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	lw, rw := leftSc.width(), rightSc.width()
+	outer := j.Kind == ast.JoinLeft
+	builder := func(bc *buildCtx) exec.Operator {
+		return &exec.NLJoinOp{Left: leftB(bc), Right: rightB(bc), LeftWidth: lw, RightWidth: rw, On: on, LeftOuter: outer}
+	}
+	return builder, combined, node("NLJoin("+j.Kind.String()+")", leftN, rightN), nil
+}
+
+// compileTableSource compiles a table expression without predicate
+// assignment (explicit-join children).
+func (c *compiler) compileTableSource(te ast.TableExpr, parent *scope, env *cteEnv) (opBuilder, *scope, *Node, error) {
+	cols, err := c.outputNames(te, env)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	u := &fromUnit{te: te, binding: ast.BindingName(te), cols: cols}
+	if tr, ok := te.(*ast.TableRef); ok && env.lookup(tr.Name) == nil && !lateBound(tr.Name) {
+		if tab, err := c.cat.ResolveTable(tr.Name); err == nil {
+			u.tab = tab
+		}
+	}
+	noSarg := func(*fromUnit) (string, ast.Expr, []ast.Expr, bool) { return "", nil, nil, false }
+	return c.compileUnit(u, parent, env, false, noSarg)
+}

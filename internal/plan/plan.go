@@ -1,0 +1,156 @@
+// Package plan compiles query ASTs into executable physical operator trees.
+// It contains the engine's rule-based optimizer: predicate placement,
+// index-seek selection, join-order and join-algorithm choice, scalar-
+// subquery apply, apply decorrelation (the rewrite that gives the paper's
+// "Aggify+" configuration its set-oriented plans), and the paper's Eq. 6
+// streaming-aggregate enforcement for order-sensitive custom aggregates.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/exec"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Catalog is the planner's view of schema objects; the engine implements it.
+type Catalog interface {
+	// ResolveTable returns a base table, temp table, or table variable.
+	ResolveTable(name string) (*storage.Table, error)
+	// AggSpec returns the aggregate function spec for name, if any
+	// (built-in or custom).
+	AggSpec(name string) (*exec.AggSpec, bool)
+	// ScalarFuncExists reports whether a scalar UDF with this name exists
+	// (built-in scalar functions are handled by the planner itself).
+	ScalarFuncExists(name string) bool
+}
+
+// Options control optimizer behaviour; the zero value is the default
+// configuration used by the engine.
+type Options struct {
+	// DisableDecorrelation turns off the apply-decorrelation rewrite
+	// (for the Aggify+ ablation).
+	DisableDecorrelation bool
+	// Parallelism > 1 allows parallel aggregation (via the aggregate Merge
+	// contract) for order-insensitive aggregations over large inputs.
+	Parallelism int
+	// MaxRecursion caps recursive CTE iterations (0 = engine default).
+	MaxRecursion int
+}
+
+// Plan is a compiled, reusable query plan. Build instantiates a fresh
+// operator tree, so a Plan may be executed many times and reentrantly.
+type Plan struct {
+	// Columns are the output column names.
+	Columns []string
+	// Explain describes the chosen physical plan.
+	Explain *Node
+
+	build opBuilder
+}
+
+// Build instantiates the physical operator tree for one execution.
+func (p *Plan) Build() exec.Operator {
+	return p.build(&buildCtx{})
+}
+
+// Run builds and drains the plan.
+func (p *Plan) Run(ctx *exec.Ctx) ([]exec.Row, error) {
+	return exec.Drain(ctx, p.Build())
+}
+
+// Node is one node of the explain tree.
+type Node struct {
+	Op       string // operator name, e.g. "IndexSeek(partsupp.ps_partkey)"
+	Children []*Node
+}
+
+// String renders the explain tree with indentation.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Op)
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// Contains reports whether any node's Op contains the substring s.
+func (n *Node) Contains(s string) bool {
+	if strings.Contains(n.Op, s) {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.Contains(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func node(op string, children ...*Node) *Node { return &Node{Op: op, Children: children} }
+
+// buildCtx carries per-execution wiring state (recursive CTE delta buffers).
+type buildCtx struct {
+	deltas map[any]*[]exec.Row
+}
+
+// delta returns the per-execution delta buffer for a recursive CTE binding,
+// creating it on first use.
+func (bc *buildCtx) delta(key any) *[]exec.Row {
+	if bc.deltas == nil {
+		bc.deltas = map[any]*[]exec.Row{}
+	}
+	d, ok := bc.deltas[key]
+	if !ok {
+		d = new([]exec.Row)
+		bc.deltas[key] = d
+	}
+	return d
+}
+
+// opBuilder instantiates an operator subtree for one execution.
+type opBuilder func(bc *buildCtx) exec.Operator
+
+// errf builds planner errors.
+func errf(format string, args ...any) error {
+	return fmt.Errorf("plan: %s", fmt.Sprintf(format, args...))
+}
+
+func litScalar(v sqltypes.Value) exec.Scalar { return exec.ConstScalar(v) }
+
+// CompileScalar compiles an expression that references no table columns
+// (variables, parameters, literals, function calls, scalar subqueries).
+func CompileScalar(cat Catalog, opts Options, e ast.Expr) (exec.Scalar, error) {
+	c := &compiler{cat: cat, opts: opts}
+	return c.compileExpr(e, &scope{}, nil)
+}
+
+// CompileScalarSlots compiles an expression whose variable references are
+// resolved at compile time to indexes into Ctx.VarSlots (the fast path used
+// by compiled procedural blocks, i.e. Aggify-generated aggregates). Every
+// variable in e must appear in slots.
+func CompileScalarSlots(cat Catalog, opts Options, e ast.Expr, slots map[string]int) (exec.Scalar, error) {
+	c := &compiler{cat: cat, opts: opts, slots: slots}
+	return c.compileExpr(e, &scope{}, nil)
+}
+
+// CompileRowExpr compiles an expression against the columns of a single
+// table (used for DML: UPDATE SET expressions and WHERE predicates).
+func CompileRowExpr(cat Catalog, opts Options, e ast.Expr, tab *storage.Table) (exec.Scalar, error) {
+	c := &compiler{cat: cat, opts: opts}
+	sc := &scope{}
+	for _, col := range tab.Schema.Columns {
+		sc.add(tab.Name, col.Name, col.Type)
+	}
+	return c.compileExpr(e, sc, nil)
+}

@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+func TestSplitConjuncts(t *testing.T) {
+	a := ast.Eq(ast.Col("a"), ast.IntLit(1))
+	b := ast.Eq(ast.Col("b"), ast.IntLit(2))
+	c := ast.Bin(sqltypes.OpGt, ast.Col("c"), ast.IntLit(3))
+	e := ast.And(a, b, c)
+	parts := splitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	if parts[0] != ast.Expr(a) || parts[2] != ast.Expr(c) {
+		t.Fatal("conjunct identity lost")
+	}
+	if got := splitConjuncts(nil); got != nil {
+		t.Fatal("nil predicate must split to nothing")
+	}
+	// OR is not split.
+	or := ast.Bin(sqltypes.OpOr, a, b)
+	if got := splitConjuncts(or); len(got) != 1 {
+		t.Fatalf("OR split = %d", len(got))
+	}
+}
+
+func TestEqSides(t *testing.T) {
+	l, r, ok := eqSides(ast.Eq(ast.Col("x"), ast.IntLit(1)))
+	if !ok || l.String() != "x" || r.String() != "1" {
+		t.Fatalf("eqSides = %v %v %v", l, r, ok)
+	}
+	if _, _, ok := eqSides(ast.Bin(sqltypes.OpLt, ast.Col("x"), ast.IntLit(1))); ok {
+		t.Fatal("inequality must not split")
+	}
+	if _, _, ok := eqSides(ast.Col("x")); ok {
+		t.Fatal("non-binary must not split")
+	}
+}
+
+func TestLateBound(t *testing.T) {
+	cases := map[string]bool{"@t": true, "#tmp": true, "orders": false, "": false}
+	for name, want := range cases {
+		if lateBound(name) != want {
+			t.Errorf("lateBound(%q) = %v", name, !want)
+		}
+	}
+}
+
+func TestExplainNode(t *testing.T) {
+	n := node("HashAgg", node("Filter", node("Scan(t)")))
+	out := n.String()
+	for _, want := range []string{"HashAgg", "  Filter", "    Scan(t)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !n.Contains("Scan") || n.Contains("IndexSeek") {
+		t.Fatal("Contains broken")
+	}
+}
+
+func TestScopeResolution(t *testing.T) {
+	outer := &scope{}
+	outer.add("t", "a", sqltypes.Int)
+	inner := &scope{parent: outer}
+	inner.add("u", "b", sqltypes.Int)
+
+	res, err := inner.resolve(ast.Col("b"))
+	if err != nil || res.levelsUp != 0 || res.ordinal != 0 {
+		t.Fatalf("local resolve = %+v, %v", res, err)
+	}
+	res, err = inner.resolve(ast.Col("a"))
+	if err != nil || res.levelsUp != 1 {
+		t.Fatalf("outer resolve = %+v, %v", res, err)
+	}
+	if _, err := inner.resolve(ast.Col("zz")); err == nil {
+		t.Fatal("unknown column must error")
+	}
+	// Ambiguity within one scope.
+	amb := &scope{}
+	amb.add("t1", "k", sqltypes.Int)
+	amb.add("t2", "k", sqltypes.Int)
+	if _, err := amb.resolve(ast.Col("k")); err == nil {
+		t.Fatal("ambiguous unqualified reference must error")
+	}
+	if res, err := amb.resolve(ast.QCol("t2", "k")); err != nil || res.ordinal != 1 {
+		t.Fatalf("qualified resolve = %+v, %v", res, err)
+	}
+}
+
+func TestIsBuiltinScalarFunc(t *testing.T) {
+	if !IsBuiltinScalarFunc("COALESCE") || !IsBuiltinScalarFunc("tuple_get") {
+		t.Fatal("builtin detection broken")
+	}
+	if IsBuiltinScalarFunc("mincostsupp") {
+		t.Fatal("UDF misdetected as builtin")
+	}
+}

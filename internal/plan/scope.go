@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// colBinding maps a (qualifier, name) pair to an ordinal in the current row.
+type colBinding struct {
+	Qual string // table alias / binding name; may be ""
+	Name string
+	Type sqltypes.Type
+}
+
+// scope describes the columns visible to expressions at some point in a
+// query, with a link to the enclosing query's scope for correlation.
+type scope struct {
+	parent *scope
+	cols   []colBinding
+}
+
+func (s *scope) width() int { return len(s.cols) }
+
+// add appends a column binding and returns its ordinal.
+func (s *scope) add(qual, name string, t sqltypes.Type) int {
+	s.cols = append(s.cols, colBinding{Qual: strings.ToLower(qual), Name: strings.ToLower(name), Type: t})
+	return len(s.cols) - 1
+}
+
+// concat returns a scope holding a's columns followed by b's (join output),
+// keeping a's parent.
+func concatScopes(a, b *scope) *scope {
+	out := &scope{parent: a.parent}
+	out.cols = append(out.cols, a.cols...)
+	out.cols = append(out.cols, b.cols...)
+	return out
+}
+
+// resolution is the result of looking up a column reference.
+type resolution struct {
+	levelsUp int // 0 = current scope
+	ordinal  int
+	typ      sqltypes.Type
+}
+
+// resolve finds the column named by ref, searching the scope chain outward.
+// It returns an error for ambiguous references in a single scope.
+func (s *scope) resolve(ref *ast.ColRef) (resolution, error) {
+	level := 0
+	for cur := s; cur != nil; cur = cur.parent {
+		found := -1
+		for i, c := range cur.cols {
+			if c.Name != ref.Name {
+				continue
+			}
+			if ref.Table != "" && c.Qual != ref.Table {
+				continue
+			}
+			if found >= 0 {
+				return resolution{}, errf("ambiguous column reference %q", ref)
+			}
+			found = i
+		}
+		if found >= 0 {
+			return resolution{levelsUp: level, ordinal: found, typ: cur.cols[found].Type}, nil
+		}
+		level++
+	}
+	return resolution{}, errf("unknown column %q", ref)
+}
+
+// names returns the output column names of the scope, preferring bare names.
+func (s *scope) names() []string {
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package sqltypes defines the SQL value model used throughout the engine:
+// runtime values with NULL-aware (three-valued) comparison and arithmetic,
+// and static type descriptors for columns, variables, and parameters.
+package sqltypes
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the runtime kinds a Value can take.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindDate  // days since 1970-01-01
+	KindTuple // composite value, used for multi-attribute aggregate results
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "STRING"
+	case KindDate:
+		return "DATE"
+	case KindTuple:
+		return "TUPLE"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// TypeID enumerates the declared SQL types of the dialect.
+type TypeID uint8
+
+const (
+	TUnknown TypeID = iota
+	TBit            // boolean
+	TInt
+	TBigInt
+	TFloat
+	TDecimal // DECIMAL(p,s); evaluated as float64
+	TChar    // CHAR(n)
+	TVarChar // VARCHAR(n)
+	TDate
+	TTuple
+)
+
+// Type is a static SQL type descriptor.
+type Type struct {
+	ID    TypeID
+	Prec  int // precision for DECIMAL, length for CHAR/VARCHAR
+	Scale int // scale for DECIMAL
+}
+
+// Common pre-built type descriptors.
+var (
+	Bit     = Type{ID: TBit}
+	Int     = Type{ID: TInt}
+	BigInt  = Type{ID: TBigInt}
+	Float   = Type{ID: TFloat}
+	Date    = Type{ID: TDate}
+	Unknown = Type{ID: TUnknown}
+)
+
+// Decimal returns a DECIMAL(p,s) type descriptor.
+func Decimal(p, s int) Type { return Type{ID: TDecimal, Prec: p, Scale: s} }
+
+// Char returns a CHAR(n) type descriptor.
+func Char(n int) Type { return Type{ID: TChar, Prec: n} }
+
+// VarChar returns a VARCHAR(n) type descriptor.
+func VarChar(n int) Type { return Type{ID: TVarChar, Prec: n} }
+
+// Kind maps the declared type to the runtime kind of its values.
+func (t Type) Kind() Kind {
+	switch t.ID {
+	case TBit:
+		return KindBool
+	case TInt, TBigInt:
+		return KindInt
+	case TFloat, TDecimal:
+		return KindFloat
+	case TChar, TVarChar:
+		return KindString
+	case TDate:
+		return KindDate
+	case TTuple:
+		return KindTuple
+	default:
+		return KindNull
+	}
+}
+
+// String renders the type in SQL syntax.
+func (t Type) String() string {
+	switch t.ID {
+	case TBit:
+		return "BIT"
+	case TInt:
+		return "INT"
+	case TBigInt:
+		return "BIGINT"
+	case TFloat:
+		return "FLOAT"
+	case TDecimal:
+		return fmt.Sprintf("DECIMAL(%d,%d)", t.Prec, t.Scale)
+	case TChar:
+		return fmt.Sprintf("CHAR(%d)", t.Prec)
+	case TVarChar:
+		return fmt.Sprintf("VARCHAR(%d)", t.Prec)
+	case TDate:
+		return "DATE"
+	case TTuple:
+		return "TUPLE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ParseType parses a SQL type name (with optional precision arguments) into
+// a Type. The name must already be upper-cased by the caller's lexer; this
+// function upper-cases defensively anyway.
+func ParseType(name string, args ...int) (Type, error) {
+	switch strings.ToUpper(name) {
+	case "BIT", "BOOL", "BOOLEAN":
+		return Bit, nil
+	case "INT", "INTEGER", "SMALLINT", "TINYINT":
+		return Int, nil
+	case "BIGINT":
+		return BigInt, nil
+	case "FLOAT", "REAL", "DOUBLE":
+		return Float, nil
+	case "DECIMAL", "NUMERIC", "MONEY":
+		p, s := 18, 0
+		if len(args) > 0 {
+			p = args[0]
+		}
+		if len(args) > 1 {
+			s = args[1]
+		}
+		return Decimal(p, s), nil
+	case "CHAR", "NCHAR":
+		n := 1
+		if len(args) > 0 {
+			n = args[0]
+		}
+		return Char(n), nil
+	case "VARCHAR", "NVARCHAR", "TEXT":
+		n := 255
+		if len(args) > 0 {
+			n = args[0]
+		}
+		return VarChar(n), nil
+	case "DATE", "DATETIME":
+		return Date, nil
+	case "TUPLE":
+		return Type{ID: TTuple}, nil
+	default:
+		return Unknown, fmt.Errorf("sqltypes: unknown type %q", name)
+	}
+}

@@ -1,0 +1,394 @@
+package sqltypes
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is a runtime SQL value. The zero Value is NULL.
+//
+// Values are small (one word of kind/ints/floats plus a string header and a
+// slice header) and are passed by value everywhere; rows are []Value.
+type Value struct {
+	kind Kind
+	i    int64   // KindBool (0/1), KindInt, KindDate
+	f    float64 // KindFloat
+	s    string  // KindString
+	t    []Value // KindTuple
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewBool returns a BOOL value.
+func NewBool(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewInt returns an INT value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a STRING value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewDate returns a DATE value from days since the Unix epoch.
+func NewDate(days int64) Value { return Value{kind: KindDate, i: days} }
+
+// NewTuple returns a TUPLE value wrapping vs. The slice is not copied.
+func NewTuple(vs []Value) Value { return Value{kind: KindTuple, t: vs} }
+
+// ParseDate parses 'YYYY-MM-DD' into a DATE value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null, fmt.Errorf("sqltypes: bad date %q: %w", s, err)
+	}
+	return NewDate(t.Unix() / 86400), nil
+}
+
+// MustDate parses 'YYYY-MM-DD' and panics on error; for tests and generators.
+func MustDate(s string) Value {
+	v, err := ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; valid only when Kind()==KindBool.
+func (v Value) Bool() bool { return v.i != 0 }
+
+// Int returns the integer payload; valid for KindInt and KindDate.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; valid only when Kind()==KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the string payload; valid only when Kind()==KindString.
+func (v Value) Str() string { return v.s }
+
+// Tuple returns the tuple payload; valid only when Kind()==KindTuple.
+func (v Value) Tuple() []Value { return v.t }
+
+// AsFloat coerces numeric values to float64. NULL and non-numerics yield 0
+// with ok=false.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	case KindBool:
+		return float64(v.i), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt coerces numeric values to int64 (floats truncate toward zero).
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindInt, KindBool, KindDate:
+		return v.i, true
+	case KindFloat:
+		return int64(v.f), true
+	default:
+		return 0, false
+	}
+}
+
+// Truthy reports whether v is a non-NULL true boolean. SQL WHERE semantics:
+// NULL and false both reject.
+func (v Value) Truthy() bool { return v.kind == KindBool && v.i != 0 }
+
+// String renders the value in SQL literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		if v.i != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	case KindDate:
+		return "'" + v.DateString() + "'"
+	case KindTuple:
+		parts := make([]string, len(v.t))
+		for i, e := range v.t {
+			parts[i] = e.String()
+		}
+		return "(" + strings.Join(parts, ", ") + ")"
+	}
+	return "?"
+}
+
+// DateString renders a DATE value as YYYY-MM-DD.
+func (v Value) DateString() string {
+	return time.Unix(v.i*86400, 0).UTC().Format("2006-01-02")
+}
+
+// Display renders the value for result output (strings unquoted).
+func (v Value) Display() string {
+	switch v.kind {
+	case KindString:
+		return v.s
+	case KindDate:
+		return v.DateString()
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'f', -1, 64)
+	default:
+		return v.String()
+	}
+}
+
+// CoerceTo converts v to the runtime kind of the declared type t, following
+// SQL assignment semantics. NULL stays NULL. Returns an error for impossible
+// conversions.
+func (v Value) CoerceTo(t Type) (Value, error) {
+	if v.kind == KindNull {
+		return Null, nil
+	}
+	switch t.Kind() {
+	case KindBool:
+		switch v.kind {
+		case KindBool:
+			return v, nil
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		case KindFloat:
+			return NewBool(v.f != 0), nil
+		}
+	case KindInt:
+		if i, ok := v.AsInt(); ok {
+			return NewInt(i), nil
+		}
+		if v.kind == KindString {
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err == nil {
+				return NewInt(i), nil
+			}
+		}
+	case KindFloat:
+		if f, ok := v.AsFloat(); ok {
+			return NewFloat(f), nil
+		}
+		if v.kind == KindString {
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err == nil {
+				return NewFloat(f), nil
+			}
+		}
+	case KindString:
+		s := v.Display()
+		if t.Prec > 0 && len(s) > t.Prec {
+			s = s[:t.Prec]
+		}
+		return NewString(s), nil
+	case KindDate:
+		switch v.kind {
+		case KindDate:
+			return v, nil
+		case KindString:
+			return ParseDate(v.s)
+		case KindInt:
+			return NewDate(v.i), nil
+		}
+	case KindTuple:
+		if v.kind == KindTuple {
+			return v, nil
+		}
+		return NewTuple([]Value{v}), nil
+	}
+	return Null, fmt.Errorf("sqltypes: cannot coerce %s to %s", v.kind, t)
+}
+
+// Compare compares two values, returning (-1|0|1, true) or (0, false) when
+// either side is NULL or the kinds are incomparable. Ints and floats compare
+// numerically; dates compare as day numbers; strings compare bytewise.
+func Compare(a, b Value) (int, bool) {
+	if a.kind == KindNull || b.kind == KindNull {
+		return 0, false
+	}
+	switch {
+	case a.kind == KindString && b.kind == KindString:
+		return strings.Compare(a.s, b.s), true
+	case a.kind == KindDate && b.kind == KindDate:
+		return cmpInt(a.i, b.i), true
+	case a.kind == KindDate && b.kind == KindString:
+		// SQL-style implicit coercion of date-shaped strings.
+		if bv, err := ParseDate(b.s); err == nil {
+			return cmpInt(a.i, bv.i), true
+		}
+		return 0, false
+	case a.kind == KindString && b.kind == KindDate:
+		if av, err := ParseDate(a.s); err == nil {
+			return cmpInt(av.i, b.i), true
+		}
+		return 0, false
+	case a.kind == KindBool && b.kind == KindBool:
+		return cmpInt(a.i, b.i), true
+	case a.kind == KindInt && b.kind == KindInt:
+		return cmpInt(a.i, b.i), true
+	case a.kind == KindTuple && b.kind == KindTuple:
+		n := len(a.t)
+		if len(b.t) < n {
+			n = len(b.t)
+		}
+		for i := 0; i < n; i++ {
+			if c, ok := Compare(a.t[i], b.t[i]); !ok {
+				return 0, false
+			} else if c != 0 {
+				return c, true
+			}
+		}
+		return cmpInt(int64(len(a.t)), int64(len(b.t))), true
+	default:
+		af, aok := a.AsFloat()
+		bf, bok := b.AsFloat()
+		if !aok || !bok {
+			return 0, false
+		}
+		switch {
+		case af < bf:
+			return -1, true
+		case af > bf:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+}
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports strict SQL equality: NULL = anything is not equal (returns
+// false), matching three-valued logic collapsed to boolean for hashing and
+// grouping purposes use GroupEqual instead.
+func Equal(a, b Value) bool {
+	c, ok := Compare(a, b)
+	return ok && c == 0
+}
+
+// GroupEqual reports equality under grouping semantics, where NULLs compare
+// equal to each other (as GROUP BY treats them). Tuples compare element-wise
+// with the same NULL-safe rule.
+func GroupEqual(a, b Value) bool {
+	if a.kind == KindNull && b.kind == KindNull {
+		return true
+	}
+	if a.kind == KindTuple && b.kind == KindTuple {
+		return RowsGroupEqual(a.t, b.t)
+	}
+	return Equal(a, b)
+}
+
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a hash of v suitable for hash joins and hash aggregation.
+// Values that are GroupEqual hash identically (ints and equal floats share
+// a representation).
+func Hash(v Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	switch v.kind {
+	case KindNull:
+		h.WriteByte(0)
+	case KindBool:
+		h.WriteByte(1)
+		h.WriteByte(byte(v.i))
+	case KindInt, KindDate:
+		writeFloatHash(&h, float64(v.i))
+	case KindFloat:
+		writeFloatHash(&h, v.f)
+	case KindString:
+		h.WriteByte(3)
+		h.WriteString(v.s)
+	case KindTuple:
+		h.WriteByte(4)
+		for _, e := range v.t {
+			sub := Hash(e)
+			var buf [8]byte
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(sub >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// writeFloatHash writes a canonical numeric representation so that
+// NewInt(3) and NewFloat(3) hash identically (they compare equal).
+func writeFloatHash(h *maphash.Hash, f float64) {
+	h.WriteByte(2)
+	bits := math.Float64bits(f)
+	if f == 0 { // normalize -0
+		bits = 0
+	}
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * i))
+	}
+	h.Write(buf[:])
+}
+
+// HashRow hashes a slice of values (a row or a grouping key).
+func HashRow(vs []Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	for _, v := range vs {
+		sub := Hash(v)
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sub >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// RowsGroupEqual reports whether two rows are equal under grouping semantics.
+func RowsGroupEqual(a, b []Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !GroupEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,263 @@
+package sqltypes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNullBasics(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null should be null")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+	if Null.Truthy() {
+		t.Fatal("NULL must not be truthy")
+	}
+	if got := Null.String(); got != "NULL" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{NewBool(true), KindBool},
+		{NewInt(42), KindInt},
+		{NewFloat(2.5), KindFloat},
+		{NewString("hi"), KindString},
+		{NewDate(19000), KindDate},
+		{NewTuple([]Value{NewInt(1)}), KindTuple},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("bool payload broken")
+	}
+	if NewInt(42).Int() != 42 {
+		t.Error("int payload broken")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("float payload broken")
+	}
+	if NewString("hi").Str() != "hi" {
+		t.Error("string payload broken")
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("1995-03-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind() != KindDate {
+		t.Fatalf("kind = %v", v.Kind())
+	}
+	if got := v.DateString(); got != "1995-03-15" {
+		t.Fatalf("roundtrip = %q", got)
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Fatal("expected error")
+	}
+	// Epoch sanity.
+	if MustDate("1970-01-01").Int() != 0 {
+		t.Fatal("epoch should be day 0")
+	}
+	if MustDate("1970-01-02").Int() != 1 {
+		t.Fatal("epoch+1 should be day 1")
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, ok := Compare(NewInt(3), NewFloat(3.0))
+	if !ok || c != 0 {
+		t.Fatalf("3 vs 3.0 = (%d,%v)", c, ok)
+	}
+	c, ok = Compare(NewInt(3), NewFloat(3.5))
+	if !ok || c != -1 {
+		t.Fatalf("3 vs 3.5 = (%d,%v)", c, ok)
+	}
+	if _, ok := Compare(Null, NewInt(1)); ok {
+		t.Fatal("NULL comparisons must be unknown")
+	}
+	if _, ok := Compare(NewInt(1), NewString("1")); ok {
+		t.Fatal("int vs string must be incomparable")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	a := NewTuple([]Value{NewInt(1), NewString("a")})
+	b := NewTuple([]Value{NewInt(1), NewString("b")})
+	if c, ok := Compare(a, b); !ok || c != -1 {
+		t.Fatalf("tuple compare = (%d,%v)", c, ok)
+	}
+	short := NewTuple([]Value{NewInt(1)})
+	if c, ok := Compare(short, a); !ok || c != -1 {
+		t.Fatalf("prefix tuple compare = (%d,%v)", c, ok)
+	}
+}
+
+func TestGroupEqualNulls(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Fatal("Equal(NULL,NULL) must be false")
+	}
+	if !GroupEqual(Null, Null) {
+		t.Fatal("GroupEqual(NULL,NULL) must be true")
+	}
+	if GroupEqual(Null, NewInt(0)) {
+		t.Fatal("GroupEqual(NULL,0) must be false")
+	}
+}
+
+func TestHashConsistentWithGroupEqual(t *testing.T) {
+	pairs := [][2]Value{
+		{NewInt(7), NewFloat(7)},
+		{Null, Null},
+		{NewString("x"), NewString("x")},
+		{NewDate(5), NewInt(5)}, // dates compare equal to ints numerically
+		{NewTuple([]Value{NewInt(1), Null}), NewTuple([]Value{NewFloat(1), Null})},
+	}
+	for _, p := range pairs {
+		if GroupEqual(p[0], p[1]) && Hash(p[0]) != Hash(p[1]) {
+			t.Errorf("equal values %v and %v hash differently", p[0], p[1])
+		}
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	v, err := NewString("42").CoerceTo(Int)
+	if err != nil || v.Int() != 42 {
+		t.Fatalf("string->int: %v %v", v, err)
+	}
+	v, err = NewInt(3).CoerceTo(Float)
+	if err != nil || v.Float() != 3 {
+		t.Fatalf("int->float: %v %v", v, err)
+	}
+	v, err = NewString("hello world").CoerceTo(Char(5))
+	if err != nil || v.Str() != "hello" {
+		t.Fatalf("char truncation: %v %v", v, err)
+	}
+	v, err = Null.CoerceTo(Int)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("NULL coercion must stay NULL: %v %v", v, err)
+	}
+	v, err = NewString("1995-06-17").CoerceTo(Date)
+	if err != nil || v.DateString() != "1995-06-17" {
+		t.Fatalf("string->date: %v %v", v, err)
+	}
+	if _, err := NewTuple(nil).CoerceTo(Int); err == nil {
+		t.Fatal("tuple->int must fail")
+	}
+}
+
+func TestParseTypeRoundtrip(t *testing.T) {
+	cases := []struct {
+		name string
+		args []int
+		want string
+	}{
+		{"int", nil, "INT"},
+		{"BIGINT", nil, "BIGINT"},
+		{"decimal", []int{15, 2}, "DECIMAL(15,2)"},
+		{"char", []int{25}, "CHAR(25)"},
+		{"varchar", []int{64}, "VARCHAR(64)"},
+		{"date", nil, "DATE"},
+		{"bit", nil, "BIT"},
+		{"float", nil, "FLOAT"},
+	}
+	for _, c := range cases {
+		typ, err := ParseType(c.name, c.args...)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", c.name, err)
+		}
+		if typ.String() != c.want {
+			t.Errorf("ParseType(%q) = %s, want %s", c.name, typ, c.want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Fatal("unknown type should error")
+	}
+}
+
+func TestTypeKinds(t *testing.T) {
+	if Decimal(15, 2).Kind() != KindFloat {
+		t.Error("decimal evaluates as float")
+	}
+	if Char(25).Kind() != KindString {
+		t.Error("char is string-kinded")
+	}
+	if Bit.Kind() != KindBool {
+		t.Error("bit is bool-kinded")
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over random numeric values.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		c1, ok1 := Compare(va, vb)
+		c2, ok2 := Compare(vb, va)
+		if !ok1 || !ok2 || c1 != -c2 {
+			return false
+		}
+		cr, okr := Compare(va, va)
+		return okr && cr == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hash equality follows from group equality for random floats
+// (including int/float cross-representations).
+func TestHashProperty(t *testing.T) {
+	f := func(x int32) bool {
+		a, b := NewInt(int64(x)), NewFloat(float64(x))
+		return GroupEqual(a, b) && Hash(a) == Hash(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeZeroHash(t *testing.T) {
+	nz := NewFloat(math.Copysign(0, -1))
+	z := NewFloat(0)
+	if !GroupEqual(nz, z) || Hash(nz) != Hash(z) {
+		t.Fatal("-0 and +0 must group together")
+	}
+}
+
+func TestHashRowAndRowsGroupEqual(t *testing.T) {
+	a := []Value{NewInt(1), Null, NewString("x")}
+	b := []Value{NewFloat(1), Null, NewString("x")}
+	if !RowsGroupEqual(a, b) {
+		t.Fatal("rows should be group-equal")
+	}
+	if HashRow(a) != HashRow(b) {
+		t.Fatal("group-equal rows must hash the same")
+	}
+	if RowsGroupEqual(a, a[:2]) {
+		t.Fatal("length mismatch must not be equal")
+	}
+}
+
+func TestDisplay(t *testing.T) {
+	if NewString("ab").Display() != "ab" {
+		t.Error("string display should be unquoted")
+	}
+	if NewFloat(2.5).Display() != "2.5" {
+		t.Errorf("float display = %q", NewFloat(2.5).Display())
+	}
+	if NewString("o'brien").String() != "'o''brien'" {
+		t.Errorf("literal quoting = %q", NewString("o'brien").String())
+	}
+}

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"aggify/internal/sqltypes"
+)
+
+// Table is an in-memory heap table with optional hash indexes.
+//
+// Reads charge the provided Stats with one logical read per row touched,
+// which is how the engine reproduces the paper's logical-read measurements.
+type Table struct {
+	Name   string
+	Schema *Schema
+
+	mu      sync.RWMutex
+	rows    [][]sqltypes.Value
+	indexes map[string]*HashIndex // keyed by lower-cased column name
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, schema *Schema) *Table {
+	return &Table{Name: name, Schema: schema, indexes: map[string]*HashIndex{}}
+}
+
+// RowCount returns the number of rows currently stored.
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row. The row must match the schema arity; values are
+// coerced to the declared column types.
+func (t *Table) Insert(row []sqltypes.Value) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
+	}
+	coerced := make([]sqltypes.Value, len(row))
+	for i, v := range row {
+		cv, err := v.CoerceTo(t.Schema.Columns[i].Type)
+		if err != nil {
+			return fmt.Errorf("storage: column %s of %s: %w", t.Schema.Columns[i].Name, t.Name, err)
+		}
+		coerced[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid := len(t.rows)
+	t.rows = append(t.rows, coerced)
+	for _, idx := range t.indexes {
+		idx.add(coerced[idx.ordinal], rid)
+	}
+	return nil
+}
+
+// InsertMany appends many rows (used by generators); stops at first error.
+func (t *Table) InsertMany(rows [][]sqltypes.Value) error {
+	for _, r := range rows {
+		if err := t.Insert(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Row returns the row with the given id without charging I/O (internal use).
+// Deleted rows are nil.
+func (t *Table) Row(rid int) []sqltypes.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if rid < 0 || rid >= len(t.rows) {
+		return nil
+	}
+	return t.rows[rid]
+}
+
+// Scan iterates over all live rows in insertion order, charging one logical
+// read per row. The callback must not retain the row slice. Iteration stops
+// early when the callback returns false.
+func (t *Table) Scan(stats *Stats, fn func(rid int, row []sqltypes.Value) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if stats != nil {
+			stats.LogicalReads.Add(1)
+		}
+		if !fn(rid, row) {
+			return
+		}
+	}
+}
+
+// Update replaces the row with id rid, maintaining indexes.
+func (t *Table) Update(rid int, row []sqltypes.Value) error {
+	if len(row) != t.Schema.Len() {
+		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
+	}
+	coerced := make([]sqltypes.Value, len(row))
+	for i, v := range row {
+		cv, err := v.CoerceTo(t.Schema.Columns[i].Type)
+		if err != nil {
+			return err
+		}
+		coerced[i] = cv
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+	}
+	old := t.rows[rid]
+	for _, idx := range t.indexes {
+		idx.remove(old[idx.ordinal], rid)
+		idx.add(coerced[idx.ordinal], rid)
+	}
+	t.rows[rid] = coerced
+	return nil
+}
+
+// Delete removes the row with id rid.
+func (t *Table) Delete(rid int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+	}
+	old := t.rows[rid]
+	for _, idx := range t.indexes {
+		idx.remove(old[idx.ordinal], rid)
+	}
+	t.rows[rid] = nil
+	return nil
+}
+
+// Truncate removes all rows and clears indexes.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = nil
+	for _, idx := range t.indexes {
+		idx.clear()
+	}
+}
+
+// CreateIndex builds a hash index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(column string) error {
+	ord := t.Schema.Ordinal(column)
+	if ord < 0 {
+		return fmt.Errorf("storage: table %s has no column %q", t.Name, column)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	key := t.Schema.Columns[ord].Name
+	if _, ok := t.indexes[key]; ok {
+		return nil
+	}
+	idx := newHashIndex(ord)
+	for rid, row := range t.rows {
+		if row != nil {
+			idx.add(row[ord], rid)
+		}
+	}
+	t.indexes[key] = idx
+	return nil
+}
+
+// Index returns the hash index on the named column, or nil.
+func (t *Table) Index(column string) *HashIndex {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ord := t.Schema.Ordinal(column)
+	if ord < 0 {
+		return nil
+	}
+	return t.indexes[t.Schema.Columns[ord].Name]
+}
+
+// Seek looks up rows whose indexed column equals key via the index on the
+// named column, charging one index seek plus one logical read per row.
+// It returns nil, false when no such index exists.
+func (t *Table) Seek(stats *Stats, column string, key sqltypes.Value, fn func(rid int, row []sqltypes.Value) bool) bool {
+	idx := t.Index(column)
+	if idx == nil {
+		return false
+	}
+	if stats != nil {
+		stats.IndexSeeks.Add(1)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, rid := range idx.lookup(key) {
+		row := t.rows[rid]
+		if row == nil {
+			continue
+		}
+		if stats != nil {
+			stats.LogicalReads.Add(1)
+		}
+		if !fn(rid, row) {
+			break
+		}
+	}
+	return true
+}
+
+// HashIndex is an equality index from column value to row ids. NULL keys are
+// not indexed (SQL equality never matches NULL).
+type HashIndex struct {
+	ordinal int
+	buckets map[uint64][]entry
+}
+
+type entry struct {
+	key sqltypes.Value
+	rid int
+}
+
+func newHashIndex(ordinal int) *HashIndex {
+	return &HashIndex{ordinal: ordinal, buckets: map[uint64][]entry{}}
+}
+
+func (ix *HashIndex) add(key sqltypes.Value, rid int) {
+	if key.IsNull() {
+		return
+	}
+	h := sqltypes.Hash(key)
+	ix.buckets[h] = append(ix.buckets[h], entry{key, rid})
+}
+
+func (ix *HashIndex) remove(key sqltypes.Value, rid int) {
+	if key.IsNull() {
+		return
+	}
+	h := sqltypes.Hash(key)
+	b := ix.buckets[h]
+	for i, e := range b {
+		if e.rid == rid {
+			b[i] = b[len(b)-1]
+			ix.buckets[h] = b[:len(b)-1]
+			return
+		}
+	}
+}
+
+func (ix *HashIndex) clear() { ix.buckets = map[uint64][]entry{} }
+
+// lookup returns the row ids whose key equals the given value.
+func (ix *HashIndex) lookup(key sqltypes.Value) []int {
+	if key.IsNull() {
+		return nil
+	}
+	var out []int
+	for _, e := range ix.buckets[sqltypes.Hash(key)] {
+		if sqltypes.Equal(e.key, key) {
+			out = append(out, e.rid)
+		}
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package tpch provides a deterministic generator for the TPC-H subset the
+// paper's evaluation uses (§10.1), plus the cursor-loop implementations of
+// the six benchmark queries of Figure 9(a) / Table 2 (Q2, Q13, Q14, Q18,
+// Q19, Q21) in both original (cursor loop) and driver form.
+//
+// The paper runs at scale factor 10 on a server-class machine; benchmarks
+// here default to much smaller scale factors — the harness exposes SF as a
+// parameter, and the reproduction targets result *shape* (who wins, by
+// roughly what factor), not absolute numbers.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggify/internal/engine"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Sizes holds the row counts derived from a scale factor.
+type Sizes struct {
+	Suppliers int
+	Parts     int
+	PartSupp  int // per part
+	Customers int
+	Orders    int
+	Lineitem  int // average per order
+}
+
+// SizesFor returns TPC-H cardinalities scaled by sf.
+func SizesFor(sf float64) Sizes {
+	max1 := func(x float64) int {
+		if x < 1 {
+			return 1
+		}
+		return int(x)
+	}
+	return Sizes{
+		Suppliers: max1(10_000 * sf),
+		Parts:     max1(200_000 * sf),
+		PartSupp:  4,
+		Customers: max1(150_000 * sf),
+		Orders:    max1(1_500_000 * sf),
+		Lineitem:  4,
+	}
+}
+
+var (
+	partTypes  = []string{"STANDARD ANODIZED TIN", "PROMO BURNISHED COPPER", "ECONOMY PLATED STEEL", "MEDIUM POLISHED NICKEL", "PROMO PLATED BRASS", "SMALL BRUSHED STEEL"}
+	containers = []string{"SM CASE", "SM BOX", "SM PACK", "MED BAG", "MED BOX", "MED PKG", "LG CASE", "LG BOX", "LG PACK", "JUMBO JAR"}
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	nations    = []string{"FRANCE", "GERMANY", "JAPAN", "BRAZIL", "CANADA", "INDIA", "KENYA", "PERU", "CHINA", "EGYPT"}
+	statuses   = []string{"O", "F", "P"}
+	comments   = []string{
+		"carefully packed deposits", "quick final requests", "pending special requests sleep",
+		"furious accounts nag", "silent ideas above the special packages with requests",
+		"even instructions detect", "ironic theodolites use special deposits requests",
+		"regular pinto beans", "blithe expresses boost", "dogged courts wake",
+	}
+)
+
+// Load generates a TPC-H database at scale factor sf into the engine,
+// creating tables and the indexes the paper's setup describes (§10.1):
+// LINEITEM(l_orderkey), LINEITEM(l_suppkey), ORDERS(o_custkey),
+// PARTSUPP(ps_partkey), plus primary-key indexes.
+func Load(eng *engine.Engine, sf float64) error {
+	return LoadSeeded(eng, sf, 19920601)
+}
+
+// LoadSeeded is Load with an explicit random seed.
+func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	sz := SizesFor(sf)
+
+	mk := func(name string, cols ...storage.Column) (*storage.Table, error) {
+		return eng.CreateTable(name, storage.NewSchema(cols...))
+	}
+	supplier, err := mk("supplier",
+		storage.Col("s_suppkey", sqltypes.Int),
+		storage.Col("s_name", sqltypes.Char(25)),
+		storage.Col("s_nation", sqltypes.VarChar(25)),
+		storage.Col("s_acctbal", sqltypes.Decimal(15, 2)),
+	)
+	if err != nil {
+		return err
+	}
+	part, err := mk("part",
+		storage.Col("p_partkey", sqltypes.Int),
+		storage.Col("p_name", sqltypes.VarChar(55)),
+		storage.Col("p_type", sqltypes.VarChar(25)),
+		storage.Col("p_brand", sqltypes.Char(10)),
+		storage.Col("p_container", sqltypes.Char(10)),
+		storage.Col("p_size", sqltypes.Int),
+		storage.Col("p_retailprice", sqltypes.Decimal(15, 2)),
+	)
+	if err != nil {
+		return err
+	}
+	partsupp, err := mk("partsupp",
+		storage.Col("ps_partkey", sqltypes.Int),
+		storage.Col("ps_suppkey", sqltypes.Int),
+		storage.Col("ps_availqty", sqltypes.Int),
+		storage.Col("ps_supplycost", sqltypes.Decimal(15, 2)),
+	)
+	if err != nil {
+		return err
+	}
+	customer, err := mk("customer",
+		storage.Col("c_custkey", sqltypes.Int),
+		storage.Col("c_name", sqltypes.VarChar(25)),
+		storage.Col("c_nation", sqltypes.VarChar(25)),
+		storage.Col("c_acctbal", sqltypes.Decimal(15, 2)),
+		storage.Col("c_mktsegment", sqltypes.Char(10)),
+	)
+	if err != nil {
+		return err
+	}
+	orders, err := mk("orders",
+		storage.Col("o_orderkey", sqltypes.Int),
+		storage.Col("o_custkey", sqltypes.Int),
+		storage.Col("o_orderstatus", sqltypes.Char(1)),
+		storage.Col("o_totalprice", sqltypes.Decimal(15, 2)),
+		storage.Col("o_orderdate", sqltypes.Date),
+		storage.Col("o_comment", sqltypes.VarChar(79)),
+	)
+	if err != nil {
+		return err
+	}
+	lineitem, err := mk("lineitem",
+		storage.Col("l_orderkey", sqltypes.Int),
+		storage.Col("l_partkey", sqltypes.Int),
+		storage.Col("l_suppkey", sqltypes.Int),
+		storage.Col("l_linenumber", sqltypes.Int),
+		storage.Col("l_quantity", sqltypes.Decimal(15, 2)),
+		storage.Col("l_extendedprice", sqltypes.Decimal(15, 2)),
+		storage.Col("l_discount", sqltypes.Decimal(15, 2)),
+		storage.Col("l_shipdate", sqltypes.Date),
+		storage.Col("l_commitdate", sqltypes.Date),
+		storage.Col("l_receiptdate", sqltypes.Date),
+	)
+	if err != nil {
+		return err
+	}
+
+	baseDate := sqltypes.MustDate("1992-01-01").Int()
+	dateSpan := int64(2400) // ~6.5 years of order dates
+
+	for i := 1; i <= sz.Suppliers; i++ {
+		if err := supplier.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("Supplier#%09d", i)),
+			sqltypes.NewString(nations[rng.Intn(len(nations))]),
+			sqltypes.NewFloat(float64(rng.Intn(1_000_000)) / 100),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Parts; i++ {
+		if err := part.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("part %d %s", i, containers[rng.Intn(len(containers))])),
+			sqltypes.NewString(partTypes[rng.Intn(len(partTypes))]),
+			sqltypes.NewString(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5))),
+			sqltypes.NewString(containers[rng.Intn(len(containers))]),
+			sqltypes.NewInt(int64(1 + rng.Intn(50))),
+			sqltypes.NewFloat(900 + float64(i%200)),
+		}); err != nil {
+			return err
+		}
+		for j := 0; j < sz.PartSupp; j++ {
+			suppkey := int64(1 + (i*sz.PartSupp+j)%sz.Suppliers)
+			if err := partsupp.Insert([]sqltypes.Value{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(suppkey),
+				sqltypes.NewInt(int64(1 + rng.Intn(9999))),
+				sqltypes.NewFloat(float64(100+rng.Intn(99_900)) / 100),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 1; i <= sz.Customers; i++ {
+		if err := customer.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("Customer#%09d", i)),
+			sqltypes.NewString(nations[rng.Intn(len(nations))]),
+			sqltypes.NewFloat(float64(rng.Intn(1_000_000)) / 100),
+			sqltypes.NewString(segments[rng.Intn(len(segments))]),
+		}); err != nil {
+			return err
+		}
+	}
+	lineNo := 0
+	for i := 1; i <= sz.Orders; i++ {
+		// A third of customers place no orders (TPC-H's Q13 point).
+		custkey := int64(1 + rng.Intn((sz.Customers*2+2)/3))
+		orderDate := baseDate + rng.Int63n(dateSpan)
+		if err := orders.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(custkey),
+			sqltypes.NewString(statuses[rng.Intn(len(statuses))]),
+			sqltypes.NewFloat(float64(1000+rng.Intn(400_000)) / 100),
+			sqltypes.NewDate(orderDate),
+			sqltypes.NewString(comments[rng.Intn(len(comments))]),
+		}); err != nil {
+			return err
+		}
+		nl := 1 + rng.Intn(sz.Lineitem*2-1) // 1 .. 2*avg-1
+		for j := 0; j < nl; j++ {
+			lineNo++
+			ship := orderDate + int64(1+rng.Intn(120))
+			commit := orderDate + int64(30+rng.Intn(60))
+			receipt := ship + int64(1+rng.Intn(30))
+			if err := lineitem.Insert([]sqltypes.Value{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64(1 + rng.Intn(sz.Parts))),
+				sqltypes.NewInt(int64(1 + rng.Intn(sz.Suppliers))),
+				sqltypes.NewInt(int64(j + 1)),
+				sqltypes.NewFloat(float64(1 + rng.Intn(50))),
+				sqltypes.NewFloat(float64(1000+rng.Intn(90_000)) / 100),
+				sqltypes.NewFloat(float64(rng.Intn(11)) / 100),
+				sqltypes.NewDate(ship),
+				sqltypes.NewDate(commit),
+				sqltypes.NewDate(receipt),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, ix := range [][2]string{
+		{"lineitem", "l_orderkey"}, {"lineitem", "l_suppkey"},
+		{"orders", "o_custkey"}, {"partsupp", "ps_partkey"},
+		{"part", "p_partkey"}, {"supplier", "s_suppkey"},
+		{"customer", "c_custkey"}, {"orders", "o_orderkey"},
+	} {
+		if err := eng.CreateIndex(ix[0], ix[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

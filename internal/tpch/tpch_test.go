@@ -1,0 +1,141 @@
+package tpch
+
+import (
+	"testing"
+
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+func loadTiny(t *testing.T) *engine.Engine {
+	t.Helper()
+	eng := engine.New()
+	interp.Install(eng)
+	if err := Load(eng, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestGeneratorCardinalities(t *testing.T) {
+	eng := loadTiny(t)
+	sz := SizesFor(0.001)
+	for _, tc := range []struct {
+		table string
+		want  int
+	}{
+		{"supplier", sz.Suppliers},
+		{"part", sz.Parts},
+		{"partsupp", sz.Parts * sz.PartSupp},
+		{"customer", sz.Customers},
+		{"orders", sz.Orders},
+	} {
+		tab, ok := eng.Table(tc.table)
+		if !ok {
+			t.Fatalf("missing table %s", tc.table)
+		}
+		if tab.RowCount() != tc.want {
+			t.Errorf("%s rows = %d, want %d", tc.table, tab.RowCount(), tc.want)
+		}
+	}
+	li, _ := eng.Table("lineitem")
+	orders := SizesFor(0.001).Orders
+	if li.RowCount() < orders || li.RowCount() > orders*8 {
+		t.Errorf("lineitem rows = %d, outside [orders, 8*orders]", li.RowCount())
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := engine.New()
+	b := engine.New()
+	interp.Install(a)
+	interp.Install(b)
+	if err := Load(a, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(b, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	ta, _ := a.Table("lineitem")
+	tb, _ := b.Table("lineitem")
+	if ta.RowCount() != tb.RowCount() {
+		t.Fatalf("row counts differ: %d vs %d", ta.RowCount(), tb.RowCount())
+	}
+	for i := 0; i < 50; i++ {
+		ra, rb := ta.Row(i), tb.Row(i)
+		for j := range ra {
+			if !sqltypes.GroupEqual(ra[j], rb[j]) {
+				t.Fatalf("row %d differs: %v vs %v", i, ra, rb)
+			}
+		}
+	}
+}
+
+func TestIndexesCreated(t *testing.T) {
+	eng := loadTiny(t)
+	for _, ix := range [][2]string{
+		{"lineitem", "l_orderkey"}, {"lineitem", "l_suppkey"},
+		{"orders", "o_custkey"}, {"partsupp", "ps_partkey"},
+	} {
+		tab, _ := eng.Table(ix[0])
+		if tab.Index(ix[1]) == nil {
+			t.Errorf("missing index %s(%s) (the paper's §10.1 setup)", ix[0], ix[1])
+		}
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	eng := loadTiny(t)
+	sess := eng.NewSession()
+	q := parser.MustParse(`select count(*) from lineitem
+	                       where l_partkey not in (select p_partkey from part)`)[0].(*ast.QueryStmt).Query
+	_, rows, err := sess.Query(q, sess.Ctx(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() != 0 {
+		t.Fatalf("%d lineitems with dangling part keys", rows[0][0].Int())
+	}
+}
+
+func TestWorkloadQueriesParse(t *testing.T) {
+	if len(Queries()) != 6 {
+		t.Fatalf("want 6 workload queries")
+	}
+	for _, q := range Queries() {
+		if _, err := parser.Parse(q.Setup); err != nil {
+			t.Errorf("%s setup does not parse: %v", q.ID, err)
+		}
+		for _, limit := range []int{0, 10} {
+			if _, err := parser.Parse(q.Driver(limit)); err != nil {
+				t.Errorf("%s driver(%d) does not parse: %v", q.ID, limit, err)
+			}
+		}
+		if len(q.Funcs) == 0 {
+			t.Errorf("%s lists no UDFs", q.ID)
+		}
+	}
+	if _, ok := QueryByID("q2"); !ok {
+		t.Error("QueryByID should be case-insensitive")
+	}
+	if _, ok := QueryByID("Q99"); ok {
+		t.Error("unknown id should miss")
+	}
+}
+
+func TestQ13CommentsIncludeSpecialRequests(t *testing.T) {
+	// Q13's predicate is only meaningful if some comments match.
+	eng := loadTiny(t)
+	sess := eng.NewSession()
+	q := parser.MustParse(`select count(*) from orders where o_comment like '%special%requests%'`)[0].(*ast.QueryStmt).Query
+	_, rows, err := sess.Query(q, sess.Ctx(nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].Int() == 0 {
+		t.Fatal("no orders with special requests — Q13's filter would be vacuous")
+	}
+}

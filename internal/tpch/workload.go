@@ -1,0 +1,279 @@
+package tpch
+
+import (
+	"fmt"
+	"strings"
+)
+
+// WorkloadQuery is one entry of the TPC-H cursor-loop workload: a UDF (or
+// UDFs) implemented with a cursor loop, and the driver query that invokes
+// it — the paper's open benchmark of §10.1.
+type WorkloadQuery struct {
+	ID string
+	// Desc summarizes the business question.
+	Desc string
+	// Setup defines the cursor-loop UDFs (dialect source).
+	Setup string
+	// Funcs lists the UDF names defined by Setup (transformation targets).
+	Funcs []string
+	// driver is a template for the invoking query; limit > 0 restricts the
+	// iteration count (the driving table's key range).
+	driver func(limit int) string
+}
+
+// Driver renders the invoking query; limit <= 0 means the full table.
+func (w *WorkloadQuery) Driver(limit int) string { return w.driver(limit) }
+
+// Queries returns the six-query workload (Q2, Q13, Q14, Q18, Q19, Q21).
+func Queries() []*WorkloadQuery {
+	return []*WorkloadQuery{q2(), q13(), q14(), q18(), q19(), q21()}
+}
+
+// QueryByID returns one workload query.
+func QueryByID(id string) (*WorkloadQuery, bool) {
+	for _, q := range Queries() {
+		if strings.EqualFold(q.ID, id) {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+func keyFilter(limit int, col string) string {
+	if limit <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" where %s <= %d", col, limit)
+}
+
+// q2 is the paper's running example (Figures 1, 5, 7): minimum-cost
+// supplier per part with an optional lower bound.
+func q2() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q2",
+		Desc: "minimum-cost supplier per part (Figure 1)",
+		Setup: `
+create function getLowerBound(@pkey int) returns int as
+begin
+  return 0;
+end
+GO
+create function minCostSupp(@pkey int, @lb int = -1) returns char(25) as
+begin
+  declare @pCost decimal(15,2);
+  declare @sName char(25);
+  declare @minCost decimal(15,2) = 100000;
+  declare @suppName char(25);
+  if (@lb = -1)
+    set @lb = getLowerBound(@pkey);
+  declare c1 cursor for
+    select ps_supplycost, s_name from partsupp, supplier
+    where ps_partkey = @pkey and ps_suppkey = s_suppkey;
+  open c1;
+  fetch next from c1 into @pCost, @sName;
+  while @@fetch_status = 0
+  begin
+    if (@pCost < @minCost and @pCost >= @lb)
+    begin
+      set @minCost = @pCost;
+      set @suppName = @sName;
+    end
+    fetch next from c1 into @pCost, @sName;
+  end
+  close c1;
+  deallocate c1;
+  return @suppName;
+end`,
+		Funcs: []string{"mincostsupp", "getlowerbound"},
+		driver: func(limit int) string {
+			return "select p_partkey, minCostSupp(p_partkey) as supp from part" + keyFilter(limit, "p_partkey")
+		},
+	}
+}
+
+// q13 counts orders per customer excluding special-request comments; the
+// paper's three-orders-of-magnitude Aggify+ case.
+func q13() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q13",
+		Desc: "order count per customer excluding special requests",
+		Setup: `
+create function countOrders(@ckey int) returns int as
+begin
+  declare @comment varchar(79);
+  declare @cnt int = 0;
+  declare c cursor for
+    select o_comment from orders where o_custkey = @ckey;
+  open c;
+  fetch next from c into @comment;
+  while @@fetch_status = 0
+  begin
+    if @comment not like '%special%requests%'
+      set @cnt = @cnt + 1;
+    fetch next from c into @comment;
+  end
+  close c;
+  deallocate c;
+  return @cnt;
+end`,
+		Funcs: []string{"countorders"},
+		driver: func(limit int) string {
+			return "select c_custkey, countOrders(c_custkey) as c_count from customer" + keyFilter(limit, "c_custkey")
+		},
+	}
+}
+
+// q14 computes promo revenue share for one month with a single large
+// cursor loop over the lineitem/part join.
+func q14() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q14",
+		Desc: "promotion revenue share for a month",
+		Setup: `
+create function promoRevenue(@from date) returns float as
+begin
+  declare @price decimal(15,2);
+  declare @disc decimal(15,2);
+  declare @type varchar(25);
+  declare @promo float = 0;
+  declare @total float = 0;
+  declare c cursor for
+    select l_extendedprice, l_discount, p_type
+    from lineitem, part
+    where l_partkey = p_partkey
+      and l_shipdate >= @from and l_shipdate < @from + 90;
+  open c;
+  fetch next from c into @price, @disc, @type;
+  while @@fetch_status = 0
+  begin
+    if @type like 'PROMO%'
+      set @promo = @promo + @price * (1 - @disc);
+    set @total = @total + @price * (1 - @disc);
+    fetch next from c into @price, @disc, @type;
+  end
+  close c;
+  deallocate c;
+  if @total = 0 return 0;
+  return 100.0 * @promo / @total;
+end`,
+		Funcs: []string{"promorevenue"},
+		driver: func(int) string {
+			return "select promoRevenue(date '1995-09-01') as promo_share"
+		},
+	}
+}
+
+// q18 finds large-volume orders via a per-order quantity-sum UDF.
+func q18() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q18",
+		Desc: "large-volume orders (per-order quantity sums)",
+		Setup: `
+create function sumQty(@okey int) returns float as
+begin
+  declare @q decimal(15,2);
+  declare @s float = 0;
+  declare c cursor for
+    select l_quantity from lineitem where l_orderkey = @okey;
+  open c;
+  fetch next from c into @q;
+  while @@fetch_status = 0
+  begin
+    set @s = @s + @q;
+    fetch next from c into @q;
+  end
+  close c;
+  deallocate c;
+  return @s;
+end`,
+		Funcs: []string{"sumqty"},
+		driver: func(limit int) string {
+			q := "select o_orderkey, sumQty(o_orderkey) as qty from orders"
+			if limit > 0 {
+				return q + fmt.Sprintf(" where o_orderkey <= %d and sumQty(o_orderkey) > 120", limit)
+			}
+			return q + " where sumQty(o_orderkey) > 120"
+		},
+	}
+}
+
+// q19 computes discounted revenue under disjunctive brand/container/
+// quantity conditions with one big cursor loop.
+func q19() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q19",
+		Desc: "discounted revenue under disjunctive conditions",
+		Setup: `
+create function discountedRevenue() returns float as
+begin
+  declare @price decimal(15,2);
+  declare @disc decimal(15,2);
+  declare @brand char(10);
+  declare @container char(10);
+  declare @qty decimal(15,2);
+  declare @rev float = 0;
+  declare c cursor for
+    select l_extendedprice, l_discount, p_brand, p_container, l_quantity
+    from lineitem, part
+    where l_partkey = p_partkey;
+  open c;
+  fetch next from c into @price, @disc, @brand, @container, @qty;
+  while @@fetch_status = 0
+  begin
+    if (@brand = 'Brand#12' and (@container = 'SM CASE' or @container = 'SM BOX') and @qty >= 1 and @qty <= 11)
+       or (@brand = 'Brand#23' and (@container = 'MED BAG' or @container = 'MED BOX') and @qty >= 10 and @qty <= 20)
+       or (@brand = 'Brand#34' and (@container = 'LG CASE' or @container = 'LG BOX') and @qty >= 20 and @qty <= 30)
+      set @rev = @rev + @price * (1 - @disc);
+    fetch next from c into @price, @disc, @brand, @container, @qty;
+  end
+  close c;
+  deallocate c;
+  return @rev;
+end`,
+		Funcs: []string{"discountedrevenue"},
+		driver: func(int) string {
+			return "select discountedRevenue() as revenue"
+		},
+	}
+}
+
+// q21 counts, per supplier, lineitems the supplier delivered late in
+// multi-supplier orders where nobody else was late — the loop body runs
+// queries of its own (supported per §4.2).
+func q21() *WorkloadQuery {
+	return &WorkloadQuery{
+		ID:   "Q21",
+		Desc: "suppliers who kept orders waiting (queries inside the loop)",
+		Setup: `
+create function waitingCount(@skey int) returns int as
+begin
+  declare @okey int;
+  declare @cnt int = 0;
+  declare @others int;
+  declare @othersLate int;
+  declare c cursor for
+    select l_orderkey from lineitem
+    where l_suppkey = @skey and l_receiptdate > l_commitdate;
+  open c;
+  fetch next from c into @okey;
+  while @@fetch_status = 0
+  begin
+    set @others = (select count(*) from lineitem
+                   where l_orderkey = @okey and l_suppkey <> @skey);
+    set @othersLate = (select count(*) from lineitem
+                       where l_orderkey = @okey and l_suppkey <> @skey
+                         and l_receiptdate > l_commitdate);
+    if @others > 0 and @othersLate = 0
+      set @cnt = @cnt + 1;
+    fetch next from c into @okey;
+  end
+  close c;
+  deallocate c;
+  return @cnt;
+end`,
+		Funcs: []string{"waitingcount"},
+		driver: func(limit int) string {
+			return "select s_suppkey, waitingCount(s_suppkey) as numwait from supplier" + keyFilter(limit, "s_suppkey")
+		},
+	}
+}

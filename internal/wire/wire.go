@@ -1,0 +1,67 @@
+// Package wire models the client/server boundary of the paper's Java/JDBC
+// experiments: rows cross it in the engine's binary codec, and a virtual
+// network clock converts measured bytes and round trips into deterministic
+// network time (RTT per round trip plus bytes over bandwidth). The §10.6
+// data-movement series are exact byte counts from this meter.
+package wire
+
+import (
+	"time"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Profile describes the simulated network between client and server.
+type Profile struct {
+	// RTT is charged once per round trip (one request/response exchange).
+	RTT time.Duration
+	// Bandwidth in bytes per second; zero means unmetered.
+	Bandwidth int64
+}
+
+// LAN is a typical datacenter LAN profile, matching the paper's setup of a
+// client machine connected to the DBMS over a local network.
+var LAN = Profile{RTT: 500 * time.Microsecond, Bandwidth: 125_000_000} // 1 Gb/s
+
+// Meter accumulates traffic totals.
+type Meter struct {
+	BytesToServer   int64
+	BytesToClient   int64
+	RoundTrips      int64
+	RowsTransferred int64
+}
+
+// Add merges another meter.
+func (m *Meter) Add(o Meter) {
+	m.BytesToServer += o.BytesToServer
+	m.BytesToClient += o.BytesToClient
+	m.RoundTrips += o.RoundTrips
+	m.RowsTransferred += o.RowsTransferred
+}
+
+// TotalBytes returns bytes moved in both directions.
+func (m *Meter) TotalBytes() int64 { return m.BytesToServer + m.BytesToClient }
+
+// NetworkTime converts the meter to virtual network time under a profile.
+func (m *Meter) NetworkTime(p Profile) time.Duration {
+	t := time.Duration(m.RoundTrips) * p.RTT
+	if p.Bandwidth > 0 {
+		t += time.Duration(float64(m.TotalBytes()) / float64(p.Bandwidth) * float64(time.Second))
+	}
+	return t
+}
+
+// RowsSize returns the encoded wire size of a row batch.
+func RowsSize(rows [][]sqltypes.Value) int64 {
+	var n int64
+	for _, r := range rows {
+		n += int64(storage.WireSize(r))
+	}
+	return n
+}
+
+// RequestOverhead is the fixed per-request framing cost in bytes (message
+// header, statement id, status) — a small constant comparable to TDS/packet
+// framing.
+const RequestOverhead = 32

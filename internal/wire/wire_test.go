@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"aggify/internal/sqltypes"
+)
+
+func TestMeterAddAndTotals(t *testing.T) {
+	a := Meter{BytesToServer: 10, BytesToClient: 20, RoundTrips: 2, RowsTransferred: 5}
+	b := Meter{BytesToServer: 1, BytesToClient: 2, RoundTrips: 1, RowsTransferred: 1}
+	a.Add(b)
+	if a.BytesToServer != 11 || a.BytesToClient != 22 || a.RoundTrips != 3 || a.RowsTransferred != 6 {
+		t.Fatalf("meter = %+v", a)
+	}
+	if a.TotalBytes() != 33 {
+		t.Fatalf("total = %d", a.TotalBytes())
+	}
+}
+
+func TestNetworkTime(t *testing.T) {
+	m := Meter{BytesToServer: 500_000, BytesToClient: 500_000, RoundTrips: 4}
+	p := Profile{RTT: time.Millisecond, Bandwidth: 1_000_000}
+	// 4 RTTs = 4ms, 1 MB over 1 MB/s = 1s.
+	want := 4*time.Millisecond + time.Second
+	if got := m.NetworkTime(p); got != want {
+		t.Fatalf("network time = %v, want %v", got, want)
+	}
+	// Zero bandwidth means unmetered bytes.
+	if got := m.NetworkTime(Profile{RTT: time.Millisecond}); got != 4*time.Millisecond {
+		t.Fatalf("unmetered = %v", got)
+	}
+}
+
+func TestRowsSize(t *testing.T) {
+	rows := [][]sqltypes.Value{
+		{sqltypes.NewInt(1), sqltypes.NewString("abc")},
+		{sqltypes.NewInt(2), sqltypes.NewString("defgh")},
+	}
+	n := RowsSize(rows)
+	if n <= 0 {
+		t.Fatal("size must be positive")
+	}
+	// Longer strings mean more bytes.
+	bigger := RowsSize([][]sqltypes.Value{{sqltypes.NewInt(1), sqltypes.NewString("abcabcabcabc")}})
+	smaller := RowsSize([][]sqltypes.Value{{sqltypes.NewInt(1), sqltypes.NewString("a")}})
+	if bigger <= smaller {
+		t.Fatalf("sizes: %d vs %d", bigger, smaller)
+	}
+}

@@ -1,0 +1,108 @@
+// Package applicability implements the paper's §10.2 analysis: scan an
+// application's procedures, count while loops and cursor loops, and check
+// how many cursor loops satisfy Aggify's preconditions — by actually
+// running the transformation on every module, so "Aggify-able" means
+// "Aggify transformed it", not "a heuristic said yes".
+package applicability
+
+import (
+	"fmt"
+
+	"aggify/internal/ast"
+	"aggify/internal/core"
+	"aggify/internal/parser"
+	"aggify/internal/workloads/corpus"
+)
+
+// Report is one application's Table 1 row.
+type Report struct {
+	App         string
+	Files       int
+	Modules     int // functions + procedures scanned
+	WhileLoops  int
+	CursorLoops int
+	Aggifiable  int
+	// Reasons tallies why cursor loops were rejected.
+	Reasons map[string]int
+}
+
+// CursorShare returns the cursor-loop percentage of all while loops.
+func (r *Report) CursorShare() float64 {
+	if r.WhileLoops == 0 {
+		return 0
+	}
+	return 100 * float64(r.CursorLoops) / float64(r.WhileLoops)
+}
+
+// ScanApp analyzes one corpus application.
+func ScanApp(app string) (*Report, error) {
+	sources, err := corpus.Sources(app)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{App: app, Reasons: map[string]int{}}
+	for _, src := range sources {
+		rep.Files++
+		stmts, err := parser.Parse(src.SQL)
+		if err != nil {
+			return nil, fmt.Errorf("applicability: %s/%s: %w", app, src.Name, err)
+		}
+		for _, s := range stmts {
+			switch def := s.(type) {
+			case *ast.CreateFunction:
+				rep.Modules++
+				if err := rep.scanModule(def.Name, def.Params, def.Body, func() (*core.Result, error) {
+					_, res, err := core.TransformFunction(def, core.Options{})
+					return res, err
+				}); err != nil {
+					return nil, fmt.Errorf("applicability: %s/%s %s: %w", app, src.Name, def.Name, err)
+				}
+			case *ast.CreateProcedure:
+				rep.Modules++
+				if err := rep.scanModule(def.Name, def.Params, def.Body, func() (*core.Result, error) {
+					_, res, err := core.TransformProcedure(def, core.Options{})
+					return res, err
+				}); err != nil {
+					return nil, fmt.Errorf("applicability: %s/%s %s: %w", app, src.Name, def.Name, err)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (rep *Report) scanModule(name string, params []ast.Param, body *ast.Block, transform func() (*core.Result, error)) error {
+	// Count loops syntactically.
+	ast.WalkStmt(body, func(s ast.Stmt) bool {
+		if w, ok := s.(*ast.WhileStmt); ok {
+			rep.WhileLoops++
+			if ast.VarsInExpr(w.Cond)[ast.FetchStatusVar] {
+				rep.CursorLoops++
+			}
+		}
+		return true
+	})
+	// Count transformable loops by transforming.
+	res, err := transform()
+	if err != nil {
+		return err
+	}
+	rep.Aggifiable += len(res.Loops)
+	for _, skip := range res.Skipped {
+		rep.Reasons[skip.Error()]++
+	}
+	return nil
+}
+
+// ScanAll produces the full Table 1.
+func ScanAll() ([]*Report, error) {
+	var out []*Report
+	for _, app := range corpus.Apps() {
+		rep, err := ScanApp(app)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,53 @@
+package applicability
+
+import "testing"
+
+// TestTable1 pins the corpus counts against the paper's Table 1 targets:
+// RUBiS and RUBBoS at full scale, Adempiere as a ~1/3-scale subset with the
+// same cursor-loop share.
+func TestTable1(t *testing.T) {
+	reports, err := ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("apps = %d", len(reports))
+	}
+	byApp := map[string]*Report{}
+	for _, r := range reports {
+		byApp[r.App] = r
+	}
+
+	rubis := byApp["rubis"]
+	if rubis.WhileLoops != 16 || rubis.CursorLoops != 14 || rubis.Aggifiable != 14 {
+		t.Fatalf("rubis = %d/%d/%d, want 16/14/14 (reasons: %v)",
+			rubis.WhileLoops, rubis.CursorLoops, rubis.Aggifiable, rubis.Reasons)
+	}
+	if share := rubis.CursorShare(); share < 87 || share > 88 {
+		t.Fatalf("rubis cursor share = %.1f%%, want 87.5%%", share)
+	}
+
+	rubbos := byApp["rubbos"]
+	if rubbos.WhileLoops != 41 || rubbos.CursorLoops != 14 || rubbos.Aggifiable != 14 {
+		t.Fatalf("rubbos = %d/%d/%d, want 41/14/14 (reasons: %v)",
+			rubbos.WhileLoops, rubbos.CursorLoops, rubbos.Aggifiable, rubbos.Reasons)
+	}
+
+	adem := byApp["adempiere"]
+	if share := adem.CursorShare(); share < 80 || share > 90 {
+		t.Fatalf("adempiere cursor share = %.1f%%, want ~85.8%%", share)
+	}
+	if adem.Aggifiable*10 < adem.CursorLoops*7 {
+		t.Fatalf("adempiere aggifiable = %d of %d cursor loops, want >70%%",
+			adem.Aggifiable, adem.CursorLoops)
+	}
+	if len(adem.Reasons) == 0 {
+		t.Fatal("adempiere must have rejection reasons (DML, EXEC, result sets)")
+	}
+}
+
+func TestScanUnknownApp(t *testing.T) {
+	if _, err := ScanApp("nonexistent"); err == nil {
+		t.Fatal("unknown app should error")
+	}
+}

@@ -1,0 +1,193 @@
+-- Adempiere ERP: accounting, posting, and period-end processing.
+
+create function trialBalance(@account int, @period int) returns float as
+begin
+  declare @dr float;
+  declare @cr float;
+  declare @bal float = 0;
+  declare c cursor for
+    select f_debit, f_credit from fact_acct
+    where f_account = @account and f_period = @period;
+  open c;
+  fetch next from c into @dr, @cr;
+  while @@fetch_status = 0
+  begin
+    set @bal = @bal + @dr - @cr;
+    fetch next from c into @dr, @cr;
+  end
+  close c;
+  deallocate c;
+  return @bal;
+end
+GO
+
+create function unpostedDocuments(@period int) returns int as
+begin
+  declare @id int;
+  declare @n int = 0;
+  declare c cursor for
+    select d_id from documents where d_period = @period and d_posted = 0;
+  open c;
+  fetch next from c into @id;
+  while @@fetch_status = 0
+  begin
+    set @n = @n + 1;
+    fetch next from c into @id;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create procedure postPeriod(@period int) as
+begin
+  -- NOT aggifiable: posts (updates) each document.
+  declare @id int;
+  declare c cursor for
+    select d_id from documents where d_period = @period and d_posted = 0;
+  open c;
+  fetch next from c into @id;
+  while @@fetch_status = 0
+  begin
+    update documents set d_posted = 1 where d_id = @id;
+    fetch next from c into @id;
+  end
+  close c;
+  deallocate c;
+end
+GO
+
+create function agingBucket30(@partner int, @asof date) returns float as
+begin
+  declare @total float;
+  declare @due date;
+  declare @bucket float = 0;
+  declare c cursor for
+    select i_grandtotal, i_duedate from invoices
+    where i_partner = @partner and i_ispaid = 0;
+  open c;
+  fetch next from c into @total, @due;
+  while @@fetch_status = 0
+  begin
+    if @asof - @due between 0 and 30
+      set @bucket = @bucket + @total;
+    fetch next from c into @total, @due;
+  end
+  close c;
+  deallocate c;
+  return @bucket;
+end
+GO
+
+create function currencyGainLoss(@period int) returns float as
+begin
+  declare @amt float;
+  declare @rate1 float;
+  declare @rate2 float;
+  declare @gl float = 0;
+  declare c cursor for
+    select le_amount, le_rate_at_booking, le_rate_at_settle
+    from ledger_entries where le_period = @period and le_fx = 1;
+  open c;
+  fetch next from c into @amt, @rate1, @rate2;
+  while @@fetch_status = 0
+  begin
+    set @gl = @gl + @amt * (@rate2 - @rate1);
+    fetch next from c into @amt, @rate1, @rate2;
+  end
+  close c;
+  deallocate c;
+  return @gl;
+end
+GO
+
+create function budgetVariance(@dept int, @period int) returns float as
+begin
+  declare @actual float;
+  declare @budget float;
+  declare @var float = 0;
+  declare c cursor for
+    select b_actual, b_budget from budget_lines
+    where b_dept = @dept and b_period = @period;
+  open c;
+  fetch next from c into @actual, @budget;
+  while @@fetch_status = 0
+  begin
+    set @var = @var + (@actual - @budget);
+    fetch next from c into @actual, @budget;
+  end
+  close c;
+  deallocate c;
+  return @var;
+end
+GO
+
+create function depreciationRun(@asset int, @months int) returns float as
+begin
+  -- Plain amortization loop.
+  declare @value float = 10000;
+  declare @m int = 0;
+  declare @dep float = 0;
+  while @m < @months
+  begin
+    set @dep = @dep + @value * 0.02;
+    set @value = @value - @value * 0.02;
+    set @m = @m + 1;
+  end
+  return @dep;
+end
+GO
+
+create function statementLineMatch(@statement int) returns int as
+begin
+  declare @amt float;
+  declare @matched int = 0;
+  declare c cursor for
+    select bl_amount from bank_lines where bl_statement = @statement;
+  open c;
+  fetch next from c into @amt;
+  while @@fetch_status = 0
+  begin
+    if exists (select * from allocations where al_amount = @amt)
+      set @matched = @matched + 1;
+    fetch next from c into @amt;
+  end
+  close c;
+  deallocate c;
+  return @matched;
+end
+GO
+
+create function vatSummary(@period int) returns float as
+begin
+  declare @tax float;
+  declare @sum float = 0;
+  declare c cursor for
+    select il_qty * il_price * t_rate from invoice_lines, taxes, invoices
+    where il_tax = t_id and il_invoice = i_id and i_period = @period;
+  open c;
+  fetch next from c into @tax;
+  while @@fetch_status = 0
+  begin
+    set @sum = @sum + @tax;
+    fetch next from c into @tax;
+  end
+  close c;
+  deallocate c;
+  return @sum;
+end
+GO
+
+create function interestAccrual(@principal float, @days int) returns float as
+begin
+  -- Plain daily-accrual loop.
+  declare @acc float = 0;
+  declare @d int = 0;
+  while @d < @days
+  begin
+    set @acc = @acc + @principal * 0.0001;
+    set @d = @d + 1;
+  end
+  return @acc;
+end

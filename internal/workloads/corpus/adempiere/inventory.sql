@@ -1,0 +1,193 @@
+-- Adempiere ERP: inventory and material management.
+
+create function onHandQty(@product int, @warehouse int) returns float as
+begin
+  declare @qty float;
+  declare @onhand float = 0;
+  declare c cursor for
+    select sl_qty from storage_levels
+    where sl_product = @product and sl_warehouse = @warehouse;
+  open c;
+  fetch next from c into @qty;
+  while @@fetch_status = 0
+  begin
+    set @onhand = @onhand + @qty;
+    fetch next from c into @qty;
+  end
+  close c;
+  deallocate c;
+  return @onhand;
+end
+GO
+
+create function reservedQty(@product int) returns float as
+begin
+  declare @qty float;
+  declare @reserved float = 0;
+  declare c cursor for
+    select ol_qtyreserved from order_lines where ol_product = @product;
+  open c;
+  fetch next from c into @qty;
+  while @@fetch_status = 0
+  begin
+    if @qty > 0
+      set @reserved = @reserved + @qty;
+    fetch next from c into @qty;
+  end
+  close c;
+  deallocate c;
+  return @reserved;
+end
+GO
+
+create function reorderCandidates(@warehouse int) returns int as
+begin
+  declare @product int;
+  declare @qty float;
+  declare @minlevel float;
+  declare @n int = 0;
+  declare c cursor for
+    select sl_product, sl_qty, sl_minlevel from storage_levels
+    where sl_warehouse = @warehouse;
+  open c;
+  fetch next from c into @product, @qty, @minlevel;
+  while @@fetch_status = 0
+  begin
+    if @qty < @minlevel
+      set @n = @n + 1;
+    fetch next from c into @product, @qty, @minlevel;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create procedure replenishWarehouse(@warehouse int) as
+begin
+  -- NOT aggifiable: calls a document-posting procedure per row.
+  declare @product int;
+  declare c cursor for
+    select sl_product from storage_levels
+    where sl_warehouse = @warehouse and sl_qty < sl_minlevel;
+  open c;
+  fetch next from c into @product;
+  while @@fetch_status = 0
+  begin
+    exec createRequisition @warehouse, @product;
+    fetch next from c into @product;
+  end
+  close c;
+  deallocate c;
+end
+GO
+
+create function fifoCost(@product int, @need float) returns float as
+begin
+  declare @qty float;
+  declare @cost float;
+  declare @left float = @need;
+  declare @total float = 0;
+  declare c cursor for
+    select cl_qty, cl_cost from cost_layers where cl_product = @product order by cl_date;
+  open c;
+  fetch next from c into @qty, @cost;
+  while @@fetch_status = 0
+  begin
+    if @left > 0
+    begin
+      if @qty > @left
+      begin
+        set @total = @total + @left * @cost;
+        set @left = 0;
+      end
+      else
+      begin
+        set @total = @total + @qty * @cost;
+        set @left = @left - @qty;
+      end
+    end
+    fetch next from c into @qty, @cost;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end
+GO
+
+create function shipmentWeight(@shipment int) returns float as
+begin
+  declare @qty float;
+  declare @unitweight float;
+  declare @w float = 0;
+  declare c cursor for
+    select sh_qty, p_weight from shipment_lines, products
+    where sh_product = p_id and sh_shipment = @shipment;
+  open c;
+  fetch next from c into @qty, @unitweight;
+  while @@fetch_status = 0
+  begin
+    set @w = @w + @qty * @unitweight;
+    fetch next from c into @qty, @unitweight;
+  end
+  close c;
+  deallocate c;
+  return @w;
+end
+GO
+
+create function cycleCountVariance(@warehouse int) returns float as
+begin
+  declare @counted float;
+  declare @booked float;
+  declare @variance float = 0;
+  declare c cursor for
+    select cc_counted, cc_booked from cycle_counts where cc_warehouse = @warehouse;
+  open c;
+  fetch next from c into @counted, @booked;
+  while @@fetch_status = 0
+  begin
+    if @counted > @booked
+      set @variance = @variance + (@counted - @booked);
+    else
+      set @variance = @variance + (@booked - @counted);
+    fetch next from c into @counted, @booked;
+  end
+  close c;
+  deallocate c;
+  return @variance;
+end
+GO
+
+create procedure rebuildStorageIndex(@warehouse int) as
+begin
+  -- NOT aggifiable: row-by-row DELETE+INSERT of a persistent summary table.
+  declare @product int;
+  declare @qty float;
+  declare c cursor for
+    select sl_product, sl_qty from storage_levels where sl_warehouse = @warehouse;
+  open c;
+  fetch next from c into @product, @qty;
+  while @@fetch_status = 0
+  begin
+    delete from storage_summary where ss_product = @product;
+    insert into storage_summary values (@product, @qty);
+    fetch next from c into @product, @qty;
+  end
+  close c;
+  deallocate c;
+end
+GO
+
+create function binarySearchSteps(@n int) returns int as
+begin
+  -- Plain loop from the utility layer.
+  declare @steps int = 0;
+  declare @span int = @n;
+  while @span > 1
+  begin
+    set @span = @span / 2;
+    set @steps = @steps + 1;
+  end
+  return @steps;
+end

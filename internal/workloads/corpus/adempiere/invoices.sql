@@ -1,0 +1,180 @@
+-- Adempiere ERP: invoice processing (corpus subset; the paper likewise
+-- sampled a subset of files).
+
+create function invoiceOpenAmount(@invoice int) returns float as
+begin
+  declare @qty float;
+  declare @price float;
+  declare @open float = 0;
+  declare c cursor for
+    select il_qty, il_price from invoice_lines where il_invoice = @invoice;
+  open c;
+  fetch next from c into @qty, @price;
+  while @@fetch_status = 0
+  begin
+    set @open = @open + @qty * @price;
+    fetch next from c into @qty, @price;
+  end
+  close c;
+  deallocate c;
+  return @open;
+end
+GO
+
+create function invoiceTaxTotal(@invoice int) returns float as
+begin
+  declare @amount float;
+  declare @rate float;
+  declare @tax float = 0;
+  declare c cursor for
+    select il_qty * il_price, t_rate from invoice_lines, taxes
+    where il_tax = t_id and il_invoice = @invoice;
+  open c;
+  fetch next from c into @amount, @rate;
+  while @@fetch_status = 0
+  begin
+    set @tax = @tax + @amount * @rate;
+    fetch next from c into @amount, @rate;
+  end
+  close c;
+  deallocate c;
+  return @tax;
+end
+GO
+
+create function overdueInvoices(@partner int, @asof date) returns int as
+begin
+  declare @due date;
+  declare @paid int;
+  declare @n int = 0;
+  declare c cursor for
+    select i_duedate, i_ispaid from invoices where i_partner = @partner;
+  open c;
+  fetch next from c into @due, @paid;
+  while @@fetch_status = 0
+  begin
+    if @paid = 0 and @due < @asof
+      set @n = @n + 1;
+    fetch next from c into @due, @paid;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create procedure markDunningLevel(@partner int, @asof date) as
+begin
+  -- NOT aggifiable: updates a persistent table inside the loop.
+  declare @inv int;
+  declare @due date;
+  declare c cursor for
+    select i_id, i_duedate from invoices where i_partner = @partner and i_ispaid = 0;
+  open c;
+  fetch next from c into @inv, @due;
+  while @@fetch_status = 0
+  begin
+    if @due < @asof
+      update invoices set i_dunning = i_dunning + 1 where i_id = @inv;
+    fetch next from c into @inv, @due;
+  end
+  close c;
+  deallocate c;
+end
+GO
+
+create function paymentAllocation(@payment int) returns float as
+begin
+  declare @alloc float;
+  declare @sum float = 0;
+  declare c cursor for
+    select al_amount from allocations where al_payment = @payment;
+  open c;
+  fetch next from c into @alloc;
+  while @@fetch_status = 0
+  begin
+    set @sum = @sum + @alloc;
+    fetch next from c into @alloc;
+  end
+  close c;
+  deallocate c;
+  return @sum;
+end
+GO
+
+create function partnerBalance(@partner int) returns float as
+begin
+  declare @amt float;
+  declare @sign int;
+  declare @bal float = 0;
+  declare c cursor for
+    select le_amount, le_sign from ledger_entries where le_partner = @partner order by le_date;
+  open c;
+  fetch next from c into @amt, @sign;
+  while @@fetch_status = 0
+  begin
+    if @sign > 0
+      set @bal = @bal + @amt;
+    else
+      set @bal = @bal - @amt;
+    fetch next from c into @amt, @sign;
+  end
+  close c;
+  deallocate c;
+  return @bal;
+end
+GO
+
+create function creditCheck(@partner int, @limit float) returns int as
+begin
+  -- NOT aggifiable: RETURN from the enclosing function inside the loop.
+  declare @amt float;
+  declare @running float = 0;
+  declare c cursor for
+    select i_grandtotal from invoices where i_partner = @partner and i_ispaid = 0;
+  open c;
+  fetch next from c into @amt;
+  while @@fetch_status = 0
+  begin
+    set @running = @running + @amt;
+    if @running > @limit
+      return 1;
+    fetch next from c into @amt;
+  end
+  close c;
+  deallocate c;
+  return 0;
+end
+GO
+
+create function currencyRound(@amount float, @precision int) returns float as
+begin
+  -- Plain utility loop.
+  declare @f float = 1;
+  declare @i int = 0;
+  while @i < @precision
+  begin
+    set @f = @f * 10;
+    set @i = @i + 1;
+  end
+  return round(@amount * @f, 0) / @f;
+end
+GO
+
+create function discountSchedule(@partner int) returns float as
+begin
+  declare @pct float;
+  declare @best float = 0;
+  declare c cursor for
+    select ds_pct from discount_schedules where ds_partner = @partner;
+  open c;
+  fetch next from c into @pct;
+  while @@fetch_status = 0
+  begin
+    if @pct > @best set @best = @pct;
+    fetch next from c into @pct;
+  end
+  close c;
+  deallocate c;
+  return @best;
+end

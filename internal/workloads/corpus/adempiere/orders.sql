@@ -1,0 +1,193 @@
+-- Adempiere ERP: sales and purchase order processing.
+
+create function orderGrandTotal(@order int) returns float as
+begin
+  declare @qty float;
+  declare @price float;
+  declare @discount float;
+  declare @total float = 0;
+  declare c cursor for
+    select ol_qty, ol_price, ol_discount from order_lines where ol_order = @order;
+  open c;
+  fetch next from c into @qty, @price, @discount;
+  while @@fetch_status = 0
+  begin
+    set @total = @total + @qty * @price * (1 - @discount);
+    fetch next from c into @qty, @price, @discount;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end
+GO
+
+create function backorderedLines(@order int) returns int as
+begin
+  declare @ordered float;
+  declare @delivered float;
+  declare @n int = 0;
+  declare c cursor for
+    select ol_qty, ol_qtydelivered from order_lines where ol_order = @order;
+  open c;
+  fetch next from c into @ordered, @delivered;
+  while @@fetch_status = 0
+  begin
+    if @delivered < @ordered
+      set @n = @n + 1;
+    fetch next from c into @ordered, @delivered;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create function marginForOrder(@order int) returns float as
+begin
+  declare @qty float;
+  declare @price float;
+  declare @cost float;
+  declare @margin float = 0;
+  declare c cursor for
+    select ol_qty, ol_price, p_cost from order_lines, products
+    where ol_product = p_id and ol_order = @order;
+  open c;
+  fetch next from c into @qty, @price, @cost;
+  while @@fetch_status = 0
+  begin
+    set @margin = @margin + @qty * (@price - @cost);
+    fetch next from c into @qty, @price, @cost;
+  end
+  close c;
+  deallocate c;
+  return @margin;
+end
+GO
+
+create function openOrdersValue(@partner int) returns float as
+begin
+  declare @total float;
+  declare @value float = 0;
+  declare c cursor for
+    select o_grandtotal from orders where o_partner = @partner and o_status = 'IP';
+  open c;
+  fetch next from c into @total;
+  while @@fetch_status = 0
+  begin
+    set @value = @value + @total;
+    fetch next from c into @total;
+  end
+  close c;
+  deallocate c;
+  return @value;
+end
+GO
+
+create function promisedDateSlip(@order int) returns int as
+begin
+  declare @promised date;
+  declare @delivered date;
+  declare @slip int = 0;
+  declare c cursor for
+    select ol_datepromised, ol_datedelivered from order_lines
+    where ol_order = @order and ol_qtydelivered > 0;
+  open c;
+  fetch next from c into @promised, @delivered;
+  while @@fetch_status = 0
+  begin
+    if @delivered > @promised
+      set @slip = @slip + (@delivered - @promised);
+    fetch next from c into @promised, @delivered;
+  end
+  close c;
+  deallocate c;
+  return @slip;
+end
+GO
+
+create procedure reprintOrders(@partner int) as
+begin
+  -- NOT aggifiable: the loop emits a result set per order (client output).
+  declare @id int;
+  declare c cursor for
+    select o_id from orders where o_partner = @partner;
+  open c;
+  fetch next from c into @id;
+  while @@fetch_status = 0
+  begin
+    select ol_product, ol_qty from order_lines where ol_order = @id;
+    fetch next from c into @id;
+  end
+  close c;
+  deallocate c;
+end
+GO
+
+create function freightEstimate(@order int) returns float as
+begin
+  declare @weight float;
+  declare @freight float = 0;
+  declare @bracket float = 0;
+  declare c cursor for
+    select sh_qty * p_weight from shipment_lines, products, orders
+    where sh_product = p_id and sh_shipment = o_shipment and o_id = @order;
+  open c;
+  fetch next from c into @weight;
+  while @@fetch_status = 0
+  begin
+    set @freight = @freight + @weight * 0.12;
+    if @weight > @bracket set @bracket = @weight;
+    fetch next from c into @weight;
+  end
+  close c;
+  deallocate c;
+  return @freight + @bracket;
+end
+GO
+
+create function priceListVersion(@list int, @asof date) returns int as
+begin
+  declare @v int;
+  declare @d date;
+  declare @best int = 0;
+  declare @bestd date;
+  declare c cursor for
+    select pv_id, pv_validfrom from pricelist_versions where pv_list = @list;
+  open c;
+  fetch next from c into @v, @d;
+  while @@fetch_status = 0
+  begin
+    if @d <= @asof and (@bestd is null or @d > @bestd)
+    begin
+      set @best = @v;
+      set @bestd = @d;
+    end
+    fetch next from c into @v, @d;
+  end
+  close c;
+  deallocate c;
+  return @best;
+end
+GO
+
+create function taxBracketScan(@amount float) returns float as
+begin
+  -- Plain bracket-walk loop over constants.
+  declare @tax float = 0;
+  declare @left float = @amount;
+  declare @bracket float = 10000;
+  while @left > 0
+  begin
+    if @left > @bracket
+    begin
+      set @tax = @tax + @bracket * 0.2;
+      set @left = @left - @bracket;
+    end
+    else
+    begin
+      set @tax = @tax + @left * 0.1;
+      set @left = 0;
+    end
+  end
+  return @tax;
+end

@@ -1,0 +1,111 @@
+-- RUBBoS comment threads.
+
+create function threadDepthScore(@story int) returns int as
+begin
+  declare @parent int;
+  declare @depthish int = 0;
+  declare c cursor for
+    select cm_parent from bb_comments where cm_story = @story;
+  open c;
+  fetch next from c into @parent;
+  while @@fetch_status = 0
+  begin
+    if @parent > 0
+      set @depthish = @depthish + 1;
+    fetch next from c into @parent;
+  end
+  close c;
+  deallocate c;
+  return @depthish;
+end
+GO
+
+create function userCommentKarma(@user int) returns int as
+begin
+  declare @rating int;
+  declare @karma int = 0;
+  declare c cursor for
+    select cm_rating from bb_comments where cm_author = @user;
+  open c;
+  fetch next from c into @rating;
+  while @@fetch_status = 0
+  begin
+    if @rating > 0
+      set @karma = @karma + @rating * 2;
+    else
+      set @karma = @karma + @rating;
+    fetch next from c into @rating;
+  end
+  close c;
+  deallocate c;
+  return @karma;
+end
+GO
+
+create function flaggedInThread(@story int, @threshold int) returns int as
+begin
+  declare @r int;
+  declare @flagged int = 0;
+  declare c cursor for
+    select cm_rating from bb_comments where cm_story = @story order by cm_date;
+  open c;
+  fetch next from c into @r;
+  while @@fetch_status = 0
+  begin
+    if @r < @threshold
+      set @flagged = @flagged + 1;
+    fetch next from c into @r;
+  end
+  close c;
+  deallocate c;
+  return @flagged;
+end
+GO
+
+create function lastActivity(@user int) returns date as
+begin
+  declare @d date;
+  declare @latest date;
+  declare c cursor for
+    select cm_date from bb_comments where cm_author = @user;
+  open c;
+  fetch next from c into @d;
+  while @@fetch_status = 0
+  begin
+    if @latest is null or @d > @latest
+      set @latest = @d;
+    fetch next from c into @d;
+  end
+  close c;
+  deallocate c;
+  return @latest;
+end
+GO
+
+create function paginate(@total int, @pageSize int) returns int as
+begin
+  -- Classic page-count loop (no cursor).
+  declare @pages int = 0;
+  declare @left int = @total;
+  while @left > 0
+  begin
+    set @pages = @pages + 1;
+    set @left = @left - @pageSize;
+  end
+  return @pages;
+end
+GO
+
+create function backoffDelay(@attempt int) returns int as
+begin
+  -- Exponential backoff table used by the servlet retry filter.
+  declare @delay int = 1;
+  declare @i int = 0;
+  while @i < @attempt
+  begin
+    set @delay = @delay * 2;
+    if @delay > 64 break;
+    set @i = @i + 1;
+  end
+  return @delay;
+end

@@ -1,0 +1,82 @@
+-- RUBBoS moderation queue and user administration.
+
+create function moderationBacklog(@cat int) returns int as
+begin
+  declare @id int;
+  declare @n int = 0;
+  declare c cursor for
+    select st_id from bb_stories where st_category = @cat and st_moderated = 0;
+  open c;
+  fetch next from c into @id;
+  while @@fetch_status = 0
+  begin
+    set @n = @n + 1;
+    fetch next from c into @id;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create function moderatorLoad(@moderator int) returns int as
+begin
+  declare @assigned int;
+  declare @load int = 0;
+  declare c cursor for
+    select md_story from bb_moderations where md_user = @moderator;
+  open c;
+  fetch next from c into @assigned;
+  while @@fetch_status = 0
+  begin
+    set @load = @load + 1;
+    fetch next from c into @assigned;
+  end
+  close c;
+  deallocate c;
+  return @load;
+end
+GO
+
+create function suspiciousUsers(@minPosts int) returns int as
+begin
+  declare @author int;
+  declare @posts int;
+  declare @sus int = 0;
+  declare c cursor for
+    select cm_author, count(*) from bb_comments group by cm_author;
+  open c;
+  fetch next from c into @author, @posts;
+  while @@fetch_status = 0
+  begin
+    if @posts >= @minPosts
+    begin
+      if (select min(cm_rating) from bb_comments where cm_author = @author) < -3
+        set @sus = @sus + 1;
+    end
+    fetch next from c into @author, @posts;
+  end
+  close c;
+  deallocate c;
+  return @sus;
+end
+GO
+
+create function reviewQueueAge(@moderator int) returns int as
+begin
+  declare @d date;
+  declare @days int = 0;
+  declare c cursor for
+    select st_date from bb_stories, bb_moderations
+    where st_id = md_story and md_user = @moderator;
+  open c;
+  fetch next from c into @d;
+  while @@fetch_status = 0
+  begin
+    set @days = @days + (date '2020-06-01' - @d);
+    fetch next from c into @d;
+  end
+  close c;
+  deallocate c;
+  return @days;
+end

@@ -1,0 +1,94 @@
+-- RUBBoS story browsing (bulletin-board benchmark).
+
+create function storyScore(@story int) returns int as
+begin
+  declare @rating int;
+  declare @score int = 0;
+  declare c cursor for
+    select cm_rating from bb_comments where cm_story = @story;
+  open c;
+  fetch next from c into @rating;
+  while @@fetch_status = 0
+  begin
+    set @score = @score + @rating;
+    fetch next from c into @rating;
+  end
+  close c;
+  deallocate c;
+  return @score;
+end
+GO
+
+create function storiesOfTheDay(@day date) returns int as
+begin
+  declare @id int;
+  declare @views int;
+  declare @hot int = 0;
+  declare c cursor for
+    select st_id, st_views from bb_stories where st_date = @day;
+  open c;
+  fetch next from c into @id, @views;
+  while @@fetch_status = 0
+  begin
+    if @views > 100
+      set @hot = @hot + 1;
+    fetch next from c into @id, @views;
+  end
+  close c;
+  deallocate c;
+  return @hot;
+end
+GO
+
+create function categoryStoryCount(@cat int, @minScore int) returns int as
+begin
+  declare @score int;
+  declare @n int = 0;
+  declare c cursor for
+    select st_score from bb_stories where st_category = @cat;
+  open c;
+  fetch next from c into @score;
+  while @@fetch_status = 0
+  begin
+    if @score >= @minScore
+      set @n = @n + 1;
+    fetch next from c into @score;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create function oldestUnmoderated(@cat int) returns date as
+begin
+  declare @d date;
+  declare @oldest date;
+  declare c cursor for
+    select st_date from bb_stories where st_category = @cat and st_moderated = 0;
+  open c;
+  fetch next from c into @d;
+  while @@fetch_status = 0
+  begin
+    if @oldest is null or @d < @oldest
+      set @oldest = @d;
+    fetch next from c into @d;
+  end
+  close c;
+  deallocate c;
+  return @oldest;
+end
+GO
+
+create function previewLength(@title varchar(100)) returns int as
+begin
+  -- Truncate the title at word boundaries (string loop, no cursor).
+  declare @n int = 0;
+  declare @budget int = 60;
+  while @budget > 0 and @n < len(@title)
+  begin
+    set @n = @n + 1;
+    set @budget = @budget - 1;
+  end
+  return @n;
+end

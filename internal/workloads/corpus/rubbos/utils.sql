@@ -1,0 +1,318 @@
+-- RUBBoS servlet utility layer: formatting, caching, and housekeeping.
+-- Most of these loops iterate over in-memory state, not query results —
+-- the reason RUBBoS's cursor-loop share (14 of 41) is lower than RUBiS's.
+
+create function ratingHistogramBucket(@rating int) returns int as
+begin
+  declare @bucket int = 0;
+  declare @r int = @rating;
+  while @r > 5
+  begin
+    set @bucket = @bucket + 1;
+    set @r = @r - 5;
+  end
+  while @r < -5
+  begin
+    set @bucket = @bucket - 1;
+    set @r = @r + 5;
+  end
+  return @bucket;
+end
+GO
+
+create function starBar(@score int) returns varchar(20) as
+begin
+  declare @bar varchar(20) = '';
+  declare @i int = 0;
+  while @i < @score and @i < 10
+  begin
+    set @bar = @bar || '*';
+    set @i = @i + 1;
+  end
+  while @i < 10
+  begin
+    set @bar = @bar || '.';
+    set @i = @i + 1;
+  end
+  return @bar;
+end
+GO
+
+create function cacheSlot(@key int, @slots int) returns int as
+begin
+  declare @h int = @key;
+  declare @round int = 0;
+  while @round < 3
+  begin
+    set @h = (@h * 31 + 7) % @slots;
+    if @h < 0 set @h = @h + @slots;
+    set @round = @round + 1;
+  end
+  return @h;
+end
+GO
+
+create function retryWindow(@failures int) returns int as
+begin
+  declare @window int = 1;
+  declare @i int = 0;
+  while @i < @failures
+  begin
+    set @window = @window * 2;
+    set @i = @i + 1;
+  end
+  declare @cap int = 0;
+  while @window > 300
+  begin
+    set @window = @window - 300;
+    set @cap = @cap + 1;
+  end
+  return @window + @cap;
+end
+GO
+
+create function digits(@n int) returns int as
+begin
+  declare @d int = 0;
+  declare @x int = @n;
+  if @x < 0 set @x = 0 - @x;
+  while @x > 0
+  begin
+    set @d = @d + 1;
+    set @x = @x / 10;
+  end
+  if @d = 0 set @d = 1;
+  return @d;
+end
+GO
+
+create function padWidth(@n int, @width int) returns int as
+begin
+  declare @pad int = @width - digits(@n);
+  declare @spaces int = 0;
+  while @spaces < @pad
+    set @spaces = @spaces + 1;
+  return @spaces;
+end
+GO
+
+create function gcd(@a int, @b int) returns int as
+begin
+  declare @x int = @a;
+  declare @y int = @b;
+  while @y <> 0
+  begin
+    declare @t int = @y;
+    set @y = @x % @y;
+    set @x = @t;
+  end
+  return @x;
+end
+GO
+
+create function thumbnailSteps(@pixels int) returns int as
+begin
+  declare @steps int = 0;
+  declare @p int = @pixels;
+  while @p > 128
+  begin
+    set @p = @p / 2;
+    set @steps = @steps + 1;
+  end
+  return @steps;
+end
+GO
+
+create function sessionSweep(@active int, @budget int) returns int as
+begin
+  declare @swept int = 0;
+  declare @left int = @budget;
+  while @left > 0 and @swept < @active
+  begin
+    set @swept = @swept + 1;
+    set @left = @left - 1;
+  end
+  return @swept;
+end
+GO
+
+create function tokenBuckets(@requests int) returns int as
+begin
+  declare @tokens int = 10;
+  declare @served int = 0;
+  declare @r int = 0;
+  while @r < @requests
+  begin
+    if @tokens > 0
+    begin
+      set @tokens = @tokens - 1;
+      set @served = @served + 1;
+    end
+    set @r = @r + 1;
+    if @r % 5 = 0 set @tokens = @tokens + 1;
+  end
+  return @served;
+end
+GO
+
+create function checksum32(@seed int, @rounds int) returns int as
+begin
+  declare @sum int = @seed;
+  declare @i int = 0;
+  while @i < @rounds
+  begin
+    set @sum = (@sum * 1103515245 + 12345) % 2147483647;
+    set @i = @i + 1;
+  end
+  return @sum;
+end
+GO
+
+create function wordWrapLines(@chars int, @width int) returns int as
+begin
+  declare @lines int = 0;
+  declare @rest int = @chars;
+  while @rest > 0
+  begin
+    set @lines = @lines + 1;
+    set @rest = @rest - @width;
+  end
+  return @lines;
+end
+GO
+
+create function pollBackoff(@tries int) returns int as
+begin
+  declare @sleep int = 0;
+  declare @i int = 0;
+  while @i < @tries
+  begin
+    set @sleep = @sleep + @i * 100;
+    set @i = @i + 1;
+  end
+  return @sleep;
+end
+GO
+
+create function interpolateSteps(@from int, @to int) returns int as
+begin
+  declare @cur int = @from;
+  declare @steps int = 0;
+  while @cur < @to
+  begin
+    set @cur = @cur + (@to - @cur) / 2 + 1;
+    set @steps = @steps + 1;
+  end
+  return @steps;
+end
+GO
+
+create function bannerRotation(@slots int, @seed int) returns int as
+begin
+  declare @pick int = @seed;
+  declare @spin int = 0;
+  while @spin < 4
+  begin
+    set @pick = (@pick + 17) % @slots;
+    set @spin = @spin + 1;
+  end
+  return @pick;
+end
+GO
+
+create function weekIndex(@d date) returns int as
+begin
+  declare @days int = @d - date '2020-01-01';
+  declare @weeks int = 0;
+  while @days >= 7
+  begin
+    set @days = @days - 7;
+    set @weeks = @weeks + 1;
+  end
+  return @weeks;
+end
+GO
+
+create function quotaLeft(@used int, @grant int) returns int as
+begin
+  declare @left int = @grant;
+  declare @u int = 0;
+  while @u < @used and @left > 0
+  begin
+    set @left = @left - 1;
+    set @u = @u + 1;
+  end
+  return @left;
+end
+GO
+
+create function escalationLevel(@age int) returns int as
+begin
+  declare @level int = 0;
+  declare @a int = @age;
+  while @a >= 30
+  begin
+    set @level = @level + 1;
+    set @a = @a - 30;
+  end
+  return @level;
+end
+GO
+
+create function activeAuthors(@since date) returns int as
+begin
+  declare @author int;
+  declare @n int = 0;
+  declare c cursor for
+    select distinct cm_author from bb_comments where cm_date >= @since;
+  open c;
+  fetch next from c into @author;
+  while @@fetch_status = 0
+  begin
+    set @n = @n + 1;
+    fetch next from c into @author;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end
+GO
+
+create function frontPageScore(@day date) returns int as
+begin
+  declare @score int;
+  declare @best int = 0;
+  declare c cursor for
+    select st_score from bb_stories where st_date = @day;
+  open c;
+  fetch next from c into @score;
+  while @@fetch_status = 0
+  begin
+    if @score > @best set @best = @score;
+    fetch next from c into @score;
+  end
+  close c;
+  deallocate c;
+  return @best;
+end
+GO
+
+create function histogramRender(@lo int, @hi int, @buckets int) returns int as
+begin
+  declare @width int = 1;
+  while @width * @buckets < @hi - @lo
+    set @width = @width + 1;
+  declare @b int = 0;
+  declare @drawn int = 0;
+  while @b < @buckets
+  begin
+    declare @x int = 0;
+    while @x < @width
+    begin
+      set @drawn = @drawn + 1;
+      set @x = @x + 1;
+    end
+    set @b = @b + 1;
+  end
+  return @drawn;
+end

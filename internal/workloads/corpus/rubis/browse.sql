@@ -1,0 +1,64 @@
+-- RUBiS browse/search servlets, transcribed from the Java data-access code
+-- into the dialect (each while(rs.next()) loop becomes a cursor loop).
+
+create function searchItemsByCategory(@cat int, @maxPrice float) returns int as
+begin
+  declare @price float;
+  declare @qty int;
+  declare @matches int = 0;
+  declare c cursor for
+    select i_initial_price, i_quantity from items where i_category = @cat;
+  open c;
+  fetch next from c into @price, @qty;
+  while @@fetch_status = 0
+  begin
+    if @price <= @maxPrice and @qty > 0
+      set @matches = @matches + 1;
+    fetch next from c into @price, @qty;
+  end
+  close c;
+  deallocate c;
+  return @matches;
+end
+GO
+
+create function searchItemsByRegion(@region int) returns float as
+begin
+  declare @price float;
+  declare @best float = -1;
+  declare c cursor for
+    select i_initial_price from items, users
+    where i_seller = u_id and u_region = @region;
+  open c;
+  fetch next from c into @price;
+  while @@fetch_status = 0
+  begin
+    if @best < 0 or @price < @best
+      set @best = @price;
+    fetch next from c into @price;
+  end
+  close c;
+  deallocate c;
+  return @best;
+end
+GO
+
+create function browseCategories(@minItems int) returns int as
+begin
+  declare @cat int;
+  declare @n int;
+  declare @shown int = 0;
+  declare c cursor for
+    select i_category, count(*) from items group by i_category;
+  open c;
+  fetch next from c into @cat, @n;
+  while @@fetch_status = 0
+  begin
+    if @n >= @minItems
+      set @shown = @shown + 1;
+    fetch next from c into @cat, @n;
+  end
+  close c;
+  deallocate c;
+  return @shown;
+end

@@ -1,0 +1,79 @@
+-- RUBiS item detail and bid history servlets.
+
+create function viewBidHistory(@item int) returns float as
+begin
+  declare @bid float;
+  declare @mx float = 0;
+  declare c cursor for
+    select b_bid from bids where b_item_id = @item order by b_date;
+  open c;
+  fetch next from c into @bid;
+  while @@fetch_status = 0
+  begin
+    if @bid > @mx set @mx = @bid;
+    fetch next from c into @bid;
+  end
+  close c;
+  deallocate c;
+  return @mx;
+end
+GO
+
+create function viewItem(@item int) returns int as
+begin
+  declare @uid int;
+  declare @qty int;
+  declare @bidders int = 0;
+  declare c cursor for
+    select b_user_id, b_qty from bids where b_item_id = @item;
+  open c;
+  fetch next from c into @uid, @qty;
+  while @@fetch_status = 0
+  begin
+    set @bidders = @bidders + 1;
+    fetch next from c into @uid, @qty;
+  end
+  close c;
+  deallocate c;
+  return @bidders;
+end
+GO
+
+create function currentReserveMet(@item int, @reserve float) returns bit as
+begin
+  declare @bid float;
+  declare @met bit = false;
+  declare c cursor for
+    select b_bid from bids where b_item_id = @item;
+  open c;
+  fetch next from c into @bid;
+  while @@fetch_status = 0
+  begin
+    if @bid >= @reserve
+      set @met = true;
+    fetch next from c into @bid;
+  end
+  close c;
+  deallocate c;
+  return @met;
+end
+GO
+
+create function relatedItemCount(@seller int, @cat int) returns int as
+begin
+  declare @id int;
+  declare @n int = 0;
+  declare c cursor for
+    select i_id from items where i_seller = @seller;
+  open c;
+  fetch next from c into @id;
+  while @@fetch_status = 0
+  begin
+    if exists (select * from items where i_id = @id and i_category = @cat)
+      set @n = @n + 1;
+    fetch next from c into @id;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end

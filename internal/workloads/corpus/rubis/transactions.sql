@@ -1,0 +1,70 @@
+-- RUBiS buy-now and auction-close flows.
+
+create function buyNowTotal(@user int, @since date) returns float as
+begin
+  declare @bid float;
+  declare @qty int;
+  declare @total float = 0;
+  declare c cursor for
+    select b_bid, b_qty from bids where b_user_id = @user and b_date >= @since;
+  open c;
+  fetch next from c into @bid, @qty;
+  while @@fetch_status = 0
+  begin
+    set @total = @total + @bid * @qty;
+    fetch next from c into @bid, @qty;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end
+GO
+
+create function closingPrice(@item int) returns float as
+begin
+  declare @bid float;
+  declare @first float;
+  declare @second float = 0;
+  set @first = 0;
+  declare c cursor for
+    select b_bid from bids where b_item_id = @item;
+  open c;
+  fetch next from c into @bid;
+  while @@fetch_status = 0
+  begin
+    if @bid > @first
+    begin
+      set @second = @first;
+      set @first = @bid;
+    end
+    else if @bid > @second
+      set @second = @bid;
+    fetch next from c into @bid;
+  end
+  close c;
+  deallocate c;
+  return @second;
+end
+GO
+
+create function sellerRating(@seller int) returns float as
+begin
+  declare @r int;
+  declare @sum float = 0;
+  declare @n int = 0;
+  declare c cursor for
+    select c_rating from comments, items
+    where c_item_id = i_id and i_seller = @seller;
+  open c;
+  fetch next from c into @r;
+  while @@fetch_status = 0
+  begin
+    set @sum = @sum + @r;
+    set @n = @n + 1;
+    fetch next from c into @r;
+  end
+  close c;
+  deallocate c;
+  if @n = 0 return 0;
+  return @sum / @n;
+end

@@ -1,0 +1,107 @@
+-- RUBiS user pages: ViewUserInfo, AboutMe, and registration helpers.
+
+create function viewUserComments(@user int) returns int as
+begin
+  declare @rating int;
+  declare @total int = 0;
+  declare c cursor for
+    select c_rating from comments where c_to = @user;
+  open c;
+  fetch next from c into @rating;
+  while @@fetch_status = 0
+  begin
+    set @total = @total + @rating;
+    fetch next from c into @rating;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end
+GO
+
+create function aboutMeBids(@user int) returns float as
+begin
+  declare @bid float;
+  declare @qty int;
+  declare @spent float = 0;
+  declare c cursor for
+    select b_bid, b_qty from bids where b_user_id = @user;
+  open c;
+  fetch next from c into @bid, @qty;
+  while @@fetch_status = 0
+  begin
+    set @spent = @spent + @bid * @qty;
+    fetch next from c into @bid, @qty;
+  end
+  close c;
+  deallocate c;
+  return @spent;
+end
+GO
+
+create function aboutMeSales(@user int) returns float as
+begin
+  declare @price float;
+  declare @total float = 0;
+  declare c cursor for
+    select i_initial_price from items where i_seller = @user;
+  open c;
+  fetch next from c into @price;
+  while @@fetch_status = 0
+  begin
+    set @total = @total + @price;
+    fetch next from c into @price;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end
+GO
+
+create function aboutMeWonItems(@user int) returns int as
+begin
+  declare @item int;
+  declare @bid float;
+  declare @won int = 0;
+  declare c cursor for
+    select b_item_id, b_bid from bids where b_user_id = @user;
+  open c;
+  fetch next from c into @item, @bid;
+  while @@fetch_status = 0
+  begin
+    if not exists (select * from bids where b_item_id = @item and b_bid > @bid)
+      set @won = @won + 1;
+    fetch next from c into @item, @bid;
+  end
+  close c;
+  deallocate c;
+  return @won;
+end
+GO
+
+create function nicknameRetry(@base int) returns int as
+begin
+  -- Retry loop over candidate ids (no query result iteration).
+  declare @candidate int = @base;
+  declare @tries int = 0;
+  while @tries < 10 and exists (select * from users where u_id = @candidate)
+  begin
+    set @candidate = @candidate + 1;
+    set @tries = @tries + 1;
+  end
+  return @candidate;
+end
+GO
+
+create function ratingStars(@rating int) returns int as
+begin
+  -- Convert a rating to a star count with a counting loop.
+  declare @stars int = 0;
+  declare @left int = @rating;
+  while @left >= 5
+  begin
+    set @stars = @stars + 1;
+    set @left = @left - 5;
+  end
+  return @stars;
+end

@@ -1,0 +1,353 @@
+package realw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loop is one of the paper's customer-workload loops L1–L8 (Figure 9(c)).
+type Loop struct {
+	ID       string
+	Workload string // W1, W2, W3
+	Desc     string
+	// Setup defines the cursor-loop UDF(s).
+	Setup string
+	// Funcs lists the UDF names (transformation targets).
+	Funcs []string
+	// driver invokes the loop; limit caps the iteration count where the
+	// loop supports sweeping (L1 for Figure 11).
+	driver func(limit int) string
+	// Small marks the paper's low-iteration, temp-table-writing loops
+	// (L2, L6) that show little or no gain.
+	Small bool
+	// Nested marks the nested cursor loop (L8).
+	Nested bool
+}
+
+// Driver renders the invoking statement; limit <= 0 means the natural size.
+func (l *Loop) Driver(limit int) string { return l.driver(limit) }
+
+// Loops returns L1–L8.
+func Loops() []*Loop {
+	return []*Loop{l1(), l2(), l3(), l4(), l5(), l6(), l7(), l8()}
+}
+
+// LoopByID returns one loop.
+func LoopByID(id string) (*Loop, bool) {
+	for _, l := range Loops() {
+		if strings.EqualFold(l.ID, id) {
+			return l, true
+		}
+	}
+	return nil, false
+}
+
+// l1 (W1): engagement score over the whale account's activities, with
+// per-type weighting — the Figure 11 scalability loop.
+func l1() *Loop {
+	return &Loop{
+		ID: "L1", Workload: "W1",
+		Desc: "CRM engagement score over an account's activity stream",
+		Setup: `
+create function engagementScore(@acct int, @cap int) returns float as
+begin
+  declare @type int;
+  declare @minutes int;
+  declare @s float;
+  declare @score float = 0;
+  declare @calls int = 0;
+  declare c cursor for
+    select act_type, act_minutes, act_score from activities
+    where act_account = @acct and act_seq <= @cap;
+  open c;
+  fetch next from c into @type, @minutes, @s;
+  while @@fetch_status = 0
+  begin
+    if @type = 0
+    begin
+      set @score = @score + @s * 2 + @minutes * 0.1;
+      set @calls = @calls + 1;
+    end
+    else if @type = 1
+      set @score = @score + @s;
+    else if @type = 2
+      set @score = @score + @s * 0.5;
+    else
+      set @score = @score - 1;
+    fetch next from c into @type, @minutes, @s;
+  end
+  close c;
+  deallocate c;
+  return @score + @calls;
+end`,
+		Funcs: []string{"engagementscore"},
+		driver: func(limit int) string {
+			if limit <= 0 {
+				limit = 1 << 30
+			}
+			return fmt.Sprintf("select engagementScore(1, %d) as score", limit)
+		},
+	}
+}
+
+// l2 (W2): a small loop that stages one machine's config entries into a
+// temp table — the paper's no-gain case (few iterations, inserts).
+func l2() *Loop {
+	return &Loop{
+		ID: "L2", Workload: "W2", Small: true,
+		Desc: "stage one machine's config entries into a temp table",
+		Setup: `
+create function stageConfig(@machine int) returns int as
+begin
+  declare @k varchar(40);
+  declare @v varchar(60);
+  declare @n int = 0;
+  declare c cursor for
+    select ce_key, ce_value from config_entries where ce_machine = @machine;
+  open c;
+  fetch next from c into @k, @v;
+  while @@fetch_status = 0
+  begin
+    insert into #staging values (@k, @v);
+    set @n = @n + 1;
+    fetch next from c into @k, @v;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end`,
+		Funcs: []string{"stageconfig"},
+		driver: func(int) string {
+			return "select stageConfig(17) as staged"
+		},
+	}
+}
+
+// l3 (W1): pipeline value by stage across a segment's opportunities.
+func l3() *Loop {
+	return &Loop{
+		ID: "L3", Workload: "W1",
+		Desc: "weighted pipeline value over a segment's opportunities",
+		Setup: `
+create function pipelineValue(@segment int) returns float as
+begin
+  declare @stage int;
+  declare @value float;
+  declare @total float = 0;
+  declare c cursor for
+    select o_stage, o_value from opportunities, accounts
+    where o_account = a_id and a_segment = @segment;
+  open c;
+  fetch next from c into @stage, @value;
+  while @@fetch_status = 0
+  begin
+    if @stage >= 5
+      set @total = @total + @value;
+    else if @stage >= 3
+      set @total = @total + @value * 0.6;
+    else
+      set @total = @total + @value * 0.1;
+    fetch next from c into @stage, @value;
+  end
+  close c;
+  deallocate c;
+  return @total;
+end`,
+		Funcs: []string{"pipelinevalue"},
+		driver: func(int) string {
+			return "select pipelineValue(2) as pipeline"
+		},
+	}
+}
+
+// l4 (W3): per-route delay analysis over an ORDER BY cursor (exercises the
+// Eq. 6 order-enforced rewrite on a real-workload loop).
+func l4() *Loop {
+	return &Loop{
+		ID: "L4", Workload: "W3",
+		Desc: "cumulative delay along shipment legs (ordered loop)",
+		Setup: `
+create function routeDelay(@route int) returns float as
+begin
+  declare @planned float;
+  declare @actual float;
+  declare @delay float = 0;
+  declare @worst float = 0;
+  declare c cursor for
+    select l_planned_hours, l_actual_hours
+    from legs, shipments
+    where l_shipment = s_id and s_route = @route
+    order by l_shipment, l_seq;
+  open c;
+  fetch next from c into @planned, @actual;
+  while @@fetch_status = 0
+  begin
+    if @actual > @planned
+    begin
+      set @delay = @delay + (@actual - @planned);
+      if @actual - @planned > @worst
+        set @worst = @actual - @planned;
+    end
+    fetch next from c into @planned, @actual;
+  end
+  close c;
+  deallocate c;
+  return @delay + @worst * 1000;
+end`,
+		Funcs: []string{"routedelay"},
+		driver: func(int) string {
+			return "select routeDelay(9) as delay"
+		},
+	}
+}
+
+// l5 (W2): drift detection — the loop body runs a query per row (§4.2's
+// SELECT-inside-loop support).
+func l5() *Loop {
+	return &Loop{
+		ID: "L5", Workload: "W2",
+		Desc: "config drift count with a per-row lookup query",
+		Setup: `
+create function driftCount(@env int) returns int as
+begin
+  declare @m int;
+  declare @latest int;
+  declare @stale int;
+  declare @n int = 0;
+  declare c cursor for
+    select m_id from machines where m_env = @env;
+  open c;
+  fetch next from c into @m;
+  while @@fetch_status = 0
+  begin
+    set @latest = (select max(v_num) from versions where v_machine = @m);
+    set @stale = (select count(*) from config_entries
+                  where ce_machine = @m and ce_version < @latest - 2);
+    if @stale > 0
+      set @n = @n + 1;
+    fetch next from c into @m;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end`,
+		Funcs: []string{"driftcount"},
+		driver: func(int) string {
+			return "select driftCount(1) as drifted"
+		},
+	}
+}
+
+// l6 (W2): another small temp-table loop (the paper's second no-gain case).
+func l6() *Loop {
+	return &Loop{
+		ID: "L6", Workload: "W2", Small: true,
+		Desc: "record a machine's version history into a temp table",
+		Setup: `
+create function recordVersions(@machine int) returns int as
+begin
+  declare @num int;
+  declare @n int = 0;
+  declare c cursor for
+    select v_num from versions where v_machine = @machine;
+  open c;
+  fetch next from c into @num;
+  while @@fetch_status = 0
+  begin
+    insert into #drift values (@machine, @num);
+    set @n = @n + 1;
+    fetch next from c into @num;
+  end
+  close c;
+  deallocate c;
+  return @n;
+end`,
+		Funcs: []string{"recordversions"},
+		driver: func(int) string {
+			return "select recordVersions(5) as recorded"
+		},
+	}
+}
+
+// l7 (W3): revenue per ton over a route range.
+func l7() *Loop {
+	return &Loop{
+		ID: "L7", Workload: "W3",
+		Desc: "revenue-per-ton over a route range",
+		Setup: `
+create function revenuePerTon(@lo int, @hi int) returns float as
+begin
+  declare @w float;
+  declare @r float;
+  declare @weight float = 0;
+  declare @revenue float = 0;
+  declare c cursor for
+    select s_weight, s_revenue from shipments
+    where s_route >= @lo and s_route <= @hi;
+  open c;
+  fetch next from c into @w, @r;
+  while @@fetch_status = 0
+  begin
+    set @weight = @weight + @w;
+    set @revenue = @revenue + @r;
+    fetch next from c into @w, @r;
+  end
+  close c;
+  deallocate c;
+  if @weight = 0 return 0;
+  return @revenue / @weight;
+end`,
+		Funcs: []string{"revenueperton"},
+		driver: func(int) string {
+			return "select revenuePerTon(1, 25) as rpt"
+		},
+	}
+}
+
+// l8 (W1): nested cursor loops — per account, an inner loop over its
+// opportunities (the paper's L8, transformed innermost-first per §6.3.1).
+func l8() *Loop {
+	return &Loop{
+		ID: "L8", Workload: "W1", Nested: true,
+		Desc: "nested loop: per-account opportunity scoring",
+		Setup: `
+create function segmentScore(@segment int) returns float as
+begin
+  declare @acct int;
+  declare @stage int;
+  declare @value float;
+  declare @acctTotal float;
+  declare @grand float = 0;
+  declare outerc cursor for
+    select a_id from accounts where a_segment = @segment;
+  open outerc;
+  fetch next from outerc into @acct;
+  while @@fetch_status = 0
+  begin
+    set @acctTotal = 0;
+    declare innerc cursor for
+      select o_stage, o_value from opportunities where o_account = @acct;
+    open innerc;
+    fetch next from innerc into @stage, @value;
+    while @@fetch_status = 0
+    begin
+      if @stage > 3
+        set @acctTotal = @acctTotal + @value;
+      fetch next from innerc into @stage, @value;
+    end
+    close innerc;
+    deallocate innerc;
+    if @acctTotal > 10000
+      set @grand = @grand + @acctTotal;
+    fetch next from outerc into @acct;
+  end
+  close outerc;
+  deallocate outerc;
+  return @grand;
+end`,
+		Funcs: []string{"segmentscore"},
+		driver: func(int) string {
+			return "select segmentScore(3) as score"
+		},
+	}
+}

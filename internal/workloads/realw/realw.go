@@ -1,0 +1,247 @@
+// Package realw models the paper's three proprietary customer workloads
+// (§10.1): W1 is a CRM application, W2 a configuration-management tool, and
+// W3 a transportation-services backend. As in the paper, the schemas and
+// data are synthetic (the real data was unavailable even to the authors)
+// while the loops L1–L8 reproduce the structural variety Figure 9(c)
+// reports: large loops with conditional logic, small loops with temp-table
+// inserts (the paper's no-gain cases L2/L6), loops with queries inside the
+// body, an ORDER BY loop, and the nested cursor loop L8.
+package realw
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggify/internal/engine"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Sizes scales the synthetic datasets.
+type Sizes struct {
+	Accounts      int
+	Activities    int // for the "whale" account driving L1
+	Opportunities int
+	Machines      int
+	ConfigEntries int
+	Versions      int
+	Shipments     int
+	LegsPerShip   int
+}
+
+// SizesFor derives workload sizes from a scale knob.
+func SizesFor(scale float64) Sizes {
+	max1 := func(x float64) int {
+		if x < 1 {
+			return 1
+		}
+		return int(x)
+	}
+	return Sizes{
+		Accounts:      max1(200 * scale),
+		Activities:    max1(20_000 * scale),
+		Opportunities: max1(4_000 * scale),
+		Machines:      max1(300 * scale),
+		ConfigEntries: max1(6_000 * scale),
+		Versions:      max1(1_500 * scale),
+		Shipments:     max1(3_000 * scale),
+		LegsPerShip:   4,
+	}
+}
+
+// Load creates and populates the three workload schemas.
+func Load(eng *engine.Engine, scale float64) error {
+	rng := rand.New(rand.NewSource(424242))
+	sz := SizesFor(scale)
+
+	// ----- W1: CRM -----
+	accounts, err := eng.CreateTable("accounts", storage.NewSchema(
+		storage.Col("a_id", sqltypes.Int),
+		storage.Col("a_name", sqltypes.VarChar(30)),
+		storage.Col("a_segment", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+	activities, err := eng.CreateTable("activities", storage.NewSchema(
+		storage.Col("act_id", sqltypes.Int),
+		storage.Col("act_account", sqltypes.Int),
+		storage.Col("act_seq", sqltypes.Int),
+		storage.Col("act_type", sqltypes.Int),
+		storage.Col("act_minutes", sqltypes.Int),
+		storage.Col("act_score", sqltypes.Float),
+	))
+	if err != nil {
+		return err
+	}
+	opportunities, err := eng.CreateTable("opportunities", storage.NewSchema(
+		storage.Col("o_id", sqltypes.Int),
+		storage.Col("o_account", sqltypes.Int),
+		storage.Col("o_stage", sqltypes.Int),
+		storage.Col("o_value", sqltypes.Float),
+	))
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= sz.Accounts; i++ {
+		if err := accounts.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("account-%d", i)),
+			sqltypes.NewInt(int64(1 + i%5)),
+		}); err != nil {
+			return err
+		}
+	}
+	// Account 1 is the whale with most of the activity volume (L1's loop).
+	for i := 1; i <= sz.Activities; i++ {
+		acct := int64(1)
+		if i%4 == 0 {
+			acct = int64(2 + rng.Intn(sz.Accounts-1))
+		}
+		if err := activities.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(acct),
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(rng.Intn(4))),
+			sqltypes.NewInt(int64(5 + rng.Intn(115))),
+			sqltypes.NewFloat(rng.Float64() * 10),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Opportunities; i++ {
+		if err := opportunities.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(1 + rng.Intn(sz.Accounts))),
+			sqltypes.NewInt(int64(1 + rng.Intn(6))),
+			sqltypes.NewFloat(float64(1000+rng.Intn(2_000_000)) / 100),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// ----- W2: configuration management -----
+	machines, err := eng.CreateTable("machines", storage.NewSchema(
+		storage.Col("m_id", sqltypes.Int),
+		storage.Col("m_name", sqltypes.VarChar(30)),
+		storage.Col("m_env", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+	configEntries, err := eng.CreateTable("config_entries", storage.NewSchema(
+		storage.Col("ce_id", sqltypes.Int),
+		storage.Col("ce_machine", sqltypes.Int),
+		storage.Col("ce_key", sqltypes.VarChar(40)),
+		storage.Col("ce_value", sqltypes.VarChar(60)),
+		storage.Col("ce_version", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+	versions, err := eng.CreateTable("versions", storage.NewSchema(
+		storage.Col("v_id", sqltypes.Int),
+		storage.Col("v_machine", sqltypes.Int),
+		storage.Col("v_num", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= sz.Machines; i++ {
+		if err := machines.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("host-%04d", i)),
+			sqltypes.NewInt(int64(1 + i%3)),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.ConfigEntries; i++ {
+		if err := configEntries.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(1 + rng.Intn(sz.Machines))),
+			sqltypes.NewString(fmt.Sprintf("key.%d", rng.Intn(40))),
+			sqltypes.NewString(fmt.Sprintf("value-%d", rng.Intn(1000))),
+			sqltypes.NewInt(int64(1 + rng.Intn(10))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Versions; i++ {
+		if err := versions.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(1 + rng.Intn(sz.Machines))),
+			sqltypes.NewInt(int64(1 + rng.Intn(12))),
+		}); err != nil {
+			return err
+		}
+	}
+
+	// ----- W3: transportation -----
+	shipments, err := eng.CreateTable("shipments", storage.NewSchema(
+		storage.Col("s_id", sqltypes.Int),
+		storage.Col("s_route", sqltypes.Int),
+		storage.Col("s_weight", sqltypes.Float),
+		storage.Col("s_revenue", sqltypes.Float),
+	))
+	if err != nil {
+		return err
+	}
+	legs, err := eng.CreateTable("legs", storage.NewSchema(
+		storage.Col("l_id", sqltypes.Int),
+		storage.Col("l_shipment", sqltypes.Int),
+		storage.Col("l_seq", sqltypes.Int),
+		storage.Col("l_planned_hours", sqltypes.Float),
+		storage.Col("l_actual_hours", sqltypes.Float),
+	))
+	if err != nil {
+		return err
+	}
+	legID := 0
+	for i := 1; i <= sz.Shipments; i++ {
+		if err := shipments.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(1 + rng.Intn(25))),
+			sqltypes.NewFloat(float64(100+rng.Intn(40_000)) / 10),
+			sqltypes.NewFloat(float64(5_000+rng.Intn(500_000)) / 100),
+		}); err != nil {
+			return err
+		}
+		nl := 1 + rng.Intn(sz.LegsPerShip*2-1)
+		for j := 0; j < nl; j++ {
+			legID++
+			planned := 1 + rng.Float64()*20
+			actual := planned * (0.8 + rng.Float64()*0.6)
+			if err := legs.Insert([]sqltypes.Value{
+				sqltypes.NewInt(int64(legID)),
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64(j + 1)),
+				sqltypes.NewFloat(planned),
+				sqltypes.NewFloat(actual),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, ix := range [][2]string{
+		{"activities", "act_account"}, {"opportunities", "o_account"},
+		{"config_entries", "ce_machine"}, {"versions", "v_machine"},
+		{"legs", "l_shipment"}, {"shipments", "s_route"},
+		{"accounts", "a_id"}, {"machines", "m_id"}, {"shipments", "s_id"},
+	} {
+		if err := eng.CreateIndex(ix[0], ix[1]); err != nil {
+			return err
+		}
+	}
+
+	// Session temp tables used by L2/L6 are created per session by the
+	// harness (see TempSetup).
+	return nil
+}
+
+// TempSetup creates the session temp tables L2 and L6 insert into.
+const TempSetup = `
+create table #staging (k varchar(40), v varchar(60));
+create table #drift (m int, n int);
+`

@@ -1,0 +1,493 @@
+// Package rubis models the RUBiS auction-site benchmark (the paper's [7])
+// used in the Figure 9(b) client-program experiments: an e-commerce schema
+// plus five application scenarios, each implemented twice — as the original
+// client-side cursor loop over a remote query (the Figure 2 pattern), and
+// as the Aggify-rewritten form that registers a custom aggregate and ships
+// a single query (the Figure 8 pattern). Like the paper's Java programs,
+// the rewritten forms were derived by applying Algorithm 1 by hand; the
+// automated pipeline is exercised by the server-side workloads.
+package rubis
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Sizes scales the dataset; Users drives everything else.
+type Sizes struct {
+	Users    int
+	Items    int
+	Bids     int
+	Comments int
+}
+
+// SizesFor derives RUBiS-like cardinalities from a scale knob.
+func SizesFor(scale float64) Sizes {
+	max1 := func(x float64) int {
+		if x < 1 {
+			return 1
+		}
+		return int(x)
+	}
+	return Sizes{
+		Users:    max1(1_000 * scale),
+		Items:    max1(3_000 * scale),
+		Bids:     max1(30_000 * scale),
+		Comments: max1(5_000 * scale),
+	}
+}
+
+// Load generates the auction schema and data.
+func Load(eng *engine.Engine, scale float64) error {
+	rng := rand.New(rand.NewSource(7007))
+	sz := SizesFor(scale)
+
+	users, err := eng.CreateTable("users", storage.NewSchema(
+		storage.Col("u_id", sqltypes.Int),
+		storage.Col("u_nickname", sqltypes.VarChar(20)),
+		storage.Col("u_rating", sqltypes.Int),
+		storage.Col("u_region", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+	items, err := eng.CreateTable("items", storage.NewSchema(
+		storage.Col("i_id", sqltypes.Int),
+		storage.Col("i_seller", sqltypes.Int),
+		storage.Col("i_category", sqltypes.Int),
+		storage.Col("i_name", sqltypes.VarChar(100)),
+		storage.Col("i_initial_price", sqltypes.Float),
+		storage.Col("i_quantity", sqltypes.Int),
+		storage.Col("i_end_date", sqltypes.Date),
+	))
+	if err != nil {
+		return err
+	}
+	bids, err := eng.CreateTable("bids", storage.NewSchema(
+		storage.Col("b_id", sqltypes.Int),
+		storage.Col("b_user_id", sqltypes.Int),
+		storage.Col("b_item_id", sqltypes.Int),
+		storage.Col("b_qty", sqltypes.Int),
+		storage.Col("b_bid", sqltypes.Float),
+		storage.Col("b_date", sqltypes.Date),
+	))
+	if err != nil {
+		return err
+	}
+	comments, err := eng.CreateTable("comments", storage.NewSchema(
+		storage.Col("c_id", sqltypes.Int),
+		storage.Col("c_from", sqltypes.Int),
+		storage.Col("c_to", sqltypes.Int),
+		storage.Col("c_item_id", sqltypes.Int),
+		storage.Col("c_rating", sqltypes.Int),
+	))
+	if err != nil {
+		return err
+	}
+
+	base := sqltypes.MustDate("2020-01-01").Int()
+	for i := 1; i <= sz.Users; i++ {
+		if err := users.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewString(fmt.Sprintf("user%d", i)),
+			sqltypes.NewInt(int64(rng.Intn(20) - 5)),
+			sqltypes.NewInt(int64(1 + rng.Intn(50))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Items; i++ {
+		// Ten percent of items belong to the "power seller" (user 1),
+		// mirroring RUBiS's skewed activity distribution.
+		seller := int64(1 + rng.Intn(sz.Users))
+		if rng.Intn(10) == 0 {
+			seller = 1
+		}
+		if err := items.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(seller),
+			sqltypes.NewInt(int64(1 + rng.Intn(20))),
+			sqltypes.NewString(fmt.Sprintf("item %d", i)),
+			sqltypes.NewFloat(float64(100+rng.Intn(10_000)) / 100),
+			sqltypes.NewInt(int64(1 + rng.Intn(10))),
+			sqltypes.NewDate(base + int64(rng.Intn(365))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Bids; i++ {
+		// A fifth of all bids hit the hot item and a fifth come from the
+		// power bidder.
+		bidder := int64(1 + rng.Intn(sz.Users))
+		if rng.Intn(5) == 0 {
+			bidder = 1
+		}
+		item := int64(1 + rng.Intn(sz.Items))
+		if rng.Intn(5) == 0 {
+			item = 1
+		}
+		if err := bids.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(bidder),
+			sqltypes.NewInt(item),
+			sqltypes.NewInt(int64(1 + rng.Intn(5))),
+			sqltypes.NewFloat(float64(100+rng.Intn(50_000)) / 100),
+			sqltypes.NewDate(base + int64(rng.Intn(365))),
+		}); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= sz.Comments; i++ {
+		to := int64(1 + rng.Intn(sz.Users))
+		if rng.Intn(5) == 0 {
+			to = 1
+		}
+		if err := comments.Insert([]sqltypes.Value{
+			sqltypes.NewInt(int64(i)),
+			sqltypes.NewInt(int64(1 + rng.Intn(sz.Users))),
+			sqltypes.NewInt(to),
+			sqltypes.NewInt(int64(1 + rng.Intn(sz.Items))),
+			sqltypes.NewInt(int64(rng.Intn(11) - 5)),
+		}); err != nil {
+			return err
+		}
+	}
+	for _, ix := range [][2]string{
+		{"bids", "b_item_id"}, {"bids", "b_user_id"},
+		{"comments", "c_to"}, {"items", "i_category"}, {"items", "i_seller"},
+		{"users", "u_id"}, {"items", "i_id"},
+	} {
+		if err := eng.CreateIndex(ix[0], ix[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scenario is one Figure 9(b) client program.
+type Scenario struct {
+	Name string
+	// AggregateSetup registers the hand-derived custom aggregate (Algorithm
+	// 1 applied to the client loop, as in the paper's Java experiments).
+	AggregateSetup string
+	// Original runs the client-side cursor loop; Aggified runs the
+	// rewritten single-row query. Both return the computed value and the
+	// number of loop iterations (rows the original iterates).
+	Original func(conn *client.Conn, arg int64) (sqltypes.Value, int, error)
+	Aggified func(conn *client.Conn, arg int64) (sqltypes.Value, error)
+	// Arg picks the scenario argument for a dataset scale.
+	Arg func(sz Sizes) int64
+}
+
+// Scenarios returns the five client programs.
+func Scenarios() []*Scenario {
+	return []*Scenario{
+		viewBidHistory(),
+		userRating(),
+		categoryStats(),
+		buyerSpend(),
+		sellerOpenValue(),
+	}
+}
+
+// viewBidHistory computes the maximum bid and bid count for one item
+// (RUBiS ViewBidHistory).
+func viewBidHistory() *Scenario {
+	return &Scenario{
+		Name: "ViewBidHistory",
+		AggregateSetup: `
+create aggregate MaxBidAgg(@bid float, @qty int) returns tuple as
+begin
+  fields (@mx float, @cnt int, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @mx = 0; set @cnt = 0; set @isInitialized = true;
+    end
+    if @bid > @mx set @mx = @bid;
+    set @cnt = @cnt + 1;
+  end
+  terminate begin return (select @mx, @cnt); end
+end`,
+		Original: func(conn *client.Conn, item int64) (sqltypes.Value, int, error) {
+			stmt, err := conn.Prepare("select b_bid, b_qty from bids where b_item_id = ?")
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			rs, err := stmt.Query(sqltypes.NewInt(item))
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			defer rs.Close()
+			mx, cnt := 0.0, 0
+			for rs.Next() {
+				if b := rs.Float64("b_bid"); b > mx {
+					mx = b
+				}
+				cnt++
+			}
+			return sqltypes.NewFloat(mx*1000 + float64(cnt)), cnt, nil
+		},
+		Aggified: func(conn *client.Conn, item int64) (sqltypes.Value, error) {
+			stmt, err := conn.Prepare("select MaxBidAgg(q.b_bid, q.b_qty) from (select b_bid, b_qty from bids where b_item_id = ?) q")
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			row, err := stmt.QueryRow(sqltypes.NewInt(item))
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			t := row[0].Tuple()
+			mx, _ := t[0].AsFloat()
+			cnt, _ := t[1].AsInt()
+			return sqltypes.NewFloat(mx*1000 + float64(cnt)), nil
+		},
+		Arg: func(Sizes) int64 { return 1 }, // the hot item
+	}
+}
+
+// userRating sums comment ratings for one user (RUBiS ViewUserInfo).
+func userRating() *Scenario {
+	return &Scenario{
+		Name: "ViewUserInfo",
+		AggregateSetup: `
+create aggregate RatingAgg(@r int) returns int as
+begin
+  fields (@sum int, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @sum = 0; set @isInitialized = true;
+    end
+    if @r > 0 set @sum = @sum + @r;
+    else set @sum = @sum + @r * 2;
+  end
+  terminate begin return @sum; end
+end`,
+		Original: func(conn *client.Conn, user int64) (sqltypes.Value, int, error) {
+			stmt, err := conn.Prepare("select c_rating from comments where c_to = ?")
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			rs, err := stmt.Query(sqltypes.NewInt(user))
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			defer rs.Close()
+			sum := int64(0)
+			n := 0
+			for rs.Next() {
+				r := rs.Int64("c_rating")
+				if r > 0 {
+					sum += r
+				} else {
+					sum += r * 2
+				}
+				n++
+			}
+			return sqltypes.NewInt(sum), n, nil
+		},
+		Aggified: func(conn *client.Conn, user int64) (sqltypes.Value, error) {
+			stmt, err := conn.Prepare("select RatingAgg(q.c_rating) from (select c_rating from comments where c_to = ?) q")
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			row, err := stmt.QueryRow(sqltypes.NewInt(user))
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if row[0].IsNull() {
+				return sqltypes.NewInt(0), nil
+			}
+			return row[0], nil
+		},
+		Arg: func(Sizes) int64 { return 1 }, // the most-reviewed user
+	}
+}
+
+// categoryStats computes count and average initial price of items in a
+// category (RUBiS SearchItemsByCategory).
+func categoryStats() *Scenario {
+	return &Scenario{
+		Name: "SearchItemsByCategory",
+		AggregateSetup: `
+create aggregate CatStatsAgg(@price float) returns tuple as
+begin
+  fields (@n int, @sum float, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @n = 0; set @sum = 0; set @isInitialized = true;
+    end
+    set @n = @n + 1;
+    set @sum = @sum + @price;
+  end
+  terminate begin return (select @n, @sum); end
+end`,
+		Original: func(conn *client.Conn, cat int64) (sqltypes.Value, int, error) {
+			stmt, err := conn.Prepare("select i_initial_price from items where i_category = ?")
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			rs, err := stmt.Query(sqltypes.NewInt(cat))
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			defer rs.Close()
+			n, sum := 0, 0.0
+			for rs.Next() {
+				sum += rs.Float64("i_initial_price")
+				n++
+			}
+			if n == 0 {
+				return sqltypes.NewFloat(0), 0, nil
+			}
+			return sqltypes.NewFloat(sum / float64(n)), n, nil
+		},
+		Aggified: func(conn *client.Conn, cat int64) (sqltypes.Value, error) {
+			stmt, err := conn.Prepare("select CatStatsAgg(q.i_initial_price) from (select i_initial_price from items where i_category = ?) q")
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			row, err := stmt.QueryRow(sqltypes.NewInt(cat))
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if row[0].IsNull() {
+				return sqltypes.NewFloat(0), nil
+			}
+			t := row[0].Tuple()
+			n, _ := t[0].AsInt()
+			sum, _ := t[1].AsFloat()
+			if n == 0 {
+				return sqltypes.NewFloat(0), nil
+			}
+			return sqltypes.NewFloat(sum / float64(n)), nil
+		},
+		Arg: func(Sizes) int64 { return 7 },
+	}
+}
+
+// buyerSpend totals a user's winning-size bids (RUBiS AboutMe).
+func buyerSpend() *Scenario {
+	return &Scenario{
+		Name: "AboutMe-BuyerSpend",
+		AggregateSetup: `
+create aggregate SpendAgg(@bid float, @qty int) returns float as
+begin
+  fields (@total float, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @total = 0; set @isInitialized = true;
+    end
+    set @total = @total + @bid * @qty;
+  end
+  terminate begin return @total; end
+end`,
+		Original: func(conn *client.Conn, user int64) (sqltypes.Value, int, error) {
+			stmt, err := conn.Prepare("select b_bid, b_qty from bids where b_user_id = ?")
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			rs, err := stmt.Query(sqltypes.NewInt(user))
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			defer rs.Close()
+			total := 0.0
+			n := 0
+			for rs.Next() {
+				total += rs.Float64("b_bid") * float64(rs.Int64("b_qty"))
+				n++
+			}
+			return sqltypes.NewFloat(total), n, nil
+		},
+		Aggified: func(conn *client.Conn, user int64) (sqltypes.Value, error) {
+			stmt, err := conn.Prepare("select SpendAgg(q.b_bid, q.b_qty) from (select b_bid, b_qty from bids where b_user_id = ?) q")
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			row, err := stmt.QueryRow(sqltypes.NewInt(user))
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if row[0].IsNull() {
+				return sqltypes.NewFloat(0), nil
+			}
+			return row[0], nil
+		},
+		Arg: func(Sizes) int64 { return 1 }, // the power bidder
+	}
+}
+
+// sellerOpenValue sums the initial prices of one seller's multi-quantity
+// items (RUBiS AboutMe, seller section).
+func sellerOpenValue() *Scenario {
+	return &Scenario{
+		Name: "AboutMe-SellerValue",
+		AggregateSetup: `
+create aggregate SellerValueAgg(@price float, @qty int) returns float as
+begin
+  fields (@v float, @isInitialized bit);
+  init begin set @isInitialized = false; end
+  accumulate begin
+    if @isInitialized = false
+    begin
+      set @v = 0; set @isInitialized = true;
+    end
+    if @qty > 1 set @v = @v + @price * @qty;
+    else set @v = @v + @price;
+  end
+  terminate begin return @v; end
+end`,
+		Original: func(conn *client.Conn, seller int64) (sqltypes.Value, int, error) {
+			stmt, err := conn.Prepare("select i_initial_price, i_quantity from items where i_seller = ?")
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			rs, err := stmt.Query(sqltypes.NewInt(seller))
+			if err != nil {
+				return sqltypes.Null, 0, err
+			}
+			defer rs.Close()
+			v := 0.0
+			n := 0
+			for rs.Next() {
+				price := rs.Float64("i_initial_price")
+				qty := rs.Int64("i_quantity")
+				if qty > 1 {
+					v += price * float64(qty)
+				} else {
+					v += price
+				}
+				n++
+			}
+			return sqltypes.NewFloat(v), n, nil
+		},
+		Aggified: func(conn *client.Conn, seller int64) (sqltypes.Value, error) {
+			stmt, err := conn.Prepare("select SellerValueAgg(q.i_initial_price, q.i_quantity) from (select i_initial_price, i_quantity from items where i_seller = ?) q")
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			row, err := stmt.QueryRow(sqltypes.NewInt(seller))
+			if err != nil {
+				return sqltypes.Null, err
+			}
+			if row[0].IsNull() {
+				return sqltypes.NewFloat(0), nil
+			}
+			return row[0], nil
+		},
+		Arg: func(Sizes) int64 { return 1 }, // the power seller
+	}
+}
