@@ -29,6 +29,7 @@ import (
 	"aggify/internal/froid"
 	"aggify/internal/interp"
 	"aggify/internal/parser"
+	"aggify/internal/server"
 	"aggify/internal/sqltypes"
 	"aggify/internal/wire"
 )
@@ -60,6 +61,19 @@ var LAN = wire.LAN
 
 // Conn is a metered client connection (Prepare / Query / ResultSet).
 type Conn = client.Conn
+
+// Server is an aggifyd TCP server: the engine behind the binary wire
+// protocol, one session per connection.
+type Server = server.Server
+
+// ErrServerClosed is returned by Server.Serve after a Shutdown.
+var ErrServerClosed = server.ErrServerClosed
+
+// Dial opens a client connection to a running aggifyd server. The driver
+// API is identical to Connect; the meter counts real socket bytes.
+func Dial(addr string, profile NetworkProfile) (*Conn, error) {
+	return client.Dial(addr, profile)
+}
 
 // DB is an embedded database instance.
 type DB struct {
@@ -144,6 +158,12 @@ func (db *DB) CallProc(proc string, args ...Value) error {
 // server session), as the paper's remote application programs do.
 func (db *DB) Connect(profile NetworkProfile) *Conn {
 	return client.Connect(db.eng, profile)
+}
+
+// NewServer returns an aggifyd TCP server over this database. Use
+// Serve/ListenAndServe to accept connections and Shutdown to drain.
+func (db *DB) NewServer() *Server {
+	return server.New(db.eng)
 }
 
 // RegisterAggregate registers a native-Go custom aggregate implementing

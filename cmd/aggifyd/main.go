@@ -1,0 +1,86 @@
+// Command aggifyd runs the database as a network server: a concurrent TCP
+// daemon speaking the length-prefixed binary protocol in internal/wire
+// (see docs/PROTOCOL.md). Clients connect with the socket driver
+// (aggify.Dial, sqlsh --connect) and get one engine session per
+// connection, prepared statements, and server-side cursors fetched in
+// batches — the real client/server boundary behind the paper's Figure 8
+// data-movement experiments.
+//
+// Usage:
+//
+//	aggifyd [-addr host:port] [-tpch SF] [script.sql ...]
+//
+// Any script files are executed against the engine before the server
+// starts accepting (schema, data, UDFs, aggregates). -tpch loads the TPC-H
+// tables at the given scale factor. SIGINT/SIGTERM drain gracefully:
+// in-flight requests finish, then connections close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aggify"
+	"aggify/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	tpchSF := flag.Float64("tpch", 0, "load TPC-H tables at this scale factor (0 = off)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	db := aggify.Open()
+	if *tpchSF > 0 {
+		log.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
+		if err := tpch.Load(db.Engine(), *tpchSF); err != nil {
+			log.Fatalf("aggifyd: tpch: %v", err)
+		}
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("aggifyd: %v", err)
+		}
+		if err := db.Exec(string(src)); err != nil {
+			log.Fatalf("aggifyd: %s: %v", path, err)
+		}
+		log.Printf("aggifyd: executed %s", path)
+	}
+
+	srv := db.NewServer()
+	srv.ErrorLog = log.New(os.Stderr, "", log.LstdFlags)
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("aggifyd: %v", err)
+	}
+	log.Printf("aggifyd: listening on %s", lis.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	select {
+	case s := <-sig:
+		log.Printf("aggifyd: %v — draining (up to %v)", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("aggifyd: forced shutdown: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("aggifyd: drained cleanly")
+	case err := <-done:
+		if err != nil && !errors.Is(err, aggify.ErrServerClosed) {
+			log.Fatalf("aggifyd: %v", err)
+		}
+	}
+}

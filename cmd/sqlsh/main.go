@@ -1,21 +1,24 @@
-// Command sqlsh is a batch/interactive shell for the engine's dialect.
+// Command sqlsh is a batch/interactive shell for the engine's dialect,
+// either embedded (default) or against a running aggifyd server.
 //
 // Usage:
 //
-//	sqlsh                 # interactive (reads statements, GO executes)
-//	sqlsh script.sql...   # execute files in order, then exit
+//	sqlsh                        # interactive, embedded engine
+//	sqlsh script.sql...          # execute files in order, then exit
 //	echo "select 1" | sqlsh
+//	sqlsh -connect 127.0.0.1:5433 [script.sql...]   # over TCP
 //
 // Meta commands (interactive mode):
 //
 //	\q            quit
-//	\explain SQL  print the physical plan for a query
-//	\stats        print the session's I/O statistics
-//	\aggify NAME  transform the named function/procedure in place
+//	\explain SQL  print the physical plan for a query (embedded only)
+//	\stats        print I/O statistics (embedded) or wire traffic (remote)
+//	\aggify NAME  transform the named function/procedure in place (embedded only)
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -23,15 +26,35 @@ import (
 	"aggify"
 )
 
+// shell abstracts over the embedded engine and a remote aggifyd connection.
+type shell struct {
+	db   *aggify.DB   // embedded mode
+	conn *aggify.Conn // remote mode
+}
+
 func main() {
-	db := aggify.Open()
-	if len(os.Args) > 1 {
-		for _, path := range os.Args[1:] {
+	connect := flag.String("connect", "", "address of a running aggifyd (empty = embedded engine)")
+	flag.Parse()
+
+	var sh shell
+	if *connect != "" {
+		conn, err := aggify.Dial(*connect, aggify.LAN)
+		if err != nil {
+			fatal(err)
+		}
+		defer conn.Close()
+		sh.conn = conn
+	} else {
+		sh.db = aggify.Open()
+	}
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
 			data, err := os.ReadFile(path)
 			if err != nil {
 				fatal(err)
 			}
-			if err := runBatch(db, string(data)); err != nil {
+			if err := sh.runBatch(string(data)); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 				os.Exit(1)
 			}
@@ -54,33 +77,13 @@ func main() {
 		case trimmed == "\\q":
 			return
 		case strings.HasPrefix(trimmed, "\\explain "):
-			plan, err := db.Explain(strings.TrimPrefix(trimmed, "\\explain "))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			} else {
-				fmt.Print(plan)
-			}
+			sh.explain(strings.TrimPrefix(trimmed, "\\explain "))
 		case trimmed == "\\stats":
-			s := db.Session().Stats.Snapshot()
-			fmt.Printf("logical reads=%d worktable writes=%d worktable reads=%d rows emitted=%d index seeks=%d\n",
-				s.LogicalReads, s.WorktableWrites, s.WorktableReads, s.RowsEmitted, s.IndexSeeks)
+			sh.stats()
 		case strings.HasPrefix(trimmed, "\\aggify "):
-			name := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\aggify "))
-			res, err := db.AggifyFunction(name, aggify.TransformOptions{})
-			if err != nil {
-				res, err = db.AggifyProcedure(name, aggify.TransformOptions{})
-			}
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			} else {
-				fmt.Printf("transformed %d loop(s); %d skipped\n", res.LoopsTransformed, len(res.Skipped))
-				for _, agg := range res.AggregateSources {
-					fmt.Println(agg)
-				}
-				fmt.Println(res.RewrittenSource)
-			}
+			sh.aggifyModule(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\aggify ")))
 		case strings.EqualFold(trimmed, "go"):
-			if err := runBatch(db, batch.String()); err != nil {
+			if err := sh.runBatch(batch.String()); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 			}
 			batch.Reset()
@@ -93,7 +96,7 @@ func main() {
 		}
 	}
 	if strings.TrimSpace(batch.String()) != "" {
-		if err := runBatch(db, batch.String()); err != nil {
+		if err := sh.runBatch(batch.String()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -101,16 +104,74 @@ func main() {
 }
 
 // runBatch executes a script; standalone SELECTs print their result sets.
-func runBatch(db *aggify.DB, src string) error {
+func (sh *shell) runBatch(src string) error {
 	if strings.TrimSpace(src) == "" {
 		return nil
 	}
+	if sh.conn != nil {
+		res, err := sh.conn.ExecResults(src)
+		if err != nil {
+			return err
+		}
+		for _, p := range res.Prints {
+			fmt.Println(p)
+		}
+		for _, set := range res.Sets {
+			printRows(&aggify.Rows{Columns: set.Columns, Data: set.Rows})
+		}
+		return nil
+	}
 	// Try as a single query first so results print nicely.
-	if rows, err := db.Query(src); err == nil {
+	if rows, err := sh.db.Query(src); err == nil {
 		printRows(rows)
 		return nil
 	}
-	return db.Exec(src)
+	return sh.db.Exec(src)
+}
+
+func (sh *shell) explain(sql string) {
+	if sh.conn != nil {
+		fmt.Fprintln(os.Stderr, "\\explain is not supported over -connect")
+		return
+	}
+	plan, err := sh.db.Explain(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	} else {
+		fmt.Print(plan)
+	}
+}
+
+func (sh *shell) stats() {
+	if sh.conn != nil {
+		m := sh.conn.Meter()
+		fmt.Printf("bytes to server=%d bytes to client=%d round trips=%d rows transferred=%d\n",
+			m.BytesToServer, m.BytesToClient, m.RoundTrips, m.RowsTransferred)
+		return
+	}
+	s := sh.db.Session().Stats.Snapshot()
+	fmt.Printf("logical reads=%d worktable writes=%d worktable reads=%d rows emitted=%d index seeks=%d\n",
+		s.LogicalReads, s.WorktableWrites, s.WorktableReads, s.RowsEmitted, s.IndexSeeks)
+}
+
+func (sh *shell) aggifyModule(name string) {
+	if sh.conn != nil {
+		fmt.Fprintln(os.Stderr, "\\aggify is not supported over -connect (transform with aggify.TransformSource and send the SQL)")
+		return
+	}
+	res, err := sh.db.AggifyFunction(name, aggify.TransformOptions{})
+	if err != nil {
+		res, err = sh.db.AggifyProcedure(name, aggify.TransformOptions{})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Printf("transformed %d loop(s); %d skipped\n", res.LoopsTransformed, len(res.Skipped))
+	for _, agg := range res.AggregateSources {
+		fmt.Println(agg)
+	}
+	fmt.Println(res.RewrittenSource)
 }
 
 func printRows(rows *aggify.Rows) {

@@ -4,12 +4,18 @@
 // them locally; the Aggify version lets a generated custom aggregate reduce
 // each part inside the DBMS.
 //
+// The program runs each mode twice: over the in-process connection (the
+// virtual network meter prices the exact protocol frames) and against a
+// live aggifyd served on loopback TCP (the meter counts real socket
+// bytes), showing the two measurements agree.
+//
 // Run with: go run ./examples/mincost-client
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
 	"time"
 
 	"aggify"
@@ -21,18 +27,51 @@ func main() {
 	if err := tpch.Load(db.Engine(), 0.005); err != nil {
 		log.Fatal(err)
 	}
+	// Transform the server-side UDF once: Aggify replaces its cursor loop
+	// with a generated custom aggregate.
+	if err := db.Exec(minCostSuppSrc); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.AggifyFunction("minCostSupp", aggify.TransformOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve the same database as a real aggifyd on loopback TCP.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := db.NewServer()
+	go srv.Serve(lis)
+	addr := lis.Addr().String()
+	fmt.Printf("aggifyd serving on %s\n\n", addr)
 
 	for _, n := range []int64{50, 500} {
 		fmt.Printf("--- %d parts ---\n", n)
-		runOriginal(db, n)
-		runAggified(db, n)
+		runOriginal(connect(db, addr, false), "virtual", n)
+		runOriginal(connect(db, addr, true), "tcp    ", n)
+		runAggified(connect(db, addr, false), "virtual", n)
+		runAggified(connect(db, addr, true), "tcp    ", n)
 		fmt.Println()
 	}
+	srv.Close()
+}
+
+// connect opens either the in-process metered connection or a real socket
+// to the loopback server.
+func connect(db *aggify.DB, addr string, overTCP bool) *aggify.Conn {
+	if !overTCP {
+		return db.Connect(aggify.LAN)
+	}
+	conn, err := aggify.Dial(addr, aggify.LAN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return conn
 }
 
 // runOriginal is the client-side loop: one offers query per part.
-func runOriginal(db *aggify.DB, n int64) {
-	conn := db.Connect(aggify.LAN)
+func runOriginal(conn *aggify.Conn, transport string, n int64) {
 	parts, err := conn.Prepare("select p_partkey from part where p_partkey <= ?")
 	if err != nil {
 		log.Fatal(err)
@@ -64,26 +103,13 @@ func runOriginal(db *aggify.DB, n int64) {
 		cheapest[pkey] = bestName
 	}
 	prs.Close()
-	elapsed := time.Since(start) + conn.NetworkTime()
-	m := conn.Meter()
-	fmt.Printf("original: %4d parts, %6d bytes to client (%.0f B/part), %4d round trips, %v\n",
-		len(cheapest), m.BytesToClient, float64(m.BytesToClient)/float64(len(cheapest)),
-		m.RoundTrips, elapsed.Round(time.Microsecond))
+	report("original", transport, len(cheapest), conn, time.Since(start))
+	conn.Close()
 }
 
-// runAggified registers the generated aggregate once (via the Aggify
-// pipeline on the server) and runs one query.
-func runAggified(db *aggify.DB, n int64) {
-	// Transform the server-side UDF on first use.
-	if _, ok := db.Engine().Function("mincostsupp"); !ok {
-		if err := db.Exec(minCostSuppSrc); err != nil {
-			log.Fatal(err)
-		}
-		if _, err := db.AggifyFunction("minCostSupp", aggify.TransformOptions{}); err != nil {
-			log.Fatal(err)
-		}
-	}
-	conn := db.Connect(aggify.LAN)
+// runAggified runs one query over the transformed UDF: the generated
+// aggregate reduces each part's offers inside the DBMS.
+func runAggified(conn *aggify.Conn, transport string, n int64) {
 	stmt, err := conn.Prepare("select p_partkey, minCostSupp(p_partkey) as supp from part where p_partkey <= ?")
 	if err != nil {
 		log.Fatal(err)
@@ -99,10 +125,15 @@ func runAggified(db *aggify.DB, n int64) {
 		count++
 	}
 	rs.Close()
-	elapsed := time.Since(start) + conn.NetworkTime()
+	report("aggified", transport, count, conn, time.Since(start))
+	conn.Close()
+}
+
+func report(mode, transport string, parts int, conn *aggify.Conn, compute time.Duration) {
+	elapsed := compute + conn.NetworkTime()
 	m := conn.Meter()
-	fmt.Printf("aggified: %4d parts, %6d bytes to client (%.0f B/part), %4d round trips, %v\n",
-		count, m.BytesToClient, float64(m.BytesToClient)/float64(count),
+	fmt.Printf("%s %s: %4d parts, %7d bytes to client (%.0f B/part), %5d round trips, %v\n",
+		mode, transport, parts, m.BytesToClient, float64(m.BytesToClient)/float64(parts),
 		m.RoundTrips, elapsed.Round(time.Microsecond))
 }
 

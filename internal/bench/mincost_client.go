@@ -20,6 +20,12 @@ import (
 // paper reports the same ~3.6x data-movement reduction.
 func RunMinCostClient(env *Env, n int, mode Mode, profile wire.Profile) (*ClientResult, error) {
 	conn := client.Connect(env.Eng, profile)
+	return runMinCostOn(conn, n, mode)
+}
+
+// runMinCostOn drives the scenario over an already-open connection (either
+// transport: the in-process virtual meter or a live aggifyd socket).
+func runMinCostOn(conn *client.Conn, n int, mode Mode) (*ClientResult, error) {
 	res := &ClientResult{Scenario: "MinCostSupplier", Mode: mode, Iterations: n}
 	start := time.Now()
 	switch mode {

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"time"
+
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/server"
+	"aggify/internal/wire"
+)
+
+// ServeLoopback starts an aggifyd server for the engine on an ephemeral
+// loopback port, so client experiments can run over a real TCP socket
+// instead of the virtual meter. It returns the dialable address and a stop
+// function that drains the server.
+func ServeLoopback(eng *engine.Engine) (string, func() error, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	srv := server.New(eng)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != nil && err != server.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+	return lis.Addr().String(), stop, nil
+}
+
+// RunMinCostClientTCP is RunMinCostClient over a live loopback-TCP aggifyd
+// serving the same environment: the meter reports measured socket bytes
+// rather than virtual ones, validating the simulated series' direction.
+func RunMinCostClientTCP(env *Env, n int, mode Mode, profile wire.Profile) (*ClientResult, error) {
+	addr, stop, err := ServeLoopback(env.Eng)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+	conn, err := client.Dial(addr, profile)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	res, err := runMinCostOn(conn, n, mode)
+	if err != nil {
+		return nil, err
+	}
+	res.Scenario = fmt.Sprintf("%s/tcp", res.Scenario)
+	return res, nil
+}

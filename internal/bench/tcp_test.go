@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/wire"
+)
+
+// TestMinCostClientTCPMatchesVirtual is the end-to-end acceptance check:
+// the MinCostSupplier client program runs against a live aggifyd over
+// loopback TCP, the aggified version measurably transfers fewer bytes and
+// round trips than the original, and both agree exactly with the virtual
+// meter's numbers for the same workload.
+func TestMinCostClientTCPMatchesVirtual(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	run := func(mode Mode, overTCP bool) *ClientResult {
+		t.Helper()
+		var res *ClientResult
+		if overTCP {
+			res, err = RunMinCostClientTCP(env, n, mode, wire.LAN)
+		} else {
+			res, err = RunMinCostClient(env, n, mode, wire.LAN)
+		}
+		if err != nil {
+			t.Fatalf("%v overTCP=%v: %v", mode, overTCP, err)
+		}
+		return res
+	}
+
+	origTCP := run(Original, true)
+	aggTCP := run(Aggify, true)
+	origVirt := run(Original, false)
+	aggVirt := run(Aggify, false)
+
+	// Each mode computes the same answer regardless of transport.
+	if !sqltypes.Equal(origTCP.Value, origVirt.Value) {
+		t.Fatalf("original checksum differs by transport: %v vs %v", origTCP.Value, origVirt.Value)
+	}
+	if !sqltypes.Equal(aggTCP.Value, aggVirt.Value) {
+		t.Fatalf("aggify result differs by transport: %v vs %v", aggTCP.Value, aggVirt.Value)
+	}
+	// The paper's claim holds over real sockets: fewer bytes, fewer round
+	// trips.
+	if aggTCP.Meter.TotalBytes() >= origTCP.Meter.TotalBytes() {
+		t.Fatalf("aggify moved %d bytes over TCP, original %d",
+			aggTCP.Meter.TotalBytes(), origTCP.Meter.TotalBytes())
+	}
+	if aggTCP.Meter.RoundTrips >= origTCP.Meter.RoundTrips {
+		t.Fatalf("aggify used %d round trips over TCP, original %d",
+			aggTCP.Meter.RoundTrips, origTCP.Meter.RoundTrips)
+	}
+	// The virtual meter prices the exact frames the socket carried.
+	if origTCP.Meter != origVirt.Meter {
+		t.Fatalf("original: socket meter %+v != virtual meter %+v",
+			origTCP.Meter, origVirt.Meter)
+	}
+	if aggTCP.Meter != aggVirt.Meter {
+		t.Fatalf("aggify: socket meter %+v != virtual meter %+v",
+			aggTCP.Meter, aggVirt.Meter)
+	}
+}

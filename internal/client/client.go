@@ -1,22 +1,19 @@
 // Package client provides the application side of the paper's database-
 // backed-application experiments (§2.2, Figures 2 and 8): a JDBC-style API
-// (Connect / Prepare / Query / ResultSet iteration) whose traffic crosses
-// the wire meter. Client cursor loops fetch rows in batches (like JDBC's
-// fetch size), so the original programs pay a round trip per batch and
-// transfer every row, while Aggify-rewritten programs ship one CREATE
-// AGGREGATE plus one query and receive a single row back.
+// (Connect / Prepare / Query / ResultSet iteration) over a pluggable
+// transport. Connect runs against an in-process engine with a virtual
+// network meter; Dial speaks the same binary protocol to a live aggifyd
+// over TCP. Either way the server holds the cursor: client loops pull rows
+// in FetchSize batches, paying a round trip per batch and transferring
+// every row, while Aggify-rewritten programs ship one CREATE AGGREGATE plus
+// one query and receive a single row back.
 package client
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
-	"aggify/internal/ast"
 	"aggify/internal/engine"
-	"aggify/internal/exec"
-	"aggify/internal/interp"
-	"aggify/internal/parser"
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
 	"aggify/internal/wire"
@@ -25,93 +22,113 @@ import (
 // DefaultFetchSize is the rows-per-round-trip batch size (JDBC default-ish).
 const DefaultFetchSize = 128
 
-// Conn is a client connection to an engine, with traffic metering.
+// Conn is a client connection to a server, with traffic metering.
 type Conn struct {
-	sess      *engine.Session
-	profile   wire.Profile
-	meter     wire.Meter
+	tr      Transport
+	profile wire.Profile
+	// FetchSize is the maximum rows pulled per fetch round trip.
 	FetchSize int
+
+	prints []string // PRINT output of the last Exec
 }
 
-// Connect opens a connection (its own server session) with the given
-// network profile.
+// Connect opens an in-process connection (its own server session) with the
+// given network profile. Traffic is priced by the virtual meter using the
+// exact frame sizes the TCP protocol would move.
 func Connect(eng *engine.Engine, profile wire.Profile) *Conn {
-	return &Conn{sess: eng.NewSession(), profile: profile, FetchSize: DefaultFetchSize}
+	return NewConn(newInproc(eng), profile)
 }
 
-// Session exposes the server session (for statistics in benchmarks).
-func (c *Conn) Session() *engine.Session { return c.sess }
+// Dial opens a connection to a running aggifyd server. The meter counts
+// real socket bytes.
+func Dial(addr string, profile wire.Profile) (*Conn, error) {
+	tr, err := dialSocket(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(tr, profile), nil
+}
+
+// NewConn wraps a transport in the driver API.
+func NewConn(tr Transport, profile wire.Profile) *Conn {
+	return &Conn{tr: tr, profile: profile, FetchSize: DefaultFetchSize}
+}
+
+// Close releases the connection (and, over a socket, announces the
+// disconnect to the server).
+func (c *Conn) Close() error { return c.tr.Close() }
+
+// Session exposes the server session when it lives in-process (nil for
+// socket connections; used for statistics in benchmarks).
+func (c *Conn) Session() *engine.Session { return c.tr.Session() }
 
 // Meter returns the accumulated traffic totals.
-func (c *Conn) Meter() wire.Meter { return c.meter }
+func (c *Conn) Meter() wire.Meter { return c.tr.Meter() }
 
 // ResetMeter clears the traffic totals.
-func (c *Conn) ResetMeter() { c.meter = wire.Meter{} }
+func (c *Conn) ResetMeter() { c.tr.ResetMeter() }
 
 // NetworkTime returns the virtual network time for the accumulated traffic.
 func (c *Conn) NetworkTime() time.Duration {
-	return c.meter.NetworkTime(c.profile)
-}
-
-// chargeRequest accounts one client→server message of the given size.
-func (c *Conn) chargeRequest(bytes int) {
-	c.meter.RoundTrips++
-	c.meter.BytesToServer += int64(bytes) + wire.RequestOverhead
+	m := c.tr.Meter()
+	return m.NetworkTime(c.profile)
 }
 
 // Exec sends a script (DDL, DML, procedure definitions) to the server and
-// executes it. One round trip; the script text is the payload.
+// executes it in one round trip. The reply carries any PRINT output (see
+// Prints) and result sets; both are metered.
 func (c *Conn) Exec(src string) error {
-	stmts, err := parser.Parse(src)
+	res, err := c.tr.Exec(src)
 	if err != nil {
+		c.prints = nil
 		return err
 	}
-	c.chargeRequest(len(src))
-	c.meter.BytesToClient += wire.RequestOverhead // status response
-	_, err = interp.RunScript(c.sess, stmts)
-	return err
+	c.prints = res.Prints
+	return nil
 }
+
+// ExecResults is Exec returning the full reply: PRINT output plus the
+// result sets of any top-level SELECTs in the script.
+func (c *Conn) ExecResults(src string) (*wire.ExecResult, error) {
+	res, err := c.tr.Exec(src)
+	if err != nil {
+		c.prints = nil
+		return nil, err
+	}
+	c.prints = res.Prints
+	return res, nil
+}
+
+// Prints returns the PRINT output of the last successful Exec.
+func (c *Conn) Prints() []string { return c.prints }
 
 // Stmt is a prepared statement.
 type Stmt struct {
-	conn  *Conn
-	query *ast.Select
-	src   string
+	conn *Conn
+	id   uint32
 }
 
-// Prepare parses a SELECT with optional '?' placeholders. Preparation costs
-// one round trip (the statement text travels once; executions then send
-// only parameters).
+// Prepare sends a SELECT with optional '?' placeholders to the server for
+// preparation. One round trip: the statement text travels once; executions
+// then send only parameters.
 func (c *Conn) Prepare(src string) (*Stmt, error) {
-	stmts, err := parser.Parse(src)
+	id, err := c.tr.Prepare(src)
 	if err != nil {
 		return nil, err
 	}
-	if len(stmts) != 1 {
-		return nil, fmt.Errorf("client: Prepare expects a single statement")
-	}
-	qs, ok := stmts[0].(*ast.QueryStmt)
-	if !ok {
-		return nil, fmt.Errorf("client: Prepare expects a SELECT")
-	}
-	c.chargeRequest(len(src))
-	c.meter.BytesToClient += wire.RequestOverhead
-	return &Stmt{conn: c, query: qs.Query, src: src}, nil
+	return &Stmt{conn: c, id: id}, nil
 }
 
-// Query executes the statement with the given parameter values and returns
-// a result set cursor. The server runs the query to completion; the client
-// then fetches rows in FetchSize batches, one round trip per batch.
+// Query executes the statement with the given parameter values and opens a
+// server-side cursor over the result. The server runs the query to
+// completion; the client then fetches rows in FetchSize batches, one round
+// trip per batch.
 func (s *Stmt) Query(args ...sqltypes.Value) (*Rows, error) {
-	c := s.conn
-	ctx := c.sess.Ctx(nil, nil)
-	ctx.Params = args
-	c.chargeRequest(int(wire.RowsSize([][]sqltypes.Value{args})))
-	cols, rows, err := c.sess.Query(s.query, ctx)
+	cursorID, cols, err := s.conn.tr.Query(s.id, args)
 	if err != nil {
 		return nil, err
 	}
-	return &Rows{conn: c, cols: cols, rows: rows, pos: -1, unfetched: len(rows)}, nil
+	return &Rows{conn: s.conn, cols: cols, cursor: cursorID, pos: -1}, nil
 }
 
 // QueryRow runs the statement and decodes the single result row (nil when
@@ -123,50 +140,60 @@ func (s *Stmt) QueryRow(args ...sqltypes.Value) ([]sqltypes.Value, error) {
 	}
 	defer rs.Close()
 	if !rs.Next() {
-		return nil, nil
+		return nil, rs.Err()
 	}
 	return rs.Row(), nil
 }
 
-// Rows is a client-side result cursor (the ResultSet of Figure 2).
+// Rows is a client-side result cursor (the ResultSet of Figure 2) backed by
+// a server-side cursor.
 type Rows struct {
-	conn      *Conn
-	cols      []string
-	rows      []exec.Row
-	pos       int
-	fetched   int // rows already transferred
-	unfetched int
+	conn   *Conn
+	cols   []string
+	cursor uint32
+	buf    [][]sqltypes.Value // current batch
+	pos    int                // position within buf
+	done   bool               // server cursor exhausted (and released)
+	closed bool
+	err    error
 }
 
 // Next advances to the next row, fetching the next batch over the wire when
 // the local buffer is exhausted.
 func (r *Rows) Next() bool {
-	if r.pos+1 >= len(r.rows) {
+	if r.closed || r.err != nil {
 		return false
 	}
-	r.pos++
-	if r.pos >= r.fetched {
-		// Fetch the next batch: one round trip, rows encoded on the wire.
-		batch := r.conn.FetchSize
-		if batch <= 0 {
-			batch = DefaultFetchSize
-		}
-		hi := r.fetched + batch
-		if hi > len(r.rows) {
-			hi = len(r.rows)
-		}
-		transferred := r.rows[r.fetched:hi]
-		r.conn.meter.RoundTrips++
-		r.conn.meter.BytesToServer += wire.RequestOverhead
-		r.conn.meter.BytesToClient += wire.RowsSize(transferred) + wire.RequestOverhead
-		r.conn.meter.RowsTransferred += int64(len(transferred))
-		r.fetched = hi
+	if r.pos+1 < len(r.buf) {
+		r.pos++
+		return true
+	}
+	if r.done {
+		return false
+	}
+	batch := r.conn.FetchSize
+	if batch <= 0 {
+		batch = DefaultFetchSize
+	}
+	rows, done, err := r.conn.tr.Fetch(r.cursor, batch)
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	r.buf, r.pos, r.done = rows, 0, done
+	if len(rows) == 0 {
+		r.pos = -1
+		return false
 	}
 	return true
 }
 
+// Err returns the first error hit while iterating.
+func (r *Rows) Err() error { return r.err }
+
 // Row returns the current row.
-func (r *Rows) Row() []sqltypes.Value { return r.rows[r.pos] }
+func (r *Rows) Row() []sqltypes.Value { return r.buf[r.pos] }
 
 // Columns returns the result column names.
 func (r *Rows) Columns() []string { return r.cols }
@@ -189,7 +216,7 @@ func (r *Rows) Value(name string) sqltypes.Value {
 	if i < 0 {
 		return sqltypes.Null
 	}
-	return r.rows[r.pos][i]
+	return r.buf[r.pos][i]
 }
 
 // Float64 returns the named column as float64 (0 for NULL).
@@ -213,9 +240,26 @@ func (r *Rows) String(name string) string {
 	return v.Display()
 }
 
-// Close releases the cursor (remaining unfetched rows are never
-// transferred — like closing a JDBC ResultSet early).
-func (r *Rows) Close() {}
+// Close releases the cursor. Closing before exhaustion sends a CloseCursor
+// message so the server frees the cursor, and the remaining unfetched rows
+// are never transferred — like closing a JDBC ResultSet early. Exhausted
+// cursors were already released by the final fetch, so Close is free.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.done {
+		return nil
+	}
+	return r.conn.tr.CloseCursor(r.cursor)
+}
 
-// ServerStats exposes the server session's I/O statistics snapshot.
-func (c *Conn) ServerStats() storage.Snapshot { return c.sess.Stats.Snapshot() }
+// ServerStats exposes the server session's I/O statistics snapshot (zero
+// over socket connections, where the session is remote).
+func (c *Conn) ServerStats() storage.Snapshot {
+	if s := c.tr.Session(); s != nil {
+		return s.Stats.Snapshot()
+	}
+	return storage.Snapshot{}
+}

@@ -1,12 +1,15 @@
 package client_test
 
 import (
+	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"aggify/internal/client"
 	"aggify/internal/engine"
 	"aggify/internal/interp"
+	"aggify/internal/server"
 	"aggify/internal/sqltypes"
 	"aggify/internal/wire"
 )
@@ -197,6 +200,150 @@ end`); err != nil {
 	}
 	if agg.Meter().RowsTransferred != 1 {
 		t.Fatalf("aggified transferred %d rows", agg.Meter().RowsTransferred)
+	}
+}
+
+// TestExecMetersReplyPayload pins the Exec reply metering: PRINT output,
+// result-set rows, and error text all count toward bytes-to-client instead
+// of a flat per-request constant.
+func TestExecMetersReplyPayload(t *testing.T) {
+	eng := newServer(t)
+	conn := client.Connect(eng, wire.LAN)
+
+	big := strings.Repeat("x", 2000)
+	conn.ResetMeter()
+	if err := conn.Exec("print '" + big + "'"); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.Meter().BytesToClient; got < 2000 {
+		t.Fatalf("PRINT reply metered at %d bytes, want >= 2000", got)
+	}
+	if p := conn.Prints(); len(p) != 1 || p[0] != big {
+		t.Fatalf("prints = %d entries", len(p))
+	}
+
+	// A script's result sets travel to the client and are metered.
+	if err := conn.Exec("create table t (s varchar(100)); insert into t values ('" + big[:90] + "');"); err != nil {
+		t.Fatal(err)
+	}
+	conn.ResetMeter()
+	if err := conn.Exec("select s from t"); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.Meter(); got.BytesToClient < 90 || got.RowsTransferred != 1 {
+		t.Fatalf("result-set reply metered at %+v", got)
+	}
+
+	// Error text is the reply payload of a failed request.
+	conn.ResetMeter()
+	err := conn.Exec("select nosuchcol from " + strings.Repeat("long_missing_table_name", 10))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := conn.Meter().BytesToClient; got < int64(len(err.Error())) {
+		t.Fatalf("error reply metered at %d bytes, text is %d", got, len(err.Error()))
+	}
+}
+
+// TestEarlyCloseNeverTransfersUnfetched asserts — on both transports —
+// that closing a result set early releases the server-side cursor and the
+// unfetched rows never cross the wire.
+func TestEarlyCloseNeverTransfersUnfetched(t *testing.T) {
+	eng := newServer(t)
+	setup := client.Connect(eng, wire.LAN)
+	if err := setup.Exec("create table nums (n int)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := setup.Exec("insert into nums values (1),(2),(3),(4),(5),(6),(7),(8),(9),(10)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := server.New(eng)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(lis)
+	defer srv.Close()
+
+	transports := map[string]func() *client.Conn{
+		"inproc": func() *client.Conn { return client.Connect(eng, wire.LAN) },
+		"socket": func() *client.Conn {
+			conn, err := client.Dial(lis.Addr().String(), wire.LAN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return conn
+		},
+	}
+	meters := map[string]wire.Meter{}
+	for name, open := range transports {
+		conn := open()
+		conn.FetchSize = 10
+		stmt, err := conn.Prepare("select n from nums")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		conn.ResetMeter()
+		rs, err := stmt.Query()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rs.Next() {
+			t.Fatalf("%s: no rows", name)
+		}
+		if err := rs.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		m := conn.Meter()
+		if m.RowsTransferred != 10 {
+			t.Fatalf("%s: transferred %d rows, want one batch of 10", name, m.RowsTransferred)
+		}
+		// query + one fetch + cursor close, nothing else.
+		if m.RoundTrips != 3 {
+			t.Fatalf("%s: round trips = %d, want 3", name, m.RoundTrips)
+		}
+		meters[name] = m
+		conn.Close()
+	}
+	if srv.OpenCursors() != 0 {
+		t.Fatalf("server still holds %d cursors", srv.OpenCursors())
+	}
+	if meters["inproc"] != meters["socket"] {
+		t.Fatalf("virtual meter %+v != socket meter %+v", meters["inproc"], meters["socket"])
+	}
+}
+
+// TestZeroRowResult covers the empty result set: one fetch round trip
+// reports done with no rows on both transports.
+func TestZeroRowResult(t *testing.T) {
+	eng := newServer(t)
+	setup := client.Connect(eng, wire.LAN)
+	if err := setup.Exec("create table empty_t (n int)"); err != nil {
+		t.Fatal(err)
+	}
+	conn := client.Connect(eng, wire.LAN)
+	stmt, err := conn.Prepare("select n from empty_t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Next() {
+		t.Fatal("Next on empty result must be false")
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := conn.Meter().RowsTransferred; got != 0 {
+		t.Fatalf("rows transferred = %d", got)
 	}
 }
 

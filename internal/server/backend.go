@@ -1,0 +1,167 @@
+// Package server is the aggifyd daemon: a concurrent TCP server exposing
+// the engine over the length-prefixed binary protocol of internal/wire.
+// Each connection gets its own engine session (temp tables, statistics,
+// PRINT buffer) plus per-connection prepared statements and server-side
+// cursors, so round trips and data movement are real rather than simulated
+// — the client/server boundary the paper's Figure 8 experiments measure.
+package server
+
+import (
+	"fmt"
+
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+	"aggify/internal/wire"
+)
+
+// Backend is the per-connection protocol state machine: one engine session,
+// the connection's prepared statements, and its open server-side cursors.
+// A Backend is driven by a single goroutine (the connection handler, or the
+// in-process transport) and is not safe for concurrent use; concurrency
+// across connections comes from each having its own Backend.
+type Backend struct {
+	sess       *engine.Session
+	stmts      map[uint32]*ast.Select
+	cursors    map[uint32]*cursor
+	nextStmt   uint32
+	nextCursor uint32
+
+	// cursorGauge, when set, is called with +1/-1 as cursors open and close
+	// (the server's open-cursor gauge).
+	cursorGauge func(delta int64)
+}
+
+// cursor is a materialized result handed out in fetch-sized batches. The
+// engine runs queries to completion (rows spool like a cursor worktable);
+// the cursor meters their transfer to the client.
+type cursor struct {
+	cols []string
+	rows [][]sqltypes.Value
+	pos  int
+}
+
+// NewBackend opens a fresh session against the engine.
+func NewBackend(eng *engine.Engine) *Backend {
+	return &Backend{
+		sess:    eng.NewSession(),
+		stmts:   map[uint32]*ast.Select{},
+		cursors: map[uint32]*cursor{},
+	}
+}
+
+// Session exposes the backend's engine session (statistics, options).
+func (b *Backend) Session() *engine.Session { return b.sess }
+
+// OpenCursors returns the number of cursors currently held.
+func (b *Backend) OpenCursors() int { return len(b.cursors) }
+
+// Exec parses and runs a script batch, returning PRINT output and any
+// top-level result sets.
+func (b *Backend) Exec(src string) (*wire.ExecResult, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sets, err := interp.RunScript(b.sess, stmts)
+	res := &wire.ExecResult{Prints: b.sess.Prints()}
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sets {
+		res.Sets = append(res.Sets, wire.ResultSet{Columns: s.Columns, Rows: s.Rows})
+	}
+	return res, nil
+}
+
+// Prepare parses a single SELECT (with '?' placeholders) and returns its
+// statement id.
+func (b *Backend) Prepare(src string) (uint32, error) {
+	stmts, err := parser.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(stmts) != 1 {
+		return 0, fmt.Errorf("server: Prepare expects a single statement")
+	}
+	qs, ok := stmts[0].(*ast.QueryStmt)
+	if !ok {
+		return 0, fmt.Errorf("server: Prepare expects a SELECT")
+	}
+	b.nextStmt++
+	b.stmts[b.nextStmt] = qs.Query
+	return b.nextStmt, nil
+}
+
+// Query executes a prepared statement and opens a server-side cursor over
+// its full result. No rows travel yet: the client pulls them with Fetch.
+func (b *Backend) Query(stmtID uint32, args []sqltypes.Value) (uint32, []string, error) {
+	q, ok := b.stmts[stmtID]
+	if !ok {
+		return 0, nil, fmt.Errorf("server: unknown statement %d", stmtID)
+	}
+	ctx := b.sess.Ctx(nil, nil)
+	ctx.Params = args
+	cols, rows, err := b.sess.Query(q, ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+	b.nextCursor++
+	b.cursors[b.nextCursor] = &cursor{cols: cols, rows: rows}
+	if b.cursorGauge != nil {
+		b.cursorGauge(1)
+	}
+	return b.nextCursor, cols, nil
+}
+
+// Fetch returns the next batch of at most maxRows rows. done reports the
+// cursor exhausted; an exhausted cursor is released immediately, so a full
+// scan never needs a CloseCursor round trip.
+func (b *Backend) Fetch(cursorID uint32, maxRows int) ([][]sqltypes.Value, bool, error) {
+	c, ok := b.cursors[cursorID]
+	if !ok {
+		return nil, false, fmt.Errorf("server: unknown cursor %d", cursorID)
+	}
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	hi := c.pos + maxRows
+	if hi > len(c.rows) {
+		hi = len(c.rows)
+	}
+	batch := c.rows[c.pos:hi]
+	c.pos = hi
+	done := c.pos >= len(c.rows)
+	if done {
+		b.releaseCursor(cursorID)
+	}
+	return batch, done, nil
+}
+
+// CloseCursor releases a cursor early; its unfetched rows are never
+// transferred. Closing an unknown (or already-exhausted) cursor is not an
+// error, mirroring lenient driver semantics.
+func (b *Backend) CloseCursor(cursorID uint32) error {
+	b.releaseCursor(cursorID)
+	return nil
+}
+
+func (b *Backend) releaseCursor(cursorID uint32) {
+	if _, ok := b.cursors[cursorID]; !ok {
+		return
+	}
+	delete(b.cursors, cursorID)
+	if b.cursorGauge != nil {
+		b.cursorGauge(-1)
+	}
+}
+
+// Close releases all cursors and statements (connection teardown).
+func (b *Backend) Close() {
+	for id := range b.cursors {
+		b.releaseCursor(id)
+	}
+	b.stmts = map[uint32]*ast.Select{}
+}

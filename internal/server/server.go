@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggify/internal/engine"
+	"aggify/internal/wire"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server is a concurrent TCP front end over one engine. Each accepted
+// connection runs in its own goroutine with its own Backend; the shared
+// engine underneath is safe for concurrent sessions.
+type Server struct {
+	eng *engine.Engine
+
+	// ErrorLog receives per-connection protocol errors; nil silences them.
+	ErrorLog *log.Logger
+
+	mu       sync.Mutex
+	lis      net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+
+	wg          sync.WaitGroup
+	openCursors atomic.Int64
+}
+
+// New creates a server for the engine.
+func New(eng *engine.Engine) *Server {
+	return &Server{eng: eng, conns: map[net.Conn]struct{}{}}
+}
+
+// OpenCursors returns the number of server-side cursors currently open
+// across all connections.
+func (s *Server) OpenCursors() int64 { return s.openCursors.Load() }
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve accepts connections on l until Shutdown or Close. It always closes
+// the listener before returning.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.lis = l
+	s.mu.Unlock()
+	defer l.Close()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			down := s.shutdown
+			s.mu.Unlock()
+			if down {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			c.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(c)
+	}
+}
+
+// Shutdown drains the server: it stops accepting, lets every connection
+// finish its in-flight request (idle connections are closed immediately),
+// and waits for handlers to exit. If ctx expires first the remaining
+// connections are forcibly closed and the ctx error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	l := s.lis
+	// Unblock reads: idle connections fail their pending Read and close;
+	// connections mid-request finish and fail on the next Read.
+	for c := range s.conns {
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close is Shutdown without grace: it force-closes everything.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(c net.Conn) {
+	b := NewBackend(s.eng)
+	b.cursorGauge = func(d int64) { s.openCursors.Add(d) }
+	defer func() {
+		b.Close()
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		typ, body, _, err := wire.ReadFrame(br)
+		if err != nil {
+			// EOF, peer reset, shutdown deadline, or a malformed frame
+			// (e.g. oversized) — the connection cannot continue either way.
+			s.logf("aggifyd: %v: %v", c.RemoteAddr(), err)
+			return
+		}
+		respT, respB := s.dispatch(b, typ, body)
+		if _, err := wire.WriteFrame(bw, respT, respB); err != nil {
+			s.logf("aggifyd: %v: write: %v", c.RemoteAddr(), err)
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			s.logf("aggifyd: %v: flush: %v", c.RemoteAddr(), err)
+			return
+		}
+		if typ == wire.MsgQuit {
+			return
+		}
+	}
+}
+
+// dispatch decodes a request, runs it against the backend, and encodes the
+// reply. Request errors become MsgError frames; the connection stays up.
+func (s *Server) dispatch(b *Backend, typ wire.MsgType, body []byte) (wire.MsgType, []byte) {
+	switch typ {
+	case wire.MsgExec:
+		res, err := b.Exec(string(body))
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		return wire.MsgResults, wire.EncodeExecResult(res)
+	case wire.MsgPrepare:
+		id, err := b.Prepare(string(body))
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		return wire.MsgStmt, wire.EncodeStmtResp(id)
+	case wire.MsgQuery:
+		stmtID, args, err := wire.DecodeQueryReq(body)
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		curID, cols, err := b.Query(stmtID, args)
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		return wire.MsgCursor, wire.EncodeCursorResp(curID, cols)
+	case wire.MsgFetch:
+		curID, maxRows, err := wire.DecodeFetchReq(body)
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		rows, done, err := b.Fetch(curID, maxRows)
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		return wire.MsgRows, wire.EncodeRowsResp(rows, done)
+	case wire.MsgCloseCursor:
+		curID, err := wire.DecodeCloseReq(body)
+		if err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		if err := b.CloseCursor(curID); err != nil {
+			return wire.MsgError, []byte(err.Error())
+		}
+		return wire.MsgOK, nil
+	case wire.MsgQuit:
+		return wire.MsgOK, nil
+	default:
+		return wire.MsgError, []byte(fmt.Sprintf("server: unknown message type 0x%02x", byte(typ)))
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.ErrorLog != nil {
+		s.ErrorLog.Printf(format, args...)
+	}
+}

@@ -1,0 +1,321 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/server"
+	"aggify/internal/sqltypes"
+	"aggify/internal/wire"
+)
+
+// startServer serves a fresh engine on loopback and returns it with a
+// dialable address. Cleanup drains the server.
+func startServer(t *testing.T) (*engine.Engine, *server.Server, string) {
+	t.Helper()
+	eng := engine.New()
+	interp.Install(eng)
+	srv := server.New(eng)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != server.ErrServerClosed {
+			t.Errorf("serve returned %v", err)
+		}
+	})
+	return eng, srv, lis.Addr().String()
+}
+
+func TestServerQueryOverTCP(t *testing.T) {
+	_, _, addr := startServer(t)
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Exec(`
+create table nums (n int, label varchar(10));
+insert into nums values (1, 'one'), (2, 'two'), (3, null);
+print 'loaded';
+`); err != nil {
+		t.Fatal(err)
+	}
+	if p := conn.Prints(); len(p) != 1 || p[0] != "loaded" {
+		t.Fatalf("prints = %v", p)
+	}
+	stmt, err := conn.Prepare("select n, label from nums where n >= ? order by n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := stmt.Query(sqltypes.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ns []int64
+	var labels []string
+	for rs.Next() {
+		ns = append(ns, rs.Int64("n"))
+		labels = append(labels, rs.String("label"))
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	if fmt.Sprint(ns) != "[2 3]" || fmt.Sprint(labels) != "[two ]" {
+		t.Fatalf("ns=%v labels=%q", ns, labels)
+	}
+	// Server-side errors come back as protocol errors, connection survives.
+	if _, err := conn.Prepare("not sql at all"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	bad, err := conn.Prepare("select * from missing_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bad.Query(); err == nil {
+		t.Fatal("expected error for missing table")
+	}
+	if _, err := stmt.Query(sqltypes.NewInt(1)); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestServerCursorReleasedOnEarlyClose(t *testing.T) {
+	_, srv, addr := startServer(t)
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Exec("create table t (n int)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := conn.Exec("insert into t values (1),(2),(3),(4),(5)"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.FetchSize = 10
+	stmt, err := conn.Prepare("select n from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.ResetMeter()
+	rs, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Next()
+	if got := srv.OpenCursors(); got != 1 {
+		t.Fatalf("open cursors = %d, want 1", got)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.OpenCursors(); got != 0 {
+		t.Fatalf("open cursors after close = %d, want 0", got)
+	}
+	// Only the first batch crossed the socket; the other 90 rows never did.
+	if got := conn.Meter().RowsTransferred; got != 10 {
+		t.Fatalf("rows transferred = %d, want 10", got)
+	}
+	// Exhausting a cursor releases it without an explicit close.
+	rs2, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rs2.Next() {
+		n++
+	}
+	if n != 100 {
+		t.Fatalf("rows = %d", n)
+	}
+	if got := srv.OpenCursors(); got != 0 {
+		t.Fatalf("open cursors after exhaustion = %d, want 0", got)
+	}
+	if err := rs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualMeterMatchesSocketBytes runs the same workload over the
+// in-process virtual meter and a live socket and requires identical byte
+// and round-trip counts — the virtual §10.6 series priced against reality.
+func TestVirtualMeterMatchesSocketBytes(t *testing.T) {
+	eng, _, addr := startServer(t)
+	setup := client.Connect(eng, wire.LAN)
+	if err := setup.Exec(`
+create table inv (id int, roi float);
+insert into inv values (7, 0.10), (7, 0.05), (7, -0.02), (8, 0.01);
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	workload := func(conn *client.Conn) wire.Meter {
+		t.Helper()
+		conn.ResetMeter()
+		if err := conn.Exec("print 'hello'; select id from inv where id = 8;"); err != nil {
+			t.Fatal(err)
+		}
+		stmt, err := conn.Prepare("select roi from inv where id = ?")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := stmt.Query(sqltypes.NewInt(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rs.Next() {
+		}
+		rs.Close()
+		// An error reply is metered too.
+		conn.Exec("select broken from nowhere")
+		return conn.Meter()
+	}
+
+	virtual := workload(client.Connect(eng, wire.LAN))
+	sock, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sock.Close()
+	real := workload(sock)
+	if virtual != real {
+		t.Fatalf("virtual meter %+v != socket meter %+v", virtual, real)
+	}
+	if virtual.RowsTransferred != 4 { // 1 exec result row + 3 fetched
+		t.Fatalf("rows transferred = %d", virtual.RowsTransferred)
+	}
+}
+
+// TestConcurrentClients exercises the engine under many simultaneous
+// connections (run with -race).
+func TestConcurrentClients(t *testing.T) {
+	eng, _, addr := startServer(t)
+	setup := client.Connect(eng, wire.LAN)
+	if err := setup.Exec(`
+create table shared (k int, v int);
+insert into shared values (1, 10), (2, 20), (3, 30);
+create aggregate sumsq(@x int) returns int as
+begin
+  fields (@acc int);
+  init begin set @acc = 0; end
+  accumulate begin set @acc = @acc + @x * @x; end
+  terminate begin return @acc; end
+end
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := client.Dial(addr, wire.LAN)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			// Session-private temp table: no cross-connection interference.
+			if err := conn.Exec(fmt.Sprintf(`
+create table #mine (n int);
+insert into #mine values (%d);
+`, w)); err != nil {
+				errs <- err
+				return
+			}
+			stmt, err := conn.Prepare("select sumsq(v) from shared where k <= ?")
+			if err != nil {
+				errs <- err
+				return
+			}
+			mine, err := conn.Prepare("select n from #mine")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < 25; i++ {
+				row, err := stmt.QueryRow(sqltypes.NewInt(3))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got, _ := row[0].AsInt(); got != 1400 {
+					errs <- fmt.Errorf("worker %d: sumsq = %d", w, got)
+					return
+				}
+				row, err = mine.QueryRow()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got, _ := row[0].AsInt(); got != int64(w) {
+					errs <- fmt.Errorf("worker %d read %d from its temp table", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestGracefulShutdownDrains(t *testing.T) {
+	eng := engine.New()
+	interp.Install(eng)
+	srv := server.New(eng)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	conn, err := client.Dial(lis.Addr().String(), wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Exec("create table t (n int); insert into t values (1);"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != server.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	// The drained connection is closed: further requests fail rather than
+	// hang.
+	if err := conn.Exec("select n from t"); err == nil {
+		t.Fatal("request after shutdown must fail")
+	}
+	// New connections are refused.
+	if _, err := client.Dial(lis.Addr().String(), wire.LAN); err == nil {
+		t.Fatal("dial after shutdown must fail")
+	}
+}

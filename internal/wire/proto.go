@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// Message-body codecs for the aggifyd protocol. Rows and parameter vectors
+// reuse the storage row codec (the same encoding worktables spool), so a
+// row costs the same bytes on the socket as in the engine's §10.6
+// data-movement accounting.
+
+// ResultSet is one SELECT's output inside an ExecResult.
+type ResultSet struct {
+	Columns []string
+	Rows    [][]sqltypes.Value
+}
+
+// ExecResult is the reply to MsgExec: collected PRINT output plus the
+// result sets of any top-level SELECTs in the script.
+type ExecResult struct {
+	Prints []string
+	Sets   []ResultSet
+}
+
+// RowCount returns the total rows across all result sets.
+func (r *ExecResult) RowCount() int64 {
+	var n int64
+	for _, s := range r.Sets {
+		n += int64(len(s.Rows))
+	}
+	return n
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 || uint64(len(buf)-w) < n {
+		return "", nil, fmt.Errorf("wire: truncated string")
+	}
+	return string(buf[w : w+int(n)]), buf[w+int(n):], nil
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ss)))
+	for _, s := range ss {
+		buf = appendString(buf, s)
+	}
+	return buf
+}
+
+func readStrings(buf []byte) ([]string, []byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("wire: truncated string list")
+	}
+	buf = buf[w:]
+	out := make([]string, n)
+	var err error
+	for i := range out {
+		if out[i], buf, err = readString(buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, buf, nil
+}
+
+func appendRows(buf []byte, rows [][]sqltypes.Value) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = storage.AppendRow(buf, r)
+	}
+	return buf
+}
+
+func readRows(buf []byte) ([][]sqltypes.Value, []byte, error) {
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("wire: truncated row batch")
+	}
+	buf = buf[w:]
+	rows := make([][]sqltypes.Value, n)
+	var err error
+	for i := range rows {
+		if rows[i], buf, err = storage.DecodeRow(buf); err != nil {
+			return nil, nil, err
+		}
+	}
+	return rows, buf, nil
+}
+
+// EncodeExecResult encodes the MsgResults body.
+func EncodeExecResult(r *ExecResult) []byte {
+	buf := appendStrings(nil, r.Prints)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Sets)))
+	for _, s := range r.Sets {
+		buf = appendStrings(buf, s.Columns)
+		buf = appendRows(buf, s.Rows)
+	}
+	return buf
+}
+
+// DecodeExecResult decodes the MsgResults body.
+func DecodeExecResult(body []byte) (*ExecResult, error) {
+	prints, rest, err := readStrings(body)
+	if err != nil {
+		return nil, err
+	}
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, fmt.Errorf("wire: truncated result sets")
+	}
+	rest = rest[w:]
+	res := &ExecResult{Prints: prints, Sets: make([]ResultSet, n)}
+	for i := range res.Sets {
+		if res.Sets[i].Columns, rest, err = readStrings(rest); err != nil {
+			return nil, err
+		}
+		if res.Sets[i].Rows, rest, err = readRows(rest); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// EncodeQueryReq encodes the MsgQuery body: statement id + parameter row.
+func EncodeQueryReq(stmtID uint32, args []sqltypes.Value) []byte {
+	buf := binary.AppendUvarint(nil, uint64(stmtID))
+	return storage.AppendRow(buf, args)
+}
+
+// DecodeQueryReq decodes the MsgQuery body.
+func DecodeQueryReq(body []byte) (uint32, []sqltypes.Value, error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("wire: truncated query request")
+	}
+	args, _, err := storage.DecodeRow(body[w:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return uint32(id), args, nil
+}
+
+// EncodeStmtResp encodes the MsgStmt body.
+func EncodeStmtResp(stmtID uint32) []byte {
+	return binary.AppendUvarint(nil, uint64(stmtID))
+}
+
+// DecodeStmtResp decodes the MsgStmt body.
+func DecodeStmtResp(body []byte) (uint32, error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, fmt.Errorf("wire: truncated statement id")
+	}
+	return uint32(id), nil
+}
+
+// EncodeCursorResp encodes the MsgCursor body: cursor id + column names.
+func EncodeCursorResp(cursorID uint32, cols []string) []byte {
+	buf := binary.AppendUvarint(nil, uint64(cursorID))
+	return appendStrings(buf, cols)
+}
+
+// DecodeCursorResp decodes the MsgCursor body.
+func DecodeCursorResp(body []byte) (uint32, []string, error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, nil, fmt.Errorf("wire: truncated cursor id")
+	}
+	cols, _, err := readStrings(body[w:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return uint32(id), cols, nil
+}
+
+// EncodeFetchReq encodes the MsgFetch body: cursor id + max rows.
+func EncodeFetchReq(cursorID uint32, maxRows int) []byte {
+	buf := binary.AppendUvarint(nil, uint64(cursorID))
+	return binary.AppendUvarint(buf, uint64(maxRows))
+}
+
+// DecodeFetchReq decodes the MsgFetch body.
+func DecodeFetchReq(body []byte) (uint32, int, error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated fetch request")
+	}
+	n, w2 := binary.Uvarint(body[w:])
+	if w2 <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated fetch count")
+	}
+	return uint32(id), int(n), nil
+}
+
+// EncodeRowsResp encodes the MsgRows body: done flag + row batch. done
+// reports that the cursor is exhausted and has been released server-side,
+// so no MsgCloseCursor is needed.
+func EncodeRowsResp(rows [][]sqltypes.Value, done bool) []byte {
+	buf := []byte{0}
+	if done {
+		buf[0] = 1
+	}
+	return appendRows(buf, rows)
+}
+
+// DecodeRowsResp decodes the MsgRows body.
+func DecodeRowsResp(body []byte) ([][]sqltypes.Value, bool, error) {
+	if len(body) < 1 {
+		return nil, false, fmt.Errorf("wire: truncated rows response")
+	}
+	rows, _, err := readRows(body[1:])
+	if err != nil {
+		return nil, false, err
+	}
+	return rows, body[0] != 0, nil
+}
+
+// EncodeCloseReq encodes the MsgCloseCursor body.
+func EncodeCloseReq(cursorID uint32) []byte {
+	return binary.AppendUvarint(nil, uint64(cursorID))
+}
+
+// DecodeCloseReq decodes the MsgCloseCursor body.
+func DecodeCloseReq(body []byte) (uint32, error) {
+	id, w := binary.Uvarint(body)
+	if w <= 0 {
+		return 0, fmt.Errorf("wire: truncated close request")
+	}
+	return uint32(id), nil
+}

@@ -1,8 +1,11 @@
-// Package wire models the client/server boundary of the paper's Java/JDBC
-// experiments: rows cross it in the engine's binary codec, and a virtual
-// network clock converts measured bytes and round trips into deterministic
-// network time (RTT per round trip plus bytes over bandwidth). The §10.6
-// data-movement series are exact byte counts from this meter.
+// Package wire is the client/server boundary of the paper's Java/JDBC
+// experiments: the aggifyd binary protocol (length-prefixed frames carrying
+// the message types in frame.go, rows in the engine's binary codec) plus
+// the traffic meter. The same frames travel over real TCP sockets
+// (internal/server) and price the in-process virtual network, so the §10.6
+// data-movement series are exact byte counts either way; a virtual clock
+// converts them into deterministic network time (RTT per round trip plus
+// bytes over bandwidth).
 package wire
 
 import (
@@ -60,8 +63,3 @@ func RowsSize(rows [][]sqltypes.Value) int64 {
 	}
 	return n
 }
-
-// RequestOverhead is the fixed per-request framing cost in bytes (message
-// header, statement id, status) — a small constant comparable to TDS/packet
-// framing.
-const RequestOverhead = 32
