@@ -121,15 +121,26 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	if len(stmts) != 1 {
 		return nil, fmt.Errorf("aggify: Query expects a single statement")
 	}
-	qs, ok := stmts[0].(*ast.QueryStmt)
-	if !ok {
+	switch st := stmts[0].(type) {
+	case *ast.QueryStmt:
+		cols, rows, err := db.sess.Query(st.Query, db.sess.Ctx(nil, nil))
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{Columns: cols, Data: rows}, nil
+	case *ast.ExplainStmt:
+		lines, err := db.sess.ExplainQuery(st.Query, st.Analyze, db.sess.Ctx(nil, nil))
+		if err != nil {
+			return nil, err
+		}
+		data := make([][]Value, len(lines))
+		for i, l := range lines {
+			data[i] = []Value{sqltypes.NewString(l)}
+		}
+		return &Rows{Columns: []string{"plan"}, Data: data}, nil
+	default:
 		return nil, fmt.Errorf("aggify: Query expects a SELECT (use Exec for scripts)")
 	}
-	cols, rows, err := db.sess.Query(qs.Query, db.sess.Ctx(nil, nil))
-	if err != nil {
-		return nil, err
-	}
-	return &Rows{Columns: cols, Data: rows}, nil
 }
 
 // QueryScalar runs a SELECT expected to produce one value.

@@ -8,7 +8,7 @@
 //
 // Usage:
 //
-//	aggifyd [-addr host:port] [-tpch SF] [script.sql ...]
+//	aggifyd [-addr host:port] [-tpch SF] [-slow-query D] [script.sql ...]
 //
 // Any script files are executed against the engine before the server
 // starts accepting (schema, data, UDFs, aggregates). -tpch loads the TPC-H
@@ -35,6 +35,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
 	tpchSF := flag.Float64("tpch", 0, "load TPC-H tables at this scale factor (0 = off)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	slow := flag.Duration("slow-query", 0, "log requests at least this slow into the server metrics (0 = off)")
 	flag.Parse()
 
 	db := aggify.Open()
@@ -57,6 +58,7 @@ func main() {
 
 	srv := db.NewServer()
 	srv.ErrorLog = log.New(os.Stderr, "", log.LstdFlags)
+	srv.SlowThreshold = *slow
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("aggifyd: %v", err)

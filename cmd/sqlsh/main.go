@@ -11,8 +11,11 @@
 // Meta commands (interactive mode):
 //
 //	\q            quit
-//	\explain SQL  print the physical plan for a query (embedded only)
-//	\stats        print I/O statistics (embedded) or wire traffic (remote)
+//	\explain SQL  print the physical plan for a query (shorthand for the
+//	              EXPLAIN statement, which also works inside batches;
+//	              EXPLAIN ANALYZE executes and annotates with runtime stats)
+//	\stats        print I/O statistics (embedded) or wire traffic plus
+//	              server query metrics (remote)
 //	\aggify NAME  transform the named function/procedure in place (embedded only)
 package main
 
@@ -129,16 +132,12 @@ func (sh *shell) runBatch(src string) error {
 	return sh.db.Exec(src)
 }
 
+// explain routes \explain through the dialect's EXPLAIN statement, so it
+// works identically embedded and over -connect (and accepts a leading
+// "analyze" for EXPLAIN ANALYZE).
 func (sh *shell) explain(sql string) {
-	if sh.conn != nil {
-		fmt.Fprintln(os.Stderr, "\\explain is not supported over -connect")
-		return
-	}
-	plan, err := sh.db.Explain(sql)
-	if err != nil {
+	if err := sh.runBatch("EXPLAIN " + sql); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-	} else {
-		fmt.Print(plan)
 	}
 }
 
@@ -147,6 +146,18 @@ func (sh *shell) stats() {
 		m := sh.conn.Meter()
 		fmt.Printf("bytes to server=%d bytes to client=%d round trips=%d rows transferred=%d\n",
 			m.BytesToServer, m.BytesToClient, m.RoundTrips, m.RowsTransferred)
+		st, err := sh.conn.ServerMetrics()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		fmt.Printf("server: conns=%d requests=%d execs=%d queries=%d fetches=%d cursors opened=%d open=%d\n",
+			st.Connections, st.Requests, st.Execs, st.Queries, st.Fetches, st.CursorsOpened, st.OpenCursors)
+		fmt.Printf("server: bytes in=%d out=%d latency p50=%dµs p99=%dµs slow=%d\n",
+			st.BytesIn, st.BytesOut, st.P50Micros, st.P99Micros, st.SlowCount)
+		for _, sq := range st.Slow {
+			fmt.Printf("server: slow %dµs %s\n", sq.Micros, sq.Summary)
+		}
 		return
 	}
 	s := sh.db.Session().Stats.Snapshot()

@@ -1,0 +1,85 @@
+package aggify_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with the current output")
+
+// timeRe matches the wall-clock annotations in EXPLAIN ANALYZE output; they
+// are the only non-deterministic part of the tree and get normalized before
+// the golden comparison.
+var timeRe = regexp.MustCompile(`time=[^ )]+`)
+
+func runExplain(t *testing.T, sql string) string {
+	t.Helper()
+	db := newDemoDB(t)
+	rows, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	var b strings.Builder
+	for _, r := range rows.Data {
+		if len(r) != 1 {
+			t.Fatalf("explain row width %d", len(r))
+		}
+		b.WriteString(r[0].Str())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestExplainAnalyzeGolden locks down the EXPLAIN and EXPLAIN ANALYZE output
+// shape against a golden file (counters included; wall-clock times
+// normalized). Regenerate with: go test -run TestExplainAnalyzeGolden -update .
+func TestExplainAnalyzeGolden(t *testing.T) {
+	const query = `select s_name, count(*) as n
+from supplier, partsupp
+where ps_suppkey = s_suppkey and s_suppkey >= 10
+group by s_name
+order by s_name`
+
+	var b strings.Builder
+	b.WriteString("-- EXPLAIN\n")
+	b.WriteString(runExplain(t, "EXPLAIN "+query))
+	b.WriteString("\n-- EXPLAIN ANALYZE\n")
+	b.WriteString(timeRe.ReplaceAllString(runExplain(t, "EXPLAIN ANALYZE "+query), "time=X"))
+	got := b.String()
+
+	golden := filepath.Join("testdata", "explain_analyze.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("EXPLAIN output drifted from %s.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+// TestExplainAnalyzeCountersNonZero asserts the analyze tree actually carries
+// runtime counters (not just the static shape).
+func TestExplainAnalyzeCountersNonZero(t *testing.T) {
+	out := runExplain(t, "EXPLAIN ANALYZE select ps_partkey, minCostSupp(ps_partkey) from partsupp order by ps_partkey")
+	if !strings.Contains(out, "rows=") || !strings.Contains(out, "reads=") {
+		t.Fatalf("missing runtime counters:\n%s", out)
+	}
+	if !strings.Contains(out, "-- stats:") {
+		t.Fatalf("missing session stats footer:\n%s", out)
+	}
+	if strings.Contains(out, "reads=0\n-- stats") {
+		t.Fatalf("root operator accrued no reads:\n%s", out)
+	}
+}

@@ -144,6 +144,8 @@ func CloneStmt(s Stmt) Stmt {
 		return &FetchStmt{Cursor: st.Cursor, Into: append([]string(nil), st.Into...)}
 	case *QueryStmt:
 		return &QueryStmt{Query: CloneSelect(st.Query)}
+	case *ExplainStmt:
+		return &ExplainStmt{Analyze: st.Analyze, Query: CloneSelect(st.Query)}
 	case *InsertStmt:
 		c := &InsertStmt{Table: st.Table, Columns: append([]string(nil), st.Columns...), Query: CloneSelect(st.Query)}
 		for _, row := range st.Rows {

@@ -290,6 +290,12 @@ func (p *printer) stmt(s Stmt) {
 		p.line("FETCH NEXT FROM %s INTO %s;", st.Cursor, strings.Join(st.Into, ", "))
 	case *QueryStmt:
 		p.line("%s;", st.Query)
+	case *ExplainStmt:
+		kw := "EXPLAIN"
+		if st.Analyze {
+			kw = "EXPLAIN ANALYZE"
+		}
+		p.line("%s %s;", kw, st.Query)
 	case *InsertStmt:
 		cols := ""
 		if len(st.Columns) > 0 {

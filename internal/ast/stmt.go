@@ -105,6 +105,14 @@ type QueryStmt struct {
 	Query *Select
 }
 
+// ExplainStmt is EXPLAIN [ANALYZE] <select>: it compiles the query and
+// returns its physical plan; with ANALYZE it also executes the query and
+// annotates each operator with runtime statistics.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *Select
+}
+
 // InsertStmt is INSERT INTO t [(cols)] VALUES (...),... or INSERT ... SELECT.
 type InsertStmt struct {
 	Table   string // includes '@' for table variables
@@ -218,6 +226,7 @@ func (*CloseCursor) stmtNode()      {}
 func (*DeallocateCursor) stmtNode() {}
 func (*FetchStmt) stmtNode()        {}
 func (*QueryStmt) stmtNode()        {}
+func (*ExplainStmt) stmtNode()      {}
 func (*InsertStmt) stmtNode()       {}
 func (*UpdateStmt) stmtNode()       {}
 func (*DeleteStmt) stmtNode()       {}

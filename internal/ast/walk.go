@@ -143,6 +143,8 @@ func StmtExprs(s Stmt, fn func(Expr) bool) {
 		WalkSelectExprs(st.Query, fn)
 	case *QueryStmt:
 		WalkSelectExprs(st.Query, fn)
+	case *ExplainStmt:
+		WalkSelectExprs(st.Query, fn)
 	case *InsertStmt:
 		for _, row := range st.Rows {
 			for _, e := range row {

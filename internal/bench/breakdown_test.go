@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/tpch"
+)
+
+// TestInstrumentedReadsMatchSessionDelta is the EXPLAIN ANALYZE acceptance
+// invariant on real workload queries: summing the per-operator exclusive
+// stats deltas reproduces the session's storage-stats delta for the run,
+// under every execution mode.
+func TestInstrumentedReadsMatchSessionDelta(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tpch.Queries() {
+		for _, mode := range []Mode{Original, Aggify, AggifyPlus} {
+			r, err := env.RunDriverInstrumented(q.Driver(10), mode, nil)
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.ID, mode, err)
+			}
+			if r.Stats.LogicalReads == 0 {
+				t.Errorf("%s %s: no logical reads measured", q.ID, mode)
+			}
+			if r.OperatorReads != r.Stats {
+				t.Errorf("%s %s: per-operator exclusive sum %+v != session delta %+v",
+					q.ID, mode, r.OperatorReads, r.Stats)
+			}
+			if len(r.PlanLines) == 0 || !strings.Contains(r.PlanLines[0], "rows=") {
+				t.Errorf("%s %s: plan lines missing runtime counters: %q", q.ID, mode, r.PlanLines)
+			}
+		}
+	}
+}
+
+// TestInstrumentedMatchesUninstrumented guards against the instrumentation
+// wrapper changing results: same rows and checksum as the plain run.
+func TestInstrumentedMatchesUninstrumented(t *testing.T) {
+	env, err := LoadTPCH(testSF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := tpch.QueryByID("Q2")
+	plain, err := env.RunDriver(q.Driver(20), Aggify, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instr, err := env.RunDriverInstrumented(q.Driver(20), Aggify, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rows != instr.Rows || plain.Checksum != instr.Checksum {
+		t.Fatalf("instrumented run differs: rows %d/%d checksum %x/%x",
+			plain.Rows, instr.Rows, plain.Checksum, instr.Checksum)
+	}
+}
+
+// TestBreakdownRenders smoke-tests the per-operator comparison table.
+func TestBreakdownRenders(t *testing.T) {
+	q, _ := tpch.QueryByID("Q14")
+	cfg := DefaultConfig()
+	cfg.SF = testSF
+	tbl, err := Breakdown(cfg, q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Original", "Aggify+", "rows=", "reads="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("breakdown output missing %q:\n%s", want, out)
+		}
+	}
+}

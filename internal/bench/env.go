@@ -172,21 +172,9 @@ func (env *Env) RunDriver(driverSQL string, mode Mode, timeout time.Duration) (*
 // RunDriverSession is RunDriver with a hook to configure the measurement
 // session (planner options, worktable mode) before execution.
 func (env *Env) RunDriverSession(driverSQL string, mode Mode, timeout time.Duration, configure func(*engine.Session)) (*Result, error) {
-	driver := parser.MustParse(driverSQL)[0].(*ast.QueryStmt).Query
-	switch mode {
-	case Original:
-		// as parsed
-	case Aggify:
-		renameFuncCallsInSelect(driver, env.renamable())
-	case AggifyPlus:
-		inlined, _, err := froid.InlineInSelect(driver, func(name string) (*ast.CreateFunction, bool) {
-			def, ok := env.AggifiedFuncs[name]
-			return def, ok
-		})
-		if err != nil {
-			return nil, err
-		}
-		driver = inlined
+	driver, err := env.rewriteDriver(driverSQL, mode)
+	if err != nil {
+		return nil, err
 	}
 	sess := env.Eng.NewSession()
 	if configure != nil {
@@ -218,6 +206,82 @@ func (env *Env) RunDriverSession(driverSQL string, mode Mode, timeout time.Durat
 	}
 	res.Rows = len(rows)
 	res.Checksum = checksumRows(rows)
+	return res, nil
+}
+
+// rewriteDriver parses a driver query and applies the mode's UDF rewrite
+// (rename to the aggified variants, or Froid-inline them for Aggify+).
+func (env *Env) rewriteDriver(driverSQL string, mode Mode) (*ast.Select, error) {
+	driver := parser.MustParse(driverSQL)[0].(*ast.QueryStmt).Query
+	switch mode {
+	case Original:
+		// as parsed
+	case Aggify:
+		renameFuncCallsInSelect(driver, env.renamable())
+	case AggifyPlus:
+		inlined, _, err := froid.InlineInSelect(driver, func(name string) (*ast.CreateFunction, bool) {
+			def, ok := env.AggifiedFuncs[name]
+			return def, ok
+		})
+		if err != nil {
+			return nil, err
+		}
+		driver = inlined
+	}
+	return driver, nil
+}
+
+// InstrumentedResult is a measured execution carrying the per-operator
+// runtime breakdown alongside the headline numbers.
+type InstrumentedResult struct {
+	Result
+	// PlanLines is the EXPLAIN ANALYZE tree: one line per operator with its
+	// runtime counters, as rendered by plan.Instrumentation.
+	PlanLines []string
+	// OperatorReads sums the per-operator exclusive read deltas; by
+	// construction it equals Result.Stats (tests assert the invariant).
+	OperatorReads storage.Snapshot
+}
+
+// RunDriverInstrumented executes a driver query under a mode with an
+// instrumented operator tree, returning both the usual measurement and the
+// per-operator breakdown.
+func (env *Env) RunDriverInstrumented(driverSQL string, mode Mode, configure func(*engine.Session)) (*InstrumentedResult, error) {
+	driver, err := env.rewriteDriver(driverSQL, mode)
+	if err != nil {
+		return nil, err
+	}
+	sess := env.Eng.NewSession()
+	if configure != nil {
+		configure(sess)
+	}
+	if env.SessionInit != "" {
+		if _, err := interp.RunScript(sess, parser.MustParse(env.SessionInit)); err != nil {
+			return nil, err
+		}
+	}
+	p, err := sess.PlanQuery(driver, nil)
+	if err != nil {
+		return nil, err
+	}
+	before := sess.Stats.Snapshot()
+	start := time.Now()
+	rows, ins, err := p.RunInstrumented(sess.Ctx(nil, nil))
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res := &InstrumentedResult{
+		Result: Result{
+			Mode:     mode,
+			Rows:     len(rows),
+			Elapsed:  elapsed,
+			Stats:    sess.Stats.Snapshot().Sub(before),
+			Checksum: checksumRows(rows),
+		},
+		PlanLines:     strings.Split(strings.TrimRight(ins.Render(), "\n"), "\n"),
+		OperatorReads: ins.TotalExclusive(),
+	}
 	return res, nil
 }
 

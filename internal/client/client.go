@@ -263,3 +263,11 @@ func (c *Conn) ServerStats() storage.Snapshot {
 	}
 	return storage.Snapshot{}
 }
+
+// ServerMetrics fetches the server's query-metrics snapshot (request
+// counters, traffic totals, latency percentiles, slow-query log) in one
+// round trip. Socket connections only: the in-process transport has no
+// server registry and returns an error.
+func (c *Conn) ServerMetrics() (*wire.ServerStats, error) {
+	return c.tr.ServerStats()
+}

@@ -117,6 +117,14 @@ func (t *socket) CloseCursor(cursorID uint32) error {
 	return err
 }
 
+func (t *socket) ServerStats() (*wire.ServerStats, error) {
+	body, err := t.expect(wire.MsgStats, nil, wire.MsgServerStats)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeServerStats(body)
+}
+
 // Close announces the disconnect (best effort) and closes the socket.
 func (t *socket) Close() error {
 	t.roundTrip(wire.MsgQuit, nil)

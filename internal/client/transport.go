@@ -1,6 +1,8 @@
 package client
 
 import (
+	"fmt"
+
 	"aggify/internal/engine"
 	"aggify/internal/server"
 	"aggify/internal/sqltypes"
@@ -26,6 +28,10 @@ type Transport interface {
 	Fetch(cursorID uint32, maxRows int) (rows [][]sqltypes.Value, done bool, err error)
 	// CloseCursor releases a cursor early.
 	CloseCursor(cursorID uint32) error
+	// ServerStats fetches the server's query-metrics snapshot. Only the
+	// socket transport supports it: the in-process transport has a backend
+	// but no server, so there is no registry to report.
+	ServerStats() (*wire.ServerStats, error)
 	// Close tears the connection down.
 	Close() error
 	// Meter returns the accumulated traffic totals.
@@ -107,6 +113,10 @@ func (t *inproc) CloseCursor(cursorID uint32) error {
 	err := t.b.CloseCursor(cursorID)
 	t.charge(len(wire.EncodeCloseReq(cursorID)), 0, err)
 	return err
+}
+
+func (t *inproc) ServerStats() (*wire.ServerStats, error) {
+	return nil, fmt.Errorf("client: server stats require a socket connection (in-process transport has no server)")
 }
 
 func (t *inproc) Close() error {

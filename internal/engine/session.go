@@ -128,6 +128,43 @@ func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, err
 	return p.Columns, rows, nil
 }
 
+// ExplainQuery compiles a query and returns its plan rendered as lines.
+// Without analyze it returns the static plan tree; with analyze it executes
+// the query (discarding rows) and returns the tree annotated with per-
+// operator runtime counters, followed by a session-level stats-delta footer.
+func (s *Session) ExplainQuery(q *ast.Select, analyze bool, ctx *exec.Ctx) ([]string, error) {
+	var temp func(string) (*storage.Table, bool)
+	if ctx != nil {
+		temp = ctx.Temp
+	} else {
+		ctx = s.Ctx(nil, nil)
+	}
+	p, err := s.PlanQuery(q, temp)
+	if err != nil {
+		return nil, err
+	}
+	if !analyze {
+		return splitPlanLines(p.Explain.String()), nil
+	}
+	before := s.Stats.Snapshot()
+	rows, ins, err := p.RunInstrumented(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.Stats.RowsEmitted.Add(int64(len(rows)))
+	delta := s.Stats.Snapshot().Sub(before)
+	lines := splitPlanLines(ins.Render())
+	lines = append(lines, fmt.Sprintf("-- stats: rows=%d reads=%d worktable w=%d r=%d seeks=%d",
+		len(rows), delta.LogicalReads, delta.WorktableWrites, delta.WorktableReads, delta.IndexSeeks))
+	return lines, nil
+}
+
+// splitPlanLines splits a rendered plan into lines, dropping the trailing
+// newline's empty element.
+func splitPlanLines(s string) []string {
+	return strings.Split(strings.TrimRight(s, "\n"), "\n")
+}
+
 // QueryScalar runs a query expected to produce a single value (first column
 // of the first row; NULL when the result is empty).
 func (s *Session) QueryScalar(q *ast.Select, ctx *exec.Ctx) (sqltypes.Value, error) {

@@ -109,7 +109,11 @@ func (a *sumAgg) Step(_ *Ctx, args []sqltypes.Value) error {
 	}
 	switch v.Kind() {
 	case sqltypes.KindInt:
-		a.i += v.Int()
+		s, err := sqltypes.AddInt64(a.i, v.Int())
+		if err != nil && !a.isFloat {
+			return err
+		}
+		a.i = s
 		a.f += float64(v.Int())
 	case sqltypes.KindFloat:
 		a.isFloat = true
@@ -138,7 +142,11 @@ func (a *sumAgg) Merge(other Aggregator) error {
 	}
 	a.seen = a.seen || o.seen
 	a.isFloat = a.isFloat || o.isFloat
-	a.i += o.i
+	s, err := sqltypes.AddInt64(a.i, o.i)
+	if err != nil && !a.isFloat {
+		return err
+	}
+	a.i = s
 	a.f += o.f
 	return nil
 }

@@ -52,6 +52,9 @@ type HashAggOp struct {
 	pos    int
 }
 
+// BufferedRows reports the number of materialized groups.
+func (o *HashAggOp) BufferedRows() int { return len(o.groups) }
+
 // Open implements Operator: it consumes the child entirely.
 func (o *HashAggOp) Open(ctx *Ctx) error {
 	o.groups = nil
@@ -291,6 +294,9 @@ type ParallelAggOp struct {
 	pos    int
 }
 
+// BufferedRows reports the number of materialized groups.
+func (o *ParallelAggOp) BufferedRows() int { return len(o.groups) }
+
 type pagGroup struct {
 	keys []sqltypes.Value
 	aggs []Aggregator
@@ -458,6 +464,9 @@ type RecursiveCTEOp struct {
 	out []Row
 	pos int
 }
+
+// BufferedRows reports the rows spooled into the CTE worktable.
+func (o *RecursiveCTEOp) BufferedRows() int { return len(o.out) }
 
 // Open implements Operator.
 func (o *RecursiveCTEOp) Open(ctx *Ctx) error {

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"time"
+
+	"aggify/internal/storage"
+)
+
+// OpStats accumulates runtime counters for one instrumented operator. All
+// measurements are inclusive of the operator's subtree: the renderer
+// subtracts child stats to attribute exclusive costs.
+type OpStats struct {
+	// Loops counts Open calls (an operator on the inner side of a
+	// nested-loop join re-opens once per outer row).
+	Loops int64
+	// NextCalls counts Next invocations, including the final EOF call.
+	NextCalls int64
+	// Rows counts rows emitted.
+	Rows int64
+	// Time is wall time spent inside Open+Next+Close of the subtree.
+	Time time.Duration
+	// Reads is the storage counter delta accrued while inside the subtree.
+	Reads storage.Snapshot
+	// PeakBuffered is the largest BufferedRows observation for blocking
+	// operators (sorts, hash builds, aggregation tables, CTE spools).
+	PeakBuffered int64
+}
+
+// Buffered is implemented by blocking operators that materialize rows
+// (SortOp, HashJoinOp's build side, HashAggOp, ParallelAggOp,
+// RecursiveCTEOp). BufferedRows must be O(1): it is probed after every
+// Open/Next call of an instrumented execution.
+type Buffered interface {
+	BufferedRows() int
+}
+
+// InstrumentedOp wraps an operator and records runtime statistics into
+// Stats. Stats lives outside the operator so that cached plans (whose
+// explain nodes are shared across executions) stay reentrant: each
+// execution carries its own OpStats map.
+type InstrumentedOp struct {
+	Child Operator
+	Stats *OpStats
+}
+
+// Open implements Operator.
+func (o *InstrumentedOp) Open(ctx *Ctx) error {
+	o.Stats.Loops++
+	start := time.Now()
+	before := snapshotOf(ctx)
+	err := o.Child.Open(ctx)
+	o.Stats.Reads = o.Stats.Reads.Add(snapshotOf(ctx).Sub(before))
+	o.Stats.Time += time.Since(start)
+	o.probe()
+	return err
+}
+
+// Next implements Operator.
+func (o *InstrumentedOp) Next(ctx *Ctx) (Row, error) {
+	o.Stats.NextCalls++
+	start := time.Now()
+	before := snapshotOf(ctx)
+	r, err := o.Child.Next(ctx)
+	o.Stats.Reads = o.Stats.Reads.Add(snapshotOf(ctx).Sub(before))
+	o.Stats.Time += time.Since(start)
+	if r != nil {
+		o.Stats.Rows++
+	}
+	o.probe()
+	return r, err
+}
+
+// Close implements Operator.
+func (o *InstrumentedOp) Close() {
+	start := time.Now()
+	o.Child.Close()
+	o.Stats.Time += time.Since(start)
+}
+
+// probe samples the child's buffer size if it is a blocking operator.
+func (o *InstrumentedOp) probe() {
+	if b, ok := o.Child.(Buffered); ok {
+		if n := int64(b.BufferedRows()); n > o.Stats.PeakBuffered {
+			o.Stats.PeakBuffered = n
+		}
+	}
+}
+
+func snapshotOf(ctx *Ctx) storage.Snapshot {
+	if ctx == nil || ctx.Stats == nil {
+		return storage.Snapshot{}
+	}
+	return ctx.Stats.Snapshot()
+}

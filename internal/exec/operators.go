@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
@@ -391,15 +392,20 @@ type HashJoinOp struct {
 	Residual   Scalar // may be nil
 	LeftOuter  bool
 
-	table   map[uint64][]Row
-	pending []Row // matches for the current left row not yet emitted
-	leftRow Row
+	table     map[uint64][]Row
+	pending   []Row // matches for the current left row not yet emitted
+	leftRow   Row
+	buildRows int // rows buffered in the hash table (for instrumentation)
 }
+
+// BufferedRows reports the build-side hash table size.
+func (o *HashJoinOp) BufferedRows() int { return o.buildRows }
 
 // Open implements Operator.
 func (o *HashJoinOp) Open(ctx *Ctx) error {
 	o.table = map[uint64][]Row{}
 	o.pending = nil
+	o.buildRows = 0
 	if err := o.Right.Open(ctx); err != nil {
 		return err
 	}
@@ -430,6 +436,7 @@ func (o *HashJoinOp) Open(ctx *Ctx) error {
 		}
 		h := sqltypes.HashRow(keybuf)
 		o.table[h] = append(o.table[h], r)
+		o.buildRows++
 	}
 	return o.Left.Open(ctx)
 }
@@ -537,6 +544,9 @@ type SortOp struct {
 	pos  int
 }
 
+// BufferedRows reports the number of rows materialized for sorting.
+func (o *SortOp) BufferedRows() int { return len(o.rows) }
+
 // Open implements Operator.
 func (o *SortOp) Open(ctx *Ctx) error {
 	o.rows = nil
@@ -589,8 +599,10 @@ func (o *SortOp) Open(ctx *Ctx) error {
 	return nil
 }
 
-// compareForSort orders values with NULLs first and incomparable pairs
-// treated as equal.
+// compareForSort orders values with NULLs first, then by kind rank, then by
+// value within a rank. Returning 0 for incomparable mixed-kind pairs would
+// make the comparator non-transitive (1 ~ 'a', 'a' ~ 2, but 1 < 2) and the
+// sort order input-dependent; ranking kinds first yields a total order.
 func compareForSort(a, b sqltypes.Value) int {
 	switch {
 	case a.IsNull() && b.IsNull():
@@ -600,11 +612,58 @@ func compareForSort(a, b sqltypes.Value) int {
 	case b.IsNull():
 		return 1
 	}
-	c, ok := sqltypes.Compare(a, b)
-	if !ok {
+	if ra, rb := sortRank(a), sortRank(b); ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if a.Kind() == sqltypes.KindTuple && b.Kind() == sqltypes.KindTuple {
+		at, bt := a.Tuple(), b.Tuple()
+		n := len(at)
+		if len(bt) < n {
+			n = len(bt)
+		}
+		for i := 0; i < n; i++ {
+			if c := compareForSort(at[i], bt[i]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(at) < len(bt):
+			return -1
+		case len(at) > len(bt):
+			return 1
+		}
 		return 0
 	}
-	return c
+	if c, ok := sqltypes.Compare(a, b); ok {
+		return c
+	}
+	// Same rank but still incomparable (e.g. a date vs a non-date string):
+	// fall back to the rendered form so the order stays total.
+	return strings.Compare(a.String(), b.String())
+}
+
+// sortRank buckets kinds for mixed-kind ORDER BY: booleans, then numerics
+// (ints and floats compare cross-kind), then dates, then strings, then
+// tuples. Dates and strings rank separately even though Compare coerces
+// date-shaped strings: a non-date string is incomparable with a date, which
+// would break transitivity if they shared a rank.
+func sortRank(v sqltypes.Value) int {
+	switch v.Kind() {
+	case sqltypes.KindBool:
+		return 1
+	case sqltypes.KindInt, sqltypes.KindFloat:
+		return 2
+	case sqltypes.KindDate:
+		return 3
+	case sqltypes.KindString:
+		return 4
+	case sqltypes.KindTuple:
+		return 5
+	}
+	return 6
 }
 
 // Next implements Operator.
@@ -620,18 +679,22 @@ func (o *SortOp) Next(*Ctx) (Row, error) {
 // Close implements Operator.
 func (o *SortOp) Close() { o.rows = nil }
 
-// TopOp emits at most N rows, N evaluated at Open.
+// TopOp emits at most N rows, N evaluated at Open. Once the limit is
+// reached the child subtree is closed immediately, so scans beneath a
+// satisfied TOP stop accruing logical reads; TOP 0 never opens the child.
 type TopOp struct {
 	Child Operator
 	N     Scalar
 
-	limit int64
-	seen  int64
+	limit     int64
+	seen      int64
+	childOpen bool
 }
 
 // Open implements Operator.
 func (o *TopOp) Open(ctx *Ctx) error {
 	o.seen = 0
+	o.childOpen = false
 	v, err := o.N(ctx, nil)
 	if err != nil {
 		return err
@@ -641,12 +704,19 @@ func (o *TopOp) Open(ctx *Ctx) error {
 		return fmt.Errorf("exec: TOP requires an integer, got %s", v.Kind())
 	}
 	o.limit = n
+	if o.limit <= 0 {
+		return nil
+	}
+	// Mark open before the call so a failed child Open is still closed
+	// (the Operator contract makes that safe).
+	o.childOpen = true
 	return o.Child.Open(ctx)
 }
 
 // Next implements Operator.
 func (o *TopOp) Next(ctx *Ctx) (Row, error) {
 	if o.seen >= o.limit {
+		o.closeChild()
 		return nil, nil
 	}
 	r, err := o.Child.Next(ctx)
@@ -654,11 +724,21 @@ func (o *TopOp) Next(ctx *Ctx) (Row, error) {
 		return nil, err
 	}
 	o.seen++
+	if o.seen >= o.limit {
+		o.closeChild()
+	}
 	return r, nil
 }
 
+func (o *TopOp) closeChild() {
+	if o.childOpen {
+		o.Child.Close()
+		o.childOpen = false
+	}
+}
+
 // Close implements Operator.
-func (o *TopOp) Close() { o.Child.Close() }
+func (o *TopOp) Close() { o.closeChild() }
 
 // DistinctOp removes duplicate rows (grouping NULLs together).
 type DistinctOp struct {

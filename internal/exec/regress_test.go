@@ -1,0 +1,368 @@
+package exec
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+)
+
+// --- SUM overflow ---
+
+func TestSumOverflow(t *testing.T) {
+	op := &HashAggOp{
+		Child: bufferOf(intRow(math.MaxInt64), intRow(1)),
+		Aggs:  []AggInstance{{Spec: builtinAgg(t, "sum"), Args: []Scalar{ColScalar(0)}}},
+	}
+	if _, err := Drain(&Ctx{}, op); !errors.Is(err, sqltypes.ErrArithmeticOverflow) {
+		t.Fatalf("SUM over MaxInt64+1: want ErrArithmeticOverflow, got %v", err)
+	}
+	// The boundary itself is fine.
+	op = &HashAggOp{
+		Child: bufferOf(intRow(math.MaxInt64-1), intRow(1)),
+		Aggs:  []AggInstance{{Spec: builtinAgg(t, "sum"), Args: []Scalar{ColScalar(0)}}},
+	}
+	rows := drain(t, op)
+	if rows[0][0].Int() != math.MaxInt64 {
+		t.Fatalf("SUM boundary = %v", rows)
+	}
+	// Once a float enters the sum, the result is float and IEEE754 absorbs
+	// the magnitude instead of erroring (T-SQL's implicit promotion).
+	op = &HashAggOp{
+		Child: bufferOf(
+			Row{sqltypes.NewFloat(1.5)},
+			intRow(math.MaxInt64),
+			intRow(math.MaxInt64),
+		),
+		Aggs: []AggInstance{{Spec: builtinAgg(t, "sum"), Args: []Scalar{ColScalar(0)}}},
+	}
+	rows = drain(t, op)
+	if rows[0][0].Kind() != sqltypes.KindFloat {
+		t.Fatalf("float-promoted SUM = %v", rows)
+	}
+}
+
+func TestSumMergeOverflow(t *testing.T) {
+	a, b := &sumAgg{}, &sumAgg{}
+	if err := a.Step(nil, []sqltypes.Value{sqltypes.NewInt(math.MaxInt64)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(nil, []sqltypes.Value{sqltypes.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); !errors.Is(err, sqltypes.ErrArithmeticOverflow) {
+		t.Fatalf("Merge overflow: want ErrArithmeticOverflow, got %v", err)
+	}
+}
+
+// --- sort comparator total order ---
+
+func TestCompareForSortTotalOrder(t *testing.T) {
+	// A set with every kind, including pairs sqltypes.Compare rejects
+	// (date vs non-date string, bool vs int): the comparator must still
+	// impose a total order over them.
+	vals := []sqltypes.Value{
+		sqltypes.Null,
+		sqltypes.NewBool(false),
+		sqltypes.NewBool(true),
+		sqltypes.NewInt(-3),
+		sqltypes.NewFloat(2.5),
+		sqltypes.NewInt(7),
+		mustDate(t, "2024-01-15"),
+		mustDate(t, "2025-06-01"),
+		sqltypes.NewString("apple"),
+		sqltypes.NewString("zebra"),
+		sqltypes.NewTuple([]sqltypes.Value{sqltypes.NewInt(1)}),
+	}
+	// Antisymmetry + transitivity over every pair/triple.
+	for _, a := range vals {
+		if compareForSort(a, a) != 0 {
+			t.Errorf("compare(%v, %v) != 0", a, a)
+		}
+		for _, b := range vals {
+			if compareForSort(a, b) != -compareForSort(b, a) {
+				t.Errorf("compare(%v, %v) not antisymmetric", a, b)
+			}
+			for _, c := range vals {
+				if compareForSort(a, b) <= 0 && compareForSort(b, c) <= 0 && compareForSort(a, c) > 0 {
+					t.Errorf("not transitive: %v <= %v <= %v but %v > %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestMixedKindSortPermutationIndependent(t *testing.T) {
+	// Pre-fix, incomparable pairs compared as equal, making the order
+	// depend on input permutation. Sort two rotations of the same multiset
+	// and require identical output.
+	base := []sqltypes.Value{
+		sqltypes.NewString("pear"),
+		mustDate(t, "2024-03-03"),
+		sqltypes.NewInt(5),
+		sqltypes.NewString("fig"),
+		sqltypes.Null,
+		sqltypes.NewBool(true),
+		mustDate(t, "2023-12-31"),
+	}
+	sortOnce := func(vals []sqltypes.Value) []Row {
+		rows := make([]Row, len(vals))
+		for i, v := range vals {
+			rows[i] = Row{v}
+		}
+		return drain(t, &SortOp{Child: &BufferScanOp{Rows: rows}, Keys: []Scalar{ColScalar(0)}, Desc: []bool{false}})
+	}
+	want := sortOnce(base)
+	for rot := 1; rot < len(base); rot++ {
+		perm := append(append([]sqltypes.Value{}, base[rot:]...), base[:rot]...)
+		got := sortOnce(perm)
+		for i := range want {
+			if want[i][0].String() != got[i][0].String() {
+				t.Fatalf("rotation %d: order diverged at %d: %v vs %v", rot, i, want[i][0], got[i][0])
+			}
+		}
+	}
+	// Kind ranking: NULL first, then bool, numerics, dates, strings.
+	order := make([]string, len(want))
+	for i, r := range want {
+		order[i] = r[0].Kind().String()
+	}
+	if !want[0][0].IsNull() {
+		t.Fatalf("NULL must sort first: %v", order)
+	}
+}
+
+func mustDate(t *testing.T, s string) sqltypes.Value {
+	t.Helper()
+	v, err := sqltypes.ParseDate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// --- TOP closes its child subtree at the limit ---
+
+// closeTracker records lifecycle calls so tests can observe when a subtree
+// is released.
+type closeTracker struct {
+	Child  Operator
+	opens  int
+	closes int
+}
+
+func (o *closeTracker) Open(ctx *Ctx) error {
+	o.opens++
+	return o.Child.Open(ctx)
+}
+func (o *closeTracker) Next(ctx *Ctx) (Row, error) { return o.Child.Next(ctx) }
+func (o *closeTracker) Close()                     { o.closes++; o.Child.Close() }
+
+func TestTopClosesChildAtLimit(t *testing.T) {
+	tr := &closeTracker{Child: bufferOf(intRow(1), intRow(2), intRow(3))}
+	top := &TopOp{Child: tr, N: ConstScalar(sqltypes.NewInt(2))}
+	ctx := &Ctx{}
+	if err := top.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		r, err := top.Next(ctx)
+		if err != nil || r == nil {
+			t.Fatalf("row %d: %v %v", i, r, err)
+		}
+	}
+	// The limit is reached: the child subtree must already be released,
+	// before the plan's own teardown.
+	if tr.closes != 1 {
+		t.Fatalf("child closes after limit = %d, want 1 (TOP must release its subtree eagerly)", tr.closes)
+	}
+	if r, err := top.Next(ctx); r != nil || err != nil {
+		t.Fatalf("post-limit Next = %v, %v", r, err)
+	}
+	top.Close()
+	if tr.closes != 1 {
+		t.Fatalf("Close must be idempotent on the child: closes = %d", tr.closes)
+	}
+}
+
+func TestTopZeroNeverOpensChild(t *testing.T) {
+	tr := &closeTracker{Child: bufferOf(intRow(1))}
+	top := &TopOp{Child: tr, N: ConstScalar(sqltypes.NewInt(0))}
+	rows := drain(t, top)
+	if len(rows) != 0 || tr.opens != 0 {
+		t.Fatalf("TOP 0: rows=%d opens=%d", len(rows), tr.opens)
+	}
+}
+
+func TestTopStopsReadingUnionBranches(t *testing.T) {
+	// TOP over a concatenation only touches the branches it needs: the
+	// second table's scan is never opened, so its reads never accrue.
+	mk := func(name string, rows int64) *storage.Table {
+		tab := storage.NewTable(name, storage.NewSchema(storage.Col("a", sqltypes.Int)))
+		for i := int64(0); i < rows; i++ {
+			_ = tab.Insert(intRow(i))
+		}
+		return tab
+	}
+	t1, t2 := mk("t1", 3), mk("t2", 5)
+	run := func(op Operator) storage.Snapshot {
+		var stats storage.Stats
+		if _, err := Drain(&Ctx{Stats: &stats}, op); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Snapshot()
+	}
+	full := run(&ConcatOp{Children: []Operator{&ScanOp{Table: t1}, &ScanOp{Table: t2}}})
+	if full.LogicalReads != 8 {
+		t.Fatalf("full concat reads = %d", full.LogicalReads)
+	}
+	topped := run(&TopOp{
+		Child: &ConcatOp{Children: []Operator{&ScanOp{Table: t1}, &ScanOp{Table: t2}}},
+		N:     ConstScalar(sqltypes.NewInt(2)),
+	})
+	if topped.LogicalReads != 3 {
+		t.Fatalf("TOP 2 reads = %d, want 3 (t1 only; t2 must never open)", topped.LogicalReads)
+	}
+}
+
+// --- left outer joins ---
+
+func TestHashJoinLeftOuterResidualRejectsAll(t *testing.T) {
+	left := bufferOf(intRow(1), intRow(2), intRow(3))
+	right := bufferOf(intRow(1, 100), intRow(2, 200))
+	never := func(_ *Ctx, _ Row) (sqltypes.Value, error) { return sqltypes.NewBool(false), nil }
+	join := &HashJoinOp{
+		Left: left, Right: right,
+		LeftWidth: 1, RightWidth: 2,
+		LeftKeys:  []Scalar{ColScalar(0)},
+		RightKeys: []Scalar{ColScalar(0)},
+		Residual:  never,
+		LeftOuter: true,
+	}
+	rows := drain(t, join)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v, want one NULL-padded row per left row", rows)
+	}
+	for _, r := range rows {
+		if len(r) != 3 || !r[1].IsNull() || !r[2].IsNull() {
+			t.Fatalf("row %v not NULL-padded", r)
+		}
+	}
+}
+
+func TestHashJoinLeftOuterNullKeysBothSides(t *testing.T) {
+	left := bufferOf(Row{sqltypes.Null}, intRow(1))
+	right := bufferOf(Row{sqltypes.Null, sqltypes.NewInt(900)}, intRow(1, 100))
+	join := &HashJoinOp{
+		Left: left, Right: right,
+		LeftWidth: 1, RightWidth: 2,
+		LeftKeys:  []Scalar{ColScalar(0)},
+		RightKeys: []Scalar{ColScalar(0)},
+		LeftOuter: true,
+	}
+	rows := drain(t, join)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// NULL keys never match (SQL semantics): the NULL-keyed left row is
+	// padded, the 1-keyed row joins.
+	var padded, joined bool
+	for _, r := range rows {
+		switch {
+		case r[0].IsNull() && r[1].IsNull() && r[2].IsNull():
+			padded = true
+		case !r[0].IsNull() && r[0].Int() == 1 && r[2].Int() == 100:
+			joined = true
+		default:
+			t.Fatalf("unexpected row %v", r)
+		}
+	}
+	if !padded || !joined {
+		t.Fatalf("padded=%v joined=%v rows=%v", padded, joined, rows)
+	}
+}
+
+func TestNLJoinLeftOuterPredicateRejectsAll(t *testing.T) {
+	left := bufferOf(intRow(1), intRow(2))
+	right := bufferOf(intRow(10), intRow(20))
+	never := func(_ *Ctx, _ Row) (sqltypes.Value, error) { return sqltypes.NewBool(false), nil }
+	join := &NLJoinOp{Left: left, Right: right, LeftWidth: 1, RightWidth: 1, On: never, LeftOuter: true}
+	rows := drain(t, join)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v, want one NULL-padded row per left row", rows)
+	}
+	for _, r := range rows {
+		if !r[1].IsNull() {
+			t.Fatalf("row %v not NULL-padded", r)
+		}
+	}
+}
+
+func TestNLJoinLeftOuterNullKeyComparison(t *testing.T) {
+	// ON l = r with a NULL on either side evaluates to NULL (not true), so
+	// NULL-keyed rows pad rather than match.
+	left := bufferOf(Row{sqltypes.Null}, intRow(1))
+	right := bufferOf(Row{sqltypes.Null}, intRow(1))
+	on := func(ctx *Ctx, r Row) (sqltypes.Value, error) {
+		return sqltypes.Apply(sqltypes.OpEq, r[0], r[1])
+	}
+	join := &NLJoinOp{Left: left, Right: right, LeftWidth: 1, RightWidth: 1, On: on, LeftOuter: true}
+	rows := drain(t, join)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	var padded, matched int
+	for _, r := range rows {
+		if r[1].IsNull() {
+			padded++
+		} else {
+			matched++
+		}
+	}
+	if padded != 1 || matched != 1 {
+		t.Fatalf("padded=%d matched=%d rows=%v", padded, matched, rows)
+	}
+}
+
+// --- instrumentation wrapper ---
+
+func TestInstrumentedOpCounters(t *testing.T) {
+	tab := storage.NewTable("t", storage.NewSchema(storage.Col("a", sqltypes.Int)))
+	for i := int64(0); i < 4; i++ {
+		_ = tab.Insert(intRow(4 - i))
+	}
+	var stats storage.Stats
+	ctx := &Ctx{Stats: &stats}
+	scanStats, sortStats := &OpStats{}, &OpStats{}
+	op := &InstrumentedOp{
+		Stats: sortStats,
+		Child: &SortOp{
+			Child: &InstrumentedOp{Stats: scanStats, Child: &ScanOp{Table: tab}},
+			Keys:  []Scalar{ColScalar(0)},
+			Desc:  []bool{false},
+		},
+	}
+	rows, err := Drain(ctx, op)
+	if err != nil || len(rows) != 4 {
+		t.Fatalf("drain: %v %d", err, len(rows))
+	}
+	if scanStats.Rows != 4 || scanStats.Loops != 1 {
+		t.Fatalf("scan stats = %+v", scanStats)
+	}
+	if scanStats.Reads.LogicalReads != 4 {
+		t.Fatalf("scan reads = %+v", scanStats.Reads)
+	}
+	if sortStats.Rows != 4 || sortStats.PeakBuffered != 4 {
+		t.Fatalf("sort stats = %+v", sortStats)
+	}
+	// The sort's inclusive reads contain the scan's.
+	if sortStats.Reads.LogicalReads != 4 {
+		t.Fatalf("sort inclusive reads = %+v", sortStats.Reads)
+	}
+	// NextCalls includes the EOF call.
+	if scanStats.NextCalls != 5 {
+		t.Fatalf("scan NextCalls = %d", scanStats.NextCalls)
+	}
+}

@@ -257,6 +257,17 @@ func (r *Runner) Exec(s ast.Stmt) error {
 		}
 		r.Results = append(r.Results, ResultSet{Columns: cols, Rows: rows})
 		return nil
+	case *ast.ExplainStmt:
+		lines, err := r.Sess.ExplainQuery(st.Query, st.Analyze, r.ctx)
+		if err != nil {
+			return err
+		}
+		rows := make([]exec.Row, len(lines))
+		for i, l := range lines {
+			rows[i] = exec.Row{sqltypes.NewString(l)}
+		}
+		r.Results = append(r.Results, ResultSet{Columns: []string{"plan"}, Rows: rows})
+		return nil
 	case *ast.InsertStmt:
 		_, err := r.Sess.Insert(st, r.ctx)
 		return err

@@ -124,6 +124,18 @@ func (p *Parser) ParseStmt() (ast.Stmt, error) {
 		}
 		p.endStmt()
 		return &ast.QueryStmt{Query: q}, nil
+	case "explain":
+		p.advance()
+		analyze := p.acceptKw("analyze")
+		if !p.isKw("select") && !p.isKw("with") {
+			return nil, p.errf("expected SELECT or WITH after EXPLAIN, found %q", p.cur().text)
+		}
+		q, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		p.endStmt()
+		return &ast.ExplainStmt{Analyze: analyze, Query: q}, nil
 	case "insert":
 		return p.parseInsert()
 	case "update":

@@ -153,8 +153,8 @@ func eqSides(e ast.Expr) (l, r ast.Expr, ok bool) {
 func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *scope, env *cteEnv) (opBuilder, *scope, *Node, error) {
 	if len(items) == 0 {
 		sc := &scope{parent: parent}
-		var builder opBuilder = func(*buildCtx) exec.Operator { return &exec.OneRowOp{} }
 		n := node("OneRow")
+		builder := annotate(func(*buildCtx) exec.Operator { return &exec.OneRowOp{} }, n)
 		return c.applyFilter(builder, n, where, sc, env)
 	}
 
@@ -360,10 +360,10 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 			on := andScalars(residuals)
 			left := builder
 			lw, rw := width, rightScope.width()
-			builder = func(bc *buildCtx) exec.Operator {
-				return &exec.NLJoinOp{Left: left(bc), Right: rightBuilder(bc), LeftWidth: lw, RightWidth: rw, On: on}
-			}
 			n = node(fmt.Sprintf("IndexNLJoin(%s.%s)", u.tab.Name, idxCol), n, rightNode)
+			builder = annotate(func(bc *buildCtx) exec.Operator {
+				return &exec.NLJoinOp{Left: left(bc), Right: rightBuilder(bc), LeftWidth: lw, RightWidth: rw, On: on}
+			}, n)
 			sc = combined
 			width = sc.width()
 		} else {
@@ -387,18 +387,18 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 			}
 			left := builder
 			lw, rw := width, rightScope.width()
-			builder = func(bc *buildCtx) exec.Operator {
-				return &exec.HashJoinOp{
-					Left: left(bc), Right: rightBuilder(bc),
-					LeftWidth: lw, RightWidth: rw,
-					LeftKeys: leftKeys, RightKeys: rightKeys,
-				}
-			}
 			label := "HashJoin"
 			if len(best.conjRefs) == 0 {
 				label = "CrossJoin"
 			}
 			n = node(label, n, rightNode)
+			builder = annotate(func(bc *buildCtx) exec.Operator {
+				return &exec.HashJoinOp{
+					Left: left(bc), Right: rightBuilder(bc),
+					LeftWidth: lw, RightWidth: rw,
+					LeftKeys: leftKeys, RightKeys: rightKeys,
+				}
+			}, n)
 			sc = concatScopes(sc, rightScope)
 			width = sc.width()
 		}
@@ -427,10 +427,10 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 				return nil, nil, nil, err
 			}
 			inner := builder
-			builder = func(bc *buildCtx) exec.Operator {
-				return &exec.FilterOp{Child: inner(bc), Pred: pred}
-			}
 			n = node("Filter", n)
+			builder = annotate(func(bc *buildCtx) exec.Operator {
+				return &exec.FilterOp{Child: inner(bc), Pred: pred}
+			}, n)
 		}
 	}
 
@@ -445,10 +445,10 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 			return nil, nil, nil, err
 		}
 		inner := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.FilterOp{Child: inner(bc), Pred: pred}
-		}
 		n = node("Filter", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}, n)
 	}
 
 	// Restore the user-visible FROM column order if greedy ordering
@@ -519,10 +519,11 @@ func (c *compiler) applyFilter(builder opBuilder, n *Node, where ast.Expr, sc *s
 		return nil, nil, nil, err
 	}
 	inner := builder
-	builder = func(bc *buildCtx) exec.Operator {
+	fn := node("Filter", n)
+	builder = annotate(func(bc *buildCtx) exec.Operator {
 		return &exec.FilterOp{Child: inner(bc), Pred: pred}
-	}
-	return builder, sc, node("Filter", n), nil
+	}, fn)
+	return builder, sc, fn, nil
 }
 
 // compileUnit compiles one FROM unit with its assigned single-unit
@@ -552,10 +553,10 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 				sc.add(u.binding, col.Name, col.Type)
 			}
 			name := te.Name
-			builder = func(bc *buildCtx) exec.Operator {
-				return &exec.LateScanOp{Name: name}
-			}
 			n = node("LateScan(" + name + ")")
+			builder = annotate(func(bc *buildCtx) exec.Operator {
+				return &exec.LateScanOp{Name: name}
+			}, n)
 			break
 		}
 		if b := env.lookup(te.Name); b != nil {
@@ -564,10 +565,10 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 			}
 			if b.deltaKey != nil {
 				key := b.deltaKey
-				builder = func(bc *buildCtx) exec.Operator {
-					return &exec.DeltaScanOp{Source: bc.delta(key)}
-				}
 				n = node("DeltaScan(" + te.Name + ")")
+				builder = annotate(func(bc *buildCtx) exec.Operator {
+					return &exec.DeltaScanOp{Source: bc.delta(key)}
+				}, n)
 			} else {
 				var err error
 				builder, n, err = b.instantiate()
@@ -588,16 +589,16 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 				if err != nil {
 					return nil, nil, nil, err
 				}
-				builder = func(bc *buildCtx) exec.Operator {
-					return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
-				}
 				n = node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col))
+				builder = annotate(func(bc *buildCtx) exec.Operator {
+					return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
+				}, n)
 				rest = remaining
 			} else {
-				builder = func(bc *buildCtx) exec.Operator {
-					return &exec.ScanOp{Table: tab}
-				}
 				n = node("Scan(" + tab.Name + ")")
+				builder = annotate(func(bc *buildCtx) exec.Operator {
+					return &exec.ScanOp{Table: tab}
+				}, n)
 			}
 		}
 	case *ast.SubqueryRef:
@@ -608,8 +609,8 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 		for _, cn := range cols {
 			sc.add(u.binding, cn, sqltypes.Unknown)
 		}
-		builder = b
 		n = node("Derived("+te.Alias+")", sn)
+		builder = annotate(b, n)
 	case *ast.Join:
 		b, jsc, jn, err := c.compileJoinExpr(te, unitParent, env)
 		if err != nil {
@@ -628,10 +629,10 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 			return nil, nil, nil, err
 		}
 		inner := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.FilterOp{Child: inner(bc), Pred: pred}
-		}
 		n = node("Filter", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}, n)
 	}
 	return builder, sc, n, nil
 }
@@ -653,20 +654,20 @@ func (c *compiler) compileUnitSeek(u *fromUnit, parent *scope, env *cteEnv, col 
 	for _, cdef := range tab.Schema.Columns {
 		sc.add(u.binding, cdef.Name, cdef.Type)
 	}
-	var builder opBuilder = func(bc *buildCtx) exec.Operator {
-		return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
-	}
 	n := node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col))
+	builder := annotate(func(bc *buildCtx) exec.Operator {
+		return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
+	}, n)
 	for _, p := range u.preds {
 		pred, err := c.compileExpr(p, sc, env)
 		if err != nil {
 			return nil, nil, nil, err
 		}
 		inner := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.FilterOp{Child: inner(bc), Pred: pred}
-		}
 		n = node("Filter", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.FilterOp{Child: inner(bc), Pred: pred}
+		}, n)
 	}
 	return builder, sc, n, nil
 }
@@ -741,15 +742,16 @@ func (c *compiler) compileJoinExpr(j *ast.Join, parent *scope, env *cteEnv) (opB
 		}
 		lw, rw := leftSc.width(), rightSc.width()
 		outer := j.Kind == ast.JoinLeft
-		builder := func(bc *buildCtx) exec.Operator {
+		jn := node("HashJoin("+j.Kind.String()+")", leftN, rightN)
+		builder := annotate(func(bc *buildCtx) exec.Operator {
 			return &exec.HashJoinOp{
 				Left: leftB(bc), Right: rightB(bc),
 				LeftWidth: lw, RightWidth: rw,
 				LeftKeys: leftKeys, RightKeys: rightKeys,
 				Residual: andScalars(res), LeftOuter: outer,
 			}
-		}
-		return builder, combined, node("HashJoin("+j.Kind.String()+")", leftN, rightN), nil
+		}, jn)
+		return builder, combined, jn, nil
 	}
 
 	// Nested-loop join; the right side is re-opened per left row with the
@@ -769,10 +771,11 @@ func (c *compiler) compileJoinExpr(j *ast.Join, parent *scope, env *cteEnv) (opB
 	}
 	lw, rw := leftSc.width(), rightSc.width()
 	outer := j.Kind == ast.JoinLeft
-	builder := func(bc *buildCtx) exec.Operator {
+	jn := node("NLJoin("+j.Kind.String()+")", leftN, rightN)
+	builder := annotate(func(bc *buildCtx) exec.Operator {
 		return &exec.NLJoinOp{Left: leftB(bc), Right: rightB(bc), LeftWidth: lw, RightWidth: rw, On: on, LeftOuter: outer}
-	}
-	return builder, combined, node("NLJoin("+j.Kind.String()+")", leftN, rightN), nil
+	}, jn)
+	return builder, combined, jn, nil
 }
 
 // compileTableSource compiles a table expression without predicate

@@ -55,14 +55,14 @@ func (c *compiler) compileSelect(q *ast.Select, parent *scope, env *cteEnv) (opB
 		builders = append(builders, b)
 		nodes = append(nodes, n)
 	}
-	builder := func(bc *buildCtx) exec.Operator {
+	n := node("UnionAll", nodes...)
+	builder := annotate(func(bc *buildCtx) exec.Operator {
 		children := make([]exec.Operator, len(builders))
 		for i, b := range builders {
 			children[i] = b(bc)
 		}
 		return &exec.ConcatOp{Children: children}
-	}
-	n := node("UnionAll", nodes...)
+	}, n)
 	builder, n, err = c.applyOrderTop(builder, n, outSc, q.OrderBy, q.Top, env)
 	if err != nil {
 		return nil, nil, nil, err
@@ -138,7 +138,8 @@ func (c *compiler) compileCTE(cte ast.CTE, parent *scope, env *cteEnv) (*cteBind
 			name: cte.Name,
 			cols: bcols,
 			instantiate: func() (opBuilder, *Node, error) {
-				return builder, node("CTE("+cte.Name+")", n), nil
+				cn := node("CTE("+cte.Name+")", n)
+				return annotate(builder, cn), cn, nil
 			},
 		}, nil
 	}
@@ -212,7 +213,7 @@ func (c *compiler) compileCTE(cte ast.CTE, parent *scope, env *cteEnv) (*cteBind
 			}
 		}
 		n := node("RecursiveCTE("+cte.Name+")", append(append([]*Node{}, seedNodes...), recNodes...)...)
-		return builder, n, nil
+		return annotate(builder, n), n, nil
 	}
 	return binding, nil
 }
@@ -423,10 +424,10 @@ func (c *compiler) compileCore(q *ast.Select, parent *scope, env *cteEnv, orderB
 				return nil, nil, nil, err
 			}
 			inner := builder
-			builder = func(bc *buildCtx) exec.Operator {
-				return &exec.FilterOp{Child: inner(bc), Pred: pred}
-			}
 			n = node("Filter(HAVING)", n)
+			builder = annotate(func(bc *buildCtx) exec.Operator {
+				return &exec.FilterOp{Child: inner(bc), Pred: pred}
+			}, n)
 		}
 	} else if q.Having != nil {
 		return nil, nil, nil, errf("HAVING requires aggregation")
@@ -529,18 +530,18 @@ func (c *compiler) compileCore(q *ast.Select, parent *scope, env *cteEnv, orderB
 		scalars[i] = p.scalar
 	}
 	inner := builder
-	builder = func(bc *buildCtx) exec.Operator {
-		return &exec.ProjectOp{Child: inner(bc), Exprs: scalars}
-	}
 	n = node("Project", n)
+	builder = annotate(func(bc *buildCtx) exec.Operator {
+		return &exec.ProjectOp{Child: inner(bc), Exprs: scalars}
+	}, n)
 
 	if q.Distinct {
 		if len(proj) > hiddenStart {
 			return nil, nil, nil, errf("DISTINCT with ORDER BY on non-projected expressions is not supported")
 		}
 		d := builder
-		builder = func(bc *buildCtx) exec.Operator { return &exec.DistinctOp{Child: d(bc)} }
 		n = node("Distinct", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator { return &exec.DistinctOp{Child: d(bc)} }, n)
 	}
 
 	if len(sortKeys) > 0 {
@@ -551,10 +552,10 @@ func (c *compiler) compileCore(q *ast.Select, parent *scope, env *cteEnv, orderB
 			desc[i] = k.desc
 		}
 		s := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.SortOp{Child: s(bc), Keys: keys, Desc: desc}
-		}
 		n = node("Sort", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.SortOp{Child: s(bc), Keys: keys, Desc: desc}
+		}, n)
 	}
 	if len(proj) > hiddenStart {
 		// Strip hidden sort keys.
@@ -573,10 +574,10 @@ func (c *compiler) compileCore(q *ast.Select, parent *scope, env *cteEnv, orderB
 			return nil, nil, nil, err
 		}
 		tb := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.TopOp{Child: tb(bc), N: nScalar}
-		}
 		n = node("Top", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.TopOp{Child: tb(bc), N: nScalar}
+		}, n)
 	}
 	return builder, outScope, n, nil
 }
@@ -694,10 +695,11 @@ func (c *compiler) hoistCommonSubqueries(builder opBuilder, curScope *scope, ite
 		}
 	}
 	inner := builder
-	builder = func(bc *buildCtx) exec.Operator {
+	cn := node(fmt.Sprintf("CommonSubquery(x%d)", len(dups)), n)
+	builder = annotate(func(bc *buildCtx) exec.Operator {
 		return &exec.ProjectOp{Child: inner(bc), Exprs: exprs}
-	}
-	return builder, newScope, newItems, node(fmt.Sprintf("CommonSubquery(x%d)", len(dups)), n), nil
+	}, cn)
+	return builder, newScope, newItems, cn, nil
 }
 
 // applyOrderTop applies ORDER BY and TOP over an already-projected stream
@@ -715,10 +717,10 @@ func (c *compiler) applyOrderTop(builder opBuilder, n *Node, outSc *scope, order
 			desc[i] = o.Desc
 		}
 		inner := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.SortOp{Child: inner(bc), Keys: keys, Desc: desc}
-		}
 		n = node("Sort", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.SortOp{Child: inner(bc), Keys: keys, Desc: desc}
+		}, n)
 	}
 	if top != nil {
 		nScalar, err := c.compileExpr(top, &scope{parent: outSc.parent}, env)
@@ -726,10 +728,10 @@ func (c *compiler) applyOrderTop(builder opBuilder, n *Node, outSc *scope, order
 			return nil, nil, err
 		}
 		inner := builder
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.TopOp{Child: inner(bc), N: nScalar}
-		}
 		n = node("Top", n)
+		builder = annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.TopOp{Child: inner(bc), N: nScalar}
+		}, n)
 	}
 	return builder, n, nil
 }
@@ -801,5 +803,6 @@ func (c *compiler) compileAggregation(q *ast.Select, input opBuilder, inScope *s
 	for i, a := range aggs {
 		names[i] = a.key
 	}
-	return builder, outScope, node(fmt.Sprintf("%s(keys=%d, aggs=[%s])", opName, len(q.GroupBy), strings.Join(names, ", ")), n), nil
+	an := node(fmt.Sprintf("%s(keys=%d, aggs=[%s])", opName, len(q.GroupBy), strings.Join(names, ", ")), n)
+	return annotate(builder, an), outScope, an, nil
 }

@@ -62,6 +62,31 @@ func (p *Plan) Run(ctx *exec.Ctx) ([]exec.Row, error) {
 	return exec.Drain(ctx, p.Build())
 }
 
+// BuildInstrumented instantiates the operator tree with every annotated
+// operator wrapped in an exec.InstrumentedOp. The returned Instrumentation
+// owns the per-execution counters: plans are cached and shared across
+// sessions, so runtime stats never live on the Plan or its explain Nodes.
+func (p *Plan) BuildInstrumented() (exec.Operator, *Instrumentation) {
+	ins := &Instrumentation{Root: p.Explain, Stats: map[*Node]*exec.OpStats{}}
+	bc := &buildCtx{instr: func(n *Node, op exec.Operator) exec.Operator {
+		st, ok := ins.Stats[n]
+		if !ok {
+			st = &exec.OpStats{}
+			ins.Stats[n] = st
+		}
+		return &exec.InstrumentedOp{Child: op, Stats: st}
+	}}
+	return p.build(bc), ins
+}
+
+// RunInstrumented builds an instrumented tree, drains it, and returns the
+// rows together with the collected per-operator statistics.
+func (p *Plan) RunInstrumented(ctx *exec.Ctx) ([]exec.Row, *Instrumentation, error) {
+	op, ins := p.BuildInstrumented()
+	rows, err := exec.Drain(ctx, op)
+	return rows, ins, err
+}
+
 // Node is one node of the explain tree.
 type Node struct {
 	Op       string // operator name, e.g. "IndexSeek(partsupp.ps_partkey)"
@@ -99,9 +124,108 @@ func (n *Node) Contains(s string) bool {
 
 func node(op string, children ...*Node) *Node { return &Node{Op: op, Children: children} }
 
-// buildCtx carries per-execution wiring state (recursive CTE delta buffers).
+// Instrumentation carries the runtime statistics of one instrumented
+// execution, keyed by explain node.
+type Instrumentation struct {
+	// Root is the plan's explain tree.
+	Root *Node
+	// Stats maps each annotated node to its runtime counters. Nodes absent
+	// from the map were never instantiated (or carry no operator of their
+	// own, like hidden projection stripping).
+	Stats map[*Node]*exec.OpStats
+}
+
+// Render prints the explain tree annotated with runtime counters. Reads are
+// exclusive (the node's inclusive delta minus its instrumented descendants),
+// so summing the reads column over all printed nodes reproduces the
+// execution's session-level storage.Stats delta; time is inclusive of the
+// subtree.
+func (ins *Instrumentation) Render() string {
+	var b strings.Builder
+	ins.render(&b, ins.Root, 0)
+	return b.String()
+}
+
+func (ins *Instrumentation) render(b *strings.Builder, n *Node, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(n.Op)
+	if st, ok := ins.Stats[n]; ok {
+		if st.Loops == 0 {
+			b.WriteString(" (never executed)")
+		} else {
+			ex := st.Reads.Sub(ins.childInclusive(n))
+			fmt.Fprintf(b, " (rows=%d loops=%d time=%s reads=%d", st.Rows, st.Loops, st.Time, ex.LogicalReads)
+			if ex.WorktableWrites != 0 || ex.WorktableReads != 0 {
+				fmt.Fprintf(b, " worktable w=%d r=%d", ex.WorktableWrites, ex.WorktableReads)
+			}
+			if ex.IndexSeeks != 0 {
+				fmt.Fprintf(b, " seeks=%d", ex.IndexSeeks)
+			}
+			if st.PeakBuffered > 0 {
+				fmt.Fprintf(b, " buffered=%d", st.PeakBuffered)
+			}
+			b.WriteString(")")
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		ins.render(b, c, depth+1)
+	}
+}
+
+// childInclusive sums the inclusive read deltas of the nearest instrumented
+// descendants of n (unannotated intermediate nodes are transparent).
+func (ins *Instrumentation) childInclusive(n *Node) storage.Snapshot {
+	var sum storage.Snapshot
+	for _, c := range n.Children {
+		if st, ok := ins.Stats[c]; ok {
+			sum = sum.Add(st.Reads)
+		} else {
+			sum = sum.Add(ins.childInclusive(c))
+		}
+	}
+	return sum
+}
+
+// TotalExclusive sums the exclusive read deltas over every annotated node —
+// by construction this equals the root's inclusive delta, i.e. the session
+// stats delta of the execution (used by tests as an invariant check).
+func (ins *Instrumentation) TotalExclusive() storage.Snapshot {
+	var sum storage.Snapshot
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if st, ok := ins.Stats[n]; ok {
+			sum = sum.Add(st.Reads.Sub(ins.childInclusive(n)))
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(ins.Root)
+	return sum
+}
+
+// buildCtx carries per-execution wiring state (recursive CTE delta buffers
+// and the instrumentation hook).
 type buildCtx struct {
 	deltas map[any]*[]exec.Row
+	// instr, when set, wraps each annotated operator (keyed by its explain
+	// node) as it is instantiated; nil for plain executions.
+	instr func(n *Node, op exec.Operator) exec.Operator
+}
+
+// annotate pairs a freshly created explain node with the builder that
+// instantiates its operator, so instrumented executions can attribute
+// runtime statistics to the node. Call it with the node that describes
+// exactly the operator the builder constructs.
+func annotate(b opBuilder, n *Node) opBuilder {
+	return func(bc *buildCtx) exec.Operator {
+		op := b(bc)
+		if bc.instr != nil {
+			op = bc.instr(n, op)
+		}
+		return op
+	}
 }
 
 // delta returns the per-execution delta buffer for a recursive CTE binding,

@@ -122,6 +122,13 @@ func (b *Backend) Query(stmtID uint32, args []sqltypes.Value) (uint32, []string,
 func (b *Backend) Fetch(cursorID uint32, maxRows int) ([][]sqltypes.Value, bool, error) {
 	c, ok := b.cursors[cursorID]
 	if !ok {
+		// Cursor ids are handed out sequentially, so an id at or below the
+		// high-water mark names a cursor this connection once held: it was
+		// released, either by an explicit close or by the fetch that
+		// exhausted it (done=true).
+		if cursorID > 0 && cursorID <= b.nextCursor {
+			return nil, false, fmt.Errorf("server: cursor %d already released (closed or exhausted)", cursorID)
+		}
 		return nil, false, fmt.Errorf("server: unknown cursor %d", cursorID)
 	}
 	if maxRows < 1 {

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggify/internal/wire"
+)
+
+// slowLogSize bounds the slow-query ring buffer.
+const slowLogSize = 16
+
+// summaryLimit truncates slow-query summaries (script text can be large).
+const summaryLimit = 120
+
+// Metrics is the server's query-metrics registry: lifetime request counters,
+// traffic totals, a lock-free latency histogram, and a slow-query log. All
+// hot-path updates are atomic; only the slow log takes a mutex, and only for
+// requests that exceed the threshold.
+type Metrics struct {
+	connections   atomic.Int64
+	requests      atomic.Int64
+	execs         atomic.Int64
+	queries       atomic.Int64
+	fetches       atomic.Int64
+	cursorsOpened atomic.Int64
+	bytesIn       atomic.Int64
+	bytesOut      atomic.Int64
+	slowCount     atomic.Int64
+
+	// hist counts requests by latency bucket: bucket i holds requests whose
+	// latency in microseconds needs i bits (i.e. latency < 2^i µs), so the
+	// derived percentiles are upper bounds accurate to a factor of two.
+	hist [64]atomic.Int64
+
+	mu   sync.Mutex
+	slow []wire.SlowQuery // ring, newest last
+}
+
+// record accounts one served request.
+func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut int, summary string, threshold time.Duration) {
+	m.requests.Add(1)
+	m.bytesIn.Add(int64(bytesIn))
+	m.bytesOut.Add(int64(bytesOut))
+	switch typ {
+	case wire.MsgExec:
+		m.execs.Add(1)
+	case wire.MsgQuery:
+		m.queries.Add(1)
+	case wire.MsgFetch:
+		m.fetches.Add(1)
+	}
+	us := d.Microseconds()
+	if us < 0 {
+		us = 0
+	}
+	m.hist[bits.Len64(uint64(us))].Add(1)
+	if threshold > 0 && d >= threshold {
+		m.slowCount.Add(1)
+		if len(summary) > summaryLimit {
+			summary = summary[:summaryLimit] + "..."
+		}
+		m.mu.Lock()
+		m.slow = append(m.slow, wire.SlowQuery{Micros: us, Summary: summary})
+		if len(m.slow) > slowLogSize {
+			m.slow = m.slow[len(m.slow)-slowLogSize:]
+		}
+		m.mu.Unlock()
+	}
+}
+
+// percentile returns the upper bound (in µs) of the histogram bucket that
+// contains the q-quantile observation (0 when the histogram is empty).
+func (m *Metrics) percentile(q float64) int64 {
+	var counts [64]int64
+	var total int64
+	for i := range m.hist {
+		counts[i] = m.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i >= 63 {
+				return math.MaxInt64
+			}
+			return int64(1) << i
+		}
+	}
+	return math.MaxInt64
+}
+
+// Snapshot assembles the wire-level stats reply. openCursors is the server's
+// live cursor gauge (owned by Server, not Metrics).
+func (m *Metrics) Snapshot(openCursors int64) *wire.ServerStats {
+	m.mu.Lock()
+	slow := append([]wire.SlowQuery(nil), m.slow...)
+	m.mu.Unlock()
+	return &wire.ServerStats{
+		Connections:   m.connections.Load(),
+		Requests:      m.requests.Load(),
+		Execs:         m.execs.Load(),
+		Queries:       m.queries.Load(),
+		Fetches:       m.fetches.Load(),
+		CursorsOpened: m.cursorsOpened.Load(),
+		OpenCursors:   openCursors,
+		BytesIn:       m.bytesIn.Load(),
+		BytesOut:      m.bytesOut.Load(),
+		P50Micros:     m.percentile(0.50),
+		P99Micros:     m.percentile(0.99),
+		SlowCount:     m.slowCount.Load(),
+		Slow:          slow,
+	}
+}
+
+// requestSummary describes a request for the slow-query log.
+func requestSummary(typ wire.MsgType, body []byte) string {
+	switch typ {
+	case wire.MsgExec:
+		return string(body)
+	case wire.MsgPrepare:
+		return "PREPARE " + string(body)
+	case wire.MsgQuery:
+		if id, _, err := wire.DecodeQueryReq(body); err == nil {
+			return fmt.Sprintf("QUERY stmt=%d", id)
+		}
+		return "QUERY"
+	case wire.MsgFetch:
+		if id, n, err := wire.DecodeFetchReq(body); err == nil {
+			return fmt.Sprintf("FETCH cursor=%d max=%d", id, n)
+		}
+		return "FETCH"
+	case wire.MsgCloseCursor:
+		return "CLOSE CURSOR"
+	case wire.MsgStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("msg 0x%02x", byte(typ))
+	}
+}

@@ -26,6 +26,12 @@ type Server struct {
 
 	// ErrorLog receives per-connection protocol errors; nil silences them.
 	ErrorLog *log.Logger
+	// SlowThreshold, when positive, logs requests at least this slow into the
+	// metrics slow-query ring (see Metrics). Set before Serve.
+	SlowThreshold time.Duration
+
+	// metrics is the server-wide query-metrics registry.
+	metrics Metrics
 
 	mu       sync.Mutex
 	lis      net.Listener
@@ -44,6 +50,10 @@ func New(eng *engine.Engine) *Server {
 // OpenCursors returns the number of server-side cursors currently open
 // across all connections.
 func (s *Server) OpenCursors() int64 { return s.openCursors.Load() }
+
+// Stats returns the server's query-metrics snapshot (the same data a client
+// obtains with MsgStats).
+func (s *Server) Stats() *wire.ServerStats { return s.metrics.Snapshot(s.openCursors.Load()) }
 
 // Addr returns the listener address (nil before Serve).
 func (s *Server) Addr() net.Addr {
@@ -149,8 +159,14 @@ func (s *Server) Close() error {
 
 // handle runs one connection's request loop.
 func (s *Server) handle(c net.Conn) {
+	s.metrics.connections.Add(1)
 	b := NewBackend(s.eng)
-	b.cursorGauge = func(d int64) { s.openCursors.Add(d) }
+	b.cursorGauge = func(d int64) {
+		s.openCursors.Add(d)
+		if d > 0 {
+			s.metrics.cursorsOpened.Add(d)
+		}
+	}
 	defer func() {
 		b.Close()
 		c.Close()
@@ -162,15 +178,18 @@ func (s *Server) handle(c net.Conn) {
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	for {
-		typ, body, _, err := wire.ReadFrame(br)
+		typ, body, rn, err := wire.ReadFrame(br)
 		if err != nil {
 			// EOF, peer reset, shutdown deadline, or a malformed frame
 			// (e.g. oversized) — the connection cannot continue either way.
 			s.logf("aggifyd: %v: %v", c.RemoteAddr(), err)
 			return
 		}
+		start := time.Now()
 		respT, respB := s.dispatch(b, typ, body)
-		if _, err := wire.WriteFrame(bw, respT, respB); err != nil {
+		wn, err := wire.WriteFrame(bw, respT, respB)
+		s.metrics.record(typ, time.Since(start), rn, wn, requestSummary(typ, body), s.SlowThreshold)
+		if err != nil {
 			s.logf("aggifyd: %v: write: %v", c.RemoteAddr(), err)
 			return
 		}
@@ -229,6 +248,8 @@ func (s *Server) dispatch(b *Backend, typ wire.MsgType, body []byte) (wire.MsgTy
 			return wire.MsgError, []byte(err.Error())
 		}
 		return wire.MsgOK, nil
+	case wire.MsgStats:
+		return wire.MsgServerStats, wire.EncodeServerStats(s.Stats())
 	case wire.MsgQuit:
 		return wire.MsgOK, nil
 	default:

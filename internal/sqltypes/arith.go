@@ -1,9 +1,48 @@
 package sqltypes
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"strings"
 )
+
+// ErrArithmeticOverflow is returned when integer arithmetic or SUM
+// accumulation exceeds the int64 range, matching T-SQL's "Arithmetic
+// overflow error" rather than wrapping silently.
+var ErrArithmeticOverflow = errors.New("sqltypes: arithmetic overflow")
+
+// AddInt64 returns a + b, or ErrArithmeticOverflow if the sum does not fit
+// in an int64.
+func AddInt64(a, b int64) (int64, error) {
+	s := a + b
+	// Overflow iff both operands share a sign the sum does not.
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, ErrArithmeticOverflow
+	}
+	return s, nil
+}
+
+// SubInt64 returns a - b with overflow checking.
+func SubInt64(a, b int64) (int64, error) {
+	d := a - b
+	if (b < 0 && d < a) || (b > 0 && d > a) {
+		return 0, ErrArithmeticOverflow
+	}
+	return d, nil
+}
+
+// MulInt64 returns a * b with overflow checking.
+func MulInt64(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, ErrArithmeticOverflow
+	}
+	return p, nil
+}
 
 // BinaryOp enumerates binary operators of the expression language.
 type BinaryOp uint8
@@ -124,14 +163,29 @@ func arith(op BinaryOp, a, b Value) (Value, error) {
 		ai, bi := a.Int(), b.Int()
 		switch op {
 		case OpAdd:
-			return NewInt(ai + bi), nil
+			s, err := AddInt64(ai, bi)
+			if err != nil {
+				return Null, err
+			}
+			return NewInt(s), nil
 		case OpSub:
-			return NewInt(ai - bi), nil
+			d, err := SubInt64(ai, bi)
+			if err != nil {
+				return Null, err
+			}
+			return NewInt(d), nil
 		case OpMul:
-			return NewInt(ai * bi), nil
+			p, err := MulInt64(ai, bi)
+			if err != nil {
+				return Null, err
+			}
+			return NewInt(p), nil
 		case OpDiv:
 			if bi == 0 {
 				return Null, fmt.Errorf("sqltypes: division by zero")
+			}
+			if ai == math.MinInt64 && bi == -1 {
+				return Null, ErrArithmeticOverflow
 			}
 			return NewInt(ai / bi), nil
 		case OpMod:
@@ -228,6 +282,9 @@ func Negate(v Value) (Value, error) {
 	case KindNull:
 		return Null, nil
 	case KindInt:
+		if v.Int() == math.MinInt64 {
+			return Null, ErrArithmeticOverflow
+		}
 		return NewInt(-v.Int()), nil
 	case KindFloat:
 		return NewFloat(-v.Float()), nil

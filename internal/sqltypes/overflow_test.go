@@ -1,0 +1,89 @@
+package sqltypes
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCheckedInt64Helpers(t *testing.T) {
+	okCases := []struct {
+		fn      func(a, b int64) (int64, error)
+		a, b, w int64
+	}{
+		{AddInt64, math.MaxInt64 - 1, 1, math.MaxInt64},
+		{AddInt64, math.MinInt64 + 1, -1, math.MinInt64},
+		{AddInt64, math.MaxInt64, math.MinInt64, -1},
+		{SubInt64, math.MinInt64 + 1, 1, math.MinInt64},
+		{SubInt64, math.MaxInt64, math.MaxInt64, 0},
+		{SubInt64, -1, math.MaxInt64, math.MinInt64},
+		{MulInt64, math.MaxInt64, 1, math.MaxInt64},
+		{MulInt64, math.MinInt64, 1, math.MinInt64},
+		{MulInt64, math.MaxInt64 / 2, 2, math.MaxInt64 - 1},
+		{MulInt64, 0, math.MinInt64, 0},
+	}
+	for _, c := range okCases {
+		got, err := c.fn(c.a, c.b)
+		if err != nil || got != c.w {
+			t.Errorf("checked(%d, %d) = %d, %v; want %d", c.a, c.b, got, err, c.w)
+		}
+	}
+	overflowCases := []struct {
+		fn   func(a, b int64) (int64, error)
+		a, b int64
+	}{
+		{AddInt64, math.MaxInt64, 1},
+		{AddInt64, math.MinInt64, -1},
+		{SubInt64, math.MinInt64, 1},
+		{SubInt64, 0, math.MinInt64},
+		{MulInt64, math.MaxInt64, 2},
+		{MulInt64, math.MinInt64, -1},
+		{MulInt64, -1, math.MinInt64},
+		{MulInt64, math.MaxInt64/2 + 1, 2},
+	}
+	for _, c := range overflowCases {
+		if _, err := c.fn(c.a, c.b); !errors.Is(err, ErrArithmeticOverflow) {
+			t.Errorf("checked(%d, %d): want ErrArithmeticOverflow, got %v", c.a, c.b, err)
+		}
+	}
+}
+
+func TestApplyIntOverflow(t *testing.T) {
+	cases := []struct {
+		op   BinaryOp
+		a, b int64
+	}{
+		{OpAdd, math.MaxInt64, 1},
+		{OpAdd, math.MinInt64, -1},
+		{OpSub, math.MinInt64, 1},
+		{OpMul, math.MaxInt64, 2},
+		{OpMul, math.MinInt64, -1},
+		{OpDiv, math.MinInt64, -1},
+	}
+	for _, c := range cases {
+		if _, err := Apply(c.op, NewInt(c.a), NewInt(c.b)); !errors.Is(err, ErrArithmeticOverflow) {
+			t.Errorf("Apply(%v, %d, %d): want ErrArithmeticOverflow, got %v", c.op, c.a, c.b, err)
+		}
+	}
+	// Boundary values that fit must not be rejected.
+	if v := mustApply(t, OpAdd, NewInt(math.MaxInt64-1), NewInt(1)); v.Int() != math.MaxInt64 {
+		t.Errorf("MaxInt64-1 + 1 = %v", v)
+	}
+	if v := mustApply(t, OpMul, NewInt(math.MinInt64/2), NewInt(2)); v.Int() != math.MinInt64 {
+		t.Errorf("MinInt64/2 * 2 = %v", v)
+	}
+	// Float arithmetic is unaffected: the same magnitudes go through IEEE754.
+	if v := mustApply(t, OpAdd, NewFloat(math.MaxInt64), NewInt(1)); v.Kind() != KindFloat {
+		t.Errorf("float add should not overflow-check: %v", v)
+	}
+}
+
+func TestNegateOverflow(t *testing.T) {
+	if _, err := Negate(NewInt(math.MinInt64)); !errors.Is(err, ErrArithmeticOverflow) {
+		t.Fatalf("Negate(MinInt64): want ErrArithmeticOverflow, got %v", err)
+	}
+	v, err := Negate(NewInt(math.MinInt64 + 1))
+	if err != nil || v.Int() != math.MaxInt64 {
+		t.Fatalf("Negate(MinInt64+1) = %v, %v", v, err)
+	}
+}

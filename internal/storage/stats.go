@@ -53,6 +53,18 @@ func (s *Stats) Snapshot() Snapshot {
 	}
 }
 
+// Add returns the counter-wise sum s + t.
+func (s Snapshot) Add(t Snapshot) Snapshot {
+	return Snapshot{
+		LogicalReads:    s.LogicalReads + t.LogicalReads,
+		WorktableWrites: s.WorktableWrites + t.WorktableWrites,
+		WorktableReads:  s.WorktableReads + t.WorktableReads,
+		WorktableBytes:  s.WorktableBytes + t.WorktableBytes,
+		RowsEmitted:     s.RowsEmitted + t.RowsEmitted,
+		IndexSeeks:      s.IndexSeeks + t.IndexSeeks,
+	}
+}
+
 // Sub returns the delta s - t, counter-wise.
 func (s Snapshot) Sub(t Snapshot) Snapshot {
 	return Snapshot{

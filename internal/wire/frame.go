@@ -53,6 +53,9 @@ const (
 	// MsgQuit announces an orderly client disconnect. Empty body. Reply:
 	// MsgOK, after which the server closes the connection.
 	MsgQuit MsgType = 0x06
+	// MsgStats requests the server's query-metrics snapshot. Empty body.
+	// Reply: MsgServerStats.
+	MsgStats MsgType = 0x07
 
 	// MsgOK is the empty success acknowledgement.
 	MsgOK MsgType = 0x81
@@ -67,6 +70,8 @@ const (
 	MsgCursor MsgType = 0x85
 	// MsgRows answers MsgFetch. Body: done flag + encoded row batch.
 	MsgRows MsgType = 0x86
+	// MsgServerStats answers MsgStats. Body: an encoded ServerStats.
+	MsgServerStats MsgType = 0x87
 )
 
 // WriteFrame writes one frame and returns the number of bytes written.

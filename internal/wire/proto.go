@@ -224,6 +224,92 @@ func DecodeRowsResp(body []byte) ([][]sqltypes.Value, bool, error) {
 	return rows, body[0] != 0, nil
 }
 
+// SlowQuery is one slow-query log entry in a ServerStats snapshot.
+type SlowQuery struct {
+	// Micros is the request latency in microseconds.
+	Micros int64
+	// Summary is a truncated description of the request (script text or a
+	// protocol-level label).
+	Summary string
+}
+
+// ServerStats is the server's query-metrics snapshot returned for MsgStats:
+// lifetime request counters, traffic totals, an approximate latency
+// distribution, and the most recent slow queries.
+type ServerStats struct {
+	Connections   int64 // connections accepted since start
+	Requests      int64 // frames served (all message types)
+	Execs         int64 // MsgExec batches
+	Queries       int64 // MsgQuery executions
+	Fetches       int64 // MsgFetch batches
+	CursorsOpened int64 // server-side cursors opened since start
+	OpenCursors   int64 // server-side cursors currently open
+	BytesIn       int64 // request frame bytes read
+	BytesOut      int64 // response frame bytes written
+	P50Micros     int64 // approximate median request latency (µs)
+	P99Micros     int64 // approximate 99th-percentile request latency (µs)
+	SlowCount     int64 // requests over the slow-query threshold
+	Slow          []SlowQuery
+}
+
+// EncodeServerStats encodes the MsgServerStats body.
+func EncodeServerStats(st *ServerStats) []byte {
+	buf := binary.AppendUvarint(nil, uint64(st.Connections))
+	buf = binary.AppendUvarint(buf, uint64(st.Requests))
+	buf = binary.AppendUvarint(buf, uint64(st.Execs))
+	buf = binary.AppendUvarint(buf, uint64(st.Queries))
+	buf = binary.AppendUvarint(buf, uint64(st.Fetches))
+	buf = binary.AppendUvarint(buf, uint64(st.CursorsOpened))
+	buf = binary.AppendUvarint(buf, uint64(st.OpenCursors))
+	buf = binary.AppendUvarint(buf, uint64(st.BytesIn))
+	buf = binary.AppendUvarint(buf, uint64(st.BytesOut))
+	buf = binary.AppendUvarint(buf, uint64(st.P50Micros))
+	buf = binary.AppendUvarint(buf, uint64(st.P99Micros))
+	buf = binary.AppendUvarint(buf, uint64(st.SlowCount))
+	buf = binary.AppendUvarint(buf, uint64(len(st.Slow)))
+	for _, sq := range st.Slow {
+		buf = binary.AppendUvarint(buf, uint64(sq.Micros))
+		buf = appendString(buf, sq.Summary)
+	}
+	return buf
+}
+
+// DecodeServerStats decodes the MsgServerStats body.
+func DecodeServerStats(body []byte) (*ServerStats, error) {
+	st := &ServerStats{}
+	fields := []*int64{
+		&st.Connections, &st.Requests, &st.Execs, &st.Queries, &st.Fetches,
+		&st.CursorsOpened, &st.OpenCursors, &st.BytesIn, &st.BytesOut,
+		&st.P50Micros, &st.P99Micros, &st.SlowCount,
+	}
+	for _, f := range fields {
+		v, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, fmt.Errorf("wire: truncated server stats")
+		}
+		*f = int64(v)
+		body = body[w:]
+	}
+	n, w := binary.Uvarint(body)
+	if w <= 0 {
+		return nil, fmt.Errorf("wire: truncated slow-query log")
+	}
+	body = body[w:]
+	st.Slow = make([]SlowQuery, n)
+	for i := range st.Slow {
+		us, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, fmt.Errorf("wire: truncated slow-query entry")
+		}
+		st.Slow[i].Micros = int64(us)
+		var err error
+		if st.Slow[i].Summary, body, err = readString(body[w:]); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
 // EncodeCloseReq encodes the MsgCloseCursor body.
 func EncodeCloseReq(cursorID uint32) []byte {
 	return binary.AppendUvarint(nil, uint64(cursorID))

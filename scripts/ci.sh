@@ -21,4 +21,10 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== explain-analyze golden"
+# The EXPLAIN ANALYZE output shape (operators + runtime counters, wall
+# times normalized) is pinned to testdata/explain_analyze.golden.
+# Regenerate intentional changes with:  go test -run TestExplainAnalyzeGolden -update .
+go test -count=1 -run 'TestExplainAnalyze' .
+
 echo "CI OK"
