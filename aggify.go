@@ -138,9 +138,33 @@ func (db *DB) Query(sql string) (*Rows, error) {
 			data[i] = []Value{sqltypes.NewString(l)}
 		}
 		return &Rows{Columns: []string{"plan"}, Data: data}, nil
+	case *ast.TraceProcStmt:
+		res, err := interp.RunScript(db.sess, stmts)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != 1 {
+			return nil, fmt.Errorf("aggify: TRACE PROCEDURE produced %d result sets", len(res))
+		}
+		return &Rows{Columns: res[0].Columns, Data: res[0].Rows}, nil
 	default:
 		return nil, fmt.Errorf("aggify: Query expects a SELECT (use Exec for scripts)")
 	}
+}
+
+// ProcedureProfile is the structured result of profiling one procedure
+// invocation (see ProfileProcedure).
+type ProcedureProfile = interp.ProcedureProfile
+
+// ProfileProcedure runs a registered stored procedure with the interpreter's
+// procedural profiler enabled and returns per-statement and per-cursor-loop
+// attribution: iteration counts, rows fetched, wall time inside the loop
+// body, and whether the Aggify analysis deems each loop rewritable. The
+// procedure really executes, exactly like CallProc. The same report is
+// available in the dialect as TRACE PROCEDURE name [args] and in sqlsh as
+// \profile.
+func (db *DB) ProfileProcedure(proc string, args ...Value) (*ProcedureProfile, error) {
+	return interp.ProfileProcedure(db.sess, proc, args...)
 }
 
 // QueryScalar runs a SELECT expected to produce one value.

@@ -8,27 +8,40 @@
 //
 // Usage:
 //
-//	aggifyd [-addr host:port] [-tpch SF] [-slow-query D] [script.sql ...]
+//	aggifyd [-addr host:port] [-tpch SF] [-slow-query D]
+//	        [-http host:port] [-trace-sample F] [-trace-out FILE]
+//	        [-log-format text|json] [script.sql ...]
 //
 // Any script files are executed against the engine before the server
 // starts accepting (schema, data, UDFs, aggregates). -tpch loads the TPC-H
 // tables at the given scale factor. SIGINT/SIGTERM drain gracefully:
 // in-flight requests finish, then connections close.
+//
+// Observability (see docs/OBSERVABILITY.md): -http starts a debug listener
+// serving /healthz, /metrics (Prometheus text), /traces (recent traces),
+// and /debug/pprof/*. -trace-sample controls what fraction of untraced
+// requests root server-local traces; requests carrying a client trace
+// context always join. -trace-out appends every completed span as one JSON
+// line. -log-format=json renders the daemon's own log lines as JSON.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"aggify"
 	"aggify/internal/tpch"
+	"aggify/internal/trace"
 )
 
 func main() {
@@ -36,34 +49,73 @@ func main() {
 	tpchSF := flag.Float64("tpch", 0, "load TPC-H tables at this scale factor (0 = off)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	slow := flag.Duration("slow-query", 0, "log requests at least this slow into the server metrics (0 = off)")
+	httpAddr := flag.String("http", "", "debug HTTP listen address serving /healthz /metrics /traces /debug/pprof (empty = off)")
+	traceSample := flag.Float64("trace-sample", 0, "fraction of untraced requests that root server-local traces, in [0,1]")
+	traceOut := flag.String("trace-out", "", "append completed trace spans as JSON lines to this file")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
 	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	switch *logFormat {
+	case "text":
+	case "json":
+		logger = log.New(jsonLines{w: os.Stderr}, "", 0)
+	default:
+		log.Fatalf("aggifyd: unknown -log-format %q (want text or json)", *logFormat)
+	}
 
 	db := aggify.Open()
 	if *tpchSF > 0 {
-		log.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
+		logger.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
 		if err := tpch.Load(db.Engine(), *tpchSF); err != nil {
-			log.Fatalf("aggifyd: tpch: %v", err)
+			logger.Fatalf("aggifyd: tpch: %v", err)
 		}
 	}
 	for _, path := range flag.Args() {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			log.Fatalf("aggifyd: %v", err)
+			logger.Fatalf("aggifyd: %v", err)
 		}
 		if err := db.Exec(string(src)); err != nil {
-			log.Fatalf("aggifyd: %s: %v", path, err)
+			logger.Fatalf("aggifyd: %s: %v", path, err)
 		}
-		log.Printf("aggifyd: executed %s", path)
+		logger.Printf("aggifyd: executed %s", path)
 	}
 
+	cfg := trace.Config{Sample: *traceSample}
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("aggifyd: -trace-out: %v", err)
+		}
+		defer f.Close()
+		cfg.Out = f
+	}
+	tracer := trace.New(cfg)
+
 	srv := db.NewServer()
-	srv.ErrorLog = log.New(os.Stderr, "", log.LstdFlags)
+	srv.ErrorLog = logger
 	srv.SlowThreshold = *slow
+	srv.Tracer = tracer
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("aggifyd: %v", err)
+		logger.Fatalf("aggifyd: %v", err)
 	}
-	log.Printf("aggifyd: listening on %s", lis.Addr())
+	logger.Printf("aggifyd: listening on %s", lis.Addr())
+
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Fatalf("aggifyd: -http: %v", err)
+		}
+		defer hl.Close()
+		logger.Printf("aggifyd: debug http on %s", hl.Addr())
+		go func() {
+			if err := srv.ServeDebug(hl); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("aggifyd: debug http: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -72,17 +124,36 @@ func main() {
 
 	select {
 	case s := <-sig:
-		log.Printf("aggifyd: %v — draining (up to %v)", s, *drain)
+		logger.Printf("aggifyd: %v — draining (up to %v)", s, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("aggifyd: forced shutdown: %v", err)
+			logger.Printf("aggifyd: forced shutdown: %v", err)
 			os.Exit(1)
 		}
-		log.Printf("aggifyd: drained cleanly")
+		logger.Printf("aggifyd: drained cleanly")
 	case err := <-done:
 		if err != nil && !errors.Is(err, aggify.ErrServerClosed) {
-			log.Fatalf("aggifyd: %v", err)
+			logger.Fatalf("aggifyd: %v", err)
 		}
 	}
+}
+
+// jsonLines renders each log line the standard logger emits as one JSON
+// object: {"ts":"<RFC3339Nano>","msg":"..."}.
+type jsonLines struct {
+	w io.Writer
+}
+
+func (j jsonLines) Write(p []byte) (int, error) {
+	buf := make([]byte, 0, len(p)+48)
+	buf = append(buf, `{"ts":`...)
+	buf = strconv.AppendQuote(buf, time.Now().Format(time.RFC3339Nano))
+	buf = append(buf, `,"msg":`...)
+	buf = strconv.AppendQuote(buf, strings.TrimRight(string(p), "\n"))
+	buf = append(buf, '}', '\n')
+	if _, err := j.w.Write(buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
 }

@@ -16,6 +16,10 @@
 //	              EXPLAIN ANALYZE executes and annotates with runtime stats)
 //	\stats        print I/O statistics (embedded) or wire traffic plus
 //	              server query metrics (remote)
+//	\profile P [args]  run procedure P with the procedural profiler and
+//	              print per-statement and per-cursor-loop attribution
+//	              (shorthand for TRACE PROCEDURE, which also works inside
+//	              batches and over -connect)
 //	\aggify NAME  transform the named function/procedure in place (embedded only)
 package main
 
@@ -83,6 +87,8 @@ func main() {
 			sh.explain(strings.TrimPrefix(trimmed, "\\explain "))
 		case trimmed == "\\stats":
 			sh.stats()
+		case strings.HasPrefix(trimmed, "\\profile "):
+			sh.profile(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\profile ")))
 		case strings.HasPrefix(trimmed, "\\aggify "):
 			sh.aggifyModule(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\aggify ")))
 		case strings.EqualFold(trimmed, "go"):
@@ -137,6 +143,14 @@ func (sh *shell) runBatch(src string) error {
 // "analyze" for EXPLAIN ANALYZE).
 func (sh *shell) explain(sql string) {
 	if err := sh.runBatch("EXPLAIN " + sql); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// profile routes \profile through the dialect's TRACE PROCEDURE statement,
+// so it works identically embedded and over -connect.
+func (sh *shell) profile(procAndArgs string) {
+	if err := sh.runBatch("TRACE PROCEDURE " + procAndArgs); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
 }

@@ -174,6 +174,12 @@ func CloneStmt(s Stmt) Stmt {
 			c.Args = append(c.Args, CloneExpr(a))
 		}
 		return c
+	case *TraceProcStmt:
+		c := &TraceProcStmt{Proc: st.Proc}
+		for _, a := range st.Args {
+			c.Args = append(c.Args, CloneExpr(a))
+		}
+		return c
 	case *CreateTable:
 		return &CreateTable{Name: st.Name, Cols: append([]ColumnDef(nil), st.Cols...)}
 	case *CreateIndex:

@@ -345,6 +345,12 @@ func (p *printer) stmt(s Stmt) {
 			args[i] = a.String()
 		}
 		p.line("EXEC %s %s;", st.Proc, strings.Join(args, ", "))
+	case *TraceProcStmt:
+		args := make([]string, len(st.Args))
+		for i, a := range st.Args {
+			args[i] = a.String()
+		}
+		p.line("TRACE PROCEDURE %s %s;", st.Proc, strings.Join(args, ", "))
 	case *CreateTable:
 		cols := make([]string, len(st.Cols))
 		for i, c := range st.Cols {

@@ -157,6 +157,16 @@ type ExecStmt struct {
 	Args []Expr
 }
 
+// TraceProcStmt profiles one procedure invocation: TRACE PROCEDURE p [args].
+// The interpreter runs the procedure with per-statement profiling enabled
+// and returns a result set attributing wall time and logical reads to each
+// procedural statement, aggregated per cursor loop, with loops the Aggify
+// analysis deems rewritable tagged aggify_candidate=true.
+type TraceProcStmt struct {
+	Proc string
+	Args []Expr
+}
+
 // ColumnDef is a column in DDL.
 type ColumnDef struct {
 	Name string
@@ -233,6 +243,7 @@ func (*DeleteStmt) stmtNode()       {}
 func (*TryCatch) stmtNode()         {}
 func (*PrintStmt) stmtNode()        {}
 func (*ExecStmt) stmtNode()         {}
+func (*TraceProcStmt) stmtNode()    {}
 func (*CreateTable) stmtNode()      {}
 func (*CreateIndex) stmtNode()      {}
 func (*CreateFunction) stmtNode()   {}

@@ -167,6 +167,10 @@ func StmtExprs(s Stmt, fn func(Expr) bool) {
 		for _, a := range st.Args {
 			visit(a)
 		}
+	case *TraceProcStmt:
+		for _, a := range st.Args {
+			visit(a)
+		}
 	}
 }
 

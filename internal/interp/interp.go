@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"aggify/internal/ast"
 	"aggify/internal/engine"
@@ -103,6 +104,11 @@ type Runner struct {
 
 	// Results collects result sets from standalone SELECT statements.
 	Results []ResultSet
+
+	// Prof, when set, attributes wall time and logical reads to each
+	// executed statement node (see ProfileProcedure). Nil — the normal
+	// case — costs one nil check per statement.
+	Prof *Profile
 }
 
 // ResultSet is one SELECT statement's output.
@@ -151,8 +157,23 @@ func (r *Runner) Run(stmts []ast.Stmt) error {
 	return nil
 }
 
-// Exec executes one statement.
+// Exec executes one statement, attributing its cost when profiling.
 func (r *Runner) Exec(s ast.Stmt) error {
+	if r.Prof == nil {
+		return r.exec(s)
+	}
+	start := time.Now()
+	readsBefore := r.Sess.Stats.LogicalReads.Load()
+	err := r.exec(s)
+	st := r.Prof.stat(s)
+	st.count++
+	st.wall += time.Since(start)
+	st.reads += r.Sess.Stats.LogicalReads.Load() - readsBefore
+	return err
+}
+
+// exec dispatches one statement.
+func (r *Runner) exec(s ast.Stmt) error {
 	if r.ctx.Interrupted() {
 		return exec.ErrInterrupted
 	}
@@ -300,6 +321,8 @@ func (r *Runner) Exec(s ast.Stmt) error {
 		return nil
 	case *ast.ExecStmt:
 		return r.execProc(st)
+	case *ast.TraceProcStmt:
+		return r.execTraceProc(st)
 	case *ast.CreateTable:
 		return r.execCreateTable(st)
 	case *ast.CreateIndex:
@@ -415,6 +438,9 @@ func (r *Runner) execFetch(st *ast.FetchStmt) error {
 		}
 	}
 	r.Frame.fetchStatus = 0
+	if r.Prof != nil {
+		r.Prof.fetchOK[st]++
+	}
 	return nil
 }
 
@@ -432,6 +458,31 @@ func (r *Runner) execProc(st *ast.ExecStmt) error {
 		args[i] = v
 	}
 	return callProcedure(r.Sess, r.ctx, def, args)
+}
+
+// execTraceProc runs TRACE PROCEDURE: the named procedure executes under a
+// profiling runner (side effects happen, like EXEC) and the attribution
+// report becomes a one-column result set.
+func (r *Runner) execTraceProc(st *ast.TraceProcStmt) error {
+	args := make([]sqltypes.Value, len(st.Args))
+	for i, a := range st.Args {
+		v, err := r.eval(a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	prof, err := ProfileProcedure(r.Sess, st.Proc, args...)
+	if err != nil {
+		return err
+	}
+	lines := prof.Lines()
+	rows := make([]exec.Row, len(lines))
+	for i, l := range lines {
+		rows[i] = exec.Row{sqltypes.NewString(l)}
+	}
+	r.Results = append(r.Results, ResultSet{Columns: []string{"profile"}, Rows: rows})
+	return nil
 }
 
 // bindParams populates a frame with declared parameters, applying defaults.

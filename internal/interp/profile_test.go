@@ -1,0 +1,195 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"aggify/internal/engine"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+// profSession builds an engine with a numbers table, a sink table, and two
+// procedures: sumAbove walks a cursor loop that the Aggify analysis accepts,
+// copyNums walks one it must reject (persistent INSERT in the body).
+func profSession(t *testing.T) *engine.Session {
+	t.Helper()
+	eng := engine.New()
+	Install(eng)
+	sess := eng.NewSession()
+	setup := `
+create table nums (n int);
+insert into nums values (1), (2), (3), (4), (5);
+create table sink (n int);
+GO
+create procedure sumAbove(@lo int) as
+begin
+  declare @n int;
+  declare @s int = 0;
+  declare c cursor for select n from nums where n >= @lo order by n;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    set @s = @s + @n;
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+  print @s;
+end
+GO
+create procedure copyNums() as
+begin
+  declare @n int;
+  declare c cursor for select n from nums;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    insert into sink values (@n);
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+end
+`
+	if _, err := RunScript(sess, parser.MustParse(setup)); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	return sess
+}
+
+func TestProfileProcedureCursorLoopCandidate(t *testing.T) {
+	sess := profSession(t)
+	prof, err := ProfileProcedure(sess, "sumAbove", sqltypes.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(prof.Loops))
+	}
+	lp := prof.Loops[0]
+	// 5 matching rows: the body runs once per row, and the priming fetch
+	// plus 4 successful in-loop fetches assign 5 rows total.
+	if lp.Iterations != 5 {
+		t.Fatalf("iterations = %d, want 5", lp.Iterations)
+	}
+	if lp.RowsFetched != 5 {
+		t.Fatalf("rows fetched = %d, want 5", lp.RowsFetched)
+	}
+	if !lp.AggifyCandidate || lp.Reason != "" {
+		t.Fatalf("loop not a candidate: reason = %q", lp.Reason)
+	}
+	if lp.TimeShare <= 0 || lp.TimeShare > 1 {
+		t.Fatalf("time share = %v, want (0,1]", lp.TimeShare)
+	}
+	if lp.LoopWall < lp.BodyWall {
+		t.Fatalf("loop wall %v < body wall %v", lp.LoopWall, lp.BodyWall)
+	}
+	// The procedure really executed: PRINT captured the sum.
+	if p := sess.Prints(); len(p) != 1 || p[0] != "15" {
+		t.Fatalf("prints = %v, want [15]", p)
+	}
+}
+
+func TestProfileProcedureArgumentsNarrowLoop(t *testing.T) {
+	sess := profSession(t)
+	prof, err := ProfileProcedure(sess, "sumAbove", sqltypes.NewInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp := prof.Loops[0]; lp.Iterations != 2 || lp.RowsFetched != 2 {
+		t.Fatalf("iterations=%d rows=%d, want 2/2", lp.Iterations, lp.RowsFetched)
+	}
+}
+
+func TestProfileProcedureRejectedLoopHasReason(t *testing.T) {
+	sess := profSession(t)
+	prof, err := ProfileProcedure(sess, "copyNums")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(prof.Loops))
+	}
+	lp := prof.Loops[0]
+	if lp.AggifyCandidate {
+		t.Fatal("persistent INSERT in loop body must not be a candidate")
+	}
+	if !strings.Contains(lp.Reason, "sink") {
+		t.Fatalf("reason = %q, want the offending table named", lp.Reason)
+	}
+	// Side effects happened exactly like EXEC.
+	tbl, ok := sess.Eng.Table("sink")
+	if !ok {
+		t.Fatal("sink table missing")
+	}
+	if n := tbl.RowCount(); n != 5 {
+		t.Fatalf("sink rows = %d, want 5", n)
+	}
+}
+
+func TestProfileProcedureStmtAttribution(t *testing.T) {
+	sess := profSession(t)
+	prof, err := ProfileProcedure(sess, "sumAbove", sqltypes.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Stmts) == 0 {
+		t.Fatal("no per-statement attribution")
+	}
+	var sawLoop bool
+	for _, st := range prof.Stmts {
+		if st.Count < 1 {
+			t.Fatalf("top-level stmt %q ran %d times", st.Text, st.Count)
+		}
+		if strings.HasPrefix(st.Text, "WHILE") || strings.HasPrefix(st.Text, "while") {
+			sawLoop = true
+		}
+	}
+	if !sawLoop {
+		t.Fatalf("WHILE missing from attribution: %+v", prof.Stmts)
+	}
+	if prof.Wall <= 0 {
+		t.Fatalf("wall = %v", prof.Wall)
+	}
+}
+
+func TestProfileProcedureUnknown(t *testing.T) {
+	sess := profSession(t)
+	if _, err := ProfileProcedure(sess, "nope"); err == nil {
+		t.Fatal("expected error for unknown procedure")
+	}
+}
+
+// TestTraceProcedureStatement drives the SQL surface: TRACE PROCEDURE
+// returns the profile as a one-column result set whose lines carry the
+// aggify_candidate verdict.
+func TestTraceProcedureStatement(t *testing.T) {
+	sess := profSession(t)
+	rs, err := RunScript(sess, parser.MustParse("trace procedure sumAbove(1);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || len(rs[0].Columns) != 1 || rs[0].Columns[0] != "profile" {
+		t.Fatalf("result shape = %+v", rs)
+	}
+	var all []string
+	for _, row := range rs[0].Rows {
+		all = append(all, row[0].String())
+	}
+	text := strings.Join(all, "\n")
+	for _, want := range []string{
+		"procedure sumabove:",
+		"cursor loop c:",
+		"iterations=5",
+		"rows_fetched=5",
+		"aggify_candidate=true",
+		"time_share=",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -152,6 +152,8 @@ func (p *Parser) ParseStmt() (ast.Stmt, error) {
 		return &ast.PrintStmt{E: e}, nil
 	case "exec":
 		return p.parseExec()
+	case "trace":
+		return p.parseTraceProc()
 	case "create":
 		return p.parseCreate()
 	case "try", "catch":
@@ -642,6 +644,34 @@ func (p *Parser) parseExec() (ast.Stmt, error) {
 		return nil, err
 	}
 	st := &ast.ExecStmt{Proc: name}
+	if !p.isPunct(";") && p.cur().kind != tokEOF && !p.isKw("end") && !p.isKw("go") {
+		for {
+			e, err := p.ParseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Args = append(st.Args, e)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+	p.endStmt()
+	return st, nil
+}
+
+// parseTraceProc parses TRACE PROCEDURE name [arg1, arg2, ...] — a profiled
+// procedure invocation (the argument list mirrors EXEC).
+func (p *Parser) parseTraceProc() (ast.Stmt, error) {
+	p.advance() // TRACE
+	if err := p.expectKw("procedure"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.TraceProcStmt{Proc: name}
 	if !p.isPunct(";") && p.cur().kind != tokEOF && !p.isKw("end") && !p.isKw("go") {
 		for {
 			e, err := p.ParseExpr()

@@ -14,6 +14,7 @@ import (
 	"aggify/internal/interp"
 	"aggify/internal/parser"
 	"aggify/internal/sqltypes"
+	"aggify/internal/trace"
 	"aggify/internal/wire"
 )
 
@@ -32,6 +33,11 @@ type Backend struct {
 	// cursorGauge, when set, is called with +1/-1 as cursors open and close
 	// (the server's open-cursor gauge).
 	cursorGauge func(delta int64)
+
+	// Tracer, when set, records parse/plan/execute/fetch spans under the
+	// parent installed by SetTraceParent for the current request.
+	Tracer *trace.Tracer
+	parent trace.SpanContext
 }
 
 // cursor is a materialized result handed out in fetch-sized batches. The
@@ -55,17 +61,37 @@ func NewBackend(eng *engine.Engine) *Backend {
 // Session exposes the backend's engine session (statistics, options).
 func (b *Backend) Session() *engine.Session { return b.sess }
 
+// SetTraceParent scopes the backend's spans (and the session's plan/execute
+// spans) to one request. A zero context disables them. The caller drives
+// the backend from a single goroutine, so a plain field write suffices.
+func (b *Backend) SetTraceParent(ctx trace.SpanContext) {
+	b.parent = ctx
+	b.sess.Tracer = b.Tracer
+	b.sess.TraceParent = ctx
+}
+
+// span opens a child span of the current request (disabled when untraced).
+func (b *Backend) span(name string) trace.Span {
+	return b.Tracer.StartSpan(b.parent, name)
+}
+
 // OpenCursors returns the number of cursors currently held.
 func (b *Backend) OpenCursors() int { return len(b.cursors) }
 
 // Exec parses and runs a script batch, returning PRINT output and any
 // top-level result sets.
 func (b *Backend) Exec(src string) (*wire.ExecResult, error) {
+	psp := b.span("server.parse")
 	stmts, err := parser.Parse(src)
+	psp.SetAttrInt("statements", int64(len(stmts)))
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	ssp := b.span("server.script")
 	sets, err := interp.RunScript(b.sess, stmts)
+	ssp.SetAttrInt("result_sets", int64(len(sets)))
+	ssp.End()
 	res := &wire.ExecResult{Prints: b.sess.Prints()}
 	if err != nil {
 		return nil, err
@@ -134,6 +160,7 @@ func (b *Backend) Fetch(cursorID uint32, maxRows int) ([][]sqltypes.Value, bool,
 	if maxRows < 1 {
 		maxRows = 1
 	}
+	sp := b.span("server.fetch")
 	hi := c.pos + maxRows
 	if hi > len(c.rows) {
 		hi = len(c.rows)
@@ -144,6 +171,12 @@ func (b *Backend) Fetch(cursorID uint32, maxRows int) ([][]sqltypes.Value, bool,
 	if done {
 		b.releaseCursor(cursorID)
 	}
+	sp.SetAttrInt("cursor", int64(cursorID))
+	sp.SetAttrInt("rows", int64(len(batch)))
+	if done {
+		sp.SetAttrInt("done", 1)
+	}
+	sp.End()
 	return batch, done, nil
 }
 

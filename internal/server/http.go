@@ -1,0 +1,108 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"aggify/internal/trace"
+)
+
+// DebugHandler builds the aggifyd debug mux (the -http listener):
+//
+//	/healthz        liveness probe ({"status":"ok"})
+//	/metrics        Prometheus text exposition of the query-metrics
+//	                registry plus the tracer's counters
+//	/traces         recent traces from the tracer's span ring, as JSON
+//	/debug/pprof/*  the standard Go profiler endpoints
+//
+// The handler reads the same registries the wire-level MsgStats reply does,
+// so it can be attached to any mux or served standalone via ServeDebug.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug serves the debug handler on l until the listener closes.
+func (s *Server) ServeDebug(l net.Listener) error {
+	return http.Serve(l, s.DebugHandler())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte(`{"status":"ok"}` + "\n"))
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand — the
+// format is three lines per metric and not worth a dependency.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	tc := s.Tracer.Counters()
+	var buf []byte
+	counter := func(name, help string, v int64) {
+		buf = append(buf, "# HELP "+name+" "+help+"\n# TYPE "+name+" counter\n"+name+" "...)
+		buf = strconv.AppendInt(buf, v, 10)
+		buf = append(buf, '\n')
+	}
+	gauge := func(name, help string, v int64) {
+		buf = append(buf, "# HELP "+name+" "+help+"\n# TYPE "+name+" gauge\n"+name+" "...)
+		buf = strconv.AppendInt(buf, v, 10)
+		buf = append(buf, '\n')
+	}
+	counter("aggifyd_connections_total", "Connections accepted.", st.Connections)
+	counter("aggifyd_requests_total", "Requests served.", st.Requests)
+	counter("aggifyd_execs_total", "Exec requests served.", st.Execs)
+	counter("aggifyd_queries_total", "Query requests served.", st.Queries)
+	counter("aggifyd_fetches_total", "Fetch requests served.", st.Fetches)
+	counter("aggifyd_cursors_opened_total", "Server-side cursors opened.", st.CursorsOpened)
+	gauge("aggifyd_open_cursors", "Server-side cursors currently open.", st.OpenCursors)
+	counter("aggifyd_bytes_in_total", "Request bytes received.", st.BytesIn)
+	counter("aggifyd_bytes_out_total", "Response bytes sent.", st.BytesOut)
+	gauge("aggifyd_request_latency_p50_micros", "Median request latency upper bound (us).", st.P50Micros)
+	gauge("aggifyd_request_latency_p99_micros", "P99 request latency upper bound (us).", st.P99Micros)
+	counter("aggifyd_slow_requests_total", "Requests over the slow-query threshold.", st.SlowCount)
+	counter("aggifyd_traces_started_total", "Locally-rooted traces sampled.", tc.TracesStarted)
+	counter("aggifyd_traces_joined_total", "Client trace contexts joined.", tc.TracesJoined)
+	counter("aggifyd_spans_recorded_total", "Completed spans recorded.", tc.SpansRecorded)
+	counter("aggifyd_spans_dropped_total", "Spans evicted from the ring unread.", tc.SpansDropped)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf)
+}
+
+// handleTraces renders the tracer's recent traces as a JSON array, most
+// recent trace first, each span in the schema of trace.AppendSpanJSON.
+// ?limit=N bounds the number of traces returned.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	views := s.Tracer.Traces()
+	if lim, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && lim >= 0 && lim < len(views) {
+		views = views[:lim]
+	}
+	buf := []byte{'['}
+	for i, v := range views {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"trace":"`...)
+		buf = append(buf, trace.FormatID(v.Trace)...)
+		buf = append(buf, `","spans":[`...)
+		for j, sp := range v.Spans {
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			buf = trace.AppendSpanJSON(buf, sp)
+		}
+		buf = append(buf, `]}`...)
+	}
+	buf = append(buf, ']', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf)
+}

@@ -14,8 +14,11 @@ import (
 // slowLogSize bounds the slow-query ring buffer.
 const slowLogSize = 16
 
-// summaryLimit truncates slow-query summaries (script text can be large).
-const summaryLimit = 120
+// summaryBudget caps the bytes of statement text captured per slow-query
+// ring entry. Entries hold copies of request text; without a byte budget a
+// single pathological multi-MB Exec batch would pin megabytes in the ring
+// for as long as the entry survives.
+const summaryBudget = 512
 
 // Metrics is the server's query-metrics registry: lifetime request counters,
 // traffic totals, a lock-free latency histogram, and a slow-query log. All
@@ -41,8 +44,10 @@ type Metrics struct {
 	slow []wire.SlowQuery // ring, newest last
 }
 
-// record accounts one served request.
-func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut int, summary string, threshold time.Duration) {
+// record accounts one served request. body is the raw request body; the
+// slow-query summary is derived from it only when the request crosses the
+// threshold, so the common path does no summary formatting or allocation.
+func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut int, body []byte, threshold time.Duration) {
 	m.requests.Add(1)
 	m.bytesIn.Add(int64(bytesIn))
 	m.bytesOut.Add(int64(bytesOut))
@@ -61,9 +66,7 @@ func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut in
 	m.hist[bits.Len64(uint64(us))].Add(1)
 	if threshold > 0 && d >= threshold {
 		m.slowCount.Add(1)
-		if len(summary) > summaryLimit {
-			summary = summary[:summaryLimit] + "..."
-		}
+		summary := clipSummary(requestSummary(typ, body))
 		m.mu.Lock()
 		m.slow = append(m.slow, wire.SlowQuery{Micros: us, Summary: summary})
 		if len(m.slow) > slowLogSize {
@@ -73,15 +76,33 @@ func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut in
 	}
 }
 
-// percentile returns the upper bound (in µs) of the histogram bucket that
-// contains the q-quantile observation (0 when the histogram is empty).
-func (m *Metrics) percentile(q float64) int64 {
+// clipSummary enforces the slow-log byte budget.
+func clipSummary(s string) string {
+	if len(s) > summaryBudget {
+		return s[:summaryBudget] + "..."
+	}
+	return s
+}
+
+// latencyPercentiles derives p50 and p99 from one consistent histogram
+// snapshot. Loading the buckets once is what keeps the pair internally
+// consistent under concurrent recording: computing each percentile from its
+// own load could observe p50 > p99 when a burst of fast requests lands
+// between the two loads. With no samples recorded both are 0 — not a
+// garbage bucket bound.
+func (m *Metrics) latencyPercentiles() (p50, p99 int64) {
 	var counts [64]int64
 	var total int64
 	for i := range m.hist {
 		counts[i] = m.hist[i].Load()
 		total += counts[i]
 	}
+	return quantile(&counts, total, 0.50), quantile(&counts, total, 0.99)
+}
+
+// quantile returns the upper bound (in µs) of the histogram bucket that
+// contains the q-quantile observation, or 0 when the histogram is empty.
+func quantile(counts *[64]int64, total int64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
@@ -103,34 +124,50 @@ func (m *Metrics) percentile(q float64) int64 {
 }
 
 // Snapshot assembles the wire-level stats reply. openCursors is the server's
-// live cursor gauge (owned by Server, not Metrics).
+// live cursor gauge (owned by Server, not Metrics). Typed counters are
+// loaded before the requests total so that execs+queries+fetches never
+// exceeds requests within one snapshot (each record bumps requests first).
 func (m *Metrics) Snapshot(openCursors int64) *wire.ServerStats {
 	m.mu.Lock()
 	slow := append([]wire.SlowQuery(nil), m.slow...)
 	m.mu.Unlock()
+	execs := m.execs.Load()
+	queries := m.queries.Load()
+	fetches := m.fetches.Load()
+	slowCount := m.slowCount.Load()
+	p50, p99 := m.latencyPercentiles()
 	return &wire.ServerStats{
 		Connections:   m.connections.Load(),
 		Requests:      m.requests.Load(),
-		Execs:         m.execs.Load(),
-		Queries:       m.queries.Load(),
-		Fetches:       m.fetches.Load(),
+		Execs:         execs,
+		Queries:       queries,
+		Fetches:       fetches,
 		CursorsOpened: m.cursorsOpened.Load(),
 		OpenCursors:   openCursors,
 		BytesIn:       m.bytesIn.Load(),
 		BytesOut:      m.bytesOut.Load(),
-		P50Micros:     m.percentile(0.50),
-		P99Micros:     m.percentile(0.99),
-		SlowCount:     m.slowCount.Load(),
+		P50Micros:     p50,
+		P99Micros:     p99,
+		SlowCount:     slowCount,
 		Slow:          slow,
 	}
 }
 
-// requestSummary describes a request for the slow-query log.
+// requestSummary describes a request for the slow-query log. Script text is
+// clipped near the summary byte budget before conversion so a multi-MB
+// batch never materializes as a string; one extra byte is kept so
+// clipSummary can still see the entry was oversized and mark it.
 func requestSummary(typ wire.MsgType, body []byte) string {
 	switch typ {
 	case wire.MsgExec:
+		if len(body) > summaryBudget+1 {
+			body = body[:summaryBudget+1]
+		}
 		return string(body)
 	case wire.MsgPrepare:
+		if len(body) > summaryBudget+1 {
+			body = body[:summaryBudget+1]
+		}
 		return "PREPARE " + string(body)
 	case wire.MsgQuery:
 		if id, _, err := wire.DecodeQueryReq(body); err == nil {

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggify/internal/wire"
+)
+
+// TestPercentilesEmptyHistogramZero: with no samples recorded, p50 and p99
+// must both be 0, not a garbage bucket bound.
+func TestPercentilesEmptyHistogramZero(t *testing.T) {
+	var m Metrics
+	st := m.Snapshot(0)
+	if st.P50Micros != 0 || st.P99Micros != 0 {
+		t.Fatalf("empty histogram percentiles = p50=%d p99=%d, want 0/0", st.P50Micros, st.P99Micros)
+	}
+}
+
+func TestPercentilesSingleSample(t *testing.T) {
+	var m Metrics
+	m.record(wire.MsgExec, 100*time.Microsecond, 10, 10, nil, 0)
+	st := m.Snapshot(0)
+	// 100µs needs 7 bits, so both percentiles report the 2^7 bucket bound.
+	if st.P50Micros != 128 || st.P99Micros != 128 {
+		t.Fatalf("p50=%d p99=%d, want 128/128", st.P50Micros, st.P99Micros)
+	}
+}
+
+func TestPercentilesOrdered(t *testing.T) {
+	var m Metrics
+	for i := 0; i < 98; i++ {
+		m.record(wire.MsgExec, 10*time.Microsecond, 1, 1, nil, 0)
+	}
+	m.record(wire.MsgExec, 10*time.Millisecond, 1, 1, nil, 0)
+	m.record(wire.MsgExec, 10*time.Millisecond, 1, 1, nil, 0)
+	st := m.Snapshot(0)
+	if st.P50Micros > st.P99Micros {
+		t.Fatalf("p50=%d > p99=%d", st.P50Micros, st.P99Micros)
+	}
+	if st.P50Micros != 16 {
+		t.Fatalf("p50 = %d, want 16", st.P50Micros)
+	}
+	if st.P99Micros < 1<<13 {
+		t.Fatalf("p99 = %d, want the slow tail visible", st.P99Micros)
+	}
+}
+
+// TestSlowSummaryTruncatesOversizedStatement: a multi-megabyte Exec must
+// leave only ~summaryBudget bytes in the slow-query ring.
+func TestSlowSummaryTruncatesOversizedStatement(t *testing.T) {
+	var m Metrics
+	huge := []byte("select '" + strings.Repeat("x", 4<<20) + "'")
+	m.record(wire.MsgExec, time.Second, len(huge), 10, huge, time.Millisecond)
+	st := m.Snapshot(0)
+	if len(st.Slow) != 1 {
+		t.Fatalf("slow entries = %d, want 1", len(st.Slow))
+	}
+	s := st.Slow[0].Summary
+	if len(s) > summaryBudget+len("...") {
+		t.Fatalf("summary length %d exceeds budget %d", len(s), summaryBudget)
+	}
+	if !strings.HasPrefix(s, "select '") || !strings.HasSuffix(s, "...") {
+		t.Fatalf("summary mangled: %.40q...%q", s, s[len(s)-8:])
+	}
+}
+
+func TestSlowSummaryShortStatementIntact(t *testing.T) {
+	var m Metrics
+	m.record(wire.MsgExec, time.Second, 8, 8, []byte("select 1"), time.Millisecond)
+	st := m.Snapshot(0)
+	if len(st.Slow) != 1 || st.Slow[0].Summary != "select 1" {
+		t.Fatalf("slow = %+v", st.Slow)
+	}
+}
+
+func TestFastRequestSkipsSlowRing(t *testing.T) {
+	var m Metrics
+	m.record(wire.MsgExec, time.Microsecond, 8, 8, []byte("select 1"), time.Second)
+	st := m.Snapshot(0)
+	if len(st.Slow) != 0 || st.SlowCount != 0 {
+		t.Fatalf("fast request entered slow ring: %+v", st.Slow)
+	}
+}
+
+func TestSlowRingBounded(t *testing.T) {
+	var m Metrics
+	for i := 0; i < slowLogSize*3; i++ {
+		m.record(wire.MsgExec, time.Second, 8, 8, []byte("q"), time.Millisecond)
+	}
+	st := m.Snapshot(0)
+	if len(st.Slow) != slowLogSize {
+		t.Fatalf("ring size = %d, want %d", len(st.Slow), slowLogSize)
+	}
+	if st.SlowCount != slowLogSize*3 {
+		t.Fatalf("SlowCount = %d, want %d", st.SlowCount, slowLogSize*3)
+	}
+}
+
+// TestMetricsConcurrentHammer records from many goroutines while snapshots
+// stream, asserting every snapshot is internally consistent: typed counters
+// never exceed the request total, percentiles stay ordered, and the final
+// totals are exact. Run with -race, this is also the registry's data-race
+// guard.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	var m Metrics
+	const writers, perW = 8, 500
+	body := []byte("select n from nums")
+	var writersWG sync.WaitGroup
+	stop := make(chan struct{})
+	snapDone := make(chan struct{})
+	var snapErr error
+	go func() {
+		defer close(snapDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := m.Snapshot(3)
+			if sum := st.Execs + st.Queries + st.Fetches; sum > st.Requests {
+				snapErr = fmt.Errorf("snapshot: execs+queries+fetches = %d exceeds requests = %d", sum, st.Requests)
+				return
+			}
+			if st.P50Micros > st.P99Micros {
+				snapErr = fmt.Errorf("snapshot: p50 = %d > p99 = %d", st.P50Micros, st.P99Micros)
+				return
+			}
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writersWG.Add(1)
+		go func(g int) {
+			defer writersWG.Done()
+			types := []wire.MsgType{wire.MsgExec, wire.MsgQuery, wire.MsgFetch, wire.MsgStats}
+			for i := 0; i < perW; i++ {
+				d := time.Duration(1+i%1000) * time.Microsecond
+				m.record(types[(g+i)%len(types)], d, 10, 20, body, 500*time.Microsecond)
+			}
+		}(g)
+	}
+	writersWG.Wait()
+	close(stop)
+	<-snapDone
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	st := m.Snapshot(0)
+	if st.Requests != writers*perW {
+		t.Fatalf("Requests = %d, want %d", st.Requests, writers*perW)
+	}
+	if st.BytesIn != writers*perW*10 || st.BytesOut != writers*perW*20 {
+		t.Fatalf("bytes = %d/%d", st.BytesIn, st.BytesOut)
+	}
+	if sum := st.Execs + st.Queries + st.Fetches; sum != writers*perW*3/4 {
+		t.Fatalf("typed sum = %d, want %d", sum, writers*perW*3/4)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"aggify/internal/engine"
+	"aggify/internal/trace"
 	"aggify/internal/wire"
 )
 
@@ -29,6 +30,11 @@ type Server struct {
 	// SlowThreshold, when positive, logs requests at least this slow into the
 	// metrics slow-query ring (see Metrics). Set before Serve.
 	SlowThreshold time.Duration
+	// Tracer, when set, records request spans: traced client requests
+	// (wire.TraceFlag) join the client's trace, and untraced requests may
+	// root server-local traces subject to the tracer's sampling rate. Set
+	// before Serve. A nil tracer costs nothing on the request path.
+	Tracer *trace.Tracer
 
 	// metrics is the server-wide query-metrics registry.
 	metrics Metrics
@@ -161,6 +167,7 @@ func (s *Server) Close() error {
 func (s *Server) handle(c net.Conn) {
 	s.metrics.connections.Add(1)
 	b := NewBackend(s.eng)
+	b.Tracer = s.Tracer
 	b.cursorGauge = func(d int64) {
 		s.openCursors.Add(d)
 		if d > 0 {
@@ -185,10 +192,22 @@ func (s *Server) handle(c net.Conn) {
 			s.logf("aggifyd: %v: %v", c.RemoteAddr(), err)
 			return
 		}
+		// Strip the optional trace context; untraced frames pass through
+		// untouched (no allocation).
+		typ, tc, body, err := wire.SplitTraceContext(typ, body)
+		if err != nil {
+			s.logf("aggifyd: %v: %v", c.RemoteAddr(), err)
+			return
+		}
+		sp := s.dispatchSpan(tc, typ)
+		b.SetTraceParent(sp.Context())
 		start := time.Now()
 		respT, respB := s.dispatch(b, typ, body)
 		wn, err := wire.WriteFrame(bw, respT, respB)
-		s.metrics.record(typ, time.Since(start), rn, wn, requestSummary(typ, body), s.SlowThreshold)
+		s.metrics.record(typ, time.Since(start), rn, wn, body, s.SlowThreshold)
+		sp.SetAttrInt("bytes_in", int64(rn))
+		sp.SetAttrInt("bytes_out", int64(wn))
+		sp.End()
 		if err != nil {
 			s.logf("aggifyd: %v: write: %v", c.RemoteAddr(), err)
 			return
@@ -200,6 +219,42 @@ func (s *Server) handle(c net.Conn) {
 		if typ == wire.MsgQuit {
 			return
 		}
+	}
+}
+
+// dispatchSpan opens the per-request server span: traced requests join the
+// client's trace, untraced ones may root a sampled server-local trace. With
+// a nil tracer both paths return a disabled span at zero cost.
+func (s *Server) dispatchSpan(tc wire.TraceContext, typ wire.MsgType) trace.Span {
+	var sp trace.Span
+	if tc.Valid() {
+		sp = s.Tracer.JoinTrace(trace.SpanContext{Trace: trace.ID(tc.TraceID), Span: trace.ID(tc.SpanID)}, "server.dispatch")
+	} else {
+		sp = s.Tracer.StartTrace("server.dispatch")
+	}
+	sp.SetAttr("msg", msgName(typ))
+	return sp
+}
+
+// msgName names a request type for span attributes (no allocation).
+func msgName(typ wire.MsgType) string {
+	switch typ {
+	case wire.MsgExec:
+		return "exec"
+	case wire.MsgPrepare:
+		return "prepare"
+	case wire.MsgQuery:
+		return "query"
+	case wire.MsgFetch:
+		return "fetch"
+	case wire.MsgCloseCursor:
+		return "close_cursor"
+	case wire.MsgStats:
+		return "stats"
+	case wire.MsgQuit:
+		return "quit"
+	default:
+		return "unknown"
 	}
 }
 

@@ -17,12 +17,16 @@ import (
 )
 
 // startServer serves a fresh engine on loopback and returns it with a
-// dialable address. Cleanup drains the server.
-func startServer(t *testing.T) (*engine.Engine, *server.Server, string) {
+// dialable address. opts run before the listener opens (install a tracer,
+// set thresholds); Cleanup drains the server.
+func startServer(t *testing.T, opts ...func(*server.Server)) (*engine.Engine, *server.Server, string) {
 	t.Helper()
 	eng := engine.New()
 	interp.Install(eng)
 	srv := server.New(eng)
+	for _, o := range opts {
+		o(srv)
+	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

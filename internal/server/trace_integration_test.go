@@ -1,0 +1,386 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aggify/internal/client"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/server"
+	"aggify/internal/sqltypes"
+	"aggify/internal/trace"
+	"aggify/internal/wire"
+)
+
+// traceNames returns the span names recorded for trace id in the ring.
+func traceNames(tr *trace.Tracer, id trace.ID) map[string]trace.SpanRecord {
+	out := map[string]trace.SpanRecord{}
+	for _, sp := range tr.Spans() {
+		if sp.Trace == id {
+			out[sp.Name] = sp
+		}
+	}
+	return out
+}
+
+// TestTraceEndToEndOverTCP is the tentpole acceptance test: a client-rooted
+// trace must connect client call → wire frames → server dispatch → parse →
+// plan → execute under ONE trace id, visible in both rings, in the client's
+// JSONL output, and on the server's /traces endpoint.
+func TestTraceEndToEndOverTCP(t *testing.T) {
+	serverTracer := trace.New(trace.Config{}) // sample 0: joins only
+	_, srv, addr := startServer(t, func(s *server.Server) { s.Tracer = serverTracer })
+
+	var jsonl bytes.Buffer
+	clientTracer := trace.New(trace.Config{Sample: 1, Out: &jsonl})
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetTracer(clientTracer)
+
+	if err := conn.Exec(`
+create table nums (n int);
+insert into nums values (1), (2), (3);
+`); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := conn.Prepare("select n from nums order by n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := 0
+	for rs.Next() {
+		rows++
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rs.Close()
+	if rows != 3 {
+		t.Fatalf("rows = %d, want 3", rows)
+	}
+	// A second query closed before it drains sends a real CloseCursor.
+	conn.FetchSize = 1
+	rs2, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs2.Next() {
+		t.Fatal("no first row")
+	}
+	if err := rs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every client call was sampled, so the client ring holds the call
+	// roots plus their wire child spans.
+	clientSpans := clientTracer.Spans()
+	var execRoot trace.SpanRecord
+	names := map[string]bool{}
+	for _, sp := range clientSpans {
+		names[sp.Name] = true
+		if sp.Name == "client.exec" {
+			execRoot = sp
+		}
+	}
+	for _, want := range []string{"client.exec", "client.prepare", "client.query", "client.fetch", "client.close_cursor", "wire.write", "wire.read"} {
+		if !names[want] {
+			t.Fatalf("client ring missing span %q (have %v)", want, names)
+		}
+	}
+	if execRoot.Trace == 0 || execRoot.Parent != 0 {
+		t.Fatalf("client.exec is not a root span: %+v", execRoot)
+	}
+
+	// The client.exec trace continued on the server: dispatch joined it
+	// (same trace id, remote parent) and parse/script ran under it.
+	sv := traceNames(serverTracer, execRoot.Trace)
+	for _, want := range []string{"server.dispatch", "server.parse", "server.script"} {
+		if _, ok := sv[want]; !ok {
+			t.Fatalf("server ring missing %q for trace %s (have %v)", want, trace.FormatID(execRoot.Trace), sv)
+		}
+	}
+	if sv["server.dispatch"].Parent == 0 {
+		t.Fatal("server.dispatch lost its remote parent span id")
+	}
+	// Client wire spans live in the same trace as the server spans.
+	cv := traceNames(clientTracer, execRoot.Trace)
+	if _, ok := cv["wire.write"]; !ok {
+		t.Fatalf("wire.write not in trace %s", trace.FormatID(execRoot.Trace))
+	}
+	if c := serverTracer.Counters(); c.TracesJoined == 0 || c.TracesStarted != 0 {
+		t.Fatalf("server tracer counters = %+v, want joins only", c)
+	}
+
+	// The prepared-statement query rooted its own trace; the server must
+	// have planned and executed under it.
+	var queryRoot trace.SpanRecord
+	for _, sp := range clientSpans {
+		if sp.Name == "client.query" {
+			queryRoot = sp
+		}
+	}
+	qv := traceNames(serverTracer, queryRoot.Trace)
+	for _, want := range []string{"server.dispatch", "server.plan", "server.execute"} {
+		if _, ok := qv[want]; !ok {
+			t.Fatalf("query trace missing %q on server (have %v)", want, qv)
+		}
+	}
+	// Each batch fetch is its own client-rooted trace ending in a
+	// server.fetch span.
+	var fetchRoot trace.SpanRecord
+	for _, sp := range clientSpans {
+		if sp.Name == "client.fetch" {
+			fetchRoot = sp
+		}
+	}
+	fv := traceNames(serverTracer, fetchRoot.Trace)
+	if _, ok := fv["server.fetch"]; !ok {
+		t.Fatalf("fetch trace missing server.fetch (have %v)", fv)
+	}
+
+	// JSONL out carries the end-to-end trace id as 16 hex chars.
+	if !strings.Contains(jsonl.String(), trace.FormatID(execRoot.Trace)) {
+		t.Fatalf("-trace-out stream missing trace id %s", trace.FormatID(execRoot.Trace))
+	}
+
+	// GET /traces on the server's debug handler exposes the joined trace.
+	req := httptest.NewRequest("GET", "/traces", nil)
+	w := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(w, req)
+	var views []struct {
+		Trace string `json:"trace"`
+		Spans []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &views); err != nil {
+		t.Fatalf("/traces is not JSON: %v\n%s", err, w.Body.String())
+	}
+	found := false
+	for _, v := range views {
+		if v.Trace == trace.FormatID(execRoot.Trace) {
+			found = true
+			if len(v.Spans) < 3 {
+				t.Fatalf("/traces shows %d spans for the exec trace", len(v.Spans))
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("/traces missing trace %s:\n%s", trace.FormatID(execRoot.Trace), w.Body.String())
+	}
+}
+
+// TestTraceProcedureOverWire drives the `\profile` / TRACE PROCEDURE path
+// end to end: the profile report for a cursor-loop procedure arrives as a
+// result set over TCP and carries the aggify_candidate verdict.
+func TestTraceProcedureOverWire(t *testing.T) {
+	_, _, addr := startServer(t)
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Exec(`
+create table nums (n int);
+insert into nums values (1), (2), (3), (4);
+GO
+create procedure sumNums() as
+begin
+  declare @n int;
+  declare @s int = 0;
+  declare c cursor for select n from nums order by n;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    set @s = @s + @n;
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+  print @s;
+end
+`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := conn.ExecResults("trace procedure sumNums;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 1 || len(res.Sets[0].Columns) != 1 || res.Sets[0].Columns[0] != "profile" {
+		t.Fatalf("profile result shape = %+v", res.Sets)
+	}
+	var lines []string
+	for _, row := range res.Sets[0].Rows {
+		lines = append(lines, row[0].Str())
+	}
+	report := strings.Join(lines, "\n")
+	for _, want := range []string{"cursor loop c:", "iterations=4", "rows_fetched=4", "aggify_candidate=true", "time_share="} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("profile over the wire missing %q:\n%s", want, report)
+		}
+	}
+	// The procedure really ran server-side.
+	if p := res.Prints; len(p) != 1 || p[0] != "10" {
+		t.Fatalf("prints = %v, want [10]", p)
+	}
+}
+
+// TestTraceUnsampledAddsNoHeader: with no tracer installed the client must
+// emit plain frames the server accepts, and nothing lands in any ring.
+func TestTraceUnsampledAddsNoHeader(t *testing.T) {
+	serverTracer := trace.New(trace.Config{})
+	_, _, addr := startServer(t, func(s *server.Server) { s.Tracer = serverTracer })
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetTracer(trace.New(trace.Config{Sample: 0}))
+	if err := conn.Exec("create table t (n int)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(serverTracer.Spans()); got != 0 {
+		t.Fatalf("server recorded %d spans for unsampled traffic", got)
+	}
+	if c := serverTracer.Counters(); c.TracesJoined != 0 {
+		t.Fatalf("TracesJoined = %d, want 0", c.TracesJoined)
+	}
+}
+
+// TestInprocTransportTraces: the embedded (in-process) transport parents
+// server-side spans directly under the client call, no wire spans involved.
+func TestInprocTransportTraces(t *testing.T) {
+	eng := engine.New()
+	interp.Install(eng)
+	conn := client.Connect(eng, wire.LAN)
+	defer conn.Close()
+	tr := trace.New(trace.Config{Sample: 1})
+	conn.SetTracer(tr)
+	if err := conn.Exec("create table t (n int); insert into t values (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := conn.Prepare("select n from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rs.Next() {
+	}
+	rs.Close()
+	names := map[string]bool{}
+	for _, sp := range tr.Spans() {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"client.exec", "server.script", "server.plan", "server.execute"} {
+		if !names[want] {
+			t.Fatalf("in-process trace missing %q (have %v)", want, names)
+		}
+	}
+	if names["wire.write"] || names["wire.read"] {
+		t.Fatal("in-process transport emitted wire spans")
+	}
+}
+
+// TestDebugEndpoints pins the debug mux: /healthz liveness, /metrics
+// Prometheus exposition (metrics and tracer counters present), pprof index.
+func TestDebugEndpoints(t *testing.T) {
+	_, srv, addr := startServer(t, func(s *server.Server) { s.Tracer = trace.New(trace.Config{Sample: 1}) })
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Exec("create table t (n int); insert into t values (1)"); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := conn.Prepare("select n from t where n >= ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(sqltypes.NewInt(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	h := srv.DebugHandler()
+	get := func(path string) (int, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		b, _ := io.ReadAll(w.Result().Body)
+		return w.Code, string(b)
+	}
+
+	code, body := get("/healthz")
+	if code != 200 || strings.TrimSpace(body) != `{"status":"ok"}` {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"aggifyd_requests_total",
+		"aggifyd_execs_total",
+		"aggifyd_queries_total",
+		"aggifyd_request_latency_p50_micros",
+		"aggifyd_traces_started_total",
+		"aggifyd_spans_recorded_total",
+		"# TYPE aggifyd_requests_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/traces?limit=1")
+	if code != 200 {
+		t.Fatalf("/traces = %d", code)
+	}
+	var views []map[string]any
+	if err := json.Unmarshal([]byte(body), &views); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if len(views) != 1 {
+		t.Fatalf("limit=1 returned %d traces", len(views))
+	}
+
+	if code, _ := get("/debug/pprof/"); code != 200 {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
+
+// TestMetricsNilTracer: the debug handler must serve even when no tracer is
+// installed (srv.Tracer nil) — tracer methods are nil-safe.
+func TestMetricsNilTracer(t *testing.T) {
+	_, srv, _ := startServer(t)
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(w, req)
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "aggifyd_traces_joined_total 0") {
+		t.Fatalf("/metrics with nil tracer = %d\n%s", w.Code, w.Body.String())
+	}
+	req = httptest.NewRequest("GET", "/traces", nil)
+	w = httptest.NewRecorder()
+	srv.DebugHandler().ServeHTTP(w, req)
+	if w.Code != 200 || strings.TrimSpace(w.Body.String()) != "[]" {
+		t.Fatalf("/traces with nil tracer = %d %q", w.Code, w.Body.String())
+	}
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"strconv"
+)
+
+// AppendSpanJSON renders one span record as a single JSON object with a
+// stable field order — the schema shared by the -trace-out JSONL stream and
+// the /traces endpoint, pinned by testdata/span.golden:
+//
+//	{"trace":"<16-hex>","span":"<16-hex>","parent":"<16-hex>","name":...,
+//	 "start_us":<unix-µs>,"dur_us":<µs>,"attrs":{...}}
+//
+// A root span has parent "0000000000000000". Attribute values are strings
+// or integers.
+func AppendSpanJSON(buf []byte, r SpanRecord) []byte {
+	buf = append(buf, `{"trace":"`...)
+	buf = appendHexID(buf, r.Trace)
+	buf = append(buf, `","span":"`...)
+	buf = appendHexID(buf, r.Span)
+	buf = append(buf, `","parent":"`...)
+	buf = appendHexID(buf, r.Parent)
+	buf = append(buf, `","name":`...)
+	buf = strconv.AppendQuote(buf, r.Name)
+	buf = append(buf, `,"start_us":`...)
+	buf = strconv.AppendInt(buf, r.Start.UnixMicro(), 10)
+	buf = append(buf, `,"dur_us":`...)
+	buf = strconv.AppendInt(buf, r.Dur.Microseconds(), 10)
+	buf = append(buf, `,"attrs":{`...)
+	for i, a := range r.Attrs {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendQuote(buf, a.Key)
+		buf = append(buf, ':')
+		if a.IsInt {
+			buf = strconv.AppendInt(buf, a.Int, 10)
+		} else {
+			buf = strconv.AppendQuote(buf, a.Str)
+		}
+	}
+	return append(buf, `}}`...)
+}
+
+// appendHexID renders an ID as 16 lower-case hex digits.
+func appendHexID(buf []byte, id ID) []byte {
+	const digits = "0123456789abcdef"
+	var tmp [16]byte
+	v := uint64(id)
+	for i := 15; i >= 0; i-- {
+		tmp[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(buf, tmp[:]...)
+}
+
+// FormatID renders an ID the way AppendSpanJSON does (16 hex digits), for
+// log lines and tests.
+func FormatID(id ID) string { return string(appendHexID(nil, id)) }
+
+// ParseID parses a 16-hex-digit ID (the inverse of FormatID).
+func ParseID(s string) (ID, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	return ID(v), err
+}

@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanRecord is one completed span, as stored in the ring and rendered to
+// JSONL and /traces.
+type SpanRecord struct {
+	Trace  ID
+	Span   ID
+	Parent ID
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Attrs  []Attr
+}
+
+// ring is a fixed-capacity buffer of the most recent completed spans. push
+// takes the mutex only briefly (a copy into a preallocated slot), which
+// keeps the enabled hot path cheap; the disabled path never reaches here.
+type ring struct {
+	mu      sync.Mutex
+	buf     []SpanRecord
+	next    uint64 // total pushes; buf index is next % len(buf)
+	dropped atomic.Int64
+}
+
+func (r *ring) init(capacity int) {
+	r.buf = make([]SpanRecord, capacity)
+}
+
+func (r *ring) push(rec SpanRecord) {
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped.Add(1)
+	}
+	r.buf[r.next%uint64(len(r.buf))] = rec
+	r.next++
+	r.mu.Unlock()
+}
+
+// snapshot copies the ring's live records, oldest first.
+func (r *ring) snapshot() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.next
+	size := uint64(len(r.buf))
+	count := n
+	if count > size {
+		count = size
+	}
+	out := make([]SpanRecord, 0, count)
+	for i := n - count; i < n; i++ {
+		out = append(out, r.buf[i%size])
+	}
+	return out
+}

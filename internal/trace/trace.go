@@ -1,0 +1,305 @@
+// Package trace is a lock-light distributed span tracer for the aggify
+// client/server stack. A trace is a tree of spans sharing one trace ID; the
+// client mints the trace ID for each driver call and the server joins it by
+// reading the trace context carried in the wire frame (wire.TraceFlag), so
+// one request produces one connected trace spanning client call → frame
+// write/read → server dispatch → parse → plan → execute.
+//
+// Completed spans go to an in-memory ring of recent spans (served by the
+// aggifyd -http debug listener at /traces) and, optionally, to a JSONL
+// writer (aggifyd -trace-out). Local trace roots are sampling-controlled
+// (aggifyd -trace-sample); joined traces are always recorded, because the
+// remote end already made the sampling decision.
+//
+// The disabled path is free: every method is safe on a nil *Tracer, Span is
+// a value type that stays on the caller's stack, and a disabled span's
+// methods return before touching the clock — zero allocations and no atomic
+// traffic, guarded by TestDisabledTracingZeroAllocs.
+package trace
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ID identifies a trace or a span (zero means absent).
+type ID uint64
+
+// SpanContext names a position in a trace: the trace plus a parent span.
+// The zero SpanContext is "not traced".
+type SpanContext struct {
+	Trace ID
+	Span  ID
+}
+
+// Valid reports whether the context names a live trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// Attr is one span attribute. Attributes are either strings or integers;
+// integers render unquoted in JSON.
+type Attr struct {
+	Key string
+	Str string
+	Int int64
+	// IsInt selects the integer value.
+	IsInt bool
+}
+
+// String builds a string attribute.
+func String(key, val string) Attr { return Attr{Key: key, Str: val} }
+
+// Int builds an integer attribute.
+func Int(key string, val int64) Attr { return Attr{Key: key, Int: val, IsInt: true} }
+
+// maxAttrs bounds the inline attribute storage of a Span. Attributes past
+// the bound are dropped (never allocated).
+const maxAttrs = 8
+
+// Config configures a Tracer.
+type Config struct {
+	// Sample is the fraction of locally-rooted traces to record, in [0, 1].
+	// 0 disables local roots (joined traces are still recorded); 1 records
+	// every local root.
+	Sample float64
+	// RingSpans is the capacity of the in-memory recent-span ring
+	// (DefaultRingSpans when 0).
+	RingSpans int
+	// Out, when non-nil, receives every completed span as one JSON line.
+	Out io.Writer
+}
+
+// DefaultRingSpans is the default recent-span ring capacity.
+const DefaultRingSpans = 4096
+
+// Counters is a snapshot of the tracer's lifetime counters.
+type Counters struct {
+	// TracesStarted counts locally-rooted traces that passed sampling.
+	TracesStarted int64
+	// TracesJoined counts remote trace contexts joined.
+	TracesJoined int64
+	// SpansRecorded counts completed spans pushed to the sinks.
+	SpansRecorded int64
+	// SpansDropped counts spans evicted from the ring before being read.
+	SpansDropped int64
+}
+
+// Tracer records spans. The zero value is not usable; build one with New.
+// A nil *Tracer is a valid always-off tracer.
+type Tracer struct {
+	threshold uint64 // sampling threshold in 2^64 space
+	rng       atomic.Uint64
+
+	ring ring
+
+	mu  sync.Mutex // guards out and buf
+	out io.Writer
+	buf []byte
+
+	tracesStarted atomic.Int64
+	tracesJoined  atomic.Int64
+	spansRecorded atomic.Int64
+}
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	n := cfg.RingSpans
+	if n <= 0 {
+		n = DefaultRingSpans
+	}
+	t := &Tracer{out: cfg.Out}
+	t.ring.init(n)
+	switch {
+	case cfg.Sample >= 1:
+		t.threshold = ^uint64(0)
+	case cfg.Sample <= 0:
+		t.threshold = 0
+	default:
+		t.threshold = uint64(cfg.Sample * float64(^uint64(0)))
+	}
+	t.rng.Store(uint64(time.Now().UnixNano()) | 1)
+	return t
+}
+
+// next steps the tracer's xorshift64* generator (lock-free, good enough for
+// sampling decisions and ID minting; never returns 0).
+func (t *Tracer) next() uint64 {
+	for {
+		old := t.rng.Load()
+		x := old
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		if t.rng.CompareAndSwap(old, x) {
+			v := x * 0x2545f4914f6cdd1d
+			if v == 0 {
+				v = 1
+			}
+			return v
+		}
+	}
+}
+
+// sampled makes one sampling decision.
+func (t *Tracer) sampled() bool {
+	if t.threshold == ^uint64(0) {
+		return true
+	}
+	if t.threshold == 0 {
+		return false
+	}
+	return t.next() < t.threshold
+}
+
+// Counters returns the lifetime counter snapshot (zero for a nil tracer).
+func (t *Tracer) Counters() Counters {
+	if t == nil {
+		return Counters{}
+	}
+	return Counters{
+		TracesStarted: t.tracesStarted.Load(),
+		TracesJoined:  t.tracesJoined.Load(),
+		SpansRecorded: t.spansRecorded.Load(),
+		SpansDropped:  t.ring.dropped.Load(),
+	}
+}
+
+// Span is one in-flight span. It is a value type: keep it on the stack and
+// call End exactly once. The zero Span is disabled; all methods are no-ops.
+type Span struct {
+	tr     *Tracer
+	trace  ID
+	id     ID
+	parent ID
+	name   string
+	start  time.Time
+	nattrs int
+	attrs  [maxAttrs]Attr
+}
+
+// StartTrace begins a locally-rooted trace, applying the sampling decision.
+// The returned span is disabled when the tracer is nil or the trace was not
+// sampled.
+func (t *Tracer) StartTrace(name string) Span {
+	if t == nil || !t.sampled() {
+		return Span{}
+	}
+	t.tracesStarted.Add(1)
+	return Span{tr: t, trace: ID(t.next()), id: ID(t.next()), name: name, start: time.Now()}
+}
+
+// JoinTrace begins a span under a remote parent (a trace context read off
+// the wire). Joined traces bypass sampling: the remote end already sampled.
+// Disabled when the tracer is nil or the context is zero.
+func (t *Tracer) JoinTrace(parent SpanContext, name string) Span {
+	if t == nil || !parent.Valid() {
+		return Span{}
+	}
+	t.tracesJoined.Add(1)
+	return Span{tr: t, trace: parent.Trace, id: ID(t.next()), parent: parent.Span, name: name, start: time.Now()}
+}
+
+// StartSpan begins a child span under a local parent context. Disabled when
+// the tracer is nil or the parent is zero, so call sites need no guards.
+func (t *Tracer) StartSpan(parent SpanContext, name string) Span {
+	if t == nil || !parent.Valid() {
+		return Span{}
+	}
+	return Span{tr: t, trace: parent.Trace, id: ID(t.next()), parent: parent.Span, name: name, start: time.Now()}
+}
+
+// Enabled reports whether the span records anything.
+func (s *Span) Enabled() bool { return s.tr != nil }
+
+// Context returns the span's context for parenting children (zero when
+// disabled).
+func (s *Span) Context() SpanContext {
+	if s.tr == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// SetAttr attaches a string attribute (dropped past the inline bound).
+func (s *Span) SetAttr(key, val string) {
+	if s.tr == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = String(key, val)
+	s.nattrs++
+}
+
+// SetAttrInt attaches an integer attribute.
+func (s *Span) SetAttrInt(key string, val int64) {
+	if s.tr == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Int(key, val)
+	s.nattrs++
+}
+
+// End completes the span and pushes it to the tracer's sinks. Calling End
+// on a disabled span is a no-op.
+func (s *Span) End() {
+	if s.tr == nil {
+		return
+	}
+	t := s.tr
+	s.tr = nil // End is once
+	rec := SpanRecord{
+		Trace:  s.trace,
+		Span:   s.id,
+		Parent: s.parent,
+		Name:   s.name,
+		Start:  s.start,
+		Dur:    time.Since(s.start),
+		Attrs:  append([]Attr(nil), s.attrs[:s.nattrs]...),
+	}
+	t.spansRecorded.Add(1)
+	t.ring.push(rec)
+	if t.out != nil {
+		t.mu.Lock()
+		t.buf = AppendSpanJSON(t.buf[:0], rec)
+		t.buf = append(t.buf, '\n')
+		t.out.Write(t.buf)
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns the ring's recent spans, oldest first (nil for a nil
+// tracer).
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	return t.ring.snapshot()
+}
+
+// TraceView groups one trace's recent spans.
+type TraceView struct {
+	Trace ID
+	Spans []SpanRecord
+}
+
+// Traces groups the ring's recent spans by trace, most recently started
+// trace first.
+func (t *Tracer) Traces() []TraceView {
+	spans := t.Spans()
+	byTrace := map[ID]int{}
+	var out []TraceView
+	for _, sp := range spans {
+		i, ok := byTrace[sp.Trace]
+		if !ok {
+			i = len(out)
+			byTrace[sp.Trace] = i
+			out = append(out, TraceView{Trace: sp.Trace})
+		}
+		out[i].Spans = append(out[i].Spans, sp)
+	}
+	// Reverse: traces whose first ring span is most recent come first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

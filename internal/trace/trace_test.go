@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStartTraceSampleZeroRecordsNothing(t *testing.T) {
+	tr := New(Config{Sample: 0})
+	sp := tr.StartTrace("call")
+	if sp.Enabled() {
+		t.Fatal("sample=0 span is enabled")
+	}
+	sp.End()
+	if got := len(tr.Spans()); got != 0 {
+		t.Fatalf("recorded %d spans, want 0", got)
+	}
+	if c := tr.Counters(); c.TracesStarted != 0 || c.SpansRecorded != 0 {
+		t.Fatalf("counters = %+v, want zero", c)
+	}
+}
+
+func TestStartTraceSampleOneRecordsEverything(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartTrace("call")
+		if !sp.Enabled() {
+			t.Fatal("sample=1 span is disabled")
+		}
+		sp.End()
+	}
+	if got := len(tr.Spans()); got != 10 {
+		t.Fatalf("recorded %d spans, want 10", got)
+	}
+	if c := tr.Counters(); c.TracesStarted != 10 || c.SpansRecorded != 10 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestJoinTraceBypassesSampling(t *testing.T) {
+	tr := New(Config{Sample: 0})
+	parent := SpanContext{Trace: 0xabc, Span: 0xdef}
+	sp := tr.JoinTrace(parent, "server.dispatch")
+	if !sp.Enabled() {
+		t.Fatal("joined span disabled despite valid remote context")
+	}
+	if ctx := sp.Context(); ctx.Trace != parent.Trace {
+		t.Fatalf("joined trace id = %x, want %x", ctx.Trace, parent.Trace)
+	}
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Trace != parent.Trace || spans[0].Parent != parent.Span {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if c := tr.Counters(); c.TracesJoined != 1 {
+		t.Fatalf("TracesJoined = %d, want 1", c.TracesJoined)
+	}
+}
+
+func TestChildSpansShareTraceID(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	root := tr.StartTrace("root")
+	child := tr.StartSpan(root.Context(), "child")
+	grand := tr.StartSpan(child.Context(), "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.Trace != spans[0].Trace {
+			t.Fatalf("trace ids diverge: %+v", spans)
+		}
+	}
+	// Oldest first: grandchild ended first.
+	if spans[0].Name != "grandchild" || spans[2].Name != "root" {
+		t.Fatalf("order = %s,%s,%s", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[2].Parent != 0 {
+		t.Fatalf("root parent = %x, want 0", spans[2].Parent)
+	}
+	if spans[1].Parent == 0 || spans[0].Parent == 0 {
+		t.Fatal("child spans lost their parents")
+	}
+}
+
+func TestRingEvictsOldestAndCountsDrops(t *testing.T) {
+	tr := New(Config{Sample: 1, RingSpans: 4})
+	for i := 0; i < 10; i++ {
+		sp := tr.StartTrace("s")
+		sp.SetAttrInt("i", int64(i))
+		sp.End()
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(spans))
+	}
+	if spans[0].Attrs[0].Int != 6 || spans[3].Attrs[0].Int != 9 {
+		t.Fatalf("ring window = [%d..%d], want [6..9]", spans[0].Attrs[0].Int, spans[3].Attrs[0].Int)
+	}
+	if c := tr.Counters(); c.SpansDropped != 6 {
+		t.Fatalf("SpansDropped = %d, want 6", c.SpansDropped)
+	}
+}
+
+func TestAttrOverflowDropped(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	sp := tr.StartTrace("s")
+	for i := 0; i < maxAttrs+5; i++ {
+		sp.SetAttrInt("k", int64(i))
+	}
+	sp.End()
+	spans := tr.Spans()
+	if len(spans[0].Attrs) != maxAttrs {
+		t.Fatalf("kept %d attrs, want %d", len(spans[0].Attrs), maxAttrs)
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{Sample: 1, Out: &buf})
+	sp := tr.StartTrace("client.exec")
+	sp.SetAttr("msg", "exec")
+	sp.SetAttrInt("rows", 3)
+	sp.End()
+	line := strings.TrimSpace(buf.String())
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(line), &obj); err != nil {
+		t.Fatalf("trace-out line is not JSON: %v\n%s", err, line)
+	}
+	if obj["name"] != "client.exec" {
+		t.Fatalf("name = %v", obj["name"])
+	}
+	attrs, ok := obj["attrs"].(map[string]any)
+	if !ok || attrs["msg"] != "exec" || attrs["rows"] != float64(3) {
+		t.Fatalf("attrs = %v", obj["attrs"])
+	}
+	if len(obj["trace"].(string)) != 16 || len(obj["span"].(string)) != 16 {
+		t.Fatalf("ids not 16-hex: %v", line)
+	}
+}
+
+// TestSpanJSONGolden pins the span JSON schema shared by -trace-out and the
+// /traces endpoint to testdata/span.golden.
+func TestSpanJSONGolden(t *testing.T) {
+	rec := SpanRecord{
+		Trace:  0x0123456789abcdef,
+		Span:   0x00000000000000aa,
+		Parent: 0x00000000000000bb,
+		Name:   "server.dispatch",
+		Start:  time.UnixMicro(1700000000000000).UTC(),
+		Dur:    1500 * time.Microsecond,
+		Attrs:  []Attr{String("msg", "exec"), Int("rows", 42)},
+	}
+	got := string(AppendSpanJSON(nil, rec)) + "\n"
+	want, err := os.ReadFile("testdata/span.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("span JSON schema drifted:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestFormatParseIDRoundTrip(t *testing.T) {
+	for _, id := range []ID{1, 0xdeadbeef, ^ID(0)} {
+		s := FormatID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatID(%x) = %q", id, s)
+		}
+		back, err := ParseID(s)
+		if err != nil || back != id {
+			t.Fatalf("ParseID(%q) = %x, %v", s, back, err)
+		}
+	}
+}
+
+func TestTracesGroupsByTraceMostRecentFirst(t *testing.T) {
+	tr := New(Config{Sample: 1})
+	a := tr.StartTrace("a")
+	actx := a.Context()
+	a.End()
+	ac := tr.StartSpan(actx, "a.child")
+	ac.End()
+	b := tr.StartTrace("b")
+	b.End()
+	views := tr.Traces()
+	if len(views) != 2 {
+		t.Fatalf("got %d traces", len(views))
+	}
+	if views[0].Spans[0].Name != "b" {
+		t.Fatalf("most recent trace first: got %q", views[0].Spans[0].Name)
+	}
+	if len(views[1].Spans) != 2 {
+		t.Fatalf("trace a has %d spans, want 2", len(views[1].Spans))
+	}
+}
+
+// TestDisabledTracingZeroAllocs is the tracing-overhead guard (run by
+// scripts/ci.sh): the disabled path — nil tracer, unsampled tracer, zero
+// parent — must not allocate.
+func TestDisabledTracingZeroAllocs(t *testing.T) {
+	var nilTracer *Tracer
+	off := New(Config{Sample: 0})
+	cases := map[string]func(){
+		"nil tracer": func() {
+			sp := nilTracer.StartTrace("x")
+			sp.SetAttr("k", "v")
+			sp.SetAttrInt("n", 1)
+			child := nilTracer.StartSpan(sp.Context(), "y")
+			child.End()
+			sp.End()
+		},
+		"unsampled": func() {
+			sp := off.StartTrace("x")
+			sp.SetAttrInt("n", 1)
+			sp.End()
+		},
+		"zero parent": func() {
+			sp := off.StartSpan(SpanContext{}, "x")
+			sp.End()
+		},
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+// TestTracerConcurrentHammer drives the tracer from many goroutines under
+// -race and checks the final counters agree with the ring.
+func TestTracerConcurrentHammer(t *testing.T) {
+	tr := New(Config{Sample: 1, RingSpans: 64})
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := tr.StartTrace("hammer")
+				child := tr.StartSpan(sp.Context(), "child")
+				child.SetAttrInt("i", int64(i))
+				child.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	c := tr.Counters()
+	total := int64(goroutines * perG)
+	if c.TracesStarted != total {
+		t.Fatalf("TracesStarted = %d, want %d", c.TracesStarted, total)
+	}
+	if c.SpansRecorded != 2*total {
+		t.Fatalf("SpansRecorded = %d, want %d", c.SpansRecorded, 2*total)
+	}
+	spans := tr.Spans()
+	if int64(len(spans))+c.SpansDropped != c.SpansRecorded {
+		t.Fatalf("ring %d + dropped %d != recorded %d", len(spans), c.SpansDropped, c.SpansRecorded)
+	}
+	for _, sp := range spans {
+		if sp.Trace == 0 || sp.Span == 0 {
+			t.Fatalf("zero id in recorded span %+v", sp)
+		}
+	}
+}
+
+func BenchmarkDisabledSpanNilTracer(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartTrace("call")
+		sp.SetAttrInt("n", int64(i))
+		sp.End()
+	}
+}
+
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := New(Config{Sample: 1, RingSpans: 1024})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartTrace("call")
+		sp.SetAttrInt("n", int64(i))
+		sp.End()
+	}
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Trace-context propagation (docs/PROTOCOL.md "Trace context"). A client
+// that is recording a trace sets TraceFlag on the request's message type and
+// prefixes the body with a fixed 16-byte trace context:
+//
+//	8 bytes big-endian trace ID (non-zero)
+//	8 bytes big-endian parent span ID
+//
+// so server-side spans join the client's trace. The header is optional and
+// request-only: servers answer with plain response frames, and requests
+// without the flag are byte-identical to the pre-trace protocol.
+
+// TraceFlag marks a request frame carrying a trace context. It occupies a
+// bit between the request range (low) and the response range (high bit), so
+// flagged requests never collide with either.
+const TraceFlag MsgType = 0x40
+
+// TraceContextLen is the fixed trace-context prefix size.
+const TraceContextLen = 16
+
+// TraceContext is the wire form of a trace ID + parent span ID pair.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// EncodeTraced prefixes body with the trace context; send the result with
+// typ|TraceFlag. Only called on traced requests, so its allocation is off
+// the untraced hot path.
+func EncodeTraced(tc TraceContext, body []byte) []byte {
+	out := make([]byte, TraceContextLen+len(body))
+	binary.BigEndian.PutUint64(out[0:8], tc.TraceID)
+	binary.BigEndian.PutUint64(out[8:16], tc.SpanID)
+	copy(out[TraceContextLen:], body)
+	return out
+}
+
+// SplitTraceContext strips the trace context from a request frame. For
+// unflagged frames it returns the inputs unchanged with a zero context —
+// no allocation, so the untraced path pays only a branch. Flagged frames
+// shorter than the context or with a zero trace ID are rejected.
+func SplitTraceContext(typ MsgType, body []byte) (MsgType, TraceContext, []byte, error) {
+	if typ&TraceFlag == 0 {
+		return typ, TraceContext{}, body, nil
+	}
+	if len(body) < TraceContextLen {
+		return 0, TraceContext{}, nil, fmt.Errorf("wire: truncated trace context (%d bytes)", len(body))
+	}
+	tc := TraceContext{
+		TraceID: binary.BigEndian.Uint64(body[0:8]),
+		SpanID:  binary.BigEndian.Uint64(body[8:16]),
+	}
+	if !tc.Valid() {
+		return 0, TraceContext{}, nil, fmt.Errorf("wire: zero trace id in trace context")
+	}
+	return typ &^ TraceFlag, tc, body[TraceContextLen:], nil
+}

@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestTraceContextRoundTripProperty drives EncodeTraced/SplitTraceContext
+// with random contexts, bodies, and request types: the decoded triple must
+// match the encoded one exactly.
+func TestTraceContextRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reqTypes := []MsgType{MsgExec, MsgPrepare, MsgQuery, MsgFetch, MsgCloseCursor, MsgStats, MsgQuit}
+	for i := 0; i < 500; i++ {
+		tc := TraceContext{TraceID: rng.Uint64() | 1, SpanID: rng.Uint64()}
+		body := make([]byte, rng.Intn(256))
+		rng.Read(body)
+		typ := reqTypes[rng.Intn(len(reqTypes))]
+
+		framed := EncodeTraced(tc, body)
+		if len(framed) != TraceContextLen+len(body) {
+			t.Fatalf("framed len = %d, want %d", len(framed), TraceContextLen+len(body))
+		}
+		gotTyp, gotTC, gotBody, err := SplitTraceContext(typ|TraceFlag, framed)
+		if err != nil {
+			t.Fatalf("split: %v", err)
+		}
+		if gotTyp != typ {
+			t.Fatalf("type = 0x%02x, want 0x%02x", byte(gotTyp), byte(typ))
+		}
+		if gotTC != tc {
+			t.Fatalf("context = %+v, want %+v", gotTC, tc)
+		}
+		if !bytes.Equal(gotBody, body) {
+			t.Fatalf("body mismatch after round trip")
+		}
+	}
+}
+
+func TestSplitTraceContextPassthroughUnflagged(t *testing.T) {
+	body := []byte("select 1")
+	typ, tc, got, err := SplitTraceContext(MsgExec, body)
+	if err != nil || typ != MsgExec || tc.Valid() {
+		t.Fatalf("passthrough: typ=0x%02x tc=%+v err=%v", byte(typ), tc, err)
+	}
+	// Same backing array: the untraced path must not copy.
+	if &got[0] != &body[0] {
+		t.Fatal("unflagged body was copied")
+	}
+}
+
+func TestSplitTraceContextPassthroughZeroAllocs(t *testing.T) {
+	body := []byte("select 1")
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, _, _, err := SplitTraceContext(MsgExec, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("unflagged SplitTraceContext allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestSplitTraceContextRejectsTruncated(t *testing.T) {
+	for n := 0; n < TraceContextLen; n++ {
+		if _, _, _, err := SplitTraceContext(MsgExec|TraceFlag, make([]byte, n)); err == nil {
+			t.Fatalf("accepted %d-byte trace context", n)
+		}
+	}
+}
+
+func TestSplitTraceContextRejectsZeroTraceID(t *testing.T) {
+	framed := EncodeTraced(TraceContext{TraceID: 0, SpanID: 5}, []byte("x"))
+	if _, _, _, err := SplitTraceContext(MsgExec|TraceFlag, framed); err == nil {
+		t.Fatal("accepted zero trace id")
+	}
+}
+
+// TestTraceFlagDisjointFromMsgTypes pins the flag bit free of both the
+// request range and the response bit, so flagged requests can never be
+// confused with any defined message type.
+func TestTraceFlagDisjointFromMsgTypes(t *testing.T) {
+	all := []MsgType{
+		MsgExec, MsgPrepare, MsgQuery, MsgFetch, MsgCloseCursor, MsgStats, MsgQuit,
+		MsgResults, MsgStmt, MsgCursor, MsgRows, MsgOK, MsgError, MsgServerStats,
+	}
+	for _, m := range all {
+		if m&TraceFlag != 0 {
+			t.Fatalf("message type 0x%02x collides with TraceFlag", byte(m))
+		}
+	}
+}

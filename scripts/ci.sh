@@ -21,6 +21,35 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== tracing-overhead guard (disabled tracing must not allocate)"
+go test -count=1 -run TestDisabledTracingZeroAllocs ./internal/trace
+
+echo "== aggifyd debug endpoint smoke"
+tmp="$(mktemp -d)"
+go build -o "$tmp/aggifyd" ./cmd/aggifyd
+"$tmp/aggifyd" -addr 127.0.0.1:0 -http 127.0.0.1:0 >"$tmp/aggifyd.log" 2>&1 &
+daemon=$!
+cleanup() {
+	kill "$daemon" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+# The daemon announces the debug listener's bound port in its log.
+addr=""
+for _ in $(seq 1 50); do
+	addr="$(sed -n 's/.*debug http on \([0-9.:]*\).*/\1/p' "$tmp/aggifyd.log" | head -n 1)"
+	[ -n "$addr" ] && break
+	sleep 0.1
+done
+if [ -z "$addr" ]; then
+	echo "aggifyd debug listener never announced itself:"
+	cat "$tmp/aggifyd.log"
+	exit 1
+fi
+go run ./scripts/httpget "http://$addr/healthz" | grep -q '"status":"ok"'
+go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_requests_total'
+echo "debug endpoints OK on $addr"
+
 echo "== explain-analyze golden"
 # The EXPLAIN ANALYZE output shape (operators + runtime counters, wall
 # times normalized) is pinned to testdata/explain_analyze.golden.

@@ -1,0 +1,35 @@
+// Command httpget fetches a URL and writes the response body to stdout,
+// exiting nonzero unless the status is 200. It exists so scripts/ci.sh can
+// probe aggifyd's debug endpoints without depending on curl being
+// installed.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: httpget URL")
+		os.Exit(2)
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+		fmt.Fprintf(os.Stderr, "httpget: %v\n", err)
+		os.Exit(1)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "httpget: %s: %s\n", os.Args[1], resp.Status)
+		os.Exit(1)
+	}
+}
