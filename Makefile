@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench
+.PHONY: all build test race vet fmt ci bench bench-gate
 
 all: build
 
@@ -24,5 +24,9 @@ fmt:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	./scripts/bench_regress.sh
+
+bench-gate:
+	./scripts/bench_regress.sh
 
 ci: fmt vet build race

@@ -1,0 +1,185 @@
+// Gate benchmarks: the short, stable subset of the suite that the CI
+// bench-regression gate runs (scripts/bench_regress.sh). Every benchmark
+// here is selected by the ^BenchmarkGate regex and must stay cheap — the
+// gate runs them with -count=3 and compares the best run against the
+// committed BENCH_4.json snapshot.
+package aggify_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggify"
+	"aggify/internal/ast"
+	"aggify/internal/engine"
+	"aggify/internal/parser"
+	"aggify/internal/sqltypes"
+)
+
+// gateRows clears the planner's parallel row threshold by a wide margin so
+// the serial-vs-parallel cells measure real aggregation work.
+const gateRows = 120_000
+
+var (
+	gateOnce sync.Once
+	gateEng  *engine.Engine
+	gateErr  error
+)
+
+// gateEnv lazily builds a shared engine with one large table; benchmarks in
+// a package run sequentially, so the shared instance is safe.
+func gateEnv(b *testing.B) *engine.Engine {
+	b.Helper()
+	gateOnce.Do(func() {
+		db := aggify.Open()
+		if gateErr = db.Exec("create table gate (k int, v int)"); gateErr != nil {
+			return
+		}
+		tab, ok := db.Engine().Table("gate")
+		if !ok {
+			gateErr = fmt.Errorf("gate table missing after create")
+			return
+		}
+		for i := int64(0); i < gateRows; i++ {
+			if gateErr = tab.Insert([]sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)}); gateErr != nil {
+				return
+			}
+		}
+		gateEng = db.Engine()
+	})
+	if gateErr != nil {
+		b.Fatal(gateErr)
+	}
+	return gateEng
+}
+
+// BenchmarkGateParallelAgg is the serial/parallel pair behind the gate's
+// speedup ratio: the same grouped aggregation at MAXDOP 1 and 4. The gate
+// records parallel_speedup = serial ns/op ÷ parallel ns/op and requires
+// ≥ 2× when the host has at least 4 CPUs.
+func BenchmarkGateParallelAgg(b *testing.B) {
+	eng := gateEnv(b)
+	q := parser.MustParse("select k, count(*), sum(v), min(v), max(v) from gate group by k")[0].(*ast.QueryStmt).Query
+	for _, workers := range []int{1, 4} {
+		name := "serial"
+		if workers > 1 {
+			name = fmt.Sprintf("maxdop=%d", workers)
+		}
+		b.Run(name, func(b *testing.B) {
+			sess := eng.NewSession()
+			sess.Opts.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sess.Query(q, sess.Ctx(nil, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(gateRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkGateTCPLoopback measures one prepared-statement round trip over a
+// real loopback socket — the wire protocol + cursor machinery, no query
+// weight.
+func BenchmarkGateTCPLoopback(b *testing.B) {
+	db := aggify.Open()
+	if err := db.Exec("create table nums (n int); insert into nums values (1),(2),(3);"); err != nil {
+		b.Fatal(err)
+	}
+	srv := db.NewServer()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+		<-done
+	}()
+	conn, err := aggify.Dial(lis.Addr().String(), aggify.LAN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	stmt, err := conn.Prepare("select n from nums where n >= ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stmt.QueryRow(aggify.Int(3)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGateAggify is the headline before/after: the same UDF as a cursor
+// loop and after the Aggify rewrite.
+func BenchmarkGateAggify(b *testing.B) {
+	src := `
+create table vals (v int);
+GO
+create function sumAll() returns float as
+begin
+  declare @v int;
+  declare @s float = 0;
+  declare c cursor for select v from vals;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+    set @s = @s + @v * 2;
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return @s;
+end`
+	build := func(aggified bool) *aggify.DB {
+		db := aggify.Open()
+		if err := db.Exec(src); err != nil {
+			b.Fatal(err)
+		}
+		var ins strings.Builder
+		ins.WriteString("insert into vals values (0)")
+		for i := 1; i < 500; i++ {
+			fmt.Fprintf(&ins, ", (%d)", i)
+		}
+		for j := 0; j < 20; j++ {
+			if err := db.Exec(ins.String()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if aggified {
+			if _, err := db.AggifyFunction("sumAll", aggify.TransformOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	for _, aggified := range []bool{false, true} {
+		name := "cursor"
+		if aggified {
+			name = "aggified"
+		}
+		db := build(aggified)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Call("sumAll"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

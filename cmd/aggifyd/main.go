@@ -53,6 +53,7 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0, "fraction of untraced requests that root server-local traces, in [0,1]")
 	traceOut := flag.String("trace-out", "", "append completed trace spans as JSON lines to this file")
 	logFormat := flag.String("log-format", "text", "log line format: text or json")
+	maxdop := flag.Int("maxdop", 1, "default degree of parallelism for new sessions (1 = serial; sessions override with SET MAXDOP)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -65,6 +66,10 @@ func main() {
 	}
 
 	db := aggify.Open()
+	if *maxdop < 1 {
+		log.Fatalf("aggifyd: -maxdop must be >= 1, got %d", *maxdop)
+	}
+	db.Engine().DefaultMaxDOP = *maxdop
 	if *tpchSF > 0 {
 		logger.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
 		if err := tpch.Load(db.Engine(), *tpchSF); err != nil {

@@ -115,6 +115,8 @@ func CloneStmt(s Stmt) Stmt {
 		return &DeclareTable{Name: st.Name, Cols: append([]ColumnDef(nil), st.Cols...)}
 	case *SetStmt:
 		return &SetStmt{Targets: append([]string(nil), st.Targets...), Value: CloneExpr(st.Value)}
+	case *SetOption:
+		return &SetOption{Name: st.Name, Value: CloneExpr(st.Value)}
 	case *IfStmt:
 		return &IfStmt{Cond: CloneExpr(st.Cond), Then: CloneStmt(st.Then), Else: CloneStmt(st.Else)}
 	case *WhileStmt:
@@ -190,13 +192,17 @@ func CloneStmt(s Stmt) Stmt {
 	case *CreateProcedure:
 		return &CreateProcedure{Name: st.Name, Params: cloneParams(st.Params), Body: CloneStmt(st.Body).(*Block)}
 	case *CreateAggregate:
-		return &CreateAggregate{
+		out := &CreateAggregate{
 			Name: st.Name, Params: cloneParams(st.Params), Returns: st.Returns,
 			Fields:    append([]ColumnDef(nil), st.Fields...),
 			Init:      CloneStmt(st.Init).(*Block),
 			Accum:     CloneStmt(st.Accum).(*Block),
 			Terminate: CloneStmt(st.Terminate).(*Block),
 		}
+		if st.Merge != nil {
+			out.Merge = CloneStmt(st.Merge).(*Block)
+		}
+		return out
 	}
 	panic("ast: CloneStmt of unknown node")
 }

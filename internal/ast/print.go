@@ -252,6 +252,8 @@ func (p *printer) stmt(s Stmt) {
 		} else {
 			p.line("SET (%s) = %s;", strings.Join(st.Targets, ", "), st.Value)
 		}
+	case *SetOption:
+		p.line("SET %s = %s;", strings.ToUpper(st.Name), st.Value)
 	case *IfStmt:
 		p.line("IF %s", st.Cond)
 		p.indentedStmt(st.Then)
@@ -380,6 +382,10 @@ func (p *printer) stmt(s Stmt) {
 		p.stmt(st.Accum)
 		p.line("TERMINATE")
 		p.stmt(st.Terminate)
+		if st.Merge != nil {
+			p.line("MERGE")
+			p.stmt(st.Merge)
+		}
 		p.indent--
 		p.line("END")
 	default:

@@ -1,6 +1,8 @@
 package ast
 
 import (
+	"strings"
+
 	"aggify/internal/sqltypes"
 )
 
@@ -36,6 +38,13 @@ type DeclareTable struct {
 type SetStmt struct {
 	Targets []string // with '@' sigils
 	Value   Expr
+}
+
+// SetOption sets a session option: SET MAXDOP = 4. Options are plain
+// identifiers (no sigil), distinguishing them from variable assignment.
+type SetOption struct {
+	Name  string // lower-cased option name, e.g. "maxdop"
+	Value Expr
 }
 
 // IfStmt is IF cond stmt [ELSE stmt].
@@ -218,12 +227,19 @@ type CreateAggregate struct {
 	Init      *Block
 	Accum     *Block
 	Terminate *Block
+	// Merge, when present, folds another instance's state into this one
+	// (the contract's Merge step, enabling parallel aggregation). The other
+	// instance's fields are visible as @other_<field> variables. Aggify
+	// derives it for additive accumulate bodies; it may also be written by
+	// hand as a MERGE section.
+	Merge *Block
 }
 
 func (*Block) stmtNode()            {}
 func (*DeclareVar) stmtNode()       {}
 func (*DeclareTable) stmtNode()     {}
 func (*SetStmt) stmtNode()          {}
+func (*SetOption) stmtNode()        {}
 func (*IfStmt) stmtNode()           {}
 func (*WhileStmt) stmtNode()        {}
 func (*ForStmt) stmtNode()          {}
@@ -253,3 +269,9 @@ func (*CreateAggregate) stmtNode()  {}
 // FetchStatusVar is the name of the cursor status register set by FETCH:
 // 0 after a successful fetch, -1 at end of cursor.
 const FetchStatusVar = "@@fetch_status"
+
+// OtherFieldVar returns the variable name under which a MERGE body sees the
+// other instance's copy of a field (e.g. "@total" → "@other_total").
+func OtherFieldVar(field string) string {
+	return "@other_" + strings.TrimPrefix(field, "@")
+}

@@ -112,6 +112,9 @@ func WalkStmt(s Stmt, fn func(Stmt) bool) {
 		WalkStmt(st.Init, fn)
 		WalkStmt(st.Accum, fn)
 		WalkStmt(st.Terminate, fn)
+		if st.Merge != nil {
+			WalkStmt(st.Merge, fn)
+		}
 	}
 }
 
@@ -128,6 +131,8 @@ func StmtExprs(s Stmt, fn func(Expr) bool) {
 	case *DeclareVar:
 		visit(st.Init)
 	case *SetStmt:
+		visit(st.Value)
+	case *SetOption:
 		visit(st.Value)
 	case *IfStmt:
 		visit(st.Cond)

@@ -11,11 +11,13 @@ import (
 	"aggify/internal/interp"
 	"aggify/internal/server"
 	"aggify/internal/sqltypes"
+	"aggify/internal/testutil"
 	"aggify/internal/wire"
 )
 
 func newServer(t *testing.T) *engine.Engine {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	eng := engine.New()
 	interp.Install(eng)
 	return eng

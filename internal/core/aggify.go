@@ -373,6 +373,22 @@ func transformLoop(owner string, params []ast.Param, body *ast.Block, loop *Curs
 	}
 	accum.Stmts = append(accum.Stmts, delta.Stmts...)
 
+	// Derive the contract's Merge method when Δ is a pure additive fold over
+	// an unordered cursor (BREAK makes the fold order-dependent, ORDER BY
+	// makes the whole aggregate order-sensitive). The hidden base fields it
+	// introduces record each initialized field's starting value; they are
+	// set alongside the regular initialization.
+	var merge *mergeParts
+	if !usesBreak && len(loop.Decl.Query.OrderBy) == 0 {
+		merge = deriveMerge(delta, initOrder, fieldOrder, initFlag, paramName, types, vDelta)
+	}
+	if merge != nil {
+		fields = append(fields, merge.baseFields...)
+		last := initBlock.Stmts[len(initBlock.Stmts)-1]
+		initBlock.Stmts = append(initBlock.Stmts[:len(initBlock.Stmts)-1], merge.baseInit...)
+		initBlock.Stmts = append(initBlock.Stmts, last)
+	}
+
 	// An empty cursor result leaves the loop body unexecuted and the live
 	// variables at their prior values, while the aggregate's Terminate
 	// returns its (never-initialized, NULL) fields. The paper's direct
@@ -443,6 +459,9 @@ func transformLoop(owner string, params []ast.Param, body *ast.Block, loop *Curs
 		}},
 		Accum:     accum,
 		Terminate: term,
+	}
+	if merge != nil {
+		agg.Merge = merge.block
 	}
 
 	// Rewrite rule (Eqs. 5–6): replace the loop with

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// Merge derivation: the paper's custom-aggregate contract (§3.1) includes a
+// Merge(other) method that folds a second instance's state into the first,
+// which is what makes an aggregate eligible for partitioned (parallel)
+// evaluation. The generator can derive Merge automatically whenever the loop
+// body Δ is a pure additive fold — every statement has the shape
+//
+//	SET @f = @f + e
+//
+// where e is free of field references. Then the aggregate's state after a
+// partition is  init(@p_f) + Σ e  and the other instance's net contribution
+// is  @other_f − @other_base_f, where a hidden @aggify_base_<f> field records
+// the initialization value so it is not double-counted across partitions.
+
+// mergeParts is the output of deriveMerge: the MERGE body plus the hidden
+// base fields (and their initialization statements) it needs.
+type mergeParts struct {
+	block      *ast.Block
+	baseFields []ast.ColumnDef
+	baseInit   []ast.Stmt
+}
+
+// deriveMerge returns the derived MERGE section for a loop whose Δ is an
+// additive fold, or nil when the shape does not qualify. delta is the
+// normalized loop body, initOrder/paramName the initialized fields and their
+// @p_ parameters, fieldOrder every field, and taken the name-collision set.
+func deriveMerge(delta *ast.Block, initOrder, fieldOrder []string, initFlag string,
+	paramName map[string]string, types map[string]sqltypes.Type, taken map[string]bool) *mergeParts {
+
+	isField := map[string]bool{}
+	for _, f := range fieldOrder {
+		isField[f] = true
+	}
+	isInit := map[string]bool{}
+	for _, f := range initOrder {
+		isInit[f] = true
+	}
+
+	// Every Δ statement must be SET @f = @f + e with @f an initialized
+	// field and e free of fields and subqueries.
+	for _, s := range delta.Stmts {
+		set, ok := s.(*ast.SetStmt)
+		if !ok || len(set.Targets) != 1 {
+			return nil
+		}
+		f := set.Targets[0]
+		if !isInit[f] {
+			return nil
+		}
+		bin, ok := set.Value.(*ast.BinExpr)
+		if !ok || bin.Op != sqltypes.OpAdd {
+			return nil
+		}
+		v, ok := bin.L.(*ast.VarRef)
+		if !ok || v.Name != f {
+			return nil
+		}
+		if !addendIsFieldFree(bin.R, isField) {
+			return nil
+		}
+	}
+
+	// Hidden base fields record each initialized field's starting value.
+	out := &mergeParts{}
+	baseName := map[string]string{}
+	for _, f := range initOrder {
+		bn := freshVar("@aggify_base_"+strings.TrimPrefix(f, "@"), taken, types)
+		types[bn] = types[f]
+		baseName[f] = bn
+		out.baseFields = append(out.baseFields, ast.ColumnDef{Name: bn, Type: types[f]})
+		out.baseInit = append(out.baseInit, &ast.SetStmt{Targets: []string{bn}, Value: ast.Var(paramName[f])})
+	}
+
+	// Copy branch: self never accumulated a row — adopt the other instance's
+	// state wholesale (fields, bases, and the init flag).
+	copyBlock := &ast.Block{}
+	allFields := append(append([]string{}, fieldOrder...), initFlag)
+	for _, f := range initOrder {
+		allFields = append(allFields, baseName[f])
+	}
+	for _, f := range allFields {
+		copyBlock.Stmts = append(copyBlock.Stmts,
+			&ast.SetStmt{Targets: []string{f}, Value: ast.Var(ast.OtherFieldVar(f))})
+	}
+
+	// Add branch: both instances accumulated — fold in the other's net
+	// contribution, subtracting its (shared) initialization value.
+	addBlock := &ast.Block{}
+	for _, f := range initOrder {
+		contrib := ast.Bin(sqltypes.OpSub,
+			ast.Var(ast.OtherFieldVar(f)),
+			ast.Var(ast.OtherFieldVar(baseName[f])))
+		addBlock.Stmts = append(addBlock.Stmts,
+			&ast.SetStmt{Targets: []string{f}, Value: ast.Bin(sqltypes.OpAdd, ast.Var(f), contrib)})
+	}
+
+	// The other instance is a no-op unless it accumulated at least one row
+	// (NULL-safe: an untouched @other flag fails the = TRUE test).
+	out.block = &ast.Block{Stmts: []ast.Stmt{
+		&ast.IfStmt{
+			Cond: ast.Eq(ast.Var(ast.OtherFieldVar(initFlag)), ast.Lit(sqltypes.NewBool(true))),
+			Then: &ast.IfStmt{
+				Cond: ast.Eq(ast.Var(initFlag), ast.Lit(sqltypes.NewBool(true))),
+				Then: addBlock,
+				Else: copyBlock,
+			},
+		},
+	}}
+	return out
+}
+
+// addendIsFieldFree reports whether e references no aggregate field and
+// contains no subquery, making its per-row contribution independent of the
+// accumulated state (the additivity requirement).
+func addendIsFieldFree(e ast.Expr, isField map[string]bool) bool {
+	free := true
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch t := x.(type) {
+		case *ast.Subquery:
+			free = false
+			return false
+		case *ast.InExpr:
+			if t.Query != nil {
+				free = false
+				return false
+			}
+		case *ast.VarRef:
+			if isField[t.Name] {
+				free = false
+				return false
+			}
+		}
+		return true
+	})
+	return free
+}

@@ -35,6 +35,11 @@ type Engine struct {
 	plans   map[planKey]*plan.Plan
 	scalars map[scalarKey]exec.Scalar
 
+	// DefaultMaxDOP seeds each new session's degree of parallelism
+	// (plan.Options.Parallelism). 0 or 1 means serial execution; sessions
+	// override it with SET MAXDOP.
+	DefaultMaxDOP int
+
 	// AggFactory builds an executable aggregate spec from a CREATE AGGREGATE
 	// definition; installed by the interpreter.
 	AggFactory func(def *ast.CreateAggregate, orderSensitive bool) (*exec.AggSpec, error)

@@ -36,7 +36,19 @@ type Session struct {
 
 // NewSession creates a session with fresh statistics.
 func (e *Engine) NewSession() *Session {
-	return &Session{Eng: e, Stats: &storage.Stats{}, tempTables: map[string]*storage.Table{}}
+	s := &Session{Eng: e, Stats: &storage.Stats{}, tempTables: map[string]*storage.Table{}}
+	s.Opts.Parallelism = e.DefaultMaxDOP
+	return s
+}
+
+// SetMaxDOP sets the session's degree of parallelism: n > 1 allows parallel
+// plans with up to n workers, 1 forces serial execution, and 0 resets to the
+// engine's default.
+func (s *Session) SetMaxDOP(n int) {
+	if n == 0 {
+		n = s.Eng.DefaultMaxDOP
+	}
+	s.Opts.Parallelism = n
 }
 
 // CreateTempTable registers a session-scoped temp table (#name). Creating

@@ -37,6 +37,13 @@ type AggSpec struct {
 	// Mergeable marks aggregates whose Merge method is implemented, making
 	// them eligible for parallel aggregation.
 	Mergeable bool
+	// ParallelSafe marks aggregates whose Step may run concurrently on
+	// distinct instances without shared mutable state. Built-ins qualify;
+	// interpreted custom aggregates do not (their Accumulate bodies run on
+	// the owning session, which is single-threaded), and compiled custom
+	// aggregates qualify only when their programs are pure slot machines
+	// (no cursors, table access, or function calls).
+	ParallelSafe bool
 }
 
 // ----- Built-in aggregates -----
@@ -44,7 +51,7 @@ type AggSpec struct {
 // BuiltinAggs returns the specs of the built-in aggregate functions.
 func BuiltinAggs() map[string]*AggSpec {
 	mk := func(name string, f func() Aggregator) *AggSpec {
-		return &AggSpec{Name: name, New: f, Mergeable: true}
+		return &AggSpec{Name: name, New: f, Mergeable: true, ParallelSafe: true}
 	}
 	return map[string]*AggSpec{
 		"count": mk("count", func() Aggregator { return &countAgg{} }),

@@ -280,12 +280,26 @@ func (o *StreamAggOp) Close() {
 	}
 }
 
-// ParallelAggOp materializes its input, splits it across Workers goroutines
-// each running its own aggregator instances, and combines partial states
-// with Merge — the parallel path of the custom-aggregate contract (§3.1).
-// It must only be used for order-insensitive aggregates.
+// ParallelAggOp aggregates its input across worker goroutines, each running
+// its own aggregator instances, and combines partial states with Merge —
+// the parallel path of the custom-aggregate contract (§3.1). It must only
+// be used for order-insensitive aggregates.
+//
+// Two input modes:
+//   - Parts (preferred): one pre-partitioned child subtree per worker,
+//     typically Filter/Project chains over a ParallelScanOp. Workers pull
+//     their partition concurrently under private contexts (see exchange.go)
+//     so scans, predicate evaluation, and accumulation all parallelize.
+//   - Child (fallback): the serial input is drained first, then split into
+//     contiguous chunks — only the accumulation parallelizes.
+//
+// Both modes merge worker partials in partition order into worker 0's
+// table, so the output group order equals the serial HashAggOp's first-seen
+// order (partitions are contiguous in serial input order) and results are
+// byte-identical to the serial plan.
 type ParallelAggOp struct {
 	Child     Operator
+	Parts     []Operator
 	GroupKeys []Scalar
 	Aggs      []AggInstance
 	Workers   int
@@ -306,49 +320,21 @@ type pagGroup struct {
 func (o *ParallelAggOp) Open(ctx *Ctx) error {
 	o.groups = nil
 	o.pos = 0
-	rows, err := Drain(ctx, o.Child)
+	var partials []map[uint64][]*pagGroup
+	var orders [][]*pagGroup
+	var err error
+	if len(o.Parts) > 0 {
+		partials, orders, err = o.runPartitioned(ctx)
+	} else {
+		partials, orders, err = o.runChunked(ctx)
+	}
 	if err != nil {
 		return err
-	}
-	workers := o.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(rows) && len(rows) > 0 {
-		workers = len(rows)
-	}
-	if len(rows) == 0 {
-		workers = 1
-	}
-	partials := make([]map[uint64][]*pagGroup, workers)
-	orders := make([][]*pagGroup, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	chunk := (len(rows) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			// Each worker gets its own Ctx view (shared Stats is atomic).
-			wctx := *ctx
-			partials[w], orders[w], errs[w] = o.aggregateChunk(&wctx, rows[lo:hi])
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
 	}
 	// Merge worker partials into worker 0's table.
 	master := partials[0]
 	masterOrder := orders[0]
-	for w := 1; w < workers; w++ {
+	for w := 1; w < len(partials); w++ {
 		for _, g := range orders[w] {
 			h := sqltypes.HashRow(g.keys)
 			var target *pagGroup
@@ -394,11 +380,130 @@ func (o *ParallelAggOp) Open(ctx *Ctx) error {
 	return nil
 }
 
-func (o *ParallelAggOp) aggregateChunk(ctx *Ctx, rows []Row) (map[uint64][]*pagGroup, []*pagGroup, error) {
+// runPartitioned pulls one pre-partitioned subtree per worker, each folding
+// its rows into a private group table under a private context. An error in
+// any worker closes quit so the others stop promptly.
+func (o *ParallelAggOp) runPartitioned(ctx *Ctx) ([]map[uint64][]*pagGroup, [][]*pagGroup, error) {
+	n := len(o.Parts)
+	partials := make([]map[uint64][]*pagGroup, n)
+	orders := make([][]*pagGroup, n)
+	errs := make([]error, n)
+	quit := make(chan struct{})
+	var abort sync.Once
+	stop := func() { abort.Do(func() { close(quit) }) }
+	// quit always closes on the way out so the Done relay below never
+	// outlives this call.
+	defer stop()
+	if ctx.Done != nil {
+		// Relay a parent-level cancellation (early Rows.Close) into quit.
+		go func() {
+			select {
+			case <-ctx.Done:
+				stop()
+			case <-quit:
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w, part := range o.Parts {
+		wg.Add(1)
+		go func(w int, part Operator) {
+			defer wg.Done()
+			wctx, flush := workerCtx(ctx, quit)
+			defer flush()
+			defer part.Close()
+			if err := part.Open(wctx); err != nil {
+				errs[w] = err
+				abort.Do(func() { close(quit) })
+				return
+			}
+			partials[w], orders[w], errs[w] = o.aggregateStream(wctx, part.Next)
+			if errs[w] != nil {
+				abort.Do(func() { close(quit) })
+			}
+		}(w, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return partials, orders, nil
+}
+
+// runChunked is the materialize-then-split fallback used when the planner
+// could not partition the input subtree: only accumulation parallelizes.
+func (o *ParallelAggOp) runChunked(ctx *Ctx) ([]map[uint64][]*pagGroup, [][]*pagGroup, error) {
+	rows, err := Drain(ctx, o.Child)
+	if err != nil {
+		return nil, nil, err
+	}
+	workers := o.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(rows) && len(rows) > 0 {
+		workers = len(rows)
+	}
+	if len(rows) == 0 {
+		workers = 1
+	}
+	partials := make([]map[uint64][]*pagGroup, workers)
+	orders := make([][]*pagGroup, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			wctx, flush := workerCtx(ctx, nil)
+			defer flush()
+			pos := lo
+			partials[w], orders[w], errs[w] = o.aggregateStream(wctx, func(*Ctx) (Row, error) {
+				if pos >= hi {
+					return nil, nil
+				}
+				r := rows[pos]
+				pos++
+				return r, nil
+			})
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return partials, orders, nil
+}
+
+// aggregateStream folds rows from next into a fresh group table, preserving
+// first-seen group order.
+func (o *ParallelAggOp) aggregateStream(ctx *Ctx, next func(*Ctx) (Row, error)) (map[uint64][]*pagGroup, []*pagGroup, error) {
 	table := map[uint64][]*pagGroup{}
 	bufs := argBuffers(o.Aggs)
 	var order []*pagGroup
-	for _, row := range rows {
+	n := 0
+	for {
+		row, err := next(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		if row == nil {
+			return table, order, nil
+		}
+		n++
+		if n%1024 == 0 && ctx.Interrupted() {
+			return nil, nil, ErrInterrupted
+		}
 		var keys []sqltypes.Value
 		if len(o.GroupKeys) > 0 {
 			keys = make([]sqltypes.Value, len(o.GroupKeys))
@@ -433,7 +538,6 @@ func (o *ParallelAggOp) aggregateChunk(ctx *Ctx, rows []Row) (map[uint64][]*pagG
 			}
 		}
 	}
-	return table, order, nil
 }
 
 // Next implements Operator.

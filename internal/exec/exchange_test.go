@@ -1,0 +1,348 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+	"aggify/internal/testutil"
+)
+
+// errOp emits its rows then fails: on Open when failOpen is set, otherwise
+// on the Next call after the last row.
+type errOp struct {
+	rows     []Row
+	failOpen bool
+	err      error
+	pos      int
+}
+
+func (o *errOp) Open(*Ctx) error {
+	o.pos = 0
+	if o.failOpen {
+		return o.err
+	}
+	return nil
+}
+
+func (o *errOp) Next(*Ctx) (Row, error) {
+	if o.pos >= len(o.rows) {
+		return nil, o.err
+	}
+	r := o.rows[o.pos]
+	o.pos++
+	return r, nil
+}
+
+func (o *errOp) Close() {}
+
+func seqRows(lo, hi int64) []Row {
+	var out []Row
+	for i := lo; i < hi; i++ {
+		out = append(out, intRow(i))
+	}
+	return out
+}
+
+func TestExchangeOrdered(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ex := &ExchangeOp{
+		Parts: []Operator{
+			&BufferScanOp{Rows: seqRows(0, 100)},
+			&BufferScanOp{Rows: seqRows(100, 200)},
+			&BufferScanOp{Rows: seqRows(200, 250)},
+		},
+		Ordered: true,
+	}
+	rows := drain(t, ex)
+	if len(rows) != 250 {
+		t.Fatalf("got %d rows, want 250", len(rows))
+	}
+	// Ordered mode must reproduce the partition concatenation exactly.
+	for i, r := range rows {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v, want %d", i, r[0], i)
+		}
+	}
+}
+
+func TestExchangeUnordered(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ex := &ExchangeOp{
+		Parts: []Operator{
+			&BufferScanOp{Rows: seqRows(0, 100)},
+			&BufferScanOp{Rows: seqRows(100, 200)},
+		},
+		Buffer: 4,
+	}
+	rows := drain(t, ex)
+	if len(rows) != 200 {
+		t.Fatalf("got %d rows, want 200", len(rows))
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if seen[r[0].Int()] {
+			t.Fatalf("duplicate row %v", r[0])
+		}
+		seen[r[0].Int()] = true
+	}
+	for i := int64(0); i < 200; i++ {
+		if !seen[i] {
+			t.Fatalf("missing row %d", i)
+		}
+	}
+}
+
+func TestExchangeWorkerErrors(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	boom := errors.New("boom")
+	for _, tc := range []struct {
+		name    string
+		ordered bool
+		part    Operator
+	}{
+		{"ordered/open", true, &errOp{failOpen: true, err: boom}},
+		{"ordered/next", true, &errOp{rows: seqRows(0, 10), err: boom}},
+		{"unordered/open", false, &errOp{failOpen: true, err: boom}},
+		{"unordered/next", false, &errOp{rows: seqRows(0, 10), err: boom}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ex := &ExchangeOp{
+				Parts:   []Operator{&BufferScanOp{Rows: seqRows(0, 5)}, tc.part},
+				Ordered: tc.ordered,
+			}
+			_, err := Drain(&Ctx{}, ex)
+			if !errors.Is(err, boom) {
+				t.Fatalf("err = %v, want %v", err, boom)
+			}
+		})
+	}
+}
+
+func TestMergeExchange(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// Each partition is sorted on column 0; column 1 tags the partition so
+	// the tie-break (lowest partition index first) is observable.
+	ex := &MergeExchangeOp{
+		Parts: []Operator{
+			&BufferScanOp{Rows: []Row{intRow(1, 0), intRow(3, 0), intRow(5, 0)}},
+			&BufferScanOp{Rows: []Row{intRow(1, 1), intRow(2, 1), intRow(6, 1)}},
+		},
+		Keys: []Scalar{ColScalar(0)},
+		Desc: []bool{false},
+	}
+	rows := drain(t, ex)
+	wantKeys := []int64{1, 1, 2, 3, 5, 6}
+	wantPart := []int64{0, 1, 1, 0, 0, 1}
+	if len(rows) != len(wantKeys) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(wantKeys))
+	}
+	for i, r := range rows {
+		if r[0].Int() != wantKeys[i] || r[1].Int() != wantPart[i] {
+			t.Fatalf("row %d = %v, want key %d from part %d", i, r, wantKeys[i], wantPart[i])
+		}
+	}
+}
+
+func TestMergeExchangeDesc(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	ex := &MergeExchangeOp{
+		Parts: []Operator{
+			&BufferScanOp{Rows: []Row{intRow(9), intRow(4)}},
+			&BufferScanOp{Rows: []Row{intRow(7), intRow(1)}},
+		},
+		Keys: []Scalar{ColScalar(0)},
+		Desc: []bool{true},
+	}
+	rows := drain(t, ex)
+	want := []int64{9, 7, 4, 1}
+	for i, r := range rows {
+		if r[0].Int() != want[i] {
+			t.Fatalf("row %d = %v, want %d", i, r[0], want[i])
+		}
+	}
+}
+
+func TestScanSplitPartitions(t *testing.T) {
+	tab := storage.NewTable("t", storage.NewSchema(storage.Col("v", sqltypes.Int)))
+	for i := int64(0); i < 10; i++ {
+		_ = tab.Insert(intRow(i))
+	}
+	split := &ScanSplit{Table: tab, NParts: 3}
+	var stats storage.Stats
+	ctx := &Ctx{Stats: &stats}
+	var all []Row
+	sizes := []int{4, 4, 2}
+	for i := 0; i < 3; i++ {
+		rows, err := Drain(ctx, &ParallelScanOp{Split: split, Part: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != sizes[i] {
+			t.Fatalf("part %d has %d rows, want %d", i, len(rows), sizes[i])
+		}
+		all = append(all, rows...)
+	}
+	// Contiguous partitions must concatenate back into serial scan order.
+	for i, r := range all {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("row %d = %v, want %d", i, r[0], i)
+		}
+	}
+	// The shared snapshot charges the table's reads exactly once.
+	if got := stats.Snapshot().LogicalReads; got != 10 {
+		t.Fatalf("logical reads = %d, want 10 (snapshot charged once)", got)
+	}
+}
+
+func TestScanSplitLateBound(t *testing.T) {
+	tab := storage.NewTable("@t", storage.NewSchema(storage.Col("v", sqltypes.Int)))
+	for i := int64(0); i < 6; i++ {
+		_ = tab.Insert(intRow(i))
+	}
+	ctx := &Ctx{Temp: func(name string) (*storage.Table, bool) {
+		if name == "@t" {
+			return tab, true
+		}
+		return nil, false
+	}}
+	split := &ScanSplit{Name: "@t", NParts: 2}
+	for i := 0; i < 2; i++ {
+		rows, err := Drain(ctx, &ParallelScanOp{Split: split, Part: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("part %d has %d rows, want 3", i, len(rows))
+		}
+	}
+	missing := &ScanSplit{Name: "@nope", NParts: 1}
+	if _, err := Drain(ctx, &ParallelScanOp{Split: missing}); err == nil {
+		t.Fatal("undeclared late-bound table should error")
+	}
+}
+
+func TestParallelAggPartsMatchesSerial(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tab := storage.NewTable("t", storage.NewSchema(
+		storage.Col("k", sqltypes.Int), storage.Col("v", sqltypes.Int)))
+	for i := int64(0); i < 5000; i++ {
+		_ = tab.Insert(intRow(i%13, i))
+	}
+	mk := func() []AggInstance {
+		return []AggInstance{
+			{Spec: builtinAgg(t, "count"), Star: true},
+			{Spec: builtinAgg(t, "sum"), Args: []Scalar{ColScalar(1)}},
+			{Spec: builtinAgg(t, "min"), Args: []Scalar{ColScalar(1)}},
+			{Spec: builtinAgg(t, "max"), Args: []Scalar{ColScalar(1)}},
+		}
+	}
+	serial := &HashAggOp{Child: &ScanOp{Table: tab}, GroupKeys: []Scalar{ColScalar(0)}, Aggs: mk()}
+	const workers = 4
+	split := &ScanSplit{Table: tab, NParts: workers}
+	parts := make([]Operator, workers)
+	for i := range parts {
+		parts[i] = &ParallelScanOp{Split: split, Part: i}
+	}
+	parallel := &ParallelAggOp{Parts: parts, GroupKeys: []Scalar{ColScalar(0)}, Aggs: mk(), Workers: workers}
+	ctx := &Ctx{Stats: &storage.Stats{}}
+	sr, err := Drain(ctx, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := Drain(&Ctx{Stats: &storage.Stats{}}, parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous partitions merged in partition order must reproduce the
+	// serial first-seen group order byte for byte.
+	if len(sr) != len(pr) {
+		t.Fatalf("group counts differ: %d vs %d", len(sr), len(pr))
+	}
+	for i := range sr {
+		for j := range sr[i] {
+			if !sqltypes.GroupEqual(sr[i][j], pr[i][j]) {
+				t.Fatalf("row %d col %d: serial %v vs parallel %v", i, j, sr[i], pr[i])
+			}
+		}
+	}
+}
+
+// TestExchangeEarlyCloseNoLeak is the regression test for the satellite fix:
+// a consumer that stops early (TopOp hitting its limit, Rows.Close) must
+// cancel in-flight workers promptly and leave zero goroutines behind.
+func TestExchangeEarlyCloseNoLeak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	// Small buffers guarantee workers are blocked on sends when the limit
+	// hits, exercising the quit-channel wakeup path.
+	mk := func(ordered bool) *TopOp {
+		return &TopOp{
+			Child: &ExchangeOp{
+				Parts: []Operator{
+					&BufferScanOp{Rows: seqRows(0, 10000)},
+					&BufferScanOp{Rows: seqRows(10000, 20000)},
+					&BufferScanOp{Rows: seqRows(20000, 30000)},
+				},
+				Ordered: ordered,
+				Buffer:  1,
+			},
+			N: ConstScalar(sqltypes.NewInt(3)),
+		}
+	}
+	for _, ordered := range []bool{true, false} {
+		rows := drain(t, mk(ordered))
+		if len(rows) != 3 {
+			t.Fatalf("ordered=%v: got %d rows, want 3", ordered, len(rows))
+		}
+	}
+}
+
+// TestExchangeDoneCancels checks the Ctx.Done path: closing the execution's
+// Done channel aborts a blocked consumer with ErrInterrupted and Close still
+// joins all workers.
+func TestExchangeDoneCancels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	done := make(chan struct{})
+	ex := &ExchangeOp{
+		Parts:   []Operator{&BufferScanOp{Rows: seqRows(0, 100000)}},
+		Ordered: true,
+		Buffer:  1,
+	}
+	ctx := &Ctx{Done: done}
+	if err := ex.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer ex.Close()
+	close(done)
+	var err error
+	for i := 0; i < 200000; i++ {
+		if _, err = ex.Next(ctx); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}
+
+// TestParallelAggDoneCancels checks that a parent-level cancellation reaches
+// partitioned aggregation workers (the relay installed in runPartitioned).
+func TestParallelAggDoneCancels(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	done := make(chan struct{})
+	close(done)
+	op := &ParallelAggOp{
+		Parts: []Operator{
+			&BufferScanOp{Rows: seqRows(0, 100000)},
+			&BufferScanOp{Rows: seqRows(100000, 200000)},
+		},
+		GroupKeys: []Scalar{ColScalar(0)},
+		Aggs:      []AggInstance{{Spec: builtinAgg(t, "count"), Star: true}},
+		Workers:   2,
+	}
+	_, err := Drain(&Ctx{Done: done}, op)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+}

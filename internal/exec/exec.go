@@ -38,6 +38,12 @@ type Ctx struct {
 	// aborts execution with ErrInterrupted (used to cap the paper's
 	// "forcibly terminated" original-program runs).
 	Interrupt <-chan struct{}
+	// Done, when non-nil, cancels this (sub)execution when closed. It is
+	// the prompt-cancellation path for parallel plans: exchange operators
+	// install their quit channel here for worker subtrees, so an early
+	// consumer Close (TopOp hitting its limit, Rows.Close) unblocks
+	// workers mid-scan instead of letting them run to completion.
+	Done <-chan struct{}
 	// Owner carries the engine session that built this context; interpreted
 	// custom aggregates use it to run the queries inside their Accumulate
 	// bodies. Typed as any to keep exec independent of the engine package.
@@ -51,17 +57,24 @@ type Ctx struct {
 // ErrInterrupted is returned when Ctx.Interrupt fires mid-execution.
 var ErrInterrupted = errors.New("exec: interrupted")
 
-// Interrupted reports whether the context has been cancelled.
+// Interrupted reports whether the context has been cancelled, either by the
+// session-level Interrupt or by the execution-local Done channel.
 func (c *Ctx) Interrupted() bool {
-	if c.Interrupt == nil {
-		return false
+	if c.Interrupt != nil {
+		select {
+		case <-c.Interrupt:
+			return true
+		default:
+		}
 	}
-	select {
-	case <-c.Interrupt:
-		return true
-	default:
-		return false
+	if c.Done != nil {
+		select {
+		case <-c.Done:
+			return true
+		default:
+		}
 	}
+	return false
 }
 
 // Scalar is a compiled expression: evaluated against the current row under

@@ -348,21 +348,21 @@ func TestInstrumentedOpCounters(t *testing.T) {
 	if err != nil || len(rows) != 4 {
 		t.Fatalf("drain: %v %d", err, len(rows))
 	}
-	if scanStats.Rows != 4 || scanStats.Loops != 1 {
+	if scanStats.Rows() != 4 || scanStats.Loops() != 1 {
 		t.Fatalf("scan stats = %+v", scanStats)
 	}
-	if scanStats.Reads.LogicalReads != 4 {
-		t.Fatalf("scan reads = %+v", scanStats.Reads)
+	if scanStats.Reads().LogicalReads != 4 {
+		t.Fatalf("scan reads = %+v", scanStats.Reads())
 	}
-	if sortStats.Rows != 4 || sortStats.PeakBuffered != 4 {
+	if sortStats.Rows() != 4 || sortStats.PeakBuffered() != 4 {
 		t.Fatalf("sort stats = %+v", sortStats)
 	}
 	// The sort's inclusive reads contain the scan's.
-	if sortStats.Reads.LogicalReads != 4 {
-		t.Fatalf("sort inclusive reads = %+v", sortStats.Reads)
+	if sortStats.Reads().LogicalReads != 4 {
+		t.Fatalf("sort inclusive reads = %+v", sortStats.Reads())
 	}
 	// NextCalls includes the EOF call.
-	if scanStats.NextCalls != 5 {
-		t.Fatalf("scan NextCalls = %d", scanStats.NextCalls)
+	if scanStats.NextCalls() != 5 {
+		t.Fatalf("scan NextCalls = %d", scanStats.NextCalls())
 	}
 }

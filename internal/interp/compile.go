@@ -55,7 +55,16 @@ type program struct {
 	paramSlots []int
 
 	init, accum, term compiledStmt
+	// merge, when non-nil, folds another instance's state (pre-copied into
+	// the @other_<field> slots) into this one.
+	merge compiledStmt
+	// mergeCopies maps each field's slot (in the other instance) to the
+	// corresponding @other_<field> slot in this instance.
+	mergeCopies []slotPair
 }
+
+// slotPair is one field → @other_<field> slot mapping for Merge.
+type slotPair struct{ from, to int }
 
 // machine is one executing instance of a compiled program.
 type machine struct {
@@ -177,7 +186,17 @@ func compileAggregate(eng *engine.Engine, def *ast.CreateAggregate) (*program, e
 		})
 		return err
 	}
-	for _, b := range []*ast.Block{def.Init, def.Accum, def.Terminate} {
+	bodies := []*ast.Block{def.Init, def.Accum, def.Terminate}
+	if def.Merge != nil {
+		// The Merge body sees the other instance's fields as @other_<field>
+		// variables; give each its own slot alongside the regular fields.
+		for _, f := range def.Fields {
+			other := ast.OtherFieldVar(f.Name)
+			prog.mergeCopies = append(prog.mergeCopies, slotPair{from: prog.slotIndex[f.Name], to: addSlot(other, f.Type)})
+		}
+		bodies = append(bodies, def.Merge)
+	}
+	for _, b := range bodies {
 		if err := scan(b); err != nil {
 			return nil, err
 		}
@@ -196,6 +215,11 @@ func compileAggregate(eng *engine.Engine, def *ast.CreateAggregate) (*program, e
 	}
 	if prog.term, err = bc.stmt(def.Terminate); err != nil {
 		return nil, err
+	}
+	if def.Merge != nil {
+		if prog.merge, err = bc.stmt(def.Merge); err != nil {
+			return nil, err
+		}
 	}
 	return prog, nil
 }
@@ -623,7 +647,27 @@ func (a *compiledAgg) Result(ctx *exec.Ctx) (sqltypes.Value, error) {
 	return v, nil
 }
 
-// Merge implements exec.Aggregator; compiled aggregates define no Merge.
-func (a *compiledAgg) Merge(exec.Aggregator) error {
-	return fmt.Errorf("interp: aggregate %s does not support Merge", a.prog.def.Name)
+// Merge implements exec.Aggregator: it copies the other instance's field
+// slots into this instance's @other_<field> slots and runs the compiled
+// MERGE body. An uninitialized other is a no-op; an uninitialized self
+// adopts the other's machine wholesale (partition saw no rows).
+func (a *compiledAgg) Merge(other exec.Aggregator) error {
+	if a.prog.merge == nil {
+		return fmt.Errorf("interp: aggregate %s does not support Merge", a.prog.def.Name)
+	}
+	o, ok := other.(*compiledAgg)
+	if !ok || o.prog != a.prog {
+		return fmt.Errorf("interp: merge of mismatched aggregate %s", a.prog.def.Name)
+	}
+	if o.m == nil || o.needInit {
+		return nil
+	}
+	if a.m == nil || a.needInit {
+		a.m, a.needInit = o.m, false
+		return nil
+	}
+	for _, p := range a.prog.mergeCopies {
+		a.m.slots[p.to] = o.m.slots[p.from]
+	}
+	return runCompiled(a.prog.merge, a.m)
 }

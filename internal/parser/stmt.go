@@ -2,6 +2,7 @@ package parser
 
 import (
 	"strconv"
+	"strings"
 
 	"aggify/internal/ast"
 	"aggify/internal/sqltypes"
@@ -357,6 +358,19 @@ func (p *Parser) typeName() (string, error) {
 
 func (p *Parser) parseSet() (ast.Stmt, error) {
 	p.advance() // SET
+	// Session options are bare identifiers: SET MAXDOP = 4.
+	if p.isKw("maxdop") {
+		opt := strings.ToLower(p.advance().text)
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		e, err := p.ParseExpr()
+		if err != nil {
+			return nil, err
+		}
+		p.endStmt()
+		return &ast.SetOption{Name: opt, Value: e}, nil
+	}
 	st := &ast.SetStmt{}
 	if p.isPunct("(") {
 		p.advance()
@@ -915,6 +929,15 @@ func (p *Parser) parseCreateAggregate() (ast.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Optional MERGE section: folds another instance's state (visible as
+	// @other_<field> variables) into this one, enabling parallel aggregation.
+	var mergeBlock ast.Stmt
+	if p.acceptKw("merge") {
+		mergeBlock, err = p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+	}
 	if err := p.expectKw("end"); err != nil {
 		return nil, err
 	}
@@ -922,5 +945,8 @@ func (p *Parser) parseCreateAggregate() (ast.Stmt, error) {
 	agg.Init = initBlock.(*ast.Block)
 	agg.Accum = accBlock.(*ast.Block)
 	agg.Terminate = termBlock.(*ast.Block)
+	if mergeBlock != nil {
+		agg.Merge = mergeBlock.(*ast.Block)
+	}
 	return agg, nil
 }

@@ -553,10 +553,14 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 				sc.add(u.binding, col.Name, col.Type)
 			}
 			name := te.Name
-			n = node("LateScan(" + name + ")")
+			sn := node("LateScan(" + name + ")")
+			n = sn
 			builder = annotate(func(bc *buildCtx) exec.Operator {
+				if p := bc.part; p != nil && p.target == sn {
+					return &exec.ParallelScanOp{Split: p.split, Part: p.index}
+				}
 				return &exec.LateScanOp{Name: name}
-			}, n)
+			}, sn)
 			break
 		}
 		if b := env.lookup(te.Name); b != nil {
@@ -595,10 +599,14 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 				}, n)
 				rest = remaining
 			} else {
-				n = node("Scan(" + tab.Name + ")")
+				sn := node("Scan(" + tab.Name + ")")
+				n = sn
 				builder = annotate(func(bc *buildCtx) exec.Operator {
+					if p := bc.part; p != nil && p.target == sn {
+						return &exec.ParallelScanOp{Split: p.split, Part: p.index}
+					}
 					return &exec.ScanOp{Table: tab}
-				}, n)
+				}, sn)
 			}
 		}
 	case *ast.SubqueryRef:

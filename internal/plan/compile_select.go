@@ -8,6 +8,7 @@ import (
 	"aggify/internal/ast"
 	"aggify/internal/exec"
 	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
 )
 
 // Compile compiles a SELECT query into a reusable Plan.
@@ -751,6 +752,7 @@ func (c *compiler) compileAggregation(q *ast.Select, input opBuilder, inScope *s
 	instances := make([]exec.AggInstance, len(aggs))
 	orderSensitive := q.OrderEnforced
 	allMergeable := true
+	allParallelSafe := true
 	for i, a := range aggs {
 		inst := exec.AggInstance{Spec: a.spec, Star: a.call.Star}
 		if !a.call.Star {
@@ -768,6 +770,9 @@ func (c *compiler) compileAggregation(q *ast.Select, input opBuilder, inScope *s
 		if !a.spec.Mergeable {
 			allMergeable = false
 		}
+		if !a.spec.ParallelSafe {
+			allParallelSafe = false
+		}
 		instances[i] = inst
 	}
 	outScope := &scope{parent: inScope.parent}
@@ -777,32 +782,190 @@ func (c *compiler) compileAggregation(q *ast.Select, input opBuilder, inScope *s
 	for j := range aggs {
 		outScope.add("#agg", fmt.Sprintf("#%d", len(q.GroupBy)+j), sqltypes.Unknown)
 	}
+	names := make([]string, len(aggs))
+	for i, a := range aggs {
+		names[i] = a.key
+	}
+	argList := strings.Join(names, ", ")
+
+	wantParallel := c.opts.Parallelism > 1
 	var builder opBuilder
-	var opName string
-	switch {
-	case orderSensitive:
+	var label string
+	if orderSensitive {
 		// Eq. 6 enforcement: streaming aggregate preserving input order,
 		// no parallelism.
 		builder = func(bc *buildCtx) exec.Operator {
 			return &exec.StreamAggOp{Child: input(bc), GroupKeys: groupKeys, Aggs: instances}
 		}
-		opName = "StreamAgg"
-	case c.opts.Parallelism > 1 && allMergeable:
-		workers := c.opts.Parallelism
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.ParallelAggOp{Child: input(bc), GroupKeys: groupKeys, Aggs: instances, Workers: workers}
+		label = fmt.Sprintf("StreamAgg(keys=%d, aggs=[%s])", len(q.GroupBy), argList)
+		if wantParallel {
+			label += " [serial: order-sensitive aggregate]"
 		}
-		opName = "ParallelAgg"
-	default:
-		builder = func(bc *buildCtx) exec.Operator {
-			return &exec.HashAggOp{Child: input(bc), GroupKeys: groupKeys, Aggs: instances}
+	} else {
+		// Decide whether this aggregation can be run partitioned. The
+		// reason a parallel-enabled session stays serial is surfaced as an
+		// EXPLAIN label suffix so plans are auditable without a debugger.
+		serialReason := ""
+		var scanLeaf *Node
+		var scanTab *storage.Table
+		if wantParallel {
+			switch {
+			case !allMergeable:
+				serialReason = "aggregate not mergeable"
+			case !allParallelSafe:
+				serialReason = "aggregate not parallel-safe"
+			default:
+				scanLeaf, scanTab, serialReason = c.parallelInput(q, n, aggs)
+			}
 		}
-		opName = "HashAgg"
+		if wantParallel && serialReason == "" {
+			workers := c.opts.Parallelism
+			tab := scanTab
+			target := scanLeaf
+			builder = func(bc *buildCtx) exec.Operator {
+				// The split is per-execution: all partitions share one row
+				// snapshot (loaded once) and each worker subtree is built
+				// through a buildCtx copy carrying its partition index.
+				split := &exec.ScanSplit{Table: tab, NParts: workers}
+				parts := make([]exec.Operator, workers)
+				for i := range parts {
+					wbc := *bc
+					wbc.part = &scanPart{split: split, index: i, target: target}
+					parts[i] = input(&wbc)
+				}
+				return &exec.ParallelAggOp{Parts: parts, GroupKeys: groupKeys, Aggs: instances, Workers: workers}
+			}
+			label = fmt.Sprintf("ParallelAgg(workers=%d, keys=%d, aggs=[%s])", workers, len(q.GroupBy), argList)
+			scanLeaf.Op = fmt.Sprintf("ParallelScan(%s, parts=%d)", tab.Name, workers)
+		} else {
+			builder = func(bc *buildCtx) exec.Operator {
+				return &exec.HashAggOp{Child: input(bc), GroupKeys: groupKeys, Aggs: instances}
+			}
+			label = fmt.Sprintf("HashAgg(keys=%d, aggs=[%s])", len(q.GroupBy), argList)
+			if wantParallel {
+				label += " [serial: " + serialReason + "]"
+			}
+		}
 	}
-	names := make([]string, len(aggs))
-	for i, a := range aggs {
-		names[i] = a.key
-	}
-	an := node(fmt.Sprintf("%s(keys=%d, aggs=[%s])", opName, len(q.GroupBy), strings.Join(names, ", ")), n)
+	an := node(label, n)
 	return annotate(builder, an), outScope, an, nil
+}
+
+// parallelRowThreshold is the minimum base-table row count (at plan time;
+// cached plans are not re-costed) for a partitioned aggregation — below it
+// worker startup dominates any scan overlap.
+const parallelRowThreshold = 4096
+
+// parallelInput decides whether an aggregation's input subtree can be range-
+// partitioned across workers. Eligible shapes are a chain of filters,
+// projections, and trivial derived tables over a single base-table scan —
+// the derived-table case is exactly the shape the Aggify rewrite emits
+// (SELECT Agg(...) FROM (Q) aggify_q) — with no subquery or scalar UDF in
+// any expression a worker would evaluate (those run interpreted bodies on
+// the owning session, which is single-threaded). It returns the scan leaf's
+// explain node and table, or a human-readable reason for staying serial.
+func (c *compiler) parallelInput(q *ast.Select, n *Node, aggs []aggCall) (*Node, *storage.Table, string) {
+	const notPartitionable = "plan shape not partitionable"
+	leaf := n
+	for leaf.Op == "Filter" || leaf.Op == "Project" || strings.HasPrefix(leaf.Op, "Derived(") {
+		if len(leaf.Children) != 1 {
+			return nil, nil, notPartitionable
+		}
+		leaf = leaf.Children[0]
+	}
+	if !strings.HasPrefix(leaf.Op, "Scan(") || len(leaf.Children) != 0 {
+		return nil, nil, notPartitionable
+	}
+	tab, reason := c.parallelFrom(q)
+	if reason != "" {
+		return nil, nil, reason
+	}
+	exprs := append([]ast.Expr{q.Where}, q.GroupBy...)
+	for _, a := range aggs {
+		if !a.call.Star {
+			exprs = append(exprs, a.call.Args...)
+		}
+	}
+	if unsafe := c.workerUnsafe(exprs); unsafe != "" {
+		return nil, nil, unsafe
+	}
+	if tab.RowCount() < parallelRowThreshold {
+		return nil, nil, "small input"
+	}
+	return leaf, tab, ""
+}
+
+// parallelFrom resolves an aggregation query's FROM chain down to its base
+// table, descending through trivial derived tables (single source, no
+// DISTINCT/TOP/GROUP BY/HAVING/ORDER BY/UNION) and vetting every nested
+// expression a worker would evaluate. It returns the base table or a reason
+// for staying serial.
+func (c *compiler) parallelFrom(q *ast.Select) (*storage.Table, string) {
+	const notPartitionable = "plan shape not partitionable"
+	for {
+		if len(q.From) != 1 {
+			return nil, notPartitionable
+		}
+		switch ref := q.From[0].(type) {
+		case *ast.TableRef:
+			if lateBound(ref.Name) {
+				// Table variables / temp tables are late-bound per
+				// invocation, so their size is unknown at plan time; keep
+				// them serial.
+				return nil, "late-bound table"
+			}
+			tab, err := c.cat.ResolveTable(ref.Name)
+			if err != nil {
+				return nil, notPartitionable
+			}
+			return tab, ""
+		case *ast.SubqueryRef:
+			inner := ref.Query
+			if inner == nil || len(inner.With) > 0 || inner.Distinct || inner.Top != nil ||
+				len(inner.GroupBy) > 0 || inner.Having != nil || len(inner.OrderBy) > 0 ||
+				inner.Union != nil {
+				return nil, notPartitionable
+			}
+			exprs := []ast.Expr{inner.Where}
+			for _, it := range inner.Items {
+				exprs = append(exprs, it.Expr)
+			}
+			if unsafe := c.workerUnsafe(exprs); unsafe != "" {
+				return nil, unsafe
+			}
+			q = inner
+		default:
+			return nil, notPartitionable
+		}
+	}
+}
+
+// workerUnsafe scans expressions a parallel worker would evaluate for
+// constructs that must run on the single-threaded owning session.
+func (c *compiler) workerUnsafe(exprs []ast.Expr) string {
+	unsafe := ""
+	for _, e := range exprs {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			switch t := x.(type) {
+			case *ast.Subquery:
+				unsafe = "subquery in worker expression"
+				return false
+			case *ast.InExpr:
+				if t.Query != nil {
+					unsafe = "subquery in worker expression"
+					return false
+				}
+			case *ast.FuncCall:
+				if c.cat.ScalarFuncExists(t.Name) {
+					unsafe = "scalar UDF in worker expression"
+					return false
+				}
+			}
+			return true
+		})
+		if unsafe != "" {
+			return unsafe
+		}
+	}
+	return ""
 }

@@ -150,19 +150,19 @@ func (ins *Instrumentation) render(b *strings.Builder, n *Node, depth int) {
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(n.Op)
 	if st, ok := ins.Stats[n]; ok {
-		if st.Loops == 0 {
+		if st.Loops() == 0 {
 			b.WriteString(" (never executed)")
 		} else {
-			ex := st.Reads.Sub(ins.childInclusive(n))
-			fmt.Fprintf(b, " (rows=%d loops=%d time=%s reads=%d", st.Rows, st.Loops, st.Time, ex.LogicalReads)
+			ex := st.Reads().Sub(ins.childInclusive(n))
+			fmt.Fprintf(b, " (rows=%d loops=%d time=%s reads=%d", st.Rows(), st.Loops(), st.Time(), ex.LogicalReads)
 			if ex.WorktableWrites != 0 || ex.WorktableReads != 0 {
 				fmt.Fprintf(b, " worktable w=%d r=%d", ex.WorktableWrites, ex.WorktableReads)
 			}
 			if ex.IndexSeeks != 0 {
 				fmt.Fprintf(b, " seeks=%d", ex.IndexSeeks)
 			}
-			if st.PeakBuffered > 0 {
-				fmt.Fprintf(b, " buffered=%d", st.PeakBuffered)
+			if st.PeakBuffered() > 0 {
+				fmt.Fprintf(b, " buffered=%d", st.PeakBuffered())
 			}
 			b.WriteString(")")
 		}
@@ -179,7 +179,7 @@ func (ins *Instrumentation) childInclusive(n *Node) storage.Snapshot {
 	var sum storage.Snapshot
 	for _, c := range n.Children {
 		if st, ok := ins.Stats[c]; ok {
-			sum = sum.Add(st.Reads)
+			sum = sum.Add(st.Reads())
 		} else {
 			sum = sum.Add(ins.childInclusive(c))
 		}
@@ -195,7 +195,7 @@ func (ins *Instrumentation) TotalExclusive() storage.Snapshot {
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if st, ok := ins.Stats[n]; ok {
-			sum = sum.Add(st.Reads.Sub(ins.childInclusive(n)))
+			sum = sum.Add(st.Reads().Sub(ins.childInclusive(n)))
 		}
 		for _, c := range n.Children {
 			walk(c)
@@ -212,6 +212,17 @@ type buildCtx struct {
 	// instr, when set, wraps each annotated operator (keyed by its explain
 	// node) as it is instantiated; nil for plain executions.
 	instr func(n *Node, op exec.Operator) exec.Operator
+	// part, when set, redirects the scan whose explain node is part.target
+	// to a partition of a shared split: ParallelAggOp builds each worker's
+	// input subtree through a buildCtx copy carrying its partition index.
+	part *scanPart
+}
+
+// scanPart identifies one worker's slice of a partitioned scan.
+type scanPart struct {
+	split  *exec.ScanSplit
+	index  int
+	target *Node
 }
 
 // annotate pairs a freshly created explain node with the builder that

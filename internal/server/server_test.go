@@ -13,6 +13,7 @@ import (
 	"aggify/internal/interp"
 	"aggify/internal/server"
 	"aggify/internal/sqltypes"
+	"aggify/internal/testutil"
 	"aggify/internal/wire"
 )
 
@@ -21,6 +22,10 @@ import (
 // set thresholds); Cleanup drains the server.
 func startServer(t *testing.T, opts ...func(*server.Server)) (*engine.Engine, *server.Server, string) {
 	t.Helper()
+	// Registered before the shutdown cleanup below, so it runs after it
+	// (cleanups are LIFO): no connection handler or exchange worker may
+	// survive the drain.
+	testutil.VerifyNoLeaks(t)
 	eng := engine.New()
 	interp.Install(eng)
 	srv := server.New(eng)

@@ -31,6 +31,18 @@ func (s *Stats) Reset() {
 	s.IndexSeeks.Store(0)
 }
 
+// AddSnapshot folds a snapshot delta into the counters. Parallel workers
+// accumulate into a worker-local Stats and flush the total here once at
+// exit, keeping each worker's before/after deltas serially consistent.
+func (s *Stats) AddSnapshot(d Snapshot) {
+	s.LogicalReads.Add(d.LogicalReads)
+	s.WorktableWrites.Add(d.WorktableWrites)
+	s.WorktableReads.Add(d.WorktableReads)
+	s.WorktableBytes.Add(d.WorktableBytes)
+	s.RowsEmitted.Add(d.RowsEmitted)
+	s.IndexSeeks.Add(d.IndexSeeks)
+}
+
 // Snapshot is a point-in-time copy of the counters.
 type Snapshot struct {
 	LogicalReads    int64

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Bench-regression gate: runs the short ^BenchmarkGate suite and compares it
+# against the committed BENCH_4.json snapshot (fails on >25% slowdown and,
+# on hosts with >= 4 CPUs, on a parallel-aggregation speedup below 2x).
+#
+# Accept current numbers as the new baseline with:
+#
+#	scripts/bench_regress.sh -update
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./scripts/benchgate "$@"

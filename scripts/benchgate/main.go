@@ -1,0 +1,212 @@
+// Command benchgate is the CI bench-regression gate. It runs the short
+// ^BenchmarkGate suite (see bench_gate_test.go), distills each benchmark to
+// its best ns/op across -count runs, and compares the result against the
+// committed snapshot BENCH_4.json:
+//
+//   - any benchmark more than -threshold (default 25%) slower than its
+//     snapshot entry fails the gate;
+//   - the serial ÷ parallel ns/op ratio of BenchmarkGateParallelAgg is
+//     recorded as parallel_speedup and must be ≥ 2 on hosts with at least
+//     4 CPUs (smaller hosts record the ratio without enforcing it);
+//   - -update rewrites the snapshot with the current numbers instead of
+//     comparing.
+//
+// Invoked via scripts/bench_regress.sh from scripts/ci.sh and `make bench`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+}
+
+type snapshot struct {
+	Note            string        `json:"note"`
+	NumCPU          int           `json:"num_cpu"`
+	Benchmarks      []benchResult `json:"benchmarks"`
+	ParallelSpeedup float64       `json:"parallel_speedup"`
+}
+
+const (
+	serialBench   = "BenchmarkGateParallelAgg/serial"
+	parallelBench = "BenchmarkGateParallelAgg/maxdop=4"
+)
+
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	update := flag.Bool("update", false, "rewrite the snapshot with the current numbers")
+	snapPath := flag.String("snapshot", "BENCH_4.json", "snapshot file to compare against")
+	benchRe := flag.String("bench", "^BenchmarkGate", "benchmark selection regex")
+	benchtime := flag.String("benchtime", "200ms", "per-benchmark measuring time")
+	count := flag.Int("count", 3, "runs per benchmark (best is kept)")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional slowdown vs the snapshot")
+	flag.Parse()
+
+	results, err := runBenchmarks(*benchRe, *benchtime, *count)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(results) == 0 {
+		fatalf("no benchmarks matched %q", *benchRe)
+	}
+	cur := snapshot{
+		Note:       "Bench-regression snapshot. Regenerate with: scripts/bench_regress.sh -update",
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: results,
+	}
+	byName := map[string]benchResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if s, ok := byName[serialBench]; ok {
+		if p, ok := byName[parallelBench]; ok && p.NsPerOp > 0 {
+			cur.ParallelSpeedup = round3(s.NsPerOp / p.NsPerOp)
+		}
+	}
+
+	for _, r := range results {
+		line := fmt.Sprintf("%-44s %14.0f ns/op", r.Name, r.NsPerOp)
+		if r.RowsPerSec > 0 {
+			line += fmt.Sprintf(" %14.0f rows/s", r.RowsPerSec)
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("parallel speedup (serial/maxdop=4): %.2fx on %d CPUs\n", cur.ParallelSpeedup, cur.NumCPU)
+
+	if *update {
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*snapPath, append(buf, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("snapshot written to %s\n", *snapPath)
+		return
+	}
+
+	buf, err := os.ReadFile(*snapPath)
+	if err != nil {
+		fatalf("read snapshot: %v (run scripts/bench_regress.sh -update to create it)", err)
+	}
+	var prev snapshot
+	if err := json.Unmarshal(buf, &prev); err != nil {
+		fatalf("parse %s: %v", *snapPath, err)
+	}
+
+	var failures []string
+	seen := map[string]bool{}
+	for _, old := range prev.Benchmarks {
+		seen[old.Name] = true
+		now, ok := byName[old.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in snapshot but did not run", old.Name))
+			continue
+		}
+		if old.NsPerOp > 0 && now.NsPerOp > old.NsPerOp*(1+*threshold) {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs snapshot %.0f (+%.0f%%, limit +%.0f%%)",
+				old.Name, now.NsPerOp, old.NsPerOp,
+				(now.NsPerOp/old.NsPerOp-1)*100, *threshold*100))
+		}
+	}
+	for _, r := range results {
+		if !seen[r.Name] {
+			failures = append(failures, fmt.Sprintf("%s: not in snapshot (run scripts/bench_regress.sh -update)", r.Name))
+		}
+	}
+	// The ≥2× criterion only binds where 4 workers can actually run in
+	// parallel; single-core CI boxes record the ratio without enforcing it.
+	if runtime.NumCPU() >= 4 && cur.ParallelSpeedup < 2.0 {
+		failures = append(failures, fmt.Sprintf("parallel speedup %.2fx < 2x at MAXDOP=4 on %d CPUs",
+			cur.ParallelSpeedup, runtime.NumCPU()))
+	}
+
+	if len(failures) > 0 {
+		fmt.Fprintln(os.Stderr, "bench regression gate FAILED:")
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("bench regression gate OK")
+}
+
+// runBenchmarks executes the gate suite and keeps, per benchmark, the best
+// ns/op (and best rows/s) over all -count runs — the minimum is far more
+// stable than the mean on a loaded CI host.
+func runBenchmarks(benchRe, benchtime string, count int) ([]benchResult, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchRe, "-benchtime", benchtime, "-count", strconv.Itoa(count), ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, out)
+	}
+	best := map[string]*benchResult{}
+	var order []string
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		var nsPerOp, rowsPerSec float64
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				nsPerOp = v
+			case "rows/s":
+				rowsPerSec = v
+			}
+		}
+		if nsPerOp == 0 {
+			continue
+		}
+		r, ok := best[name]
+		if !ok {
+			best[name] = &benchResult{Name: name, NsPerOp: nsPerOp, RowsPerSec: rowsPerSec}
+			order = append(order, name)
+			continue
+		}
+		if nsPerOp < r.NsPerOp {
+			r.NsPerOp = nsPerOp
+		}
+		if rowsPerSec > r.RowsPerSec {
+			r.RowsPerSec = rowsPerSec
+		}
+	}
+	results := make([]benchResult, 0, len(order))
+	for _, name := range order {
+		results = append(results, *best[name])
+	}
+	return results, nil
+}
+
+func round3(x float64) float64 {
+	s, err := strconv.ParseFloat(strconv.FormatFloat(x, 'f', 3, 64), 64)
+	if err != nil {
+		return x
+	}
+	return s
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -50,6 +50,11 @@ go run ./scripts/httpget "http://$addr/healthz" | grep -q '"status":"ok"'
 go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_requests_total'
 echo "debug endpoints OK on $addr"
 
+echo "== bench-regression gate"
+# Short ^BenchmarkGate suite vs the committed BENCH_4.json snapshot; accept
+# intentional changes with:  scripts/bench_regress.sh -update
+./scripts/bench_regress.sh
+
 echo "== explain-analyze golden"
 # The EXPLAIN ANALYZE output shape (operators + runtime counters, wall
 # times normalized) is pinned to testdata/explain_analyze.golden.
