@@ -84,6 +84,17 @@ order by s_name`
 	b.WriteString("\n-- EXPLAIN ANALYZE (parallel, maxdop=4)\n")
 	b.WriteString(workersRe.ReplaceAllString(
 		timeRe.ReplaceAllString(runExplainDB(t, par, "EXPLAIN ANALYZE "+parQuery), "time=X"), "$1=N"))
+
+	// A rewrite-pass plan: the selective predicate above the derived table is
+	// pushed inside and becomes an index seek; the `rewrites:` header and the
+	// [rw:rule] annotations are part of the pinned shape.
+	const pushQuery = `select q.ps_suppkey, q.ps_supplycost
+from (select ps_partkey, ps_suppkey, ps_supplycost from partsupp) q
+where q.ps_partkey = 1`
+	b.WriteString("\n-- EXPLAIN (rewrite pushdown)\n")
+	b.WriteString(runExplain(t, "EXPLAIN "+pushQuery))
+	b.WriteString("\n-- EXPLAIN ANALYZE (rewrite pushdown)\n")
+	b.WriteString(timeRe.ReplaceAllString(runExplain(t, "EXPLAIN ANALYZE "+pushQuery), "time=X"))
 	got := b.String()
 
 	golden := filepath.Join("testdata", "explain_analyze.golden")

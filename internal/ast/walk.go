@@ -179,6 +179,42 @@ func StmtExprs(s Stmt, fn func(Expr) bool) {
 	}
 }
 
+// HasSubquery reports whether e contains an embedded SELECT anywhere: a
+// scalar/EXISTS subquery or an IN (subquery). The planner's rewrite rules
+// use it to keep predicates with nested query blocks out of transformations
+// that only reason about the current block.
+func HasSubquery(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		switch t := x.(type) {
+		case *Subquery:
+			found = true
+			return false
+		case *InExpr:
+			if t.Query != nil {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// ColRefs returns every column reference in e in visit order, including
+// references inside embedded subqueries (correlated references matter to
+// the callers classifying predicates).
+func ColRefs(e Expr) []*ColRef {
+	var out []*ColRef
+	WalkExpr(e, func(x Expr) bool {
+		if cr, ok := x.(*ColRef); ok {
+			out = append(out, cr)
+		}
+		return true
+	})
+	return out
+}
+
 // VarsInExpr returns the set of variable names referenced in e, including
 // variables inside embedded subqueries.
 func VarsInExpr(e Expr) map[string]bool {

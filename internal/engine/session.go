@@ -168,7 +168,11 @@ func (s *Session) ExplainQuery(q *ast.Select, analyze bool, ctx *exec.Ctx) ([]st
 		return nil, err
 	}
 	if !analyze {
-		return splitPlanLines(p.Explain.String()), nil
+		lines := splitPlanLines(p.Explain.String())
+		if len(p.Rewrites) > 0 {
+			lines = append([]string{"rewrites: " + strings.Join(p.Rewrites, " ")}, lines...)
+		}
+		return lines, nil
 	}
 	before := s.Stats.Snapshot()
 	rows, ins, err := p.RunInstrumented(ctx)
@@ -178,6 +182,9 @@ func (s *Session) ExplainQuery(q *ast.Select, analyze bool, ctx *exec.Ctx) ([]st
 	s.Stats.RowsEmitted.Add(int64(len(rows)))
 	delta := s.Stats.Snapshot().Sub(before)
 	lines := splitPlanLines(ins.Render())
+	if len(p.Rewrites) > 0 {
+		lines = append([]string{"rewrites: " + strings.Join(p.Rewrites, " ")}, lines...)
+	}
 	lines = append(lines, fmt.Sprintf("-- stats: rows=%d reads=%d worktable w=%d r=%d seeks=%d",
 		len(rows), delta.LogicalReads, delta.WorktableWrites, delta.WorktableReads, delta.IndexSeeks))
 	return lines, nil

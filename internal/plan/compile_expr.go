@@ -16,6 +16,11 @@ type compiler struct {
 	// slots, when non-nil, resolves variable references to Ctx.VarSlots
 	// indexes at compile time (compiled procedural blocks).
 	slots map[string]int
+	// marks and selMarks carry fired-rewrite-rule annotations from the
+	// logical rewrite pass (rewrite.go) to the physical explain tree, keyed
+	// by the exact predicate / derived-table-body pointers lowering emitted.
+	marks    map[ast.Expr]string
+	selMarks map[*ast.Select]string
 }
 
 // cteEnv is a lexically-scoped chain of CTE bindings.

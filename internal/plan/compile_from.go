@@ -427,7 +427,7 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 				return nil, nil, nil, err
 			}
 			inner := builder
-			n = node("Filter", n)
+			n = node(c.filterLabel(cj.expr), n)
 			builder = annotate(func(bc *buildCtx) exec.Operator {
 				return &exec.FilterOp{Child: inner(bc), Pred: pred}
 			}, n)
@@ -445,7 +445,7 @@ func (c *compiler) compileFrom(items []ast.TableExpr, where ast.Expr, parent *sc
 			return nil, nil, nil, err
 		}
 		inner := builder
-		n = node("Filter", n)
+		n = node(c.filterLabel(cj.expr), n)
 		builder = annotate(func(bc *buildCtx) exec.Operator {
 			return &exec.FilterOp{Child: inner(bc), Pred: pred}
 		}, n)
@@ -519,7 +519,7 @@ func (c *compiler) applyFilter(builder opBuilder, n *Node, where ast.Expr, sc *s
 		return nil, nil, nil, err
 	}
 	inner := builder
-	fn := node("Filter", n)
+	fn := node(c.filterLabel(where), n)
 	builder = annotate(func(bc *buildCtx) exec.Operator {
 		return &exec.FilterOp{Child: inner(bc), Pred: pred}
 	}, fn)
@@ -593,7 +593,7 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 				if err != nil {
 					return nil, nil, nil, err
 				}
-				n = node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col))
+				n = node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, col) + c.rwSuffix(c.marks[consumedPred(u.preds, remaining)]))
 				builder = annotate(func(bc *buildCtx) exec.Operator {
 					return &exec.IndexSeekOp{Table: tab, Column: col, Key: keyScalar}
 				}, n)
@@ -617,7 +617,7 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 		for _, cn := range cols {
 			sc.add(u.binding, cn, sqltypes.Unknown)
 		}
-		n = node("Derived("+te.Alias+")", sn)
+		n = node("Derived("+te.Alias+")"+c.rwSuffix(c.selMarks[te.Query]), sn)
 		builder = annotate(b, n)
 	case *ast.Join:
 		b, jsc, jn, err := c.compileJoinExpr(te, unitParent, env)
@@ -637,12 +637,30 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 			return nil, nil, nil, err
 		}
 		inner := builder
-		n = node("Filter", n)
+		n = node(c.filterLabel(p), n)
 		builder = annotate(func(bc *buildCtx) exec.Operator {
 			return &exec.FilterOp{Child: inner(bc), Pred: pred}
 		}, n)
 	}
 	return builder, sc, n, nil
+}
+
+// consumedPred returns the predicate an index seek absorbed: the one member
+// of preds missing from remaining (nil when none), compared by pointer.
+func consumedPred(preds, remaining []ast.Expr) ast.Expr {
+	for _, p := range preds {
+		used := false
+		for _, r := range remaining {
+			if r == p {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return p
+		}
+	}
+	return nil
 }
 
 // compileUnitSeek compiles a unit as the right side of an index nested-loop
@@ -672,7 +690,7 @@ func (c *compiler) compileUnitSeek(u *fromUnit, parent *scope, env *cteEnv, col 
 			return nil, nil, nil, err
 		}
 		inner := builder
-		n = node("Filter", n)
+		n = node(c.filterLabel(p), n)
 		builder = annotate(func(bc *buildCtx) exec.Operator {
 			return &exec.FilterOp{Child: inner(bc), Pred: pred}
 		}, n)

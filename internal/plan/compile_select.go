@@ -11,17 +11,27 @@ import (
 	"aggify/internal/storage"
 )
 
-// Compile compiles a SELECT query into a reusable Plan.
+// Compile compiles a SELECT query into a reusable Plan: decorrelation, then
+// the logical rewrite pass (logical.go + rewrite.go), then physical
+// compilation of the normalized AST.
 func Compile(cat Catalog, opts Options, q *ast.Select) (*Plan, error) {
 	c := &compiler{cat: cat, opts: opts}
 	if !opts.DisableDecorrelation {
 		q = DecorrelateSelect(c, q)
 	}
-	builder, cols, n, err := c.compileSelect(q, nil, nil)
+	rq, rewrites := c.rewriteSelect(q)
+	builder, cols, n, err := c.compileSelect(rq, nil, nil)
+	if err != nil && len(rewrites) > 0 {
+		// A rewritten query must never fail where the original compiles;
+		// fall back so a rule bug degrades to a missed optimization.
+		c2 := &compiler{cat: cat, opts: opts}
+		builder, cols, n, err = c2.compileSelect(q, nil, nil)
+		rewrites = nil
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Columns: cols, Explain: n, build: builder}, nil
+	return &Plan{Columns: cols, Explain: n, build: builder, Rewrites: rewrites}, nil
 }
 
 // compileSelect compiles a query (with CTEs and UNION ALL) against an
@@ -409,7 +419,15 @@ func (c *compiler) compileCore(q *ast.Select, parent *scope, env *cteEnv, orderB
 			if it.Star {
 				return nil, nil, nil, errf("SELECT * is not allowed with aggregation")
 			}
-			items[i] = ast.SelectItem{Expr: substPostAgg(it.Expr, keyIndex, aggIndex, len(q.GroupBy)), Alias: it.Alias}
+			// Substitution replaces group-key column refs with internal
+			// #agg.#N refs; name the output after the original expression so
+			// unaliased group keys keep their column name (outer blocks
+			// reference derived tables by it).
+			alias := it.Alias
+			if cr, ok := it.Expr.(*ast.ColRef); ok && alias == "" {
+				alias = cr.Name
+			}
+			items[i] = ast.SelectItem{Expr: substPostAgg(it.Expr, keyIndex, aggIndex, len(q.GroupBy)), Alias: alias}
 		}
 		having = substPostAgg(q.Having, keyIndex, aggIndex, len(q.GroupBy))
 		if len(orderBy) > 0 {
@@ -867,7 +885,9 @@ const parallelRowThreshold = 4096
 func (c *compiler) parallelInput(q *ast.Select, n *Node, aggs []aggCall) (*Node, *storage.Table, string) {
 	const notPartitionable = "plan shape not partitionable"
 	leaf := n
-	for leaf.Op == "Filter" || leaf.Op == "Project" || strings.HasPrefix(leaf.Op, "Derived(") {
+	// Prefix matches: Filter and Derived labels may carry ` [rw:rule]`
+	// rewrite annotations.
+	for strings.HasPrefix(leaf.Op, "Filter") || leaf.Op == "Project" || strings.HasPrefix(leaf.Op, "Derived(") {
 		if len(leaf.Children) != 1 {
 			return nil, nil, notPartitionable
 		}

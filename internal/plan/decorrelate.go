@@ -222,14 +222,7 @@ func (c *compiler) decorrelateSubquery(sq *ast.Subquery, serial *int, left ast.T
 		}
 		// The outer side must reference at least one column (otherwise it
 		// would be local already) and no subqueries of its own.
-		hasSub := false
-		ast.WalkExpr(outer, func(x ast.Expr) bool {
-			if _, ok := x.(*ast.Subquery); ok {
-				hasSub = true
-			}
-			return true
-		})
-		if hasSub {
+		if ast.HasSubquery(outer) {
 			return nil, nil, false
 		}
 		corrCols = append(corrCols, col)

@@ -1,9 +1,13 @@
-// Package plan compiles query ASTs into executable physical operator trees.
-// It contains the engine's rule-based optimizer: predicate placement,
-// index-seek selection, join-order and join-algorithm choice, scalar-
-// subquery apply, apply decorrelation (the rewrite that gives the paper's
-// "Aggify+" configuration its set-oriented plans), and the paper's Eq. 6
-// streaming-aggregate enforcement for order-sensitive custom aggregates.
+// Package plan compiles query ASTs into executable physical operator trees
+// in three stages: apply decorrelation (the rewrite that gives the paper's
+// "Aggify+" configuration its set-oriented plans), a rule-based logical
+// rewrite pass over a small relational IR (logical.go + rewrite.go: constant
+// folding, predicate pushdown, projection pruning, redundant-sort
+// elimination, each individually toggleable and reported in EXPLAIN), and
+// physical compilation: predicate placement, index-seek selection,
+// join-order and join-algorithm choice, scalar-subquery apply, parallel
+// aggregation eligibility, and the paper's Eq. 6 streaming-aggregate
+// enforcement for order-sensitive custom aggregates.
 package plan
 
 import (
@@ -32,8 +36,14 @@ type Catalog interface {
 // configuration used by the engine.
 type Options struct {
 	// DisableDecorrelation turns off the apply-decorrelation rewrite
-	// (for the Aggify+ ablation).
+	// (for the Aggify+ ablation). It also disables logical rewrite rules
+	// that assume decorrelated shapes (RulePushFilterDecor), so the
+	// ablation measures what it claims.
 	DisableDecorrelation bool
+	// DisableRules turns off individual logical rewrite rules (rewrite.go);
+	// RuleAll disables the whole pass. A bitmask rather than a slice so
+	// Options stays usable as a plan-cache key.
+	DisableRules RuleSet
 	// Parallelism > 1 allows parallel aggregation (via the aggregate Merge
 	// contract) for order-insensitive aggregations over large inputs.
 	Parallelism int
@@ -48,6 +58,10 @@ type Plan struct {
 	Columns []string
 	// Explain describes the chosen physical plan.
 	Explain *Node
+	// Rewrites lists the logical rewrite rules that fired while normalizing
+	// this query, as "rule(count)" in rule order; empty when the pass left
+	// the query untouched. Surfaced as the EXPLAIN `rewrites:` header.
+	Rewrites []string
 
 	build opBuilder
 }

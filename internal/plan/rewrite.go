@@ -1,0 +1,1027 @@
+// Rule-based rewrite pass over the logical IR (logical.go). Compile runs it
+// between decorrelation and physical compilation: the AST is cloned, built
+// into the IR, normalized by a fixpoint loop of local rules, and lowered back
+// to a canonical AST for the unchanged physical compiler. Every rule is
+// individually toggleable through Options.DisableRules (for bisection), every
+// firing is counted into Plan.Rewrites for the EXPLAIN `rewrites:` header,
+// and nodes a rule touched carry a ` [rw:<rule>]` suffix in the plan tree.
+//
+// The rules are deliberately conservative: a transformation applies only
+// when the rewritten query is byte-identical in results (row values AND row
+// order, serial and parallel) to the original, including SQL NULL semantics
+// and error behavior — constant folding never folds an expression whose
+// evaluation errors (overflow, division by zero), and predicates only move
+// when the moved copy is total (cannot raise a new runtime error).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// RuleSet is a bitmask of rewrite rules. It is a plain integer so Options
+// stays comparable (the engine's plan cache uses Options as part of its map
+// key).
+type RuleSet uint32
+
+const (
+	// RuleFoldConst folds constant subexpressions with SQL three-valued
+	// NULL semantics, mirroring the runtime evaluator exactly (expressions
+	// whose evaluation would error are left alone), and removes WHERE/HAVING
+	// conjuncts that fold to constant TRUE.
+	RuleFoldConst RuleSet = 1 << iota
+	// RulePushFilter pushes single-source predicates into plain derived
+	// tables (through the projection, by substituting item expressions) and
+	// below inner joins — including the `(Q) aggify_q` derived table the
+	// Aggify rewrite emits, so pushed predicates reach the base scan, become
+	// index seeks, and keep parallel eligibility.
+	RulePushFilter
+	// RulePushFilterDecor pushes predicates through the shapes decorrelation
+	// emits: group-key predicates into grouped derived tables, and preserved-
+	// side predicates below LEFT JOINs. Disabled automatically when
+	// Options.DisableDecorrelation is set, so the decorrelation ablation
+	// measures what it claims.
+	RulePushFilterDecor
+	// RulePruneProject drops unreferenced pass-through columns from derived
+	// table projections so only referenced columns flow through joins and
+	// exchanges.
+	RulePruneProject
+	// RuleDropSort removes constant and duplicate ORDER BY keys and an outer
+	// ORDER BY that re-states a prefix of the order a derived table already
+	// produces. It never touches a sort an order-enforced (Eq. 6) aggregate
+	// observes, because those sorts live inside the derived table below the
+	// aggregation, not above it.
+	RuleDropSort
+
+	ruleSentinel
+)
+
+// RuleAll selects every rewrite rule.
+const RuleAll RuleSet = ruleSentinel - 1
+
+// Has reports whether any rule in x is present in r.
+func (r RuleSet) Has(x RuleSet) bool { return r&x != 0 }
+
+// ruleOrder fixes the reporting order (the order rules run in a pass).
+var ruleOrder = []RuleSet{RuleFoldConst, RulePushFilter, RulePushFilterDecor, RulePruneProject, RuleDropSort}
+
+func ruleName(r RuleSet) string {
+	switch r {
+	case RuleFoldConst:
+		return "fold_const"
+	case RulePushFilter:
+		return "push_filter"
+	case RulePushFilterDecor:
+		return "push_filter_decor"
+	case RulePruneProject:
+		return "prune_project"
+	case RuleDropSort:
+		return "drop_sort"
+	}
+	return fmt.Sprintf("rule(%#x)", uint32(r))
+}
+
+// maxRewritePasses caps the fixpoint loop; every rule strictly shrinks the
+// tree or moves a predicate downward, so real queries converge in 2-3
+// passes.
+const maxRewritePasses = 10
+
+// rewriteSelect runs the rewrite pass and returns the normalized query plus
+// the fired-rule report. When nothing fires (or any step refuses the shape)
+// the original query is returned untouched, so unchanged queries compile to
+// byte-identical plans.
+func (c *compiler) rewriteSelect(q *ast.Select) (*ast.Select, []string) {
+	rules := RuleAll &^ c.opts.DisableRules
+	if c.opts.DisableDecorrelation {
+		rules &^= RulePushFilterDecor
+	}
+	if rules == 0 {
+		return q, nil
+	}
+	root, ok := c.buildLogical(ast.CloneSelect(q))
+	if !ok {
+		return q, nil
+	}
+	rw := &rewriter{c: c, rules: rules, fired: map[RuleSet]int{}}
+	root = rw.run(root)
+	if rw.total == 0 {
+		return q, nil
+	}
+	out, ok := c.lowerLogical(root)
+	if !ok {
+		return q, nil
+	}
+	return out, rw.firedList()
+}
+
+type rewriter struct {
+	c     *compiler
+	rules RuleSet
+	fired map[RuleSet]int
+	total int
+}
+
+func (rw *rewriter) fire(r RuleSet)         { rw.fired[r]++; rw.total++ }
+func (rw *rewriter) fireN(r RuleSet, n int) { rw.fired[r] += n; rw.total += n }
+
+func (rw *rewriter) firedList() []string {
+	var out []string
+	for _, r := range ruleOrder {
+		if n := rw.fired[r]; n > 0 {
+			out = append(out, fmt.Sprintf("%s(%d)", ruleName(r), n))
+		}
+	}
+	return out
+}
+
+func (rw *rewriter) run(n lNode) lNode {
+	for pass := 0; pass < maxRewritePasses; pass++ {
+		before := rw.total
+		if rw.rules.Has(RuleFoldConst) {
+			n = rw.foldPass(n)
+		}
+		if rw.rules.Has(RulePushFilter | RulePushFilterDecor) {
+			n = rw.pushPass(n)
+		}
+		if rw.rules.Has(RulePruneProject) {
+			rw.pruneSelect(n)
+		}
+		if rw.rules.Has(RuleDropSort) {
+			n = rw.sortPass(n)
+		}
+		if rw.total == before {
+			break
+		}
+	}
+	return n
+}
+
+// --- fold_const ---
+
+func (rw *rewriter) foldPass(n lNode) lNode {
+	n = mapLogicalChildren(n, rw.foldPass)
+	switch t := n.(type) {
+	case *lFilter:
+		t.Pred = rw.fold(t.Pred)
+		if lit, ok := t.Pred.(*ast.Literal); ok && lit.Val.Truthy() {
+			rw.fire(RuleFoldConst)
+			return t.In
+		}
+	case *lProject:
+		for i := range t.Items {
+			if !t.Items[i].Star {
+				t.Items[i].Expr = rw.fold(t.Items[i].Expr)
+			}
+		}
+	case *lAggregate:
+		for i := range t.GroupBy {
+			t.GroupBy[i] = rw.fold(t.GroupBy[i])
+		}
+	case *lJoin:
+		if t.On != nil {
+			t.On = rw.fold(t.On)
+		}
+	case *lSort:
+		for i := range t.Keys {
+			t.Keys[i].Expr = rw.fold(t.Keys[i].Expr)
+		}
+	case *lTop:
+		t.N = rw.fold(t.N)
+	}
+	return n
+}
+
+func (rw *rewriter) fold(e ast.Expr) ast.Expr {
+	out, n := foldExpr(e)
+	if n > 0 {
+		rw.fireN(RuleFoldConst, n)
+	}
+	return out
+}
+
+// foldExpr folds constant subexpressions bottom-up, returning the rewritten
+// expression and the number of collapses. It mirrors the runtime evaluator
+// exactly — sqltypes.Apply/Negate/Not with Kleene AND/OR and NULL
+// propagation — and leaves any expression whose evaluation errors untouched,
+// preserving runtime error behavior. Subquery bodies are opaque (their
+// expressions belong to other blocks).
+func foldExpr(e ast.Expr) (ast.Expr, int) {
+	switch x := e.(type) {
+	case *ast.BinExpr:
+		var n int
+		x.L, n = foldExpr(x.L)
+		var nr int
+		x.R, nr = foldExpr(x.R)
+		n += nr
+		if l, ok := x.L.(*ast.Literal); ok {
+			if r, ok := x.R.(*ast.Literal); ok {
+				if v, err := sqltypes.Apply(x.Op, l.Val, r.Val); err == nil {
+					return ast.Lit(v), n + 1
+				}
+			}
+		}
+		return x, n
+	case *ast.UnaryExpr:
+		var n int
+		x.E, n = foldExpr(x.E)
+		if l, ok := x.E.(*ast.Literal); ok {
+			if x.Op == '-' {
+				if v, err := sqltypes.Negate(l.Val); err == nil {
+					return ast.Lit(v), n + 1
+				}
+				return x, n
+			}
+			return ast.Lit(sqltypes.Not(l.Val)), n + 1
+		}
+		return x, n
+	case *ast.IsNullExpr:
+		var n int
+		x.E, n = foldExpr(x.E)
+		if l, ok := x.E.(*ast.Literal); ok {
+			return ast.Lit(sqltypes.NewBool(l.Val.IsNull() != x.Negate)), n + 1
+		}
+		return x, n
+	case *ast.BetweenExpr:
+		var n, ni int
+		x.E, ni = foldExpr(x.E)
+		n += ni
+		x.Lo, ni = foldExpr(x.Lo)
+		n += ni
+		x.Hi, ni = foldExpr(x.Hi)
+		n += ni
+		le, lok := x.E.(*ast.Literal)
+		ll, llok := x.Lo.(*ast.Literal)
+		lh, lhok := x.Hi.(*ast.Literal)
+		if lok && llok && lhok {
+			// Same pipeline the compiled form runs: Ge, Le, Kleene AND, NOT.
+			// Comparisons and AND/NOT cannot error.
+			ge, err1 := sqltypes.Apply(sqltypes.OpGe, le.Val, ll.Val)
+			lev, err2 := sqltypes.Apply(sqltypes.OpLe, le.Val, lh.Val)
+			if err1 == nil && err2 == nil {
+				v, err := sqltypes.Apply(sqltypes.OpAnd, ge, lev)
+				if err == nil {
+					if x.Negate {
+						v = sqltypes.Not(v)
+					}
+					return ast.Lit(v), n + 1
+				}
+			}
+		}
+		return x, n
+	case *ast.CaseExpr:
+		var n, ni int
+		for i := range x.Whens {
+			x.Whens[i].Cond, ni = foldExpr(x.Whens[i].Cond)
+			n += ni
+			x.Whens[i].Then, ni = foldExpr(x.Whens[i].Then)
+			n += ni
+		}
+		if x.Else != nil {
+			x.Else, ni = foldExpr(x.Else)
+			n += ni
+		}
+		kept := x.Whens[:0]
+		for _, w := range x.Whens {
+			if lit, ok := w.Cond.(*ast.Literal); ok {
+				if !lit.Val.Truthy() {
+					n++ // arm can never be taken
+					continue
+				}
+				// First truthy literal arm: everything after it is dead.
+				if len(kept) == 0 {
+					return w.Then, n + 1
+				}
+				x.Whens = kept
+				x.Else = w.Then
+				return x, n + 1
+			}
+			kept = append(kept, w)
+		}
+		if len(kept) == 0 {
+			n++
+			if x.Else != nil {
+				return x.Else, n
+			}
+			return ast.Lit(sqltypes.Null), n
+		}
+		x.Whens = kept
+		return x, n
+	case *ast.FuncCall:
+		var n, ni int
+		for i := range x.Args {
+			x.Args[i], ni = foldExpr(x.Args[i])
+			n += ni
+		}
+		return x, n
+	case *ast.InExpr:
+		var n, ni int
+		x.E, ni = foldExpr(x.E)
+		n += ni
+		for i := range x.List {
+			x.List[i], ni = foldExpr(x.List[i])
+			n += ni
+		}
+		return x, n
+	}
+	return e, 0
+}
+
+// --- push_filter / push_filter_decor ---
+
+func (rw *rewriter) pushPass(n lNode) lNode {
+	n = mapLogicalChildren(n, rw.pushPass)
+	if f, ok := n.(*lFilter); ok {
+		if pushed, ok := rw.tryPush(f); ok {
+			return pushed
+		}
+	}
+	return n
+}
+
+// unitRef is one named FROM unit with enough context to decide and apply a
+// pushdown: its binding and output columns, a setter to splice a replacement
+// into the tree, and its position relative to outer joins.
+type unitRef struct {
+	node      lNode
+	set       func(lNode)
+	binding   string
+	cols      []string
+	known     bool // cols resolved (false for CTEs, late-bound tables, stars)
+	blocked   bool // null-supplying side of a LEFT JOIN: no pushdown
+	joined    bool // under at least one explicit join
+	underLeft bool // on the preserved side of a LEFT JOIN
+}
+
+func (rw *rewriter) collectUnits(n lNode, set func(lNode), blocked, joined, underLeft bool, out *[]unitRef) {
+	switch t := n.(type) {
+	case *lCross:
+		for i := range t.Units {
+			i := i
+			rw.collectUnits(t.Units[i], func(x lNode) { t.Units[i] = x }, blocked, joined, underLeft, out)
+		}
+	case *lJoin:
+		rw.collectUnits(t.L, func(x lNode) { t.L = x }, blocked, true, underLeft || t.Kind == ast.JoinLeft, out)
+		rw.collectUnits(t.R, func(x lNode) { t.R = x }, blocked || t.Kind == ast.JoinLeft, true, underLeft, out)
+	default:
+		u := unitRef{node: n, set: set, blocked: blocked, joined: joined, underLeft: underLeft}
+		u.binding, u.cols, u.known = rw.unitInfo(n)
+		*out = append(*out, u)
+	}
+}
+
+func (rw *rewriter) unitInfo(n lNode) (binding string, cols []string, known bool) {
+	switch t := n.(type) {
+	case *lScan:
+		binding = t.Alias
+		if binding == "" {
+			binding = t.Name
+		}
+		if lateBound(t.Name) {
+			return binding, nil, false
+		}
+		tab, err := rw.c.cat.ResolveTable(t.Name)
+		if err != nil {
+			return binding, nil, false
+		}
+		return binding, tab.Schema.Names(), true
+	case *lCTERef:
+		binding = t.Alias
+		if binding == "" {
+			binding = t.Name
+		}
+		return binding, nil, false
+	case *lDerived:
+		p := blockProject(t.Child)
+		if p == nil {
+			return t.Alias, nil, false
+		}
+		for i, it := range p.Items {
+			if it.Star {
+				return t.Alias, nil, false
+			}
+			cols = append(cols, itemOutName(it, i))
+		}
+		return t.Alias, cols, true
+	}
+	return "", nil, false
+}
+
+// tryPush attempts to move filter f's predicate into the single FROM unit it
+// references. On success the filter node is consumed (a copy now lives
+// inside the unit) and the filter's input is returned.
+func (rw *rewriter) tryPush(f *lFilter) (lNode, bool) {
+	switch f.In.(type) {
+	case *lCross, *lJoin, *lDerived:
+	default:
+		return nil, false
+	}
+	pred := f.Pred
+	if ast.HasSubquery(pred) {
+		// A predicate with an embedded (possibly correlated) subquery stays
+		// where the user wrote it: moving it would change how often the
+		// subquery runs.
+		return nil, false
+	}
+	refs := ast.ColRefs(pred)
+	if len(refs) == 0 {
+		return nil, false
+	}
+	var units []unitRef
+	rw.collectUnits(f.In, func(x lNode) { f.In = x }, false, false, false, &units)
+
+	target := -1
+	for _, cr := range refs {
+		idx := -1
+		for i, u := range units {
+			var match bool
+			if cr.Table != "" {
+				if cr.Table != u.binding {
+					continue
+				}
+				if !u.known || !containsStr(u.cols, cr.Name) {
+					return nil, false
+				}
+				match = true
+			} else {
+				if !u.known {
+					// A unit with unknown columns could expose this name;
+					// uniqueness is unprovable.
+					return nil, false
+				}
+				match = containsStr(u.cols, cr.Name)
+			}
+			if match {
+				if idx != -1 {
+					return nil, false // ambiguous reference
+				}
+				idx = i
+			}
+		}
+		if idx == -1 {
+			return nil, false // outer reference or unknown column
+		}
+		if target == -1 {
+			target = idx
+		} else if target != idx {
+			return nil, false // predicate spans units
+		}
+	}
+	u := units[target]
+	if u.blocked {
+		return nil, false
+	}
+
+	switch un := u.node.(type) {
+	case *lDerived:
+		rule, ok := rw.pushIntoDerived(un, pred)
+		if !ok {
+			return nil, false
+		}
+		rw.fire(rule)
+		return f.In, true
+	case *lScan:
+		// A scan under a join cannot receive the predicate directly (the
+		// physical compiler assigns conjuncts per block), so wrap it in a
+		// filtering derived table: (SELECT * FROM t WHERE pred) binding.
+		// References resolve identically inside; each preserved-side row is
+		// filtered exactly once either way, so results are byte-identical.
+		if !u.joined || !u.known {
+			return nil, false
+		}
+		rule := RulePushFilter
+		if u.underLeft {
+			rule = RulePushFilterDecor
+		}
+		if !rw.rules.Has(rule) || !totalPushExpr(pred) {
+			return nil, false
+		}
+		mark := ruleName(rule)
+		u.set(&lDerived{
+			Alias: u.binding,
+			mark:  mark,
+			Child: &lProject{
+				Items: []ast.SelectItem{{Star: true}},
+				In:    &lFilter{In: un, Pred: pred, mark: mark},
+			},
+		})
+		rw.fire(rule)
+		return f.In, true
+	}
+	return nil, false
+}
+
+// pushIntoDerived moves pred inside derived table d, substituting the
+// derived table's output columns with the projection expressions they name.
+func (rw *rewriter) pushIntoDerived(d *lDerived, pred ast.Expr) (RuleSet, bool) {
+	p := blockProject(d.Child)
+	if p == nil || p.Distinct {
+		return 0, false
+	}
+	// A filter below TOP changes which rows the limit keeps.
+	for n := d.Child; ; {
+		if w, ok := n.(*lWith); ok {
+			n = w.In
+			continue
+		}
+		if s, ok := n.(*lSort); ok {
+			n = s.In
+			continue
+		}
+		if a, ok := n.(*lApply); ok {
+			n = a.In
+			continue
+		}
+		if _, ok := n.(*lTop); ok {
+			return 0, false
+		}
+		break
+	}
+
+	byName := map[string]int{}
+	dup := map[string]bool{}
+	for i, it := range p.Items {
+		if it.Star {
+			return 0, false
+		}
+		name := itemOutName(it, i)
+		if _, seen := byName[name]; seen {
+			dup[name] = true
+		} else {
+			byName[name] = i
+		}
+	}
+
+	// Locate the block's aggregation, if any, below the HAVING filters.
+	var aggNode *lAggregate
+	n := p.In
+	for {
+		if f, ok := n.(*lFilter); ok {
+			n = f.In
+			continue
+		}
+		break
+	}
+	if a, ok := n.(*lAggregate); ok {
+		aggNode = a
+	}
+
+	rule := RulePushFilter
+	if aggNode != nil {
+		// Grouped derived table (the shape decorrelation emits): only
+		// predicates over group keys commute with the aggregation — all rows
+		// of a group share the key, so filtering rows before grouping keeps
+		// exactly the groups that would have survived the outer filter.
+		rule = RulePushFilterDecor
+		keys := map[string]bool{}
+		for _, g := range aggNode.GroupBy {
+			keys[g.String()] = true
+		}
+		for _, cr := range ast.ColRefs(pred) {
+			idx, found := byName[cr.Name]
+			if !found || dup[cr.Name] {
+				return 0, false
+			}
+			if !keys[p.Items[idx].Expr.String()] {
+				return 0, false
+			}
+		}
+	}
+	if !rw.rules.Has(rule) {
+		return 0, false
+	}
+
+	okSubst := true
+	subst := mapColRefs(ast.CloneExpr(pred), func(cr *ast.ColRef) ast.Expr {
+		if cr.Table != "" && cr.Table != d.Alias {
+			okSubst = false
+			return cr
+		}
+		if dup[cr.Name] {
+			okSubst = false
+			return cr
+		}
+		idx, found := byName[cr.Name]
+		if !found {
+			okSubst = false
+			return cr
+		}
+		return ast.CloneExpr(p.Items[idx].Expr)
+	})
+	if !okSubst || !totalPushExpr(subst) {
+		return 0, false
+	}
+
+	mark := ruleName(rule)
+	if aggNode != nil {
+		aggNode.In = &lFilter{In: aggNode.In, Pred: subst, mark: mark}
+	} else {
+		p.In = &lFilter{In: p.In, Pred: subst, mark: mark}
+	}
+	d.mark = addMark(d.mark, mark)
+	return rule, true
+}
+
+// totalPushExpr reports whether e is total: evaluating it can never raise a
+// runtime error, regardless of input values. Comparisons, Kleene AND/OR/NOT,
+// LIKE, CONCAT, IS NULL, BETWEEN, CASE, and IN over a list are total;
+// arithmetic (overflow, division by zero), unary minus, function calls, and
+// subqueries are not. Moving a total predicate can never introduce an error
+// the original query would not have raised.
+func totalPushExpr(e ast.Expr) bool {
+	total := true
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch t := x.(type) {
+		case *ast.Literal, *ast.ColRef, *ast.VarRef, *ast.ParamRef,
+			*ast.IsNullExpr, *ast.BetweenExpr, *ast.CaseExpr:
+		case *ast.BinExpr:
+			switch t.Op {
+			case sqltypes.OpAdd, sqltypes.OpSub, sqltypes.OpMul, sqltypes.OpDiv, sqltypes.OpMod:
+				total = false
+			}
+		case *ast.UnaryExpr:
+			if t.Op == '-' {
+				total = false
+			}
+		case *ast.InExpr:
+			if t.Query != nil {
+				total = false
+			}
+		default:
+			total = false
+		}
+		return total
+	})
+	return total
+}
+
+// --- prune_project ---
+
+// pruneSelect prunes unreferenced pass-through columns from derived tables,
+// walking one select root (wrappers + block or set-op branches). Sort/Top
+// expressions above the block count as references into it.
+func (rw *rewriter) pruneSelect(root lNode) {
+	var outer []ast.Expr
+	n := root
+	if w, ok := n.(*lWith); ok {
+		n = w.In // CTE bodies cannot reference this block's FROM units
+	}
+	if t, ok := n.(*lTop); ok {
+		outer = append(outer, t.N)
+		n = t.In
+	}
+	if s, ok := n.(*lSort); ok {
+		for _, k := range s.Keys {
+			outer = append(outer, k.Expr)
+		}
+		n = s.In
+	}
+	if set, ok := n.(*lSetOp); ok {
+		for _, b := range set.Branches {
+			rw.pruneBlock(b, outer)
+		}
+		return
+	}
+	rw.pruneBlock(n, outer)
+}
+
+func (rw *rewriter) pruneBlock(n lNode, outer []ast.Expr) {
+	exprs := append([]ast.Expr(nil), outer...)
+	if a, ok := n.(*lApply); ok {
+		n = a.In
+	}
+	p, ok := n.(*lProject)
+	if !ok {
+		return
+	}
+	starAll := false
+	starQual := map[string]bool{}
+	for _, it := range p.Items {
+		if it.Star {
+			if it.Alias == "" {
+				starAll = true
+			} else {
+				starQual[it.Alias] = true
+			}
+			continue
+		}
+		exprs = append(exprs, it.Expr)
+	}
+	n = p.In
+	for {
+		if f, ok := n.(*lFilter); ok {
+			exprs = append(exprs, f.Pred)
+			n = f.In
+			continue
+		}
+		if a, ok := n.(*lAggregate); ok {
+			exprs = append(exprs, a.GroupBy...)
+			n = a.In
+			continue
+		}
+		break
+	}
+	var deriveds []*lDerived
+	var walk func(x lNode)
+	walk = func(x lNode) {
+		switch t := x.(type) {
+		case *lCross:
+			for _, u := range t.Units {
+				walk(u)
+			}
+		case *lJoin:
+			if t.On != nil {
+				exprs = append(exprs, t.On)
+			}
+			walk(t.L)
+			walk(t.R)
+		case *lDerived:
+			deriveds = append(deriveds, t)
+		}
+	}
+	walk(n)
+	for _, d := range deriveds {
+		if !starAll && !starQual[d.Alias] {
+			rw.pruneDerived(d, exprs)
+		}
+		rw.pruneSelect(d.Child) // prune nested levels too
+	}
+}
+
+// pruneDerived drops projection items of d that no enclosing-block
+// expression references. Only bare column references and literals are
+// prunable: dropping a computed item could remove a runtime error the
+// original query raises. Pruning bails out entirely if any item relies on
+// positional (colN) naming, which item removal would renumber.
+func (rw *rewriter) pruneDerived(d *lDerived, exprs []ast.Expr) {
+	p := blockProject(d.Child)
+	if p == nil || p.Distinct || len(p.Items) <= 1 {
+		return
+	}
+	for _, it := range p.Items {
+		if it.Star {
+			return
+		}
+		if it.Alias == "" {
+			if _, ok := it.Expr.(*ast.ColRef); !ok {
+				return // positional colN name; pruning would renumber
+			}
+		}
+	}
+
+	refd := map[string]bool{}
+	for _, e := range exprs {
+		for _, cr := range ast.ColRefs(e) {
+			if cr.Table == "" || cr.Table == d.Alias {
+				refd[cr.Name] = true
+			}
+		}
+	}
+	// The block's own ORDER BY / TOP resolve against the projection too.
+	nn := d.Child
+	if w, ok := nn.(*lWith); ok {
+		nn = w.In
+	}
+	if t, ok := nn.(*lTop); ok {
+		for _, cr := range ast.ColRefs(t.N) {
+			refd[cr.Name] = true
+		}
+		nn = t.In
+	}
+	if s, ok := nn.(*lSort); ok {
+		for _, k := range s.Keys {
+			for _, cr := range ast.ColRefs(k.Expr) {
+				refd[cr.Name] = true
+			}
+		}
+	}
+
+	kept := make([]ast.SelectItem, 0, len(p.Items))
+	removed := 0
+	for i, it := range p.Items {
+		prunable := false
+		switch it.Expr.(type) {
+		case *ast.ColRef, *ast.Literal:
+			prunable = true
+		}
+		if prunable && !refd[itemOutName(it, i)] {
+			removed++
+			continue
+		}
+		kept = append(kept, it)
+	}
+	if removed == 0 {
+		return
+	}
+	if len(kept) == 0 {
+		kept = append(kept, p.Items[0])
+		removed--
+		if removed == 0 {
+			return
+		}
+	}
+	p.Items = kept
+	d.mark = addMark(d.mark, ruleName(RulePruneProject))
+	rw.fireN(RulePruneProject, removed)
+}
+
+// --- drop_sort ---
+
+func (rw *rewriter) sortPass(n lNode) lNode {
+	n = mapLogicalChildren(n, rw.sortPass)
+	s, ok := n.(*lSort)
+	if !ok {
+		return n
+	}
+	kept := make([]ast.OrderItem, 0, len(s.Keys))
+	seen := map[string]bool{}
+	for _, k := range s.Keys {
+		if _, isLit := k.Expr.(*ast.Literal); isLit {
+			// A constant key never reorders under a stable sort; this
+			// dialect has no positional ORDER BY, so literals carry no
+			// ordinal meaning.
+			rw.fire(RuleDropSort)
+			continue
+		}
+		str := k.Expr.String()
+		if seen[str] {
+			// A repeated key can never break a tie its first occurrence
+			// left, whatever its direction.
+			rw.fire(RuleDropSort)
+			continue
+		}
+		seen[str] = true
+		kept = append(kept, k)
+	}
+	s.Keys = kept
+	if len(kept) == 0 {
+		return s.In
+	}
+	if d := rw.sortRedundantOver(s); d != nil {
+		d.mark = addMark(d.mark, ruleName(RuleDropSort))
+		rw.fire(RuleDropSort)
+		return s.In
+	}
+	return s
+}
+
+// sortRedundantOver reports (by returning the derived table) whether s
+// re-states a prefix of the order its input already has: a block projecting
+// pass-through columns of a derived table whose own ORDER BY starts with the
+// same keys in the same directions. Filters preserve order and the sort is
+// stable, so dropping the outer sort is an identity.
+func (rw *rewriter) sortRedundantOver(s *lSort) *lDerived {
+	n := s.In
+	if a, ok := n.(*lApply); ok {
+		n = a.In
+	}
+	p, ok := n.(*lProject)
+	if !ok || p.Distinct {
+		return nil
+	}
+	n = p.In
+	for {
+		if f, ok := n.(*lFilter); ok {
+			n = f.In
+			continue
+		}
+		break
+	}
+	d, ok := n.(*lDerived)
+	if !ok {
+		return nil
+	}
+	inner := d.Child
+	if w, ok := inner.(*lWith); ok {
+		inner = w.In
+	}
+	if t, ok := inner.(*lTop); ok {
+		inner = t.In // TOP of a sorted input is still sorted
+	}
+	is, ok := inner.(*lSort)
+	if !ok || len(s.Keys) > len(is.Keys) {
+		return nil
+	}
+	ip := is.In
+	if a, ok := ip.(*lApply); ok {
+		ip = a.In
+	}
+	dp, ok := ip.(*lProject)
+	if !ok {
+		return nil
+	}
+
+	outIdx, outDup := itemIndex(p.Items)
+	inIdx, inDup := itemIndex(dp.Items)
+	if outIdx == nil || inIdx == nil {
+		return nil
+	}
+	for i, k := range s.Keys {
+		cr, ok := k.Expr.(*ast.ColRef)
+		if !ok || cr.Table != "" || outDup[cr.Name] {
+			return nil
+		}
+		oi, found := outIdx[cr.Name]
+		if !found {
+			return nil
+		}
+		oe, ok := p.Items[oi].Expr.(*ast.ColRef)
+		if !ok || (oe.Table != "" && oe.Table != d.Alias) {
+			return nil
+		}
+		if inDup[oe.Name] {
+			return nil
+		}
+		ii, found := inIdx[oe.Name]
+		if !found {
+			return nil
+		}
+		ik := is.Keys[i]
+		if ik.Desc != k.Desc {
+			return nil
+		}
+		// The inner key must order by the very expression the item
+		// projects, either verbatim or via the item's output name.
+		if ik.Expr.String() != dp.Items[ii].Expr.String() {
+			icr, ok := ik.Expr.(*ast.ColRef)
+			if !ok || icr.Table != "" || icr.Name != itemOutName(dp.Items[ii], ii) {
+				return nil
+			}
+		}
+	}
+	return d
+}
+
+// itemIndex maps output names to item positions; nil when the list has a
+// star (names unknown).
+func itemIndex(items []ast.SelectItem) (map[string]int, map[string]bool) {
+	idx := map[string]int{}
+	dup := map[string]bool{}
+	for i, it := range items {
+		if it.Star {
+			return nil, nil
+		}
+		name := itemOutName(it, i)
+		if _, seen := idx[name]; seen {
+			dup[name] = true
+		} else {
+			idx[name] = i
+		}
+	}
+	return idx, dup
+}
+
+// --- shared helpers ---
+
+func containsStr(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func addMark(existing, rule string) string {
+	if existing == "" {
+		return rule
+	}
+	if strings.Contains(existing, rule) {
+		return existing
+	}
+	return existing + "," + rule
+}
+
+// markExpr records that a predicate was placed by a rewrite rule, so the
+// physical compiler annotates the Filter (or IndexSeek) it compiles into.
+// Keys are expression pointers: splitConjuncts and ast.And preserve conjunct
+// identity from lowering through compilation.
+func (c *compiler) markExpr(e ast.Expr, rule string) {
+	if c.marks == nil {
+		c.marks = map[ast.Expr]string{}
+	}
+	c.marks[e] = rule
+}
+
+// markSelect records that a derived table's body was rewritten, annotating
+// its Derived() node.
+func (c *compiler) markSelect(q *ast.Select, rule string) {
+	if c.selMarks == nil {
+		c.selMarks = map[*ast.Select]string{}
+	}
+	c.selMarks[q] = rule
+}
+
+// rwSuffix renders a node-label annotation for a fired rule, "" when none.
+func (c *compiler) rwSuffix(mark string) string {
+	if mark == "" {
+		return ""
+	}
+	return " [rw:" + mark + "]"
+}
+
+func (c *compiler) filterLabel(pred ast.Expr) string {
+	return "Filter" + c.rwSuffix(c.marks[pred])
+}

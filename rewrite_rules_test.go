@@ -1,0 +1,210 @@
+package aggify_test
+
+import (
+	"strings"
+	"testing"
+
+	"aggify"
+	"aggify/internal/plan"
+)
+
+// rewriteHeader returns the EXPLAIN `rewrites:` header for sql under the
+// given rule mask (empty string when the pass left the query untouched),
+// plus the query's result rows rendered one per line.
+func rewriteHeader(t *testing.T, db *aggify.DB, disabled plan.RuleSet, sql string) (string, []string) {
+	t.Helper()
+	sess := db.Session()
+	old := sess.Opts.DisableRules
+	sess.Opts.DisableRules = disabled
+	defer func() { sess.Opts.DisableRules = old }()
+
+	out := runExplainDB(t, db, "EXPLAIN "+sql)
+	header := ""
+	if first, _, ok := strings.Cut(out, "\n"); ok && strings.HasPrefix(first, "rewrites:") {
+		header = first
+	}
+	return header, queryRows(t, db, sql)
+}
+
+func queryRows(t *testing.T, db *aggify.DB, sql string) []string {
+	t.Helper()
+	rows, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	out := make([]string, len(rows.Data))
+	for i, r := range rows.Data {
+		cells := make([]string, len(r))
+		for j, v := range r {
+			cells[j] = v.String()
+		}
+		out[i] = strings.Join(cells, "|")
+	}
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRewriteRuleToggles exercises each logical rewrite rule individually:
+// a query known to fire the rule must report it in the EXPLAIN `rewrites:`
+// header, disabling just that rule's bit must silence it, and the results
+// must be identical either way.
+func TestRewriteRuleToggles(t *testing.T) {
+	db := newDemoDB(t)
+	cases := []struct {
+		rule string
+		bit  plan.RuleSet
+		sql  string
+	}{
+		{"fold_const", plan.RuleFoldConst,
+			"select s_name from supplier where 1 = 1 and s_suppkey >= 10 order by s_name"},
+		{"push_filter", plan.RulePushFilter,
+			"select q.ps_suppkey from (select ps_partkey, ps_suppkey from partsupp) q where q.ps_partkey = 1 order by ps_suppkey"},
+		{"push_filter_decor", plan.RulePushFilterDecor,
+			"select q.k, q.s from (select ps_partkey as k, sum(ps_supplycost) as s from partsupp group by ps_partkey) q where q.k = 1"},
+		{"prune_project", plan.RulePruneProject,
+			"select q.ps_partkey from (select ps_partkey, ps_suppkey, ps_supplycost from partsupp) q order by ps_partkey"},
+		{"drop_sort", plan.RuleDropSort,
+			"select q.s_name from (select top 5 s_name from supplier order by s_name) q order by s_name"},
+	}
+	for _, c := range cases {
+		// The rule name followed by '(' distinguishes push_filter from
+		// push_filter_decor in the header.
+		marker := c.rule + "("
+		on, onRows := rewriteHeader(t, db, 0, c.sql)
+		if !strings.Contains(on, marker) {
+			t.Errorf("%s: rule did not fire, header %q\nquery: %s", c.rule, on, c.sql)
+			continue
+		}
+		off, offRows := rewriteHeader(t, db, c.bit, c.sql)
+		if strings.Contains(off, marker) {
+			t.Errorf("%s: fired while disabled, header %q", c.rule, off)
+		}
+		if !sameRows(onRows, offRows) {
+			t.Errorf("%s: rule changed results\n on: %v\noff: %v\nquery: %s", c.rule, onRows, offRows, c.sql)
+		}
+	}
+}
+
+// TestRewriteAllDisabled: RuleAll must silence the whole pass — no header
+// on any query that otherwise rewrites.
+func TestRewriteAllDisabled(t *testing.T) {
+	db := newDemoDB(t)
+	sql := "select q.ps_suppkey from (select ps_partkey, ps_suppkey, ps_supplycost from partsupp) q where q.ps_partkey = 1 and 1 = 1 order by ps_suppkey"
+	on, onRows := rewriteHeader(t, db, 0, sql)
+	if on == "" {
+		t.Fatalf("expected rewrites on the control query")
+	}
+	off, offRows := rewriteHeader(t, db, plan.RuleAll, sql)
+	if off != "" {
+		t.Fatalf("RuleAll still rewrote: %q", off)
+	}
+	if !sameRows(onRows, offRows) {
+		t.Fatalf("disabled pass changed results\n on: %v\noff: %v", onRows, offRows)
+	}
+}
+
+// TestDisableDecorrelationDisablesDecorRules: the Aggify+ ablation switch
+// must also turn off rewrite rules that assume decorrelated shapes —
+// push_filter_decor must not fire even though its DisableRules bit is clear.
+func TestDisableDecorrelationDisablesDecorRules(t *testing.T) {
+	db := newDemoDB(t)
+	sql := "select q.k, q.s from (select ps_partkey as k, sum(ps_supplycost) as s from partsupp group by ps_partkey) q where q.k = 1"
+
+	on, onRows := rewriteHeader(t, db, 0, sql)
+	if !strings.Contains(on, "push_filter_decor(") {
+		t.Fatalf("control query must fire push_filter_decor, header %q", on)
+	}
+
+	sess := db.Session()
+	sess.Opts.DisableDecorrelation = true
+	defer func() { sess.Opts.DisableDecorrelation = false }()
+	off, offRows := rewriteHeader(t, db, 0, sql)
+	if strings.Contains(off, "push_filter_decor(") {
+		t.Fatalf("push_filter_decor fired under DisableDecorrelation, header %q", off)
+	}
+	if !sameRows(onRows, offRows) {
+		t.Fatalf("ablation changed results\n on: %v\noff: %v", onRows, offRows)
+	}
+}
+
+// TestDecorrelateEdgeCases pins planner behaviour on shapes where apply
+// decorrelation and the rewrite pass interact: a correlated scalar subquery
+// inside a would-be pushdown predicate, a correlated apply under TOP, and
+// correlation reaching through two derived-table levels. Each query runs
+// under four configurations (default, no decorrelation, no rewrite rules,
+// neither) which must all agree.
+func TestDecorrelateEdgeCases(t *testing.T) {
+	db := newDemoDB(t)
+	cases := []struct {
+		name, sql string
+		want      []string
+	}{
+		{"correlated subquery in pushdown predicate",
+			`select q.k from (select ps_partkey as k from partsupp) q
+			 where (select count(*) from partsupp p2 where p2.ps_partkey = q.k) > 1
+			 order by k`,
+			[]string{"1", "1"}},
+		{"apply under top",
+			`select top 2 ps_partkey, (select s_name from supplier where s_suppkey = ps_suppkey) as nm
+			 from partsupp order by ps_partkey, nm`,
+			nil}, // cross-config agreement only: char() padding is config-independent
+		{"correlation through two derived levels",
+			`select s_suppkey, (select min(x.c) from (select y.c from
+			   (select ps_supplycost as c, ps_suppkey as sk from partsupp) y
+			   where y.sk = s_suppkey) x) as m
+			 from supplier order by s_suppkey`,
+			[]string{"10|5", "11|3.5"}},
+	}
+	sess := db.Session()
+	for _, c := range cases {
+		// A predicate containing a subquery must never be pushed into a
+		// derived table (the subquery's correlation scope would change).
+		if c.name == "correlated subquery in pushdown predicate" {
+			header, _ := rewriteHeader(t, db, 0, c.sql)
+			if strings.Contains(header, "push_filter(") || strings.Contains(header, "push_filter_decor(") {
+				t.Errorf("%s: predicate with subquery was pushed, header %q", c.name, header)
+			}
+		}
+		var base []string
+		for _, cfg := range []struct {
+			name    string
+			noDecor bool
+			rules   plan.RuleSet
+		}{
+			{"default", false, 0},
+			{"no-decorrelate", true, 0},
+			{"no-rules", false, plan.RuleAll},
+			{"neither", true, plan.RuleAll},
+		} {
+			sess.Opts.DisableDecorrelation = cfg.noDecor
+			sess.Opts.DisableRules = cfg.rules
+			got := queryRows(t, db, c.sql)
+			sess.Opts.DisableDecorrelation = false
+			sess.Opts.DisableRules = 0
+			if base == nil {
+				base = got
+				if c.want != nil && !sameRows(got, c.want) {
+					t.Errorf("%s: wrong rows %v, want %v", c.name, got, c.want)
+				}
+				if c.want == nil && len(got) == 0 {
+					t.Errorf("%s: no rows", c.name)
+				}
+				continue
+			}
+			if !sameRows(base, got) {
+				t.Errorf("%s (%s): rows diverged\n got: %v\nbase: %v", c.name, cfg.name, got, base)
+			}
+		}
+	}
+}

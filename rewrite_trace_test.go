@@ -1,0 +1,51 @@
+package aggify_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRewriteTraceGolden locks down the EXPLAIN rewrite trace (the `rewrites:`
+// header plus the [rw:rule] node annotations) for three representative
+// queries: predicate pushdown into a derived table, constant folding, and
+// redundant-sort elimination. Regenerate with:
+// go test -run TestRewriteTraceGolden -update .
+func TestRewriteTraceGolden(t *testing.T) {
+	db := newDemoDB(t)
+	queries := []struct {
+		label, sql string
+	}{
+		{"pushdown into derived", `EXPLAIN select q.ps_suppkey, q.ps_supplycost
+from (select ps_partkey, ps_suppkey, ps_supplycost from partsupp) q
+where q.ps_partkey = 1`},
+		{"constant folding", `EXPLAIN select s_name from supplier
+where 1 + 1 = 2 and s_suppkey >= 10 and 'a' = 'b' or null is not null`},
+		{"redundant sort", `EXPLAIN select q.s_name
+from (select top 5 s_name from supplier order by s_name) q
+order by s_name`},
+	}
+
+	var b strings.Builder
+	for _, q := range queries {
+		b.WriteString("-- " + q.label + "\n")
+		b.WriteString(runExplainDB(t, db, q.sql))
+		b.WriteByte('\n')
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "rewrite_trace.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("rewrite trace drifted from %s.\ngot:\n%s\nwant:\n%s", golden, got, want)
+	}
+}

@@ -8,6 +8,9 @@
 //   - the serial ÷ parallel ns/op ratio of BenchmarkGateParallelAgg is
 //     recorded as parallel_speedup and must be ≥ 2 on hosts with at least
 //     4 CPUs (smaller hosts record the ratio without enforcing it);
+//   - the norewrite ÷ rewrite ns/op ratio of BenchmarkGatePushdown is
+//     recorded as pushdown_speedup and must be ≥ 1.5 — the predicate-
+//     pushdown rewrite has to actually pay for itself;
 //   - -update rewrites the snapshot with the current numbers instead of
 //     comparing.
 //
@@ -37,11 +40,14 @@ type snapshot struct {
 	NumCPU          int           `json:"num_cpu"`
 	Benchmarks      []benchResult `json:"benchmarks"`
 	ParallelSpeedup float64       `json:"parallel_speedup"`
+	PushdownSpeedup float64       `json:"pushdown_speedup"`
 }
 
 const (
-	serialBench   = "BenchmarkGateParallelAgg/serial"
-	parallelBench = "BenchmarkGateParallelAgg/maxdop=4"
+	serialBench    = "BenchmarkGateParallelAgg/serial"
+	parallelBench  = "BenchmarkGateParallelAgg/maxdop=4"
+	rewriteBench   = "BenchmarkGatePushdown/rewrite"
+	norewriteBench = "BenchmarkGatePushdown/norewrite"
 )
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -76,6 +82,11 @@ func main() {
 			cur.ParallelSpeedup = round3(s.NsPerOp / p.NsPerOp)
 		}
 	}
+	if n, ok := byName[norewriteBench]; ok {
+		if r, ok := byName[rewriteBench]; ok && r.NsPerOp > 0 {
+			cur.PushdownSpeedup = round3(n.NsPerOp / r.NsPerOp)
+		}
+	}
 
 	for _, r := range results {
 		line := fmt.Sprintf("%-44s %14.0f ns/op", r.Name, r.NsPerOp)
@@ -85,6 +96,7 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Printf("parallel speedup (serial/maxdop=4): %.2fx on %d CPUs\n", cur.ParallelSpeedup, cur.NumCPU)
+	fmt.Printf("pushdown speedup (norewrite/rewrite): %.2fx\n", cur.PushdownSpeedup)
 
 	if *update {
 		buf, err := json.MarshalIndent(cur, "", "  ")
@@ -132,6 +144,12 @@ func main() {
 	if runtime.NumCPU() >= 4 && cur.ParallelSpeedup < 2.0 {
 		failures = append(failures, fmt.Sprintf("parallel speedup %.2fx < 2x at MAXDOP=4 on %d CPUs",
 			cur.ParallelSpeedup, runtime.NumCPU()))
+	}
+	// The pushdown ratio is CPU-count-independent (both cells are serial), so
+	// it binds everywhere the pair ran.
+	if cur.PushdownSpeedup > 0 && cur.PushdownSpeedup < 1.5 {
+		failures = append(failures, fmt.Sprintf("pushdown speedup %.2fx < 1.5x (rewrite pass not paying for itself)",
+			cur.PushdownSpeedup))
 	}
 
 	if len(failures) > 0 {

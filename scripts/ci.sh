@@ -61,4 +61,11 @@ echo "== explain-analyze golden"
 # Regenerate intentional changes with:  go test -run TestExplainAnalyzeGolden -update .
 go test -count=1 -run 'TestExplainAnalyze' .
 
+echo "== rewrite-trace golden"
+# The logical rewrite pass's EXPLAIN trace (the `rewrites:` header and the
+# per-node [rw:rule] annotations) for three representative queries is pinned
+# to testdata/rewrite_trace.golden.
+# Regenerate intentional changes with:  go test -run TestRewriteTraceGolden -update .
+go test -count=1 -run 'TestRewriteTraceGolden' .
+
 echo "CI OK"
