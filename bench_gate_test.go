@@ -11,6 +11,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +21,8 @@ import (
 	"aggify/internal/parser"
 	"aggify/internal/plan"
 	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
+	"aggify/internal/wal"
 )
 
 // gateRows clears the planner's parallel row threshold by a wide margin so
@@ -47,7 +50,7 @@ func gateEnv(b *testing.B) *engine.Engine {
 			return
 		}
 		for i := int64(0); i < gateRows; i++ {
-			if gateErr = tab.Insert([]sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)}); gateErr != nil {
+			if gateErr = tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)}); gateErr != nil {
 				return
 			}
 		}
@@ -62,7 +65,7 @@ func gateEnv(b *testing.B) *engine.Engine {
 			return
 		}
 		for i := int64(0); i < gateRows; i++ {
-			if gateErr = ptab.Insert([]sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)}); gateErr != nil {
+			if gateErr = ptab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)}); gateErr != nil {
 				return
 			}
 		}
@@ -167,6 +170,55 @@ func BenchmarkGateTCPLoopback(b *testing.B) {
 		if _, err := stmt.QueryRow(aggify.Int(3)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkGateWALCommit measures the durable commit path: single-row
+// auto-commit inserts through the write-ahead log. The group cell runs
+// concurrent committers so group commit can amortize one fsync over many
+// transactions; the off cell isolates the logging overhead itself (append +
+// encode, no fsync), which is the stable number the 25% gate really guards.
+func BenchmarkGateWALCommit(b *testing.B) {
+	for _, tc := range []struct {
+		name     string
+		mode     wal.SyncMode
+		parallel bool
+	}{
+		{"group", wal.SyncGroup, true},
+		{"off", wal.SyncOff, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng := engine.New()
+			if err := eng.OpenData(b.TempDir(), tc.mode); err != nil {
+				b.Fatal(err)
+			}
+			defer eng.CloseData()
+			if _, err := eng.CreateTable("w", storage.NewSchema(
+				storage.Col("k", sqltypes.Int), storage.Col("v", sqltypes.Int))); err != nil {
+				b.Fatal(err)
+			}
+			tab, _ := eng.Table("w")
+			var seq int64
+			b.ResetTimer()
+			if tc.parallel {
+				var n atomic.Int64
+				b.RunParallel(func(pb *testing.PB) {
+					for pb.Next() {
+						i := n.Add(1)
+						if err := tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i), sqltypes.NewInt(i)}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			} else {
+				for i := 0; i < b.N; i++ {
+					seq++
+					if err := tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(seq), sqltypes.NewInt(seq)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }
 

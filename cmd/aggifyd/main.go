@@ -8,14 +8,20 @@
 //
 // Usage:
 //
-//	aggifyd [-addr host:port] [-tpch SF] [-slow-query D]
+//	aggifyd [-addr host:port] [-data-dir DIR] [-wal-sync always|group|off]
+//	        [-tpch SF] [-slow-query D]
 //	        [-http host:port] [-trace-sample F] [-trace-out FILE]
 //	        [-log-format text|json] [script.sql ...]
 //
 // Any script files are executed against the engine before the server
 // starts accepting (schema, data, UDFs, aggregates). -tpch loads the TPC-H
-// tables at the given scale factor. SIGINT/SIGTERM drain gracefully:
-// in-flight requests finish, then connections close.
+// tables at the given scale factor. -data-dir makes the database durable:
+// committed transactions are written ahead to DIR/wal.log and startup
+// replays checkpoint + log back to the last committed epoch; without it
+// the engine runs the same MVCC protocol purely in memory. SIGINT/SIGTERM
+// drain gracefully: new statements are rejected, in-flight requests
+// finish, the WAL is flushed and a final checkpoint written, then
+// connections close.
 //
 // Observability (see docs/OBSERVABILITY.md): -http starts a debug listener
 // serving /healthz, /metrics (Prometheus text), /traces (recent traces),
@@ -42,10 +48,13 @@ import (
 	"aggify"
 	"aggify/internal/tpch"
 	"aggify/internal/trace"
+	"aggify/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:5433", "listen address")
+	dataDir := flag.String("data-dir", "", "directory for the write-ahead log and checkpoints (empty = in-memory, no persistence)")
+	walSync := flag.String("wal-sync", "group", "WAL durability mode: always (fsync per commit), group (one fsync amortized over concurrent commits), off (no fsync)")
 	tpchSF := flag.Float64("tpch", 0, "load TPC-H tables at this scale factor (0 = off)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	slow := flag.Duration("slow-query", 0, "log requests at least this slow into the server metrics (0 = off)")
@@ -69,11 +78,28 @@ func main() {
 	if *maxdop < 1 {
 		log.Fatalf("aggifyd: -maxdop must be >= 1, got %d", *maxdop)
 	}
-	db.Engine().DefaultMaxDOP = *maxdop
+	eng := db.Engine()
+	eng.DefaultMaxDOP = *maxdop
+	if *dataDir != "" {
+		mode, err := wal.ParseSyncMode(*walSync)
+		if err != nil {
+			logger.Fatalf("aggifyd: %v", err)
+		}
+		start := time.Now()
+		if err := eng.OpenData(*dataDir, mode); err != nil {
+			logger.Fatalf("aggifyd: -data-dir: %v", err)
+		}
+		logger.Printf("aggifyd: recovered %d tables at epoch %d from %s (wal-sync=%s) in %v",
+			len(eng.Tables()), eng.TxnMgr.Epoch(), *dataDir, mode, time.Since(start).Round(time.Millisecond))
+	}
 	if *tpchSF > 0 {
-		logger.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
-		if err := tpch.Load(db.Engine(), *tpchSF); err != nil {
-			logger.Fatalf("aggifyd: tpch: %v", err)
+		if _, exists := eng.Table("lineitem"); exists {
+			logger.Printf("aggifyd: tpch tables already present (recovered); skipping load")
+		} else {
+			logger.Printf("aggifyd: loading TPC-H sf=%g", *tpchSF)
+			if err := tpch.Load(eng, *tpchSF); err != nil {
+				logger.Fatalf("aggifyd: tpch: %v", err)
+			}
 		}
 	}
 	for _, path := range flag.Args() {
@@ -102,6 +128,34 @@ func main() {
 	srv.ErrorLog = logger
 	srv.SlowThreshold = *slow
 	srv.Tracer = tracer
+	if *dataDir != "" {
+		// Between "no new statements admitted" and "connections closed",
+		// flush the WAL and write a final checkpoint while quiescent.
+		srv.OnDrain = func() {
+			if err := eng.Checkpoint(); err != nil {
+				logger.Printf("aggifyd: drain checkpoint: %v", err)
+			} else {
+				logger.Printf("aggifyd: drain checkpoint written at epoch %d", eng.TxnMgr.Epoch())
+			}
+		}
+	}
+
+	// Background vacuum: reclaim superseded row versions older than the
+	// oldest live snapshot. Sessions also vacuum inline after commits; the
+	// ticker covers idle periods with long-lived garbage.
+	vacStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(5 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				eng.Vacuum()
+			case <-vacStop:
+				return
+			}
+		}
+	}()
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		logger.Fatalf("aggifyd: %v", err)
@@ -132,12 +186,21 @@ func main() {
 		logger.Printf("aggifyd: %v — draining (up to %v)", s, *drain)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(ctx); err != nil {
+		err := srv.Shutdown(ctx)
+		close(vacStop)
+		if cerr := eng.CloseData(); cerr != nil {
+			logger.Printf("aggifyd: close data: %v", cerr)
+		}
+		if err != nil {
 			logger.Printf("aggifyd: forced shutdown: %v", err)
 			os.Exit(1)
 		}
 		logger.Printf("aggifyd: drained cleanly")
 	case err := <-done:
+		close(vacStop)
+		if cerr := eng.CloseData(); cerr != nil {
+			logger.Printf("aggifyd: close data: %v", cerr)
+		}
 		if err != nil && !errors.Is(err, aggify.ErrServerClosed) {
 			logger.Fatalf("aggifyd: %v", err)
 		}

@@ -73,7 +73,7 @@ order by s_name`
 		t.Fatal("metrics table missing")
 	}
 	for i := 0; i < 6000; i++ {
-		if err := tab.Insert([]aggify.Value{aggify.Int(int64(i % 7)), aggify.Int(int64(i % 101))}); err != nil {
+		if err := tab.Insert(nil, []aggify.Value{aggify.Int(int64(i % 7)), aggify.Int(int64(i % 101))}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -130,6 +130,8 @@ func CloneStmt(s Stmt) Stmt {
 		}
 	case *BreakStmt:
 		return &BreakStmt{}
+	case *TxnStmt:
+		return &TxnStmt{Op: st.Op}
 	case *ContinueStmt:
 		return &ContinueStmt{}
 	case *ReturnStmt:

@@ -269,6 +269,8 @@ func (p *printer) stmt(s Stmt) {
 		p.indentedStmt(st.Body)
 	case *BreakStmt:
 		p.line("BREAK;")
+	case *TxnStmt:
+		p.line("%s;", st.Op)
 	case *ContinueStmt:
 		p.line("CONTINUE;")
 	case *ReturnStmt:

@@ -155,6 +155,33 @@ type TryCatch struct {
 	Catch Stmt
 }
 
+// TxnOp is a transaction-control verb.
+type TxnOp int
+
+const (
+	TxnBegin TxnOp = iota
+	TxnCommit
+	TxnRollback
+)
+
+func (op TxnOp) String() string {
+	switch op {
+	case TxnBegin:
+		return "BEGIN TRANSACTION"
+	case TxnCommit:
+		return "COMMIT"
+	case TxnRollback:
+		return "ROLLBACK"
+	}
+	return "TXN?"
+}
+
+// TxnStmt is BEGIN TRANSACTION, COMMIT, or ROLLBACK: explicit transaction
+// control over the session's MVCC state.
+type TxnStmt struct {
+	Op TxnOp
+}
+
 // PrintStmt emits a message (engine collects them per session).
 type PrintStmt struct {
 	E Expr
@@ -257,6 +284,7 @@ func (*InsertStmt) stmtNode()       {}
 func (*UpdateStmt) stmtNode()       {}
 func (*DeleteStmt) stmtNode()       {}
 func (*TryCatch) stmtNode()         {}
+func (*TxnStmt) stmtNode()          {}
 func (*PrintStmt) stmtNode()        {}
 func (*ExecStmt) stmtNode()         {}
 func (*TraceProcStmt) stmtNode()    {}

@@ -53,15 +53,20 @@ func LoadROI(rows int) (*engine.Engine, error) {
 	}
 	rng := rand.New(rand.NewSource(31337))
 	row := make([]sqltypes.Value, len(cols))
+	tx := eng.TxnMgr.Begin()
 	for r := 1; r <= rows; r++ {
 		row[0] = sqltypes.NewInt(int64(1 + r%100))
 		row[1] = sqltypes.NewInt(int64(r))
 		for i := 2; i < len(cols); i++ {
 			row[i] = sqltypes.NewFloat(rng.Float64()*0.1 - 0.02)
 		}
-		if err := tab.Insert(row); err != nil {
+		if err := tab.Insert(tx, row); err != nil {
+			tx.Rollback()
 			return nil, err
 		}
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, err
 	}
 	sess := eng.NewSession()
 	if _, err := interp.RunScript(sess, mustParseScript(roiAggregateSource())); err != nil {

@@ -222,6 +222,8 @@ func CheckApplicability(loop *CursorLoop, outerTableVars map[string]bool) error 
 			err = notAggifiable("loop contains RETURN from the enclosing module")
 		case *ast.CreateTable, *ast.CreateIndex, *ast.CreateFunction, *ast.CreateProcedure, *ast.CreateAggregate:
 			err = notAggifiable("loop contains DDL")
+		case *ast.TxnStmt:
+			err = notAggifiable("loop contains transaction control (%s)", st.Op)
 		case *ast.OpenCursor:
 			if st.Name == loop.Cursor {
 				err = notAggifiable("loop re-opens its own cursor")

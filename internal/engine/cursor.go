@@ -49,6 +49,10 @@ func (c *Cursor) Open(s *Session, ctx *exec.Ctx) error {
 	}
 	c.pos = 0
 	c.opened = true
+	// The cursor materializes its whole result here, so the frozen epoch a
+	// FETCH loop observes is the one pinned at OPEN — mutations after OPEN
+	// (including the loop body's own) never change the fetched rows.
+	defer s.PinRead(ctx)()
 	op := p.Build()
 	if err := op.Open(ctx); err != nil {
 		op.Close()

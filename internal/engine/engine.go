@@ -20,6 +20,7 @@ import (
 	"aggify/internal/plan"
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
+	"aggify/internal/txn"
 )
 
 // Engine is the shared database instance: catalog plus plan cache.
@@ -39,6 +40,14 @@ type Engine struct {
 	// (plan.Options.Parallelism). 0 or 1 means serial execution; sessions
 	// override it with SET MAXDOP.
 	DefaultMaxDOP int
+
+	// TxnMgr allocates commit epochs, snapshots, and transactions for every
+	// base table. Always non-nil; without an attached durability sink the
+	// engine runs the same MVCC protocol purely in memory.
+	TxnMgr *txn.Manager
+	// dur holds the attached WAL/checkpoint state (nil without a data
+	// directory); see durability.go.
+	dur *durability
 
 	// AggFactory builds an executable aggregate spec from a CREATE AGGREGATE
 	// definition; installed by the interpreter.
@@ -69,6 +78,7 @@ func New() *Engine {
 		aggSrc:  map[string]*ast.CreateAggregate{},
 		plans:   map[planKey]*plan.Plan{},
 		scalars: map[scalarKey]exec.Scalar{},
+		TxnMgr:  txn.NewManager(),
 	}
 	for name, spec := range exec.BuiltinAggs() {
 		e.aggs[name] = spec
@@ -76,27 +86,67 @@ func New() *Engine {
 	return e
 }
 
-// CreateTable registers a new base table.
+// CreateTable registers a new base table, bound to the engine's
+// transaction manager and (when durability is attached) logged to the WAL
+// under its own commit epoch.
 func (e *Engine) CreateTable(name string, schema *storage.Schema) (*storage.Table, error) {
 	name = strings.ToLower(name)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if _, exists := e.tables[name]; exists {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("engine: table %s already exists", name)
 	}
 	t := storage.NewTable(name, schema)
+	t.Bind(e.TxnMgr)
 	e.tables[name] = t
+	e.mu.Unlock()
+	if err := e.logCreateTable(name, schema); err != nil {
+		e.mu.Lock()
+		delete(e.tables, name)
+		e.mu.Unlock()
+		return nil, err
+	}
 	e.InvalidatePlans()
 	return t, nil
 }
 
 // DropTable removes a base table (used by tests and the shell).
 func (e *Engine) DropTable(name string) {
+	name = strings.ToLower(name)
 	e.mu.Lock()
-	delete(e.tables, strings.ToLower(name))
+	delete(e.tables, name)
 	e.mu.Unlock()
+	e.logDropTable(name)
 	e.InvalidatePlans()
 }
+
+// Tables returns every base table (stable order not guaranteed). Used by
+// vacuum and checkpointing.
+func (e *Engine) Tables() []*storage.Table {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]*storage.Table, 0, len(e.tables))
+	for _, t := range e.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// vacuumAll reclaims superseded versions older than the vacuum horizon in
+// every base table.
+func (e *Engine) vacuumAll(oldest uint64) {
+	for _, t := range e.Tables() {
+		t.Vacuum(oldest)
+	}
+}
+
+// MaybeVacuum runs an inline vacuum pass if enough superseded versions
+// have accumulated. Sessions call it after commits; the server also runs
+// Vacuum from a background ticker.
+func (e *Engine) MaybeVacuum() { e.TxnMgr.MaybeVacuum(e.vacuumAll) }
+
+// Vacuum forces a vacuum pass over all base tables.
+func (e *Engine) Vacuum() { e.TxnMgr.Vacuum(e.vacuumAll) }
 
 // Table returns a base table by name.
 func (e *Engine) Table(name string) (*storage.Table, bool) {
@@ -114,6 +164,9 @@ func (e *Engine) CreateIndex(table, column string) error {
 		return fmt.Errorf("engine: no table %s", table)
 	}
 	if err := t.CreateIndex(column); err != nil {
+		return err
+	}
+	if err := e.logCreateIndex(strings.ToLower(table), strings.ToLower(column)); err != nil {
 		return err
 	}
 	e.InvalidatePlans()

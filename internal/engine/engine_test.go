@@ -673,7 +673,7 @@ func TestInterruptLongRun(t *testing.T) {
 	sess := newDB(t, `create table big (k int);`)
 	tab, _ := sess.Eng.Table("big")
 	for i := int64(0); i < 10000; i++ {
-		_ = tab.Insert([]sqltypes.Value{sqltypes.NewInt(i)})
+		_ = tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i)})
 	}
 	ch := make(chan struct{})
 	close(ch)

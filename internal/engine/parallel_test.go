@@ -23,7 +23,7 @@ func bigDB(t *testing.T, rows int64) *engine.Session {
 	sess := newDB(t, "create table bigt (k int, v int);")
 	tab, _ := sess.Eng.Table("bigt")
 	for i := int64(0); i < rows; i++ {
-		_ = tab.Insert([]sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)})
+		_ = tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i % 97), sqltypes.NewInt(i % 1001)})
 	}
 	return sess
 }
@@ -329,7 +329,7 @@ func TestGeneratedAggregateMerge(t *testing.T) {
 	sess := newDB(t, "create table vals (k int, v int);")
 	tab, _ := sess.Eng.Table("vals")
 	for i := int64(0); i < 6000; i++ {
-		_ = tab.Insert([]sqltypes.Value{sqltypes.NewInt(i % 11), sqltypes.NewInt(i % 503)})
+		_ = tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(i % 11), sqltypes.NewInt(i % 503)})
 	}
 	if _, err := interp.RunScript(sess, parser.MustParse(`
 create function sumAll(@init int) returns int as

@@ -10,6 +10,7 @@ import (
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
 	"aggify/internal/trace"
+	"aggify/internal/txn"
 )
 
 // Session is one connection to the engine: it carries I/O statistics,
@@ -32,6 +33,7 @@ type Session struct {
 
 	prints     []string
 	tempTables map[string]*storage.Table // session temp tables (#name)
+	tx         *txn.Txn                  // open explicit transaction, nil in auto-commit
 }
 
 // NewSession creates a session with fresh statistics.
@@ -134,6 +136,7 @@ func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, err
 	} else {
 		ctx = s.Ctx(nil, nil)
 	}
+	defer s.PinRead(ctx)()
 	psp := s.Tracer.StartSpan(s.TraceParent, "server.plan")
 	p, err := s.PlanQuery(q, temp)
 	psp.End()
@@ -163,6 +166,7 @@ func (s *Session) ExplainQuery(q *ast.Select, analyze bool, ctx *exec.Ctx) ([]st
 	} else {
 		ctx = s.Ctx(nil, nil)
 	}
+	defer s.PinRead(ctx)()
 	p, err := s.PlanQuery(q, temp)
 	if err != nil {
 		return nil, err
@@ -232,8 +236,12 @@ func (s *Session) resolveDMLTable(name string, ctx *exec.Ctx) (*storage.Table, e
 	return nil, fmt.Errorf("engine: no table %s", name)
 }
 
-// Insert executes an INSERT statement.
+// Insert executes an INSERT statement. All inserted rows commit atomically
+// in the statement's (implicit or explicit) transaction.
 func (s *Session) Insert(st *ast.InsertStmt, ctx *exec.Ctx) (int, error) {
+	if ctx == nil {
+		ctx = s.Ctx(nil, nil)
+	}
 	tab, err := s.resolveDMLTable(st.Table, ctx)
 	if err != nil {
 		return 0, err
@@ -266,7 +274,9 @@ func (s *Session) Insert(st *ast.InsertStmt, ctx *exec.Ctx) (int, error) {
 		}
 		return row, nil
 	}
-	n := 0
+	// Evaluate the source (SELECT or VALUES) into rows first, then apply
+	// them in one transaction.
+	var newRows [][]sqltypes.Value
 	if st.Query != nil {
 		_, rows, err := s.Query(st.Query, ctx)
 		if err != nil {
@@ -275,42 +285,46 @@ func (s *Session) Insert(st *ast.InsertStmt, ctx *exec.Ctx) (int, error) {
 		for _, r := range rows {
 			row, err := buildRow(r)
 			if err != nil {
-				return n, err
+				return 0, err
 			}
-			if err := tab.Insert(row); err != nil {
-				return n, err
-			}
-			n++
+			newRows = append(newRows, row)
 		}
-		return n, nil
-	}
-	cat := s.Catalog(tempOf(ctx))
-	for _, exprRow := range st.Rows {
-		vals := make([]sqltypes.Value, len(exprRow))
-		for i, e := range exprRow {
-			sc, err := plan.CompileScalar(cat, s.Opts, e)
+	} else {
+		cat := s.Catalog(tempOf(ctx))
+		for _, exprRow := range st.Rows {
+			vals := make([]sqltypes.Value, len(exprRow))
+			for i, e := range exprRow {
+				sc, err := plan.CompileScalar(cat, s.Opts, e)
+				if err != nil {
+					return 0, err
+				}
+				if vals[i], err = sc(ctx, nil); err != nil {
+					return 0, err
+				}
+			}
+			row, err := buildRow(vals)
 			if err != nil {
-				return n, err
+				return 0, err
 			}
-			if vals[i], err = sc(ctx, nil); err != nil {
-				return n, err
-			}
+			newRows = append(newRows, row)
 		}
-		row, err := buildRow(vals)
-		if err != nil {
-			return n, err
-		}
-		if err := tab.Insert(row); err != nil {
-			return n, err
-		}
-		n++
 	}
-	return n, nil
+	return s.dmlApply(ctx, tab, func(tx *txn.Txn) (int, error) {
+		for i, row := range newRows {
+			if err := tab.Insert(tx, row); err != nil {
+				return i, err
+			}
+		}
+		return len(newRows), nil
+	})
 }
 
 // Update executes an UPDATE statement, returning the number of rows
 // modified.
 func (s *Session) Update(st *ast.UpdateStmt, ctx *exec.Ctx) (int, error) {
+	if ctx == nil {
+		ctx = s.Ctx(nil, nil)
+	}
 	tab, err := s.resolveDMLTable(st.Table, ctx)
 	if err != nil {
 		return 0, err
@@ -338,49 +352,57 @@ func (s *Session) Update(st *ast.UpdateStmt, ctx *exec.Ctx) (int, error) {
 		}
 		setters[i] = setter{ord: ord, sc: compiled}
 	}
-	// Collect matching rows first, then apply (avoids scan-while-update).
-	type change struct {
-		rid int
-		row []sqltypes.Value
-	}
-	var changes []change
-	var evalErr error
-	tab.Scan(s.Stats, func(rid int, row []sqltypes.Value) bool {
-		if pred != nil {
-			v, err := pred(ctx, row)
-			if err != nil {
-				evalErr = err
-				return false
+	// Collect matching rows at the transaction's snapshot first, then
+	// apply (avoids scan-while-update). dmlApply installs the write
+	// transaction's snapshot as ctx.Snap, so the collect scan, the apply,
+	// and the conflict checks all agree on one epoch.
+	return s.dmlApply(ctx, tab, func(tx *txn.Txn) (int, error) {
+		type change struct {
+			rid int
+			row []sqltypes.Value
+		}
+		var changes []change
+		var evalErr error
+		tab.Scan(ctx.Snap, s.Stats, func(rid int, row []sqltypes.Value) bool {
+			if pred != nil {
+				v, err := pred(ctx, row)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !v.Truthy() {
+					return true
+				}
 			}
-			if !v.Truthy() {
-				return true
+			newRow := append([]sqltypes.Value(nil), row...)
+			for _, st := range setters {
+				v, err := st.sc(ctx, row)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				newRow[st.ord] = v
+			}
+			changes = append(changes, change{rid, newRow})
+			return true
+		})
+		if evalErr != nil {
+			return 0, evalErr
+		}
+		for _, ch := range changes {
+			if err := tab.Update(tx, ch.rid, ch.row); err != nil {
+				return 0, err
 			}
 		}
-		newRow := append([]sqltypes.Value(nil), row...)
-		for _, st := range setters {
-			v, err := st.sc(ctx, row)
-			if err != nil {
-				evalErr = err
-				return false
-			}
-			newRow[st.ord] = v
-		}
-		changes = append(changes, change{rid, newRow})
-		return true
+		return len(changes), nil
 	})
-	if evalErr != nil {
-		return 0, evalErr
-	}
-	for _, ch := range changes {
-		if err := tab.Update(ch.rid, ch.row); err != nil {
-			return 0, err
-		}
-	}
-	return len(changes), nil
 }
 
 // Delete executes a DELETE statement, returning the number of rows removed.
 func (s *Session) Delete(st *ast.DeleteStmt, ctx *exec.Ctx) (int, error) {
+	if ctx == nil {
+		ctx = s.Ctx(nil, nil)
+	}
 	tab, err := s.resolveDMLTable(st.Table, ctx)
 	if err != nil {
 		return 0, err
@@ -391,31 +413,33 @@ func (s *Session) Delete(st *ast.DeleteStmt, ctx *exec.Ctx) (int, error) {
 			return 0, err
 		}
 	}
-	var rids []int
-	var evalErr error
-	tab.Scan(s.Stats, func(rid int, row []sqltypes.Value) bool {
-		if pred != nil {
-			v, err := pred(ctx, row)
-			if err != nil {
-				evalErr = err
-				return false
+	return s.dmlApply(ctx, tab, func(tx *txn.Txn) (int, error) {
+		var rids []int
+		var evalErr error
+		tab.Scan(ctx.Snap, s.Stats, func(rid int, row []sqltypes.Value) bool {
+			if pred != nil {
+				v, err := pred(ctx, row)
+				if err != nil {
+					evalErr = err
+					return false
+				}
+				if !v.Truthy() {
+					return true
+				}
 			}
-			if !v.Truthy() {
-				return true
+			rids = append(rids, rid)
+			return true
+		})
+		if evalErr != nil {
+			return 0, evalErr
+		}
+		for _, rid := range rids {
+			if err := tab.Delete(tx, rid); err != nil {
+				return 0, err
 			}
 		}
-		rids = append(rids, rid)
-		return true
+		return len(rids), nil
 	})
-	if evalErr != nil {
-		return 0, evalErr
-	}
-	for _, rid := range rids {
-		if err := tab.Delete(rid); err != nil {
-			return 0, err
-		}
-	}
-	return len(rids), nil
 }
 
 func tempOf(ctx *exec.Ctx) func(string) (*storage.Table, bool) {

@@ -1,0 +1,149 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"aggify/internal/exec"
+	"aggify/internal/storage"
+	"aggify/internal/txn"
+)
+
+// Per-session transaction state. A session is either in auto-commit mode
+// (each statement runs in its own implicit transaction) or inside an
+// explicit BEGIN TRANSACTION, whose snapshot every statement reads through
+// until COMMIT or ROLLBACK.
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Txn returns the session's open explicit transaction, or nil.
+func (s *Session) Txn() *txn.Txn { return s.tx }
+
+// BeginTxn opens an explicit transaction pinned at the current commit
+// epoch. Nested BEGIN TRANSACTION is an error (the dialect has no
+// savepoints).
+func (s *Session) BeginTxn() error {
+	if s.tx != nil {
+		return fmt.Errorf("engine: transaction already in progress")
+	}
+	s.tx = s.Eng.TxnMgr.Begin()
+	return nil
+}
+
+// CommitTxn commits the open explicit transaction, waiting for durability
+// when a WAL is attached.
+func (s *Session) CommitTxn() error {
+	if s.tx == nil {
+		return fmt.Errorf("engine: no transaction in progress")
+	}
+	tx := s.tx
+	s.tx = nil
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	s.Eng.MaybeVacuum()
+	return nil
+}
+
+// RollbackTxn rolls back the open explicit transaction.
+func (s *Session) RollbackTxn() error {
+	if s.tx == nil {
+		return fmt.Errorf("engine: no transaction in progress")
+	}
+	s.tx.Rollback()
+	s.tx = nil
+	return nil
+}
+
+// Close releases session resources; an open explicit transaction is
+// rolled back (a dropped connection must never leave uncommitted versions
+// pinning the vacuum horizon).
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+}
+
+// PinRead installs a read snapshot into ctx for the duration of one
+// statement and returns the release func. Inside an explicit transaction
+// the transaction's snapshot is used (so statements read the epoch pinned
+// at BEGIN, plus their own uncommitted writes); otherwise a fresh snapshot
+// of the current epoch is pinned — statement-level snapshot isolation.
+// If ctx already carries a snapshot the call is a no-op, which is what
+// keeps nested evaluation (subqueries, UDFs called from a query) on the
+// statement's epoch.
+func (s *Session) PinRead(ctx *exec.Ctx) func() {
+	if ctx == nil || ctx.Snap != nil {
+		return func() {}
+	}
+	if s.tx != nil {
+		ctx.Snap = s.tx.Snapshot()
+		return func() { ctx.Snap = nil }
+	}
+	snap := s.Eng.TxnMgr.Acquire()
+	ctx.Snap = snap
+	return func() {
+		ctx.Snap = nil
+		snap.Release()
+	}
+}
+
+// dmlMaxRetries bounds implicit-transaction retries on write conflict.
+// Auto-commit statements re-run against a fresh snapshot, approximating
+// the blocking retry a lock-based engine gives READ COMMITTED writers;
+// explicit transactions never retry — first-committer-wins surfaces the
+// conflict to the client.
+const dmlMaxRetries = 8
+
+// dmlApply runs one DML statement's collect-and-apply closure under the
+// appropriate transaction:
+//
+//   - unmanaged tables (temp tables, table variables) apply directly and
+//     ignore transactions, matching T-SQL table-variable semantics;
+//   - inside an explicit transaction the writes join it, and a write
+//     conflict rolls the whole transaction back (first-committer-wins);
+//   - otherwise the statement runs in an implicit transaction whose
+//     snapshot is installed as ctx.Snap, retried on conflict.
+func (s *Session) dmlApply(ctx *exec.Ctx, tab *storage.Table, apply func(tx *txn.Txn) (int, error)) (int, error) {
+	if !tab.Managed() {
+		return apply(nil)
+	}
+	if s.tx != nil {
+		saved := ctx.Snap
+		ctx.Snap = s.tx.Snapshot()
+		n, err := apply(s.tx)
+		ctx.Snap = saved
+		if errors.Is(err, txn.ErrWriteConflict) {
+			s.RollbackTxn()
+			return n, fmt.Errorf("%w; transaction rolled back", err)
+		}
+		return n, err
+	}
+	var n int
+	var err error
+	for attempt := 0; attempt < dmlMaxRetries; attempt++ {
+		tx := s.Eng.TxnMgr.Begin()
+		saved := ctx.Snap
+		ctx.Snap = tx.Snapshot()
+		n, err = apply(tx)
+		ctx.Snap = saved
+		if err != nil {
+			tx.Rollback()
+			if errors.Is(err, txn.ErrWriteConflict) {
+				continue
+			}
+			return n, err
+		}
+		if err = tx.Commit(); err != nil {
+			if errors.Is(err, txn.ErrWriteConflict) {
+				continue
+			}
+			return n, err
+		}
+		s.Eng.MaybeVacuum()
+		return n, nil
+	}
+	return n, err
+}

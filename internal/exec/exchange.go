@@ -85,7 +85,7 @@ func (s *ScanSplit) load(ctx *Ctx) ([]Row, error) {
 			}
 			tab = t
 		}
-		tab.Scan(ctx.Stats, func(_ int, row []sqltypes.Value) bool {
+		tab.Scan(ctx.Snap, ctx.Stats, func(_ int, row []sqltypes.Value) bool {
 			s.rows = append(s.rows, row)
 			return true
 		})

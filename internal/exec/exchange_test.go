@@ -167,7 +167,7 @@ func TestMergeExchangeDesc(t *testing.T) {
 func TestScanSplitPartitions(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(storage.Col("v", sqltypes.Int)))
 	for i := int64(0); i < 10; i++ {
-		_ = tab.Insert(intRow(i))
+		_ = tab.Insert(nil, intRow(i))
 	}
 	split := &ScanSplit{Table: tab, NParts: 3}
 	var stats storage.Stats
@@ -199,7 +199,7 @@ func TestScanSplitPartitions(t *testing.T) {
 func TestScanSplitLateBound(t *testing.T) {
 	tab := storage.NewTable("@t", storage.NewSchema(storage.Col("v", sqltypes.Int)))
 	for i := int64(0); i < 6; i++ {
-		_ = tab.Insert(intRow(i))
+		_ = tab.Insert(nil, intRow(i))
 	}
 	ctx := &Ctx{Temp: func(name string) (*storage.Table, bool) {
 		if name == "@t" {
@@ -228,7 +228,7 @@ func TestParallelAggPartsMatchesSerial(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(
 		storage.Col("k", sqltypes.Int), storage.Col("v", sqltypes.Int)))
 	for i := int64(0); i < 5000; i++ {
-		_ = tab.Insert(intRow(i%13, i))
+		_ = tab.Insert(nil, intRow(i%13, i))
 	}
 	mk := func() []AggInstance {
 		return []AggInstance{

@@ -10,6 +10,7 @@ import (
 
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
+	"aggify/internal/txn"
 )
 
 // Row is a tuple of values.
@@ -28,6 +29,11 @@ type Ctx struct {
 	OuterRows []Row
 	// Stats receives logical I/O accounting; may be nil.
 	Stats *storage.Stats
+	// Snap is the snapshot all base-table reads go through: the statement
+	// or transaction's pinned commit epoch. Nil reads the latest committed
+	// state. Worker contexts copy the Ctx by value, so parallel scan
+	// partitions and exchange workers inherit the same frozen epoch.
+	Snap *txn.Snapshot
 	// CallFunc invokes a scalar function (built-in or UDF) by name.
 	CallFunc func(name string, args []sqltypes.Value) (sqltypes.Value, error)
 	// Temp resolves table variables and temp tables (@t, #t) at execution

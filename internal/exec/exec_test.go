@@ -45,7 +45,7 @@ func TestScanAndIndexSeek(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(
 		storage.Col("k", sqltypes.Int), storage.Col("v", sqltypes.Int)))
 	for i := int64(0); i < 20; i++ {
-		_ = tab.Insert(intRow(i%5, i))
+		_ = tab.Insert(nil, intRow(i%5, i))
 	}
 	_ = tab.CreateIndex("k")
 	var stats storage.Stats
@@ -109,7 +109,7 @@ func TestNLJoinCorrelatedRight(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(
 		storage.Col("k", sqltypes.Int), storage.Col("v", sqltypes.Int)))
 	for i := int64(0); i < 10; i++ {
-		_ = tab.Insert(intRow(i, i*10))
+		_ = tab.Insert(nil, intRow(i, i*10))
 	}
 	_ = tab.CreateIndex("k")
 	left := bufferOf(intRow(3), intRow(7))
@@ -434,7 +434,7 @@ func TestMergeMismatch(t *testing.T) {
 func TestInterrupt(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(storage.Col("k", sqltypes.Int)))
 	for i := int64(0); i < 5000; i++ {
-		_ = tab.Insert(intRow(i))
+		_ = tab.Insert(nil, intRow(i))
 	}
 	ch := make(chan struct{})
 	close(ch)

@@ -77,7 +77,7 @@ type ScanOp struct {
 func (o *ScanOp) Open(ctx *Ctx) error {
 	o.rows = o.rows[:0]
 	o.pos = 0
-	o.Table.Scan(ctx.Stats, func(_ int, row []sqltypes.Value) bool {
+	o.Table.Scan(ctx.Snap, ctx.Stats, func(_ int, row []sqltypes.Value) bool {
 		o.rows = append(o.rows, row)
 		return true
 	})
@@ -122,7 +122,7 @@ func (o *IndexSeekOp) Open(ctx *Ctx) error {
 	if key.IsNull() {
 		return nil // equality with NULL matches nothing
 	}
-	if !o.Table.Seek(ctx.Stats, o.Column, key, func(_ int, row []sqltypes.Value) bool {
+	if !o.Table.Seek(ctx.Snap, ctx.Stats, o.Column, key, func(_ int, row []sqltypes.Value) bool {
 		o.rows = append(o.rows, row)
 		return true
 	}) {

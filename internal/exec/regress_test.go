@@ -202,7 +202,7 @@ func TestTopStopsReadingUnionBranches(t *testing.T) {
 	mk := func(name string, rows int64) *storage.Table {
 		tab := storage.NewTable(name, storage.NewSchema(storage.Col("a", sqltypes.Int)))
 		for i := int64(0); i < rows; i++ {
-			_ = tab.Insert(intRow(i))
+			_ = tab.Insert(nil, intRow(i))
 		}
 		return tab
 	}
@@ -331,7 +331,7 @@ func TestNLJoinLeftOuterNullKeyComparison(t *testing.T) {
 func TestInstrumentedOpCounters(t *testing.T) {
 	tab := storage.NewTable("t", storage.NewSchema(storage.Col("a", sqltypes.Int)))
 	for i := int64(0); i < 4; i++ {
-		_ = tab.Insert(intRow(4 - i))
+		_ = tab.Insert(nil, intRow(4-i))
 	}
 	var stats storage.Stats
 	ctx := &Ctx{Stats: &stats}

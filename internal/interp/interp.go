@@ -144,6 +144,11 @@ func (r *Runner) eval(e ast.Expr) (sqltypes.Value, error) {
 	if err != nil {
 		return sqltypes.Null, err
 	}
+	// Pin a read snapshot for the evaluation: scalar expressions can embed
+	// subqueries, which must see the explicit transaction's own writes (or
+	// a consistent statement epoch in auto-commit mode). No-op when the
+	// enclosing statement already pinned one.
+	defer r.Sess.PinRead(r.ctx)()
 	return sc(r.ctx, nil)
 }
 
@@ -314,6 +319,15 @@ func (r *Runner) exec(s ast.Stmt) error {
 			return err
 		}
 		return r.Exec(st.Catch)
+	case *ast.TxnStmt:
+		switch st.Op {
+		case ast.TxnBegin:
+			return r.Sess.BeginTxn()
+		case ast.TxnCommit:
+			return r.Sess.CommitTxn()
+		default:
+			return r.Sess.RollbackTxn()
+		}
 	case *ast.PrintStmt:
 		v, err := r.eval(st.E)
 		if err != nil {

@@ -61,7 +61,27 @@ func (p *Parser) ParseStmt() (ast.Stmt, error) {
 		if p.peek().text == "try" {
 			return p.parseTryCatch()
 		}
+		if kw := p.peek().text; kw == "transaction" || kw == "tran" {
+			p.advance()
+			p.advance()
+			p.endStmt()
+			return &ast.TxnStmt{Op: ast.TxnBegin}, nil
+		}
 		return p.parseBlock()
+	case "commit":
+		p.advance()
+		if kw := p.cur().text; kw == "transaction" || kw == "tran" || kw == "work" {
+			p.advance()
+		}
+		p.endStmt()
+		return &ast.TxnStmt{Op: ast.TxnCommit}, nil
+	case "rollback":
+		p.advance()
+		if kw := p.cur().text; kw == "transaction" || kw == "tran" || kw == "work" {
+			p.advance()
+		}
+		p.endStmt()
+		return &ast.TxnStmt{Op: ast.TxnRollback}, nil
 	case "declare":
 		return p.parseDeclare()
 	case "set":

@@ -198,10 +198,14 @@ func (b *Backend) releaseCursor(cursorID uint32) {
 	}
 }
 
-// Close releases all cursors and statements (connection teardown).
+// Close releases all cursors and statements and closes the engine session
+// (connection teardown). Closing the session rolls back any explicit
+// transaction the connection left open, so a dropped client can never
+// leave uncommitted versions pinning the vacuum horizon.
 func (b *Backend) Close() {
 	for id := range b.cursors {
 		b.releaseCursor(id)
 	}
 	b.stmts = map[uint32]*ast.Select{}
+	b.sess.Close()
 }

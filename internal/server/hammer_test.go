@@ -1,0 +1,184 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"aggify/internal/client"
+	"aggify/internal/wire"
+)
+
+// TestSnapshotHammerOverTCP is the concurrency gauntlet for the MVCC
+// subsystem, run under the race detector by scripts/ci.sh: reader
+// connections continuously scan and aggregate over TCP while writer
+// connections mutate the same table. Every reader result must be exactly
+// what a serial execution at the reader's pinned epoch would produce:
+//
+//   - each committed update writes v=k to every row atomically, so a
+//     snapshot either sees all rows at k or none (min==max, sum==min*count);
+//   - two aggregations inside one explicit transaction read the same epoch
+//     (repeatable read);
+//   - the pairs table only ever gains rows two at a time inside one
+//     explicit transaction, so its count is even at every epoch.
+//
+// A torn scan, a read through a half-committed epoch, or a cursor drifting
+// off its snapshot breaks one of these immediately.
+func TestSnapshotHammerOverTCP(t *testing.T) {
+	const (
+		accts       = 32
+		updateTurns = 40
+		pairTurns   = 40
+		readers     = 3
+		writeConns  = 2
+	)
+	_, _, addr := startServer(t)
+
+	setup, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ins strings.Builder
+	ins.WriteString("create table acct (id int, v int);\ncreate table pairs (x int);\ninsert into acct values ")
+	for i := 0; i < accts; i++ {
+		if i > 0 {
+			ins.WriteString(", ")
+		}
+		fmt.Fprintf(&ins, "(%d, 0)", i)
+	}
+	ins.WriteString(";")
+	if err := setup.Exec(ins.String()); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	var (
+		wg           sync.WaitGroup
+		writersDone  = make(chan struct{})
+		commits      atomic.Int64
+		readsChecked atomic.Int64
+	)
+
+	// Full-table update writers: each committed statement moves every row
+	// to the same new value in one epoch. Conflicts between the two writers
+	// are expected (first committer wins); exhausted retries are tolerated,
+	// other errors are not.
+	var writerWG sync.WaitGroup
+	for w := 0; w < writeConns; w++ {
+		wg.Add(1)
+		writerWG.Add(1)
+		go func() {
+			defer wg.Done()
+			defer writerWG.Done()
+			conn, err := client.Dial(addr, wire.LAN)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < updateTurns; i++ {
+				err := conn.Exec("update acct set v = v + 1;")
+				switch {
+				case err == nil:
+					commits.Add(1)
+				case strings.Contains(err.Error(), "write conflict"):
+					// lost the race after all retries; fine
+				default:
+					t.Errorf("update writer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	// Pair writer: rows only appear two at a time, atomically.
+	wg.Add(1)
+	writerWG.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerWG.Done()
+		conn, err := client.Dial(addr, wire.LAN)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		for i := 0; i < pairTurns; i++ {
+			script := fmt.Sprintf(
+				"begin transaction; insert into pairs values (%d); insert into pairs values (%d); commit;", i, i)
+			if err := conn.Exec(script); err != nil {
+				t.Errorf("pair writer: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		writerWG.Wait()
+		close(writersDone)
+	}()
+
+	readerScript := `
+begin transaction;
+select min(v) as mn, max(v) as mx, sum(v) as sm, count(*) as cnt from acct;
+select sum(v) as sm2 from acct;
+select count(*) as pc from pairs;
+commit;
+`
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := client.Dial(addr, wire.LAN)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			for done := false; !done; {
+				select {
+				case <-writersDone:
+					done = true // one final pass after the writers stop
+				default:
+				}
+				res, err := conn.ExecResults(readerScript)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if len(res.Sets) != 3 {
+					t.Errorf("reader got %d result sets", len(res.Sets))
+					return
+				}
+				agg := res.Sets[0].Rows[0]
+				mn, mx, sm, cnt := agg[0].Int(), agg[1].Int(), agg[2].Int(), agg[3].Int()
+				if cnt != accts {
+					t.Errorf("reader saw %d rows, want %d", cnt, accts)
+					return
+				}
+				if mn != mx || sm != mn*cnt {
+					t.Errorf("torn snapshot: min=%d max=%d sum=%d (serial execution at one epoch has all rows equal)", mn, mx, sm)
+					return
+				}
+				if sm2 := res.Sets[1].Rows[0][0].Int(); sm2 != sm {
+					t.Errorf("non-repeatable read inside txn: sum=%d then %d", sm, sm2)
+					return
+				}
+				if pc := res.Sets[2].Rows[0][0].Int(); pc%2 != 0 {
+					t.Errorf("pairs count %d is odd: explicit txn published half its writes", pc)
+					return
+				}
+				readsChecked.Add(1)
+			}
+		}()
+	}
+
+	wg.Wait()
+	if commits.Load() == 0 {
+		t.Fatal("no update writer ever committed")
+	}
+	if readsChecked.Load() == 0 {
+		t.Fatal("no reader iteration completed")
+	}
+	t.Logf("hammer: %d committed full-table updates, %d verified reader snapshots", commits.Load(), readsChecked.Load())
+}

@@ -36,6 +36,13 @@ type Server struct {
 	// before Serve. A nil tracer costs nothing on the request path.
 	Tracer *trace.Tracer
 
+	// OnDrain, when set, runs during Shutdown after in-flight requests have
+	// finished and new work is being rejected, but before any connection
+	// (and its cursors) is torn down. aggifyd uses it to flush the WAL and
+	// write a final checkpoint while the engine is quiescent. Set before
+	// Serve.
+	OnDrain func()
+
 	// metrics is the server-wide query-metrics registry.
 	metrics Metrics
 
@@ -45,6 +52,8 @@ type Server struct {
 	shutdown bool
 
 	wg          sync.WaitGroup
+	reqWG       sync.WaitGroup // in-flight requests (one dispatch each)
+	draining    atomic.Bool    // reject new transactions/statements
 	openCursors atomic.Int64
 }
 
@@ -116,40 +125,72 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Shutdown drains the server: it stops accepting, lets every connection
-// finish its in-flight request (idle connections are closed immediately),
-// and waits for handlers to exit. If ctx expires first the remaining
-// connections are forcibly closed and the ctx error returned.
+// Shutdown drains the server in three ordered phases:
+//
+//  1. Stop admitting work: the listener closes and new Exec/Prepare/Query
+//     requests (anything that could start a transaction) are rejected,
+//     while Fetch/CloseCursor/Stats keep working so clients can drain. It
+//     then waits for in-flight requests to finish (or ctx to expire).
+//  2. Run the OnDrain hook — WAL flush and final checkpoint — while no
+//     statement is executing and no connection has been torn down yet.
+//  3. Close connections: pending reads are unblocked so handlers exit
+//     (rolling back any open explicit transactions); if ctx expires first
+//     the remaining connections are forcibly closed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.shutdown = true
 	l := s.lis
+	s.mu.Unlock()
+	s.draining.Store(true)
+	if l != nil {
+		l.Close()
+	}
+
+	reqDone := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		close(reqDone)
+	}()
+	var expired bool
+	select {
+	case <-reqDone:
+	case <-ctx.Done():
+		expired = true
+	}
+
+	if s.OnDrain != nil {
+		s.OnDrain()
+	}
+
+	s.mu.Lock()
 	// Unblock reads: idle connections fail their pending Read and close;
 	// connections mid-request finish and fail on the next Read.
 	for c := range s.conns {
 		c.SetReadDeadline(time.Now())
 	}
 	s.mu.Unlock()
-	if l != nil {
-		l.Close()
-	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		s.mu.Lock()
-		for c := range s.conns {
-			c.Close()
+	if !expired {
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
 		}
-		s.mu.Unlock()
-		<-done
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	<-done
+	if expired || ctx.Err() != nil {
 		return ctx.Err()
 	}
+	return nil
 }
 
 // Close is Shutdown without grace: it force-closes everything.
@@ -202,7 +243,9 @@ func (s *Server) handle(c net.Conn) {
 		sp := s.dispatchSpan(tc, typ)
 		b.SetTraceParent(sp.Context())
 		start := time.Now()
+		s.reqWG.Add(1)
 		respT, respB := s.dispatch(b, typ, body)
+		s.reqWG.Done()
 		wn, err := wire.WriteFrame(bw, respT, respB)
 		s.metrics.record(typ, time.Since(start), rn, wn, body, s.SlowThreshold)
 		sp.SetAttrInt("bytes_in", int64(rn))
@@ -261,6 +304,15 @@ func msgName(typ wire.MsgType) string {
 // dispatch decodes a request, runs it against the backend, and encodes the
 // reply. Request errors become MsgError frames; the connection stays up.
 func (s *Server) dispatch(b *Backend, typ wire.MsgType, body []byte) (wire.MsgType, []byte) {
+	// While draining, anything that could start new work — a script batch,
+	// a prepare, a query opening a cursor — is rejected; fetching from (and
+	// closing) existing cursors still works so clients can finish.
+	if s.draining.Load() {
+		switch typ {
+		case wire.MsgExec, wire.MsgPrepare, wire.MsgQuery:
+			return wire.MsgError, []byte("server: shutting down")
+		}
+	}
 	switch typ {
 	case wire.MsgExec:
 		res, err := b.Exec(string(body))

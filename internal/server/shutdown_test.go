@@ -1,0 +1,105 @@
+package server_test
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/server"
+	"aggify/internal/wire"
+)
+
+// TestShutdownOrdering pins the drain sequence: once Shutdown begins, new
+// Exec/Prepare/Query work is rejected while Fetch on an existing cursor
+// still succeeds, and the OnDrain hook (aggifyd's WAL flush + final
+// checkpoint) runs while connections — and their cursors — are still alive.
+func TestShutdownOrdering(t *testing.T) {
+	inDrain := make(chan struct{})
+	release := make(chan struct{})
+	var cursorsAtDrain int64
+
+	eng := engine.New()
+	interp.Install(eng)
+	srv := server.New(eng)
+	srv.OnDrain = func() {
+		cursorsAtDrain = srv.OpenCursors()
+		close(inDrain)
+		<-release // hold the drain window open for the assertions below
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	c, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	typ, body := rawRoundTrip(t, c, wire.MsgExec,
+		[]byte("create table t (n int); insert into t values (1),(2),(3),(4),(5),(6);"))
+	mustOK(t, typ, body, wire.MsgResults)
+	typ, body = rawRoundTrip(t, c, wire.MsgPrepare, []byte("select n from t order by n"))
+	stmtID, err := wire.DecodeStmtResp(mustOK(t, typ, body, wire.MsgStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, body = rawRoundTrip(t, c, wire.MsgQuery, wire.EncodeQueryReq(stmtID, nil))
+	curID, _, err := wire.DecodeCursorResp(mustOK(t, typ, body, wire.MsgCursor))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fetch part of the result; the cursor stays open across the drain.
+	typ, body = rawRoundTrip(t, c, wire.MsgFetch, wire.EncodeFetchReq(curID, 2))
+	mustOK(t, typ, body, wire.MsgRows)
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	<-inDrain
+
+	// New work is rejected while draining...
+	typ, body = rawRoundTrip(t, c, wire.MsgExec, []byte("insert into t values (7);"))
+	if typ != wire.MsgError || !strings.Contains(string(body), "shutting down") {
+		t.Fatalf("exec during drain: type=0x%02x body=%q, want shutting-down error", byte(typ), body)
+	}
+	typ, body = rawRoundTrip(t, c, wire.MsgQuery, wire.EncodeQueryReq(stmtID, nil))
+	if typ != wire.MsgError {
+		t.Fatalf("query during drain should be rejected, got 0x%02x", byte(typ))
+	}
+	// ...but the open cursor can still be drained by the client.
+	typ, body = rawRoundTrip(t, c, wire.MsgFetch, wire.EncodeFetchReq(curID, 100))
+	rows, fetchDone, err := wire.DecodeRowsResp(mustOK(t, typ, body, wire.MsgRows))
+	if err != nil || !fetchDone || len(rows) != 4 {
+		t.Fatalf("fetch during drain: rows=%d done=%v err=%v, want remaining 4 rows", len(rows), fetchDone, err)
+	}
+	// Stats stay available so monitoring can watch the drain.
+	typ, body = rawRoundTrip(t, c, wire.MsgStats, nil)
+	mustOK(t, typ, body, wire.MsgServerStats)
+
+	close(release)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-done; err != server.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+	// OnDrain observed the connection's cursor still open: the hook ran
+	// before any teardown (checkpoint-before-close ordering).
+	if cursorsAtDrain != 1 {
+		t.Fatalf("open cursors during OnDrain = %d, want 1 (hook must run before teardown)", cursorsAtDrain)
+	}
+	// New connections are refused after shutdown.
+	if _, err := net.Dial("tcp", lis.Addr().String()); err == nil {
+		t.Fatal("listener should be closed")
+	}
+}

@@ -45,7 +45,7 @@ func TestTableInsertScan(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	var stats Stats
 	for i := int64(0); i < 10; i++ {
-		if err := tab.Insert(row(i, "n", float64(i))); err != nil {
+		if err := tab.Insert(nil, row(i, "n", float64(i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -53,7 +53,7 @@ func TestTableInsertScan(t *testing.T) {
 		t.Fatalf("RowCount = %d", tab.RowCount())
 	}
 	var seen int64
-	tab.Scan(&stats, func(rid int, r []sqltypes.Value) bool {
+	tab.Scan(nil, &stats, func(rid int, r []sqltypes.Value) bool {
 		if r[0].Int() != int64(rid) {
 			t.Errorf("row %d has id %d", rid, r[0].Int())
 		}
@@ -71,11 +71,11 @@ func TestTableInsertScan(t *testing.T) {
 func TestScanEarlyStop(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	for i := int64(0); i < 10; i++ {
-		_ = tab.Insert(row(i, "n", 0))
+		_ = tab.Insert(nil, row(i, "n", 0))
 	}
 	var stats Stats
 	n := 0
-	tab.Scan(&stats, func(int, []sqltypes.Value) bool { n++; return n < 3 })
+	tab.Scan(nil, &stats, func(int, []sqltypes.Value) bool { n++; return n < 3 })
 	if n != 3 || stats.LogicalReads.Load() != 3 {
 		t.Fatalf("early stop: n=%d reads=%d", n, stats.LogicalReads.Load())
 	}
@@ -83,14 +83,14 @@ func TestScanEarlyStop(t *testing.T) {
 
 func TestInsertArityAndCoercion(t *testing.T) {
 	tab := NewTable("t", testSchema())
-	if err := tab.Insert([]sqltypes.Value{sqltypes.NewInt(1)}); err == nil {
+	if err := tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(1)}); err == nil {
 		t.Fatal("arity mismatch should error")
 	}
 	// An int inserted into a FLOAT column should coerce.
-	if err := tab.Insert([]sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewInt(5)}); err != nil {
+	if err := tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewString("a"), sqltypes.NewInt(5)}); err != nil {
 		t.Fatal(err)
 	}
-	r := tab.Row(0)
+	r := tab.Row(nil, 0)
 	if r[2].Kind() != sqltypes.KindFloat || r[2].Float() != 5 {
 		t.Fatalf("coercion to float failed: %v", r[2])
 	}
@@ -99,14 +99,14 @@ func TestInsertArityAndCoercion(t *testing.T) {
 func TestIndexSeek(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	for i := int64(0); i < 100; i++ {
-		_ = tab.Insert(row(i%10, "n", float64(i)))
+		_ = tab.Insert(nil, row(i%10, "n", float64(i)))
 	}
 	if err := tab.CreateIndex("id"); err != nil {
 		t.Fatal(err)
 	}
 	var stats Stats
 	var hits int
-	ok := tab.Seek(&stats, "id", sqltypes.NewInt(3), func(rid int, r []sqltypes.Value) bool {
+	ok := tab.Seek(nil, &stats, "id", sqltypes.NewInt(3), func(rid int, r []sqltypes.Value) bool {
 		if r[0].Int() != 3 {
 			t.Errorf("seek returned id %d", r[0].Int())
 		}
@@ -122,7 +122,7 @@ func TestIndexSeek(t *testing.T) {
 	if stats.IndexSeeks.Load() != 1 || stats.LogicalReads.Load() != 10 {
 		t.Fatalf("stats: seeks=%d reads=%d", stats.IndexSeeks.Load(), stats.LogicalReads.Load())
 	}
-	if tab.Seek(nil, "name", sqltypes.NewString("n"), func(int, []sqltypes.Value) bool { return true }) {
+	if tab.Seek(nil, nil, "name", sqltypes.NewString("n"), func(int, []sqltypes.Value) bool { return true }) {
 		t.Fatal("Seek on unindexed column should return false")
 	}
 }
@@ -130,31 +130,31 @@ func TestIndexSeek(t *testing.T) {
 func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	_ = tab.CreateIndex("id")
-	_ = tab.Insert(row(1, "a", 0))
-	_ = tab.Insert(row(2, "b", 0))
-	if err := tab.Update(0, row(5, "a2", 1)); err != nil {
+	_ = tab.Insert(nil, row(1, "a", 0))
+	_ = tab.Insert(nil, row(2, "b", 0))
+	if err := tab.Update(nil, 0, row(5, "a2", 1)); err != nil {
 		t.Fatal(err)
 	}
 	count := func(key int64) int {
 		n := 0
-		tab.Seek(nil, "id", sqltypes.NewInt(key), func(int, []sqltypes.Value) bool { n++; return true })
+		tab.Seek(nil, nil, "id", sqltypes.NewInt(key), func(int, []sqltypes.Value) bool { n++; return true })
 		return n
 	}
 	if count(1) != 0 || count(5) != 1 {
 		t.Fatalf("index not maintained on update: old=%d new=%d", count(1), count(5))
 	}
-	if err := tab.Delete(1); err != nil {
+	if err := tab.Delete(nil, 1); err != nil {
 		t.Fatal(err)
 	}
 	if count(2) != 0 {
 		t.Fatal("index not maintained on delete")
 	}
-	if err := tab.Delete(1); err == nil {
+	if err := tab.Delete(nil, 1); err == nil {
 		t.Fatal("double delete should error")
 	}
 	// Deleted rows are skipped by scans.
 	n := 0
-	tab.Scan(nil, func(int, []sqltypes.Value) bool { n++; return true })
+	tab.Scan(nil, nil, func(int, []sqltypes.Value) bool { n++; return true })
 	if n != 1 {
 		t.Fatalf("scan after delete saw %d rows", n)
 	}
@@ -162,7 +162,7 @@ func TestIndexMaintainedAcrossUpdateDelete(t *testing.T) {
 
 func TestCreateIndexBackfillsAndIsIdempotent(t *testing.T) {
 	tab := NewTable("t", testSchema())
-	_ = tab.Insert(row(7, "x", 0))
+	_ = tab.Insert(nil, row(7, "x", 0))
 	if err := tab.CreateIndex("id"); err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,7 @@ func TestCreateIndexBackfillsAndIsIdempotent(t *testing.T) {
 		t.Fatal("re-creating index should be a no-op")
 	}
 	n := 0
-	tab.Seek(nil, "id", sqltypes.NewInt(7), func(int, []sqltypes.Value) bool { n++; return true })
+	tab.Seek(nil, nil, "id", sqltypes.NewInt(7), func(int, []sqltypes.Value) bool { n++; return true })
 	if n != 1 {
 		t.Fatal("index did not backfill existing rows")
 	}
@@ -182,13 +182,13 @@ func TestCreateIndexBackfillsAndIsIdempotent(t *testing.T) {
 func TestTruncate(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	_ = tab.CreateIndex("id")
-	_ = tab.Insert(row(1, "a", 0))
-	tab.Truncate()
+	_ = tab.Insert(nil, row(1, "a", 0))
+	tab.Truncate(nil)
 	if tab.RowCount() != 0 {
 		t.Fatal("truncate left rows")
 	}
 	n := 0
-	tab.Seek(nil, "id", sqltypes.NewInt(1), func(int, []sqltypes.Value) bool { n++; return true })
+	tab.Seek(nil, nil, "id", sqltypes.NewInt(1), func(int, []sqltypes.Value) bool { n++; return true })
 	if n != 0 {
 		t.Fatal("truncate left index entries")
 	}
@@ -197,9 +197,9 @@ func TestTruncate(t *testing.T) {
 func TestNullNotIndexed(t *testing.T) {
 	tab := NewTable("t", testSchema())
 	_ = tab.CreateIndex("id")
-	_ = tab.Insert([]sqltypes.Value{sqltypes.Null, sqltypes.NewString("x"), sqltypes.NewFloat(0)})
+	_ = tab.Insert(nil, []sqltypes.Value{sqltypes.Null, sqltypes.NewString("x"), sqltypes.NewFloat(0)})
 	n := 0
-	tab.Seek(nil, "id", sqltypes.Null, func(int, []sqltypes.Value) bool { n++; return true })
+	tab.Seek(nil, nil, "id", sqltypes.Null, func(int, []sqltypes.Value) bool { n++; return true })
 	if n != 0 {
 		t.Fatal("NULL keys must not match index seeks")
 	}

@@ -3,11 +3,34 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"aggify/internal/sqltypes"
+	"aggify/internal/txn"
 )
 
-// Table is an in-memory heap table with optional hash indexes.
+// Table is a heap table of per-row version chains with optional hash
+// indexes, read under snapshot isolation.
+//
+// Every row occupies one slot; a slot's id (rid) is assigned at insert and
+// is stable forever — deletes leave a tombstone version, vacuum empties
+// the slot but never compacts the slot array, and checkpoints preserve
+// dead slots — so rids can address rows in the write-ahead log across
+// restarts.
+//
+// Concurrency: writers serialize on the table's write lock; readers walk
+// version chains lock-free (slot heads and chain links are atomic), taking
+// the read lock only for the instant it takes to copy the slot slice or an
+// index bucket. A scan therefore never blocks a writer for the duration of
+// its callbacks, and a writer never makes a reader observe a torn row: the
+// reader's snapshot simply does not see versions committed after it.
+//
+// A table is either managed — bound to a txn.Manager via Bind, with every
+// mutation versioned, conflict-checked, and (when a durability sink is
+// attached) logged — or unmanaged (temp tables, table variables, test
+// fixtures), where mutations apply directly and are visible to every
+// snapshot. Unmanaged semantics deliberately match T-SQL table variables,
+// which are unaffected by ROLLBACK.
 //
 // Reads charge the provided Stats with one logical read per row touched,
 // which is how the engine reproduces the paper's logical-read measurements.
@@ -15,141 +38,488 @@ type Table struct {
 	Name   string
 	Schema *Schema
 
+	mgr *txn.Manager // nil for unmanaged tables
+
 	mu      sync.RWMutex
-	rows    [][]sqltypes.Value
+	slots   []*slot
 	indexes map[string]*HashIndex // keyed by lower-cased column name
+
+	liveRows atomic.Int64 // committed live rows (satellite fix: excludes deleted slots)
+
+	// Table statistics cache (see tablestats.go): statsVersion bumps on
+	// every committed mutation, invalidating the cached distinct counts.
+	statsVersion  atomic.Uint64
+	statsMu       sync.Mutex
+	statsCache    *TableStatistics
+	statsCachedAt uint64
 }
 
-// NewTable creates an empty table.
+// slot holds the head of one row's version chain. A nil head is a dead
+// slot (aborted insert or fully vacuumed row).
+type slot struct {
+	head atomic.Pointer[txn.Version]
+}
+
+// NewTable creates an empty, unmanaged table.
 func NewTable(name string, schema *Schema) *Table {
 	return &Table{Name: name, Schema: schema, indexes: map[string]*HashIndex{}}
 }
 
-// RowCount returns the number of rows currently stored.
-func (t *Table) RowCount() int {
+// Bind attaches the table to a transaction manager, making every
+// subsequent mutation versioned and conflict-checked. Must be called
+// before the table is shared across sessions.
+func (t *Table) Bind(mgr *txn.Manager) { t.mgr = mgr }
+
+// Managed reports whether the table is bound to a transaction manager.
+func (t *Table) Managed() bool { return t.mgr != nil }
+
+// RowCount returns the number of committed live rows. (Before MVCC this
+// returned the slot count, which silently included every deleted row —
+// the planner's parallelism threshold drifted upward forever on
+// delete-heavy tables.)
+func (t *Table) RowCount() int { return int(t.liveRows.Load()) }
+
+// SlotCount returns the total number of slots ever allocated, live or dead.
+func (t *Table) SlotCount() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return len(t.slots)
 }
 
-// Insert appends a row. The row must match the schema arity; values are
-// coerced to the declared column types.
-func (t *Table) Insert(row []sqltypes.Value) error {
+func (t *Table) coerce(row []sqltypes.Value) ([]sqltypes.Value, error) {
 	if len(row) != t.Schema.Len() {
-		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
+		return nil, fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
 	}
 	coerced := make([]sqltypes.Value, len(row))
 	for i, v := range row {
 		cv, err := v.CoerceTo(t.Schema.Columns[i].Type)
 		if err != nil {
-			return fmt.Errorf("storage: column %s of %s: %w", t.Schema.Columns[i].Name, t.Name, err)
+			return nil, fmt.Errorf("storage: column %s of %s: %w", t.Schema.Columns[i].Name, t.Name, err)
 		}
 		coerced[i] = cv
 	}
+	return coerced, nil
+}
+
+// autocommit wraps a single mutation on a managed table in an implicit
+// transaction when the caller did not supply one.
+func (t *Table) autocommit(do func(tx *txn.Txn) error) error {
+	tx := t.mgr.Begin()
+	if err := do(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Insert appends a row. The row must match the schema arity; values are
+// coerced to the declared column types. On a managed table a nil tx
+// auto-commits the insert in an implicit transaction.
+func (t *Table) Insert(tx *txn.Txn, row []sqltypes.Value) error {
+	coerced, err := t.coerce(row)
+	if err != nil {
+		return err
+	}
+	if t.mgr != nil && tx == nil {
+		return t.autocommit(func(tx *txn.Txn) error { return t.insertTx(tx, coerced) })
+	}
+	if tx == nil {
+		// Unmanaged: apply directly, visible everywhere.
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		rid := len(t.slots)
+		s := &slot{}
+		s.head.Store(txn.NewCommittedVersion(coerced, nil, 0))
+		t.slots = append(t.slots, s)
+		for _, idx := range t.indexes {
+			idx.add(coerced[idx.ordinal], rid)
+		}
+		t.liveRows.Add(1)
+		t.statsVersion.Add(1)
+		return nil
+	}
+	return t.insertTx(tx, coerced)
+}
+
+func (t *Table) insertTx(tx *txn.Txn, coerced []sqltypes.Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	rid := len(t.rows)
-	t.rows = append(t.rows, coerced)
+	rid := len(t.slots)
+	s := &slot{}
+	v := txn.NewVersion(coerced, nil, tx.ID)
+	s.head.Store(v)
+	t.slots = append(t.slots, s)
 	for _, idx := range t.indexes {
 		idx.add(coerced[idx.ordinal], rid)
 	}
+	tx.Track(v)
+	tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutInsert, Rid: rid, Row: coerced})
+	tx.OnCommit(func(uint64) {
+		t.liveRows.Add(1)
+		t.statsVersion.Add(1)
+	})
+	tx.OnAbort(func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		s.head.Store(nil)
+		for _, idx := range t.indexes {
+			idx.remove(coerced[idx.ordinal], rid)
+		}
+	})
 	return nil
 }
 
-// InsertMany appends many rows (used by generators); stops at first error.
-func (t *Table) InsertMany(rows [][]sqltypes.Value) error {
+// InsertMany appends many rows. On a managed table with a nil tx the whole
+// batch commits as one implicit transaction (generators and bulk loads pay
+// one epoch and one WAL record instead of one per row).
+func (t *Table) InsertMany(tx *txn.Txn, rows [][]sqltypes.Value) error {
+	if t.mgr != nil && tx == nil {
+		return t.autocommit(func(tx *txn.Txn) error {
+			for _, r := range rows {
+				coerced, err := t.coerce(r)
+				if err != nil {
+					return err
+				}
+				if err := t.insertTx(tx, coerced); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
 	for _, r := range rows {
-		if err := t.Insert(r); err != nil {
+		if err := t.Insert(tx, r); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// Row returns the row with the given id without charging I/O (internal use).
-// Deleted rows are nil.
-func (t *Table) Row(rid int) []sqltypes.Value {
+// Row returns the version of row rid visible to snap without charging I/O
+// (internal use). Returns nil when the row does not exist at that snapshot.
+func (t *Table) Row(snap *txn.Snapshot, rid int) []sqltypes.Value {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if rid < 0 || rid >= len(t.rows) {
+	if rid < 0 || rid >= len(t.slots) {
+		t.mu.RUnlock()
 		return nil
 	}
-	return t.rows[rid]
+	s := t.slots[rid]
+	t.mu.RUnlock()
+	v := txn.Visible(s.head.Load(), snap)
+	if v == nil || v.IsTombstone() {
+		return nil
+	}
+	return v.Row
 }
 
-// Scan iterates over all live rows in insertion order, charging one logical
-// read per row. The callback must not retain the row slice. Iteration stops
-// early when the callback returns false.
-func (t *Table) Scan(stats *Stats, fn func(rid int, row []sqltypes.Value) bool) {
+// Scan iterates over the rows visible to snap in insertion order, charging
+// one logical read per row. The callback must not retain the row slice.
+// Iteration stops early when the callback returns false. A nil snap sees
+// the latest committed state.
+//
+// The slot slice is copied under the read lock, then the chains are walked
+// lock-free: the callback runs with no table lock held, so long scans
+// never block writers.
+func (t *Table) Scan(snap *txn.Snapshot, stats *Stats, fn func(rid int, row []sqltypes.Value) bool) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for rid, row := range t.rows {
-		if row == nil {
+	slots := t.slots
+	t.mu.RUnlock()
+	for rid, s := range slots {
+		v := txn.Visible(s.head.Load(), snap)
+		if v == nil || v.IsTombstone() {
 			continue
 		}
 		if stats != nil {
 			stats.LogicalReads.Add(1)
 		}
-		if !fn(rid, row) {
+		if !fn(rid, v.Row) {
 			return
 		}
 	}
 }
 
-// Update replaces the row with id rid, maintaining indexes.
-func (t *Table) Update(rid int, row []sqltypes.Value) error {
-	if len(row) != t.Schema.Len() {
-		return fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
+// Update replaces the row rid with row. A write conflict (another
+// transaction's uncommitted version on the row, or a version committed
+// after tx's snapshot) fails immediately with txn.ErrWriteConflict:
+// first-writer-wins.
+func (t *Table) Update(tx *txn.Txn, rid int, row []sqltypes.Value) error {
+	coerced, err := t.coerce(row)
+	if err != nil {
+		return err
 	}
-	coerced := make([]sqltypes.Value, len(row))
-	for i, v := range row {
-		cv, err := v.CoerceTo(t.Schema.Columns[i].Type)
-		if err != nil {
-			return err
+	if t.mgr != nil && tx == nil {
+		return t.autocommit(func(tx *txn.Txn) error { return t.writeTx(tx, rid, coerced, false) })
+	}
+	if tx == nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if rid < 0 || rid >= len(t.slots) {
+			return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
 		}
-		coerced[i] = cv
+		s := t.slots[rid]
+		head := s.head.Load()
+		if head == nil || head.IsTombstone() {
+			return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+		}
+		old := head.Row
+		for _, idx := range t.indexes {
+			idx.remove(old[idx.ordinal], rid)
+			idx.add(coerced[idx.ordinal], rid)
+		}
+		s.head.Store(txn.NewCommittedVersion(coerced, nil, 0))
+		t.statsVersion.Add(1)
+		return nil
+	}
+	return t.writeTx(tx, rid, coerced, false)
+}
+
+// Delete removes the row rid by appending a tombstone version. Conflict
+// rules match Update.
+func (t *Table) Delete(tx *txn.Txn, rid int) error {
+	if t.mgr != nil && tx == nil {
+		return t.autocommit(func(tx *txn.Txn) error { return t.writeTx(tx, rid, nil, true) })
+	}
+	if tx == nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if rid < 0 || rid >= len(t.slots) {
+			return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+		}
+		s := t.slots[rid]
+		head := s.head.Load()
+		if head == nil || head.IsTombstone() {
+			return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+		}
+		old := head.Row
+		for _, idx := range t.indexes {
+			idx.remove(old[idx.ordinal], rid)
+		}
+		s.head.Store(nil)
+		t.liveRows.Add(-1)
+		t.statsVersion.Add(1)
+		return nil
+	}
+	return t.writeTx(tx, rid, nil, true)
+}
+
+// writeTx applies a transactional update (tombstone=false, coerced is the
+// new row) or delete (tombstone=true) to slot rid, with first-writer-wins
+// conflict detection.
+func (t *Table) writeTx(tx *txn.Txn, rid int, coerced []sqltypes.Value, tombstone bool) error {
+	if tx.Done() {
+		return txn.ErrTxnDone
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
+	if rid < 0 || rid >= len(t.slots) {
 		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
 	}
-	old := t.rows[rid]
-	for _, idx := range t.indexes {
-		idx.remove(old[idx.ordinal], rid)
-		idx.add(coerced[idx.ordinal], rid)
+	s := t.slots[rid]
+	head := s.head.Load()
+	if head == nil {
+		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
 	}
-	t.rows[rid] = coerced
+	if owner, ok := head.Owner(); ok {
+		if owner != tx.ID {
+			return txn.ErrWriteConflict
+		}
+		// Rewriting our own uncommitted version: replace it in place so the
+		// chain holds at most one version per transaction.
+		if head.IsTombstone() {
+			return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+		}
+		return t.replaceOwnVersion(tx, s, rid, head, coerced, tombstone)
+	}
+	epoch, _ := head.Committed()
+	if epoch > tx.Snapshot().Epoch {
+		// Committed after our snapshot: first committer won.
+		return txn.ErrWriteConflict
+	}
+	if head.IsTombstone() {
+		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+	}
+	v := txn.NewVersion(coerced, head, tx.ID)
+	s.head.Store(v)
+	tx.Track(v)
+	if tombstone {
+		tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutDelete, Rid: rid})
+		tx.OnCommit(func(uint64) {
+			t.liveRows.Add(-1)
+			t.statsVersion.Add(1)
+			t.mgr.NoteGarbage(1)
+		})
+	} else {
+		for _, idx := range t.indexes {
+			idx.add(coerced[idx.ordinal], rid)
+		}
+		tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutUpdate, Rid: rid, Row: coerced})
+		tx.OnCommit(func(uint64) {
+			t.statsVersion.Add(1)
+			t.mgr.NoteGarbage(1)
+		})
+	}
+	tx.OnAbort(func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		s.head.Store(head)
+		if !tombstone {
+			t.dropKeyUnlessChained(coerced, head, rid)
+		}
+	})
 	return nil
 }
 
-// Delete removes the row with id rid.
-func (t *Table) Delete(rid int) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if rid < 0 || rid >= len(t.rows) || t.rows[rid] == nil {
-		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
+// replaceOwnVersion swaps the transaction's own uncommitted head for a new
+// version with the same predecessor. The old version stays in tx's track
+// list but is unreachable, so its commit stamp is harmless.
+func (t *Table) replaceOwnVersion(tx *txn.Txn, s *slot, rid int, head *txn.Version, coerced []sqltypes.Value, tombstone bool) error {
+	v := txn.NewVersion(coerced, head.Prev(), tx.ID)
+	s.head.Store(v)
+	tx.Track(v)
+	if !tombstone {
+		for _, idx := range t.indexes {
+			idx.add(coerced[idx.ordinal], rid)
+		}
 	}
-	old := t.rows[rid]
-	for _, idx := range t.indexes {
-		idx.remove(old[idx.ordinal], rid)
+	t.dropKeyUnlessChained(head.Row, v, rid)
+	if tombstone {
+		tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutDelete, Rid: rid})
+		// Always decrement at commit: for a pre-existing row this retires
+		// it; for a row this transaction inserted it cancels the insert
+		// hook's pending +1.
+		tx.OnCommit(func(uint64) {
+			t.liveRows.Add(-1)
+			t.statsVersion.Add(1)
+			t.mgr.NoteGarbage(1)
+		})
+	} else {
+		tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutUpdate, Rid: rid, Row: coerced})
 	}
-	t.rows[rid] = nil
+	tx.OnAbort(func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		s.head.Store(head)
+		if !tombstone {
+			t.dropKeyUnlessChained(coerced, head, rid)
+		}
+		if head.Row != nil {
+			for _, idx := range t.indexes {
+				idx.add(head.Row[idx.ordinal], rid)
+			}
+		}
+	})
 	return nil
 }
 
-// Truncate removes all rows and clears indexes.
-func (t *Table) Truncate() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.rows = nil
+// dropKeyUnlessChained removes row's index entries for rid unless some
+// version still reachable from chainHead carries the same key (index
+// entries are deduplicated per (key, rid)). Callers hold the write lock.
+func (t *Table) dropKeyUnlessChained(row []sqltypes.Value, chainHead *txn.Version, rid int) {
+	if row == nil {
+		return
+	}
 	for _, idx := range t.indexes {
-		idx.clear()
+		key := row[idx.ordinal]
+		keep := false
+		for v := chainHead; v != nil; v = v.Prev() {
+			if v.Row != nil && sqltypes.Equal(v.Row[idx.ordinal], key) {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			idx.remove(key, rid)
+		}
 	}
 }
 
-// CreateIndex builds a hash index on the named column. Creating an index
-// that already exists is a no-op.
+// Truncate removes all rows. On a managed table every live row gets a
+// tombstone version in the (possibly implicit) transaction — old snapshots
+// keep seeing the rows, and ROLLBACK restores them; the WAL carries a
+// single truncate record. Unmanaged tables clear in place.
+func (t *Table) Truncate(tx *txn.Txn) error {
+	if t.mgr != nil && tx == nil {
+		return t.autocommit(func(tx *txn.Txn) error { return t.truncateTx(tx) })
+	}
+	if tx == nil {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.slots = nil
+		for _, idx := range t.indexes {
+			idx.clear()
+		}
+		t.liveRows.Store(0)
+		t.statsVersion.Add(1)
+		return nil
+	}
+	return t.truncateTx(tx)
+}
+
+func (t *Table) truncateTx(tx *txn.Txn) error {
+	if tx.Done() {
+		return txn.ErrTxnDone
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// First-writer-wins over the whole table: any foreign uncommitted
+	// version aborts the truncate before it tombstones anything.
+	for _, s := range t.slots {
+		head := s.head.Load()
+		if head == nil {
+			continue
+		}
+		if owner, ok := head.Owner(); ok && owner != tx.ID {
+			return txn.ErrWriteConflict
+		}
+		if epoch, ok := head.Committed(); ok && epoch > tx.Snapshot().Epoch {
+			return txn.ErrWriteConflict
+		}
+	}
+	var killed int64
+	for rid, s := range t.slots {
+		head := s.head.Load()
+		if head == nil || head.IsTombstone() {
+			continue
+		}
+		var v *txn.Version
+		if _, ok := head.Owner(); ok {
+			v = txn.NewVersion(nil, head.Prev(), tx.ID)
+			t.dropKeyUnlessChained(head.Row, v, rid)
+		} else {
+			v = txn.NewVersion(nil, head, tx.ID)
+		}
+		s.head.Store(v)
+		tx.Track(v)
+		restore := head
+		slotRef := s
+		tx.OnAbort(func() {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			slotRef.head.Store(restore)
+			if restore.Row != nil {
+				for _, idx := range t.indexes {
+					idx.add(restore.Row[idx.ordinal], rid)
+				}
+			}
+		})
+		// Every tombstoned slot decrements at commit: pre-existing rows
+		// retire, own uncommitted inserts cancel their pending +1.
+		killed++
+	}
+	tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutTruncate, Rid: 0})
+	n := killed
+	garbage := len(t.slots)
+	tx.OnCommit(func(uint64) {
+		t.liveRows.Add(-n)
+		t.statsVersion.Add(1)
+		t.mgr.NoteGarbage(garbage)
+	})
+	return nil
+}
+
+// CreateIndex builds a hash index on the named column, covering every
+// version any live snapshot could still see. Creating an index that
+// already exists is a no-op.
 func (t *Table) CreateIndex(column string) error {
 	ord := t.Schema.Ordinal(column)
 	if ord < 0 {
@@ -162,9 +532,11 @@ func (t *Table) CreateIndex(column string) error {
 		return nil
 	}
 	idx := newHashIndex(ord)
-	for rid, row := range t.rows {
-		if row != nil {
-			idx.add(row[ord], rid)
+	for rid, s := range t.slots {
+		for v := s.head.Load(); v != nil; v = v.Prev() {
+			if v.Row != nil {
+				idx.add(v.Row[ord], rid)
+			}
 		}
 	}
 	t.indexes[key] = idx
@@ -182,36 +554,223 @@ func (t *Table) Index(column string) *HashIndex {
 	return t.indexes[t.Schema.Columns[ord].Name]
 }
 
+// IndexColumns returns the indexed column names (checkpointing).
+func (t *Table) IndexColumns() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	cols := make([]string, 0, len(t.indexes))
+	for name := range t.indexes {
+		cols = append(cols, name)
+	}
+	return cols
+}
+
 // Seek looks up rows whose indexed column equals key via the index on the
-// named column, charging one index seek plus one logical read per row.
-// It returns nil, false when no such index exists.
-func (t *Table) Seek(stats *Stats, column string, key sqltypes.Value, fn func(rid int, row []sqltypes.Value) bool) bool {
-	idx := t.Index(column)
-	if idx == nil {
+// named column, charging one index seek plus one logical read per visible
+// row. It returns false when no such index exists.
+//
+// Index entries are written eagerly by uncommitted transactions and
+// retained for old snapshots after updates, so each candidate's visible
+// version is re-verified against the key before it is emitted.
+func (t *Table) Seek(snap *txn.Snapshot, stats *Stats, column string, key sqltypes.Value, fn func(rid int, row []sqltypes.Value) bool) bool {
+	ord := t.Schema.Ordinal(column)
+	if ord < 0 {
 		return false
 	}
+	t.mu.RLock()
+	idx := t.indexes[t.Schema.Columns[ord].Name]
+	if idx == nil {
+		t.mu.RUnlock()
+		return false
+	}
+	rids := idx.lookup(key)
+	slots := t.slots
+	t.mu.RUnlock()
 	if stats != nil {
 		stats.IndexSeeks.Add(1)
 	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for _, rid := range idx.lookup(key) {
-		row := t.rows[rid]
-		if row == nil {
+	for _, rid := range rids {
+		if rid >= len(slots) {
+			continue
+		}
+		v := txn.Visible(slots[rid].head.Load(), snap)
+		if v == nil || v.IsTombstone() || !sqltypes.Equal(v.Row[ord], key) {
 			continue
 		}
 		if stats != nil {
 			stats.LogicalReads.Add(1)
 		}
-		if !fn(rid, row) {
+		if !fn(rid, v.Row) {
 			break
 		}
 	}
 	return true
 }
 
-// HashIndex is an equality index from column value to row ids. NULL keys are
-// not indexed (SQL equality never matches NULL).
+// Vacuum reclaims versions no snapshot at or after epoch oldest can see:
+// chains are cut below their newest version committed ≤ oldest, and slots
+// whose surviving version is a tombstone are emptied. Index entries that
+// pointed only at reclaimed versions are dropped.
+func (t *Table) Vacuum(oldest uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for rid, s := range t.slots {
+		head := s.head.Load()
+		if head == nil {
+			continue
+		}
+		// Find the newest version every live snapshot can rely on.
+		var w *txn.Version
+		for v := head; v != nil; v = v.Prev() {
+			if e, ok := v.Committed(); ok && e <= oldest {
+				w = v
+				break
+			}
+		}
+		if w == nil {
+			continue
+		}
+		if w == head && head.IsTombstone() {
+			// The whole slot is dead to every current and future snapshot.
+			for v := head; v != nil; v = v.Prev() {
+				if v.Row != nil {
+					for _, idx := range t.indexes {
+						idx.remove(v.Row[idx.ordinal], rid)
+					}
+				}
+			}
+			s.head.Store(nil)
+			continue
+		}
+		if w.Prev() == nil {
+			continue
+		}
+		// Cut the chain below w, then drop index entries whose key no
+		// longer appears in the surviving chain.
+		dead := w.Prev()
+		w.SetPrev(nil)
+		for v := dead; v != nil; v = v.Prev() {
+			t.dropKeyUnlessChained(v.Row, head, rid)
+		}
+	}
+}
+
+// CheckpointSlots returns each slot's row image as visible at epoch (nil
+// for dead slots), preserving slot order and count for rid stability.
+// Called with the commit lock held so the image is a consistent cut.
+func (t *Table) CheckpointSlots(epoch uint64) [][]sqltypes.Value {
+	snap := &txn.Snapshot{Epoch: epoch}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([][]sqltypes.Value, len(t.slots))
+	for rid, s := range t.slots {
+		v := txn.Visible(s.head.Load(), snap)
+		if v == nil || v.IsTombstone() {
+			continue
+		}
+		out[rid] = v.Row
+	}
+	return out
+}
+
+// LoadCheckpointSlots installs a checkpoint image (recovery). The table
+// must be empty; rows are assumed already coerced (they were written by
+// the codec that checkpointed them).
+func (t *Table) LoadCheckpointSlots(rows [][]sqltypes.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.slots = make([]*slot, len(rows))
+	var live int64
+	for rid, row := range rows {
+		s := &slot{}
+		if row != nil {
+			s.head.Store(txn.NewCommittedVersion(row, nil, 0))
+			live++
+			for _, idx := range t.indexes {
+				idx.add(row[idx.ordinal], rid)
+			}
+		}
+		t.slots[rid] = s
+	}
+	t.liveRows.Store(live)
+	t.statsVersion.Add(1)
+}
+
+// ReplayApply re-executes one logged mutation at the given commit epoch
+// (recovery). Slot ids are trusted: inserts extend the slot array as
+// needed so replay lands every row at its original rid.
+func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch m.Op {
+	case txn.MutInsert:
+		for len(t.slots) < m.Rid {
+			t.slots = append(t.slots, &slot{})
+		}
+		s := &slot{}
+		s.head.Store(txn.NewCommittedVersion(m.Row, nil, epoch))
+		if m.Rid == len(t.slots) {
+			t.slots = append(t.slots, s)
+		} else {
+			if old := t.slots[m.Rid].head.Load(); old != nil && old.Row != nil {
+				for _, idx := range t.indexes {
+					idx.remove(old.Row[idx.ordinal], m.Rid)
+				}
+				t.liveRows.Add(-1)
+			}
+			t.slots[m.Rid] = s
+		}
+		for _, idx := range t.indexes {
+			idx.add(m.Row[idx.ordinal], m.Rid)
+		}
+		t.liveRows.Add(1)
+	case txn.MutUpdate:
+		if m.Rid < 0 || m.Rid >= len(t.slots) {
+			return fmt.Errorf("storage: replay update of %s row %d out of range", t.Name, m.Rid)
+		}
+		s := t.slots[m.Rid]
+		if old := s.head.Load(); old != nil && old.Row != nil {
+			for _, idx := range t.indexes {
+				idx.remove(old.Row[idx.ordinal], m.Rid)
+			}
+		}
+		s.head.Store(txn.NewCommittedVersion(m.Row, nil, epoch))
+		for _, idx := range t.indexes {
+			idx.add(m.Row[idx.ordinal], m.Rid)
+		}
+	case txn.MutDelete:
+		if m.Rid < 0 || m.Rid >= len(t.slots) {
+			return fmt.Errorf("storage: replay delete of %s row %d out of range", t.Name, m.Rid)
+		}
+		s := t.slots[m.Rid]
+		if old := s.head.Load(); old != nil && old.Row != nil {
+			for _, idx := range t.indexes {
+				idx.remove(old.Row[idx.ordinal], m.Rid)
+			}
+			t.liveRows.Add(-1)
+		}
+		s.head.Store(nil)
+	case txn.MutTruncate:
+		for rid, s := range t.slots {
+			if old := s.head.Load(); old != nil && old.Row != nil {
+				for _, idx := range t.indexes {
+					idx.remove(old.Row[idx.ordinal], rid)
+				}
+			}
+			s.head.Store(nil)
+		}
+		t.liveRows.Store(0)
+	default:
+		return fmt.Errorf("storage: replay of unknown mutation op %d", m.Op)
+	}
+	t.statsVersion.Add(1)
+	return nil
+}
+
+// HashIndex is an equality index from column value to row ids. NULL keys
+// are not indexed (SQL equality never matches NULL). Entries are
+// deduplicated per (key, rid): a rid appears at most once under a given
+// key no matter how many chain versions carry it.
 type HashIndex struct {
 	ordinal int
 	buckets map[uint64][]entry
@@ -231,6 +790,11 @@ func (ix *HashIndex) add(key sqltypes.Value, rid int) {
 		return
 	}
 	h := sqltypes.Hash(key)
+	for _, e := range ix.buckets[h] {
+		if e.rid == rid && sqltypes.Equal(e.key, key) {
+			return
+		}
+	}
 	ix.buckets[h] = append(ix.buckets[h], entry{key, rid})
 }
 
@@ -241,7 +805,7 @@ func (ix *HashIndex) remove(key sqltypes.Value, rid int) {
 	h := sqltypes.Hash(key)
 	b := ix.buckets[h]
 	for i, e := range b {
-		if e.rid == rid {
+		if e.rid == rid && sqltypes.Equal(e.key, key) {
 			b[i] = b[len(b)-1]
 			ix.buckets[h] = b[:len(b)-1]
 			return
@@ -251,7 +815,8 @@ func (ix *HashIndex) remove(key sqltypes.Value, rid int) {
 
 func (ix *HashIndex) clear() { ix.buckets = map[uint64][]entry{} }
 
-// lookup returns the row ids whose key equals the given value.
+// lookup returns the row ids whose key equals the given value. The result
+// is freshly allocated; callers may use it after releasing the table lock.
 func (ix *HashIndex) lookup(key sqltypes.Value) []int {
 	if key.IsNull() {
 		return nil

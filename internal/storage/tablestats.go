@@ -1,0 +1,69 @@
+package storage
+
+import "aggify/internal/sqltypes"
+
+// Table statistics: the committed live row count plus per-column distinct
+// estimates, kept honest across every mutation path.
+//
+// The pre-MVCC implementation effectively sampled at insert only:
+// RowCount was the slot count, so deletes and truncates never shrank it,
+// and nothing invalidated distinct estimates after an update. Now every
+// committed Insert/Update/Delete/Truncate — including replayed WAL
+// mutations — bumps the table's statsVersion; cached statistics are
+// recomputed on the next read whenever the version moved.
+//
+// Distinct counts are exact over value hashes (a 64-bit collision is
+// indistinguishable from a duplicate, which is far below the estimate's
+// useful precision) and computed from the latest committed state.
+
+// TableStatistics is a point-in-time statistics snapshot.
+type TableStatistics struct {
+	// Rows is the committed live row count (equal to RowCount()).
+	Rows int
+	// Distinct holds the distinct-value estimate per column ordinal.
+	// NULLs do not contribute (matching index behavior).
+	Distinct []int
+}
+
+// DistinctOf returns the distinct estimate for the named column, or -1
+// when the column does not exist.
+func (ts TableStatistics) DistinctOf(s *Schema, column string) int {
+	ord := s.Ordinal(column)
+	if ord < 0 || ord >= len(ts.Distinct) {
+		return -1
+	}
+	return ts.Distinct[ord]
+}
+
+// Statistics returns current table statistics, recomputing the cached
+// distinct estimates if any mutation committed since the last call.
+func (t *Table) Statistics() TableStatistics {
+	v := t.statsVersion.Load()
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	if t.statsCache != nil && t.statsCachedAt == v {
+		return *t.statsCache
+	}
+	ncols := t.Schema.Len()
+	sets := make([]map[uint64]struct{}, ncols)
+	for i := range sets {
+		sets[i] = map[uint64]struct{}{}
+	}
+	rows := 0
+	t.Scan(nil, nil, func(_ int, row []sqltypes.Value) bool {
+		rows++
+		for i, val := range row {
+			if !val.IsNull() {
+				sets[i][sqltypes.Hash(val)] = struct{}{}
+			}
+		}
+		return true
+	})
+	st := &TableStatistics{Rows: rows, Distinct: make([]int, ncols)}
+	for i, set := range sets {
+		st.Distinct[i] = len(set)
+	}
+	t.statsCache = st
+	t.statsCachedAt = v
+	return *st
+}

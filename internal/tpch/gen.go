@@ -73,6 +73,9 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
 	sz := SizesFor(sf)
 
+	tx := eng.TxnMgr.Begin()
+	defer tx.Rollback()
+
 	mk := func(name string, cols ...storage.Column) (*storage.Table, error) {
 		return eng.CreateTable(name, storage.NewSchema(cols...))
 	}
@@ -147,7 +150,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 	dateSpan := int64(2400) // ~6.5 years of order dates
 
 	for i := 1; i <= sz.Suppliers; i++ {
-		if err := supplier.Insert([]sqltypes.Value{
+		if err := supplier.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("Supplier#%09d", i)),
 			sqltypes.NewString(nations[rng.Intn(len(nations))]),
@@ -157,7 +160,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 		}
 	}
 	for i := 1; i <= sz.Parts; i++ {
-		if err := part.Insert([]sqltypes.Value{
+		if err := part.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("part %d %s", i, containers[rng.Intn(len(containers))])),
 			sqltypes.NewString(partTypes[rng.Intn(len(partTypes))]),
@@ -170,7 +173,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 		}
 		for j := 0; j < sz.PartSupp; j++ {
 			suppkey := int64(1 + (i*sz.PartSupp+j)%sz.Suppliers)
-			if err := partsupp.Insert([]sqltypes.Value{
+			if err := partsupp.Insert(tx, []sqltypes.Value{
 				sqltypes.NewInt(int64(i)),
 				sqltypes.NewInt(suppkey),
 				sqltypes.NewInt(int64(1 + rng.Intn(9999))),
@@ -181,7 +184,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 		}
 	}
 	for i := 1; i <= sz.Customers; i++ {
-		if err := customer.Insert([]sqltypes.Value{
+		if err := customer.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("Customer#%09d", i)),
 			sqltypes.NewString(nations[rng.Intn(len(nations))]),
@@ -196,7 +199,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 		// A third of customers place no orders (TPC-H's Q13 point).
 		custkey := int64(1 + rng.Intn((sz.Customers*2+2)/3))
 		orderDate := baseDate + rng.Int63n(dateSpan)
-		if err := orders.Insert([]sqltypes.Value{
+		if err := orders.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(custkey),
 			sqltypes.NewString(statuses[rng.Intn(len(statuses))]),
@@ -212,7 +215,7 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 			ship := orderDate + int64(1+rng.Intn(120))
 			commit := orderDate + int64(30+rng.Intn(60))
 			receipt := ship + int64(1+rng.Intn(30))
-			if err := lineitem.Insert([]sqltypes.Value{
+			if err := lineitem.Insert(tx, []sqltypes.Value{
 				sqltypes.NewInt(int64(i)),
 				sqltypes.NewInt(int64(1 + rng.Intn(sz.Parts))),
 				sqltypes.NewInt(int64(1 + rng.Intn(sz.Suppliers))),
@@ -227,6 +230,10 @@ func LoadSeeded(eng *engine.Engine, sf float64, seed int64) error {
 				return err
 			}
 		}
+	}
+
+	if err := tx.Commit(); err != nil {
+		return err
 	}
 
 	for _, ix := range [][2]string{

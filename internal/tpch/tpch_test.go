@@ -65,7 +65,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 		t.Fatalf("row counts differ: %d vs %d", ta.RowCount(), tb.RowCount())
 	}
 	for i := 0; i < 50; i++ {
-		ra, rb := ta.Row(i), tb.Row(i)
+		ra, rb := ta.Row(nil, i), tb.Row(nil, i)
 		for j := range ra {
 			if !sqltypes.GroupEqual(ra[j], rb[j]) {
 				t.Fatalf("row %d differs: %v vs %v", i, ra, rb)

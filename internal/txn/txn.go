@@ -1,0 +1,441 @@
+// Package txn implements the transactional core of the engine: commit
+// epochs, snapshots, per-row version chains, and the transaction objects
+// that tie them together under snapshot isolation.
+//
+// The design is epoch-based multi-versioning in the style of Hekaton:
+//
+//   - Every committed state of the database is identified by a commit
+//     epoch, a monotonically increasing uint64 published by the Manager.
+//   - A Snapshot pins one epoch. A reader holding a snapshot sees exactly
+//     the versions committed at or before that epoch — never a torn write,
+//     never a later commit — and never takes a lock to do so.
+//   - Writers create new Versions at the head of a row's chain, stamped
+//     with their transaction id. At commit the Manager allocates the next
+//     epoch, stamps every version the transaction created, and publishes
+//     the epoch; at rollback the versions are unlinked.
+//   - Conflicts are resolved first-writer-wins: touching a row that carries
+//     another transaction's uncommitted version, or a version committed
+//     after the writer's snapshot, fails immediately with ErrWriteConflict.
+//
+// Durability is delegated to a CommitSink (the WAL, when the engine runs
+// with a data directory): the sink logs the commit while the commit lock
+// is held — so the log's epoch order matches publication order — and the
+// committer waits for its record to become durable after the lock is
+// released, which lets one fsync amortize over many concurrent commits.
+package txn
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"aggify/internal/sqltypes"
+)
+
+// ErrWriteConflict is returned when a write touches a row that was written
+// by a concurrent transaction (uncommitted, or committed after the writer's
+// snapshot). First-writer-wins: the later writer fails immediately.
+var ErrWriteConflict = errors.New("txn: write conflict with a concurrent transaction")
+
+// ErrTxnDone is returned when committing or writing through a transaction
+// that has already committed or rolled back.
+var ErrTxnDone = errors.New("txn: transaction already finished")
+
+// txnBit marks a version's begin field as "owned by an uncommitted
+// transaction": the low 63 bits then hold the owner's transaction id
+// instead of a commit epoch.
+const txnBit = uint64(1) << 63
+
+// Version is one version of a row in a table's version chain. Row is nil
+// for a tombstone (the row was deleted at this version). Versions are
+// immutable once published except for the begin stamp (written exactly
+// once, at commit) and the prev link (trimmed by vacuum); both are atomic
+// so chain walks never need a lock.
+type Version struct {
+	begin atomic.Uint64
+	prev  atomic.Pointer[Version]
+
+	// Row holds the column values, or nil for a tombstone. It is written
+	// before the version is linked into a chain and never mutated after.
+	Row []sqltypes.Value
+}
+
+// NewVersion creates an uncommitted version owned by txn id owner, linked
+// in front of prev. owner 0 with committed=true creates a pre-committed
+// version at epoch 0 (used by unmanaged tables and recovery replay).
+func NewVersion(row []sqltypes.Value, prev *Version, owner uint64) *Version {
+	v := &Version{Row: row}
+	v.prev.Store(prev)
+	v.begin.Store(txnBit | owner)
+	return v
+}
+
+// NewCommittedVersion creates a version already committed at the given
+// epoch (recovery replay and unmanaged tables).
+func NewCommittedVersion(row []sqltypes.Value, prev *Version, epoch uint64) *Version {
+	v := &Version{Row: row}
+	v.prev.Store(prev)
+	v.begin.Store(epoch)
+	return v
+}
+
+// Prev returns the next-older version in the chain, or nil.
+func (v *Version) Prev() *Version { return v.prev.Load() }
+
+// SetPrev relinks the chain below v (vacuum and rollback, under the
+// owning table's write lock).
+func (v *Version) SetPrev(p *Version) { v.prev.Store(p) }
+
+// Committed reports whether v has a commit epoch, and which.
+func (v *Version) Committed() (epoch uint64, ok bool) {
+	b := v.begin.Load()
+	if b&txnBit != 0 {
+		return 0, false
+	}
+	return b, true
+}
+
+// Owner returns the transaction id that owns v while uncommitted.
+func (v *Version) Owner() (id uint64, ok bool) {
+	b := v.begin.Load()
+	if b&txnBit == 0 {
+		return 0, false
+	}
+	return b &^ txnBit, true
+}
+
+// IsTombstone reports whether v records a deletion.
+func (v *Version) IsTombstone() bool { return v.Row == nil }
+
+// commit stamps v with its commit epoch.
+func (v *Version) commit(epoch uint64) { v.begin.Store(epoch) }
+
+// abortStamp marks v permanently invisible (used when an aborted version
+// cannot be unlinked because a newer version was chained on top; readers
+// skip it and vacuum reclaims it).
+const abortedOwner = txnBit // owner id 0 is never allocated
+
+func (v *Version) abort() { v.begin.Store(abortedOwner) }
+
+// Visible walks a version chain newest→oldest and returns the version the
+// snapshot sees, or nil when the row does not exist at that snapshot
+// (never created, or the visible version may be a tombstone — callers
+// check IsTombstone). A nil snapshot sees the latest committed version.
+func Visible(head *Version, snap *Snapshot) *Version {
+	for v := head; v != nil; v = v.Prev() {
+		b := v.begin.Load()
+		if b&txnBit != 0 {
+			// Uncommitted: visible only to the owning transaction.
+			if snap != nil && snap.TxnID != 0 && snap.TxnID == b&^txnBit {
+				return v
+			}
+			continue
+		}
+		if snap == nil || b <= snap.Epoch {
+			return v
+		}
+	}
+	return nil
+}
+
+// Snapshot pins a commit epoch: the holder sees every version committed at
+// or before Epoch and nothing later. TxnID is non-zero for snapshots owned
+// by a transaction, which additionally see that transaction's own
+// uncommitted writes. Snapshots must be Released so vacuum can advance.
+type Snapshot struct {
+	Epoch uint64
+	TxnID uint64
+
+	mgr *Manager
+	id  uint64 // registry key; 0 after release (or for unregistered snapshots)
+}
+
+// Release unregisters the snapshot from the manager's live set. Safe to
+// call more than once.
+func (s *Snapshot) Release() {
+	if s == nil || s.mgr == nil || s.id == 0 {
+		return
+	}
+	s.mgr.release(s.id)
+	s.id = 0
+}
+
+// MutOp identifies a logged mutation kind.
+type MutOp uint8
+
+const (
+	MutInsert MutOp = iota + 1
+	MutUpdate
+	MutDelete
+	MutTruncate
+)
+
+// Mutation is the logical redo record of one table write, in terms the
+// write-ahead log can serialize and recovery can replay: slot ids are
+// stable across restarts, so (Table, Op, Rid, Row) reproduces the write
+// exactly.
+type Mutation struct {
+	Table string
+	Op    MutOp
+	Rid   int
+	Row   []sqltypes.Value // insert/update payload; nil for delete/truncate
+}
+
+// CommitSink receives commit records for durability. LogCommit is called
+// with the manager's commit lock held (records therefore appear in epoch
+// order); WaitDurable is called after the lock is released, so syncs from
+// many committers coalesce.
+type CommitSink interface {
+	LogCommit(epoch uint64, muts []Mutation) (lsn uint64, err error)
+	WaitDurable(lsn uint64) error
+}
+
+// Txn is one read-write transaction: a snapshot for its reads, a write set
+// for conflict bookkeeping, and the undo/redo hooks the storage layer
+// registers as it applies writes. A Txn is owned by a single session and
+// is not safe for concurrent use.
+type Txn struct {
+	// ID is the transaction id stamped (with txnBit) on uncommitted
+	// versions. Never zero.
+	ID uint64
+
+	mgr      *Manager
+	snap     *Snapshot
+	muts     []Mutation
+	versions []*Version
+	onCommit []func(epoch uint64)
+	onAbort  []func()
+	done     bool
+}
+
+// Snapshot returns the transaction's pinned snapshot (which also sees the
+// transaction's own uncommitted writes).
+func (t *Txn) Snapshot() *Snapshot { return t.snap }
+
+// Track registers a version created by this transaction, to be stamped at
+// commit.
+func (t *Txn) Track(v *Version) { t.versions = append(t.versions, v) }
+
+// Log appends a redo mutation for the WAL. Skipped entirely when the
+// manager has no durability sink, so purely in-memory engines pay nothing.
+func (t *Txn) Log(m Mutation) {
+	if t.mgr.sink == nil {
+		return
+	}
+	t.muts = append(t.muts, m)
+}
+
+// OnCommit registers a hook run (with the commit lock held) after this
+// transaction's versions are stamped, before the epoch is published.
+// Storage uses it for index/statistics maintenance that must become
+// visible atomically with the commit.
+func (t *Txn) OnCommit(fn func(epoch uint64)) { t.onCommit = append(t.onCommit, fn) }
+
+// OnAbort registers an undo hook run (newest first) if the transaction
+// rolls back.
+func (t *Txn) OnAbort(fn func()) { t.onAbort = append(t.onAbort, fn) }
+
+// Done reports whether the transaction has committed or rolled back.
+func (t *Txn) Done() bool { return t.done }
+
+// Commit publishes the transaction's writes at the next commit epoch and,
+// when a durability sink is attached, returns only after the commit record
+// is durable. On a sink error the transaction is rolled back.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	m := t.mgr
+	if len(t.versions) == 0 && len(t.onCommit) == 0 && len(t.muts) == 0 {
+		// Read-only: nothing to publish.
+		t.done = true
+		t.snap.Release()
+		return nil
+	}
+	m.commitMu.Lock()
+	epoch := m.epoch.Load() + 1
+	var lsn uint64
+	if m.sink != nil && len(t.muts) > 0 {
+		var err error
+		lsn, err = m.sink.LogCommit(epoch, t.muts)
+		if err != nil {
+			m.commitMu.Unlock()
+			t.Rollback()
+			return err
+		}
+	}
+	for _, v := range t.versions {
+		v.commit(epoch)
+	}
+	for _, fn := range t.onCommit {
+		fn(epoch)
+	}
+	m.epoch.Store(epoch)
+	m.commitMu.Unlock()
+	t.done = true
+	t.snap.Release()
+	if m.sink != nil && lsn > 0 {
+		return m.sink.WaitDurable(lsn)
+	}
+	return nil
+}
+
+// Rollback undoes the transaction's writes (newest first) and releases its
+// snapshot. Safe to call on a finished transaction (no-op).
+func (t *Txn) Rollback() {
+	if t.done {
+		return
+	}
+	t.done = true
+	for i := len(t.onAbort) - 1; i >= 0; i-- {
+		t.onAbort[i]()
+	}
+	t.snap.Release()
+}
+
+// Manager allocates epochs and transaction ids, tracks live snapshots for
+// vacuum, and serializes commit publication. One Manager per engine.
+type Manager struct {
+	epoch    atomic.Uint64
+	nextTxn  atomic.Uint64
+	commitMu sync.Mutex
+	sink     CommitSink
+
+	mu       sync.Mutex
+	live     map[uint64]uint64 // snapshot registry: id → pinned epoch
+	nextSnap uint64
+
+	garbage   atomic.Int64
+	vacuuming atomic.Bool
+}
+
+// NewManager creates a manager at epoch 0 with no durability sink.
+func NewManager() *Manager {
+	return &Manager{live: map[uint64]uint64{}}
+}
+
+// SetSink attaches a durability sink. Must be called before any commits
+// that should be logged (i.e. at engine open, before user transactions).
+func (m *Manager) SetSink(s CommitSink) { m.sink = s }
+
+// Sink returns the attached durability sink, or nil.
+func (m *Manager) Sink() CommitSink { return m.sink }
+
+// Epoch returns the latest published commit epoch.
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// SetEpoch force-sets the published epoch; recovery uses it to resume
+// allocation after replaying the log.
+func (m *Manager) SetEpoch(e uint64) { m.epoch.Store(e) }
+
+// Acquire pins the current epoch as a read snapshot and registers it in
+// the live set. The caller must Release it.
+func (m *Manager) Acquire() *Snapshot {
+	m.mu.Lock()
+	m.nextSnap++
+	id := m.nextSnap
+	s := &Snapshot{Epoch: m.epoch.Load(), mgr: m, id: id}
+	m.live[id] = s.Epoch
+	m.mu.Unlock()
+	return s
+}
+
+func (m *Manager) release(id uint64) {
+	m.mu.Lock()
+	delete(m.live, id)
+	m.mu.Unlock()
+}
+
+// LiveSnapshots returns the number of registered, unreleased snapshots.
+func (m *Manager) LiveSnapshots() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live)
+}
+
+// OldestVisible returns the oldest epoch any live snapshot can see — the
+// vacuum horizon. Versions superseded by a commit at or before this epoch
+// are unreachable by every live and future snapshot.
+func (m *Manager) OldestVisible() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldest := m.epoch.Load()
+	for _, e := range m.live {
+		if e < oldest {
+			oldest = e
+		}
+	}
+	return oldest
+}
+
+// Begin starts a read-write transaction pinned at the current epoch.
+func (m *Manager) Begin() *Txn {
+	id := m.nextTxn.Add(1)
+	snap := m.Acquire()
+	snap.TxnID = id
+	return &Txn{ID: id, mgr: m, snap: snap}
+}
+
+// AdvanceEpoch allocates the next epoch under the commit lock, invoking
+// log (when non-nil) before publication. DDL uses it so schema changes get
+// their own epoch — a checkpoint taken at epoch E can then never straddle
+// a DDL record at E.
+func (m *Manager) AdvanceEpoch(log func(epoch uint64) error) (uint64, error) {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	e := m.epoch.Load() + 1
+	if log != nil {
+		if err := log(e); err != nil {
+			return 0, err
+		}
+	}
+	m.epoch.Store(e)
+	return e, nil
+}
+
+// WithCommitLock runs fn with commit publication frozen at the current
+// epoch. Checkpointing uses it to image every table at one consistent
+// epoch: no commit can publish (and no DDL can advance the epoch) while
+// fn runs. Readers and in-progress writers are unaffected.
+func (m *Manager) WithCommitLock(fn func(epoch uint64) error) error {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	return fn(m.epoch.Load())
+}
+
+// NoteGarbage records that n superseded versions became reclaimable;
+// MaybeVacuum fires once enough accumulate.
+func (m *Manager) NoteGarbage(n int) { m.garbage.Add(int64(n)) }
+
+// vacuumThreshold is how many superseded versions accumulate before the
+// inline vacuum trigger fires. Small enough that loop-heavy workloads
+// (a cursor loop updating every row) reclaim as they go, large enough to
+// amortize the chain walks.
+const vacuumThreshold = 1024
+
+// MaybeVacuum runs fn(oldest visible epoch) when enough garbage has
+// accumulated, at most once concurrently. Embedded engines call it inline
+// after commits (no background goroutine: tests forbid leaked goroutines);
+// the server calls Vacuum from a ticker as well.
+func (m *Manager) MaybeVacuum(fn func(oldest uint64)) {
+	if m.garbage.Load() < vacuumThreshold {
+		return
+	}
+	if !m.vacuuming.CompareAndSwap(false, true) {
+		return
+	}
+	m.garbage.Store(0)
+	fn(m.OldestVisible())
+	m.vacuuming.Store(false)
+}
+
+// Vacuum runs fn(oldest visible epoch) unconditionally (unless another
+// vacuum is in flight).
+func (m *Manager) Vacuum(fn func(oldest uint64)) {
+	if !m.vacuuming.CompareAndSwap(false, true) {
+		return
+	}
+	m.garbage.Store(0)
+	fn(m.OldestVisible())
+	m.vacuuming.Store(false)
+}

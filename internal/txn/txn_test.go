@@ -1,0 +1,258 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"aggify/internal/sqltypes"
+)
+
+func row(i int64) []sqltypes.Value { return []sqltypes.Value{sqltypes.NewInt(i)} }
+
+func TestSnapshotVisibility(t *testing.T) {
+	m := NewManager()
+
+	tx1 := m.Begin()
+	v1 := NewVersion(row(1), nil, tx1.ID)
+	tx1.Track(v1)
+
+	// Uncommitted: visible to the owner, invisible to others.
+	if got := Visible(v1, tx1.Snapshot()); got != v1 {
+		t.Fatalf("owner should see its own uncommitted version")
+	}
+	other := m.Acquire()
+	if got := Visible(v1, other); got != nil {
+		t.Fatalf("foreign snapshot saw an uncommitted version")
+	}
+	other.Release()
+
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d, want 1", e)
+	}
+
+	// Snapshot taken now sees v1; a later committed v2 stays invisible.
+	snap := m.Acquire()
+	defer snap.Release()
+
+	tx2 := m.Begin()
+	v2 := NewVersion(row(2), v1, tx2.ID)
+	tx2.Track(v2)
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := Visible(v2, snap); got != v1 {
+		t.Fatalf("old snapshot should still see v1, got %v", got)
+	}
+	fresh := m.Acquire()
+	defer fresh.Release()
+	if got := Visible(v2, fresh); got != v2 {
+		t.Fatalf("fresh snapshot should see v2")
+	}
+	// nil snapshot = latest committed.
+	if got := Visible(v2, nil); got != v2 {
+		t.Fatalf("nil snapshot should see latest committed")
+	}
+}
+
+func TestTombstoneVisibility(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	v1 := NewVersion(row(1), nil, tx.ID)
+	tx.Track(v1)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := m.Acquire()
+	defer before.Release()
+
+	del := m.Begin()
+	tomb := NewVersion(nil, v1, del.ID)
+	del.Track(tomb)
+	if err := del.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := Visible(tomb, before); got != v1 {
+		t.Fatalf("pre-delete snapshot should see the live row")
+	}
+	after := m.Acquire()
+	defer after.Release()
+	got := Visible(tomb, after)
+	if got == nil || !got.IsTombstone() {
+		t.Fatalf("post-delete snapshot should see the tombstone, got %v", got)
+	}
+}
+
+func TestRollbackRunsUndoNewestFirst(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	var order []int
+	tx.OnAbort(func() { order = append(order, 1) })
+	tx.OnAbort(func() { order = append(order, 2) })
+	tx.Rollback()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("undo order = %v, want [2 1]", order)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("commit after rollback = %v, want ErrTxnDone", err)
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("rollback advanced the epoch")
+	}
+}
+
+func TestReadOnlyCommitDoesNotAdvanceEpoch(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("read-only commit advanced the epoch to %d", m.Epoch())
+	}
+	if n := m.LiveSnapshots(); n != 0 {
+		t.Fatalf("leaked %d snapshots", n)
+	}
+}
+
+func TestOldestVisible(t *testing.T) {
+	m := NewManager()
+	bump := func() {
+		tx := m.Begin()
+		tx.Track(NewVersion(row(0), nil, tx.ID))
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bump() // epoch 1
+	s1 := m.Acquire()
+	bump() // epoch 2
+	s2 := m.Acquire()
+	bump() // epoch 3
+
+	if got := m.OldestVisible(); got != 1 {
+		t.Fatalf("oldest = %d, want 1", got)
+	}
+	s1.Release()
+	if got := m.OldestVisible(); got != 2 {
+		t.Fatalf("oldest = %d, want 2", got)
+	}
+	s2.Release()
+	if got := m.OldestVisible(); got != 3 {
+		t.Fatalf("oldest = %d, want 3 (current epoch)", got)
+	}
+	s2.Release() // double release is a no-op
+}
+
+type memSink struct {
+	mu      sync.Mutex
+	commits []uint64
+	fail    bool
+}
+
+func (s *memSink) LogCommit(epoch uint64, muts []Mutation) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return 0, errors.New("disk full")
+	}
+	s.commits = append(s.commits, epoch)
+	return uint64(len(s.commits)), nil
+}
+
+func (s *memSink) WaitDurable(lsn uint64) error { return nil }
+
+func TestSinkSeesEpochOrder(t *testing.T) {
+	m := NewManager()
+	sink := &memSink{}
+	m.SetSink(sink)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tx := m.Begin()
+			tx.Track(NewVersion(row(0), nil, tx.ID))
+			tx.Log(Mutation{Table: "t", Op: MutInsert, Rid: 0, Row: row(0)})
+			if err := tx.Commit(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(sink.commits) != 16 {
+		t.Fatalf("sink saw %d commits, want 16", len(sink.commits))
+	}
+	for i := 1; i < len(sink.commits); i++ {
+		if sink.commits[i] != sink.commits[i-1]+1 {
+			t.Fatalf("commit epochs out of order: %v", sink.commits)
+		}
+	}
+}
+
+func TestSinkErrorRollsBack(t *testing.T) {
+	m := NewManager()
+	sink := &memSink{fail: true}
+	m.SetSink(sink)
+
+	tx := m.Begin()
+	tx.Track(NewVersion(row(1), nil, tx.ID))
+	tx.Log(Mutation{Table: "t", Op: MutInsert, Rid: 0, Row: row(1)})
+	undone := false
+	tx.OnAbort(func() { undone = true })
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit with failing sink should error")
+	}
+	if !undone {
+		t.Fatal("failed commit did not run undo hooks")
+	}
+	if m.Epoch() != 0 {
+		t.Fatalf("failed commit advanced the epoch")
+	}
+}
+
+func TestAdvanceEpochForDDL(t *testing.T) {
+	m := NewManager()
+	var logged uint64
+	e, err := m.AdvanceEpoch(func(epoch uint64) error {
+		logged = epoch
+		return nil
+	})
+	if err != nil || e != 1 || logged != 1 {
+		t.Fatalf("AdvanceEpoch = (%d, %v), logged %d; want (1, nil), 1", e, err, logged)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", m.Epoch())
+	}
+	// A failing log must not publish the epoch.
+	_, err = m.AdvanceEpoch(func(uint64) error { return errors.New("nope") })
+	if err == nil || m.Epoch() != 1 {
+		t.Fatalf("failed DDL log published epoch %d", m.Epoch())
+	}
+}
+
+func TestMaybeVacuumThreshold(t *testing.T) {
+	m := NewManager()
+	ran := 0
+	m.MaybeVacuum(func(uint64) { ran++ })
+	if ran != 0 {
+		t.Fatal("vacuum ran below threshold")
+	}
+	m.NoteGarbage(vacuumThreshold)
+	m.MaybeVacuum(func(uint64) { ran++ })
+	if ran != 1 {
+		t.Fatal("vacuum did not run at threshold")
+	}
+	// Counter was reset by the run.
+	m.MaybeVacuum(func(uint64) { ran++ })
+	if ran != 1 {
+		t.Fatal("vacuum ran again without new garbage")
+	}
+}

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SyncMode controls when appended records are forced to stable storage.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs inside every Append: maximum durability, one
+	// fsync per commit, no amortization.
+	SyncAlways SyncMode = iota
+	// SyncGroup buffers appends and fsyncs in WaitDurable with a
+	// leader/follower protocol: the first waiter flushes and syncs
+	// everything buffered so far while later waiters park, so one fsync
+	// covers every commit that arrived during the previous one.
+	SyncGroup
+	// SyncOff writes to the OS but never fsyncs; a crash can lose the
+	// tail, a graceful shutdown loses nothing.
+	SyncOff
+)
+
+// ParseSyncMode parses the -wal-sync flag values always|group|off.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "group":
+		return SyncGroup, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync mode %q (want always, group, or off)", s)
+}
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncAlways:
+		return "always"
+	case SyncGroup:
+		return "group"
+	case SyncOff:
+		return "off"
+	}
+	return "unknown"
+}
+
+// LogPath returns the log file path inside a data directory.
+func LogPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+// frameOverhead is the per-record framing cost: 4-byte length + 4-byte CRC.
+const frameOverhead = 8
+
+// maxRecordLen bounds a single record; anything larger in the file is
+// treated as corruption.
+const maxRecordLen = 1 << 30
+
+// Log is the append-only write-ahead log. Appends assign monotonically
+// increasing LSNs (byte offsets past the framed record); WaitDurable
+// blocks until everything up to an LSN is stable per the sync mode.
+type Log struct {
+	mode SyncMode
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	f        *os.File
+	buf      []byte // framed but unwritten bytes (SyncGroup / SyncOff)
+	appended uint64 // LSN high-water mark: bytes framed so far
+	synced   uint64 // LSN up to which the file is durable
+	syncing  bool   // a leader is flushing outside the lock
+	err      error  // sticky I/O error; fails all future operations
+}
+
+// OpenLog opens (creating if needed) the log file in dir.
+func OpenLog(dir string, mode SyncMode) (*Log, error) {
+	f, err := os.OpenFile(LogPath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{mode: mode, f: f, appended: uint64(size), synced: uint64(size)}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// Mode returns the log's sync mode.
+func (l *Log) Mode() SyncMode { return l.mode }
+
+// Append frames payload into the log and returns its LSN. In SyncAlways
+// mode the record is durable on return; otherwise durability is deferred
+// to WaitDurable/Flush.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	frame := make([]byte, frameOverhead, frameOverhead+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	l.appended += uint64(len(frame))
+	lsn := l.appended
+	if l.mode == SyncAlways {
+		if _, err := l.f.Write(frame); err == nil {
+			if err := l.f.Sync(); err != nil {
+				l.err = err
+			}
+		} else {
+			l.err = err
+		}
+		if l.err != nil {
+			return 0, l.err
+		}
+		l.synced = lsn
+		return lsn, nil
+	}
+	l.buf = append(l.buf, frame...)
+	return lsn, nil
+}
+
+// WaitDurable blocks until the log is durable up to lsn. In SyncGroup mode
+// the first caller to arrive becomes the leader: it writes and fsyncs the
+// whole buffer while later callers wait on the condition variable, so one
+// fsync acknowledges every commit buffered behind it.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.synced >= lsn {
+			return nil
+		}
+		if !l.syncing {
+			l.flushLocked()
+			l.cond.Broadcast()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// flushLocked writes the pending buffer (and fsyncs unless SyncOff),
+// releasing the lock around the I/O. Callers must hold l.mu; the leader
+// flag keeps concurrent flushes out.
+func (l *Log) flushLocked() {
+	l.syncing = true
+	buf := l.buf
+	l.buf = nil
+	target := l.appended
+	l.mu.Unlock()
+	var err error
+	if len(buf) > 0 {
+		_, err = l.f.Write(buf)
+	}
+	if err == nil && l.mode != SyncOff {
+		err = l.f.Sync()
+	}
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		l.err = err
+	} else if target > l.synced {
+		l.synced = target
+	}
+}
+
+// Flush writes and (unless SyncOff) fsyncs everything appended so far.
+// Used by graceful shutdown and checkpointing.
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.synced >= l.appended && len(l.buf) == 0 {
+			return nil
+		}
+		if !l.syncing {
+			l.flushLocked()
+			l.cond.Broadcast()
+			continue
+		}
+		l.cond.Wait()
+	}
+}
+
+// Reset truncates the log file to empty after flushing everything pending.
+// Called after a checkpoint has made the logged history redundant. LSNs
+// keep counting monotonically across resets — only the physical file
+// restarts — so a WaitDurable caller can never be stranded by a
+// concurrent reset.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.err != nil {
+			return l.err
+		}
+		if l.synced >= l.appended && len(l.buf) == 0 && !l.syncing {
+			break
+		}
+		if !l.syncing {
+			l.flushLocked()
+			l.cond.Broadcast()
+			continue
+		}
+		l.cond.Wait()
+	}
+	if err := l.f.Truncate(0); err != nil {
+		l.err = err
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		l.err = err
+		return err
+	}
+	if l.mode != SyncOff {
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Size returns the LSN high-water mark (bytes framed over the log's
+// lifetime; not the current file size, which restarts at each Reset).
+func (l *Log) Size() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Close flushes and closes the log file.
+func (l *Log) Close() error {
+	flushErr := l.Flush()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	closeErr := l.f.Close()
+	if flushErr != nil && !errors.Is(flushErr, os.ErrClosed) {
+		return flushErr
+	}
+	return closeErr
+}
+
+// ReadRecords replays every intact record in the log file at dir, invoking
+// fn on each payload in append order. A truncated or corrupt frame — the
+// torn tail a crash can leave — ends the replay cleanly; an error from fn
+// aborts it.
+func ReadRecords(dir string, fn func(payload []byte) error) error {
+	f, err := os.Open(LogPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	header := make([]byte, frameOverhead)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, header); err != nil {
+			return nil // clean EOF or torn header: end of intact log
+		}
+		n := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if n > maxRecordLen {
+			return nil // corrupt length: treat as torn tail
+		}
+		if uint32(cap(payload)) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return nil // corrupt payload
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+}

@@ -54,6 +54,9 @@ func Load(eng *engine.Engine, scale float64) error {
 	rng := rand.New(rand.NewSource(424242))
 	sz := SizesFor(scale)
 
+	tx := eng.TxnMgr.Begin()
+	defer tx.Rollback()
+
 	// ----- W1: CRM -----
 	accounts, err := eng.CreateTable("accounts", storage.NewSchema(
 		storage.Col("a_id", sqltypes.Int),
@@ -84,7 +87,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		return err
 	}
 	for i := 1; i <= sz.Accounts; i++ {
-		if err := accounts.Insert([]sqltypes.Value{
+		if err := accounts.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("account-%d", i)),
 			sqltypes.NewInt(int64(1 + i%5)),
@@ -98,7 +101,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		if i%4 == 0 {
 			acct = int64(2 + rng.Intn(sz.Accounts-1))
 		}
-		if err := activities.Insert([]sqltypes.Value{
+		if err := activities.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(acct),
 			sqltypes.NewInt(int64(i)),
@@ -110,7 +113,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		}
 	}
 	for i := 1; i <= sz.Opportunities; i++ {
-		if err := opportunities.Insert([]sqltypes.Value{
+		if err := opportunities.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(int64(1 + rng.Intn(sz.Accounts))),
 			sqltypes.NewInt(int64(1 + rng.Intn(6))),
@@ -148,7 +151,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		return err
 	}
 	for i := 1; i <= sz.Machines; i++ {
-		if err := machines.Insert([]sqltypes.Value{
+		if err := machines.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("host-%04d", i)),
 			sqltypes.NewInt(int64(1 + i%3)),
@@ -157,7 +160,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		}
 	}
 	for i := 1; i <= sz.ConfigEntries; i++ {
-		if err := configEntries.Insert([]sqltypes.Value{
+		if err := configEntries.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(int64(1 + rng.Intn(sz.Machines))),
 			sqltypes.NewString(fmt.Sprintf("key.%d", rng.Intn(40))),
@@ -168,7 +171,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		}
 	}
 	for i := 1; i <= sz.Versions; i++ {
-		if err := versions.Insert([]sqltypes.Value{
+		if err := versions.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(int64(1 + rng.Intn(sz.Machines))),
 			sqltypes.NewInt(int64(1 + rng.Intn(12))),
@@ -199,7 +202,7 @@ func Load(eng *engine.Engine, scale float64) error {
 	}
 	legID := 0
 	for i := 1; i <= sz.Shipments; i++ {
-		if err := shipments.Insert([]sqltypes.Value{
+		if err := shipments.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(int64(1 + rng.Intn(25))),
 			sqltypes.NewFloat(float64(100+rng.Intn(40_000)) / 10),
@@ -212,7 +215,7 @@ func Load(eng *engine.Engine, scale float64) error {
 			legID++
 			planned := 1 + rng.Float64()*20
 			actual := planned * (0.8 + rng.Float64()*0.6)
-			if err := legs.Insert([]sqltypes.Value{
+			if err := legs.Insert(tx, []sqltypes.Value{
 				sqltypes.NewInt(int64(legID)),
 				sqltypes.NewInt(int64(i)),
 				sqltypes.NewInt(int64(j + 1)),
@@ -222,6 +225,10 @@ func Load(eng *engine.Engine, scale float64) error {
 				return err
 			}
 		}
+	}
+
+	if err := tx.Commit(); err != nil {
+		return err
 	}
 
 	for _, ix := range [][2]string{

@@ -47,6 +47,9 @@ func Load(eng *engine.Engine, scale float64) error {
 	rng := rand.New(rand.NewSource(7007))
 	sz := SizesFor(scale)
 
+	tx := eng.TxnMgr.Begin()
+	defer tx.Rollback()
+
 	users, err := eng.CreateTable("users", storage.NewSchema(
 		storage.Col("u_id", sqltypes.Int),
 		storage.Col("u_nickname", sqltypes.VarChar(20)),
@@ -92,7 +95,7 @@ func Load(eng *engine.Engine, scale float64) error {
 
 	base := sqltypes.MustDate("2020-01-01").Int()
 	for i := 1; i <= sz.Users; i++ {
-		if err := users.Insert([]sqltypes.Value{
+		if err := users.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewString(fmt.Sprintf("user%d", i)),
 			sqltypes.NewInt(int64(rng.Intn(20) - 5)),
@@ -108,7 +111,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		if rng.Intn(10) == 0 {
 			seller = 1
 		}
-		if err := items.Insert([]sqltypes.Value{
+		if err := items.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(seller),
 			sqltypes.NewInt(int64(1 + rng.Intn(20))),
@@ -131,7 +134,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		if rng.Intn(5) == 0 {
 			item = 1
 		}
-		if err := bids.Insert([]sqltypes.Value{
+		if err := bids.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(bidder),
 			sqltypes.NewInt(item),
@@ -147,7 +150,7 @@ func Load(eng *engine.Engine, scale float64) error {
 		if rng.Intn(5) == 0 {
 			to = 1
 		}
-		if err := comments.Insert([]sqltypes.Value{
+		if err := comments.Insert(tx, []sqltypes.Value{
 			sqltypes.NewInt(int64(i)),
 			sqltypes.NewInt(int64(1 + rng.Intn(sz.Users))),
 			sqltypes.NewInt(to),
@@ -157,6 +160,10 @@ func Load(eng *engine.Engine, scale float64) error {
 			return err
 		}
 	}
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+
 	for _, ix := range [][2]string{
 		{"bids", "b_item_id"}, {"bids", "b_user_id"},
 		{"comments", "c_to"}, {"items", "i_category"}, {"items", "i_seller"},
