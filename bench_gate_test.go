@@ -2,7 +2,7 @@
 // bench-regression gate runs (scripts/bench_regress.sh). Every benchmark
 // here is selected by the ^BenchmarkGate regex and must stay cheap — the
 // gate runs them with -count=3 and compares the best run against the
-// committed BENCH_4.json snapshot.
+// committed BENCH_5.json snapshot (BENCH_4.json is the retired v4 baseline).
 package aggify_test
 
 import (
@@ -92,6 +92,33 @@ func BenchmarkGateParallelAgg(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			sess := eng.NewSession()
 			sess.Opts.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sess.Query(q, sess.Ctx(nil, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(gateRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkGateBatch is the vectorized-vs-row pair behind the gate's batch
+// speedup ratio: the same grouped aggregation as the parallel pair, serial
+// on both sides, with the batch path on and off — so the ratio isolates
+// vectorized execution from parallelism. The gate records
+// batch_speedup = row ns/op ÷ batch ns/op and requires ≥ 1.5×.
+func BenchmarkGateBatch(b *testing.B) {
+	eng := gateEnv(b)
+	q := parser.MustParse("select k, count(*), sum(v), min(v), max(v) from gate group by k")[0].(*ast.QueryStmt).Query
+	for _, disable := range []bool{false, true} {
+		name := "batch"
+		if disable {
+			name = "row"
+		}
+		b.Run(name, func(b *testing.B) {
+			sess := eng.NewSession()
+			sess.Opts.DisableBatch = disable
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := sess.Query(q, sess.Ctx(nil, nil)); err != nil {

@@ -14,8 +14,9 @@ import (
 
 // Property test for the logical rewrite pass: every generated query must
 // return byte-identical rows with the pass enabled and with every rule
-// disabled, serially and at MAXDOP 4 (same trial structure as the Merge
-// property test in internal/exec). Unlike TestPlannerRewritesPreserveResults
+// disabled, serially and at MAXDOP 4, and with the vectorized batch path
+// forced off (same trial structure as the Merge property test in
+// internal/exec). Unlike TestPlannerRewritesPreserveResults
 // this comparison is order-sensitive — each query orders by all its output
 // columns, so a wrongly dropped or misplaced sort shows up as a diff.
 
@@ -111,17 +112,20 @@ create index i2 on t2(a);
 		name string
 		sess *engine.Session
 	}
-	mk := func(rules plan.RuleSet, dop int) *engine.Session {
+	mk := func(rules plan.RuleSet, dop int, noBatch bool) *engine.Session {
 		s := eng.NewSession()
 		s.Opts.DisableRules = rules
 		s.Opts.Parallelism = dop
+		s.Opts.DisableBatch = noBatch
 		return s
 	}
 	configs := []cfg{
-		{"rewrite-serial", mk(0, 1)},
-		{"norewrite-serial", mk(plan.RuleAll, 1)},
-		{"rewrite-dop4", mk(0, 4)},
-		{"norewrite-dop4", mk(plan.RuleAll, 4)},
+		{"rewrite-serial", mk(0, 1, false)},
+		{"norewrite-serial", mk(plan.RuleAll, 1, false)},
+		{"rewrite-dop4", mk(0, 4, false)},
+		{"norewrite-dop4", mk(plan.RuleAll, 4, false)},
+		{"rewrite-serial-rowpath", mk(0, 1, true)},
+		{"rewrite-dop4-rowpath", mk(0, 4, true)},
 	}
 
 	for trial := 0; trial < 80; trial++ {

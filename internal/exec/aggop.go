@@ -12,6 +12,12 @@ type AggInstance struct {
 	Spec *AggSpec
 	Args []Scalar
 	Star bool // COUNT(*): no arguments are evaluated
+	// ArgOrds, when non-nil (same length as Args), gives the input column
+	// ordinal of every argument: the planner sets it when each argument is a
+	// plain column reference, unlocking the vectorized StepBatch path that
+	// reads arguments straight out of batch columns instead of evaluating
+	// Args row by row.
+	ArgOrds []int
 }
 
 // step folds one row, reusing buf for argument evaluation (Step
@@ -43,10 +49,20 @@ func argBuffers(aggs []AggInstance) [][]sqltypes.Value {
 // aggregates. With no group keys it is a scalar aggregate: exactly one
 // output row, produced even for empty input (Init + Terminate only — the
 // semantics Aggify's empty-cursor case relies on).
+//
+// When the child produces batches natively (and NoBatch is unset) the input
+// is consumed through the vectorized fold in aggbatch.go; groups and rows
+// are visited in the same order on both paths, so results are byte-identical.
 type HashAggOp struct {
 	Child     Operator
 	GroupKeys []Scalar
 	Aggs      []AggInstance
+	// GroupOrds, when non-nil (same length as GroupKeys), gives the input
+	// column ordinal of every group key for the vectorized fold.
+	GroupOrds []int
+	// NoBatch forces the row-at-a-time path (the planner sets it under
+	// Options.DisableBatch, keeping the row path benchmarkable/testable).
+	NoBatch bool
 
 	groups []Row
 	pos    int
@@ -64,22 +80,48 @@ func (o *HashAggOp) Open(ctx *Ctx) error {
 	}
 	defer o.Child.Close()
 
-	type group struct {
-		keys []sqltypes.Value
-		aggs []Aggregator
+	var order []*pagGroup
+	if !o.NoBatch && CanBatch(o.Child) && BatchWorthwhile(len(o.GroupKeys), o.GroupOrds, o.Aggs) {
+		f := newBatchAggFold(o.GroupKeys, o.GroupOrds, o.Aggs, true)
+		if err := f.run(ctx, o.Child.(BatchOperator)); err != nil {
+			return err
+		}
+		order = f.order
+	} else {
+		var err error
+		if order, err = o.rowFold(ctx); err != nil {
+			return err
+		}
 	}
-	newGroup := func(keys []sqltypes.Value) *group {
-		g := &group{keys: keys, aggs: make([]Aggregator, len(o.Aggs))}
+	for _, g := range order {
+		out := make(Row, len(g.keys)+len(g.aggs))
+		copy(out, g.keys)
+		for i, a := range g.aggs {
+			v, err := a.Result(ctx)
+			if err != nil {
+				return err
+			}
+			out[len(g.keys)+i] = v
+		}
+		o.groups = append(o.groups, out)
+	}
+	return nil
+}
+
+// rowFold is the row-at-a-time accumulation loop.
+func (o *HashAggOp) rowFold(ctx *Ctx) ([]*pagGroup, error) {
+	newGroup := func(keys []sqltypes.Value) *pagGroup {
+		g := &pagGroup{keys: keys, aggs: make([]Aggregator, len(o.Aggs))}
 		for i, ai := range o.Aggs {
 			g.aggs[i] = ai.Spec.New()
 			g.aggs[i].Reset()
 		}
 		return g
 	}
-	table := map[uint64][]*group{}
+	table := map[uint64][]*pagGroup{}
 	bufs := argBuffers(o.Aggs)
-	var order []*group // preserve first-seen group order for determinism
-	var scalarGroup *group
+	var order []*pagGroup // preserve first-seen group order for determinism
+	var scalarGroup *pagGroup
 	if len(o.GroupKeys) == 0 {
 		scalarGroup = newGroup(nil)
 		order = append(order, scalarGroup)
@@ -88,21 +130,21 @@ func (o *HashAggOp) Open(ctx *Ctx) error {
 	for {
 		row, err := o.Child.Next(ctx)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if row == nil {
-			break
+			return order, nil
 		}
 		n++
 		if n%1024 == 0 && ctx.Interrupted() {
-			return ErrInterrupted
+			return nil, ErrInterrupted
 		}
 		g := scalarGroup
 		if g == nil {
 			keys := make([]sqltypes.Value, len(o.GroupKeys))
 			for i, k := range o.GroupKeys {
 				if keys[i], err = k(ctx, row); err != nil {
-					return err
+					return nil, err
 				}
 			}
 			h := sqltypes.HashRow(keys)
@@ -120,23 +162,10 @@ func (o *HashAggOp) Open(ctx *Ctx) error {
 		}
 		for i := range o.Aggs {
 			if err := o.Aggs[i].step(ctx, g.aggs[i], row, bufs[i]); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	for _, g := range order {
-		out := make(Row, len(g.keys)+len(g.aggs))
-		copy(out, g.keys)
-		for i, a := range g.aggs {
-			v, err := a.Result(ctx)
-			if err != nil {
-				return err
-			}
-			out[len(g.keys)+i] = v
-		}
-		o.groups = append(o.groups, out)
-	}
-	return nil
 }
 
 // Next implements Operator.
@@ -303,6 +332,11 @@ type ParallelAggOp struct {
 	GroupKeys []Scalar
 	Aggs      []AggInstance
 	Workers   int
+	// GroupOrds, when non-nil (same length as GroupKeys), gives the input
+	// column ordinal of every group key for the vectorized fold.
+	GroupOrds []int
+	// NoBatch forces the row-at-a-time path (set under Options.DisableBatch).
+	NoBatch bool
 
 	groups []Row
 	pos    int
@@ -314,6 +348,7 @@ func (o *ParallelAggOp) BufferedRows() int { return len(o.groups) }
 type pagGroup struct {
 	keys []sqltypes.Value
 	aggs []Aggregator
+	sel  []int // transient per-batch selection vector (batchAggFold only)
 }
 
 // Open implements Operator.
@@ -417,7 +452,17 @@ func (o *ParallelAggOp) runPartitioned(ctx *Ctx) ([]map[uint64][]*pagGroup, [][]
 				abort.Do(func() { close(quit) })
 				return
 			}
-			partials[w], orders[w], errs[w] = o.aggregateStream(wctx, part.Next)
+			if !o.NoBatch && CanBatch(part) && BatchWorthwhile(len(o.GroupKeys), o.GroupOrds, o.Aggs) {
+				// Vectorized worker fold. preScalar is false: an empty
+				// partition must contribute no partial, exactly like
+				// aggregateStream (Open's scalar fallback supplies the
+				// Init+Terminate row when every partition is empty).
+				f := newBatchAggFold(o.GroupKeys, o.GroupOrds, o.Aggs, false)
+				errs[w] = f.run(wctx, part.(BatchOperator))
+				partials[w], orders[w] = f.table, f.order
+			} else {
+				partials[w], orders[w], errs[w] = o.aggregateStream(wctx, part.Next)
+			}
 			if errs[w] != nil {
 				abort.Do(func() { close(quit) })
 			}

@@ -48,12 +48,14 @@ func workerCtx(parent *Ctx, quit <-chan struct{}) (*Ctx, func()) {
 	return &w, flush
 }
 
-// ScanSplit owns one shared snapshot of a table's rows and parcels it into
-// NParts contiguous ranges. All ParallelScanOp siblings of one execution
-// share a split, so the table is read (and its logical reads charged)
-// exactly once, and partition i always holds rows strictly before partition
-// i+1 in serial scan order — the property that lets parallel plans
-// reproduce serial output orders deterministically.
+// ScanSplit owns one frozen snapshot of a table's slot range and parcels it
+// into NParts contiguous streaming cursors. All ParallelScanOp siblings of
+// one execution share a split, so the table is locked exactly once, and
+// partition i always holds rows strictly before partition i+1 in serial scan
+// order — the property that lets parallel plans reproduce serial output
+// orders deterministically. Rows stream out of each cursor on demand (each
+// partition charges its own logical reads to its worker's stats), so a
+// parallel scan never materializes the table.
 type ScanSplit struct {
 	// Table is the base table to snapshot; when nil, Name is resolved
 	// through Ctx.Temp at first Open (table variables, temp tables).
@@ -63,14 +65,14 @@ type ScanSplit struct {
 	// NParts is the number of contiguous partitions.
 	NParts int
 
-	once sync.Once
-	rows []Row
-	err  error
+	once  sync.Once
+	curs  []*storage.Cursor
+	width int
+	err   error
 }
 
-// load snapshots the table once; the first caller's context is charged the
-// logical reads (its worker-local stats flush to the session either way).
-func (s *ScanSplit) load(ctx *Ctx) ([]Row, error) {
+// load freezes the slot snapshot and carves the partition cursors once.
+func (s *ScanSplit) load(ctx *Ctx) error {
 	s.once.Do(func() {
 		tab := s.Table
 		if tab == nil {
@@ -85,75 +87,120 @@ func (s *ScanSplit) load(ctx *Ctx) ([]Row, error) {
 			}
 			tab = t
 		}
-		tab.Scan(ctx.Snap, ctx.Stats, func(_ int, row []sqltypes.Value) bool {
-			s.rows = append(s.rows, row)
-			return true
-		})
+		n := s.NParts
+		if n < 1 {
+			n = 1
+		}
+		s.curs = tab.SplitCursors(ctx.Snap, n)
+		s.width = tab.Schema.Len()
 	})
-	return s.rows, s.err
+	return s.err
 }
 
-// part returns partition i's contiguous row range.
-func (s *ScanSplit) part(ctx *Ctx, i int) ([]Row, error) {
-	rows, err := s.load(ctx)
-	if err != nil {
-		return nil, err
+// cursor returns partition i's streaming cursor and the table width.
+func (s *ScanSplit) cursor(ctx *Ctx, i int) (*storage.Cursor, int, error) {
+	if err := s.load(ctx); err != nil {
+		return nil, 0, err
 	}
-	n := s.NParts
-	if n < 1 {
-		n = 1
-	}
-	chunk := (len(rows) + n - 1) / n
-	lo := i * chunk
-	hi := lo + chunk
-	if lo > len(rows) {
-		lo = len(rows)
-	}
-	if hi > len(rows) {
-		hi = len(rows)
-	}
-	return rows[lo:hi], nil
+	return s.curs[i], s.width, nil
 }
 
 // ParallelScanOp is one partition of a range-partitioned table scan. The
 // planner instantiates the subtree below an exchange once per worker; each
-// instance carries the same ScanSplit and its own Part index.
+// instance carries the same ScanSplit and its own Part index. It is a native
+// batch producer: a batched consumer (the vectorized aggregation fold) pulls
+// whole column batches straight off the partition's cursor.
 type ParallelScanOp struct {
 	Split *ScanSplit
 	Part  int
 
-	rows []Row
-	pos  int
+	cur   *storage.Cursor
+	width int
+	buf   []Row
+	pos   int
+	eof   bool
+	batch *Batch
 }
 
 // Open implements Operator.
 func (o *ParallelScanOp) Open(ctx *Ctx) error {
+	o.buf = nil
 	o.pos = 0
-	rows, err := o.Split.part(ctx, o.Part)
-	o.rows = rows
-	return err
+	o.eof = false
+	cur, width, err := o.Split.cursor(ctx, o.Part)
+	if err != nil {
+		return err
+	}
+	cur.Reset()
+	o.cur = cur
+	o.width = width
+	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator, streaming the partition in cursor-sized refills.
 func (o *ParallelScanOp) Next(ctx *Ctx) (Row, error) {
-	if o.pos%1024 == 0 && ctx.Interrupted() {
-		return nil, ErrInterrupted
+	for o.pos >= len(o.buf) {
+		if o.eof {
+			return nil, nil
+		}
+		if ctx.Interrupted() {
+			return nil, ErrInterrupted
+		}
+		if o.buf == nil {
+			o.buf = make([]Row, 0, DefaultBatchSize)
+		}
+		o.buf = o.buf[:0]
+		o.pos = 0
+		if o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+			o.buf = append(o.buf, row)
+		}) == 0 {
+			o.eof = true
+		}
 	}
-	if o.pos >= len(o.rows) {
-		return nil, nil
-	}
-	r := o.rows[o.pos]
+	r := o.buf[o.pos]
 	o.pos++
 	return r, nil
 }
 
+// NextBatch implements BatchOperator.
+func (o *ParallelScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if o.eof {
+		return nil, nil
+	}
+	if ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
+	if o.batch == nil {
+		o.batch = NewBatch(o.width)
+	}
+	b := o.batch
+	b.Reset(o.width)
+	if o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+		b.AppendRow(row)
+	}) == 0 {
+		o.eof = true
+		return nil, nil
+	}
+	return b, nil
+}
+
+// BatchCapable implements batchCapable.
+func (o *ParallelScanOp) BatchCapable() bool { return true }
+
 // Close implements Operator.
-func (o *ParallelScanOp) Close() { o.rows = nil }
+func (o *ParallelScanOp) Close() {
+	o.cur = nil
+	o.buf = nil
+}
 
 // exchangeWorker drains part into out under a worker context, honouring
-// quit on every send. The worker's stats flush before out is closed, so a
-// consumer that has seen EOF also sees the flushed reads.
-func exchangeWorker(parent *Ctx, quit <-chan struct{}, part Operator, out chan<- Row, errp *error) {
+// quit on every send. Rows ship between workers and the consumer as whole
+// batches — one channel operation per ~DefaultBatchSize rows instead of one
+// per row. Native batch producers are detached from their reusable buffer
+// with Clone before the send; row-only subtrees are packed into fresh
+// batches here. The worker's stats flush before out is closed, so a consumer
+// that has seen EOF also sees the flushed reads.
+func exchangeWorker(parent *Ctx, quit <-chan struct{}, part Operator, out chan<- *Batch, errp *error) {
 	ctx, flush := workerCtx(parent, quit)
 	defer close(out)
 	defer flush()
@@ -162,6 +209,32 @@ func exchangeWorker(parent *Ctx, quit <-chan struct{}, part Operator, out chan<-
 		*errp = err
 		return
 	}
+	if CanBatch(part) {
+		src := part.(BatchOperator)
+		for {
+			if ctx.Interrupted() {
+				*errp = ErrInterrupted
+				return
+			}
+			b, err := src.NextBatch(ctx)
+			if err != nil {
+				*errp = err
+				return
+			}
+			if b == nil {
+				return
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			select {
+			case out <- b.Clone():
+			case <-quit:
+				return
+			}
+		}
+	}
+	var b *Batch
 	for {
 		r, err := part.Next(ctx)
 		if err != nil {
@@ -169,34 +242,52 @@ func exchangeWorker(parent *Ctx, quit <-chan struct{}, part Operator, out chan<-
 			return
 		}
 		if r == nil {
+			if b != nil && b.Len() > 0 {
+				select {
+				case out <- b:
+				case <-quit:
+				}
+			}
 			return
 		}
-		select {
-		case out <- r:
-		case <-quit:
-			return
+		if b == nil {
+			b = NewBatch(len(r))
+		}
+		b.AppendRow(r)
+		if b.Len() >= DefaultBatchSize {
+			select {
+			case out <- b:
+			case <-quit:
+				return
+			}
+			// The consumer owns the sent batch; start a fresh one.
+			b = NewBatch(len(r))
 		}
 	}
 }
 
 // ExchangeOp gathers the rows of N partitioned child subtrees, each pulled
-// by its own worker goroutine through a bounded channel. Ordered mode
-// drains partitions in index order — with contiguous range partitions the
-// output reproduces the serial scan order exactly; unordered mode emits
-// rows as workers produce them (nondeterministic interleaving, for
-// consumers that impose their own order).
+// by its own worker goroutine through a bounded channel of whole batches.
+// Ordered mode drains partitions in index order — with contiguous range
+// partitions the output reproduces the serial scan order exactly; unordered
+// mode emits batches as workers produce them (nondeterministic interleaving,
+// for consumers that impose their own order). Row consumers unpack each
+// received batch through Next; batch consumers take them whole via
+// NextBatch.
 type ExchangeOp struct {
 	Parts   []Operator
 	Ordered bool
-	// Buffer is the per-partition channel capacity (default 64).
+	// Buffer is the per-partition channel capacity in batches (default 64).
 	Buffer int
 
 	quit    chan struct{}
 	wg      sync.WaitGroup
-	chans   []chan Row
+	chans   []chan *Batch
 	errs    []error
-	gather  chan Row
+	gather  chan *Batch
 	cur     int
+	pending []Row
+	ppos    int
 	started bool
 	closed  bool
 }
@@ -208,16 +299,18 @@ func (o *ExchangeOp) Open(ctx *Ctx) error {
 		buf = defaultExchangeBuffer
 	}
 	o.quit = make(chan struct{})
-	o.chans = make([]chan Row, len(o.Parts))
+	o.chans = make([]chan *Batch, len(o.Parts))
 	o.errs = make([]error, len(o.Parts))
 	o.cur = 0
+	o.pending = nil
+	o.ppos = 0
 	o.started = true
 	o.closed = false
 	for i, part := range o.Parts {
-		ch := make(chan Row, buf)
+		ch := make(chan *Batch, buf)
 		o.chans[i] = ch
 		o.wg.Add(1)
-		go func(i int, part Operator, ch chan Row) {
+		go func(i int, part Operator, ch chan *Batch) {
 			defer o.wg.Done()
 			exchangeWorker(ctx, o.quit, part, ch, &o.errs[i])
 		}(i, part, ch)
@@ -225,7 +318,7 @@ func (o *ExchangeOp) Open(ctx *Ctx) error {
 	if !o.Ordered {
 		// Funnel all partitions into one channel; the funnel exits once
 		// every worker channel is closed (or quit fires mid-forward).
-		o.gather = make(chan Row, buf)
+		o.gather = make(chan *Batch, buf)
 		o.wg.Add(1)
 		go func() {
 			defer o.wg.Done()
@@ -233,11 +326,11 @@ func (o *ExchangeOp) Open(ctx *Ctx) error {
 			var fan sync.WaitGroup
 			for _, ch := range o.chans {
 				fan.Add(1)
-				go func(ch chan Row) {
+				go func(ch chan *Batch) {
 					defer fan.Done()
-					for r := range ch {
+					for b := range ch {
 						select {
-						case o.gather <- r:
+						case o.gather <- b:
 						case <-o.quit:
 							return
 						}
@@ -250,19 +343,44 @@ func (o *ExchangeOp) Open(ctx *Ctx) error {
 	return nil
 }
 
-// Next implements Operator.
+// Next implements Operator: it unpacks received batches one row at a time.
 func (o *ExchangeOp) Next(ctx *Ctx) (Row, error) {
+	for {
+		if o.ppos < len(o.pending) {
+			r := o.pending[o.ppos]
+			o.ppos++
+			return r, nil
+		}
+		b, err := o.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.pending = b.Rows()
+		o.ppos = 0
+	}
+}
+
+// NextBatch implements BatchOperator. The returned batch was detached from
+// its producer by the worker, so unlike most producers it remains valid
+// after the next call — but consumers should not rely on that.
+func (o *ExchangeOp) NextBatch(ctx *Ctx) (*Batch, error) {
 	if !o.started {
 		return nil, nil
 	}
+	if ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
 	if o.Ordered {
 		for o.cur < len(o.chans) {
-			r, err := o.recv(ctx, o.chans[o.cur])
+			b, err := o.recv(ctx, o.chans[o.cur])
 			if err != nil {
 				return nil, err
 			}
-			if r != nil {
-				return r, nil
+			if b != nil {
+				return b, nil
 			}
 			// Partition drained: surface its error before moving on.
 			if werr := o.errs[o.cur]; werr != nil {
@@ -272,27 +390,32 @@ func (o *ExchangeOp) Next(ctx *Ctx) (Row, error) {
 		}
 		return nil, o.firstErr()
 	}
-	r, err := o.recv(ctx, o.gather)
+	b, err := o.recv(ctx, o.gather)
 	if err != nil {
 		return nil, err
 	}
-	if r == nil {
+	if b == nil {
 		return nil, o.firstErr()
 	}
-	return r, nil
+	return b, nil
 }
 
-// recv pulls one row, waking up on consumer-side cancellation.
-func (o *ExchangeOp) recv(ctx *Ctx, ch <-chan Row) (Row, error) {
+// BatchCapable implements batchCapable: exchange transport is batched end
+// to end (row-only subtrees are packed worker-side, off the consumer's
+// critical path).
+func (o *ExchangeOp) BatchCapable() bool { return true }
+
+// recv pulls one batch, waking up on consumer-side cancellation.
+func (o *ExchangeOp) recv(ctx *Ctx, ch <-chan *Batch) (*Batch, error) {
 	select {
-	case r := <-ch:
-		return r, nil
+	case b := <-ch:
+		return b, nil
 	default:
 	}
 	// A nil Interrupt/Done case never fires, which is the wanted no-op.
 	select {
-	case r := <-ch:
-		return r, nil
+	case b := <-ch:
+		return b, nil
 	case <-o.quit:
 		return nil, ErrInterrupted
 	case <-ctx.Interrupt:
@@ -346,7 +469,7 @@ type MergeExchangeOp struct {
 
 	quit    chan struct{}
 	wg      sync.WaitGroup
-	chans   []chan Row
+	chans   []chan *Batch
 	errs    []error
 	heads   []mergeHead
 	started bool
@@ -354,10 +477,14 @@ type MergeExchangeOp struct {
 	primed  bool
 }
 
+// mergeHead is one partition's merge cursor: the current row plus the
+// received batch it came from and the index of the next row to unpack.
 type mergeHead struct {
-	row  Row
-	keys []sqltypes.Value
-	eof  bool
+	row   Row
+	keys  []sqltypes.Value
+	batch *Batch
+	next  int
+	eof   bool
 }
 
 // Open implements Operator.
@@ -367,17 +494,17 @@ func (o *MergeExchangeOp) Open(ctx *Ctx) error {
 		buf = defaultExchangeBuffer
 	}
 	o.quit = make(chan struct{})
-	o.chans = make([]chan Row, len(o.Parts))
+	o.chans = make([]chan *Batch, len(o.Parts))
 	o.errs = make([]error, len(o.Parts))
 	o.heads = make([]mergeHead, len(o.Parts))
 	o.started = true
 	o.closed = false
 	o.primed = false
 	for i, part := range o.Parts {
-		ch := make(chan Row, buf)
+		ch := make(chan *Batch, buf)
 		o.chans[i] = ch
 		o.wg.Add(1)
-		go func(i int, part Operator, ch chan Row) {
+		go func(i int, part Operator, ch chan *Batch) {
 			defer o.wg.Done()
 			exchangeWorker(ctx, o.quit, part, ch, &o.errs[i])
 		}(i, part, ch)
@@ -385,29 +512,39 @@ func (o *MergeExchangeOp) Open(ctx *Ctx) error {
 	return nil
 }
 
-// advance refills partition i's head slot.
+// advance refills partition i's head slot, pulling a fresh batch from the
+// worker only when the current one is spent.
 func (o *MergeExchangeOp) advance(ctx *Ctx, i int) error {
-	var r Row
-	select {
-	case r = <-o.chans[i]:
-	default:
+	h := &o.heads[i]
+	for h.batch == nil || h.next >= h.batch.Len() {
+		var b *Batch
 		select {
-		case r = <-o.chans[i]:
-		case <-o.quit:
-			return ErrInterrupted
-		case <-ctx.Interrupt:
-			return ErrInterrupted
-		case <-ctx.Done:
-			return ErrInterrupted
+		case b = <-o.chans[i]:
+		default:
+			select {
+			case b = <-o.chans[i]:
+			case <-o.quit:
+				return ErrInterrupted
+			case <-ctx.Interrupt:
+				return ErrInterrupted
+			case <-ctx.Done:
+				return ErrInterrupted
+			}
 		}
-	}
-	if r == nil {
-		if err := o.errs[i]; err != nil {
-			return err
+		if b == nil {
+			if err := o.errs[i]; err != nil {
+				return err
+			}
+			o.heads[i] = mergeHead{eof: true}
+			return nil
 		}
-		o.heads[i] = mergeHead{eof: true}
-		return nil
+		h.batch = b
+		h.next = 0
 	}
+	// Materialize into a fresh slice: the head row outlives its batch slot
+	// (the consumer returns it after advance overwrites the head).
+	r := h.batch.Row(h.next, nil)
+	h.next++
 	keys := make([]sqltypes.Value, len(o.Keys))
 	for k, key := range o.Keys {
 		v, err := key(ctx, r)
@@ -416,7 +553,8 @@ func (o *MergeExchangeOp) advance(ctx *Ctx, i int) error {
 		}
 		keys[k] = v
 	}
-	o.heads[i] = mergeHead{row: r, keys: keys}
+	h.row = r
+	h.keys = keys
 	return nil
 }
 

@@ -63,42 +63,87 @@ func (o *OneRowOp) Next(*Ctx) (Row, error) {
 // Close implements Operator.
 func (o *OneRowOp) Close() {}
 
-// ScanOp scans a base table (or table variable / temp table).
+// ScanOp scans a base table (or table variable / temp table). It streams
+// from a storage cursor one batch at a time: the cursor freezes the slot
+// slice at Open (so concurrent inserts during iteration — e.g. INSERT ...
+// SELECT on the same table — do not loop forever) but rows are only walked,
+// charged, and buffered as the consumer pulls, so a TOP or an early close
+// over a large table never materializes the whole table.
 type ScanOp struct {
 	Table *storage.Table
 
-	rows [][]sqltypes.Value
-	pos  int
+	cur   *storage.Cursor
+	buf   []Row
+	pos   int
+	eof   bool
+	batch *Batch
 }
 
-// Open implements Operator. The scan snapshots matching row references so
-// concurrent inserts during iteration (e.g. INSERT ... SELECT on the same
-// table) do not loop forever.
+// Open implements Operator.
 func (o *ScanOp) Open(ctx *Ctx) error {
-	o.rows = o.rows[:0]
+	o.cur = o.Table.NewCursor(ctx.Snap)
+	o.buf = o.buf[:0]
 	o.pos = 0
-	o.Table.Scan(ctx.Snap, ctx.Stats, func(_ int, row []sqltypes.Value) bool {
-		o.rows = append(o.rows, row)
-		return true
-	})
+	o.eof = false
 	return nil
 }
 
+// BufferedRows reports the rows currently buffered (at most one batch) —
+// the regression guard for the old materialize-everything-at-Open behavior.
+func (o *ScanOp) BufferedRows() int { return len(o.buf) }
+
 // Next implements Operator.
 func (o *ScanOp) Next(ctx *Ctx) (Row, error) {
-	if o.pos%1024 == 0 && ctx.Interrupted() {
-		return nil, ErrInterrupted
+	for o.pos >= len(o.buf) {
+		if o.eof {
+			return nil, nil
+		}
+		if ctx.Interrupted() {
+			return nil, ErrInterrupted
+		}
+		o.buf = o.buf[:0]
+		o.pos = 0
+		if o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+			o.buf = append(o.buf, row)
+		}) == 0 {
+			o.eof = true
+		}
 	}
-	if o.pos >= len(o.rows) {
-		return nil, nil
-	}
-	r := o.rows[o.pos]
+	r := o.buf[o.pos]
 	o.pos++
 	return r, nil
 }
 
+// NextBatch implements BatchOperator, filling a columnar batch straight
+// from the storage cursor.
+func (o *ScanOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if o.eof {
+		return nil, nil
+	}
+	if ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
+	w := o.Table.Schema.Len()
+	if o.batch == nil {
+		o.batch = NewBatch(w)
+	}
+	b := o.batch
+	b.Reset(w)
+	o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+		b.AppendRow(row)
+	})
+	if b.Len() == 0 {
+		o.eof = true
+		return nil, nil
+	}
+	return b, nil
+}
+
+// BatchCapable implements the batch contract: scans produce batches natively.
+func (o *ScanOp) BatchCapable() bool { return true }
+
 // Close implements Operator.
-func (o *ScanOp) Close() { o.rows = nil }
+func (o *ScanOp) Close() { o.cur = nil; o.buf = nil }
 
 // IndexSeekOp returns the rows of Table whose Column equals the key scalar,
 // which is evaluated at Open (it may reference variables or outer rows).
@@ -107,8 +152,9 @@ type IndexSeekOp struct {
 	Column string
 	Key    Scalar
 
-	rows [][]sqltypes.Value
-	pos  int
+	rows  [][]sqltypes.Value
+	pos   int
+	batch *Batch
 }
 
 // Open implements Operator.
@@ -141,6 +187,31 @@ func (o *IndexSeekOp) Next(*Ctx) (Row, error) {
 	return r, nil
 }
 
+// NextBatch implements BatchOperator over the matched rows (index matches
+// are bounded by key selectivity, so they stay materialized at Open).
+func (o *IndexSeekOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if o.pos >= len(o.rows) {
+		return nil, nil
+	}
+	if ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
+	w := o.Table.Schema.Len()
+	if o.batch == nil {
+		o.batch = NewBatch(w)
+	}
+	b := o.batch
+	b.Reset(w)
+	for o.pos < len(o.rows) && b.Len() < DefaultBatchSize {
+		b.AppendRow(o.rows[o.pos])
+		o.pos++
+	}
+	return b, nil
+}
+
+// BatchCapable implements the batch contract.
+func (o *IndexSeekOp) BatchCapable() bool { return true }
+
 // Close implements Operator.
 func (o *IndexSeekOp) Close() { o.rows = nil }
 
@@ -167,6 +238,12 @@ func (o *LateScanOp) Open(ctx *Ctx) error {
 
 // Next implements Operator.
 func (o *LateScanOp) Next(ctx *Ctx) (Row, error) { return o.scan.Next(ctx) }
+
+// NextBatch implements BatchOperator via the inner scan.
+func (o *LateScanOp) NextBatch(ctx *Ctx) (*Batch, error) { return o.scan.NextBatch(ctx) }
+
+// BatchCapable implements the batch contract.
+func (o *LateScanOp) BatchCapable() bool { return true }
 
 // Close implements Operator.
 func (o *LateScanOp) Close() { o.scan.Close() }
@@ -223,6 +300,9 @@ func (o *BufferScanOp) Close() {}
 type FilterOp struct {
 	Child Operator
 	Pred  Scalar
+
+	out     *Batch
+	scratch Row
 }
 
 // Open implements Operator.
@@ -245,6 +325,46 @@ func (o *FilterOp) Next(ctx *Ctx) (Row, error) {
 	}
 }
 
+// NextBatch implements BatchOperator: the predicate is evaluated per row on
+// a scratch view of the child batch, and qualifying rows are gathered into
+// the output batch. Qualifier-free stretches still advance a whole batch
+// per child pull, so the per-row interrupt stride is preserved by the
+// producers beneath.
+func (o *FilterOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	src := o.Child.(BatchOperator)
+	for {
+		in, err := src.NextBatch(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		if o.out == nil {
+			o.out = NewBatch(in.Width())
+		}
+		out := o.out
+		out.Reset(in.Width())
+		for i := 0; i < in.Len(); i++ {
+			o.scratch = in.Row(i, o.scratch)
+			v, err := o.Pred(ctx, o.scratch)
+			if err != nil {
+				return nil, err
+			}
+			if v.Truthy() {
+				out.AppendRow(o.scratch)
+			}
+		}
+		if out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// BatchCapable reports the child's capability: a filter is a pass-through
+// transformer on the batch path.
+func (o *FilterOp) BatchCapable() bool { return CanBatch(o.Child) }
+
 // Close implements Operator.
 func (o *FilterOp) Close() { o.Child.Close() }
 
@@ -252,6 +372,9 @@ func (o *FilterOp) Close() { o.Child.Close() }
 type ProjectOp struct {
 	Child Operator
 	Exprs []Scalar
+
+	out     *Batch
+	scratch Row
 }
 
 // Open implements Operator.
@@ -271,6 +394,37 @@ func (o *ProjectOp) Next(ctx *Ctx) (Row, error) {
 	}
 	return out, nil
 }
+
+// NextBatch implements BatchOperator, evaluating the projection over a
+// scratch view of each input row into the output batch.
+func (o *ProjectOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	src := o.Child.(BatchOperator)
+	in, err := src.NextBatch(ctx)
+	if err != nil || in == nil {
+		return nil, err
+	}
+	if o.out == nil {
+		o.out = NewBatch(len(o.Exprs))
+	}
+	out := o.out
+	out.Reset(len(o.Exprs))
+	for i := 0; i < in.Len(); i++ {
+		o.scratch = in.Row(i, o.scratch)
+		for j, s := range o.Exprs {
+			v, err := s(ctx, o.scratch)
+			if err != nil {
+				return nil, err
+			}
+			out.Cols[j].Append(v)
+		}
+		out.n++
+	}
+	return out, nil
+}
+
+// BatchCapable reports the child's capability: a projection is a
+// pass-through transformer on the batch path.
+func (o *ProjectOp) BatchCapable() bool { return CanBatch(o.Child) }
 
 // Close implements Operator.
 func (o *ProjectOp) Close() { o.Child.Close() }

@@ -47,6 +47,10 @@ type Options struct {
 	// Parallelism > 1 allows parallel aggregation (via the aggregate Merge
 	// contract) for order-insensitive aggregations over large inputs.
 	Parallelism int
+	// DisableBatch forces row-at-a-time execution even where the vectorized
+	// batch path would apply (benchmarks and property tests run both paths
+	// and compare byte for byte).
+	DisableBatch bool
 	// MaxRecursion caps recursive CTE iterations (0 = engine default).
 	MaxRecursion int
 }

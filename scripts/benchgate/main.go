@@ -1,13 +1,22 @@
 // Command benchgate is the CI bench-regression gate. It runs the short
 // ^BenchmarkGate suite (see bench_gate_test.go), distills each benchmark to
 // its best ns/op across -count runs, and compares the result against the
-// committed snapshot BENCH_4.json:
+// committed snapshot BENCH_5.json:
 //
 //   - any benchmark more than -threshold (default 25%) slower than its
 //     snapshot entry fails the gate;
 //   - the serial ÷ parallel ns/op ratio of BenchmarkGateParallelAgg is
-//     recorded as parallel_speedup and must be ≥ 2 on hosts with at least
-//     4 CPUs (smaller hosts record the ratio without enforcing it);
+//     recorded as parallel_speedup and must be ≥ 2 when enforcement is
+//     armed. Arming requires both the snapshot AND the current host to have
+//     at least 4 CPUs: -update refuses to arm the parallel cells on a
+//     smaller host (the recorded ratio would be meaningless), and a compare
+//     run on a smaller host prints a loud DISARMED banner instead of
+//     silently skipping (use -strict to turn the banner into a failure).
+//     A ≥4-CPU host comparing against an unarmed snapshot fails outright:
+//     the baseline must be re-recorded there so enforcement actually binds;
+//   - the row ÷ batch ns/op ratio of BenchmarkGateBatch is recorded as
+//     batch_speedup and must be ≥ 1.5 — both cells are serial, so the
+//     vectorized path has to pay for itself on any host;
 //   - the norewrite ÷ rewrite ns/op ratio of BenchmarkGatePushdown is
 //     recorded as pushdown_speedup and must be ≥ 1.5 — the predicate-
 //     pushdown rewrite has to actually pay for itself;
@@ -36,29 +45,42 @@ type benchResult struct {
 }
 
 type snapshot struct {
-	Note            string        `json:"note"`
-	NumCPU          int           `json:"num_cpu"`
-	Benchmarks      []benchResult `json:"benchmarks"`
-	ParallelSpeedup float64       `json:"parallel_speedup"`
-	PushdownSpeedup float64       `json:"pushdown_speedup"`
+	Note       string        `json:"note"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchResult `json:"benchmarks"`
+	// ParallelArmed records whether the snapshot was taken on a host where
+	// the ≥2× parallel enforcement is meaningful (NumCPU >= 4). Comparing on
+	// a multi-CPU host against an unarmed snapshot is a gate failure: the
+	// baseline must be re-recorded there.
+	ParallelArmed   bool    `json:"parallel_armed"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	BatchSpeedup    float64 `json:"batch_speedup"`
+	PushdownSpeedup float64 `json:"pushdown_speedup"`
 }
 
 const (
 	serialBench    = "BenchmarkGateParallelAgg/serial"
 	parallelBench  = "BenchmarkGateParallelAgg/maxdop=4"
+	batchBench     = "BenchmarkGateBatch/batch"
+	rowBench       = "BenchmarkGateBatch/row"
 	rewriteBench   = "BenchmarkGatePushdown/rewrite"
 	norewriteBench = "BenchmarkGatePushdown/norewrite"
+
+	// minParallelCPUs is the host size below which a 4-worker speedup ratio
+	// measures scheduler contention, not parallelism.
+	minParallelCPUs = 4
 )
 
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the snapshot with the current numbers")
-	snapPath := flag.String("snapshot", "BENCH_4.json", "snapshot file to compare against")
+	snapPath := flag.String("snapshot", "BENCH_5.json", "snapshot file to compare against")
 	benchRe := flag.String("bench", "^BenchmarkGate", "benchmark selection regex")
 	benchtime := flag.String("benchtime", "200ms", "per-benchmark measuring time")
 	count := flag.Int("count", 3, "runs per benchmark (best is kept)")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional slowdown vs the snapshot")
+	strict := flag.Bool("strict", false, "fail (instead of warn) when parallel enforcement is disarmed on this host")
 	flag.Parse()
 
 	results, err := runBenchmarks(*benchRe, *benchtime, *count)
@@ -68,10 +90,12 @@ func main() {
 	if len(results) == 0 {
 		fatalf("no benchmarks matched %q", *benchRe)
 	}
+	armed := runtime.NumCPU() >= minParallelCPUs
 	cur := snapshot{
-		Note:       "Bench-regression snapshot. Regenerate with: scripts/bench_regress.sh -update",
-		NumCPU:     runtime.NumCPU(),
-		Benchmarks: results,
+		Note:          "Bench-regression snapshot. Regenerate with: scripts/bench_regress.sh -update (parallel cells arm only on a >=4-CPU host)",
+		NumCPU:        runtime.NumCPU(),
+		Benchmarks:    results,
+		ParallelArmed: armed,
 	}
 	byName := map[string]benchResult{}
 	for _, r := range results {
@@ -80,6 +104,11 @@ func main() {
 	if s, ok := byName[serialBench]; ok {
 		if p, ok := byName[parallelBench]; ok && p.NsPerOp > 0 {
 			cur.ParallelSpeedup = round3(s.NsPerOp / p.NsPerOp)
+		}
+	}
+	if row, ok := byName[rowBench]; ok {
+		if bat, ok := byName[batchBench]; ok && bat.NsPerOp > 0 {
+			cur.BatchSpeedup = round3(row.NsPerOp / bat.NsPerOp)
 		}
 	}
 	if n, ok := byName[norewriteBench]; ok {
@@ -96,9 +125,18 @@ func main() {
 		fmt.Println(line)
 	}
 	fmt.Printf("parallel speedup (serial/maxdop=4): %.2fx on %d CPUs\n", cur.ParallelSpeedup, cur.NumCPU)
+	fmt.Printf("batch speedup (row/batch): %.2fx\n", cur.BatchSpeedup)
 	fmt.Printf("pushdown speedup (norewrite/rewrite): %.2fx\n", cur.PushdownSpeedup)
 
 	if *update {
+		if !armed {
+			// Refuse to bake a <4-CPU parallel baseline into the snapshot:
+			// the cells are recorded for reference, but parallel_armed stays
+			// false so a compare run can tell a real baseline from a bogus
+			// one instead of silently never enforcing.
+			fmt.Fprintf(os.Stderr, "benchgate: WARNING: updating on a %d-CPU host — parallel cells recorded UNARMED;\n", cur.NumCPU)
+			fmt.Fprintf(os.Stderr, "benchgate: re-run scripts/bench_regress.sh -update on a >=%d-CPU host to arm the >=2x parallel enforcement\n", minParallelCPUs)
+		}
 		buf, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
 			fatalf("%v", err)
@@ -106,7 +144,7 @@ func main() {
 		if err := os.WriteFile(*snapPath, append(buf, '\n'), 0o644); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Printf("snapshot written to %s\n", *snapPath)
+		fmt.Printf("snapshot written to %s (parallel_armed=%v)\n", *snapPath, armed)
 		return
 	}
 
@@ -119,10 +157,19 @@ func main() {
 		fatalf("parse %s: %v", *snapPath, err)
 	}
 
+	// Parallel cells are exempt from the per-benchmark threshold and
+	// missing/extra checks when enforcement is not armed on both sides: an
+	// unarmed number measures a different machine shape, not a regression.
+	parallelCell := func(name string) bool { return name == parallelBench }
+	enforceParallel := armed && prev.ParallelArmed
+
 	var failures []string
 	seen := map[string]bool{}
 	for _, old := range prev.Benchmarks {
 		seen[old.Name] = true
+		if parallelCell(old.Name) && !enforceParallel {
+			continue
+		}
 		now, ok := byName[old.Name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: in snapshot but did not run", old.Name))
@@ -135,18 +182,37 @@ func main() {
 		}
 	}
 	for _, r := range results {
-		if !seen[r.Name] {
+		if !seen[r.Name] && !(parallelCell(r.Name) && !enforceParallel) {
 			failures = append(failures, fmt.Sprintf("%s: not in snapshot (run scripts/bench_regress.sh -update)", r.Name))
 		}
 	}
-	// The ≥2× criterion only binds where 4 workers can actually run in
-	// parallel; single-core CI boxes record the ratio without enforcing it.
-	if runtime.NumCPU() >= 4 && cur.ParallelSpeedup < 2.0 {
+	switch {
+	case armed && !prev.ParallelArmed:
+		// The one silent-disarm shape that used to slip through: a multi-CPU
+		// CI host comparing against a baseline recorded on a small box. Fail
+		// until the baseline is re-recorded here, so the ≥2× check binds.
+		failures = append(failures, fmt.Sprintf(
+			"snapshot %s was recorded UNARMED on a %d-CPU host but this host has %d CPUs: re-record it here (scripts/bench_regress.sh -update) to arm parallel enforcement",
+			*snapPath, prev.NumCPU, runtime.NumCPU()))
+	case !armed:
+		banner := fmt.Sprintf("parallel enforcement DISARMED: host has %d CPUs (< %d) — the >=2x MAXDOP-4 check did NOT run",
+			runtime.NumCPU(), minParallelCPUs)
+		if *strict {
+			failures = append(failures, banner)
+		} else {
+			fmt.Fprintln(os.Stderr, "benchgate: WARNING: "+banner)
+		}
+	case cur.ParallelSpeedup < 2.0:
 		failures = append(failures, fmt.Sprintf("parallel speedup %.2fx < 2x at MAXDOP=4 on %d CPUs",
 			cur.ParallelSpeedup, runtime.NumCPU()))
 	}
-	// The pushdown ratio is CPU-count-independent (both cells are serial), so
-	// it binds everywhere the pair ran.
+	// The batch ratio is CPU-count-independent (both cells are serial), so it
+	// binds everywhere the pair ran.
+	if cur.BatchSpeedup > 0 && cur.BatchSpeedup < 1.5 {
+		failures = append(failures, fmt.Sprintf("batch speedup %.2fx < 1.5x (vectorized path not paying for itself)",
+			cur.BatchSpeedup))
+	}
+	// So is the pushdown ratio.
 	if cur.PushdownSpeedup > 0 && cur.PushdownSpeedup < 1.5 {
 		failures = append(failures, fmt.Sprintf("pushdown speedup %.2fx < 1.5x (rewrite pass not paying for itself)",
 			cur.PushdownSpeedup))

@@ -134,7 +134,7 @@ daemon3=""
 echo "kill-and-recover OK (committed rows survived, open txn discarded)"
 
 echo "== bench-regression gate"
-# Short ^BenchmarkGate suite vs the committed BENCH_4.json snapshot; accept
+# Short ^BenchmarkGate suite vs the committed BENCH_5.json snapshot; accept
 # intentional changes with:  scripts/bench_regress.sh -update
 ./scripts/bench_regress.sh
 
