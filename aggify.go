@@ -107,11 +107,11 @@ func (db *DB) SetMaxDOP(n int) {
 // Exec parses and executes a script: DDL, DML, control flow, CREATE
 // FUNCTION / PROCEDURE / AGGREGATE.
 func (db *DB) Exec(src string) error {
-	stmts, err := parser.Parse(src)
+	stmts, spans, err := parser.ParseSpans(src)
 	if err != nil {
 		return err
 	}
-	_, err = interp.RunScript(db.sess, stmts)
+	_, err = interp.RunScriptSpans(db.sess, src, stmts, spans)
 	return err
 }
 
@@ -132,7 +132,9 @@ func (db *DB) Query(sql string) (*Rows, error) {
 	}
 	switch st := stmts[0].(type) {
 	case *ast.QueryStmt:
+		rec := db.sess.BeginStmt(sql)
 		cols, rows, err := db.sess.Query(st.Query, db.sess.Ctx(nil, nil))
+		db.sess.EndStmt(rec, err)
 		if err != nil {
 			return nil, err
 		}

@@ -170,7 +170,11 @@ func (sh *shell) stats() {
 		fmt.Printf("server: bytes in=%d out=%d latency p50=%dµs p99=%dµs slow=%d\n",
 			st.BytesIn, st.BytesOut, st.P50Micros, st.P99Micros, st.SlowCount)
 		for _, sq := range st.Slow {
-			fmt.Printf("server: slow %dµs %s\n", sq.Micros, sq.Summary)
+			if sq.Fingerprint != 0 {
+				fmt.Printf("server: slow %dµs x%d fp=%016x %s\n", sq.Micros, sq.Count, sq.Fingerprint, sq.Summary)
+			} else {
+				fmt.Printf("server: slow %dµs x%d %s\n", sq.Micros, sq.Count, sq.Summary)
+			}
 		}
 		return
 	}

@@ -22,6 +22,7 @@ type Cursor struct {
 	wt     *storage.Worktable
 	pos    int
 	opened bool
+	sess   *Session // owner while opened; feeds the session cursor gauge
 }
 
 // NewCursor declares a cursor over a query (DECLARE c CURSOR FOR q).
@@ -48,7 +49,11 @@ func (c *Cursor) Open(s *Session, ctx *exec.Ctx) error {
 		c.wt = storage.NewWorktable(s.Stats)
 	}
 	c.pos = 0
+	if !c.opened {
+		s.NoteCursorOpen(1)
+	}
 	c.opened = true
+	c.sess = s
 	// The cursor materializes its whole result here, so the frozen epoch a
 	// FETCH loop observes is the one pinned at OPEN — mutations after OPEN
 	// (including the loop body's own) never change the fetched rows.
@@ -99,11 +104,17 @@ func (c *Cursor) Close() error {
 		return fmt.Errorf("engine: cursor %s is not open", c.Name)
 	}
 	c.opened = false
+	if c.sess != nil {
+		c.sess.NoteCursorOpen(-1)
+	}
 	return nil
 }
 
 // Deallocate releases the cursor's worktable (dropping its backing file).
 func (c *Cursor) Deallocate() {
+	if c.opened && c.sess != nil {
+		c.sess.NoteCursorOpen(-1)
+	}
 	c.opened = false
 	if c.wt != nil {
 		c.wt.Close()

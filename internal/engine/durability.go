@@ -241,8 +241,24 @@ func (e *Engine) Checkpoint() error {
 		if err := wal.WriteCheckpoint(e.dur.dir, cp); err != nil {
 			return err
 		}
-		return e.dur.log.Reset()
+		if err := e.dur.log.Reset(); err != nil {
+			return err
+		}
+		e.checkpoints.Add(1)
+		return nil
 	})
+}
+
+// Checkpoints returns how many checkpoint passes have completed.
+func (e *Engine) Checkpoints() int64 { return e.checkpoints.Load() }
+
+// WALStats returns the attached log's cumulative counters plus its sync
+// mode; ok is false for in-memory engines.
+func (e *Engine) WALStats() (st wal.Stats, mode wal.SyncMode, ok bool) {
+	if e.dur == nil {
+		return wal.Stats{}, 0, false
+	}
+	return e.dur.log.StatsSnapshot(), e.dur.log.Mode(), true
 }
 
 // CloseData flushes the log, writes a final checkpoint, and detaches the

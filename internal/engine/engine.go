@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"aggify/internal/ast"
 	"aggify/internal/exec"
@@ -49,6 +50,17 @@ type Engine struct {
 	// directory); see durability.go.
 	dur *durability
 
+	// stmtStats is the per-fingerprint cumulative statement store backing
+	// aggify_stat_statements; see stmtstats.go.
+	stmtStats *StmtStats
+	// checkpoints counts completed checkpoint passes.
+	checkpoints atomic.Int64
+
+	// Live-session registry backing aggify_stat_activity.
+	sessMu   sync.Mutex
+	sessions map[uint64]*Session
+	nextSess uint64
+
 	// AggFactory builds an executable aggregate spec from a CREATE AGGREGATE
 	// definition; installed by the interpreter.
 	AggFactory func(def *ast.CreateAggregate, orderSensitive bool) (*exec.AggSpec, error)
@@ -79,6 +91,9 @@ func New() *Engine {
 		plans:   map[planKey]*plan.Plan{},
 		scalars: map[scalarKey]exec.Scalar{},
 		TxnMgr:  txn.NewManager(),
+
+		stmtStats: NewStmtStats(DefaultStmtStatsCap),
+		sessions:  map[uint64]*Session{},
 	}
 	for name, spec := range exec.BuiltinAggs() {
 		e.aggs[name] = spec
@@ -91,6 +106,9 @@ func New() *Engine {
 // under its own commit epoch.
 func (e *Engine) CreateTable(name string, schema *storage.Schema) (*storage.Table, error) {
 	name = strings.ToLower(name)
+	if strings.HasPrefix(name, SystemTablePrefix) {
+		return nil, fmt.Errorf("engine: the %s* name prefix is reserved for system tables", SystemTablePrefix)
+	}
 	e.mu.Lock()
 	if _, exists := e.tables[name]; exists {
 		e.mu.Unlock()
@@ -260,7 +278,13 @@ func (e *Engine) AggregateSource(name string) (*ast.CreateAggregate, bool) {
 }
 
 // cachedPlan compiles q under the catalog (or returns the cached plan).
+// Queries touching system views never enter the cache: their backing
+// tables are per-statement telemetry snapshots, so a cached plan would
+// freeze the first observation forever.
 func (e *Engine) cachedPlan(cat plan.Catalog, opts plan.Options, q *ast.Select) (*plan.Plan, error) {
+	if selectRefsSystemTable(q) {
+		return plan.Compile(cat, opts, q)
+	}
 	key := planKey{q: q, opts: opts}
 	e.planMu.Lock()
 	p, ok := e.plans[key]
@@ -335,6 +359,9 @@ func (c sessionCatalog) ResolveTable(name string) (*storage.Table, error) {
 	}
 	if t, ok := c.eng.Table(name); ok {
 		return t, nil
+	}
+	if IsSystemTable(name) {
+		return c.eng.systemTable(name)
 	}
 	return nil, fmt.Errorf("engine: no table %s", name)
 }

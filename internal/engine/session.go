@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"aggify/internal/ast"
 	"aggify/internal/exec"
@@ -34,12 +35,33 @@ type Session struct {
 	prints     []string
 	tempTables map[string]*storage.Table // session temp tables (#name)
 	tx         *txn.Txn                  // open explicit transaction, nil in auto-commit
+
+	// ID keys the session in the engine's live registry (assigned by
+	// NewSession, never 0).
+	ID uint64
+
+	// Activity state published for aggify_stat_activity, and cumulative
+	// per-session counters the statement recorder (stmtstats.go) diffs.
+	// All atomic: the activity view reads them from other goroutines.
+	curFP       atomic.Uint64 // fingerprint of the current/last statement
+	stmtStart   atomic.Int64  // unixnano the current statement began; 0 = idle
+	curEpoch    atomic.Uint64 // epoch pinned by the most recent read snapshot
+	cursorsOpen atomic.Int64  // open-cursor gauge
+	inTxn       atomic.Bool   // mirrors tx != nil for cross-goroutine reads
+
+	conflicts      atomic.Int64 // write conflicts hit by this session's DML
+	queryExecs     atomic.Int64 // query executions
+	batchExecs     atomic.Int64 // ... with batch-mode plans
+	parallelExecs  atomic.Int64 // ... with parallel plans
+	rewrittenExecs atomic.Int64 // ... whose plans had rewrite rules fire
 }
 
-// NewSession creates a session with fresh statistics.
+// NewSession creates a session with fresh statistics and registers it in
+// the engine's live-session registry (Close unregisters it).
 func (e *Engine) NewSession() *Session {
 	s := &Session{Eng: e, Stats: &storage.Stats{}, tempTables: map[string]*storage.Table{}}
 	s.Opts.Parallelism = e.DefaultMaxDOP
+	e.registerSession(s)
 	return s
 }
 
@@ -143,6 +165,7 @@ func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, err
 	if err != nil {
 		return nil, nil, err
 	}
+	s.notePlanExec(p)
 	esp := s.Tracer.StartSpan(s.TraceParent, "server.execute")
 	rows, err := p.Run(ctx)
 	if err != nil {
@@ -153,6 +176,21 @@ func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, err
 	esp.End()
 	s.Stats.RowsEmitted.Add(int64(len(rows)))
 	return p.Columns, rows, nil
+}
+
+// notePlanExec accumulates the per-session plan-shape counters the
+// statement recorder diffs into aggify_stat_statements.
+func (s *Session) notePlanExec(p *plan.Plan) {
+	s.queryExecs.Add(1)
+	if p.Batched {
+		s.batchExecs.Add(1)
+	}
+	if p.Parallel {
+		s.parallelExecs.Add(1)
+	}
+	if len(p.Rewrites) > 0 {
+		s.rewrittenExecs.Add(1)
+	}
 }
 
 // ExplainQuery compiles a query and returns its plan rendered as lines.

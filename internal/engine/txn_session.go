@@ -28,6 +28,7 @@ func (s *Session) BeginTxn() error {
 		return fmt.Errorf("engine: transaction already in progress")
 	}
 	s.tx = s.Eng.TxnMgr.Begin()
+	s.inTxn.Store(true)
 	return nil
 }
 
@@ -39,6 +40,7 @@ func (s *Session) CommitTxn() error {
 	}
 	tx := s.tx
 	s.tx = nil
+	s.inTxn.Store(false)
 	if err := tx.Commit(); err != nil {
 		return err
 	}
@@ -53,6 +55,7 @@ func (s *Session) RollbackTxn() error {
 	}
 	s.tx.Rollback()
 	s.tx = nil
+	s.inTxn.Store(false)
 	return nil
 }
 
@@ -63,7 +66,9 @@ func (s *Session) Close() {
 	if s.tx != nil {
 		s.tx.Rollback()
 		s.tx = nil
+		s.inTxn.Store(false)
 	}
+	s.Eng.unregisterSession(s.ID)
 }
 
 // PinRead installs a read snapshot into ctx for the duration of one
@@ -80,10 +85,12 @@ func (s *Session) PinRead(ctx *exec.Ctx) func() {
 	}
 	if s.tx != nil {
 		ctx.Snap = s.tx.Snapshot()
+		s.curEpoch.Store(ctx.Snap.Epoch)
 		return func() { ctx.Snap = nil }
 	}
 	snap := s.Eng.TxnMgr.Acquire()
 	ctx.Snap = snap
+	s.curEpoch.Store(snap.Epoch)
 	return func() {
 		ctx.Snap = nil
 		snap.Release()
@@ -116,6 +123,7 @@ func (s *Session) dmlApply(ctx *exec.Ctx, tab *storage.Table, apply func(tx *txn
 		n, err := apply(s.tx)
 		ctx.Snap = saved
 		if errors.Is(err, txn.ErrWriteConflict) {
+			s.conflicts.Add(1)
 			s.RollbackTxn()
 			return n, fmt.Errorf("%w; transaction rolled back", err)
 		}
@@ -132,12 +140,14 @@ func (s *Session) dmlApply(ctx *exec.Ctx, tab *storage.Table, apply func(tx *txn
 		if err != nil {
 			tx.Rollback()
 			if errors.Is(err, txn.ErrWriteConflict) {
+				s.conflicts.Add(1)
 				continue
 			}
 			return n, err
 		}
 		if err = tx.Commit(); err != nil {
 			if errors.Is(err, txn.ErrWriteConflict) {
+				s.conflicts.Add(1)
 				continue
 			}
 			return n, err

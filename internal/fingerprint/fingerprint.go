@@ -1,0 +1,286 @@
+// Package fingerprint normalizes SQL statement text to a canonical
+// template and hashes it to a stable 64-bit fingerprint, in the style of
+// pg_stat_statements. Two statements that differ only in literal values,
+// whitespace, comments, or keyword/identifier case share a fingerprint;
+// structurally different statements get (with overwhelming probability)
+// distinct ones.
+//
+// Fingerprint is allocation-free: it re-lexes the raw text with a
+// self-contained scanner (no dependency on package parser) and folds the
+// canonical token stream into an FNV-1a hash without building the template
+// string. Normalize builds the template and is only meant for cold paths
+// (first sighting of a fingerprint, slow-query capture, display).
+package fingerprint
+
+// Token classes the scanner distinguishes. Literals (numbers and strings)
+// collapse to a single '?' placeholder so parameterized and literal forms
+// of the same statement hash identically.
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkWord
+	tkLiteral // number or '...' string: hashes as "?"
+	tkParam   // explicit ? parameter
+	tkPunct
+)
+
+// FNV-1a 64-bit constants.
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+type scanner struct {
+	src string
+	pos int
+}
+
+// next returns the next token's class and byte bounds; [start,end) indexes
+// s.src. Word text is NOT lower-cased here (that would allocate); callers
+// fold case byte-wise.
+func (s *scanner) next() (kind tokKind, start, end int) {
+	s.skipSpaceAndComments()
+	start = s.pos
+	if s.pos >= len(s.src) {
+		return tkEOF, start, start
+	}
+	c := s.src[s.pos]
+	switch {
+	case c == '@' || c == '_' || c == '#' || isAlpha(c):
+		// @vars keep their names: @x and @y are different shapes.
+		s.pos++
+		if c == '@' && s.pos < len(s.src) && s.src[s.pos] == '@' {
+			s.pos++
+		}
+		for s.pos < len(s.src) && isIdentChar(s.src[s.pos]) {
+			s.pos++
+		}
+		return tkWord, start, s.pos
+	case c >= '0' && c <= '9':
+		s.scanNumber()
+		return tkLiteral, start, s.pos
+	case c == '\'':
+		s.pos++
+		for s.pos < len(s.src) {
+			if s.src[s.pos] == '\'' {
+				if s.pos+1 < len(s.src) && s.src[s.pos+1] == '\'' {
+					s.pos += 2
+					continue
+				}
+				s.pos++
+				break
+			}
+			s.pos++
+		}
+		return tkLiteral, start, s.pos
+	case c == '?':
+		s.pos++
+		return tkParam, start, s.pos
+	default:
+		if s.pos+1 < len(s.src) {
+			switch s.src[s.pos : s.pos+2] {
+			case "<=", ">=", "<>", "!=", "||":
+				s.pos += 2
+				return tkPunct, start, s.pos
+			}
+		}
+		s.pos++
+		return tkPunct, start, s.pos
+	}
+}
+
+func (s *scanner) skipSpaceAndComments() {
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.pos++
+		case c == '-' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '-':
+			for s.pos < len(s.src) && s.src[s.pos] != '\n' {
+				s.pos++
+			}
+		case c == '/' && s.pos+1 < len(s.src) && s.src[s.pos+1] == '*':
+			s.pos += 2
+			for s.pos+1 < len(s.src) && !(s.src[s.pos] == '*' && s.src[s.pos+1] == '/') {
+				s.pos++
+			}
+			s.pos += 2
+			if s.pos > len(s.src) {
+				s.pos = len(s.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) scanNumber() {
+	for s.pos < len(s.src) && s.src[s.pos] >= '0' && s.src[s.pos] <= '9' {
+		s.pos++
+	}
+	if s.pos+1 < len(s.src) && s.src[s.pos] == '.' && s.src[s.pos+1] >= '0' && s.src[s.pos+1] <= '9' {
+		s.pos++
+		for s.pos < len(s.src) && s.src[s.pos] >= '0' && s.src[s.pos] <= '9' {
+			s.pos++
+		}
+	}
+	if s.pos < len(s.src) && (s.src[s.pos] == 'e' || s.src[s.pos] == 'E') {
+		save := s.pos
+		s.pos++
+		if s.pos < len(s.src) && (s.src[s.pos] == '+' || s.src[s.pos] == '-') {
+			s.pos++
+		}
+		if s.pos < len(s.src) && s.src[s.pos] >= '0' && s.src[s.pos] <= '9' {
+			for s.pos < len(s.src) && s.src[s.pos] >= '0' && s.src[s.pos] <= '9' {
+				s.pos++
+			}
+		} else {
+			s.pos = save
+		}
+	}
+}
+
+func isAlpha(c byte) bool     { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentChar(c byte) bool { return c == '_' || c == '#' || isAlpha(c) || (c >= '0' && c <= '9') }
+
+func lower(c byte) byte {
+	if c >= 'A' && c <= 'Z' {
+		return c | 0x20
+	}
+	return c
+}
+
+// Fingerprint hashes src's canonical token stream to a stable 64-bit value.
+// Statement separators (';', GO) are dropped, so "SELECT 1;" and "select 2"
+// collide — which is the point. Returns a nonzero value for any input with
+// at least zero tokens; the empty statement hashes to the FNV offset basis.
+func Fingerprint(src string) uint64 {
+	h := uint64(offset64)
+	var s scanner
+	s.src = src
+	for {
+		kind, start, end := s.next()
+		if kind == tkEOF {
+			return h
+		}
+		switch kind {
+		case tkLiteral, tkParam:
+			h = (h ^ '?') * prime64
+		case tkPunct:
+			if end-start == 1 && src[start] == ';' {
+				continue
+			}
+			tok := src[start:end]
+			if tok == "!=" {
+				tok = "<>"
+			}
+			for i := 0; i < len(tok); i++ {
+				h = (h ^ uint64(tok[i])) * prime64
+			}
+		case tkWord:
+			if isSeparatorWord(src[start:end]) {
+				continue
+			}
+			for i := start; i < end; i++ {
+				h = (h ^ uint64(lower(src[i]))) * prime64
+			}
+		}
+		// Token boundary marker: keeps "a b" distinct from "ab".
+		h = (h ^ 0x1f) * prime64
+	}
+}
+
+// isSeparatorWord reports whether the word is the GO batch separator,
+// case-insensitively, without allocating.
+func isSeparatorWord(w string) bool {
+	return len(w) == 2 && lower(w[0]) == 'g' && lower(w[1]) == 'o'
+}
+
+// tightBefore lists keywords after which '(' keeps a leading space in the
+// template; after any other word, '(' binds tight (function-call style).
+var spacedBeforeParen = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "or": true,
+	"on": true, "when": true, "then": true, "else": true, "in": true,
+	"not": true, "by": true, "having": true, "union": true, "all": true,
+	"join": true, "between": true, "like": true, "is": true, "as": true,
+	"exists": true, "case": true, "set": true, "over": true, "values": true,
+}
+
+// Normalize returns the canonical template for src: literals replaced by
+// '?', whitespace and comments collapsed, keywords and identifiers
+// lower-cased, statement separators dropped. It allocates; use it off the
+// hot path only.
+func Normalize(src string) string {
+	out := make([]byte, 0, len(src))
+	var s scanner
+	prevKind := tkEOF
+	prevWord := ""
+	s.src = src
+	for {
+		kind, start, end := s.next()
+		if kind == tkEOF {
+			return string(out)
+		}
+		tok := src[start:end]
+		switch kind {
+		case tkLiteral, tkParam:
+			tok = "?"
+		case tkPunct:
+			if tok == ";" {
+				continue
+			}
+			if tok == "!=" {
+				tok = "<>"
+			}
+		case tkWord:
+			if isSeparatorWord(tok) {
+				continue
+			}
+		}
+		if len(out) > 0 && wantSpace(prevKind, prevWord, kind, tok) {
+			out = append(out, ' ')
+		}
+		if kind == tkWord {
+			for i := 0; i < len(tok); i++ {
+				out = append(out, lower(tok[i]))
+			}
+		} else {
+			out = append(out, tok...)
+		}
+		prevWord = tok
+		prevKind = kind
+	}
+}
+
+// wantSpace decides whether a space separates the previous emitted token
+// from the next one in the normalized template.
+func wantSpace(prevKind tokKind, prevWord string, kind tokKind, tok string) bool {
+	// No space after '(' or '.'.
+	if prevKind == tkPunct && (prevWord == "(" || prevWord == ".") {
+		return false
+	}
+	// No space before ',', ')', '.', and tight '(' after non-keyword words.
+	switch tok {
+	case ",", ")", ".":
+		return false
+	case "(":
+		if prevKind == tkWord && !spacedBeforeParen[lowerStr(prevWord)] {
+			return false
+		}
+	}
+	return true
+}
+
+func lowerStr(w string) string {
+	for i := 0; i < len(w); i++ {
+		if w[i] >= 'A' && w[i] <= 'Z' {
+			b := make([]byte, len(w))
+			for j := 0; j < len(w); j++ {
+				b[j] = lower(w[j])
+			}
+			return string(b)
+		}
+	}
+	return w
+}

@@ -1,0 +1,207 @@
+package fingerprint
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// corpus holds structurally distinct statement shapes. Each entry is a
+// template with %v holes that the property test fills with random literals;
+// two renderings of the same entry must share a fingerprint, and any two
+// different entries must not collide.
+var corpus = []string{
+	"select %v",
+	"select %v + %v",
+	"select n from t where n = %v",
+	"select n from t where n > %v",
+	"select n from t where n > %v and n < %v",
+	"select n, m from t where n = %v",
+	"select count(*) from t",
+	"select count(*) from t where n = %v",
+	"select sum(n) from t group by m",
+	"select sum(n) from t group by m having sum(n) > %v",
+	"select n from t order by n desc",
+	"select top 3 n from t order by n",
+	"select t.n, u.m from t join u on t.id = u.id",
+	"select n from t where m in (%v, %v, %v)",
+	"select n from t where s like %q",
+	"select n from t where exists (select 1 from u where u.id = t.id)",
+	"with c as (select n from t) select n from c",
+	"select n from t union all select n from u",
+	"insert into t values (%v, %q)",
+	"insert into t (n, s) values (%v, %q)",
+	"update t set n = %v where id = %v",
+	"update t set n = n + %v",
+	"delete from t where n = %v",
+	"delete from t",
+	"create table t2 (n int, s string)",
+	"declare @x int",
+	"set @x = %v",
+	"select case when n > %v then %q else %q end from t",
+	"select n from t where n between %v and %v",
+	"select distinct n from t",
+}
+
+// render fills a corpus template's holes with the given literal seed.
+func render(tmpl string, rng *rand.Rand) string {
+	n := strings.Count(tmpl, "%v") + strings.Count(tmpl, "%q")
+	args := make([]any, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			args = append(args, rng.Intn(100000))
+		} else {
+			args = append(args, float64(rng.Intn(1000))+0.5)
+		}
+	}
+	// %q holes need strings; rebuild args matching hole order.
+	out := make([]any, 0, n)
+	rest := tmpl
+	for _, a := range args {
+		i := strings.IndexByte(rest, '%')
+		if i < 0 || i+1 >= len(rest) {
+			break
+		}
+		if rest[i+1] == 'q' {
+			out = append(out, fmt.Sprintf("lit%d", rng.Intn(1000)))
+		} else {
+			out = append(out, a)
+		}
+		rest = rest[i+2:]
+	}
+	s := tmpl
+	s = strings.ReplaceAll(s, "%q", "'%v'")
+	return fmt.Sprintf(s, out...)
+}
+
+// mangle rewrites src with random whitespace, comments, keyword case, and
+// optional trailing separators — all fingerprint-invariant transforms.
+func mangle(src string, rng *rand.Rand) string {
+	var b strings.Builder
+	for _, tok := range strings.Fields(src) {
+		switch rng.Intn(4) {
+		case 0:
+			b.WriteString(strings.ToUpper(tok))
+		case 1:
+			// Random per-letter case.
+			for _, c := range tok {
+				if rng.Intn(2) == 0 {
+					b.WriteString(strings.ToUpper(string(c)))
+				} else {
+					b.WriteString(string(c))
+				}
+			}
+		default:
+			b.WriteString(tok)
+		}
+		switch rng.Intn(5) {
+		case 0:
+			b.WriteString("  \t ")
+		case 1:
+			b.WriteString("\n")
+		case 2:
+			b.WriteString(" /* c */ ")
+		default:
+			b.WriteString(" ")
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		b.WriteString(";")
+	case 1:
+		b.WriteString(" ; -- trailing comment")
+	}
+	return b.String()
+}
+
+// TestFingerprintStability: renderings of one shape with different
+// literals, whitespace, comments, and case always share a fingerprint.
+func TestFingerprintStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, tmpl := range corpus {
+		base := Fingerprint(render(tmpl, rng))
+		for trial := 0; trial < 50; trial++ {
+			v := mangle(render(tmpl, rng), rng)
+			if got := Fingerprint(v); got != base {
+				t.Fatalf("shape %q: variant %q fingerprints %016x, want %016x",
+					tmpl, v, got, base)
+			}
+		}
+	}
+}
+
+// TestFingerprintNoCollisions: distinct shapes never collide across the
+// corpus.
+func TestFingerprintNoCollisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	seen := map[uint64]string{}
+	for _, tmpl := range corpus {
+		fp := Fingerprint(render(tmpl, rng))
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("shapes %q and %q collide on %016x", prev, tmpl, fp)
+		}
+		seen[fp] = tmpl
+	}
+}
+
+// TestLiteralAndParamCollapse: a literal and an explicit ? parameter in the
+// same position are the same shape (the whole point of fingerprinting:
+// parameterized and inline traffic aggregate together).
+func TestLiteralAndParamCollapse(t *testing.T) {
+	a := Fingerprint("select n from t where n = 42")
+	b := Fingerprint("select n from t where n = ?")
+	c := Fingerprint("select n from t where n = 'x'")
+	if a != b || b != c {
+		t.Fatalf("literal/param/string forms differ: %016x %016x %016x", a, b, c)
+	}
+}
+
+func TestNormalizeTemplates(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT 1 + 1", "select ? + ?"},
+		{"select  N  from T where n=42;", "select n from t where n = ?"},
+		{"select count( * ) from t -- c", "select count(*) from t"},
+		{"select n from t where s = 'it''s'", "select n from t where s = ?"},
+		{"INSERT INTO t VALUES (1, 'a')", "insert into t values (?, ?)"},
+		{"select t . n from t", "select t.n from t"},
+		{"select n from t where n in (1,2,3)", "select n from t where n in (?, ?, ?)"},
+		{"select 1\nGO\nselect 1", "select ? select ?"},
+		{"select n from t where n != 3", "select n from t where n <> ?"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestNormalizeFingerprintAgree: hashing the normalized template yields the
+// statement's fingerprint — the two views of the canonical form never drift.
+func TestNormalizeFingerprintAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, tmpl := range corpus {
+		src := mangle(render(tmpl, rng), rng)
+		if Fingerprint(src) != Fingerprint(Normalize(src)) {
+			t.Fatalf("Normalize(%q) = %q does not re-fingerprint to the same value",
+				src, Normalize(src))
+		}
+	}
+}
+
+func TestDistinctVariablesDistinctShapes(t *testing.T) {
+	if Fingerprint("set @x = 1") == Fingerprint("set @y = 1") {
+		t.Fatal("@x and @y should be distinct shapes")
+	}
+}
+
+// TestFingerprintZeroAllocs pins the hot path: fingerprinting must not
+// allocate regardless of statement size.
+func TestFingerprintZeroAllocs(t *testing.T) {
+	src := "select n, sum(m) from t where n > 100 and s = 'abc' group by n order by 2 desc"
+	if allocs := testing.AllocsPerRun(100, func() {
+		Fingerprint(src)
+	}); allocs != 0 {
+		t.Fatalf("Fingerprint allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"aggify/internal/ast"
 	"aggify/internal/engine"
 	"aggify/internal/exec"
+	"aggify/internal/parser"
 	"aggify/internal/sqltypes"
 	"aggify/internal/storage"
 )
@@ -596,6 +597,34 @@ func RunScript(s *engine.Session, stmts []ast.Stmt) ([]ResultSet, error) {
 		err = nil
 	}
 	return r.Results, err
+}
+
+// RunScriptSpans executes pre-parsed statements like RunScript, but also
+// records each top-level statement into the session's fingerprint stats
+// using its source span (so aggify_stat_statements attributes time, rows,
+// reads, and WAL bytes per normalized statement template). spans must be
+// parallel to stmts, as returned by parser.ParseSpans.
+func RunScriptSpans(s *engine.Session, src string, stmts []ast.Stmt, spans []parser.Span) ([]ResultSet, error) {
+	if len(spans) != len(stmts) {
+		return RunScript(s, stmts)
+	}
+	r := NewRunner(s)
+	defer r.cleanup()
+	for i, st := range stmts {
+		sp := spans[i]
+		rec := s.BeginStmt(src[sp.Start:sp.End])
+		err := r.Exec(st)
+		if _, isReturn := err.(returnSignal); isReturn {
+			err = nil
+			s.EndStmt(rec, nil)
+			break
+		}
+		s.EndStmt(rec, err)
+		if err != nil {
+			return r.Results, err
+		}
+	}
+	return r.Results, nil
 }
 
 // CallFunctionByName invokes a registered scalar UDF (helper for tests,

@@ -1,0 +1,64 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSpansCoverEachStatement: spans are parallel to statements and
+// each span's text re-parses to exactly that one statement.
+func TestParseSpansCoverEachStatement(t *testing.T) {
+	src := `create table t (n int);
+insert into t values (1), (2);
+select n from t where n > 1;
+GO
+print 'done'`
+	stmts, spans, err := ParseSpans(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != len(spans) {
+		t.Fatalf("stmts = %d, spans = %d", len(stmts), len(spans))
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("statements = %d, want 4", len(stmts))
+	}
+	for i, sp := range spans {
+		if sp.Start < 0 || sp.End > len(src) || sp.Start >= sp.End {
+			t.Fatalf("span %d out of range: %+v", i, sp)
+		}
+		sub := src[sp.Start:sp.End]
+		re, err := Parse(sub)
+		if err != nil {
+			t.Fatalf("span %d text %q does not re-parse: %v", i, sub, err)
+		}
+		if len(re) != 1 {
+			t.Fatalf("span %d text %q holds %d statements, want 1", i, sub, len(re))
+		}
+	}
+	// Spans are ordered and non-overlapping.
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End {
+			t.Fatalf("spans overlap: %+v then %+v", spans[i-1], spans[i])
+		}
+	}
+	if !strings.Contains(src[spans[2].Start:spans[2].End], "where n > 1") {
+		t.Fatalf("span 2 misses statement body: %q", src[spans[2].Start:spans[2].End])
+	}
+}
+
+// TestParseSpansAgreesWithParse: both entry points see the same program.
+func TestParseSpansAgreesWithParse(t *testing.T) {
+	src := "select 1; select 2; select 3"
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, spans, err := ParseSpans(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) || len(b) != len(spans) {
+		t.Fatalf("Parse = %d stmts, ParseSpans = %d stmts / %d spans", len(a), len(b), len(spans))
+	}
+}

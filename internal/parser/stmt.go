@@ -28,6 +28,41 @@ func MustParse(src string) []ast.Stmt {
 	return stmts
 }
 
+// Span is the byte range [Start, End) a statement occupies in the source
+// text handed to ParseSpans. The range starts at the statement's first
+// token and ends just before the next statement's first token (or at end
+// of input), so it may include a trailing semicolon, whitespace, or
+// comments — all of which the fingerprint normalizer ignores.
+type Span struct {
+	Start, End int
+}
+
+// ParseSpans parses a whole program like Parse, additionally reporting the
+// source span of each statement so callers can slice out per-statement raw
+// text (for fingerprinting, slow-query capture, activity views) without
+// re-lexing. len(spans) == len(stmts).
+func ParseSpans(src string) ([]ast.Stmt, []Span, error) {
+	p, err := New(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stmts []ast.Stmt
+	var spans []Span
+	for {
+		p.skipSeparators()
+		if p.cur().kind == tokEOF {
+			return stmts, spans, nil
+		}
+		start := p.cur().pos
+		s, err := p.ParseStmt()
+		if err != nil {
+			return nil, nil, err
+		}
+		stmts = append(stmts, s)
+		spans = append(spans, Span{Start: start, End: p.cur().pos})
+	}
+}
+
 // ParseProgram parses statements until EOF.
 func (p *Parser) ParseProgram() ([]ast.Stmt, error) {
 	var out []ast.Stmt

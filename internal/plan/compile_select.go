@@ -31,7 +31,30 @@ func Compile(cat Catalog, opts Options, q *ast.Select) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Columns: cols, Explain: n, build: builder, Rewrites: rewrites}, nil
+	p := &Plan{Columns: cols, Explain: n, build: builder, Rewrites: rewrites}
+	p.Parallel, p.Batched = planShape(n)
+	return p, nil
+}
+
+// planShape derives the Parallel/Batched plan summary flags from the
+// explain tree's operator labels (the same ones EXPLAIN prints, so the
+// flags can never disagree with what the user sees).
+func planShape(n *Node) (parallel, batched bool) {
+	if n == nil {
+		return false, false
+	}
+	if strings.HasPrefix(n.Op, "ParallelAgg(") {
+		parallel = true
+	}
+	if strings.HasSuffix(n.Op, " [batch]") {
+		batched = true
+	}
+	for _, c := range n.Children {
+		p, b := planShape(c)
+		parallel = parallel || p
+		batched = batched || b
+	}
+	return parallel, batched
 }
 
 // compileSelect compiles a query (with CTEs and UNION ALL) against an

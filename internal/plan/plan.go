@@ -67,6 +67,13 @@ type Plan struct {
 	// the query untouched. Surfaced as the EXPLAIN `rewrites:` header.
 	Rewrites []string
 
+	// Parallel and Batched summarize the physical plan shape (derived from
+	// the explain tree at compile time): whether any operator runs a
+	// parallel aggregation, and whether any aggregation consumes columnar
+	// batches. The engine's statement stats aggregate them per fingerprint.
+	Parallel bool
+	Batched  bool
+
 	build opBuilder
 }
 

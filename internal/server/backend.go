@@ -25,7 +25,7 @@ import (
 // across connections comes from each having its own Backend.
 type Backend struct {
 	sess       *engine.Session
-	stmts      map[uint32]*ast.Select
+	stmts      map[uint32]preparedStmt
 	cursors    map[uint32]*cursor
 	nextStmt   uint32
 	nextCursor uint32
@@ -38,6 +38,13 @@ type Backend struct {
 	// parent installed by SetTraceParent for the current request.
 	Tracer *trace.Tracer
 	parent trace.SpanContext
+}
+
+// preparedStmt keeps the parsed query together with its source text, so
+// executions can be attributed to the statement's fingerprint.
+type preparedStmt struct {
+	q   *ast.Select
+	src string
 }
 
 // cursor is a materialized result handed out in fetch-sized batches. The
@@ -53,7 +60,7 @@ type cursor struct {
 func NewBackend(eng *engine.Engine) *Backend {
 	return &Backend{
 		sess:    eng.NewSession(),
-		stmts:   map[uint32]*ast.Select{},
+		stmts:   map[uint32]preparedStmt{},
 		cursors: map[uint32]*cursor{},
 	}
 }
@@ -82,14 +89,14 @@ func (b *Backend) OpenCursors() int { return len(b.cursors) }
 // top-level result sets.
 func (b *Backend) Exec(src string) (*wire.ExecResult, error) {
 	psp := b.span("server.parse")
-	stmts, err := parser.Parse(src)
+	stmts, spans, err := parser.ParseSpans(src)
 	psp.SetAttrInt("statements", int64(len(stmts)))
 	psp.End()
 	if err != nil {
 		return nil, err
 	}
 	ssp := b.span("server.script")
-	sets, err := interp.RunScript(b.sess, stmts)
+	sets, err := interp.RunScriptSpans(b.sess, src, stmts, spans)
 	ssp.SetAttrInt("result_sets", int64(len(sets)))
 	ssp.End()
 	res := &wire.ExecResult{Prints: b.sess.Prints()}
@@ -117,25 +124,28 @@ func (b *Backend) Prepare(src string) (uint32, error) {
 		return 0, fmt.Errorf("server: Prepare expects a SELECT")
 	}
 	b.nextStmt++
-	b.stmts[b.nextStmt] = qs.Query
+	b.stmts[b.nextStmt] = preparedStmt{q: qs.Query, src: src}
 	return b.nextStmt, nil
 }
 
 // Query executes a prepared statement and opens a server-side cursor over
 // its full result. No rows travel yet: the client pulls them with Fetch.
 func (b *Backend) Query(stmtID uint32, args []sqltypes.Value) (uint32, []string, error) {
-	q, ok := b.stmts[stmtID]
+	ps, ok := b.stmts[stmtID]
 	if !ok {
 		return 0, nil, fmt.Errorf("server: unknown statement %d", stmtID)
 	}
 	ctx := b.sess.Ctx(nil, nil)
 	ctx.Params = args
-	cols, rows, err := b.sess.Query(q, ctx)
+	rec := b.sess.BeginStmt(ps.src)
+	cols, rows, err := b.sess.Query(ps.q, ctx)
+	b.sess.EndStmt(rec, err)
 	if err != nil {
 		return 0, nil, err
 	}
 	b.nextCursor++
 	b.cursors[b.nextCursor] = &cursor{cols: cols, rows: rows}
+	b.sess.NoteCursorOpen(1)
 	if b.cursorGauge != nil {
 		b.cursorGauge(1)
 	}
@@ -193,6 +203,7 @@ func (b *Backend) releaseCursor(cursorID uint32) {
 		return
 	}
 	delete(b.cursors, cursorID)
+	b.sess.NoteCursorOpen(-1)
 	if b.cursorGauge != nil {
 		b.cursorGauge(-1)
 	}
@@ -206,6 +217,6 @@ func (b *Backend) Close() {
 	for id := range b.cursors {
 		b.releaseCursor(id)
 	}
-	b.stmts = map[uint32]*ast.Select{}
+	b.stmts = map[uint32]preparedStmt{}
 	b.sess.Close()
 }

@@ -1,11 +1,14 @@
 package server
 
 import (
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 
+	"aggify/internal/engine"
 	"aggify/internal/trace"
 )
 
@@ -42,38 +45,104 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Write([]byte(`{"status":"ok"}` + "\n"))
 }
 
+// metricDef is one scalar line of the /metrics exposition. Keeping the
+// whole registry in a slice (rather than inline calls) lets tests assert
+// that every registered metric actually renders.
+type metricDef struct {
+	name, help string
+	kind       string // "counter" or "gauge"
+	value      int64
+}
+
+// metricDefs snapshots every scalar metric: the wire-level request
+// registry, the tracer, the transaction manager, the WAL, and the
+// fingerprint stats store.
+func (s *Server) metricDefs() []metricDef {
+	st := s.Stats()
+	tc := s.Tracer.Counters()
+	eng := s.eng
+	txc := eng.TxnMgr.CounterSnapshot()
+	stmts := eng.StmtStatsStore()
+	defs := []metricDef{
+		{"aggifyd_connections_total", "Connections accepted.", "counter", st.Connections},
+		{"aggifyd_requests_total", "Requests served.", "counter", st.Requests},
+		{"aggifyd_execs_total", "Exec requests served.", "counter", st.Execs},
+		{"aggifyd_queries_total", "Query requests served.", "counter", st.Queries},
+		{"aggifyd_fetches_total", "Fetch requests served.", "counter", st.Fetches},
+		{"aggifyd_cursors_opened_total", "Server-side cursors opened.", "counter", st.CursorsOpened},
+		{"aggifyd_open_cursors", "Server-side cursors currently open.", "gauge", st.OpenCursors},
+		{"aggifyd_bytes_in_total", "Request bytes received.", "counter", st.BytesIn},
+		{"aggifyd_bytes_out_total", "Response bytes sent.", "counter", st.BytesOut},
+		{"aggifyd_request_latency_p50_micros", "Median request latency upper bound (us).", "gauge", st.P50Micros},
+		{"aggifyd_request_latency_p99_micros", "P99 request latency upper bound (us).", "gauge", st.P99Micros},
+		{"aggifyd_slow_requests_total", "Requests over the slow-query threshold.", "counter", st.SlowCount},
+		{"aggifyd_traces_started_total", "Locally-rooted traces sampled.", "counter", tc.TracesStarted},
+		{"aggifyd_traces_joined_total", "Client trace contexts joined.", "counter", tc.TracesJoined},
+		{"aggifyd_spans_recorded_total", "Completed spans recorded.", "counter", tc.SpansRecorded},
+		{"aggifyd_spans_dropped_total", "Spans evicted from the ring unread.", "counter", tc.SpansDropped},
+		{"aggifyd_txn_begins_total", "Transactions begun (explicit and implicit).", "counter", txc.Begins},
+		{"aggifyd_txn_commits_total", "Transactions committed.", "counter", txc.Commits},
+		{"aggifyd_txn_rollbacks_total", "Transactions rolled back.", "counter", txc.Rollbacks},
+		{"aggifyd_txn_conflicts_total", "First-committer-wins write conflicts.", "counter", txc.Conflicts},
+		{"aggifyd_checkpoints_total", "WAL checkpoints completed.", "counter", eng.Checkpoints()},
+		{"aggifyd_stmt_fingerprints", "Distinct statement fingerprints tracked.", "gauge", int64(stmts.Len())},
+		{"aggifyd_stmt_evictions_total", "Fingerprint entries evicted from the stats store.", "counter", stmts.Evictions()},
+	}
+	var walBytes, walSynced, walRecords, walFsyncs int64
+	if ws, _, ok := eng.WALStats(); ok {
+		walBytes, walSynced = int64(ws.AppendedBytes), int64(ws.SyncedBytes)
+		walRecords, walFsyncs = ws.Records, ws.Fsyncs
+	}
+	defs = append(defs,
+		metricDef{"aggifyd_wal_bytes_total", "WAL bytes appended.", "counter", walBytes},
+		metricDef{"aggifyd_wal_synced_bytes_total", "WAL bytes durably synced.", "counter", walSynced},
+		metricDef{"aggifyd_wal_records_total", "WAL records appended.", "counter", walRecords},
+		metricDef{"aggifyd_wal_fsyncs_total", "WAL fsync calls.", "counter", walFsyncs},
+	)
+	return defs
+}
+
+// metricsTopK bounds the per-fingerprint statement series on /metrics. The
+// full store is SQL-queryable via aggify_stat_statements; the exposition
+// only carries the heaviest statements by total wall time.
+const metricsTopK = 10
+
 // handleMetrics renders the Prometheus text exposition format by hand — the
 // format is three lines per metric and not worth a dependency.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.Stats()
-	tc := s.Tracer.Counters()
 	var buf []byte
-	counter := func(name, help string, v int64) {
-		buf = append(buf, "# HELP "+name+" "+help+"\n# TYPE "+name+" counter\n"+name+" "...)
-		buf = strconv.AppendInt(buf, v, 10)
+	for _, d := range s.metricDefs() {
+		buf = append(buf, "# HELP "+d.name+" "+d.help+"\n# TYPE "+d.name+" "+d.kind+"\n"+d.name+" "...)
+		buf = strconv.AppendInt(buf, d.value, 10)
 		buf = append(buf, '\n')
 	}
-	gauge := func(name, help string, v int64) {
-		buf = append(buf, "# HELP "+name+" "+help+"\n# TYPE "+name+" gauge\n"+name+" "...)
-		buf = strconv.AppendInt(buf, v, 10)
-		buf = append(buf, '\n')
+	rows := s.eng.StmtStatsStore().Snapshot()
+	sort.Slice(rows, func(i, j int) bool { return rows[i].TotalMicros > rows[j].TotalMicros })
+	if len(rows) > metricsTopK {
+		rows = rows[:metricsTopK]
 	}
-	counter("aggifyd_connections_total", "Connections accepted.", st.Connections)
-	counter("aggifyd_requests_total", "Requests served.", st.Requests)
-	counter("aggifyd_execs_total", "Exec requests served.", st.Execs)
-	counter("aggifyd_queries_total", "Query requests served.", st.Queries)
-	counter("aggifyd_fetches_total", "Fetch requests served.", st.Fetches)
-	counter("aggifyd_cursors_opened_total", "Server-side cursors opened.", st.CursorsOpened)
-	gauge("aggifyd_open_cursors", "Server-side cursors currently open.", st.OpenCursors)
-	counter("aggifyd_bytes_in_total", "Request bytes received.", st.BytesIn)
-	counter("aggifyd_bytes_out_total", "Response bytes sent.", st.BytesOut)
-	gauge("aggifyd_request_latency_p50_micros", "Median request latency upper bound (us).", st.P50Micros)
-	gauge("aggifyd_request_latency_p99_micros", "P99 request latency upper bound (us).", st.P99Micros)
-	counter("aggifyd_slow_requests_total", "Requests over the slow-query threshold.", st.SlowCount)
-	counter("aggifyd_traces_started_total", "Locally-rooted traces sampled.", tc.TracesStarted)
-	counter("aggifyd_traces_joined_total", "Client trace contexts joined.", tc.TracesJoined)
-	counter("aggifyd_spans_recorded_total", "Completed spans recorded.", tc.SpansRecorded)
-	counter("aggifyd_spans_dropped_total", "Spans evicted from the ring unread.", tc.SpansDropped)
+	stmtSeries := []struct {
+		name, help string
+		value      func(r engine.StmtStatRow) int64
+	}{
+		{"aggifyd_stmt_calls_total", "Statement executions by fingerprint.", func(r engine.StmtStatRow) int64 { return r.Calls }},
+		{"aggifyd_stmt_micros_total", "Statement wall time by fingerprint (us).", func(r engine.StmtStatRow) int64 { return r.TotalMicros }},
+		{"aggifyd_stmt_rows_total", "Rows returned by fingerprint.", func(r engine.StmtStatRow) int64 { return r.Rows }},
+		{"aggifyd_stmt_logical_reads_total", "Logical reads by fingerprint.", func(r engine.StmtStatRow) int64 { return r.LogicalReads }},
+	}
+	for _, series := range stmtSeries {
+		if len(rows) == 0 {
+			break
+		}
+		buf = append(buf, "# HELP "+series.name+" "+series.help+"\n# TYPE "+series.name+" counter\n"...)
+		for _, r := range rows {
+			buf = append(buf, series.name+`{fingerprint="`...)
+			buf = append(buf, fmt.Sprintf("%016x", r.Fingerprint)...)
+			buf = append(buf, `"} `...)
+			buf = strconv.AppendInt(buf, series.value(r), 10)
+			buf = append(buf, '\n')
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf)
 }

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aggify/internal/engine"
+)
+
+// TestMetricsExposesEveryRegisteredMetric renders /metrics and asserts that
+// every metric in the registry actually appears in the exposition — the
+// guard that keeps metricDefs and the rendered text from drifting apart as
+// counters are added.
+func TestMetricsExposesEveryRegisteredMetric(t *testing.T) {
+	s := New(engine.New())
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("/metrics = %d", w.Code)
+	}
+	body := w.Body.String()
+	defs := s.metricDefs()
+	if len(defs) == 0 {
+		t.Fatal("metricDefs returned no metrics")
+	}
+	for _, d := range defs {
+		if !strings.Contains(body, "\n"+d.name+" ") && !strings.HasPrefix(body, d.name+" ") {
+			t.Errorf("/metrics missing sample line for %s", d.name)
+		}
+		if !strings.Contains(body, "# TYPE "+d.name+" "+d.kind+"\n") {
+			t.Errorf("/metrics missing TYPE line for %s (%s)", d.name, d.kind)
+		}
+		if !strings.Contains(body, "# HELP "+d.name+" ") {
+			t.Errorf("/metrics missing HELP line for %s", d.name)
+		}
+	}
+	// The new observability counters must be registered at all.
+	for _, want := range []string{
+		"aggifyd_txn_begins_total", "aggifyd_txn_commits_total",
+		"aggifyd_txn_rollbacks_total", "aggifyd_txn_conflicts_total",
+		"aggifyd_wal_bytes_total", "aggifyd_wal_fsyncs_total",
+		"aggifyd_checkpoints_total", "aggifyd_stmt_evictions_total",
+	} {
+		found := false
+		for _, d := range defs {
+			if d.name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("metric %s not registered in metricDefs", want)
+		}
+	}
+}
+
+// TestMetricsStatementTopK: after running statements through a backend, the
+// exposition carries per-fingerprint series for the hottest statements.
+func TestMetricsStatementTopK(t *testing.T) {
+	eng := engine.New()
+	s := New(eng)
+	b := NewBackend(eng)
+	defer b.Close()
+	if _, err := b.Exec("create table t (n int); insert into t values (1); select n from t"); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	s.DebugHandler().ServeHTTP(w, req)
+	body := w.Body.String()
+	for _, want := range []string{
+		`aggifyd_stmt_calls_total{fingerprint="`,
+		`aggifyd_stmt_micros_total{fingerprint="`,
+		`aggifyd_stmt_rows_total{fingerprint="`,
+		`aggifyd_stmt_logical_reads_total{fingerprint="`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+}

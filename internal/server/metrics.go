@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aggify/internal/fingerprint"
 	"aggify/internal/wire"
 )
 
@@ -66,14 +67,44 @@ func (m *Metrics) record(typ wire.MsgType, d time.Duration, bytesIn, bytesOut in
 	m.hist[bits.Len64(uint64(us))].Add(1)
 	if threshold > 0 && d >= threshold {
 		m.slowCount.Add(1)
-		summary := clipSummary(requestSummary(typ, body))
+		fp, summary := slowKey(typ, body)
 		m.mu.Lock()
-		m.slow = append(m.slow, wire.SlowQuery{Micros: us, Summary: summary})
+		if fp != 0 {
+			// The ring is keyed by fingerprint: a hot slow statement folds
+			// into one entry (worst latency, hit count) instead of evicting
+			// everything else.
+			for i := range m.slow {
+				if m.slow[i].Fingerprint == fp {
+					m.slow[i].Count++
+					if us > m.slow[i].Micros {
+						m.slow[i].Micros = us
+					}
+					m.mu.Unlock()
+					return
+				}
+			}
+		}
+		m.slow = append(m.slow, wire.SlowQuery{Micros: us, Summary: summary, Fingerprint: fp, Count: 1})
 		if len(m.slow) > slowLogSize {
 			m.slow = m.slow[len(m.slow)-slowLogSize:]
 		}
 		m.mu.Unlock()
 	}
+}
+
+// slowKey derives the slow-ring key for a request: for requests carrying
+// statement text the normalized template and its fingerprint, otherwise a
+// protocol-level label with fingerprint 0 (never folded).
+func slowKey(typ wire.MsgType, body []byte) (uint64, string) {
+	switch typ {
+	case wire.MsgExec:
+		src := string(body)
+		return fingerprint.Fingerprint(src), clipSummary(fingerprint.Normalize(src))
+	case wire.MsgPrepare:
+		src := string(body)
+		return fingerprint.Fingerprint(src), clipSummary("PREPARE " + fingerprint.Normalize(src))
+	}
+	return 0, clipSummary(requestSummary(typ, body))
 }
 
 // clipSummary enforces the slow-log byte budget.

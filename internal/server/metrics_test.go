@@ -49,11 +49,12 @@ func TestPercentilesOrdered(t *testing.T) {
 	}
 }
 
-// TestSlowSummaryTruncatesOversizedStatement: a multi-megabyte Exec must
-// leave only ~summaryBudget bytes in the slow-query ring.
+// TestSlowSummaryTruncatesOversizedStatement: an Exec whose normalized
+// template is still huge must leave only ~summaryBudget bytes in the
+// slow-query ring.
 func TestSlowSummaryTruncatesOversizedStatement(t *testing.T) {
 	var m Metrics
-	huge := []byte("select '" + strings.Repeat("x", 4<<20) + "'")
+	huge := []byte("select " + strings.Repeat("x", 4<<20) + " from t")
 	m.record(wire.MsgExec, time.Second, len(huge), 10, huge, time.Millisecond)
 	st := m.Snapshot(0)
 	if len(st.Slow) != 1 {
@@ -63,17 +64,43 @@ func TestSlowSummaryTruncatesOversizedStatement(t *testing.T) {
 	if len(s) > summaryBudget+len("...") {
 		t.Fatalf("summary length %d exceeds budget %d", len(s), summaryBudget)
 	}
-	if !strings.HasPrefix(s, "select '") || !strings.HasSuffix(s, "...") {
+	if !strings.HasPrefix(s, "select x") || !strings.HasSuffix(s, "...") {
 		t.Fatalf("summary mangled: %.40q...%q", s, s[len(s)-8:])
 	}
 }
 
-func TestSlowSummaryShortStatementIntact(t *testing.T) {
+// TestSlowSummaryNormalized: ring entries carry the normalized template
+// (literals collapsed) plus its fingerprint.
+func TestSlowSummaryNormalized(t *testing.T) {
 	var m Metrics
 	m.record(wire.MsgExec, time.Second, 8, 8, []byte("select 1"), time.Millisecond)
 	st := m.Snapshot(0)
-	if len(st.Slow) != 1 || st.Slow[0].Summary != "select 1" {
+	if len(st.Slow) != 1 || st.Slow[0].Summary != "select ?" {
 		t.Fatalf("slow = %+v", st.Slow)
+	}
+	if st.Slow[0].Fingerprint == 0 || st.Slow[0].Count != 1 {
+		t.Fatalf("slow entry missing fingerprint/count: %+v", st.Slow[0])
+	}
+}
+
+// TestSlowRingFoldsByFingerprint: repeated slow executions of the same
+// statement shape fold into one entry with the worst latency and a count,
+// regardless of literal values.
+func TestSlowRingFoldsByFingerprint(t *testing.T) {
+	var m Metrics
+	m.record(wire.MsgExec, time.Second, 8, 8, []byte("select 1"), time.Millisecond)
+	m.record(wire.MsgExec, 3*time.Second, 8, 8, []byte("select 42"), time.Millisecond)
+	m.record(wire.MsgExec, 2*time.Second, 8, 8, []byte("SELECT  7"), time.Millisecond)
+	st := m.Snapshot(0)
+	if len(st.Slow) != 1 {
+		t.Fatalf("slow entries = %d, want 1 folded: %+v", len(st.Slow), st.Slow)
+	}
+	sq := st.Slow[0]
+	if sq.Count != 3 || sq.Micros != (3*time.Second).Microseconds() {
+		t.Fatalf("folded entry = %+v, want count=3 micros=worst", sq)
+	}
+	if st.SlowCount != 3 {
+		t.Fatalf("SlowCount = %d, want 3", st.SlowCount)
 	}
 }
 
@@ -89,7 +116,9 @@ func TestFastRequestSkipsSlowRing(t *testing.T) {
 func TestSlowRingBounded(t *testing.T) {
 	var m Metrics
 	for i := 0; i < slowLogSize*3; i++ {
-		m.record(wire.MsgExec, time.Second, 8, 8, []byte("q"), time.Millisecond)
+		// Distinct statement shapes so entries cannot fold.
+		src := fmt.Sprintf("select c%d from t", i)
+		m.record(wire.MsgExec, time.Second, 8, 8, []byte(src), time.Millisecond)
 	}
 	st := m.Snapshot(0)
 	if len(st.Slow) != slowLogSize {

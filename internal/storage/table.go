@@ -86,6 +86,44 @@ func (t *Table) SlotCount() int {
 	return len(t.slots)
 }
 
+// conflict records a write-conflict detection with the transaction manager
+// and returns the canonical error.
+func (t *Table) conflict() error {
+	if t.mgr != nil {
+		t.mgr.NoteConflict()
+	}
+	return txn.ErrWriteConflict
+}
+
+// ChainStats summarizes the table's version-chain shape for the
+// aggify_stat_tables system view: Versions counts every version node
+// reachable from a slot head, and Garbage the superseded (non-head) ones a
+// vacuum pass could reclaim once the horizon allows.
+type ChainStats struct {
+	Versions int64
+	Garbage  int64
+}
+
+// ChainStats walks every slot's version chain. O(versions); intended for
+// introspection queries, not hot paths.
+func (t *Table) ChainStats() ChainStats {
+	t.mu.RLock()
+	slots := t.slots
+	t.mu.RUnlock()
+	var cs ChainStats
+	for _, s := range slots {
+		depth := int64(0)
+		for v := s.head.Load(); v != nil; v = v.Prev() {
+			depth++
+		}
+		cs.Versions += depth
+		if depth > 1 {
+			cs.Garbage += depth - 1
+		}
+	}
+	return cs
+}
+
 func (t *Table) coerce(row []sqltypes.Value) ([]sqltypes.Value, error) {
 	if len(row) != t.Schema.Len() {
 		return nil, fmt.Errorf("storage: table %s expects %d values, got %d", t.Name, t.Schema.Len(), len(row))
@@ -321,7 +359,7 @@ func (t *Table) writeTx(tx *txn.Txn, rid int, coerced []sqltypes.Value, tombston
 	}
 	if owner, ok := head.Owner(); ok {
 		if owner != tx.ID {
-			return txn.ErrWriteConflict
+			return t.conflict()
 		}
 		// Rewriting our own uncommitted version: replace it in place so the
 		// chain holds at most one version per transaction.
@@ -333,7 +371,7 @@ func (t *Table) writeTx(tx *txn.Txn, rid int, coerced []sqltypes.Value, tombston
 	epoch, _ := head.Committed()
 	if epoch > tx.Snapshot().Epoch {
 		// Committed after our snapshot: first committer won.
-		return txn.ErrWriteConflict
+		return t.conflict()
 	}
 	if head.IsTombstone() {
 		return fmt.Errorf("storage: table %s has no row %d", t.Name, rid)
@@ -469,10 +507,10 @@ func (t *Table) truncateTx(tx *txn.Txn) error {
 			continue
 		}
 		if owner, ok := head.Owner(); ok && owner != tx.ID {
-			return txn.ErrWriteConflict
+			return t.conflict()
 		}
 		if epoch, ok := head.Committed(); ok && epoch > tx.Snapshot().Epoch {
-			return txn.ErrWriteConflict
+			return t.conflict()
 		}
 	}
 	var killed int64

@@ -250,6 +250,7 @@ func (t *Txn) Commit() error {
 		// Read-only: nothing to publish.
 		t.done = true
 		t.snap.Release()
+		m.commits.Add(1)
 		return nil
 	}
 	m.commitMu.Lock()
@@ -274,6 +275,7 @@ func (t *Txn) Commit() error {
 	m.commitMu.Unlock()
 	t.done = true
 	t.snap.Release()
+	m.commits.Add(1)
 	if m.sink != nil && lsn > 0 {
 		return m.sink.WaitDurable(lsn)
 	}
@@ -287,6 +289,7 @@ func (t *Txn) Rollback() {
 		return
 	}
 	t.done = true
+	t.mgr.rollbacks.Add(1)
 	for i := len(t.onAbort) - 1; i >= 0; i-- {
 		t.onAbort[i]()
 	}
@@ -307,7 +310,37 @@ type Manager struct {
 
 	garbage   atomic.Int64
 	vacuuming atomic.Bool
+
+	// Cumulative transaction counters, exported through the server's
+	// /metrics endpoint and the aggify_stat_wal system table.
+	begins    atomic.Int64
+	commits   atomic.Int64
+	rollbacks atomic.Int64
+	conflicts atomic.Int64
 }
+
+// Counters is a point-in-time copy of the manager's cumulative counters.
+type Counters struct {
+	Begins    int64
+	Commits   int64
+	Rollbacks int64
+	Conflicts int64
+}
+
+// CounterSnapshot returns the cumulative begin/commit/rollback/conflict
+// counts since the manager was created.
+func (m *Manager) CounterSnapshot() Counters {
+	return Counters{
+		Begins:    m.begins.Load(),
+		Commits:   m.commits.Load(),
+		Rollbacks: m.rollbacks.Load(),
+		Conflicts: m.conflicts.Load(),
+	}
+}
+
+// NoteConflict records one write-conflict detection. The storage layer
+// calls it at every site that returns ErrWriteConflict.
+func (m *Manager) NoteConflict() { m.conflicts.Add(1) }
 
 // NewManager creates a manager at epoch 0 with no durability sink.
 func NewManager() *Manager {
@@ -370,6 +403,7 @@ func (m *Manager) OldestVisible() uint64 {
 
 // Begin starts a read-write transaction pinned at the current epoch.
 func (m *Manager) Begin() *Txn {
+	m.begins.Add(1)
 	id := m.nextTxn.Add(1)
 	snap := m.Acquire()
 	snap.TxnID = id

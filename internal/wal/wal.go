@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // SyncMode controls when appended records are forced to stable storage.
@@ -77,6 +78,30 @@ type Log struct {
 	synced   uint64 // LSN up to which the file is durable
 	syncing  bool   // a leader is flushing outside the lock
 	err      error  // sticky I/O error; fails all future operations
+
+	records atomic.Int64 // records framed over the log's lifetime
+	fsyncs  atomic.Int64 // fsync calls issued (inline or by a group leader)
+}
+
+// Stats is a point-in-time copy of the log's cumulative counters.
+type Stats struct {
+	AppendedBytes uint64 // LSN high-water mark (bytes framed, lifetime)
+	SyncedBytes   uint64 // durable up to this LSN
+	Records       int64  // records appended
+	Fsyncs        int64  // fsync calls issued
+}
+
+// StatsSnapshot returns the log's cumulative counters.
+func (l *Log) StatsSnapshot() Stats {
+	l.mu.Lock()
+	appended, synced := l.appended, l.synced
+	l.mu.Unlock()
+	return Stats{
+		AppendedBytes: appended,
+		SyncedBytes:   synced,
+		Records:       l.records.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+	}
 }
 
 // OpenLog opens (creating if needed) the log file in dir.
@@ -113,9 +138,11 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 		return 0, l.err
 	}
 	l.appended += uint64(len(frame))
+	l.records.Add(1)
 	lsn := l.appended
 	if l.mode == SyncAlways {
 		if _, err := l.f.Write(frame); err == nil {
+			l.fsyncs.Add(1)
 			if err := l.f.Sync(); err != nil {
 				l.err = err
 			}
@@ -169,6 +196,7 @@ func (l *Log) flushLocked() {
 		_, err = l.f.Write(buf)
 	}
 	if err == nil && l.mode != SyncOff {
+		l.fsyncs.Add(1)
 		err = l.f.Sync()
 	}
 	l.mu.Lock()

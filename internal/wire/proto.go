@@ -224,13 +224,21 @@ func DecodeRowsResp(body []byte) ([][]sqltypes.Value, bool, error) {
 	return rows, body[0] != 0, nil
 }
 
-// SlowQuery is one slow-query log entry in a ServerStats snapshot.
+// SlowQuery is one slow-query log entry in a ServerStats snapshot. Entries
+// are keyed by statement fingerprint: repeated slow executions of the same
+// normalized statement fold into one entry (worst latency, hit count)
+// instead of flooding the ring.
 type SlowQuery struct {
-	// Micros is the request latency in microseconds.
+	// Micros is the worst observed request latency in microseconds.
 	Micros int64
-	// Summary is a truncated description of the request (script text or a
-	// protocol-level label).
+	// Summary is a truncated description of the request (normalized
+	// statement text or a protocol-level label).
 	Summary string
+	// Fingerprint is the normalized-statement hash (0 when the request has
+	// no statement text, e.g. FETCH).
+	Fingerprint uint64
+	// Count is how many slow executions folded into this entry.
+	Count int64
 }
 
 // ServerStats is the server's query-metrics snapshot returned for MsgStats:
@@ -270,6 +278,8 @@ func EncodeServerStats(st *ServerStats) []byte {
 	for _, sq := range st.Slow {
 		buf = binary.AppendUvarint(buf, uint64(sq.Micros))
 		buf = appendString(buf, sq.Summary)
+		buf = binary.AppendUvarint(buf, sq.Fingerprint)
+		buf = binary.AppendUvarint(buf, uint64(sq.Count))
 	}
 	return buf
 }
@@ -306,6 +316,18 @@ func DecodeServerStats(body []byte) (*ServerStats, error) {
 		if st.Slow[i].Summary, body, err = readString(body[w:]); err != nil {
 			return nil, err
 		}
+		fp, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, fmt.Errorf("wire: truncated slow-query entry")
+		}
+		st.Slow[i].Fingerprint = fp
+		body = body[w:]
+		cnt, w := binary.Uvarint(body)
+		if w <= 0 {
+			return nil, fmt.Errorf("wire: truncated slow-query entry")
+		}
+		st.Slow[i].Count = int64(cnt)
+		body = body[w:]
 	}
 	return st, nil
 }

@@ -52,7 +52,31 @@ if [ -z "$addr" ]; then
 fi
 go run ./scripts/httpget "http://$addr/healthz" | grep -q '"status":"ok"'
 go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_requests_total'
+go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_txn_begins_total'
+go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_stmt_fingerprints'
 echo "debug endpoints OK on $addr"
+
+echo "== system catalog over TCP smoke"
+go build -o "$tmp/sqlsh" ./cmd/sqlsh
+tcp_addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$tmp/aggifyd.log" | head -n 1)"
+if [ -z "$tcp_addr" ]; then
+	echo "aggifyd never announced its TCP listener:"
+	cat "$tmp/aggifyd.log"
+	exit 1
+fi
+for _ in 1 2 3; do
+	printf 'select 1 + 1;\n' | "$tmp/sqlsh" -connect "$tcp_addr" >/dev/null
+done
+calls="$(printf "select calls from aggify_stat_statements where query = 'select ? + ?';\n" |
+	"$tmp/sqlsh" -connect "$tcp_addr" | sed -n '2p')"
+if [ "$calls" != "3" ]; then
+	echo "aggify_stat_statements over TCP: calls=$calls (want 3)"
+	exit 1
+fi
+echo "system catalog OK (select ? + ? recorded 3 calls)"
+
+echo "== fingerprint-stats overhead guard (warm hot path must not allocate)"
+go test -count=1 -run TestStmtStatsWarmZeroAllocs ./internal/engine
 
 echo "== kill-and-recover smoke (WAL durability)"
 go build -o "$tmp/sqlsh" ./cmd/sqlsh

@@ -1,0 +1,106 @@
+package aggify_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"aggify"
+)
+
+// The scripted workload behind the embedded-vs-TCP identity test: a few
+// distinct statement shapes, some executed repeatedly with different
+// literals (which must collapse to one fingerprint each).
+var statWorkload = []string{
+	"create table obs (n int, s varchar(10))",
+	"insert into obs values (1, 'a')",
+	"insert into obs values (2, 'b')",
+	"insert into obs values (3, 'c')",
+	"select n from obs where n > 0",
+	"select n from obs where n > 1",
+	"select s from obs",
+}
+
+// statQuery projects only deterministic columns (no timings) and filters
+// to the workload's templates, so both transports must agree exactly.
+const statQuery = `select query, calls, rows, logical_reads
+from aggify_stat_statements
+where query like '%obs%'
+order by query`
+
+func formatRows(cols []string, rows [][]aggify.Value) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(cols, "|"))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.Display())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestStatStatementsEmbeddedVsTCPIdentical runs the same workload through
+// the embedded facade and over a real TCP connection and asserts the
+// canonical stats query renders byte-identically.
+func TestStatStatementsEmbeddedVsTCPIdentical(t *testing.T) {
+	// Embedded.
+	db := aggify.Open()
+	for _, stmt := range statWorkload {
+		if err := db.Exec(stmt); err != nil {
+			t.Fatalf("embedded %q: %v", stmt, err)
+		}
+	}
+	rows, err := db.Query(statQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	embedded := formatRows(rows.Columns, rows.Data)
+
+	// Over TCP against a fresh engine.
+	db2 := aggify.Open()
+	srv := db2.NewServer()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	defer func() {
+		lis.Close()
+		<-done
+	}()
+	conn, err := aggify.Dial(lis.Addr().String(), aggify.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, stmt := range statWorkload {
+		if err := conn.Exec(stmt); err != nil {
+			t.Fatalf("tcp %q: %v", stmt, err)
+		}
+	}
+	res, err := conn.ExecResults(statQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 1 {
+		t.Fatalf("tcp stats query returned %d result sets", len(res.Sets))
+	}
+	tcp := formatRows(res.Sets[0].Columns, res.Sets[0].Rows)
+
+	if embedded != tcp {
+		t.Fatalf("stat_statements diverge between transports:\nembedded:\n%s\ntcp:\n%s", embedded, tcp)
+	}
+	// Sanity: the workload's repeated shapes really collapsed.
+	if !strings.Contains(embedded, "insert into obs values (?, ?)|3|") {
+		t.Fatalf("insert template missing or calls wrong:\n%s", embedded)
+	}
+	if !strings.Contains(embedded, "select n from obs where n > ?|2|") {
+		t.Fatalf("select template missing or calls wrong:\n%s", embedded)
+	}
+}
