@@ -2,7 +2,8 @@
 // bench-regression gate runs (scripts/bench_regress.sh). Every benchmark
 // here is selected by the ^BenchmarkGate regex and must stay cheap — the
 // gate runs them with -count=3 and compares the best run against the
-// committed BENCH_5.json snapshot (BENCH_4.json is the retired v4 baseline).
+// committed BENCH_6.json snapshot (BENCH_4.json and BENCH_5.json are the
+// retired v4/v5 baselines).
 package aggify_test
 
 import (
@@ -54,9 +55,10 @@ func gateEnv(b *testing.B) *engine.Engine {
 				return
 			}
 		}
-		// gatep duplicates the distribution with an index on k, so the
-		// pushdown benchmark's pushed predicate can become an index seek.
-		if gateErr = db.Exec("create table gatep (k int, v int); create index idx_gatep on gatep(k)"); gateErr != nil {
+		// gatep duplicates the distribution with an ordered index on k, so
+		// the pushdown benchmark's pushed predicate can become an index seek
+		// and the range-seek benchmark can stream k's ordered range.
+		if gateErr = db.Exec("create table gatep (k int, v int); create index idx_gatep on gatep(k) using ordered"); gateErr != nil {
 			return
 		}
 		ptab, ok := db.Engine().Table("gatep")
@@ -158,6 +160,88 @@ func BenchmarkGatePushdown(b *testing.B) {
 			b.ReportMetric(float64(gateRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
 		})
 	}
+}
+
+// BenchmarkGateRangeSeek measures the ordered-index range seek the
+// choose_access_path rule picks for a selective range predicate, against the
+// same query with the rule disabled (full scan + filter). The gate records
+// rangeseek_speedup = fullscan ns/op ÷ rangeseek ns/op and requires ≥ 5× —
+// the seek touches ~7% of gatep, so it has to dodge most of the scan.
+func BenchmarkGateRangeSeek(b *testing.B) {
+	eng := gateEnv(b)
+	q := parser.MustParse("select sum(v) from gatep where k >= 90")[0].(*ast.QueryStmt).Query
+	for _, seek := range []bool{true, false} {
+		name := "rangeseek"
+		if !seek {
+			name = "fullscan"
+		}
+		b.Run(name, func(b *testing.B) {
+			sess := eng.NewSession()
+			if !seek {
+				sess.Opts.DisableRules = plan.RuleChooseAccessPath
+			}
+			// Fail fast if the cell is not measuring what it claims.
+			p, err := sess.PlanQuery(q, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got := p.Explain.Contains("RangeSeek("); got != seek {
+				b.Fatalf("cell %s: RangeSeek in plan = %v\n%s", name, got, p.Explain)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sess.Query(q, sess.Ctx(nil, nil)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(gateRows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkGatePlanCache measures the fingerprint-keyed plan cache. The
+// replay cell re-parses the same SQL text every iteration — each arrival is
+// a new AST, so only the text-keyed (L2) cache can serve it — and reports
+// the warm hit rate, which the gate requires ≥ 99%. The lookup cell measures
+// a warm AST-identity (L1) hit and must stay allocation-free.
+func BenchmarkGatePlanCache(b *testing.B) {
+	eng := gateEnv(b)
+	const sql = "select k, sum(v) from gatep where k >= 90 group by k"
+	b.Run("replay", func(b *testing.B) {
+		sess := eng.NewSession()
+		// Warm the text cache so the measured window is all-warm.
+		if _, err := sess.PlanQuery(parser.MustParse(sql)[0].(*ast.QueryStmt).Query, nil); err != nil {
+			b.Fatal(err)
+		}
+		hits0, misses0 := sess.PlanCacheHits(), sess.PlanCacheMisses()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := parser.MustParse(sql)[0].(*ast.QueryStmt).Query
+			if _, err := sess.PlanQuery(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		hits := sess.PlanCacheHits() - hits0
+		misses := sess.PlanCacheMisses() - misses0
+		if hits+misses > 0 {
+			b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+		}
+	})
+	b.Run("lookup", func(b *testing.B) {
+		sess := eng.NewSession()
+		q := parser.MustParse(sql)[0].(*ast.QueryStmt).Query
+		if _, err := sess.PlanQuery(q, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.PlanQuery(q, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkGateTCPLoopback measures one prepared-statement round trip over a

@@ -222,11 +222,12 @@ type CreateTable struct {
 	Cols []ColumnDef
 }
 
-// CreateIndex is CREATE INDEX name ON table(column).
+// CreateIndex is CREATE INDEX name ON table(column) [USING HASH|ORDERED].
 type CreateIndex struct {
-	Name   string
-	Table  string
-	Column string
+	Name    string
+	Table   string
+	Column  string
+	Ordered bool
 }
 
 // CreateFunction is CREATE FUNCTION f(params) RETURNS type AS BEGIN ... END.

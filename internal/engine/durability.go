@@ -82,9 +82,9 @@ func (e *Engine) logCreateTable(name string, schema *storage.Schema) error {
 	})
 }
 
-func (e *Engine) logCreateIndex(table, column string) error {
+func (e *Engine) logCreateIndex(table, column string, ordered bool) error {
 	return e.logDDL(func(epoch uint64) []byte {
-		return wal.EncodeCreateIndex(epoch, table, column)
+		return wal.EncodeCreateIndex(epoch, table, column, ordered)
 	})
 }
 
@@ -124,8 +124,13 @@ func (e *Engine) OpenData(dir string, mode wal.SyncMode) error {
 			if err != nil {
 				return fmt.Errorf("engine: checkpoint recovery: %w", err)
 			}
-			for _, col := range img.Indexes {
-				if err := t.CreateIndex(col); err != nil {
+			for _, ix := range img.Indexes {
+				if ix.Ordered {
+					err = t.CreateOrderedIndex(ix.Column)
+				} else {
+					err = t.CreateIndex(ix.Column)
+				}
+				if err != nil {
 					return fmt.Errorf("engine: checkpoint recovery: %w", err)
 				}
 			}
@@ -173,7 +178,7 @@ func (e *Engine) OpenData(dir string, mode wal.SyncMode) error {
 			if r.Epoch <= cpEpoch {
 				return nil
 			}
-			if err := e.CreateIndex(r.Table, r.Column); err != nil {
+			if err := e.createIndex(r.Table, r.Column, r.Ordered); err != nil {
 				return fmt.Errorf("engine: wal recovery: %w", err)
 			}
 			if r.Epoch > epoch {
@@ -231,10 +236,15 @@ func (e *Engine) Checkpoint() error {
 		sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
 		cp := &wal.Checkpoint{Epoch: epoch}
 		for _, t := range tables {
+			defs := t.IndexDefs()
+			idxs := make([]wal.IndexDef, len(defs))
+			for i, d := range defs {
+				idxs[i] = wal.IndexDef{Column: d.Column, Ordered: d.Ordered}
+			}
 			cp.Tables = append(cp.Tables, wal.TableImage{
 				Name:    t.Name,
 				Cols:    colsOf(t.Schema),
-				Indexes: t.IndexColumns(),
+				Indexes: idxs,
 				Slots:   t.CheckpointSlots(epoch),
 			})
 		}

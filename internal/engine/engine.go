@@ -35,6 +35,8 @@ type Engine struct {
 
 	planMu  sync.Mutex
 	plans   map[planKey]*plan.Plan
+	planTxt map[planTextKey]*planEntry
+	planUse uint64
 	scalars map[scalarKey]exec.Scalar
 
 	// DefaultMaxDOP seeds each new session's degree of parallelism
@@ -70,9 +72,41 @@ type Engine struct {
 	ProcCaller func(s *Session, ctx *exec.Ctx, def *ast.CreateProcedure, args []sqltypes.Value) error
 }
 
+// Plan-cache tuning.
+const (
+	// PlanCacheCap bounds the text-keyed (L2) plan cache; beyond it the
+	// least-recently-used entry is evicted.
+	PlanCacheCap = 256
+	// PlanStaleThreshold is how far a table's stats version may drift past
+	// the version a cached plan was costed against before the cache
+	// recompiles the plan. Small enough that access-path choices track the
+	// data, large enough that steady single-row DML does not replan per
+	// statement.
+	PlanStaleThreshold = 64
+)
+
+// planKey is the L1 cache key: AST node identity. Hits are allocation-free,
+// serving repeated executions of the same parsed statement (procedure
+// bodies, cached prepared statements).
 type planKey struct {
 	q    *ast.Select
 	opts plan.Options
+}
+
+// planTextKey is the L2 cache key: a hash of the statement's exact rendered
+// SQL text plus the planner options. Literals are part of the text — they
+// are baked into compiled plans, so (unlike the stat_statements
+// fingerprint) the cache key must not normalize them away. Entries carry
+// the full text as an exact-match collision guard.
+type planTextKey struct {
+	hash uint64
+	opts plan.Options
+}
+
+type planEntry struct {
+	text     string
+	p        *plan.Plan
+	lastUsed uint64
 }
 
 type scalarKey struct {
@@ -89,6 +123,7 @@ func New() *Engine {
 		aggs:    map[string]*exec.AggSpec{},
 		aggSrc:  map[string]*ast.CreateAggregate{},
 		plans:   map[planKey]*plan.Plan{},
+		planTxt: map[planTextKey]*planEntry{},
 		scalars: map[scalarKey]exec.Scalar{},
 		TxnMgr:  txn.NewManager(),
 
@@ -177,14 +212,30 @@ func (e *Engine) Table(name string) (*storage.Table, bool) {
 // CreateIndex builds a hash index on a base table column and invalidates
 // cached plans so they can pick the new access path.
 func (e *Engine) CreateIndex(table, column string) error {
+	return e.createIndex(table, column, false)
+}
+
+// CreateOrderedIndex builds an ordered (range-capable) index on a base
+// table column and invalidates cached plans.
+func (e *Engine) CreateOrderedIndex(table, column string) error {
+	return e.createIndex(table, column, true)
+}
+
+func (e *Engine) createIndex(table, column string, ordered bool) error {
 	t, ok := e.Table(table)
 	if !ok {
 		return fmt.Errorf("engine: no table %s", table)
 	}
-	if err := t.CreateIndex(column); err != nil {
+	var err error
+	if ordered {
+		err = t.CreateOrderedIndex(column)
+	} else {
+		err = t.CreateIndex(column)
+	}
+	if err != nil {
 		return err
 	}
-	if err := e.logCreateIndex(strings.ToLower(table), strings.ToLower(column)); err != nil {
+	if err := e.logCreateIndex(strings.ToLower(table), strings.ToLower(column), ordered); err != nil {
 		return err
 	}
 	e.InvalidatePlans()
@@ -277,29 +328,118 @@ func (e *Engine) AggregateSource(name string) (*ast.CreateAggregate, bool) {
 	return src, ok
 }
 
-// cachedPlan compiles q under the catalog (or returns the cached plan).
+// cachedPlan compiles q under the catalog (or returns a cached plan).
+//
+// The cache has two levels. L1 keys on AST node identity — repeated
+// executions of the same parsed statement (procedure bodies, prepared
+// statements) hit it without allocating. L2 keys on the statement's exact
+// rendered text plus options, so re-parsed arrivals of the same SQL (each
+// TCP request parses afresh) share one compiled plan; an L2 hit promotes
+// the plan into L1 under the new AST pointer. Any hit is revalidated
+// against the plan's table stamps: once a table's stats version drifts
+// past PlanStaleThreshold, the entry is dropped and the query recompiled
+// so access-path choices track the data.
+//
 // Queries touching system views never enter the cache: their backing
 // tables are per-statement telemetry snapshots, so a cached plan would
-// freeze the first observation forever.
-func (e *Engine) cachedPlan(cat plan.Catalog, opts plan.Options, q *ast.Select) (*plan.Plan, error) {
-	if selectRefsSystemTable(q) {
-		return plan.Compile(cat, opts, q)
-	}
+// freeze the first observation forever. Queries referencing temp tables or
+// table variables skip L2 only — their rendered text is identical across
+// sessions but resolves to different tables, so sharing by text would leak
+// plans across sessions; L1 (AST identity is session-local) stays safe.
+func (e *Engine) cachedPlan(s *Session, temp func(string) (*storage.Table, bool), opts plan.Options, q *ast.Select) (*plan.Plan, error) {
+	// L1 first, before any query-shape analysis: system-view queries never
+	// enter the cache, so an L1 hit cannot be one, and the warm path stays
+	// allocation-free.
 	key := planKey{q: q, opts: opts}
 	e.planMu.Lock()
-	p, ok := e.plans[key]
-	e.planMu.Unlock()
-	if ok {
-		return p, nil
+	if p, ok := e.plans[key]; ok {
+		if !planStale(p) {
+			e.planMu.Unlock()
+			s.notePlanCache(true)
+			return p, nil
+		}
+		delete(e.plans, key)
 	}
-	p, err := plan.Compile(cat, opts, q)
+	e.planMu.Unlock()
+
+	if selectRefsSystemTable(q) {
+		return plan.Compile(s.Catalog(temp), opts, q)
+	}
+	shareText := !selectRefsTempTable(q)
+	e.planMu.Lock()
+	var text string
+	var tkey planTextKey
+	if shareText {
+		text = q.String()
+		tkey = planTextKey{hash: fnv64(text), opts: opts}
+		if ent, ok := e.planTxt[tkey]; ok && ent.text == text {
+			if !planStale(ent.p) {
+				e.planUse++
+				ent.lastUsed = e.planUse
+				e.plans[key] = ent.p
+				p := ent.p
+				e.planMu.Unlock()
+				s.notePlanCache(true)
+				return p, nil
+			}
+			delete(e.planTxt, tkey)
+		}
+	}
+	e.planMu.Unlock()
+
+	s.notePlanCache(false)
+	p, err := plan.Compile(s.Catalog(temp), opts, q)
 	if err != nil {
 		return nil, err
 	}
 	e.planMu.Lock()
 	e.plans[key] = p
+	if shareText {
+		if len(e.planTxt) >= PlanCacheCap {
+			e.evictPlanLocked()
+		}
+		e.planUse++
+		e.planTxt[tkey] = &planEntry{text: text, p: p, lastUsed: e.planUse}
+	}
 	e.planMu.Unlock()
 	return p, nil
+}
+
+// planStale reports whether any table the plan was costed against has
+// drifted PlanStaleThreshold or more stats-version bumps since compile.
+func planStale(p *plan.Plan) bool {
+	for _, st := range p.Stamps {
+		if st.Table.StatsVersion()-st.StatsVersion >= PlanStaleThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// evictPlanLocked removes the least-recently-used L2 entry. O(n), but only
+// runs when a new statement shape arrives with the cache already full.
+func (e *Engine) evictPlanLocked() {
+	var victim planTextKey
+	found := false
+	min := uint64(0)
+	for k, ent := range e.planTxt {
+		if !found || ent.lastUsed < min {
+			found, min, victim = true, ent.lastUsed, k
+		}
+	}
+	if found {
+		delete(e.planTxt, victim)
+	}
+}
+
+// fnv64 is FNV-1a over the rendered statement text.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // CachedScalar compiles an expression (with caching keyed by AST node
@@ -324,12 +464,21 @@ func (e *Engine) CachedScalar(cat plan.Catalog, opts plan.Options, expr ast.Expr
 }
 
 // InvalidatePlans drops the plan and expression caches (after DDL that
-// changes schemas).
+// changes schemas or available indexes).
 func (e *Engine) InvalidatePlans() {
 	e.planMu.Lock()
 	e.plans = map[planKey]*plan.Plan{}
+	e.planTxt = map[planTextKey]*planEntry{}
 	e.scalars = map[scalarKey]exec.Scalar{}
 	e.planMu.Unlock()
+}
+
+// PlanCacheLen returns the number of text-keyed cached plans (tests and
+// observability).
+func (e *Engine) PlanCacheLen() int {
+	e.planMu.Lock()
+	defer e.planMu.Unlock()
+	return len(e.planTxt)
 }
 
 // CatalogWithTemp returns a planner catalog over this engine with an

@@ -26,7 +26,7 @@ import (
 // redundant outer sorts.
 func randomRewriteQuery(rng *rand.Rand) string {
 	k := rng.Intn(10)
-	switch rng.Intn(7) {
+	switch rng.Intn(10) {
 	case 0: // constant folding in the predicate
 		return fmt.Sprintf(`select a, b from t1 where 1 + 1 = 2 and a < %d and 'x' <> 'y' order by a, b`, k)
 	case 1: // pushdown into a plain derived table (indexed base column)
@@ -43,6 +43,17 @@ func randomRewriteQuery(rng *rand.Rand) string {
 	case 5: // derived under a left join: pushdown must respect null-supply
 		return fmt.Sprintf(`select t1.a, q.d from t1 left join (select a, d from t2) q on t1.a = q.a
 		                    where t1.b > %d order by t1.a, q.d, t1.b`, rng.Intn(10)-5)
+	case 6: // range predicate on an ordered-indexed column (choose_access_path)
+		lo := rng.Intn(40)
+		return fmt.Sprintf(`select a, b, d from t1 where d >= %d and d < %d order by a, b, d`, lo, lo+rng.Intn(15))
+	case 7: // eq + range mix: the cost model must pick one access path and
+		// keep the residual predicate
+		return fmt.Sprintf(`select a, b from t1 where a = %d and d > %d order by a, b`, k, rng.Intn(40))
+	case 8: // three-table inner-join chain (reorder_joins), sizes t2 < t3 < t1
+		return fmt.Sprintf(`select t1.a, t2.d, t3.e from t1
+		                    join t2 on t1.a = t2.a
+		                    join t3 on t2.a = t3.a
+		                    where t1.b >= %d order by t1.a, t2.d, t3.e`, rng.Intn(10)-5)
 	default: // everything at once, plus a constant CASE
 		return fmt.Sprintf(`select q.g, q.n from
 		  (select a %% 3 as g, count(*) as n, sum(b) as sb from t1 where case when 1 = 1 then b else a end >= %d
@@ -82,8 +93,11 @@ func TestRewritePassPreservesResults(t *testing.T) {
 	script := `
 create table t1 (a int, b int, c varchar(8), d int);
 create table t2 (a int, d int);
+create table t3 (a int, e int);
 create index i1 on t1(a);
 create index i2 on t2(a);
+create index i3 on t3(a);
+create index o1 on t1(d) using ordered;
 `
 	if _, err := interp.RunScript(seed, parser.MustParse(script)); err != nil {
 		t.Fatal(err)
@@ -107,6 +121,12 @@ create index i2 on t2(a);
 			t.Fatal(err)
 		}
 	}
+	for i := 0; i < 65; i++ {
+		sql := fmt.Sprintf("insert into t3 values (%d, %d)", rng.Intn(12), rng.Intn(40))
+		if err := insertSQL(seed, sql); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	type cfg struct {
 		name string
@@ -126,6 +146,11 @@ create index i2 on t2(a);
 		{"norewrite-dop4", mk(plan.RuleAll, 4, false)},
 		{"rewrite-serial-rowpath", mk(0, 1, true)},
 		{"rewrite-dop4-rowpath", mk(0, 4, true)},
+		// The cost-based rules individually off: each must reproduce the
+		// same rows the full pass produces.
+		{"no-accesspath-serial", mk(plan.RuleChooseAccessPath, 1, false)},
+		{"no-reorder-serial", mk(plan.RuleReorderJoins, 1, false)},
+		{"no-costbased-dop4", mk(plan.RuleChooseAccessPath|plan.RuleReorderJoins, 4, false)},
 	}
 
 	for trial := 0; trial < 80; trial++ {

@@ -54,6 +54,9 @@ type Session struct {
 	batchExecs     atomic.Int64 // ... with batch-mode plans
 	parallelExecs  atomic.Int64 // ... with parallel plans
 	rewrittenExecs atomic.Int64 // ... whose plans had rewrite rules fire
+
+	planCacheHits   atomic.Int64 // plan compilations avoided by the plan cache
+	planCacheMisses atomic.Int64 // plan compilations the cache could not serve
 }
 
 // NewSession creates a session with fresh statistics and registers it in
@@ -147,8 +150,27 @@ func (s *Session) Catalog(temp func(string) (*storage.Table, bool)) plan.Catalog
 
 // PlanQuery compiles (with caching) a query.
 func (s *Session) PlanQuery(q *ast.Select, temp func(string) (*storage.Table, bool)) (*plan.Plan, error) {
-	return s.Eng.cachedPlan(s.Catalog(temp), s.Opts, q)
+	return s.Eng.cachedPlan(s, temp, s.Opts, q)
 }
+
+// notePlanCache counts a plan-cache outcome for this session; the
+// statement recorder diffs the counters into aggify_stat_statements.
+func (s *Session) notePlanCache(hit bool) {
+	if s == nil {
+		return
+	}
+	if hit {
+		s.planCacheHits.Add(1)
+	} else {
+		s.planCacheMisses.Add(1)
+	}
+}
+
+// PlanCacheHits returns the session's cumulative plan-cache hit count.
+func (s *Session) PlanCacheHits() int64 { return s.planCacheHits.Load() }
+
+// PlanCacheMisses returns the session's cumulative plan-cache miss count.
+func (s *Session) PlanCacheMisses() int64 { return s.planCacheMisses.Load() }
 
 // Query plans and runs a SELECT, returning column names and rows.
 func (s *Session) Query(q *ast.Select, ctx *exec.Ctx) ([]string, []exec.Row, error) {

@@ -43,6 +43,8 @@ type StmtStat struct {
 	BatchExecs    atomic.Int64 // ... of which ran batch-mode plans
 	ParallelExecs atomic.Int64 // ... of which ran parallel plans
 	Rewritten     atomic.Int64 // ... of which had logical rewrite rules fire
+	PlanHits      atomic.Int64 // plan compilations the plan cache served
+	PlanMisses    atomic.Int64 // plan compilations the cache could not serve
 }
 
 // StmtStatRow is a point-in-time copy of one entry, used by the system
@@ -64,6 +66,8 @@ type StmtStatRow struct {
 	RowExecs      int64 // QueryExecs - BatchExecs
 	ParallelExecs int64
 	Rewritten     int64
+	PlanHits      int64
+	PlanMisses    int64
 }
 
 // StmtStats is the bounded per-fingerprint store.
@@ -181,6 +185,8 @@ func (ss *StmtStats) Snapshot() []StmtStatRow {
 			RowExecs:      q - b,
 			ParallelExecs: e.ParallelExecs.Load(),
 			Rewritten:     e.Rewritten.Load(),
+			PlanHits:      e.PlanHits.Load(),
+			PlanMisses:    e.PlanMisses.Load(),
 		}
 	}
 	return out
@@ -216,6 +222,8 @@ func (ss *StmtStats) record(fp uint64, raw string, micros int64, failed bool, d 
 	e.BatchExecs.Add(d.batch)
 	e.ParallelExecs.Add(d.parallel)
 	e.Rewritten.Add(d.rewritten)
+	e.PlanHits.Add(d.planHits)
+	e.PlanMisses.Add(d.planMisses)
 }
 
 // stmtDelta carries the per-statement counter deltas from BeginStmt's
@@ -223,6 +231,7 @@ func (ss *StmtStats) record(fp uint64, raw string, micros int64, failed bool, d 
 type stmtDelta struct {
 	rows, reads, wal, conflicts         int64
 	queries, batch, parallel, rewritten int64
+	planHits, planMisses                int64
 }
 
 // StmtRecord is the in-flight handle between BeginStmt and EndStmt. It is
@@ -253,14 +262,16 @@ func (s *Session) BeginStmt(raw string) StmtRecord {
 		raw:   raw,
 		start: now,
 		base: stmtDelta{
-			rows:      s.Stats.RowsEmitted.Load(),
-			reads:     s.Stats.LogicalReads.Load(),
-			wal:       s.Eng.walAppended(),
-			conflicts: s.conflicts.Load(),
-			queries:   s.queryExecs.Load(),
-			batch:     s.batchExecs.Load(),
-			parallel:  s.parallelExecs.Load(),
-			rewritten: s.rewrittenExecs.Load(),
+			rows:       s.Stats.RowsEmitted.Load(),
+			reads:      s.Stats.LogicalReads.Load(),
+			wal:        s.Eng.walAppended(),
+			conflicts:  s.conflicts.Load(),
+			queries:    s.queryExecs.Load(),
+			batch:      s.batchExecs.Load(),
+			parallel:   s.parallelExecs.Load(),
+			rewritten:  s.rewrittenExecs.Load(),
+			planHits:   s.planCacheHits.Load(),
+			planMisses: s.planCacheMisses.Load(),
 		},
 		active: true,
 	}
@@ -277,14 +288,16 @@ func (s *Session) EndStmt(rec StmtRecord, err error) {
 	micros := time.Since(rec.start).Microseconds()
 	s.stmtStart.Store(0)
 	d := stmtDelta{
-		rows:      s.Stats.RowsEmitted.Load() - rec.base.rows,
-		reads:     s.Stats.LogicalReads.Load() - rec.base.reads,
-		wal:       s.Eng.walAppended() - rec.base.wal,
-		conflicts: s.conflicts.Load() - rec.base.conflicts,
-		queries:   s.queryExecs.Load() - rec.base.queries,
-		batch:     s.batchExecs.Load() - rec.base.batch,
-		parallel:  s.parallelExecs.Load() - rec.base.parallel,
-		rewritten: s.rewrittenExecs.Load() - rec.base.rewritten,
+		rows:       s.Stats.RowsEmitted.Load() - rec.base.rows,
+		reads:      s.Stats.LogicalReads.Load() - rec.base.reads,
+		wal:        s.Eng.walAppended() - rec.base.wal,
+		conflicts:  s.conflicts.Load() - rec.base.conflicts,
+		queries:    s.queryExecs.Load() - rec.base.queries,
+		batch:      s.batchExecs.Load() - rec.base.batch,
+		parallel:   s.parallelExecs.Load() - rec.base.parallel,
+		rewritten:  s.rewrittenExecs.Load() - rec.base.rewritten,
+		planHits:   s.planCacheHits.Load() - rec.base.planHits,
+		planMisses: s.planCacheMisses.Load() - rec.base.planMisses,
 	}
 	s.Eng.stmtStats.record(rec.fp, rec.raw, micros, err != nil, d)
 }

@@ -28,13 +28,14 @@ const (
 	StatActivityTable   = SystemTablePrefix + "activity"
 	StatTablesTable     = SystemTablePrefix + "tables"
 	StatWALTable        = SystemTablePrefix + "wal"
+	StatColumnsTable    = SystemTablePrefix + "columns"
 )
 
 // IsSystemTable reports whether name (already lower-cased by callers)
 // names one of the aggify_stat_* views.
 func IsSystemTable(name string) bool {
 	switch name {
-	case StatStatementsTable, StatActivityTable, StatTablesTable, StatWALTable:
+	case StatStatementsTable, StatActivityTable, StatTablesTable, StatWALTable, StatColumnsTable:
 		return true
 	}
 	return false
@@ -53,6 +54,8 @@ func (e *Engine) systemTable(name string) (*storage.Table, error) {
 		return e.statTables(), nil
 	case StatWALTable:
 		return e.statWAL(), nil
+	case StatColumnsTable:
+		return e.statColumns(), nil
 	}
 	return nil, fmt.Errorf("engine: no system table %s", name)
 }
@@ -85,6 +88,8 @@ func (e *Engine) statStatements() *storage.Table {
 		intCol("row_execs"),
 		intCol("parallel_execs"),
 		intCol("rewritten"),
+		intCol("plan_cache_hits"),
+		intCol("plan_cache_misses"),
 	))
 	for _, r := range e.stmtStats.Snapshot() {
 		t.Insert(nil, []sqltypes.Value{
@@ -104,6 +109,8 @@ func (e *Engine) statStatements() *storage.Table {
 			sqltypes.NewInt(r.RowExecs),
 			sqltypes.NewInt(r.ParallelExecs),
 			sqltypes.NewInt(r.Rewritten),
+			sqltypes.NewInt(r.PlanHits),
+			sqltypes.NewInt(r.PlanMisses),
 		})
 	}
 	return t
@@ -230,19 +237,92 @@ func (e *Engine) statWAL() *storage.Table {
 	return t
 }
 
+// statColumns renders per-indexed-column statistics: the distinct-value
+// estimate and the equi-depth histogram the access-path cost model reads.
+// One row per histogram bucket; a column whose histogram is empty (no
+// non-NULL values) still gets one row with a NULL bucket.
+func (e *Engine) statColumns() *storage.Table {
+	t := storage.NewTable(StatColumnsTable, storage.NewSchema(
+		strCol("table_name", 128),
+		strCol("column_name", 128),
+		strCol("index_kind", 8),
+		intCol("distinct"),
+		intCol("sampled"),
+		intCol("bucket"),
+		strCol("hi", 64),
+		intCol("bucket_rows"),
+		intCol("bucket_ndv"),
+	))
+	tables := e.Tables()
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	for _, tab := range tables {
+		defs := tab.IndexDefs()
+		if len(defs) == 0 {
+			continue
+		}
+		st := tab.Statistics()
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Column < defs[j].Column })
+		for _, d := range defs {
+			kind := "hash"
+			if d.Ordered {
+				kind = "ordered"
+			}
+			distinct := int64(st.DistinctOf(tab.Schema, d.Column))
+			h := st.Histograms[d.Column]
+			base := []sqltypes.Value{
+				sqltypes.NewString(tab.Name),
+				sqltypes.NewString(d.Column),
+				sqltypes.NewString(kind),
+				sqltypes.NewInt(distinct),
+				sqltypes.NewInt(int64(h.Sampled)),
+			}
+			if len(h.Buckets) == 0 {
+				t.Insert(nil, append(append([]sqltypes.Value{}, base...),
+					sqltypes.Null, sqltypes.Null, sqltypes.Null, sqltypes.Null))
+				continue
+			}
+			for i, b := range h.Buckets {
+				t.Insert(nil, append(append([]sqltypes.Value{}, base...),
+					sqltypes.NewInt(int64(i)),
+					sqltypes.NewString(b.Hi.String()),
+					sqltypes.NewInt(int64(b.Rows)),
+					sqltypes.NewInt(int64(b.NDV))))
+			}
+		}
+	}
+	return t
+}
+
 // selectRefsSystemTable reports whether any table reference anywhere in q
 // (FROM items, joins, CTE bodies, UNION branches, derived tables, and
 // subqueries inside expressions) names a system view. Such queries are
 // compiled fresh on every execution and never enter the plan cache — their
 // "table" is a point-in-time snapshot that must be rebuilt per statement.
 func selectRefsSystemTable(q *ast.Select) bool {
+	return selectRefsTable(q, func(name string) bool { return IsSystemTable(name) })
+}
+
+// selectRefsTempTable reports whether any table reference anywhere in q
+// names a session temp table (#name) or table variable (@name). Such
+// queries stay out of the text-keyed plan cache: identical SQL in two
+// sessions resolves to different tables.
+func selectRefsTempTable(q *ast.Select) bool {
+	return selectRefsTable(q, func(name string) bool {
+		return len(name) > 0 && (name[0] == '#' || name[0] == '@')
+	})
+}
+
+// selectRefsTable walks every table reference in q (FROM items, joins, CTE
+// bodies, UNION branches, derived tables, and subqueries inside
+// expressions) and reports whether pred matches any lower-cased name.
+func selectRefsTable(q *ast.Select, pred func(name string) bool) bool {
 	found := false
 	var visit func(q *ast.Select)
 	var visitTE func(te ast.TableExpr)
 	visitTE = func(te ast.TableExpr) {
 		switch t := te.(type) {
 		case *ast.TableRef:
-			if IsSystemTable(strings.ToLower(t.Name)) {
+			if pred(strings.ToLower(t.Name)) {
 				found = true
 			}
 		case *ast.SubqueryRef:

@@ -215,6 +215,125 @@ func (o *IndexSeekOp) BatchCapable() bool { return true }
 // Close implements Operator.
 func (o *IndexSeekOp) Close() { o.rows = nil }
 
+// RangeSeekOp streams the rows of Table whose Column falls in [Lo, Hi]
+// through an ordered index. A nil bound scalar is unbounded on that side; a
+// bound that evaluates to NULL matches nothing (SQL comparisons with NULL
+// are never true). Like ScanOp it streams from a storage cursor one batch
+// at a time, so the PR 7 batch path consumes range seeks exactly as it
+// consumes scans.
+type RangeSeekOp struct {
+	Table    *storage.Table
+	Column   string
+	Lo, Hi   Scalar // nil = unbounded
+	LoStrict bool
+	HiStrict bool
+
+	cur   *storage.RangeCursor
+	empty bool
+	buf   []Row
+	pos   int
+	eof   bool
+	batch *Batch
+}
+
+// Open implements Operator, evaluating the bound scalars (they may
+// reference variables or outer rows) and opening the range cursor.
+func (o *RangeSeekOp) Open(ctx *Ctx) error {
+	o.cur = nil
+	o.empty = false
+	o.buf = o.buf[:0]
+	o.pos = 0
+	o.eof = false
+	lo, hi := sqltypes.Null, sqltypes.Null
+	if o.Lo != nil {
+		v, err := o.Lo(ctx, nil)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			o.empty = true
+			return nil
+		}
+		lo = v
+	}
+	if o.Hi != nil {
+		v, err := o.Hi(ctx, nil)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			o.empty = true
+			return nil
+		}
+		hi = v
+	}
+	cur, ok := o.Table.SeekRange(ctx.Snap, ctx.Stats, o.Column, lo, hi, o.LoStrict, o.HiStrict)
+	if !ok {
+		return fmt.Errorf("exec: no ordered index on %s(%s)", o.Table.Name, o.Column)
+	}
+	o.cur = cur
+	return nil
+}
+
+// BufferedRows reports the rows currently buffered (at most one batch).
+func (o *RangeSeekOp) BufferedRows() int { return len(o.buf) }
+
+// Next implements Operator.
+func (o *RangeSeekOp) Next(ctx *Ctx) (Row, error) {
+	if o.empty {
+		return nil, nil
+	}
+	for o.pos >= len(o.buf) {
+		if o.eof {
+			return nil, nil
+		}
+		if ctx.Interrupted() {
+			return nil, ErrInterrupted
+		}
+		o.buf = o.buf[:0]
+		o.pos = 0
+		if o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+			o.buf = append(o.buf, row)
+		}) == 0 {
+			o.eof = true
+		}
+	}
+	r := o.buf[o.pos]
+	o.pos++
+	return r, nil
+}
+
+// NextBatch implements BatchOperator, filling a columnar batch straight
+// from the range cursor.
+func (o *RangeSeekOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	if o.empty || o.eof {
+		return nil, nil
+	}
+	if ctx.Interrupted() {
+		return nil, ErrInterrupted
+	}
+	w := o.Table.Schema.Len()
+	if o.batch == nil {
+		o.batch = NewBatch(w)
+	}
+	b := o.batch
+	b.Reset(w)
+	o.cur.Next(ctx.Stats, DefaultBatchSize, func(row []sqltypes.Value) {
+		b.AppendRow(row)
+	})
+	if b.Len() == 0 {
+		o.eof = true
+		return nil, nil
+	}
+	return b, nil
+}
+
+// BatchCapable implements the batch contract.
+func (o *RangeSeekOp) BatchCapable() bool { return true }
+
+// Close implements Operator.
+func (o *RangeSeekOp) Close() { o.cur = nil; o.buf = nil }
+
 // LateScanOp scans a table variable or temp table resolved from the
 // context at Open time. Plans over such tables are cached across procedure
 // invocations even though each invocation declares fresh instances.

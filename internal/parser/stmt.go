@@ -856,8 +856,21 @@ func (p *Parser) parseCreate() (ast.Stmt, error) {
 		if err := p.expectPunct(")"); err != nil {
 			return nil, err
 		}
+		ordered := false
+		if p.isKw("using") {
+			p.advance()
+			switch {
+			case p.isKw("hash"):
+				p.advance()
+			case p.isKw("ordered"):
+				p.advance()
+				ordered = true
+			default:
+				return nil, p.errf("expected HASH or ORDERED after USING")
+			}
+		}
 		p.endStmt()
-		return &ast.CreateIndex{Name: name, Table: table, Column: column}, nil
+		return &ast.CreateIndex{Name: name, Table: table, Column: column, Ordered: ordered}, nil
 	case p.isKw("function"):
 		p.advance()
 		name, err := p.expectIdent()

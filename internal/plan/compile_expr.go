@@ -7,6 +7,7 @@ import (
 	"aggify/internal/ast"
 	"aggify/internal/exec"
 	"aggify/internal/sqltypes"
+	"aggify/internal/storage"
 )
 
 // compiler holds the immutable state of one compilation.
@@ -21,6 +22,44 @@ type compiler struct {
 	// by the exact predicate / derived-table-body pointers lowering emitted.
 	marks    map[ast.Expr]string
 	selMarks map[*ast.Select]string
+	// accessHints pins the access path choose_access_path selected for a
+	// base-table scan, keyed by the TableRef lowering emitted; joinMarks
+	// carries reorder_joins EXPLAIN suffixes, keyed by the lowered Join.
+	accessHints map[*ast.TableRef]*accessHint
+	joinMarks   map[*ast.Join]string
+}
+
+// stampingCatalog wraps a Catalog and records the stats version of every
+// base table a compile resolves — the staleness stamps the engine plan
+// cache checks on each lookup. Late-bound tables (@/# temp tables) are not
+// stamped; their contents are session-local and resolved at execution.
+type stampingCatalog struct {
+	inner Catalog
+	seen  map[*storage.Table]uint64
+}
+
+func (s *stampingCatalog) ResolveTable(name string) (*storage.Table, error) {
+	t, err := s.inner.ResolveTable(name)
+	if err == nil && t != nil && !lateBound(name) {
+		if _, ok := s.seen[t]; !ok {
+			s.seen[t] = t.StatsVersion()
+		}
+	}
+	return t, err
+}
+
+func (s *stampingCatalog) AggSpec(name string) (*exec.AggSpec, bool) { return s.inner.AggSpec(name) }
+func (s *stampingCatalog) ScalarFuncExists(name string) bool         { return s.inner.ScalarFuncExists(name) }
+
+func (s *stampingCatalog) stamps() []TableStamp {
+	if len(s.seen) == 0 {
+		return nil
+	}
+	out := make([]TableStamp, 0, len(s.seen))
+	for t, v := range s.seen {
+		out = append(out, TableStamp{Table: t, StatsVersion: v})
+	}
+	return out
 }
 
 // cteEnv is a lexically-scoped chain of CTE bindings.

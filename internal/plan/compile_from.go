@@ -588,6 +588,14 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 			for _, col := range tab.Schema.Columns {
 				sc.add(u.binding, col.Name, col.Type)
 			}
+			if h := c.accessHints[te]; h != nil {
+				hb, hn, hrest, err := c.compileHinted(u, h, tab, unitParent, env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				builder, n, rest = hb, hn, hrest
+				break
+			}
 			if col, key, remaining, ok := sargable(u); ok {
 				keyScalar, err := c.compileExpr(key, &scope{parent: unitParent}, env)
 				if err != nil {
@@ -643,6 +651,82 @@ func (c *compiler) compileUnit(u *fromUnit, parent *scope, env *cteEnv, nlRight 
 		}, n)
 	}
 	return builder, sc, n, nil
+}
+
+// compileHinted compiles a base-table unit along the access path the
+// choose_access_path pass pinned on it: a forced full scan, an index
+// equality seek, or an ordered-index range seek. Predicates whose work the
+// chosen path absorbs are dropped from the residual filter list.
+func (c *compiler) compileHinted(u *fromUnit, h *accessHint, tab *storage.Table, unitParent *scope, env *cteEnv) (opBuilder, *Node, []ast.Expr, error) {
+	rule := ruleName(RuleChooseAccessPath)
+	switch h.kind {
+	case accessEq:
+		keyScalar, err := c.compileExpr(h.key, &scope{parent: unitParent}, env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		mark := addMark(c.marks[h.eqConj], rule)
+		n := node(fmt.Sprintf("IndexSeek(%s.%s)", tab.Name, h.col) + c.rwSuffix(mark) + costSuffix(h.cost))
+		builder := annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.IndexSeekOp{Table: tab, Column: h.col, Key: keyScalar}
+		}, n)
+		return builder, n, withoutPreds(u.preds, h.eqConj), nil
+	case accessRange:
+		var lo, hi exec.Scalar
+		var err error
+		if h.lo != nil {
+			if lo, err = c.compileExpr(h.lo, &scope{parent: unitParent}, env); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if h.hi != nil {
+			if hi, err = c.compileExpr(h.hi, &scope{parent: unitParent}, env); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		mark := ""
+		for _, cj := range []ast.Expr{h.loConj, h.hiConj} {
+			if cj != nil && c.marks[cj] != "" {
+				mark = addMark(mark, c.marks[cj])
+			}
+		}
+		mark = addMark(mark, rule)
+		n := node(fmt.Sprintf("RangeSeek(%s.%s)", tab.Name, h.col) + c.rwSuffix(mark) + costSuffix(h.cost))
+		builder := annotate(func(bc *buildCtx) exec.Operator {
+			return &exec.RangeSeekOp{Table: tab, Column: h.col, Lo: lo, Hi: hi, LoStrict: h.loStrict, HiStrict: h.hiStrict}
+		}, n)
+		return builder, n, withoutPreds(u.preds, h.loConj, h.hiConj), nil
+	}
+	// Forced full scan: cheaper than any seek candidate. Keep the node
+	// identity usable as a parallel-scan partition target, exactly like an
+	// unhinted scan.
+	sn := node("Scan(" + tab.Name + ")" + c.rwSuffix(rule) + costSuffix(h.cost))
+	builder := annotate(func(bc *buildCtx) exec.Operator {
+		if p := bc.part; p != nil && p.target == sn {
+			return &exec.ParallelScanOp{Split: p.split, Part: p.index}
+		}
+		return &exec.ScanOp{Table: tab}
+	}, sn)
+	return builder, sn, u.preds, nil
+}
+
+// withoutPreds filters preds down to the members not absorbed by a seek,
+// compared by pointer.
+func withoutPreds(preds []ast.Expr, drop ...ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	for _, p := range preds {
+		used := false
+		for _, d := range drop {
+			if d != nil && d == p {
+				used = true
+				break
+			}
+		}
+		if !used {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // consumedPred returns the predicate an index seek absorbed: the one member
@@ -768,7 +852,7 @@ func (c *compiler) compileJoinExpr(j *ast.Join, parent *scope, env *cteEnv) (opB
 		}
 		lw, rw := leftSc.width(), rightSc.width()
 		outer := j.Kind == ast.JoinLeft
-		jn := node("HashJoin("+j.Kind.String()+")", leftN, rightN)
+		jn := node("HashJoin("+j.Kind.String()+")"+c.joinMarks[j], leftN, rightN)
 		builder := annotate(func(bc *buildCtx) exec.Operator {
 			return &exec.HashJoinOp{
 				Left: leftB(bc), Right: rightB(bc),
@@ -797,7 +881,7 @@ func (c *compiler) compileJoinExpr(j *ast.Join, parent *scope, env *cteEnv) (opB
 	}
 	lw, rw := leftSc.width(), rightSc.width()
 	outer := j.Kind == ast.JoinLeft
-	jn := node("NLJoin("+j.Kind.String()+")", leftN, rightN)
+	jn := node("NLJoin("+j.Kind.String()+")"+c.joinMarks[j], leftN, rightN)
 	builder := annotate(func(bc *buildCtx) exec.Operator {
 		return &exec.NLJoinOp{Left: leftB(bc), Right: rightB(bc), LeftWidth: lw, RightWidth: rw, On: on, LeftOuter: outer}
 	}, jn)

@@ -15,7 +15,8 @@ import (
 // the logical rewrite pass (logical.go + rewrite.go), then physical
 // compilation of the normalized AST.
 func Compile(cat Catalog, opts Options, q *ast.Select) (*Plan, error) {
-	c := &compiler{cat: cat, opts: opts}
+	sc := &stampingCatalog{inner: cat, seen: map[*storage.Table]uint64{}}
+	c := &compiler{cat: sc, opts: opts}
 	if !opts.DisableDecorrelation {
 		q = DecorrelateSelect(c, q)
 	}
@@ -24,14 +25,14 @@ func Compile(cat Catalog, opts Options, q *ast.Select) (*Plan, error) {
 	if err != nil && len(rewrites) > 0 {
 		// A rewritten query must never fail where the original compiles;
 		// fall back so a rule bug degrades to a missed optimization.
-		c2 := &compiler{cat: cat, opts: opts}
+		c2 := &compiler{cat: sc, opts: opts}
 		builder, cols, n, err = c2.compileSelect(q, nil, nil)
 		rewrites = nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	p := &Plan{Columns: cols, Explain: n, build: builder, Rewrites: rewrites}
+	p := &Plan{Columns: cols, Explain: n, build: builder, Rewrites: rewrites, Stamps: sc.stamps()}
 	p.Parallel, p.Batched = planShape(n)
 	return p, nil
 }
@@ -955,6 +956,7 @@ func batchChain(n *Node) bool {
 		return false
 	}
 	return strings.HasPrefix(n.Op, "Scan(") || strings.HasPrefix(n.Op, "IndexSeek(") ||
+		strings.HasPrefix(n.Op, "RangeSeek(") ||
 		strings.HasPrefix(n.Op, "LateScan(") || strings.HasPrefix(n.Op, "ParallelScan(")
 }
 

@@ -30,10 +30,13 @@ type lNode interface{ lnode() }
 
 // --- FROM-position nodes ---
 
-// lScan reads a base table, table variable, or temp table.
+// lScan reads a base table, table variable, or temp table. hint, when set
+// by choose_access_path, pins the physical access path the compiler must
+// use for this scan.
 type lScan struct {
 	Name  string
 	Alias string
+	hint  *accessHint
 }
 
 // lCTERef reads a common table expression visible in the current scope.
@@ -49,11 +52,15 @@ type lDerived struct {
 	mark  string // fired-rule annotation for EXPLAIN, "" when untouched
 }
 
-// lJoin is an explicit ANSI join.
+// lJoin is an explicit ANSI join. mark/cost annotate a join reorder_joins
+// rebuilt (mark is "" when untouched; cost is the estimated driving-leaf
+// cardinality shown in EXPLAIN).
 type lJoin struct {
 	Kind ast.JoinKind
 	L, R lNode
 	On   ast.Expr
+	mark string
+	cost float64
 }
 
 // lCross is a comma-joined FROM list (len 0: no FROM at all).
@@ -428,7 +435,14 @@ func (c *compiler) lowerFrom(n lNode) ([]ast.TableExpr, bool) {
 func (c *compiler) lowerUnit(n lNode) (ast.TableExpr, bool) {
 	switch t := n.(type) {
 	case *lScan:
-		return &ast.TableRef{Name: t.Name, Alias: t.Alias}, true
+		tr := &ast.TableRef{Name: t.Name, Alias: t.Alias}
+		if t.hint != nil {
+			if c.accessHints == nil {
+				c.accessHints = map[*ast.TableRef]*accessHint{}
+			}
+			c.accessHints[tr] = t.hint
+		}
+		return tr, true
 	case *lCTERef:
 		return &ast.TableRef{Name: t.Name, Alias: t.Alias}, true
 	case *lDerived:
@@ -449,7 +463,14 @@ func (c *compiler) lowerUnit(n lNode) (ast.TableExpr, bool) {
 		if !ok {
 			return nil, false
 		}
-		return &ast.Join{Kind: t.Kind, L: l, R: r, On: t.On}, true
+		j := &ast.Join{Kind: t.Kind, L: l, R: r, On: t.On}
+		if t.mark != "" {
+			if c.joinMarks == nil {
+				c.joinMarks = map[*ast.Join]string{}
+			}
+			c.joinMarks[j] = c.rwSuffix(t.mark) + costSuffix(t.cost)
+		}
+		return j, true
 	}
 	return nil, false
 }

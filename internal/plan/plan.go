@@ -74,7 +74,19 @@ type Plan struct {
 	Parallel bool
 	Batched  bool
 
+	// Stamps records the stats version of every base table this plan was
+	// costed against at compile time. The engine plan cache compares them
+	// to the tables' current versions and replans when the drift exceeds
+	// its staleness threshold.
+	Stamps []TableStamp
+
 	build opBuilder
+}
+
+// TableStamp is one table's stats version at plan-compile time.
+type TableStamp struct {
+	Table        *storage.Table
+	StatsVersion uint64
 }
 
 // Build instantiates the physical operator tree for one execution.

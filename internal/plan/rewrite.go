@@ -55,6 +55,19 @@ const (
 	// observes, because those sorts live inside the derived table below the
 	// aggregation, not above it.
 	RuleDropSort
+	// RuleReorderJoins greedily reorders all-inner explicit join chains by
+	// estimated leaf cardinality (smallest first), using table statistics
+	// and histogram selectivities. It preserves the result multiset but not
+	// row order — joins guarantee no order — so it is the one rule exempt
+	// from the order-identity contract above; queries that need an order
+	// state it with ORDER BY.
+	RuleReorderJoins
+	// RuleChooseAccessPath costs the access paths available to each base
+	// scan — full scan, hash/ordered index equality seek, ordered-index
+	// range seek — from table statistics and equi-depth histograms, and
+	// pins the cheapest on the plan. Decisions surface in EXPLAIN as
+	// [rw:choose_access_path] with a cost= annotation.
+	RuleChooseAccessPath
 
 	ruleSentinel
 )
@@ -66,7 +79,7 @@ const RuleAll RuleSet = ruleSentinel - 1
 func (r RuleSet) Has(x RuleSet) bool { return r&x != 0 }
 
 // ruleOrder fixes the reporting order (the order rules run in a pass).
-var ruleOrder = []RuleSet{RuleFoldConst, RulePushFilter, RulePushFilterDecor, RulePruneProject, RuleDropSort}
+var ruleOrder = []RuleSet{RuleFoldConst, RulePushFilter, RulePushFilterDecor, RulePruneProject, RuleDropSort, RuleReorderJoins, RuleChooseAccessPath}
 
 func ruleName(r RuleSet) string {
 	switch r {
@@ -80,6 +93,10 @@ func ruleName(r RuleSet) string {
 		return "prune_project"
 	case RuleDropSort:
 		return "drop_sort"
+	case RuleReorderJoins:
+		return "reorder_joins"
+	case RuleChooseAccessPath:
+		return "choose_access_path"
 	}
 	return fmt.Sprintf("rule(%#x)", uint32(r))
 }
@@ -155,6 +172,16 @@ func (rw *rewriter) run(n lNode) lNode {
 		if rw.total == before {
 			break
 		}
+	}
+	// Cost-based passes run once, after the local rules converge: the
+	// fixpoint above fixes predicate placement (and mutates conjunct
+	// pointers via folding), and these passes only decide among
+	// already-equivalent physical shapes — they never enable another rule.
+	if rw.rules.Has(RuleReorderJoins) {
+		n = rw.reorderPass(n)
+	}
+	if rw.rules.Has(RuleChooseAccessPath) {
+		n = rw.choosePass(n)
 	}
 	return n
 }

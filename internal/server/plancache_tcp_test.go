@@ -1,0 +1,73 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aggify/internal/client"
+	"aggify/internal/wire"
+)
+
+// TestPlanCacheWarmHitOverTCP: the same query over the wire must hit the
+// server's text-keyed plan cache on the second run and stream back a
+// byte-identical result set.
+func TestPlanCacheWarmHitOverTCP(t *testing.T) {
+	eng, _, addr := startServer(t)
+	conn, err := client.Dial(addr, wire.LAN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	var setup strings.Builder
+	setup.WriteString("create table pct (k int, v int);\n")
+	setup.WriteString("create index idx_pct on pct(k) using ordered;\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&setup, "insert into pct values (%d, %d);\n", i, i*7)
+	}
+	if err := conn.Exec(setup.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func() string {
+		t.Helper()
+		stmt, err := conn.Prepare("select k, v from pct where k >= 190 order by k")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := stmt.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rs.Close()
+		var b strings.Builder
+		b.WriteString(strings.Join(rs.Columns(), "|"))
+		for rs.Next() {
+			b.WriteByte('\n')
+			for i, v := range rs.Row() {
+				if i > 0 {
+					b.WriteByte('|')
+				}
+				b.WriteString(v.Display())
+			}
+		}
+		if err := rs.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	cold := fetch()
+	if eng.PlanCacheLen() == 0 {
+		t.Fatal("query over TCP did not populate the server's plan cache")
+	}
+	for i := 0; i < 3; i++ {
+		if warm := fetch(); warm != cold {
+			t.Fatalf("warm run %d not byte-identical:\ncold:\n%s\nwarm:\n%s", i, cold, warm)
+		}
+	}
+	if !strings.Contains(cold, "199") {
+		t.Fatalf("result set missing expected rows:\n%s", cold)
+	}
+}

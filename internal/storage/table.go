@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -9,8 +10,8 @@ import (
 	"aggify/internal/txn"
 )
 
-// Table is a heap table of per-row version chains with optional hash
-// indexes, read under snapshot isolation.
+// Table is a heap table of per-row version chains with optional hash and
+// ordered indexes, read under snapshot isolation.
 //
 // Every row occupies one slot; a slot's id (rid) is assigned at insert and
 // is stable forever — deletes leave a tombstone version, vacuum empties
@@ -42,7 +43,7 @@ type Table struct {
 
 	mu      sync.RWMutex
 	slots   []*slot
-	indexes map[string]*HashIndex // keyed by lower-cased column name
+	indexes map[string]TableIndex // keyed by lower-cased column name
 
 	liveRows atomic.Int64 // committed live rows (satellite fix: excludes deleted slots)
 
@@ -62,7 +63,7 @@ type slot struct {
 
 // NewTable creates an empty, unmanaged table.
 func NewTable(name string, schema *Schema) *Table {
-	return &Table{Name: name, Schema: schema, indexes: map[string]*HashIndex{}}
+	return &Table{Name: name, Schema: schema, indexes: map[string]TableIndex{}}
 }
 
 // Bind attaches the table to a transaction manager, making every
@@ -72,6 +73,11 @@ func (t *Table) Bind(mgr *txn.Manager) { t.mgr = mgr }
 
 // Managed reports whether the table is bound to a transaction manager.
 func (t *Table) Managed() bool { return t.mgr != nil }
+
+// StatsVersion returns the table's mutation counter: it bumps on every
+// committed mutation, so cached artifacts derived from table contents
+// (statistics, compiled plans) can detect drift cheaply.
+func (t *Table) StatsVersion() uint64 { return t.statsVersion.Load() }
 
 // RowCount returns the number of committed live rows. (Before MVCC this
 // returned the slot count, which silently included every deleted row —
@@ -170,7 +176,7 @@ func (t *Table) Insert(tx *txn.Txn, row []sqltypes.Value) error {
 		s.head.Store(txn.NewCommittedVersion(coerced, nil, 0))
 		t.slots = append(t.slots, s)
 		for _, idx := range t.indexes {
-			idx.add(coerced[idx.ordinal], rid)
+			idx.add(coerced[idx.ord()], rid)
 		}
 		t.liveRows.Add(1)
 		t.statsVersion.Add(1)
@@ -188,7 +194,7 @@ func (t *Table) insertTx(tx *txn.Txn, coerced []sqltypes.Value) error {
 	s.head.Store(v)
 	t.slots = append(t.slots, s)
 	for _, idx := range t.indexes {
-		idx.add(coerced[idx.ordinal], rid)
+		idx.add(coerced[idx.ord()], rid)
 	}
 	tx.Track(v)
 	tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutInsert, Rid: rid, Row: coerced})
@@ -201,7 +207,7 @@ func (t *Table) insertTx(tx *txn.Txn, coerced []sqltypes.Value) error {
 		defer t.mu.Unlock()
 		s.head.Store(nil)
 		for _, idx := range t.indexes {
-			idx.remove(coerced[idx.ordinal], rid)
+			idx.remove(coerced[idx.ord()], rid)
 		}
 	})
 	return nil
@@ -301,8 +307,8 @@ func (t *Table) Update(tx *txn.Txn, rid int, row []sqltypes.Value) error {
 		}
 		old := head.Row
 		for _, idx := range t.indexes {
-			idx.remove(old[idx.ordinal], rid)
-			idx.add(coerced[idx.ordinal], rid)
+			idx.remove(old[idx.ord()], rid)
+			idx.add(coerced[idx.ord()], rid)
 		}
 		s.head.Store(txn.NewCommittedVersion(coerced, nil, 0))
 		t.statsVersion.Add(1)
@@ -330,7 +336,7 @@ func (t *Table) Delete(tx *txn.Txn, rid int) error {
 		}
 		old := head.Row
 		for _, idx := range t.indexes {
-			idx.remove(old[idx.ordinal], rid)
+			idx.remove(old[idx.ord()], rid)
 		}
 		s.head.Store(nil)
 		t.liveRows.Add(-1)
@@ -388,7 +394,7 @@ func (t *Table) writeTx(tx *txn.Txn, rid int, coerced []sqltypes.Value, tombston
 		})
 	} else {
 		for _, idx := range t.indexes {
-			idx.add(coerced[idx.ordinal], rid)
+			idx.add(coerced[idx.ord()], rid)
 		}
 		tx.Log(txn.Mutation{Table: t.Name, Op: txn.MutUpdate, Rid: rid, Row: coerced})
 		tx.OnCommit(func(uint64) {
@@ -416,7 +422,7 @@ func (t *Table) replaceOwnVersion(tx *txn.Txn, s *slot, rid int, head *txn.Versi
 	tx.Track(v)
 	if !tombstone {
 		for _, idx := range t.indexes {
-			idx.add(coerced[idx.ordinal], rid)
+			idx.add(coerced[idx.ord()], rid)
 		}
 	}
 	t.dropKeyUnlessChained(head.Row, v, rid)
@@ -442,7 +448,7 @@ func (t *Table) replaceOwnVersion(tx *txn.Txn, s *slot, rid int, head *txn.Versi
 		}
 		if head.Row != nil {
 			for _, idx := range t.indexes {
-				idx.add(head.Row[idx.ordinal], rid)
+				idx.add(head.Row[idx.ord()], rid)
 			}
 		}
 	})
@@ -457,10 +463,10 @@ func (t *Table) dropKeyUnlessChained(row []sqltypes.Value, chainHead *txn.Versio
 		return
 	}
 	for _, idx := range t.indexes {
-		key := row[idx.ordinal]
+		key := row[idx.ord()]
 		keep := false
 		for v := chainHead; v != nil; v = v.Prev() {
-			if v.Row != nil && sqltypes.Equal(v.Row[idx.ordinal], key) {
+			if v.Row != nil && sqltypes.Equal(v.Row[idx.ord()], key) {
 				keep = true
 				break
 			}
@@ -536,7 +542,7 @@ func (t *Table) truncateTx(tx *txn.Txn) error {
 			slotRef.head.Store(restore)
 			if restore.Row != nil {
 				for _, idx := range t.indexes {
-					idx.add(restore.Row[idx.ordinal], rid)
+					idx.add(restore.Row[idx.ord()], rid)
 				}
 			}
 		})
@@ -557,8 +563,19 @@ func (t *Table) truncateTx(tx *txn.Txn) error {
 
 // CreateIndex builds a hash index on the named column, covering every
 // version any live snapshot could still see. Creating an index that
-// already exists is a no-op.
+// already exists with the same kind is a no-op; creating one with the
+// other kind rebuilds it in place.
 func (t *Table) CreateIndex(column string) error {
+	return t.createIndex(column, false)
+}
+
+// CreateOrderedIndex builds an ordered (range-seekable) index on the named
+// column, with the same coverage and replacement rules as CreateIndex.
+func (t *Table) CreateOrderedIndex(column string) error {
+	return t.createIndex(column, true)
+}
+
+func (t *Table) createIndex(column string, ordered bool) error {
 	ord := t.Schema.Ordinal(column)
 	if ord < 0 {
 		return fmt.Errorf("storage: table %s has no column %q", t.Name, column)
@@ -566,10 +583,15 @@ func (t *Table) CreateIndex(column string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	key := t.Schema.Columns[ord].Name
-	if _, ok := t.indexes[key]; ok {
+	if existing, ok := t.indexes[key]; ok && existing.Ordered() == ordered {
 		return nil
 	}
-	idx := newHashIndex(ord)
+	var idx TableIndex
+	if ordered {
+		idx = newOrderedIndex(ord)
+	} else {
+		idx = newHashIndex(ord)
+	}
 	for rid, s := range t.slots {
 		for v := s.head.Load(); v != nil; v = v.Prev() {
 			if v.Row != nil {
@@ -581,15 +603,19 @@ func (t *Table) CreateIndex(column string) error {
 	return nil
 }
 
-// Index returns the hash index on the named column, or nil.
-func (t *Table) Index(column string) *HashIndex {
+// Index returns the index on the named column, or nil.
+func (t *Table) Index(column string) TableIndex {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	ord := t.Schema.Ordinal(column)
 	if ord < 0 {
 		return nil
 	}
-	return t.indexes[t.Schema.Columns[ord].Name]
+	idx, ok := t.indexes[t.Schema.Columns[ord].Name]
+	if !ok {
+		return nil
+	}
+	return idx
 }
 
 // IndexColumns returns the indexed column names (checkpointing).
@@ -601,6 +627,25 @@ func (t *Table) IndexColumns() []string {
 		cols = append(cols, name)
 	}
 	return cols
+}
+
+// IndexDef describes one index for checkpointing and introspection.
+type IndexDef struct {
+	Column  string
+	Ordered bool
+}
+
+// IndexDefs returns every index's definition, sorted by column name for
+// deterministic checkpoint images and system-table output.
+func (t *Table) IndexDefs() []IndexDef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	defs := make([]IndexDef, 0, len(t.indexes))
+	for name, idx := range t.indexes {
+		defs = append(defs, IndexDef{Column: name, Ordered: idx.Ordered()})
+	}
+	sort.Slice(defs, func(i, j int) bool { return defs[i].Column < defs[j].Column })
+	return defs
 }
 
 // Seek looks up rows whose indexed column equals key via the index on the
@@ -673,7 +718,7 @@ func (t *Table) Vacuum(oldest uint64) {
 			for v := head; v != nil; v = v.Prev() {
 				if v.Row != nil {
 					for _, idx := range t.indexes {
-						idx.remove(v.Row[idx.ordinal], rid)
+						idx.remove(v.Row[idx.ord()], rid)
 					}
 				}
 			}
@@ -725,7 +770,7 @@ func (t *Table) LoadCheckpointSlots(rows [][]sqltypes.Value) {
 			s.head.Store(txn.NewCommittedVersion(row, nil, 0))
 			live++
 			for _, idx := range t.indexes {
-				idx.add(row[idx.ordinal], rid)
+				idx.add(row[idx.ord()], rid)
 			}
 		}
 		t.slots[rid] = s
@@ -752,14 +797,14 @@ func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
 		} else {
 			if old := t.slots[m.Rid].head.Load(); old != nil && old.Row != nil {
 				for _, idx := range t.indexes {
-					idx.remove(old.Row[idx.ordinal], m.Rid)
+					idx.remove(old.Row[idx.ord()], m.Rid)
 				}
 				t.liveRows.Add(-1)
 			}
 			t.slots[m.Rid] = s
 		}
 		for _, idx := range t.indexes {
-			idx.add(m.Row[idx.ordinal], m.Rid)
+			idx.add(m.Row[idx.ord()], m.Rid)
 		}
 		t.liveRows.Add(1)
 	case txn.MutUpdate:
@@ -769,12 +814,12 @@ func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
 		s := t.slots[m.Rid]
 		if old := s.head.Load(); old != nil && old.Row != nil {
 			for _, idx := range t.indexes {
-				idx.remove(old.Row[idx.ordinal], m.Rid)
+				idx.remove(old.Row[idx.ord()], m.Rid)
 			}
 		}
 		s.head.Store(txn.NewCommittedVersion(m.Row, nil, epoch))
 		for _, idx := range t.indexes {
-			idx.add(m.Row[idx.ordinal], m.Rid)
+			idx.add(m.Row[idx.ord()], m.Rid)
 		}
 	case txn.MutDelete:
 		if m.Rid < 0 || m.Rid >= len(t.slots) {
@@ -783,7 +828,7 @@ func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
 		s := t.slots[m.Rid]
 		if old := s.head.Load(); old != nil && old.Row != nil {
 			for _, idx := range t.indexes {
-				idx.remove(old.Row[idx.ordinal], m.Rid)
+				idx.remove(old.Row[idx.ord()], m.Rid)
 			}
 			t.liveRows.Add(-1)
 		}
@@ -792,7 +837,7 @@ func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
 		for rid, s := range t.slots {
 			if old := s.head.Load(); old != nil && old.Row != nil {
 				for _, idx := range t.indexes {
-					idx.remove(old.Row[idx.ordinal], rid)
+					idx.remove(old.Row[idx.ord()], rid)
 				}
 			}
 			s.head.Store(nil)
@@ -805,14 +850,34 @@ func (t *Table) ReplayApply(m txn.Mutation, epoch uint64) error {
 	return nil
 }
 
-// HashIndex is an equality index from column value to row ids. NULL keys
-// are not indexed (SQL equality never matches NULL). Entries are
-// deduplicated per (key, rid): a rid appears at most once under a given
-// key no matter how many chain versions carry it.
+// TableIndex is the contract both index kinds implement. Mutation methods
+// are called with the table write lock held; lookup is called under the
+// read lock and must return a freshly allocated slice. NULL keys are never
+// indexed (SQL equality and range comparisons never match NULL), and
+// entries are deduplicated per (key, rid): a rid appears at most once under
+// a given key no matter how many chain versions carry it.
+type TableIndex interface {
+	// ord is the indexed column's schema ordinal.
+	ord() int
+	add(key sqltypes.Value, rid int)
+	remove(key sqltypes.Value, rid int)
+	clear()
+	// lookup returns the row ids whose key equals the given value.
+	lookup(key sqltypes.Value) []int
+	// Ordered reports whether the index supports range seeks.
+	Ordered() bool
+}
+
+// HashIndex is an equality index from column value to row ids.
 type HashIndex struct {
 	ordinal int
 	buckets map[uint64][]entry
 }
+
+func (ix *HashIndex) ord() int { return ix.ordinal }
+
+// Ordered implements TableIndex: hash indexes support equality only.
+func (ix *HashIndex) Ordered() bool { return false }
 
 type entry struct {
 	key sqltypes.Value

@@ -1,6 +1,10 @@
 package storage
 
-import "aggify/internal/sqltypes"
+import (
+	"sort"
+
+	"aggify/internal/sqltypes"
+)
 
 // Table statistics: the committed live row count plus per-column distinct
 // estimates, kept honest across every mutation path.
@@ -16,6 +20,87 @@ import "aggify/internal/sqltypes"
 // indistinguishable from a duplicate, which is far below the estimate's
 // useful precision) and computed from the latest committed state.
 
+// HistogramBuckets is the equi-depth bucket count per histogram.
+const HistogramBuckets = 32
+
+// histogramSampleCap bounds how many rows feed a histogram: beyond it the
+// build strides deterministically (every k-th collected value), so two
+// builds over the same data always produce the same buckets — EXPLAIN cost
+// annotations and goldens stay stable.
+const histogramSampleCap = 8192
+
+// HistogramBucket is one equi-depth bucket: it covers the half-open key
+// range (previous bucket's Hi, Hi], holding Rows sampled rows across NDV
+// distinct values.
+type HistogramBucket struct {
+	Hi   sqltypes.Value
+	Rows int
+	NDV  int
+}
+
+// Histogram is an equi-depth histogram over one indexed column's sampled
+// non-NULL values.
+type Histogram struct {
+	Buckets []HistogramBucket
+	// Sampled is the number of values the buckets were built from; Rows is
+	// the table's live row count at build time (Sampled <= Rows).
+	Sampled int
+	Rows    int
+}
+
+// SelectivityRange estimates the fraction of the column's rows whose value
+// falls in [lo, hi] (strict flags make a bound exclusive; a NULL bound is
+// unbounded on that side). Buckets fully inside the range contribute
+// whole, straddling buckets contribute half — coarse, but deterministic
+// and monotone, which is all the access-path cost model needs.
+func (h Histogram) SelectivityRange(lo, hi sqltypes.Value, loStrict, hiStrict bool) float64 {
+	if h.Sampled == 0 || len(h.Buckets) == 0 {
+		return 1
+	}
+	rows := 0.0
+	prev := sqltypes.Null // exclusive lower bound of the current bucket
+	for _, b := range h.Buckets {
+		in := rangeOverlap(prev, b.Hi, lo, hi, loStrict, hiStrict)
+		rows += in * float64(b.Rows)
+		prev = b.Hi
+	}
+	return rows / float64(h.Sampled)
+}
+
+// rangeOverlap classifies how much of the bucket (bLo, bHi] overlaps the
+// query range: 0 (disjoint), 1 (contained), or 0.5 (straddling).
+func rangeOverlap(bLo, bHi, lo, hi sqltypes.Value, loStrict, hiStrict bool) float64 {
+	// Entirely above: every bucket value exceeds the bucket's exclusive
+	// lower bound, so bLo >= hi puts the whole bucket past the range.
+	if !hi.IsNull() && !bLo.IsNull() {
+		if c, ok := sqltypes.Compare(bLo, hi); ok && c >= 0 {
+			return 0
+		}
+	}
+	// Entirely below: the bucket's inclusive upper bound misses lo.
+	if !lo.IsNull() {
+		if c, ok := sqltypes.Compare(bHi, lo); ok && (c < 0 || (c == 0 && loStrict)) {
+			return 0
+		}
+	}
+	loIn := lo.IsNull()
+	if !loIn && !bLo.IsNull() {
+		if c, ok := sqltypes.Compare(bLo, lo); ok && c >= 0 {
+			loIn = true // every bucket value > bLo >= lo
+		}
+	}
+	hiIn := hi.IsNull()
+	if !hiIn {
+		if c, ok := sqltypes.Compare(bHi, hi); ok && (c < 0 || (c == 0 && !hiStrict)) {
+			hiIn = true
+		}
+	}
+	if loIn && hiIn {
+		return 1
+	}
+	return 0.5
+}
+
 // TableStatistics is a point-in-time statistics snapshot.
 type TableStatistics struct {
 	// Rows is the committed live row count (equal to RowCount()).
@@ -23,6 +108,10 @@ type TableStatistics struct {
 	// Distinct holds the distinct-value estimate per column ordinal.
 	// NULLs do not contribute (matching index behavior).
 	Distinct []int
+	// Histograms holds an equi-depth histogram per indexed column (keyed
+	// by lower-cased column name) — the inputs the access-path cost model
+	// and aggify_stat_columns read.
+	Histograms map[string]Histogram
 }
 
 // DistinctOf returns the distinct estimate for the named column, or -1
@@ -36,7 +125,8 @@ func (ts TableStatistics) DistinctOf(s *Schema, column string) int {
 }
 
 // Statistics returns current table statistics, recomputing the cached
-// distinct estimates if any mutation committed since the last call.
+// distinct estimates and histograms if any mutation committed since the
+// last call.
 func (t *Table) Statistics() TableStatistics {
 	v := t.statsVersion.Load()
 	t.statsMu.Lock()
@@ -49,6 +139,15 @@ func (t *Table) Statistics() TableStatistics {
 	for i := range sets {
 		sets[i] = map[uint64]struct{}{}
 	}
+	// Histogram inputs: collect the non-NULL values of every indexed
+	// column during the same scan.
+	defs := t.IndexDefs()
+	histVals := make(map[string][]sqltypes.Value, len(defs))
+	histOrds := make(map[string]int, len(defs))
+	for _, d := range defs {
+		histVals[d.Column] = nil
+		histOrds[d.Column] = t.Schema.Ordinal(d.Column)
+	}
 	rows := 0
 	t.Scan(nil, nil, func(_ int, row []sqltypes.Value) bool {
 		rows++
@@ -57,13 +156,68 @@ func (t *Table) Statistics() TableStatistics {
 				sets[i][sqltypes.Hash(val)] = struct{}{}
 			}
 		}
+		for col, ord := range histOrds {
+			if !row[ord].IsNull() {
+				histVals[col] = append(histVals[col], row[ord])
+			}
+		}
 		return true
 	})
-	st := &TableStatistics{Rows: rows, Distinct: make([]int, ncols)}
+	st := &TableStatistics{Rows: rows, Distinct: make([]int, ncols), Histograms: make(map[string]Histogram, len(defs))}
 	for i, set := range sets {
 		st.Distinct[i] = len(set)
+	}
+	for col, vals := range histVals {
+		st.Histograms[col] = buildHistogram(vals, rows)
 	}
 	t.statsCache = st
 	t.statsCachedAt = v
 	return *st
+}
+
+// buildHistogram makes an equi-depth histogram from one column's collected
+// non-NULL values. Oversized inputs are strided down deterministically
+// before sorting, so the result depends only on the table contents.
+func buildHistogram(vals []sqltypes.Value, rows int) Histogram {
+	if len(vals) > histogramSampleCap {
+		stride := (len(vals) + histogramSampleCap - 1) / histogramSampleCap
+		sampled := make([]sqltypes.Value, 0, histogramSampleCap)
+		for i := 0; i < len(vals); i += stride {
+			sampled = append(sampled, vals[i])
+		}
+		vals = sampled
+	}
+	h := Histogram{Sampled: len(vals), Rows: rows}
+	if len(vals) == 0 {
+		return h
+	}
+	sort.SliceStable(vals, func(i, j int) bool {
+		c, ok := sqltypes.Compare(vals[i], vals[j])
+		return ok && c < 0
+	})
+	depth := (len(vals) + HistogramBuckets - 1) / HistogramBuckets
+	count, ndv := 0, 0
+	for i, v := range vals {
+		count++
+		if i == 0 {
+			ndv = 1
+		} else if c, ok := sqltypes.Compare(v, vals[i-1]); !ok || c != 0 {
+			ndv++
+		}
+		// Close the bucket once it is deep enough and the next value
+		// differs (bucket boundaries never split a key's duplicates, so
+		// each key belongs to exactly one bucket).
+		last := i == len(vals)-1
+		boundary := false
+		if !last && count >= depth {
+			if c, ok := sqltypes.Compare(vals[i+1], v); !ok || c != 0 {
+				boundary = true
+			}
+		}
+		if last || boundary {
+			h.Buckets = append(h.Buckets, HistogramBucket{Hi: v, Rows: count, NDV: ndv})
+			count, ndv = 0, 0
+		}
+	}
+	return h
 }

@@ -17,17 +17,28 @@ import (
 // later epoch. Dead slots are preserved in the image so slot ids — which
 // the log's mutation records address — stay stable across restarts.
 
-// checkpointMagic identifies the file and its format version.
-var checkpointMagic = []byte("AGCP\x01")
+// checkpointMagic identifies the file and its format version. Version 2
+// added a kind byte per index entry; version-1 files still load (their
+// indexes decode as hash).
+var (
+	checkpointMagic   = []byte("AGCP\x02")
+	checkpointMagicV1 = []byte("AGCP\x01")
+)
 
 // CheckpointPath returns the checkpoint file path inside a data directory.
 func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.bin") }
+
+// IndexDef is the serialized definition of one index.
+type IndexDef struct {
+	Column  string
+	Ordered bool
+}
 
 // TableImage is the serialized state of one table.
 type TableImage struct {
 	Name    string
 	Cols    []ColumnDef
-	Indexes []string           // indexed column names
+	Indexes []IndexDef
 	Slots   [][]sqltypes.Value // one entry per slot; nil = dead slot
 }
 
@@ -50,7 +61,12 @@ func WriteCheckpoint(dir string, cp *Checkpoint) error {
 		}
 		payload = binary.AppendUvarint(payload, uint64(len(t.Indexes)))
 		for _, ix := range t.Indexes {
-			payload = appendString(payload, ix)
+			payload = appendString(payload, ix.Column)
+			if ix.Ordered {
+				payload = append(payload, 1)
+			} else {
+				payload = append(payload, 0)
+			}
 		}
 		payload = binary.AppendUvarint(payload, uint64(len(t.Slots)))
 		for _, row := range t.Slots {
@@ -111,7 +127,15 @@ func ReadCheckpoint(dir string) (*Checkpoint, bool, error) {
 		}
 		return nil, false, err
 	}
-	if len(buf) < len(checkpointMagic)+frameOverhead || string(buf[:len(checkpointMagic)]) != string(checkpointMagic) {
+	if len(buf) < len(checkpointMagic)+frameOverhead {
+		return nil, false, fmt.Errorf("wal: malformed checkpoint header")
+	}
+	v1 := false
+	switch string(buf[:len(checkpointMagic)]) {
+	case string(checkpointMagic):
+	case string(checkpointMagicV1):
+		v1 = true
+	default:
 		return nil, false, fmt.Errorf("wal: malformed checkpoint header")
 	}
 	buf = buf[len(checkpointMagic):]
@@ -162,10 +186,17 @@ func ReadCheckpoint(dir string) (*Checkpoint, bool, error) {
 		}
 		payload = rest
 		for j := uint64(0); j < nidx; j++ {
-			var ix string
-			ix, payload, err = decodeString(payload)
+			var ix IndexDef
+			ix.Column, payload, err = decodeString(payload)
 			if err != nil {
 				return nil, false, err
+			}
+			if !v1 {
+				if len(payload) < 1 {
+					return nil, false, fmt.Errorf("wal: truncated checkpoint index")
+				}
+				ix.Ordered = payload[0] != 0
+				payload = payload[1:]
 			}
 			t.Indexes = append(t.Indexes, ix)
 		}

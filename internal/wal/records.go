@@ -58,11 +58,14 @@ type CreateTableRecord struct {
 	Cols  []ColumnDef
 }
 
-// CreateIndexRecord logs a CREATE INDEX.
+// CreateIndexRecord logs a CREATE INDEX. Ordered distinguishes ordered
+// (range-capable) indexes from hash indexes; logs written before the field
+// existed decode as hash.
 type CreateIndexRecord struct {
-	Epoch  uint64
-	Table  string
-	Column string
+	Epoch   uint64
+	Table   string
+	Column  string
+	Ordered bool
 }
 
 // DropTableRecord logs a DROP TABLE.
@@ -126,13 +129,18 @@ func EncodeCreateTable(epoch uint64, name string, cols []ColumnDef) []byte {
 	return buf
 }
 
-// EncodeCreateIndex serializes a CREATE INDEX payload.
-func EncodeCreateIndex(epoch uint64, table, column string) []byte {
+// EncodeCreateIndex serializes a CREATE INDEX payload. The index kind is a
+// trailing byte: decoders that predate it ignore trailing bytes, and
+// records without it decode as hash.
+func EncodeCreateIndex(epoch uint64, table, column string, ordered bool) []byte {
 	buf := []byte{recCreateIndex}
 	buf = binary.AppendUvarint(buf, epoch)
 	buf = appendString(buf, table)
 	buf = appendString(buf, column)
-	return buf
+	if ordered {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
 }
 
 // EncodeDropTable serializes a DROP TABLE payload.
@@ -243,9 +251,12 @@ func DecodeRecord(payload []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		rec.Column, _, err = decodeString(buf)
+		rec.Column, buf, err = decodeString(buf)
 		if err != nil {
 			return nil, err
+		}
+		if len(buf) > 0 {
+			rec.Ordered = buf[0] != 0
 		}
 		return rec, nil
 	case recDropTable:

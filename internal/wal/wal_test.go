@@ -44,12 +44,23 @@ func TestRecordRoundTrip(t *testing.T) {
 		t.Fatalf("create table decoded %#v", ct)
 	}
 
-	ci, err := DecodeRecord(EncodeCreateIndex(8, "t", "a"))
+	ci, err := DecodeRecord(EncodeCreateIndex(8, "t", "a", true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := ci.(*CreateIndexRecord); r.Epoch != 8 || r.Table != "t" || r.Column != "a" {
+	if r := ci.(*CreateIndexRecord); r.Epoch != 8 || r.Table != "t" || r.Column != "a" || !r.Ordered {
 		t.Fatalf("create index decoded %#v", ci)
+	}
+	// A record without the trailing kind byte (pre-ordered-index logs)
+	// decodes as a hash index.
+	legacy := EncodeCreateIndex(8, "t", "a", false)
+	legacy = legacy[:len(legacy)-1]
+	ci, err = DecodeRecord(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ci.(*CreateIndexRecord); r.Ordered {
+		t.Fatalf("legacy create index decoded %#v", ci)
 	}
 
 	dt, err := DecodeRecord(EncodeDropTable(9, "t"))
@@ -274,7 +285,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 					{Name: "a", Type: sqltypes.Type{ID: sqltypes.TInt}},
 					{Name: "b", Type: sqltypes.Type{ID: sqltypes.TVarChar, Prec: 30}},
 				},
-				Indexes: []string{"a"},
+				Indexes: []IndexDef{{Column: "a", Ordered: true}, {Column: "b"}},
 				Slots: [][]sqltypes.Value{
 					{sqltypes.NewInt(1), sqltypes.NewString("one")},
 					nil, // dead slot must survive the round trip (rid stability)

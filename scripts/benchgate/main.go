@@ -1,7 +1,7 @@
 // Command benchgate is the CI bench-regression gate. It runs the short
 // ^BenchmarkGate suite (see bench_gate_test.go), distills each benchmark to
 // its best ns/op across -count runs, and compares the result against the
-// committed snapshot BENCH_5.json:
+// committed snapshot BENCH_6.json:
 //
 //   - any benchmark more than -threshold (default 25%) slower than its
 //     snapshot entry fails the gate;
@@ -20,6 +20,13 @@
 //   - the norewrite ÷ rewrite ns/op ratio of BenchmarkGatePushdown is
 //     recorded as pushdown_speedup and must be ≥ 1.5 — the predicate-
 //     pushdown rewrite has to actually pay for itself;
+//   - the fullscan ÷ rangeseek ns/op ratio of BenchmarkGateRangeSeek is
+//     recorded as rangeseek_speedup and must be ≥ 5 — the ordered-index
+//     range seek the cost model picks has to dodge most of the scan;
+//   - BenchmarkGatePlanCache/replay's warm hit rate is recorded as
+//     plan_cache_hit_pct and must be ≥ 99%, and
+//     BenchmarkGatePlanCache/lookup must report 0 allocs/op — a warm
+//     AST-identity cache hit may not allocate;
 //   - -update rewrites the snapshot with the current numbers instead of
 //     comparing.
 //
@@ -39,9 +46,15 @@ import (
 )
 
 type benchResult struct {
-	Name       string  `json:"name"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	RowsPerSec float64 `json:"rows_per_sec,omitempty"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	HitPct      float64 `json:"hit_pct,omitempty"`
+
+	// sawAllocs distinguishes a measured 0 allocs/op from a cell that
+	// never reported allocations.
+	sawAllocs bool
 }
 
 type snapshot struct {
@@ -52,10 +65,13 @@ type snapshot struct {
 	// the ≥2× parallel enforcement is meaningful (NumCPU >= 4). Comparing on
 	// a multi-CPU host against an unarmed snapshot is a gate failure: the
 	// baseline must be re-recorded there.
-	ParallelArmed   bool    `json:"parallel_armed"`
-	ParallelSpeedup float64 `json:"parallel_speedup"`
-	BatchSpeedup    float64 `json:"batch_speedup"`
-	PushdownSpeedup float64 `json:"pushdown_speedup"`
+	ParallelArmed    bool    `json:"parallel_armed"`
+	ParallelSpeedup  float64 `json:"parallel_speedup"`
+	BatchSpeedup     float64 `json:"batch_speedup"`
+	PushdownSpeedup  float64 `json:"pushdown_speedup"`
+	RangeSeekSpeedup float64 `json:"rangeseek_speedup"`
+	PlanCacheHitPct  float64 `json:"plan_cache_hit_pct"`
+	PlanCacheAllocs  float64 `json:"plan_cache_allocs"`
 }
 
 const (
@@ -65,6 +81,10 @@ const (
 	rowBench       = "BenchmarkGateBatch/row"
 	rewriteBench   = "BenchmarkGatePushdown/rewrite"
 	norewriteBench = "BenchmarkGatePushdown/norewrite"
+	rangeBench     = "BenchmarkGateRangeSeek/rangeseek"
+	fullscanBench  = "BenchmarkGateRangeSeek/fullscan"
+	replayBench    = "BenchmarkGatePlanCache/replay"
+	lookupBench    = "BenchmarkGatePlanCache/lookup"
 
 	// minParallelCPUs is the host size below which a 4-worker speedup ratio
 	// measures scheduler contention, not parallelism.
@@ -75,7 +95,7 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the snapshot with the current numbers")
-	snapPath := flag.String("snapshot", "BENCH_5.json", "snapshot file to compare against")
+	snapPath := flag.String("snapshot", "BENCH_6.json", "snapshot file to compare against")
 	benchRe := flag.String("bench", "^BenchmarkGate", "benchmark selection regex")
 	benchtime := flag.String("benchtime", "200ms", "per-benchmark measuring time")
 	count := flag.Int("count", 3, "runs per benchmark (best is kept)")
@@ -116,6 +136,17 @@ func main() {
 			cur.PushdownSpeedup = round3(n.NsPerOp / r.NsPerOp)
 		}
 	}
+	if f, ok := byName[fullscanBench]; ok {
+		if r, ok := byName[rangeBench]; ok && r.NsPerOp > 0 {
+			cur.RangeSeekSpeedup = round3(f.NsPerOp / r.NsPerOp)
+		}
+	}
+	if r, ok := byName[replayBench]; ok {
+		cur.PlanCacheHitPct = round3(r.HitPct)
+	}
+	if l, ok := byName[lookupBench]; ok {
+		cur.PlanCacheAllocs = l.AllocsPerOp
+	}
 
 	for _, r := range results {
 		line := fmt.Sprintf("%-44s %14.0f ns/op", r.Name, r.NsPerOp)
@@ -127,6 +158,8 @@ func main() {
 	fmt.Printf("parallel speedup (serial/maxdop=4): %.2fx on %d CPUs\n", cur.ParallelSpeedup, cur.NumCPU)
 	fmt.Printf("batch speedup (row/batch): %.2fx\n", cur.BatchSpeedup)
 	fmt.Printf("pushdown speedup (norewrite/rewrite): %.2fx\n", cur.PushdownSpeedup)
+	fmt.Printf("rangeseek speedup (fullscan/rangeseek): %.2fx\n", cur.RangeSeekSpeedup)
+	fmt.Printf("plan cache: %.1f%% warm hit rate, %.0f allocs/op warm lookup\n", cur.PlanCacheHitPct, cur.PlanCacheAllocs)
 
 	if *update {
 		if !armed {
@@ -217,6 +250,21 @@ func main() {
 		failures = append(failures, fmt.Sprintf("pushdown speedup %.2fx < 1.5x (rewrite pass not paying for itself)",
 			cur.PushdownSpeedup))
 	}
+	// And the range-seek ratio: the cost model's ordered-index pick must
+	// dodge most of the full scan.
+	if cur.RangeSeekSpeedup > 0 && cur.RangeSeekSpeedup < 5 {
+		failures = append(failures, fmt.Sprintf("rangeseek speedup %.2fx < 5x (ordered-index range seek not paying for itself)",
+			cur.RangeSeekSpeedup))
+	}
+	// Plan-cache enforcement: both cells must have run, the warm replay hit
+	// rate must stay >= 99%, and the warm AST-identity lookup must not
+	// allocate.
+	if r, ok := byName[replayBench]; ok && r.HitPct < 99 {
+		failures = append(failures, fmt.Sprintf("plan cache warm hit rate %.1f%% < 99%%", r.HitPct))
+	}
+	if l, ok := byName[lookupBench]; ok && l.sawAllocs && l.AllocsPerOp > 0 {
+		failures = append(failures, fmt.Sprintf("plan cache warm lookup allocates (%.0f allocs/op, want 0)", l.AllocsPerOp))
+	}
 
 	if len(failures) > 0 {
 		fmt.Fprintln(os.Stderr, "bench regression gate FAILED:")
@@ -246,7 +294,8 @@ func runBenchmarks(benchRe, benchtime string, count int) ([]benchResult, error) 
 			continue
 		}
 		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
-		var nsPerOp, rowsPerSec float64
+		var nsPerOp, rowsPerSec, allocsPerOp, hitPct float64
+		sawAllocs := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -257,6 +306,11 @@ func runBenchmarks(benchRe, benchtime string, count int) ([]benchResult, error) 
 				nsPerOp = v
 			case "rows/s":
 				rowsPerSec = v
+			case "allocs/op":
+				allocsPerOp = v
+				sawAllocs = true
+			case "hit%":
+				hitPct = v
 			}
 		}
 		if nsPerOp == 0 {
@@ -264,7 +318,8 @@ func runBenchmarks(benchRe, benchtime string, count int) ([]benchResult, error) 
 		}
 		r, ok := best[name]
 		if !ok {
-			best[name] = &benchResult{Name: name, NsPerOp: nsPerOp, RowsPerSec: rowsPerSec}
+			best[name] = &benchResult{Name: name, NsPerOp: nsPerOp, RowsPerSec: rowsPerSec,
+				AllocsPerOp: allocsPerOp, HitPct: hitPct, sawAllocs: sawAllocs}
 			order = append(order, name)
 			continue
 		}
@@ -273,6 +328,17 @@ func runBenchmarks(benchRe, benchtime string, count int) ([]benchResult, error) 
 		}
 		if rowsPerSec > r.RowsPerSec {
 			r.RowsPerSec = rowsPerSec
+		}
+		if sawAllocs {
+			// Worst (max) allocs across runs: a single allocating run fails.
+			r.sawAllocs = true
+			if allocsPerOp > r.AllocsPerOp {
+				r.AllocsPerOp = allocsPerOp
+			}
+		}
+		if hitPct > 0 && (r.HitPct == 0 || hitPct < r.HitPct) {
+			// Worst (min) hit rate across runs.
+			r.HitPct = hitPct
 		}
 	}
 	results := make([]benchResult, 0, len(order))

@@ -1,10 +1,28 @@
 #!/bin/sh
-# The full CI gauntlet: formatting, vet, build, and the test suite under
-# the race detector. Equivalent to `make ci`.
+# The full CI gauntlet: formatting, vet, static analyzers, build, and the
+# test suite under the race detector. Equivalent to `make ci`.
+#
+# Each stage reports its wall time so slow stages are obvious in CI logs.
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== gofmt"
+ci_start="$(date +%s)"
+stage_start=""
+stage_name=""
+
+# stage NAME: close out the previous stage (printing its wall time) and
+# open a new one.
+stage() {
+	now="$(date +%s)"
+	if [ -n "$stage_name" ]; then
+		echo "   -- ${stage_name}: $((now - stage_start))s"
+	fi
+	stage_name="$1"
+	stage_start="$now"
+	echo "== $1"
+}
+
+stage "gofmt"
 unformatted="$(gofmt -l .)"
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:"
@@ -12,19 +30,36 @@ if [ -n "$unformatted" ]; then
 	exit 1
 fi
 
-echo "== go vet"
+stage "go vet"
 go vet ./...
 
-echo "== go build"
+stage "static analyzers (staticcheck, govulncheck)"
+# Optional analyzers: run when installed, otherwise skip LOUDLY. CI images
+# bake these in; local checkouts without them still get a green-but-warned
+# run instead of a hard dependency.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "WARNING: staticcheck not installed - stage SKIPPED"
+	echo "WARNING: install with: go install honnef.co/go/tools/cmd/staticcheck@latest"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./...
+else
+	echo "WARNING: govulncheck not installed - stage SKIPPED"
+	echo "WARNING: install with: go install golang.org/x/vuln/cmd/govulncheck@latest"
+fi
+
+stage "go build"
 go build ./...
 
-echo "== go test -race"
+stage "go test -race"
 go test -race ./...
 
-echo "== tracing-overhead guard (disabled tracing must not allocate)"
+stage "tracing-overhead guard (disabled tracing must not allocate)"
 go test -count=1 -run TestDisabledTracingZeroAllocs ./internal/trace
 
-echo "== aggifyd debug endpoint smoke"
+stage "aggifyd debug endpoint smoke"
 tmp="$(mktemp -d)"
 go build -o "$tmp/aggifyd" ./cmd/aggifyd
 "$tmp/aggifyd" -addr 127.0.0.1:0 -http 127.0.0.1:0 >"$tmp/aggifyd.log" 2>&1 &
@@ -35,6 +70,12 @@ cleanup() {
 	kill "$daemon" 2>/dev/null || true
 	[ -n "$daemon2" ] && kill -9 "$daemon2" 2>/dev/null || true
 	[ -n "$daemon3" ] && kill "$daemon3" 2>/dev/null || true
+	# When CI_ARTIFACT_DIR is set (the GitHub Actions workflow does), keep
+	# the daemon logs around so a failed run can upload them as artifacts.
+	if [ -n "${CI_ARTIFACT_DIR:-}" ]; then
+		mkdir -p "$CI_ARTIFACT_DIR"
+		cp "$tmp"/*.log "$CI_ARTIFACT_DIR"/ 2>/dev/null || true
+	fi
 	rm -rf "$tmp"
 }
 trap cleanup EXIT
@@ -56,7 +97,7 @@ go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_txn_begins_t
 go run ./scripts/httpget "http://$addr/metrics" | grep -q '^aggifyd_stmt_fingerprints'
 echo "debug endpoints OK on $addr"
 
-echo "== system catalog over TCP smoke"
+stage "system catalog over TCP smoke"
 go build -o "$tmp/sqlsh" ./cmd/sqlsh
 tcp_addr="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$tmp/aggifyd.log" | head -n 1)"
 if [ -z "$tcp_addr" ]; then
@@ -75,10 +116,10 @@ if [ "$calls" != "3" ]; then
 fi
 echo "system catalog OK (select ? + ? recorded 3 calls)"
 
-echo "== fingerprint-stats overhead guard (warm hot path must not allocate)"
+stage "fingerprint-stats overhead guard (warm hot path must not allocate)"
 go test -count=1 -run TestStmtStatsWarmZeroAllocs ./internal/engine
 
-echo "== kill-and-recover smoke (WAL durability)"
+stage "kill-and-recover smoke (WAL durability)"
 go build -o "$tmp/sqlsh" ./cmd/sqlsh
 datadir="$tmp/data"
 
@@ -157,22 +198,23 @@ kill "$daemon3" && wait "$daemon3" 2>/dev/null || true
 daemon3=""
 echo "kill-and-recover OK (committed rows survived, open txn discarded)"
 
-echo "== bench-regression gate"
-# Short ^BenchmarkGate suite vs the committed BENCH_5.json snapshot; accept
+stage "bench-regression gate"
+# Short ^BenchmarkGate suite vs the committed BENCH_6.json snapshot; accept
 # intentional changes with:  scripts/bench_regress.sh -update
 ./scripts/bench_regress.sh
 
-echo "== explain-analyze golden"
+stage "explain-analyze golden"
 # The EXPLAIN ANALYZE output shape (operators + runtime counters, wall
 # times normalized) is pinned to testdata/explain_analyze.golden.
 # Regenerate intentional changes with:  go test -run TestExplainAnalyzeGolden -update .
 go test -count=1 -run 'TestExplainAnalyze' .
 
-echo "== rewrite-trace golden"
+stage "rewrite-trace golden"
 # The logical rewrite pass's EXPLAIN trace (the `rewrites:` header and the
 # per-node [rw:rule] annotations) for three representative queries is pinned
 # to testdata/rewrite_trace.golden.
 # Regenerate intentional changes with:  go test -run TestRewriteTraceGolden -update .
 go test -count=1 -run 'TestRewriteTraceGolden' .
 
-echo "CI OK"
+stage "done"
+echo "CI OK (total $(( $(date +%s) - ci_start ))s)"
