@@ -2,8 +2,8 @@
 // bench-regression gate runs (scripts/bench_regress.sh). Every benchmark
 // here is selected by the ^BenchmarkGate regex and must stay cheap — the
 // gate runs them with -count=3 and compares the best run against the
-// committed BENCH_6.json snapshot (BENCH_4.json and BENCH_5.json are the
-// retired v4/v5 baselines).
+// committed BENCH_7.json snapshot (BENCH_4.json through BENCH_6.json are the
+// retired earlier baselines).
 package aggify_test
 
 import (
@@ -19,6 +19,7 @@ import (
 	"aggify"
 	"aggify/internal/ast"
 	"aggify/internal/engine"
+	"aggify/internal/interp"
 	"aggify/internal/parser"
 	"aggify/internal/plan"
 	"aggify/internal/sqltypes"
@@ -327,6 +328,59 @@ func BenchmarkGateWALCommit(b *testing.B) {
 					if err := tab.Insert(nil, []sqltypes.Value{sqltypes.NewInt(seq), sqltypes.NewInt(seq)}); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGateProcCompile is the compile-first routine pipeline's
+// before/after: the same arithmetic-heavy WHILE-loop module run through the
+// slot-compiled closure pipeline (the default EXEC path) and through the
+// tree-walking interpreter. The gate records
+// proc_compile_speedup = interpreted ns/op ÷ compiled ns/op and requires
+// ≥ 1.5×; the results themselves must be byte-identical.
+func BenchmarkGateProcCompile(b *testing.B) {
+	db := aggify.Open()
+	if err := db.Exec(`
+create function hashLoop(@n int) returns int as
+begin
+  declare @i int = 0;
+  declare @acc int = 7;
+  while @i < @n
+  begin
+    set @acc = (@acc * 31 + @i) % 1000003;
+    if @acc % 5 = 0 set @acc = @acc + 3;
+    set @i = @i + 1;
+  end
+  return @acc;
+end`); err != nil {
+		b.Fatal(err)
+	}
+	sess := db.Engine().NewSession()
+	arg := sqltypes.NewInt(2000)
+	compiled, err := interp.CallFunctionByName(sess, "hashLoop", arg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	interpreted, err := interp.CallFunctionInterpreted(sess, "hashLoop", arg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if compiled.String() != interpreted.String() {
+		b.Fatalf("compiled = %s, interpreted = %s", compiled, interpreted)
+	}
+	for _, tc := range []struct {
+		name string
+		call func() (sqltypes.Value, error)
+	}{
+		{"compiled", func() (sqltypes.Value, error) { return interp.CallFunctionByName(sess, "hashLoop", arg) }},
+		{"interpreted", func() (sqltypes.Value, error) { return interp.CallFunctionInterpreted(sess, "hashLoop", arg) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.call(); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

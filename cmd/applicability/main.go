@@ -1,17 +1,26 @@
-// Command applicability runs the paper's §10.2 analysis (Table 1): it
-// scans the embedded application corpus (or user-supplied .sql files),
-// counts while loops and cursor loops, and reports how many cursor loops
-// Aggify can transform — by running the transformation.
+// Command applicability runs the paper's §10.2 analysis (Table 1) and the
+// compile-first coverage meter: it scans the embedded application corpus
+// (or user-supplied .sql files), counts while loops and cursor loops,
+// reports how many cursor loops Aggify can transform — by running the
+// transformation, under both the paper's baseline preconditions and the
+// widened rewrites — and how much of each module body the routine
+// compiler runs natively.
 //
 // Usage:
 //
-//	applicability              # scan the embedded corpus (Table 1)
+//	applicability              # scan the embedded corpus (Table 1 + coverage)
+//	applicability -check       # compare against the committed APPLICABILITY.json
+//	applicability -update      # ratify the current numbers into APPLICABILITY.json
 //	applicability file.sql...  # scan your own procedure sources
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"aggify"
 	"aggify/internal/ast"
@@ -20,23 +29,132 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 {
-		scanFiles(os.Args[1:])
+	check := flag.Bool("check", false, "fail unless the scan matches the committed snapshot (coverage may only go up, and gains must be ratified with -update)")
+	update := flag.Bool("update", false, "write the current scan to the snapshot file")
+	snapshot := flag.String("snapshot", "APPLICABILITY.json", "snapshot file for -check / -update")
+	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		scanFiles(args)
 		return
 	}
 	reports, err := applicability.ScanAll()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-12s %8s %8s %14s %12s\n", "Workload", "files", "whiles", "cursor loops", "Aggify-able")
+	switch {
+	case *update:
+		if err := writeSnapshot(*snapshot, reports); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *snapshot)
+	case *check:
+		if err := checkSnapshot(*snapshot, reports); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: coverage ratified\n", *snapshot)
+	default:
+		printTable(reports)
+	}
+}
+
+func printTable(reports []*applicability.Report) {
+	fmt.Printf("%-12s %8s %8s %14s %12s %9s\n", "Workload", "files", "whiles", "cursor loops", "Aggify-able", "widened")
 	for _, r := range reports {
-		fmt.Printf("%-12s %8d %8d %7d (%4.1f%%) %12d\n",
-			r.App, r.Files, r.WhileLoops, r.CursorLoops, r.CursorShare(), r.Aggifiable)
+		fmt.Printf("%-12s %8d %8d %7d (%4.1f%%) %12d %9d\n",
+			r.App, r.Files, r.WhileLoops, r.CursorLoops, r.CursorShare(), r.Aggifiable, r.WidenedAggifiable)
 		for reason, n := range r.Reasons {
 			fmt.Printf("    %dx %s\n", n, reason)
 		}
 	}
 	fmt.Println("\npaper (Table 1): RUBiS 16/14 (87.5%)/14 — RUBBoS 41/14 (34.1%)/14 — Adempiere 127/109 (85.8%)/>80")
+
+	fmt.Printf("\n%-12s %8s %8s %8s %8s %14s\n", "Workload", "modules", "full", "partial", "interp", "stmts compiled")
+	for _, r := range reports {
+		fmt.Printf("%-12s %8d %8d %8d %8d %7d/%d (%4.1f%%)\n",
+			r.App, r.Modules, r.FullyCompiled, r.PartiallyCompiled, r.InterpretedOnly,
+			r.CompiledStmts, r.TotalStmts, r.CompiledShare())
+		codes := make([]string, 0, len(r.ReasonCodes))
+		for code := range r.ReasonCodes {
+			codes = append(codes, code)
+		}
+		sort.Slice(codes, func(i, j int) bool {
+			if r.ReasonCodes[codes[i]] != r.ReasonCodes[codes[j]] {
+				return r.ReasonCodes[codes[i]] > r.ReasonCodes[codes[j]]
+			}
+			return codes[i] < codes[j]
+		})
+		for _, code := range codes {
+			if n := r.ReasonCodes[code]; n > 0 {
+				fmt.Printf("    remaining %s: %d\n", code, n)
+			}
+		}
+	}
+}
+
+// marshalReports renders the snapshot deterministically.
+func marshalReports(reports []*applicability.Report) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reports); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeSnapshot(path string, reports []*applicability.Report) error {
+	data, err := marshalReports(reports)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// checkSnapshot enforces the coverage ratchet: the committed snapshot is
+// a floor. A scan below it fails as a regression; a scan above it fails
+// too, asking for an explicit -update so the improvement is committed.
+func checkSnapshot(path string, current []*applicability.Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading snapshot (run with -update to create it): %w", err)
+	}
+	var committed []*applicability.Report
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	byApp := map[string]*applicability.Report{}
+	for _, r := range committed {
+		byApp[r.App] = r
+	}
+	for _, cur := range current {
+		was, ok := byApp[cur.App]
+		if !ok {
+			return fmt.Errorf("%s: app %s missing from snapshot; run -update to ratify", path, cur.App)
+		}
+		type floor struct {
+			name     string
+			was, now int
+		}
+		for _, f := range []floor{
+			{"aggifiable", was.Aggifiable, cur.Aggifiable},
+			{"widened_aggifiable", was.WidenedAggifiable, cur.WidenedAggifiable},
+			{"fully_compiled", was.FullyCompiled, cur.FullyCompiled},
+			{"compiled_stmts", was.CompiledStmts, cur.CompiledStmts},
+		} {
+			if f.now < f.was {
+				return fmt.Errorf("%s: %s coverage regressed: %s %d -> %d", cur.App, path, f.name, f.was, f.now)
+			}
+		}
+	}
+	curData, err := marshalReports(current)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(bytes.TrimSpace(curData), bytes.TrimSpace(data)) {
+		return fmt.Errorf("%s is stale (coverage changed without regressing); run -update to ratify the new numbers", path)
+	}
+	return nil
 }
 
 func scanFiles(paths []string) {

@@ -178,6 +178,8 @@ func CloneStmt(s Stmt) Stmt {
 			c.Args = append(c.Args, CloneExpr(a))
 		}
 		return c
+	case *ExplainProcStmt:
+		return &ExplainProcStmt{Proc: st.Proc}
 	case *TraceProcStmt:
 		c := &TraceProcStmt{Proc: st.Proc}
 		for _, a := range st.Args {

@@ -349,6 +349,8 @@ func (p *printer) stmt(s Stmt) {
 			args[i] = a.String()
 		}
 		p.line("EXEC %s %s;", st.Proc, strings.Join(args, ", "))
+	case *ExplainProcStmt:
+		p.line("EXPLAIN PROCEDURE %s;", st.Proc)
 	case *TraceProcStmt:
 		args := make([]string, len(st.Args))
 		for i, a := range st.Args {

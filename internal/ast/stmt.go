@@ -203,6 +203,13 @@ type TraceProcStmt struct {
 	Args []Expr
 }
 
+// ExplainProcStmt is EXPLAIN PROCEDURE p: it compiles the procedure
+// (without running it) and returns one row per body statement with the
+// execution tier chosen for it — compiled or interpreted — and why.
+type ExplainProcStmt struct {
+	Proc string
+}
+
 // ColumnDef is a column in DDL.
 type ColumnDef struct {
 	Name string
@@ -289,6 +296,7 @@ func (*TxnStmt) stmtNode()          {}
 func (*PrintStmt) stmtNode()        {}
 func (*ExecStmt) stmtNode()         {}
 func (*TraceProcStmt) stmtNode()    {}
+func (*ExplainProcStmt) stmtNode()  {}
 func (*CreateTable) stmtNode()      {}
 func (*CreateIndex) stmtNode()      {}
 func (*CreateFunction) stmtNode()   {}

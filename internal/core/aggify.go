@@ -15,8 +15,27 @@ type Options struct {
 	// LiftForLoops enables the §8.1 enhancement: counted FOR loops are
 	// rewritten into cursor loops over recursive CTEs and then aggified.
 	LiftForLoops bool
+	// LiftWhileLoops extends the §8.1 idea to WHILE-over-variable loops:
+	// a WHILE whose condition is driven by a single variable updated by
+	// one pure assignment per iteration is rewritten into a cursor loop
+	// over a recursive CTE enumerating that variable's value sequence,
+	// which the main transformation then aggifies. Applies only when the
+	// control variable is dead after the loop (its final value is
+	// unobservable, so stripping the update is safe).
+	LiftWhileLoops bool
+	// LowerLoopReturns rewrites RETURN statements at cursor-loop level
+	// into the done-flag BREAK protocol plus a post-loop conditional
+	// RETURN, turning §4.2's module_return rejection into an aggifiable
+	// shape.
+	LowerLoopReturns bool
 	// KeepDeadDeclarations disables the §6.2 dead-declaration cleanup.
 	KeepDeadDeclarations bool
+}
+
+// WidenedOptions enables every rewrite-widening pass; the applicability
+// scan uses it to measure coverage beyond the paper's baseline rewrite.
+func WidenedOptions() Options {
+	return Options{LiftForLoops: true, LiftWhileLoops: true, LowerLoopReturns: true}
 }
 
 // LoopResult reports one transformed loop.
@@ -61,17 +80,19 @@ func (r *Result) Aggregates() []*ast.CreateAggregate {
 // empty Loops and the original definition cloned.
 func TransformFunction(def *ast.CreateFunction, opts Options) (*ast.CreateFunction, *Result, error) {
 	clone := ast.CloneStmt(def).(*ast.CreateFunction)
-	res, err := transformBody(clone.Name, clone.Params, clone.Body, opts)
+	res, err := transformBody(clone.Name, clone.Params, clone.Body, clone.Returns, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	return clone, res, nil
 }
 
-// TransformProcedure applies Aggify to a stored procedure.
+// TransformProcedure applies Aggify to a stored procedure. Procedures
+// return an int status code in the dialect, so RETURN lowering declares
+// its capture variable as int.
 func TransformProcedure(def *ast.CreateProcedure, opts Options) (*ast.CreateProcedure, *Result, error) {
 	clone := ast.CloneStmt(def).(*ast.CreateProcedure)
-	res, err := transformBody(clone.Name, clone.Params, clone.Body, opts)
+	res, err := transformBody(clone.Name, clone.Params, clone.Body, sqltypes.Int, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -82,7 +103,7 @@ func TransformProcedure(def *ast.CreateProcedure, opts Options) (*ast.CreateProc
 // programs); params declares the inputs bound before the block runs.
 func TransformBlock(owner string, params []ast.Param, body *ast.Block, opts Options) (*ast.Block, *Result, error) {
 	clone := ast.CloneStmt(body).(*ast.Block)
-	res, err := transformBody(owner, params, clone, opts)
+	res, err := transformBody(owner, params, clone, sqltypes.Int, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -91,9 +112,17 @@ func TransformBlock(owner string, params []ast.Param, body *ast.Block, opts Opti
 
 // transformBody is Algorithm 1 driven to fixpoint: it transforms innermost
 // loops first (§6.3.1) and stops when no transformable loops remain.
-func transformBody(owner string, params []ast.Param, body *ast.Block, opts Options) (*Result, error) {
+// returns is the enclosing module's declared return type, needed by the
+// RETURN-lowering pass to type its capture variable.
+func transformBody(owner string, params []ast.Param, body *ast.Block, returns sqltypes.Type, opts Options) (*Result, error) {
 	if opts.LiftForLoops {
 		liftForLoops(body)
+	}
+	if opts.LiftWhileLoops {
+		liftWhileLoops(body, params)
+	}
+	if opts.LowerLoopReturns {
+		lowerLoopReturns(body, params, returns)
 	}
 	res := &Result{}
 	counter := 0
@@ -281,7 +310,7 @@ func transformLoop(owner string, params []ast.Param, body *ast.Block, loop *Curs
 	// Missing types mean the variable was never declared.
 	for v := range vF {
 		if _, ok := types[v]; !ok {
-			return nil, notAggifiable("variable %s has no visible declaration", v)
+			return nil, notAggifiable(ReasonNoDeclaration, "variable %s has no visible declaration", v)
 		}
 	}
 

@@ -37,7 +37,8 @@ func liftForLoops(body *ast.Block) {
 		var out []ast.Stmt
 		for _, s := range stmts {
 			if f, ok := s.(*ast.ForStmt); ok {
-				if lifted := liftOneFor(f, &counter); lifted != nil {
+				if lifted := liftOneFor(f, fmt.Sprintf("aggify_for%d", counter+1)); lifted != nil {
+					counter++
 					walk(lifted)
 					out = append(out, lifted.Stmts...)
 					continue
@@ -68,8 +69,11 @@ func liftForLoops(body *ast.Block) {
 	walk(body)
 }
 
-// liftOneFor converts one FOR loop; nil when not liftable.
-func liftOneFor(f *ast.ForStmt, counter *int) *ast.Block {
+// liftOneFor converts one FOR loop into a cursor loop over a recursive
+// CTE named cursor; nil when not liftable. The WHILE lift reuses this
+// with a synthetic FOR whose init expression is the control variable
+// itself (its current value at loop entry).
+func liftOneFor(f *ast.ForStmt, cursor string) *ast.Block {
 	if f.InitVar != f.PostVar {
 		return nil
 	}
@@ -97,8 +101,6 @@ func liftOneFor(f *ast.ForStmt, counter *int) *ast.Block {
 		return nil
 	}
 
-	*counter++
-	cursor := fmt.Sprintf("aggify_for%d", *counter)
 	valCol := ast.Col("val")
 	subst := func(e ast.Expr, repl ast.Expr) ast.Expr {
 		return mapVarRefs(ast.CloneExpr(e), func(v *ast.VarRef) ast.Expr {

@@ -9,6 +9,8 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"aggify/internal/ast"
 )
@@ -74,6 +76,26 @@ func FindCursorLoops(body ast.Stmt) []*CursorLoop {
 		}
 	}
 	visitStmt(body)
+	return out
+}
+
+// FindUnmatchedCursorWhiles returns WHILE loops over @@fetch_status that
+// do NOT match the canonical cursor-loop pattern: the rewrite never even
+// attempts these, which is a different verdict than "attempted and
+// rejected" and is reported as such by the profiler (code
+// unmatched_pattern).
+func FindUnmatchedCursorWhiles(body ast.Stmt) []*ast.WhileStmt {
+	matched := map[*ast.WhileStmt]bool{}
+	for _, l := range FindCursorLoops(body) {
+		matched[l.While] = true
+	}
+	var out []*ast.WhileStmt
+	ast.WalkStmt(body, func(s ast.Stmt) bool {
+		if w, ok := s.(*ast.WhileStmt); ok && refsFetchStatus(w.Cond) && !matched[w] {
+			out = append(out, w)
+		}
+		return true
+	})
 	return out
 }
 
@@ -182,15 +204,91 @@ func ContainsCursorOps(s ast.Stmt, skip string) bool {
 	return found
 }
 
+// ReasonCode is a stable identifier for one applicability-rejection
+// category. The profiler, the /metrics counters, and the applicability
+// scan all key on these codes, so the same category can never drift into
+// three different strings again. Codes are append-only: tools compare
+// them across versions.
+type ReasonCode string
+
+const (
+	// ReasonPersistentDML: the loop writes a persistent table (§4.2's "no
+	// modifications of persistent database state").
+	ReasonPersistentDML ReasonCode = "persistent_dml"
+	// ReasonResultSet: a standalone SELECT returns rows to the client.
+	ReasonResultSet ReasonCode = "result_set"
+	// ReasonProcCall: EXEC of a procedure that may modify state.
+	ReasonProcCall ReasonCode = "proc_call"
+	// ReasonModuleReturn: RETURN exits the enclosing module from inside Δ.
+	ReasonModuleReturn ReasonCode = "module_return"
+	// ReasonDDL: CREATE TABLE/INDEX/FUNCTION/... inside the loop.
+	ReasonDDL ReasonCode = "ddl"
+	// ReasonTxnControl: BEGIN/COMMIT/ROLLBACK inside the loop.
+	ReasonTxnControl ReasonCode = "txn_control"
+	// ReasonReopenCursor: the loop re-opens its own cursor.
+	ReasonReopenCursor ReasonCode = "reopen_cursor"
+	// ReasonOuterTableVar: the loop reads a table variable declared outside.
+	ReasonOuterTableVar ReasonCode = "outer_table_var"
+	// ReasonNoDeclaration: a referenced variable has no visible declaration.
+	ReasonNoDeclaration ReasonCode = "no_declaration"
+	// ReasonUnmatchedPattern: a WHILE over @@fetch_status that does not
+	// match the canonical DECLARE/OPEN/FETCH pattern — the rewrite was
+	// never attempted, as opposed to attempted and rejected.
+	ReasonUnmatchedPattern ReasonCode = "unmatched_pattern"
+)
+
+// AllReasonCodes lists every code, in display order, so counters can be
+// registered eagerly (a /metrics series exists even before its first
+// rejection).
+func AllReasonCodes() []ReasonCode {
+	return []ReasonCode{
+		ReasonPersistentDML, ReasonResultSet, ReasonProcCall,
+		ReasonModuleReturn, ReasonDDL, ReasonTxnControl,
+		ReasonReopenCursor, ReasonOuterTableVar, ReasonNoDeclaration,
+		ReasonUnmatchedPattern,
+	}
+}
+
+// reasonCounters counts rejections per code, process-wide, incremented
+// when a NotAggifiableError is constructed (i.e. each time an attempted
+// rewrite is rejected).
+var reasonCounters sync.Map // ReasonCode -> *int64
+
+func countReason(code ReasonCode) {
+	c, _ := reasonCounters.LoadOrStore(code, new(int64))
+	atomic.AddInt64(c.(*int64), 1)
+}
+
+// CountUnmatched records a never-attempted loop (profiler/applicability
+// scans call this for WHILE-over-@@fetch_status loops outside the
+// canonical pattern; there is no error object to construct for those).
+func CountUnmatched() { countReason(ReasonUnmatchedPattern) }
+
+// ReasonCounts snapshots the per-code rejection counters. Every known
+// code is present, zero-valued when never hit.
+func ReasonCounts() map[ReasonCode]int64 {
+	out := map[ReasonCode]int64{}
+	for _, code := range AllReasonCodes() {
+		out[code] = 0
+	}
+	reasonCounters.Range(func(k, v any) bool {
+		out[k.(ReasonCode)] = atomic.LoadInt64(v.(*int64))
+		return true
+	})
+	return out
+}
+
 // NotAggifiableError explains why a loop cannot be transformed.
 type NotAggifiableError struct {
+	Code   ReasonCode
 	Reason string
 }
 
 func (e *NotAggifiableError) Error() string { return "aggify: " + e.Reason }
 
-func notAggifiable(format string, args ...any) error {
-	return &NotAggifiableError{Reason: fmt.Sprintf(format, args...)}
+func notAggifiable(code ReasonCode, format string, args ...any) error {
+	countReason(code)
+	return &NotAggifiableError{Code: code, Reason: fmt.Sprintf(format, args...)}
 }
 
 // CheckApplicability enforces the §4.2 preconditions on a loop body Δ:
@@ -215,18 +313,18 @@ func CheckApplicability(loop *CursorLoop, outerTableVars map[string]bool) error 
 		case *ast.DeleteStmt:
 			err = checkDMLTarget(st.Table, localTables)
 		case *ast.QueryStmt:
-			err = notAggifiable("loop returns result sets to the client (standalone SELECT)")
+			err = notAggifiable(ReasonResultSet, "loop returns result sets to the client (standalone SELECT)")
 		case *ast.ExecStmt:
-			err = notAggifiable("loop calls procedure %s, which may modify database state", st.Proc)
+			err = notAggifiable(ReasonProcCall, "loop calls procedure %s, which may modify database state", st.Proc)
 		case *ast.ReturnStmt:
-			err = notAggifiable("loop contains RETURN from the enclosing module")
+			err = notAggifiable(ReasonModuleReturn, "loop contains RETURN from the enclosing module")
 		case *ast.CreateTable, *ast.CreateIndex, *ast.CreateFunction, *ast.CreateProcedure, *ast.CreateAggregate:
-			err = notAggifiable("loop contains DDL")
+			err = notAggifiable(ReasonDDL, "loop contains DDL")
 		case *ast.TxnStmt:
-			err = notAggifiable("loop contains transaction control (%s)", st.Op)
+			err = notAggifiable(ReasonTxnControl, "loop contains transaction control (%s)", st.Op)
 		case *ast.OpenCursor:
 			if st.Name == loop.Cursor {
-				err = notAggifiable("loop re-opens its own cursor")
+				err = notAggifiable(ReasonReopenCursor, "loop re-opens its own cursor")
 			}
 		}
 		return true
@@ -242,7 +340,7 @@ func CheckApplicability(loop *CursorLoop, outerTableVars map[string]bool) error 
 		}
 		for name := range tableVarRefs(s) {
 			if !localTables[name] && outerTableVars[name] {
-				err = notAggifiable("loop references table variable %s declared outside the loop", name)
+				err = notAggifiable(ReasonOuterTableVar, "loop references table variable %s declared outside the loop", name)
 			}
 		}
 		return true
@@ -257,7 +355,7 @@ func checkDMLTarget(table string, localTables map[string]bool) error {
 	if strings.HasPrefix(table, "@") {
 		return nil // table variable (locality checked separately)
 	}
-	return notAggifiable("loop modifies persistent table %s", table)
+	return notAggifiable(ReasonPersistentDML, "loop modifies persistent table %s", table)
 }
 
 // tableVarRefs collects @table references in the statement's own queries

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"aggify/internal/ast"
+	"aggify/internal/sqltypes"
+)
+
+// lowerLoopReturns rewrites RETURN statements that sit at cursor-loop
+// level into a capture-and-break protocol, so loops the §4.2 check would
+// reject as module_return become aggifiable:
+//
+//	RETURN expr          SET @aggify_ret = expr;
+//	                 →   SET @aggify_retflag = 1;
+//	                     BREAK;
+//
+// with, before the loop's DECLARE CURSOR,
+//
+//	DECLARE @aggify_ret <module return type>;
+//	DECLARE @aggify_retflag bit = 0;
+//
+// and, after DEALLOCATE,
+//
+//	IF @aggify_retflag = 1 RETURN @aggify_ret;
+//
+// The BREAK is then normalized by the standard done-flag protocol during
+// aggregate construction, and both capture variables are live after the
+// loop, so they land in V_term and survive the rewrite.
+//
+// Loops are processed innermost-first: lowering an inner loop plants its
+// conditional RETURN in the enclosing loop's body, which the next pass
+// iteration lowers in turn, cascading the early exit outward exactly as
+// the original RETURN would have unwound.
+//
+// A loop is skipped when a RETURN hides inside a loop nested within it —
+// BREAK binds to the innermost loop, so the protocol could not reach the
+// cursor loop from there (the nested loop gets its own chance first).
+func lowerLoopReturns(body *ast.Block, params []ast.Param, returns sqltypes.Type) {
+	if returns.ID == sqltypes.TUnknown {
+		returns = sqltypes.Int
+	}
+	processed := map[*ast.WhileStmt]bool{}
+	for {
+		loops := FindCursorLoops(body)
+		var pick *CursorLoop
+		// Innermost first: FindCursorLoops orders outer before nested.
+		for i := len(loops) - 1; i >= 0; i-- {
+			l := loops[i]
+			if processed[l.While] {
+				continue
+			}
+			if !hasReturnAtDepth(l.While.Body, 0) || hasReturnAtDepth(l.While.Body, 1) {
+				processed[l.While] = true
+				continue
+			}
+			pick = l
+			break
+		}
+		if pick == nil {
+			return
+		}
+		processed[pick.While] = true
+		types := typeTable(params, body)
+		used := map[string]bool{}
+		retVar := freshVar("@aggify_ret", used, types)
+		types[retVar] = returns
+		flagVar := freshVar("@aggify_retflag", used, types)
+		rewriteLoopReturns(pick.While.Body, retVar, flagVar)
+		insertAround(pick,
+			[]ast.Stmt{
+				&ast.DeclareVar{Name: retVar, Type: returns},
+				&ast.DeclareVar{Name: flagVar, Type: sqltypes.Bit, Init: ast.Lit(sqltypes.NewBool(false))},
+			},
+			[]ast.Stmt{
+				&ast.IfStmt{
+					Cond: ast.Eq(ast.Var(flagVar), ast.Lit(sqltypes.NewBool(true))),
+					Then: &ast.ReturnStmt{Value: ast.Var(retVar)},
+				},
+			})
+	}
+}
+
+// hasReturnAtDepth reports whether body contains a RETURN at exactly the
+// given loop-nesting depth (0 = bound to this loop) — or, for depth 1,
+// at depth >= 1 (inside any nested loop).
+func hasReturnAtDepth(body ast.Stmt, want int) bool {
+	found := false
+	var walk func(s ast.Stmt, depth int)
+	walk = func(s ast.Stmt, depth int) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walk(inner, depth)
+			}
+		case *ast.IfStmt:
+			walk(st.Then, depth)
+			walk(st.Else, depth)
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth)
+			walk(st.Catch, depth)
+		case *ast.ReturnStmt:
+			if depth == want || (want > 0 && depth >= want) {
+				found = true
+			}
+		}
+	}
+	walk(body, 0)
+	return found
+}
+
+// rewriteLoopReturns replaces loop-level RETURNs with the capture/break
+// sequence (same traversal shape as normalizeBreakContinue).
+func rewriteLoopReturns(body ast.Stmt, retVar, flagVar string) {
+	capture := func(r *ast.ReturnStmt) []ast.Stmt {
+		val := r.Value
+		if val == nil {
+			val = ast.Lit(sqltypes.Null)
+		}
+		return []ast.Stmt{
+			&ast.SetStmt{Targets: []string{retVar}, Value: val},
+			&ast.SetStmt{Targets: []string{flagVar}, Value: ast.Lit(sqltypes.NewBool(true))},
+			&ast.BreakStmt{},
+		}
+	}
+	var walk func(s ast.Stmt, depth int)
+	rewriteList := func(stmts []ast.Stmt, depth int) []ast.Stmt {
+		var out []ast.Stmt
+		for _, s := range stmts {
+			if r, ok := s.(*ast.ReturnStmt); ok && depth == 0 {
+				out = append(out, capture(r)...)
+				continue
+			}
+			walk(s, depth)
+			out = append(out, s)
+		}
+		return out
+	}
+	walk = func(s ast.Stmt, depth int) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.Block:
+			st.Stmts = rewriteList(st.Stmts, depth)
+		case *ast.IfStmt:
+			if r, ok := st.Then.(*ast.ReturnStmt); ok && depth == 0 {
+				st.Then = &ast.Block{Stmts: capture(r)}
+			} else {
+				walk(st.Then, depth)
+			}
+			if r, ok := st.Else.(*ast.ReturnStmt); ok && depth == 0 {
+				st.Else = &ast.Block{Stmts: capture(r)}
+			} else if st.Else != nil {
+				walk(st.Else, depth)
+			}
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth)
+			walk(st.Catch, depth)
+		}
+	}
+	walk(body, 0)
+}
+
+// insertAround splices statements immediately before the loop's DECLARE
+// CURSOR and immediately after its DEALLOCATE.
+func insertAround(loop *CursorLoop, before, after []ast.Stmt) {
+	var out []ast.Stmt
+	for _, s := range loop.Block.Stmts {
+		if s == ast.Stmt(loop.Decl) {
+			out = append(out, before...)
+		}
+		out = append(out, s)
+		if s == ast.Stmt(loop.Dealloc) {
+			out = append(out, after...)
+		}
+	}
+	loop.Block.Stmts = out
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"aggify/internal/analysis"
+	"aggify/internal/ast"
+)
+
+// liftWhileLoops rewrites WHILE-over-variable loops into cursor loops
+// over recursive CTEs, extending the §8.1 FOR-loop lifting to the most
+// common shape in the corpus (rubbos/rubis utility functions iterate a
+// scalar with WHILE, not FOR). A loop
+//
+//	WHILE cond BEGIN body; SET @i = post END
+//
+// whose condition is driven by @i becomes a cursor loop over the value
+// sequence @i, post(@i), post(post(@i)), ... — exactly the CTE the FOR
+// lift builds, seeded with the variable's current value.
+//
+// The lift is applied only when it is provably equivalence-preserving:
+//
+//   - cond does not read @@fetch_status (that is a cursor loop);
+//   - the last top-level body statement is a single-target SET of one
+//     variable read by cond (the control variable), and no other
+//     statement in the body assigns any variable read by cond or post —
+//     the iteration space is statically a relation;
+//   - cond and post are pure scalar expressions (no subqueries, no
+//     function calls), so evaluating them inside the CTE cannot observe
+//     or change database state;
+//   - no BREAK or CONTINUE binds to the loop (either would decouple the
+//     fetched sequence from the executed iterations);
+//   - the control variable is dead after the loop. The interpreted loop
+//     leaves it at the first failing value while the lifted cursor loop
+//     leaves it at the last fetched (passing) value; requiring deadness
+//     makes the difference unobservable instead of compensating for it.
+//
+// Infinite loops change failure mode: the interpreter spins until
+// interrupted, while the lifted CTE hits the engine's recursion cap and
+// errors. Only non-terminating programs can tell the difference.
+func liftWhileLoops(body *ast.Block, params []ast.Param) {
+	counter := 0
+	attempted := map[*ast.WhileStmt]bool{}
+	for {
+		cand := findLiftableWhile(body, params, attempted)
+		if cand == nil {
+			return
+		}
+		attempted[cand.while] = true
+		counter++
+		lifted := liftOneFor(cand.synthFor(), fmt.Sprintf("aggify_while%d", counter))
+		if lifted == nil {
+			continue // liftOneFor's own conflict check disagreed; skip
+		}
+		// Splice the cursor-loop block in place of the WHILE.
+		out := make([]ast.Stmt, 0, len(cand.block.Stmts)+len(lifted.Stmts)-1)
+		out = append(out, cand.block.Stmts[:cand.idx]...)
+		out = append(out, lifted.Stmts...)
+		out = append(out, cand.block.Stmts[cand.idx+1:]...)
+		cand.block.Stmts = out
+	}
+}
+
+// whileCandidate is one liftable WHILE: the loop, its containing block
+// and index, the control variable, its update expression, and the body
+// with the update stripped.
+type whileCandidate struct {
+	while *ast.WhileStmt
+	block *ast.Block
+	idx   int
+	ctrl  string
+	post  ast.Expr
+	rest  []ast.Stmt // body statements minus the trailing control update
+}
+
+// synthFor expresses the candidate as a counted FOR loop seeded with the
+// control variable's current value, which liftOneFor knows how to lower.
+func (c *whileCandidate) synthFor() *ast.ForStmt {
+	return &ast.ForStmt{
+		InitVar:  c.ctrl,
+		InitExpr: ast.Var(c.ctrl),
+		Cond:     c.while.Cond,
+		PostVar:  c.ctrl,
+		PostExpr: c.post,
+		Body:     &ast.Block{Stmts: c.rest},
+	}
+}
+
+// findLiftableWhile returns the first WHILE in body meeting every lift
+// precondition, or nil. The dataflow analysis is rebuilt per call because
+// each accepted lift rewrites the AST.
+func findLiftableWhile(body *ast.Block, params []ast.Param, attempted map[*ast.WhileStmt]bool) *whileCandidate {
+	analysisBody := &ast.Block{}
+	for _, p := range params {
+		init := p.Default
+		if init == nil {
+			init = ast.Var(p.Name)
+		}
+		analysisBody.Stmts = append(analysisBody.Stmts, &ast.DeclareVar{Name: p.Name, Type: p.Type, Init: init})
+	}
+	analysisBody.Stmts = append(analysisBody.Stmts, body)
+	g := analysis.Build(analysisBody)
+	a := analysis.Analyze(g)
+
+	var found *whileCandidate
+	var visitBlock func(b *ast.Block)
+	var visitStmt func(s ast.Stmt)
+	visitBlock = func(b *ast.Block) {
+		for i, s := range b.Stmts {
+			if found != nil {
+				return
+			}
+			if w, ok := s.(*ast.WhileStmt); ok && !attempted[w] {
+				if c := matchLiftableWhile(w, b, i, g, a); c != nil {
+					found = c
+					return
+				}
+			}
+			visitStmt(s)
+		}
+	}
+	visitStmt = func(s ast.Stmt) {
+		switch st := s.(type) {
+		case *ast.Block:
+			visitBlock(st)
+		case *ast.IfStmt:
+			visitStmt(st.Then)
+			visitStmt(st.Else)
+		case *ast.WhileStmt:
+			visitStmt(st.Body)
+		case *ast.ForStmt:
+			visitStmt(st.Body)
+		case *ast.TryCatch:
+			visitStmt(st.Try)
+			visitStmt(st.Catch)
+		}
+	}
+	visitBlock(body)
+	return found
+}
+
+// matchLiftableWhile checks one WHILE against the lift preconditions.
+func matchLiftableWhile(w *ast.WhileStmt, b *ast.Block, idx int, g *analysis.CFG, a *analysis.Analysis) *whileCandidate {
+	if refsFetchStatus(w.Cond) || !exprPureScalar(w.Cond) {
+		return nil
+	}
+	condVars := ast.VarsInExpr(w.Cond)
+	if len(condVars) == 0 {
+		return nil
+	}
+	stmts := bodyStmts(w.Body)
+	if len(stmts) == 0 {
+		return nil
+	}
+	// The last statement must be the single control update: SET @ctrl = post
+	// with @ctrl read by the condition.
+	set, ok := stmts[len(stmts)-1].(*ast.SetStmt)
+	if !ok || len(set.Targets) != 1 || !condVars[set.Targets[0]] {
+		return nil
+	}
+	ctrl, post := set.Targets[0], set.Value
+	if !exprPureScalar(post) {
+		return nil
+	}
+	// Nothing else in the body may assign any variable the condition or
+	// the update reads (including the control variable itself).
+	controlled := map[string]bool{}
+	for v := range condVars {
+		controlled[v] = true
+	}
+	for v := range ast.VarsInExpr(post) {
+		controlled[v] = true
+	}
+	conflict := false
+	ast.WalkStmt(w.Body, func(s ast.Stmt) bool {
+		if s == ast.Stmt(set) {
+			return true
+		}
+		defs, _ := analysis.StmtDefsUses(s, nil)
+		for _, d := range defs {
+			if controlled[d] {
+				conflict = true
+			}
+		}
+		return !conflict
+	})
+	if conflict || loopUsesBreakOrContinue(w.Body) {
+		return nil
+	}
+	// The control variable must be dead on the loop's normal exit: check
+	// liveness at every condition-node successor outside the loop.
+	condNode := g.CondNode[w]
+	if condNode == nil {
+		return nil
+	}
+	inLoop := a.NodesOf(w)
+	for _, succ := range condNode.Succs {
+		if !inLoop[succ] && a.LiveAtEntry(succ, ctrl) {
+			return nil
+		}
+	}
+	return &whileCandidate{
+		while: w, block: b, idx: idx, ctrl: ctrl, post: post,
+		rest: append([]ast.Stmt{}, stmts[:len(stmts)-1]...),
+	}
+}
+
+// bodyStmts views a loop body as a statement list, wrapping single
+// statements.
+func bodyStmts(s ast.Stmt) []ast.Stmt {
+	if b, ok := s.(*ast.Block); ok {
+		return b.Stmts
+	}
+	if s == nil {
+		return nil
+	}
+	return []ast.Stmt{s}
+}
+
+// exprPureScalar reports whether e is a pure scalar expression: no
+// subqueries, no IN (SELECT ...), no function calls (a UDF may read or
+// write database state).
+func exprPureScalar(e ast.Expr) bool {
+	pure := true
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch q := x.(type) {
+		case *ast.Subquery, *ast.FuncCall:
+			pure = false
+		case *ast.InExpr:
+			if q.Query != nil {
+				pure = false
+			}
+		}
+		return pure
+	})
+	return pure
+}
+
+// loopUsesBreakOrContinue reports whether the body contains BREAK or
+// CONTINUE bound to the loop itself (not to a loop nested inside).
+func loopUsesBreakOrContinue(body ast.Stmt) bool {
+	found := false
+	var walk func(s ast.Stmt, depth int)
+	walk = func(s ast.Stmt, depth int) {
+		switch st := s.(type) {
+		case nil:
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walk(inner, depth)
+			}
+		case *ast.IfStmt:
+			walk(st.Then, depth)
+			walk(st.Else, depth)
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth)
+			walk(st.Catch, depth)
+		case *ast.BreakStmt, *ast.ContinueStmt:
+			if depth == 0 {
+				found = true
+			}
+		}
+	}
+	walk(body, 0)
+	return found
+}

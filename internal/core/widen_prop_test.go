@@ -1,0 +1,265 @@
+package core_test
+
+// Property tests for the widened rewrites (WHILE-over-variable lifting,
+// RETURN-in-loop lowering) and the temp-table-DML loop path, in the style
+// of the engine's rewrite property test: every generated module must return
+// byte-identical results through all three execution tiers — the
+// tree-walking interpreter, the slot-compiled routine pipeline, and the
+// Aggify-rewritten form.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aggify/internal/core"
+	"aggify/internal/engine"
+	"aggify/internal/interp"
+	"aggify/internal/sqltypes"
+)
+
+// callTiers invokes fn through all three tiers and fails unless the results
+// render byte-identically.
+func callTiers(t *testing.T, sess *engine.Session, fn string, args ...sqltypes.Value) string {
+	t.Helper()
+	interpreted, err := interp.CallFunctionInterpreted(sess, fn, args...)
+	if err != nil {
+		t.Fatalf("%s(%v) interpreted: %v", fn, args, err)
+	}
+	compiled, err := interp.CallFunctionByName(sess, fn, args...)
+	if err != nil {
+		t.Fatalf("%s(%v) compiled: %v", fn, args, err)
+	}
+	aggified, err := interp.CallFunctionByName(sess, fn+"_aggified", args...)
+	if err != nil {
+		t.Fatalf("%s_aggified(%v): %v", fn, args, err)
+	}
+	if compiled.String() != interpreted.String() {
+		t.Fatalf("%s(%v): compiled %s vs interpreted %s", fn, args, compiled, interpreted)
+	}
+	if aggified.String() != interpreted.String() {
+		t.Fatalf("%s(%v): aggified %s vs interpreted %s", fn, args, aggified, interpreted)
+	}
+	return interpreted.String()
+}
+
+// randomWhileBody emits 1-3 statements over @acc and the control variable
+// @i. Only @acc is ever assigned, so the loop stays liftable.
+func randomWhileBody(rng *rand.Rand) string {
+	var b strings.Builder
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(&b, "    set @acc = @acc + @i * %d;\n", 1+rng.Intn(4))
+		case 1:
+			fmt.Fprintf(&b, "    if @i %% 2 = %d set @acc = @acc - %d;\n", rng.Intn(2), rng.Intn(5))
+		case 2:
+			b.WriteString("    if @acc > 40 set @acc = @acc / 2;\n")
+		case 3:
+			fmt.Fprintf(&b, "    set @acc = @acc * 2 - %d;\n", rng.Intn(3))
+		}
+	}
+	return b.String()
+}
+
+// TestWhileLiftRoundTripEquivalence: randomly generated WHILE-over-variable
+// loops are lifted to cursor loops over recursive CTEs and aggified, and
+// all three tiers agree byte-for-byte on every input.
+func TestWhileLiftRoundTripEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 25; trial++ {
+		step := 1 + rng.Intn(3)
+		src := fmt.Sprintf(`
+create function w%d(@n int) returns int as
+begin
+  declare @i int = 0;
+  declare @acc int = %d;
+  while @i < @n
+  begin
+%s    set @i = @i + %d;
+  end
+  return @acc;
+end`, trial, rng.Intn(10), randomWhileBody(rng), step)
+		sess := newDB(t, "")
+		fn := parseFunc(t, src)
+		if err := sess.Eng.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+		res := registerTransformed(t, sess, fn, core.WidenedOptions())
+		if len(res.Loops) != 1 {
+			t.Fatalf("trial %d: WHILE not lifted+aggified (skipped: %v)\n%s", trial, res.Skipped, src)
+		}
+		for _, n := range []int64{0, 1, 7, 12} {
+			callTiers(t, sess, fmt.Sprintf("w%d", trial), sqltypes.NewInt(n))
+		}
+	}
+}
+
+// TestTempTableDMLLoopEquivalence: cursor loops whose bodies run DML
+// against a temp table — insert every iteration plus a random update or
+// bounded delete — stay aggifiable, and all three tiers leave the same
+// rows behind and return the same value.
+func TestTempTableDMLLoopEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	setup := `
+create table vals (v int, w int);
+insert into vals values
+ (3, 1), (-2, 2), (7, 3), (0, 4), (5, 5), (-9, 6), (4, 7), (1, 8), (12, 9), (-1, 10);
+create table #t (k int, s int);
+`
+	for trial := 0; trial < 15; trial++ {
+		extra := ""
+		switch rng.Intn(3) {
+		case 0:
+			extra = fmt.Sprintf("    if @v > %d update #t set s = s + 1 where k < @v;\n", rng.Intn(4))
+		case 1:
+			extra = fmt.Sprintf("    delete from #t where k > %d;\n", 6+rng.Intn(5))
+		}
+		src := fmt.Sprintf(`
+create function g%d(@m int) returns int as
+begin
+  declare @v int;
+  declare @acc int = 0;
+  delete from #t;
+  declare c cursor for select v from vals order by w;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+    insert into #t values (@v, @v + @m);
+%s    set @acc = @acc + @v;
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return @acc * 10000 + (select count(*) from #t) * 100 + (select sum(s) %% 97 from #t);
+end`, trial, extra)
+		sess := newDB(t, setup)
+		fn := parseFunc(t, src)
+		if err := sess.Eng.RegisterFunction(fn); err != nil {
+			t.Fatal(err)
+		}
+		res := registerTransformed(t, sess, fn, core.Options{})
+		if len(res.Loops) != 1 {
+			t.Fatalf("trial %d: temp-table-DML loop not aggified (skipped: %v)\n%s", trial, res.Skipped, src)
+		}
+		for _, m := range []int64{0, 3, 50} {
+			callTiers(t, sess, fmt.Sprintf("g%d", trial), sqltypes.NewInt(m))
+		}
+	}
+}
+
+// TestNestedLoopReturnCascade: a RETURN inside the inner of two nested
+// cursor loops. Lowering processes loops innermost-first, planting the
+// conditional RETURN in the outer body, which the next pass lowers in turn
+// — so both loops aggify, inner first, and the early exit is preserved at
+// every depth.
+func TestNestedLoopReturnCascade(t *testing.T) {
+	setup := `
+create table vals (v int, w int);
+insert into vals values
+ (3, 1), (-2, 2), (7, 3), (0, 4), (5, 5), (-9, 6), (4, 7), (1, 8), (12, 9), (-1, 10);
+`
+	src := `
+create function firstpair(@lim int) returns int as
+begin
+  declare @a int;
+  declare @b int;
+  declare ca cursor for select v from vals order by w;
+  open ca;
+  fetch next from ca into @a;
+  while @@fetch_status = 0
+  begin
+    declare cb cursor for select v from vals order by w;
+    open cb;
+    fetch next from cb into @b;
+    while @@fetch_status = 0
+    begin
+      if @a + @b > @lim return @a * 100 + @b;
+      fetch next from cb into @b;
+    end
+    close cb;
+    deallocate cb;
+    fetch next from ca into @a;
+  end
+  close ca;
+  deallocate ca;
+  return 0 - 1;
+end`
+	sess := newDB(t, setup)
+	fn := parseFunc(t, src)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	res := registerTransformed(t, sess, fn, core.WidenedOptions())
+	if len(res.Loops) != 2 {
+		t.Fatalf("expected both loops aggified after RETURN lowering, got %d (skipped: %v)", len(res.Loops), res.Skipped)
+	}
+	if res.Loops[0].Cursor != "cb" || res.Loops[1].Cursor != "ca" {
+		t.Fatalf("transformation order = %s, %s; want inner (cb) first", res.Loops[0].Cursor, res.Loops[1].Cursor)
+	}
+	// -100 returns on the very first pair, 5 and 11 part-way through, 100
+	// never (the loops run dry and the fallthrough -1 is returned).
+	for _, lim := range []int64{-100, 5, 11, 100} {
+		callTiers(t, sess, "firstpair", sqltypes.NewInt(lim))
+	}
+}
+
+// TestReturnLoweringSingleLoop pins the lowered shape for the simple case:
+// one cursor loop with an early RETURN becomes aggifiable under the widened
+// options and is rejected (module_return) under the paper's baseline.
+func TestReturnLoweringSingleLoop(t *testing.T) {
+	setup := `
+create table vals (v int, w int);
+insert into vals values (3, 1), (-2, 2), (7, 3), (0, 4), (5, 5);
+`
+	src := `
+create function firstbig(@lim int) returns int as
+begin
+  declare @v int;
+  declare c cursor for select v from vals order by w;
+  open c;
+  fetch next from c into @v;
+  while @@fetch_status = 0
+  begin
+    if @v > @lim return @v;
+    fetch next from c into @v;
+  end
+  close c;
+  deallocate c;
+  return 0 - 1;
+end`
+	sess := newDB(t, setup)
+	fn := parseFunc(t, src)
+	if err := sess.Eng.RegisterFunction(fn); err != nil {
+		t.Fatal(err)
+	}
+	_, base, err := core.TransformFunction(fn, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Loops) != 0 || len(base.Skipped) != 1 {
+		t.Fatalf("baseline should reject the RETURN loop: loops=%d skipped=%v", len(base.Loops), base.Skipped)
+	}
+	var na *core.NotAggifiableError
+	if !asNotAggifiableErr(base.Skipped[0], &na) || na.Code != core.ReasonModuleReturn {
+		t.Fatalf("baseline rejection = %v, want code %s", base.Skipped[0], core.ReasonModuleReturn)
+	}
+	res := registerTransformed(t, sess, fn, core.WidenedOptions())
+	if len(res.Loops) != 1 {
+		t.Fatalf("widened options should aggify the RETURN loop (skipped: %v)", res.Skipped)
+	}
+	for _, lim := range []int64{-100, 4, 100} {
+		callTiers(t, sess, "firstbig", sqltypes.NewInt(lim))
+	}
+}
+
+func asNotAggifiableErr(err error, target **core.NotAggifiableError) bool {
+	na, ok := err.(*core.NotAggifiableError)
+	if ok {
+		*target = na
+	}
+	return ok
+}

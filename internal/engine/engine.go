@@ -38,6 +38,10 @@ type Engine struct {
 	planTxt map[planTextKey]*planEntry
 	planUse uint64
 	scalars map[scalarKey]exec.Scalar
+	// routinePlans caches compiled routine bodies keyed by definition node
+	// identity (values are opaque to the engine; the interpreter owns them,
+	// including negative entries marking bodies it will not recompile).
+	routinePlans map[any]any
 
 	// DefaultMaxDOP seeds each new session's degree of parallelism
 	// (plan.Options.Parallelism). 0 or 1 means serial execution; sessions
@@ -117,15 +121,16 @@ type scalarKey struct {
 // New creates an empty engine with the built-in aggregates registered.
 func New() *Engine {
 	e := &Engine{
-		tables:  map[string]*storage.Table{},
-		funcs:   map[string]*ast.CreateFunction{},
-		procs:   map[string]*ast.CreateProcedure{},
-		aggs:    map[string]*exec.AggSpec{},
-		aggSrc:  map[string]*ast.CreateAggregate{},
-		plans:   map[planKey]*plan.Plan{},
-		planTxt: map[planTextKey]*planEntry{},
-		scalars: map[scalarKey]exec.Scalar{},
-		TxnMgr:  txn.NewManager(),
+		tables:       map[string]*storage.Table{},
+		funcs:        map[string]*ast.CreateFunction{},
+		procs:        map[string]*ast.CreateProcedure{},
+		aggs:         map[string]*exec.AggSpec{},
+		aggSrc:       map[string]*ast.CreateAggregate{},
+		plans:        map[planKey]*plan.Plan{},
+		planTxt:      map[planTextKey]*planEntry{},
+		scalars:      map[scalarKey]exec.Scalar{},
+		routinePlans: map[any]any{},
+		TxnMgr:       txn.NewManager(),
 
 		stmtStats: NewStmtStats(DefaultStmtStatsCap),
 		sessions:  map[uint64]*Session{},
@@ -470,6 +475,22 @@ func (e *Engine) InvalidatePlans() {
 	e.plans = map[planKey]*plan.Plan{}
 	e.planTxt = map[planTextKey]*planEntry{}
 	e.scalars = map[scalarKey]exec.Scalar{}
+	e.routinePlans = map[any]any{}
+	e.planMu.Unlock()
+}
+
+// RoutinePlan looks up a cached compiled routine body (see routinePlans).
+func (e *Engine) RoutinePlan(key any) (any, bool) {
+	e.planMu.Lock()
+	v, ok := e.routinePlans[key]
+	e.planMu.Unlock()
+	return v, ok
+}
+
+// StoreRoutinePlan caches a compiled routine body under key.
+func (e *Engine) StoreRoutinePlan(key, val any) {
+	e.planMu.Lock()
+	e.routinePlans[key] = val
 	e.planMu.Unlock()
 }
 

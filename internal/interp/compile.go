@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"strings"
 
 	"aggify/internal/ast"
 	"aggify/internal/engine"
@@ -21,6 +22,13 @@ import (
 
 // compiledStmt executes one compiled statement against a machine.
 type compiledStmt func(m *machine) error
+
+// evalFn evaluates one compiled scalar expression against a machine. In
+// routine mode, expressions that can touch stored data (subqueries, UDF
+// calls) pin a read snapshot around the evaluation, exactly as the
+// interpreter's eval does; aggregate bodies always run inside a query
+// that already pinned one, so their evalFns skip the check entirely.
+type evalFn func(m *machine) (sqltypes.Value, error)
 
 // tableDef is the schema prototype of a compiled DECLARE TABLE.
 type tableDef struct {
@@ -111,11 +119,28 @@ func (m *machine) assign(slot int, v sqltypes.Value) error {
 	return nil
 }
 
-// blockCompiler compiles one aggregate definition.
+// blockCompiler compiles one aggregate definition or routine body.
 type blockCompiler struct {
 	eng  *engine.Engine
 	prog *program
 	cat  plan.Catalog
+
+	// bridge enables statement-level fallthrough to the interpreter:
+	// statements outside the compilable subset (or whose scalar
+	// expressions fail to compile, e.g. against a table that only exists
+	// at runtime) execute through a per-statement interpreter bridge
+	// instead of failing the whole compilation. Aggregate bodies keep
+	// bridge=false — an uncompilable aggregate falls back wholesale to
+	// the interpreted aggregate, preserving the paper's §9 asymmetry.
+	bridge bool
+	// pinEvals marks routine mode: scalar evaluations that can read
+	// stored data pin their own statement-level read snapshot.
+	pinEvals bool
+
+	// tiers records the per-statement compile/interpret decision for
+	// EXPLAIN PROCEDURE and the coverage meter (routine mode only).
+	tiers []StmtTier
+	depth int
 }
 
 // compileAggregate compiles def; a nil program with a non-nil error means
@@ -225,8 +250,128 @@ func compileAggregate(eng *engine.Engine, def *ast.CreateAggregate) (*program, e
 }
 
 // scalar compiles an expression with slot-resolved variables.
-func (bc *blockCompiler) scalar(e ast.Expr) (exec.Scalar, error) {
-	return plan.CompileScalarSlots(bc.cat, plan.Options{}, e, bc.prog.slotIndex)
+func (bc *blockCompiler) scalar(e ast.Expr) (evalFn, error) {
+	sc, err := plan.CompileScalarSlots(bc.cat, plan.Options{}, e, bc.prog.slotIndex)
+	if err != nil {
+		return nil, err
+	}
+	if bc.pinEvals && bc.exprReadsData(e) {
+		return func(m *machine) (sqltypes.Value, error) {
+			defer m.sess.PinRead(m.ctx)()
+			return sc(m.ctx, nil)
+		}, nil
+	}
+	return func(m *machine) (sqltypes.Value, error) { return sc(m.ctx, nil) }, nil
+}
+
+// exprReadsData reports whether evaluating e can read stored data: it
+// contains a subquery, an IN (SELECT ...), or a call to a registered UDF
+// (whose body may query). Pure arithmetic over slots skips snapshot
+// pinning on the compiled hot path.
+func (bc *blockCompiler) exprReadsData(e ast.Expr) bool {
+	reads := false
+	ast.WalkExpr(e, func(x ast.Expr) bool {
+		switch q := x.(type) {
+		case *ast.Subquery:
+			reads = true
+		case *ast.InExpr:
+			if q.Query != nil {
+				reads = true
+			}
+		case *ast.FuncCall:
+			if _, ok := bc.eng.Function(q.Name); ok {
+				reads = true
+			}
+		}
+		return !reads
+	})
+	return reads
+}
+
+// child compiles a nested statement: with the bridge enabled, a
+// statement that fails native compilation (or is outside the compilable
+// subset by construction) becomes an interpreter-bridge closure instead
+// of an error, and the decision is recorded for EXPLAIN PROCEDURE.
+func (bc *blockCompiler) child(s ast.Stmt) (compiledStmt, error) {
+	if !bc.bridge {
+		return bc.stmt(s)
+	}
+	if _, ok := s.(*ast.Block); ok {
+		// A block is pure sequencing: no tier entry of its own, and its
+		// children record at the current depth.
+		return bc.stmt(s)
+	}
+	idx := len(bc.tiers)
+	bc.tiers = append(bc.tiers, StmtTier{Text: stmtLabel(s), Depth: bc.depth, Leaf: !isContainer(s), node: s})
+	if why, always := interpretedOnly(s); always {
+		bc.tiers[idx].Tier, bc.tiers[idx].Why = TierInterpreted, why
+		return bc.bridgeStmt(s), nil
+	}
+	bc.depth++
+	c, err := bc.stmt(s)
+	bc.depth--
+	if err != nil {
+		// Drop the partial entries of any children compiled before the
+		// failure: the whole statement executes via the bridge.
+		bc.tiers = bc.tiers[:idx+1]
+		bc.tiers[idx].Tier, bc.tiers[idx].Why = TierInterpreted, strings.TrimPrefix(err.Error(), "interp: ")
+		return bc.bridgeStmt(s), nil
+	}
+	bc.tiers[idx].Tier = TierCompiled
+	return c, nil
+}
+
+// bridgeStmt wraps one statement in the per-statement interpreter
+// bridge: slots, tables, cursors, and @@fetch_status are copied into a
+// fresh interpreter frame, the statement runs through the tree-walking
+// dispatcher, and every piece of state is copied back — including on
+// control-flow signals and errors, where partial effects must remain
+// visible exactly as they would interpreting the whole body.
+func (bc *blockCompiler) bridgeStmt(s ast.Stmt) compiledStmt {
+	return func(m *machine) error { return m.runBridged(s) }
+}
+
+func (m *machine) runBridged(s ast.Stmt) error {
+	prog := m.prog
+	r := NewRunner(m.sess)
+	f := r.Frame
+	for name, i := range prog.slotIndex {
+		if name == ast.FetchStatusVar {
+			continue
+		}
+		f.types[name] = prog.slotTypes[i]
+		f.vars[name] = m.slots[i]
+	}
+	if v := m.slots[prog.fetchSlot]; v.Kind() == sqltypes.KindInt {
+		f.fetchStatus = v.Int()
+	}
+	for name, i := range prog.tableIndex {
+		if m.tables[i] != nil {
+			f.tables[name] = m.tables[i]
+		}
+	}
+	for name, i := range prog.cursorIndex {
+		if m.cursors[i] != nil {
+			f.cursors[name] = m.cursors[i]
+		}
+	}
+	err := r.exec(s)
+	for name, i := range prog.slotIndex {
+		if name == ast.FetchStatusVar {
+			continue
+		}
+		if v, ok := f.vars[name]; ok {
+			m.slots[i] = v
+		}
+	}
+	m.slots[prog.fetchSlot] = sqltypes.NewInt(f.fetchStatus)
+	for name, i := range prog.tableIndex {
+		m.tables[i] = f.tables[name]
+	}
+	for name, i := range prog.cursorIndex {
+		m.cursors[i] = f.cursors[name]
+	}
+	return err
 }
 
 // stmt compiles one statement.
@@ -235,7 +380,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 	case *ast.Block:
 		seq := make([]compiledStmt, len(st.Stmts))
 		for i, inner := range st.Stmts {
-			c, err := bc.stmt(inner)
+			c, err := bc.child(inner)
 			if err != nil {
 				return nil, err
 			}
@@ -262,7 +407,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 			return nil, err
 		}
 		return func(m *machine) error {
-			v, err := init(m.ctx, nil)
+			v, err := init(m)
 			if err != nil {
 				return err
 			}
@@ -280,22 +425,26 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(st.Targets) == 1 {
-			slot := bc.prog.slotIndex[st.Targets[0]]
+		slots := make([]int, len(st.Targets))
+		for i, tgt := range st.Targets {
+			slot, ok := bc.prog.slotIndex[tgt]
+			if !ok {
+				return nil, fmt.Errorf("interp: assignment to undeclared variable %s", tgt)
+			}
+			slots[i] = slot
+		}
+		if len(slots) == 1 {
+			slot := slots[0]
 			return func(m *machine) error {
-				v, err := val(m.ctx, nil)
+				v, err := val(m)
 				if err != nil {
 					return err
 				}
 				return m.assign(slot, v)
 			}, nil
 		}
-		slots := make([]int, len(st.Targets))
-		for i, tgt := range st.Targets {
-			slots[i] = bc.prog.slotIndex[tgt]
-		}
 		return func(m *machine) error {
-			v, err := val(m.ctx, nil)
+			v, err := val(m)
 			if err != nil {
 				return err
 			}
@@ -323,18 +472,18 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		then, err := bc.stmt(st.Then)
+		then, err := bc.child(st.Then)
 		if err != nil {
 			return nil, err
 		}
 		var els compiledStmt
 		if st.Else != nil {
-			if els, err = bc.stmt(st.Else); err != nil {
+			if els, err = bc.child(st.Else); err != nil {
 				return nil, err
 			}
 		}
 		return func(m *machine) error {
-			v, err := cond(m.ctx, nil)
+			v, err := cond(m)
 			if err != nil {
 				return err
 			}
@@ -351,7 +500,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		body, err := bc.stmt(st.Body)
+		body, err := bc.child(st.Body)
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +509,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 				if m.ctx.Interrupted() {
 					return exec.ErrInterrupted
 				}
-				v, err := cond(m.ctx, nil)
+				v, err := cond(m)
 				if err != nil {
 					return err
 				}
@@ -379,8 +528,14 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 			}
 		}, nil
 	case *ast.ForStmt:
-		initSlot := bc.prog.slotIndex[st.InitVar]
-		postSlot := bc.prog.slotIndex[st.PostVar]
+		initSlot, ok := bc.prog.slotIndex[st.InitVar]
+		if !ok {
+			return nil, fmt.Errorf("interp: assignment to undeclared variable %s", st.InitVar)
+		}
+		postSlot, ok := bc.prog.slotIndex[st.PostVar]
+		if !ok {
+			return nil, fmt.Errorf("interp: assignment to undeclared variable %s", st.PostVar)
+		}
 		initE, err := bc.scalar(st.InitExpr)
 		if err != nil {
 			return nil, err
@@ -393,12 +548,12 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		body, err := bc.stmt(st.Body)
+		body, err := bc.child(st.Body)
 		if err != nil {
 			return nil, err
 		}
 		return func(m *machine) error {
-			v, err := initE(m.ctx, nil)
+			v, err := initE(m)
 			if err != nil {
 				return err
 			}
@@ -406,7 +561,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 				return err
 			}
 			for {
-				cv, err := condE(m.ctx, nil)
+				cv, err := condE(m)
 				if err != nil {
 					return err
 				}
@@ -421,7 +576,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 						return err
 					}
 				}
-				pv, err := postE(m.ctx, nil)
+				pv, err := postE(m)
 				if err != nil {
 					return err
 				}
@@ -443,7 +598,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 			return nil, err
 		}
 		return func(m *machine) error {
-			v, err := val(m.ctx, nil)
+			v, err := val(m)
 			if err != nil {
 				return err
 			}
@@ -538,7 +693,7 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 			return nil, err
 		}
 		return func(m *machine) error {
-			v, err := val(m.ctx, nil)
+			v, err := val(m)
 			if err != nil {
 				return err
 			}
@@ -546,11 +701,11 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 			return nil
 		}, nil
 	case *ast.TryCatch:
-		try, err := bc.stmt(st.Try)
+		try, err := bc.child(st.Try)
 		if err != nil {
 			return nil, err
 		}
-		catch, err := bc.stmt(st.Catch)
+		catch, err := bc.child(st.Catch)
 		if err != nil {
 			return nil, err
 		}
@@ -563,6 +718,37 @@ func (bc *blockCompiler) stmt(s ast.Stmt) (compiledStmt, error) {
 				return err
 			}
 			return catch(m)
+		}, nil
+	case *ast.TxnStmt:
+		op := st.Op
+		return func(m *machine) error {
+			switch op {
+			case ast.TxnBegin:
+				return m.sess.BeginTxn()
+			case ast.TxnCommit:
+				return m.sess.CommitTxn()
+			default:
+				return m.sess.RollbackTxn()
+			}
+		}, nil
+	case *ast.SetOption:
+		if st.Name != "maxdop" {
+			return nil, fmt.Errorf("interp: unknown session option %q", st.Name)
+		}
+		val, err := bc.scalar(st.Value)
+		if err != nil {
+			return nil, err
+		}
+		return func(m *machine) error {
+			v, err := val(m)
+			if err != nil {
+				return err
+			}
+			if v.Kind() != sqltypes.KindInt || v.Int() < 0 {
+				return fmt.Errorf("interp: SET MAXDOP requires a non-negative integer, got %s", v)
+			}
+			m.sess.SetMaxDOP(int(v.Int()))
+			return nil
 		}, nil
 	}
 	return nil, fmt.Errorf("interp: statement %T is not compilable", s)

@@ -297,6 +297,8 @@ func (r *Runner) exec(s ast.Stmt) error {
 		}
 		r.Results = append(r.Results, ResultSet{Columns: []string{"plan"}, Rows: rows})
 		return nil
+	case *ast.ExplainProcStmt:
+		return r.execExplainProc(st)
 	case *ast.InsertStmt:
 		_, err := r.Sess.Insert(st, r.ctx)
 		return err
@@ -551,10 +553,28 @@ func bindParams(f *frame, params []ast.Param, args []sqltypes.Value, evalDefault
 	return nil
 }
 
-// callFunction implements the engine's FuncCaller hook: it runs a scalar
-// UDF body in a fresh frame and returns its RETURN value coerced to the
-// declared return type.
+// callFunction implements the engine's FuncCaller hook: compile-first —
+// the body runs as compiled closures (with per-statement interpreter
+// bridging) when it can, and falls back to the tree-walking interpreter
+// otherwise. Either way the RETURN value is coerced to the declared
+// return type.
 func callFunction(s *engine.Session, _ *exec.Ctx, def *ast.CreateFunction, args []sqltypes.Value) (sqltypes.Value, error) {
+	if rt := routineForFunc(s.Eng, def); rt != nil {
+		ret, err := rt.call(s, args)
+		if err != nil {
+			return sqltypes.Null, err
+		}
+		v, cerr := ret.CoerceTo(def.Returns)
+		if cerr != nil {
+			return sqltypes.Null, fmt.Errorf("interp: return value of %s: %w", def.Name, cerr)
+		}
+		return v, nil
+	}
+	return callFunctionInterpreted(s, def, args)
+}
+
+// callFunctionInterpreted is the tree-walking tier of callFunction.
+func callFunctionInterpreted(s *engine.Session, def *ast.CreateFunction, args []sqltypes.Value) (sqltypes.Value, error) {
 	r := NewRunner(s)
 	defer r.cleanup()
 	if err := bindParams(r.Frame, def.Params, args, r.eval); err != nil {
@@ -576,8 +596,18 @@ func callFunction(s *engine.Session, _ *exec.Ctx, def *ast.CreateFunction, args 
 	return v, nil
 }
 
-// callProcedure implements the engine's ProcCaller hook.
+// callProcedure implements the engine's ProcCaller hook, compile-first
+// like callFunction.
 func callProcedure(s *engine.Session, _ *exec.Ctx, def *ast.CreateProcedure, args []sqltypes.Value) error {
+	if rt := routineForProc(s.Eng, def); rt != nil {
+		_, err := rt.call(s, args)
+		return err
+	}
+	return callProcedureInterpreted(s, def, args)
+}
+
+// callProcedureInterpreted is the tree-walking tier of callProcedure.
+func callProcedureInterpreted(s *engine.Session, def *ast.CreateProcedure, args []sqltypes.Value) error {
 	r := NewRunner(s)
 	defer r.cleanup()
 	if err := bindParams(r.Frame, def.Params, args, r.eval); err != nil {
@@ -647,4 +677,25 @@ func CallProcedureByName(s *engine.Session, name string, args ...sqltypes.Value)
 		return fmt.Errorf("interp: unknown procedure %s", name)
 	}
 	return callProcedure(s, nil, def, args)
+}
+
+// CallFunctionInterpreted invokes a scalar UDF through the tree-walking
+// interpreter, bypassing the compiled pipeline. Exists for equivalence
+// tests and the compiled-vs-interpreted benchmark gate.
+func CallFunctionInterpreted(s *engine.Session, name string, args ...sqltypes.Value) (sqltypes.Value, error) {
+	def, ok := s.Eng.Function(name)
+	if !ok {
+		return sqltypes.Null, fmt.Errorf("interp: unknown function %s", name)
+	}
+	return callFunctionInterpreted(s, def, args)
+}
+
+// CallProcedureInterpreted invokes a stored procedure through the
+// tree-walking interpreter, bypassing the compiled pipeline.
+func CallProcedureInterpreted(s *engine.Session, name string, args ...sqltypes.Value) error {
+	def, ok := s.Eng.Procedure(name)
+	if !ok {
+		return fmt.Errorf("interp: unknown procedure %s", name)
+	}
+	return callProcedureInterpreted(s, def, args)
 }

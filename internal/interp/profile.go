@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -87,9 +88,11 @@ type LoopProfile struct {
 	// [0, 1].
 	TimeShare float64
 	// AggifyCandidate reports that the Aggify applicability analysis
-	// (§4.2) accepts the loop; Reason explains a rejection.
+	// (§4.2) accepts the loop; Reason explains a rejection and Code is
+	// its stable reason code (see core.ReasonCode).
 	AggifyCandidate bool
 	Reason          string
+	Code            core.ReasonCode
 }
 
 // ProcedureProfile is the result of one TRACE PROCEDURE invocation.
@@ -98,6 +101,10 @@ type ProcedureProfile struct {
 	Wall  time.Duration
 	Reads int64
 	Loops []LoopProfile
+	// NeverAttempted counts cursor-style WHILE loops (conditioned on
+	// @@fetch_status) that the rewrite pattern matcher did not even
+	// attempt — as opposed to matched loops it examined and rejected.
+	NeverAttempted int
 	// Stmts lists the top-level body statements with their inclusive
 	// costs, in source order (the per-statement attribution view).
 	Stmts []StmtProfile
@@ -109,6 +116,11 @@ type StmtProfile struct {
 	Count int64
 	Wall  time.Duration
 	Reads int64
+	// Tier is the execution tier the compile-first pipeline chose for
+	// this statement ("" when the whole procedure runs interpreted);
+	// TierWhy explains an interpreted choice.
+	Tier    string
+	TierWhy string
 }
 
 // ProfileProcedure runs a registered procedure with profiling enabled and
@@ -135,11 +147,13 @@ func ProfileProcedure(s *engine.Session, name string, args ...sqltypes.Value) (*
 		return nil, err
 	}
 	wall := time.Since(start)
-	return buildProcedureProfile(name, def.Body, r.Prof, wall, s.Stats.LogicalReads.Load()-readsBefore), nil
+	return buildProcedureProfile(name, def.Body, r.Prof, wall, s.Stats.LogicalReads.Load()-readsBefore, routineForProc(s.Eng, def)), nil
 }
 
-// buildProcedureProfile assembles the report from the raw per-node stats.
-func buildProcedureProfile(name string, body *ast.Block, prof *Profile, wall time.Duration, reads int64) *ProcedureProfile {
+// buildProcedureProfile assembles the report from the raw per-node stats,
+// joining on the compile-first pipeline's tier decisions when the
+// procedure has a compiled form.
+func buildProcedureProfile(name string, body *ast.Block, prof *Profile, wall time.Duration, reads int64, rt *routine) *ProcedureProfile {
 	out := &ProcedureProfile{Proc: name, Wall: wall, Reads: reads}
 	for _, loop := range core.FindCursorLoops(body) {
 		lp := LoopProfile{
@@ -155,10 +169,27 @@ func buildProcedureProfile(name string, body *ast.Block, prof *Profile, wall tim
 		}
 		if err := core.CheckApplicability(loop, core.OuterTableVars(body, loop.While.Body)); err != nil {
 			lp.Reason = err.Error()
+			lp.Code = core.ReasonUnmatchedPattern
+			var na *core.NotAggifiableError
+			if errors.As(err, &na) {
+				lp.Code = na.Code
+			}
 		} else {
 			lp.AggifyCandidate = true
 		}
 		out.Loops = append(out.Loops, lp)
+	}
+	for range core.FindUnmatchedCursorWhiles(body) {
+		out.NeverAttempted++
+		core.CountUnmatched()
+	}
+	tierOf := map[ast.Stmt]StmtTier{}
+	if rt != nil {
+		for _, t := range rt.tiers {
+			if t.node != nil {
+				tierOf[t.node] = t
+			}
+		}
 	}
 	for _, st := range body.Stmts {
 		sp := StmtProfile{
@@ -166,6 +197,9 @@ func buildProcedureProfile(name string, body *ast.Block, prof *Profile, wall tim
 			Count: prof.Count(st),
 			Wall:  prof.Wall(st),
 			Reads: prof.Reads(st),
+		}
+		if t, ok := tierOf[st]; ok {
+			sp.Tier, sp.TierWhy = t.Tier, t.Why
 		}
 		out.Stmts = append(out.Stmts, sp)
 	}
@@ -193,10 +227,17 @@ func stmtLabel(s ast.Stmt) string {
 func (p *ProcedureProfile) Lines() []string {
 	out := []string{fmt.Sprintf("procedure %s: wall_us=%d reads=%d", p.Proc, p.Wall.Microseconds(), p.Reads)}
 	for _, st := range p.Stmts {
-		out = append(out, fmt.Sprintf("stmt count=%d wall_us=%d reads=%d :: %s", st.Count, st.Wall.Microseconds(), st.Reads, st.Text))
+		line := fmt.Sprintf("stmt count=%d wall_us=%d reads=%d :: %s", st.Count, st.Wall.Microseconds(), st.Reads, st.Text)
+		if st.Tier != "" {
+			line += " tier=" + st.Tier
+			if st.TierWhy != "" {
+				line += " (" + st.TierWhy + ")"
+			}
+		}
+		out = append(out, line)
 	}
 	for _, lp := range p.Loops {
-		verdict := "aggify_candidate=false"
+		verdict := "aggify_candidate=false verdict=rejected code=" + string(lp.Code)
 		if lp.AggifyCandidate {
 			verdict = "aggify_candidate=true"
 		}
@@ -206,6 +247,9 @@ func (p *ProcedureProfile) Lines() []string {
 			line += " (" + lp.Reason + ")"
 		}
 		out = append(out, line)
+	}
+	for i := 0; i < p.NeverAttempted; i++ {
+		out = append(out, fmt.Sprintf("cursor-style WHILE loop: verdict=never_attempted code=%s", core.ReasonUnmatchedPattern))
 	}
 	return out
 }

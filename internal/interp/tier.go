@@ -1,0 +1,127 @@
+package interp
+
+import (
+	"aggify/internal/ast"
+)
+
+// Execution tiers for one procedural statement. "compiled" means the
+// statement runs as a Go closure over the slot frame; "interpreted"
+// means it executes through the per-statement bridge into the
+// tree-walking interpreter.
+const (
+	TierCompiled    = "compiled"
+	TierInterpreted = "interpreted"
+)
+
+// StmtTier is the compile/interpret decision for one body statement,
+// recorded during routine compilation and rendered by EXPLAIN PROCEDURE
+// and the applicability coverage meter.
+type StmtTier struct {
+	Text  string // short statement label, e.g. "SET @total"
+	Depth int    // nesting depth for indented rendering
+	Tier  string // TierCompiled or TierInterpreted
+	Why   string // reason, set when Tier is TierInterpreted
+	Leaf  bool   // true for non-container statements (coverage counts leaves)
+
+	// node identifies the statement for in-package consumers (the
+	// profiler joins tier decisions onto its per-node attribution).
+	node ast.Stmt
+}
+
+// interpretedOnly reports whether s is outside the compiled subset by
+// construction — it must route result sets, invoke other modules, or
+// mutate the catalog, all of which belong to the interpreter — and the
+// reason shown in EXPLAIN PROCEDURE.
+func interpretedOnly(s ast.Stmt) (string, bool) {
+	switch s.(type) {
+	case *ast.QueryStmt:
+		return "result-set SELECT routes through the session", true
+	case *ast.ExplainStmt:
+		return "EXPLAIN produces a result set", true
+	case *ast.ExplainProcStmt:
+		return "EXPLAIN PROCEDURE produces a result set", true
+	case *ast.ExecStmt:
+		return "nested procedure call", true
+	case *ast.TraceProcStmt:
+		return "profiling entry point", true
+	case *ast.CreateTable, *ast.CreateIndex, *ast.CreateFunction, *ast.CreateProcedure, *ast.CreateAggregate:
+		return "DDL mutates the catalog", true
+	}
+	return "", false
+}
+
+// isContainer reports whether s is a control-flow container whose tier
+// entry describes only its own control flow (children get their own).
+func isContainer(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.Block, *ast.IfStmt, *ast.WhileStmt, *ast.ForStmt, *ast.TryCatch:
+		return true
+	}
+	return false
+}
+
+// ClassifyBody statically classifies a procedure body without an engine:
+// each statement gets the tier the routine compiler would choose,
+// assuming its scalar expressions compile (the optimistic case — the
+// corpus scanner has no live catalog to compile against). Used by the
+// applicability workload to measure compile-tier coverage over corpus
+// procedures; the runtime decisions recorded during real compilation are
+// the ground truth for EXPLAIN PROCEDURE.
+func ClassifyBody(body *ast.Block) []StmtTier {
+	var tiers []StmtTier
+	var walk func(s ast.Stmt, depth int)
+	walk = func(s ast.Stmt, depth int) {
+		if s == nil {
+			return
+		}
+		if b, ok := s.(*ast.Block); ok && depth == 0 {
+			// The top-level body block is the routine itself, not a stmt.
+			for _, inner := range b.Stmts {
+				walk(inner, 0)
+			}
+			return
+		}
+		t := StmtTier{Text: stmtLabel(s), Depth: depth, Leaf: !isContainer(s), node: s}
+		if why, always := interpretedOnly(s); always {
+			t.Tier, t.Why = TierInterpreted, why
+			tiers = append(tiers, t)
+			return
+		}
+		t.Tier = TierCompiled
+		tiers = append(tiers, t)
+		switch st := s.(type) {
+		case *ast.Block:
+			for _, inner := range st.Stmts {
+				walk(inner, depth+1)
+			}
+		case *ast.IfStmt:
+			walk(st.Then, depth+1)
+			walk(st.Else, depth+1)
+		case *ast.WhileStmt:
+			walk(st.Body, depth+1)
+		case *ast.ForStmt:
+			walk(st.Body, depth+1)
+		case *ast.TryCatch:
+			walk(st.Try, depth+1)
+			walk(st.Catch, depth+1)
+		}
+	}
+	walk(body, 0)
+	return tiers
+}
+
+// TierCoverage counts leaf statements by tier: containers describe
+// control flow only, so coverage over leaves reflects where the work
+// actually executes.
+func TierCoverage(tiers []StmtTier) (compiled, total int) {
+	for _, t := range tiers {
+		if !t.Leaf {
+			continue
+		}
+		total++
+		if t.Tier == TierCompiled {
+			compiled++
+		}
+	}
+	return compiled, total
+}

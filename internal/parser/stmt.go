@@ -182,6 +182,14 @@ func (p *Parser) ParseStmt() (ast.Stmt, error) {
 		return &ast.QueryStmt{Query: q}, nil
 	case "explain":
 		p.advance()
+		if p.acceptKw("procedure") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			p.endStmt()
+			return &ast.ExplainProcStmt{Proc: name}, nil
+		}
 		analyze := p.acceptKw("analyze")
 		if !p.isKw("select") && !p.isKw("with") {
 			return nil, p.errf("expected SELECT or WITH after EXPLAIN, found %q", p.cur().text)

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 
+	"aggify/internal/core"
 	"aggify/internal/engine"
 	"aggify/internal/trace"
 )
@@ -99,6 +100,18 @@ func (s *Server) metricDefs() []metricDef {
 		metricDef{"aggifyd_wal_records_total", "WAL records appended.", "counter", walRecords},
 		metricDef{"aggifyd_wal_fsyncs_total", "WAL fsync calls.", "counter", walFsyncs},
 	)
+	// One counter per stable Aggify rejection code: how often the rewrite
+	// analysis rejected (or, for unmatched_pattern, never attempted) a
+	// cursor loop in this process. Every code is always present,
+	// zero-valued, so dashboards can alert on shape changes.
+	counts := core.ReasonCounts()
+	for _, code := range core.AllReasonCodes() {
+		defs = append(defs, metricDef{
+			"aggifyd_aggify_reject_" + string(code) + "_total",
+			"Cursor loops not aggified with reason code " + string(code) + ".",
+			"counter", counts[code],
+		})
+	}
 	return defs
 }
 

@@ -1,11 +1,15 @@
 package server
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
 
+	"aggify/internal/ast"
+	"aggify/internal/core"
 	"aggify/internal/engine"
+	"aggify/internal/parser"
 )
 
 // TestMetricsExposesEveryRegisteredMetric renders /metrics and asserts that
@@ -79,5 +83,52 @@ func TestMetricsStatementTopK(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %s:\n%s", want, body)
 		}
+	}
+}
+
+// TestMetricsAggifyRejectCounters: every stable Aggify rejection code gets
+// a counter in the exposition, present even at zero, and a rejection
+// observed by the core analysis shows up in the rendered value.
+func TestMetricsAggifyRejectCounters(t *testing.T) {
+	s := New(engine.New())
+	render := func() string {
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		w := httptest.NewRecorder()
+		s.DebugHandler().ServeHTTP(w, req)
+		return w.Body.String()
+	}
+	body := render()
+	for _, code := range core.AllReasonCodes() {
+		name := "aggifyd_aggify_reject_" + string(code) + "_total"
+		if !strings.Contains(body, "\n"+name+" ") {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	before := core.ReasonCounts()[core.ReasonPersistentDML]
+	fn := parser.MustParse(`
+create function f() returns int as
+begin
+  declare @n int;
+  declare c cursor for select n from sink;
+  open c;
+  fetch next from c into @n;
+  while @@fetch_status = 0
+  begin
+    insert into sink values (@n);
+    fetch next from c into @n;
+  end
+  close c;
+  deallocate c;
+  return 0;
+end`)[0].(*ast.CreateFunction)
+	if _, res, err := core.TransformFunction(fn, core.Options{}); err != nil || len(res.Skipped) != 1 {
+		t.Fatalf("transform: err=%v skipped=%v", err, res.Skipped)
+	}
+	after := core.ReasonCounts()[core.ReasonPersistentDML]
+	if after != before+1 {
+		t.Fatalf("persistent_dml counter = %d, want %d", after, before+1)
+	}
+	if !strings.Contains(render(), fmt.Sprintf("\naggifyd_aggify_reject_persistent_dml_total %d", after)) {
+		t.Fatal("rendered counter did not pick up the rejection")
 	}
 }

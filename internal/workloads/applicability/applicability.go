@@ -10,20 +10,42 @@ import (
 
 	"aggify/internal/ast"
 	"aggify/internal/core"
+	"aggify/internal/interp"
 	"aggify/internal/parser"
 	"aggify/internal/workloads/corpus"
 )
 
-// Report is one application's Table 1 row.
+// Report is one application's Table 1 row, extended with the widened
+// rewrite scan and the compile-tier coverage meter.
 type Report struct {
-	App         string
-	Files       int
-	Modules     int // functions + procedures scanned
-	WhileLoops  int
-	CursorLoops int
-	Aggifiable  int
-	// Reasons tallies why cursor loops were rejected.
-	Reasons map[string]int
+	App         string `json:"app"`
+	Files       int    `json:"files"`
+	Modules     int    `json:"modules"` // functions + procedures scanned
+	WhileLoops  int    `json:"while_loops"`
+	CursorLoops int    `json:"cursor_loops"`
+	Aggifiable  int    `json:"aggifiable"`
+	// Reasons tallies why cursor loops were rejected (base scan, full
+	// error strings).
+	Reasons map[string]int `json:"-"`
+
+	// WidenedAggifiable counts loops the transformation rewrites under
+	// WidenedOptions — WHILE-over-variable lifting and RETURN-in-loop
+	// lowering enabled — including cursor loops those rewrites create.
+	WidenedAggifiable int `json:"widened_aggifiable"`
+	// ReasonCodes tallies widened-scan rejections by stable reason code;
+	// loops the pattern matcher never attempted count under
+	// unmatched_pattern.
+	ReasonCodes map[string]int `json:"reason_codes"`
+
+	// Compile-tier coverage over module bodies (static classification:
+	// which statements the routine compiler runs natively vs through the
+	// interpreter bridge). Leaf statements only; containers describe
+	// control flow.
+	FullyCompiled     int `json:"fully_compiled"`     // modules with every leaf compiled
+	PartiallyCompiled int `json:"partially_compiled"` // modules with a mix
+	InterpretedOnly   int `json:"interpreted_only"`   // modules with no compiled leaves
+	TotalStmts        int `json:"total_stmts"`
+	CompiledStmts     int `json:"compiled_stmts"`
 }
 
 // CursorShare returns the cursor-loop percentage of all while loops.
@@ -40,7 +62,7 @@ func ScanApp(app string) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := &Report{App: app, Reasons: map[string]int{}}
+	rep := &Report{App: app, Reasons: map[string]int{}, ReasonCodes: map[string]int{}}
 	for _, src := range sources {
 		rep.Files++
 		stmts, err := parser.Parse(src.SQL)
@@ -51,16 +73,16 @@ func ScanApp(app string) (*Report, error) {
 			switch def := s.(type) {
 			case *ast.CreateFunction:
 				rep.Modules++
-				if err := rep.scanModule(def.Name, def.Params, def.Body, func() (*core.Result, error) {
-					_, res, err := core.TransformFunction(def, core.Options{})
+				if err := rep.scanModule(def.Name, def.Params, def.Body, func(opts core.Options) (*core.Result, error) {
+					_, res, err := core.TransformFunction(def, opts)
 					return res, err
 				}); err != nil {
 					return nil, fmt.Errorf("applicability: %s/%s %s: %w", app, src.Name, def.Name, err)
 				}
 			case *ast.CreateProcedure:
 				rep.Modules++
-				if err := rep.scanModule(def.Name, def.Params, def.Body, func() (*core.Result, error) {
-					_, res, err := core.TransformProcedure(def, core.Options{})
+				if err := rep.scanModule(def.Name, def.Params, def.Body, func(opts core.Options) (*core.Result, error) {
+					_, res, err := core.TransformProcedure(def, opts)
 					return res, err
 				}); err != nil {
 					return nil, fmt.Errorf("applicability: %s/%s %s: %w", app, src.Name, def.Name, err)
@@ -71,7 +93,7 @@ func ScanApp(app string) (*Report, error) {
 	return rep, nil
 }
 
-func (rep *Report) scanModule(name string, params []ast.Param, body *ast.Block, transform func() (*core.Result, error)) error {
+func (rep *Report) scanModule(name string, params []ast.Param, body *ast.Block, transform func(core.Options) (*core.Result, error)) error {
 	// Count loops syntactically.
 	ast.WalkStmt(body, func(s ast.Stmt) bool {
 		if w, ok := s.(*ast.WhileStmt); ok {
@@ -82,8 +104,10 @@ func (rep *Report) scanModule(name string, params []ast.Param, body *ast.Block, 
 		}
 		return true
 	})
-	// Count transformable loops by transforming.
-	res, err := transform()
+	// Count transformable loops by transforming — first with the paper's
+	// baseline preconditions (Table 1 parity), then with the widened
+	// rewrites enabled.
+	res, err := transform(core.Options{})
 	if err != nil {
 		return err
 	}
@@ -91,7 +115,52 @@ func (rep *Report) scanModule(name string, params []ast.Param, body *ast.Block, 
 	for _, skip := range res.Skipped {
 		rep.Reasons[skip.Error()]++
 	}
+	wres, err := transform(core.WidenedOptions())
+	if err != nil {
+		return err
+	}
+	rep.WidenedAggifiable += len(wres.Loops)
+	for _, skip := range wres.Skipped {
+		code := core.ReasonUnmatchedPattern
+		var na *core.NotAggifiableError
+		if asNotAggifiable(skip, &na) {
+			code = na.Code
+		}
+		rep.ReasonCodes[string(code)]++
+	}
+	rep.ReasonCodes[string(core.ReasonUnmatchedPattern)] += len(core.FindUnmatchedCursorWhiles(body))
+
+	// Compile-tier coverage: statically classify the (untransformed) body
+	// the way the routine compiler would.
+	compiled, total := interp.TierCoverage(interp.ClassifyBody(body))
+	rep.TotalStmts += total
+	rep.CompiledStmts += compiled
+	switch {
+	case total == 0 || compiled == total:
+		rep.FullyCompiled++
+	case compiled == 0:
+		rep.InterpretedOnly++
+	default:
+		rep.PartiallyCompiled++
+	}
 	return nil
+}
+
+// asNotAggifiable unwraps err into a NotAggifiableError when possible.
+func asNotAggifiable(err error, target **core.NotAggifiableError) bool {
+	if na, ok := err.(*core.NotAggifiableError); ok {
+		*target = na
+		return true
+	}
+	return false
+}
+
+// CompiledShare returns the compiled-leaf percentage across all modules.
+func (r *Report) CompiledShare() float64 {
+	if r.TotalStmts == 0 {
+		return 0
+	}
+	return 100 * float64(r.CompiledStmts) / float64(r.TotalStmts)
 }
 
 // ScanAll produces the full Table 1.

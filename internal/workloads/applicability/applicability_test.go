@@ -46,6 +46,72 @@ func TestTable1(t *testing.T) {
 	}
 }
 
+// TestWidenedCoverage pins the widened scan and the compile-tier meter:
+// the WHILE lift and RETURN lowering must strictly beat the baseline on
+// rubbos and adempiere (the top rejection categories), and nearly every
+// corpus leaf statement must compile.
+func TestWidenedCoverage(t *testing.T) {
+	reports, err := ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byApp := map[string]*Report{}
+	for _, r := range reports {
+		byApp[r.App] = r
+	}
+
+	rubis := byApp["rubis"]
+	if rubis.WidenedAggifiable != 15 {
+		t.Fatalf("rubis widened = %d, want 15 (codes: %v)", rubis.WidenedAggifiable, rubis.ReasonCodes)
+	}
+	rubbos := byApp["rubbos"]
+	if rubbos.WidenedAggifiable != 27 {
+		t.Fatalf("rubbos widened = %d, want 27 — the WHILE-over-variable lift is the whole gap (codes: %v)",
+			rubbos.WidenedAggifiable, rubbos.ReasonCodes)
+	}
+	adem := byApp["adempiere"]
+	if adem.WidenedAggifiable != 30 {
+		t.Fatalf("adempiere widened = %d, want 30 (codes: %v)", adem.WidenedAggifiable, adem.ReasonCodes)
+	}
+	// The remaining adempiere rejections carry stable codes.
+	for code, want := range map[string]int{
+		"persistent_dml": 3,
+		"proc_call":      1,
+		"result_set":     1,
+	} {
+		if got := adem.ReasonCodes[code]; got != want {
+			t.Fatalf("adempiere reason %s = %d, want %d (all: %v)", code, got, want, adem.ReasonCodes)
+		}
+	}
+	// Every app's scan keys unmatched_pattern even at zero, so dashboards
+	// and the snapshot always carry the full code set.
+	for _, r := range reports {
+		if _, ok := r.ReasonCodes["unmatched_pattern"]; !ok {
+			t.Fatalf("%s: unmatched_pattern key missing: %v", r.App, r.ReasonCodes)
+		}
+	}
+
+	// Compile-tier coverage: rubis and rubbos fully compile; adempiere has
+	// exactly two partially-compiled modules and no interpreter-only ones.
+	for _, tc := range []struct {
+		app                  string
+		full, partial, total int
+		compiled             int
+	}{
+		{"rubis", 16, 0, 163, 163},
+		{"rubbos", 36, 0, 271, 271},
+		{"adempiere", 35, 2, 375, 373},
+	} {
+		r := byApp[tc.app]
+		if r.FullyCompiled != tc.full || r.PartiallyCompiled != tc.partial ||
+			r.InterpretedOnly != 0 || r.TotalStmts != tc.total || r.CompiledStmts != tc.compiled {
+			t.Fatalf("%s coverage = full=%d partial=%d interp=%d stmts=%d/%d, want full=%d partial=%d interp=0 stmts=%d/%d",
+				tc.app, r.FullyCompiled, r.PartiallyCompiled, r.InterpretedOnly, r.CompiledStmts, r.TotalStmts,
+				tc.full, tc.partial, tc.compiled, tc.total)
+		}
+	}
+}
+
 func TestScanUnknownApp(t *testing.T) {
 	if _, err := ScanApp("nonexistent"); err == nil {
 		t.Fatal("unknown app should error")

@@ -1,7 +1,7 @@
 // Command benchgate is the CI bench-regression gate. It runs the short
 // ^BenchmarkGate suite (see bench_gate_test.go), distills each benchmark to
 // its best ns/op across -count runs, and compares the result against the
-// committed snapshot BENCH_6.json:
+// committed snapshot BENCH_7.json:
 //
 //   - any benchmark more than -threshold (default 25%) slower than its
 //     snapshot entry fails the gate;
@@ -23,6 +23,11 @@
 //   - the fullscan ÷ rangeseek ns/op ratio of BenchmarkGateRangeSeek is
 //     recorded as rangeseek_speedup and must be ≥ 5 — the ordered-index
 //     range seek the cost model picks has to dodge most of the scan;
+//   - the interpreted ÷ compiled ns/op ratio of BenchmarkGateProcCompile is
+//     recorded as proc_compile_speedup and must be ≥ 1.5 — the routine
+//     compiler's slot-closure pipeline has to beat the tree-walking
+//     interpreter on the same body (results are byte-identical by
+//     construction; the benchmark asserts it before measuring);
 //   - BenchmarkGatePlanCache/replay's warm hit rate is recorded as
 //     plan_cache_hit_pct and must be ≥ 99%, and
 //     BenchmarkGatePlanCache/lookup must report 0 allocs/op — a warm
@@ -70,8 +75,11 @@ type snapshot struct {
 	BatchSpeedup     float64 `json:"batch_speedup"`
 	PushdownSpeedup  float64 `json:"pushdown_speedup"`
 	RangeSeekSpeedup float64 `json:"rangeseek_speedup"`
-	PlanCacheHitPct  float64 `json:"plan_cache_hit_pct"`
-	PlanCacheAllocs  float64 `json:"plan_cache_allocs"`
+	// ProcCompileSpeedup is interpreted ÷ compiled ns/op for the same
+	// routine body; the compile-first pipeline must hold ≥ 1.5×.
+	ProcCompileSpeedup float64 `json:"proc_compile_speedup"`
+	PlanCacheHitPct    float64 `json:"plan_cache_hit_pct"`
+	PlanCacheAllocs    float64 `json:"plan_cache_allocs"`
 }
 
 const (
@@ -85,6 +93,8 @@ const (
 	fullscanBench  = "BenchmarkGateRangeSeek/fullscan"
 	replayBench    = "BenchmarkGatePlanCache/replay"
 	lookupBench    = "BenchmarkGatePlanCache/lookup"
+	compiledBench  = "BenchmarkGateProcCompile/compiled"
+	interpBench    = "BenchmarkGateProcCompile/interpreted"
 
 	// minParallelCPUs is the host size below which a 4-worker speedup ratio
 	// measures scheduler contention, not parallelism.
@@ -95,7 +105,7 @@ var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
 	update := flag.Bool("update", false, "rewrite the snapshot with the current numbers")
-	snapPath := flag.String("snapshot", "BENCH_6.json", "snapshot file to compare against")
+	snapPath := flag.String("snapshot", "BENCH_7.json", "snapshot file to compare against")
 	benchRe := flag.String("bench", "^BenchmarkGate", "benchmark selection regex")
 	benchtime := flag.String("benchtime", "200ms", "per-benchmark measuring time")
 	count := flag.Int("count", 3, "runs per benchmark (best is kept)")
@@ -141,6 +151,11 @@ func main() {
 			cur.RangeSeekSpeedup = round3(f.NsPerOp / r.NsPerOp)
 		}
 	}
+	if ip, ok := byName[interpBench]; ok {
+		if c, ok := byName[compiledBench]; ok && c.NsPerOp > 0 {
+			cur.ProcCompileSpeedup = round3(ip.NsPerOp / c.NsPerOp)
+		}
+	}
 	if r, ok := byName[replayBench]; ok {
 		cur.PlanCacheHitPct = round3(r.HitPct)
 	}
@@ -159,6 +174,7 @@ func main() {
 	fmt.Printf("batch speedup (row/batch): %.2fx\n", cur.BatchSpeedup)
 	fmt.Printf("pushdown speedup (norewrite/rewrite): %.2fx\n", cur.PushdownSpeedup)
 	fmt.Printf("rangeseek speedup (fullscan/rangeseek): %.2fx\n", cur.RangeSeekSpeedup)
+	fmt.Printf("proc compile speedup (interpreted/compiled): %.2fx\n", cur.ProcCompileSpeedup)
 	fmt.Printf("plan cache: %.1f%% warm hit rate, %.0f allocs/op warm lookup\n", cur.PlanCacheHitPct, cur.PlanCacheAllocs)
 
 	if *update {
@@ -255,6 +271,12 @@ func main() {
 	if cur.RangeSeekSpeedup > 0 && cur.RangeSeekSpeedup < 5 {
 		failures = append(failures, fmt.Sprintf("rangeseek speedup %.2fx < 5x (ordered-index range seek not paying for itself)",
 			cur.RangeSeekSpeedup))
+	}
+	// The compile-vs-interpret ratio is serial on both sides too: the routine
+	// compiler must pay for itself on any host.
+	if cur.ProcCompileSpeedup > 0 && cur.ProcCompileSpeedup < 1.5 {
+		failures = append(failures, fmt.Sprintf("proc compile speedup %.2fx < 1.5x (routine compiler not paying for itself)",
+			cur.ProcCompileSpeedup))
 	}
 	// Plan-cache enforcement: both cells must have run, the warm replay hit
 	// rate must stay >= 99%, and the warm AST-identity lookup must not

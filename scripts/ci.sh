@@ -198,8 +198,14 @@ kill "$daemon3" && wait "$daemon3" 2>/dev/null || true
 daemon3=""
 echo "kill-and-recover OK (committed rows survived, open txn discarded)"
 
+stage "applicability coverage ratchet"
+# The corpus scan (Table 1 + compile-tier coverage) must match the committed
+# APPLICABILITY.json: coverage may only go up, and any change must be
+# ratified with:  go run ./cmd/applicability -update
+go run ./cmd/applicability -check
+
 stage "bench-regression gate"
-# Short ^BenchmarkGate suite vs the committed BENCH_6.json snapshot; accept
+# Short ^BenchmarkGate suite vs the committed BENCH_7.json snapshot; accept
 # intentional changes with:  scripts/bench_regress.sh -update
 ./scripts/bench_regress.sh
 
